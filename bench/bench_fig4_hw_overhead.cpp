@@ -1,0 +1,165 @@
+// Reproduces Fig. 4 + Sec. III-D3: the hardware realization of the neuron
+// locking mechanism — XOR gate count, gate overhead (< 0.5% vs a ~1e6-gate
+// MMU), zero cycle overhead, and a functional demonstration that the keyed
+// accumulator computes ±MAC with identical latency.
+#include <chrono>
+#include <cstdio>
+
+#include "common.hpp"
+#include "hw/accumulator.hpp"
+#include "hw/energy.hpp"
+#include "hw/mmu.hpp"
+#include "hw/overhead.hpp"
+#include "hw/systolic.hpp"
+
+namespace {
+
+using namespace hpnn;
+using namespace hpnn::bench;
+
+double time_mmu(bool locked, std::int64_t reps) {
+  Rng rng(1);
+  const std::int64_t m = 64, k = 256, n = 256;
+  std::vector<std::int8_t> a(static_cast<std::size_t>(m * k));
+  std::vector<std::int8_t> w(static_cast<std::size_t>(k * n));
+  for (auto& v : a) {
+    v = static_cast<std::int8_t>(rng.uniform_index(255)) - 127;
+  }
+  for (auto& v : w) {
+    v = static_cast<std::int8_t>(rng.uniform_index(255)) - 127;
+  }
+  std::vector<std::uint8_t> negate;
+  if (locked) {
+    negate.resize(static_cast<std::size_t>(m * n));
+    for (std::size_t i = 0; i < negate.size(); ++i) {
+      negate[i] = (i % 2 == 0);
+    }
+  }
+  std::vector<std::int32_t> out(static_cast<std::size_t>(m * n));
+  hw::Mmu mmu;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::int64_t r = 0; r < reps; ++r) {
+    mmu.matmul_i8(a, m, k, w, n, negate, out);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() /
+         static_cast<double>(reps);
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "FIG. 4 / SEC. III-D3 — Hardware realization of neuron locking",
+      "Key-dependent accumulator: 16 XOR gates per unit, 256 units; paper "
+      "claims 4096 XOR gates total, < 0.5% of a ~1e6-gate MMU [16], and no "
+      "clock-cycle overhead.");
+
+  // ---- gate model -------------------------------------------------------
+  const auto report = hw::mmu_overhead(256);
+  std::printf("\nGate-count model (256x256 MMU, 8-bit MACs):\n  %s\n",
+              report.to_string().c_str());
+  std::printf("  XOR gates added:            %lld (paper: 4096)\n",
+              static_cast<long long>(report.xor_gates_added));
+  std::printf("  vs reference 1e6-gate MMU:  %.3f%% (paper: < 0.5%%)\n",
+              report.overhead_vs_reference(1000000) * 100.0);
+  std::printf("  vs full 256x256 array est.: %.5f%%\n",
+              report.overhead_vs_full_array() * 100.0);
+  std::printf("  cycle overhead:             %lld (combinational XORs only)\n",
+              static_cast<long long>(report.cycle_overhead));
+
+  // ---- functional demo: keyed accumulator computes ±MAC -----------------
+  Rng rng(7);
+  hw::KeyedAccumulator pos(false, hw::Fidelity::kBitAccurate);
+  hw::KeyedAccumulator neg(true, hw::Fidelity::kBitAccurate);
+  for (int i = 0; i < 64; ++i) {
+    const auto p = static_cast<std::int16_t>(rng() & 0xFFFF);
+    pos.accumulate(p);
+    neg.accumulate(p);
+  }
+  std::printf(
+      "\nBit-level FA-chain demo (64 random products through one unit):\n"
+      "  k=0 accumulator: %d\n  k=1 accumulator: %d  (= -MAC: %s)\n",
+      pos.value(), neg.value(), neg.value() == -pos.value() ? "yes" : "NO");
+
+  // ---- cycle model: locked vs unlocked GEMM -----------------------------
+  {
+    Rng r2(3);
+    hw::Mmu plain;
+    hw::Mmu locked;
+    std::vector<std::int8_t> a(64 * 256), w(256 * 256);
+    for (auto& v : a) v = static_cast<std::int8_t>(r2.uniform_index(255)) - 127;
+    for (auto& v : w) v = static_cast<std::int8_t>(r2.uniform_index(255)) - 127;
+    std::vector<std::int32_t> out(64 * 256);
+    std::vector<std::uint8_t> negate(64 * 256, 1);
+    plain.matmul_i8(a, 64, 256, w, 256, {}, out);
+    locked.matmul_i8(a, 64, 256, w, 256, negate, out);
+    std::printf(
+        "\nModeled pipeline cycles for a 64x256x256 GEMM:\n"
+        "  unlocked: %llu cycles | locked (all outputs keyed): %llu cycles "
+        "| overhead: %lld cycles\n",
+        static_cast<unsigned long long>(plain.stats().cycles),
+        static_cast<unsigned long long>(locked.stats().cycles),
+        static_cast<long long>(locked.stats().cycles) -
+            static_cast<long long>(plain.stats().cycles));
+  }
+
+  // ---- energy model ------------------------------------------------------
+  {
+    Rng r3(4);
+    hw::Mmu mmu;
+    std::vector<std::int8_t> a(64 * 256), w(256 * 256);
+    for (auto& v : a) v = static_cast<std::int8_t>(r3.uniform_index(255)) - 127;
+    for (auto& v : w) v = static_cast<std::int8_t>(r3.uniform_index(255)) - 127;
+    std::vector<std::int32_t> out(64 * 256);
+    std::vector<std::uint8_t> negate(64 * 256, 1);  // worst case: all locked
+    mmu.matmul_i8(a, 64, 256, w, 256, negate, out);
+    const auto energy = hw::estimate_energy(mmu.stats());
+    std::printf(
+        "\nEnergy model (Horowitz ISSCC'14 constants, worst case all "
+        "outputs locked):\n"
+        "  MACs %.1f nJ + weight traffic %.1f nJ + XOR key bank %.2f nJ "
+        "-> locking overhead %.2f%% of inference energy\n",
+        energy.mac_pj * 1e-3, energy.weight_traffic_pj * 1e-3,
+        energy.locking_pj * 1e-3, energy.locking_overhead() * 100.0);
+  }
+
+  // ---- cycle-level dataflow cross-check ----------------------------------
+  {
+    Rng r4(5);
+    const std::int64_t m = 12, k = 16, n = 16;
+    std::vector<std::int8_t> a(static_cast<std::size_t>(m * k));
+    std::vector<std::int8_t> w(static_cast<std::size_t>(k * n));
+    for (auto& v : a) v = static_cast<std::int8_t>(r4.uniform_index(255)) - 127;
+    for (auto& v : w) v = static_cast<std::int8_t>(r4.uniform_index(255)) - 127;
+    hw::SystolicArray arr(k, n);
+    arr.load_weights(w, k, n);
+    std::vector<std::uint8_t> keys(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      keys[i] = (i % 2 == 0);
+    }
+    const auto locked_run = arr.run(a, m, keys);
+    arr.load_weights(w, k, n);
+    const auto plain_run = arr.run(a, m);
+    std::printf(
+        "\nPE-level systolic simulation (%lldx%lld tile, %lld rows):\n"
+        "  stream latency locked %llu vs unlocked %llu cycles (key path "
+        "adds %lld)\n",
+        static_cast<long long>(k), static_cast<long long>(n),
+        static_cast<long long>(m),
+        static_cast<unsigned long long>(locked_run.stream_cycles),
+        static_cast<unsigned long long>(plain_run.stream_cycles),
+        static_cast<long long>(locked_run.stream_cycles) -
+            static_cast<long long>(plain_run.stream_cycles));
+  }
+
+  // ---- host-side wall time sanity (simulator, not silicon) --------------
+  const double t_plain = time_mmu(false, 5);
+  const double t_locked = time_mmu(true, 5);
+  std::printf(
+      "\nSimulator wall time per 64x256x256 GEMM (informational):\n"
+      "  unlocked %.3f ms | locked %.3f ms (ratio %.2f — the simulator's "
+      "negation cost; real silicon pays a combinational XOR delay only)\n",
+      t_plain * 1e3, t_locked * 1e3, t_locked / t_plain);
+  return 0;
+}

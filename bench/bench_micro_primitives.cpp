@@ -1,0 +1,139 @@
+// Microbenchmarks of the computational primitives (google-benchmark):
+// GEMM, conv2d, locked vs plain activation, keyed accumulator fidelities,
+// MMU int8 GEMM, and key expansion. These quantify the simulator itself —
+// e.g. that the lock factor costs one multiply per activation on the float
+// path and nothing on the integer path.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.hpp"
+#include "hpnn/locked_activation.hpp"
+#include "hpnn/scheduler.hpp"
+#include "hw/accumulator.hpp"
+#include "hw/mmu.hpp"
+#include "nn/layers.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace hpnn;
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::normal(Shape{n, n}, rng);
+  const Tensor b = Tensor::normal(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    ops::gemm(a, ops::Trans::kNo, b, ops::Trans::kNo, c, 1.0f, 0.0f);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(2);
+  const ops::Conv2dGeometry g{16, 28, 28, 3, 1, 1};
+  const Tensor x = Tensor::normal(Shape{8, 16, 28, 28}, rng);
+  const Tensor w = Tensor::normal(Shape{32, 16, 3, 3}, rng);
+  const Tensor b = Tensor::normal(Shape{32}, rng);
+  for (auto _ : state) {
+    Tensor out = ops::conv2d_forward(x, w, b, g);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_PlainRelu(benchmark::State& state) {
+  Rng rng(3);
+  nn::ReLU relu;
+  const Tensor x = Tensor::normal(Shape{32, 4096}, rng);
+  for (auto _ : state) {
+    Tensor y = relu.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_PlainRelu);
+
+void BM_LockedRelu(benchmark::State& state) {
+  Rng rng(4);
+  Tensor mask(Shape{4096});
+  for (auto& v : mask.span()) {
+    v = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+  }
+  obf::LockedActivation act("act", mask);
+  const Tensor x = Tensor::normal(Shape{32, 4096}, rng);
+  for (auto _ : state) {
+    Tensor y = act.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_LockedRelu);
+
+void BM_KeyedAccumulatorFast(benchmark::State& state) {
+  hw::KeyedAccumulator acc(true, hw::Fidelity::kFast);
+  std::int16_t p = 12345;
+  for (auto _ : state) {
+    acc.accumulate(p);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_KeyedAccumulatorFast);
+
+void BM_KeyedAccumulatorBitLevel(benchmark::State& state) {
+  hw::KeyedAccumulator acc(true, hw::Fidelity::kBitAccurate);
+  std::int16_t p = 12345;
+  for (auto _ : state) {
+    acc.accumulate(p);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_KeyedAccumulatorBitLevel);
+
+void BM_MmuGemmI8(benchmark::State& state) {
+  const bool locked = state.range(0) != 0;
+  Rng rng(5);
+  const std::int64_t m = 32, k = 256, n = 256;
+  std::vector<std::int8_t> a(static_cast<std::size_t>(m * k));
+  std::vector<std::int8_t> w(static_cast<std::size_t>(k * n));
+  for (auto& v : a) {
+    v = static_cast<std::int8_t>(rng.uniform_index(255)) - 127;
+  }
+  for (auto& v : w) {
+    v = static_cast<std::int8_t>(rng.uniform_index(255)) - 127;
+  }
+  std::vector<std::uint8_t> negate;
+  if (locked) {
+    negate.assign(static_cast<std::size_t>(m * n), 0);
+    for (std::size_t i = 0; i < negate.size(); i += 2) {
+      negate[i] = 1;
+    }
+  }
+  std::vector<std::int32_t> out(static_cast<std::size_t>(m * n));
+  hw::Mmu mmu;
+  for (auto _ : state) {
+    mmu.matmul_i8(a, m, k, w, n, negate, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(locked ? "locked" : "unlocked");
+}
+BENCHMARK(BM_MmuGemmI8)->Arg(0)->Arg(1);
+
+void BM_KeyExpansion(benchmark::State& state) {
+  Rng rng(6);
+  const obf::HpnnKey key = obf::HpnnKey::random(rng);
+  const obf::Scheduler sched(42);
+  const obf::LockSpec spec{"act", 3, Shape{64, 28, 28}};
+  for (auto _ : state) {
+    Tensor mask = sched.lock_mask(spec, key);
+    benchmark::DoNotOptimize(mask.data());
+  }
+  state.SetItemsProcessed(state.iterations() * spec.neuron_count());
+}
+BENCHMARK(BM_KeyExpansion);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/config.hpp"
+#include "core/logging.hpp"
+
+namespace hpnn::bench {
+
+Scale read_scale() {
+  Scale s;
+  s.train_per_class = env_int("HPNN_BENCH_TPC", s.train_per_class);
+  s.test_per_class = env_int("HPNN_BENCH_TESTPC", s.test_per_class);
+  s.image_size = env_int("HPNN_BENCH_IMG", s.image_size);
+  s.resnet_image_size =
+      env_int("HPNN_BENCH_RESNET_IMG", s.resnet_image_size);
+  s.owner_epochs = env_int("HPNN_BENCH_EPOCHS", s.owner_epochs);
+  s.resnet_epochs = env_int("HPNN_BENCH_RESNET_EPOCHS", s.resnet_epochs);
+  s.ft_epochs = env_int("HPNN_BENCH_FT_EPOCHS", s.ft_epochs);
+  s.width_mult = env_double("HPNN_BENCH_WIDTH", s.width_mult);
+  s.data_seed = static_cast<std::uint64_t>(
+      env_int("HPNN_BENCH_DATA_SEED", static_cast<std::int64_t>(s.data_seed)));
+  s.key_seed = static_cast<std::uint64_t>(
+      env_int("HPNN_BENCH_KEY_SEED", static_cast<std::int64_t>(s.key_seed)));
+  s.schedule_seed = static_cast<std::uint64_t>(env_int(
+      "HPNN_BENCH_SCHED_SEED", static_cast<std::int64_t>(s.schedule_seed)));
+  s.init_seed = static_cast<std::uint64_t>(
+      env_int("HPNN_BENCH_INIT_SEED", static_cast<std::int64_t>(s.init_seed)));
+  return s;
+}
+
+namespace {
+
+double arch_width(models::Architecture arch) {
+  switch (arch) {
+    case models::Architecture::kCnn1:
+    case models::Architecture::kMlp:
+    case models::Architecture::kLeNet5:
+      return 1.0;
+    case models::Architecture::kCnn2:
+      return 0.25;
+    case models::Architecture::kCnn3:
+      return 0.5;
+    case models::Architecture::kResNet18:
+      return 0.125;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Setting make_setting(data::SyntheticFamily family, models::Architecture arch,
+                     const Scale& scale) {
+  const bool resnet = arch == models::Architecture::kResNet18;
+  Setting s{family, arch, {}, {}, {}};
+
+  data::SyntheticConfig dc;
+  dc.train_per_class = scale.train_per_class;
+  dc.test_per_class = scale.test_per_class;
+  dc.image_size = resnet ? scale.resnet_image_size : scale.image_size;
+  dc.seed = scale.data_seed;
+  s.split = data::make_dataset(family, dc);
+
+  s.model_config.in_channels = s.split.train.channels();
+  s.model_config.image_size = s.split.train.height();
+  s.model_config.num_classes = data::kSyntheticClasses;
+  s.model_config.init_seed = scale.init_seed;
+  s.model_config.width_mult = arch_width(arch) * scale.width_mult;
+
+  s.dataset_label =
+      data::family_name(family) + " (for " + family_stands_for(family) + ")";
+  return s;
+}
+
+obf::OwnerTrainOptions owner_options(models::Architecture arch,
+                                     const Scale& scale) {
+  obf::OwnerTrainOptions opt;
+  opt.sgd = {0.01, 0.9, 5e-4};
+  opt.epochs = arch == models::Architecture::kResNet18 ? scale.resnet_epochs
+                                                       : scale.owner_epochs;
+  opt.batch_size = 32;
+  return opt;
+}
+
+Owner run_owner(const Setting& setting, const Scale& scale) {
+  Owner owner;
+  Rng krng(scale.key_seed);
+  owner.key = obf::HpnnKey::random(krng);
+  owner.scheduler = std::make_unique<obf::Scheduler>(scale.schedule_seed);
+  owner.model = std::make_unique<obf::LockedModel>(
+      setting.arch, setting.model_config, owner.key, *owner.scheduler);
+  owner.report =
+      obf::train_locked_model(*owner.model, setting.split.train,
+                              setting.split.test,
+                              owner_options(setting.arch, scale));
+  std::stringstream zoo;
+  obf::publish_model(zoo, *owner.model);
+  owner.artifact = obf::read_published_model(zoo);
+  return owner;
+}
+
+void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+std::string pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", fraction * 100.0);
+  return buf;
+}
+
+CsvSink::CsvSink(const std::string& name, const std::string& header) {
+  const std::string dir = env_string("HPNN_BENCH_CSV_DIR", "");
+  if (dir.empty()) {
+    return;
+  }
+  path_ = dir + "/" + name + ".csv";
+  std::ofstream os(path_, std::ios::trunc);
+  if (!os) {
+    HPNN_LOG(Warn) << "cannot open " << path_ << "; CSV output disabled";
+    return;
+  }
+  os << "label," << header << '\n';
+  enabled_ = true;
+}
+
+void CsvSink::row(const std::vector<double>& values,
+                  const std::string& label) {
+  if (!enabled_) {
+    return;
+  }
+  std::ofstream os(path_, std::ios::app);
+  os << label;
+  for (const double v : values) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    os << ',' << buf;
+  }
+  os << '\n';
+}
+
+}  // namespace hpnn::bench

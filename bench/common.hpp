@@ -1,0 +1,98 @@
+// Shared harness for the paper-reproduction benches.
+//
+// Every bench is sized to finish on a single CPU core in seconds-to-minutes
+// by default; export the HPNN_BENCH_* variables (see EXPERIMENTS.md) to
+// scale toward the paper's full settings. All benches print paper-reported
+// values next to the measured ones — absolute numbers differ (synthetic
+// data, scaled-down networks), the shape is what must match.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "hpnn/model_io.hpp"
+#include "hpnn/owner.hpp"
+
+namespace hpnn::bench {
+
+/// Experiment sizing, overridable through the environment.
+struct Scale {
+  std::int64_t train_per_class = 150;   // HPNN_BENCH_TPC (paper: 5000-7000)
+  std::int64_t test_per_class = 30;     // HPNN_BENCH_TESTPC
+  std::int64_t image_size = 20;         // HPNN_BENCH_IMG (paper: 28/32)
+  std::int64_t resnet_image_size = 16;  // HPNN_BENCH_RESNET_IMG
+  std::int64_t owner_epochs = 8;        // HPNN_BENCH_EPOCHS
+  std::int64_t resnet_epochs = 4;       // HPNN_BENCH_RESNET_EPOCHS
+  std::int64_t ft_epochs = 80;          // HPNN_BENCH_FT_EPOCHS (thief sets
+                                        // are tiny, so epochs are cheap; the
+                                        // attacker trains to convergence)
+  double width_mult = 1.0;              // HPNN_BENCH_WIDTH (global scaler)
+  std::uint64_t data_seed = 42;         // HPNN_BENCH_DATA_SEED
+  std::uint64_t key_seed = 2020;        // HPNN_BENCH_KEY_SEED
+  std::uint64_t schedule_seed = 0xDAC;  // HPNN_BENCH_SCHED_SEED
+  std::uint64_t init_seed = 7;          // HPNN_BENCH_INIT_SEED
+};
+
+/// Reads the default Scale with environment overrides applied.
+Scale read_scale();
+
+/// One (dataset family, architecture) evaluation setting.
+struct Setting {
+  data::SyntheticFamily family;
+  models::Architecture arch;
+  data::SplitDataset split;
+  models::ModelConfig model_config;
+  std::string dataset_label;  // e.g. "FashionSynth (for Fashion-MNIST)"
+};
+
+/// Builds the dataset + model config for a setting. Architecture widths are
+/// pre-scaled so the default benches fit a single core: CNN2 x0.25,
+/// CNN3 x0.5, ResNet18 x0.125 (times Scale::width_mult).
+Setting make_setting(data::SyntheticFamily family, models::Architecture arch,
+                     const Scale& scale);
+
+/// Owner-side pipeline output: trained locked model + published artifact.
+struct Owner {
+  obf::HpnnKey key;
+  std::unique_ptr<obf::Scheduler> scheduler;
+  std::unique_ptr<obf::LockedModel> model;
+  obf::OwnerTrainReport report;
+  obf::PublishedModel artifact;
+};
+
+/// Key-dependent training + publication for a setting.
+Owner run_owner(const Setting& setting, const Scale& scale);
+
+/// Owner hyperparameters used across benches (also the attacker's defaults,
+/// per Sec. IV-B1 "same hyperparameter configuration").
+obf::OwnerTrainOptions owner_options(models::Architecture arch,
+                                     const Scale& scale);
+
+/// Prints a centered header block for a bench.
+void print_header(const std::string& title, const std::string& paper_ref);
+
+/// "12.3%" style formatting.
+std::string pct(double fraction);
+
+/// Optional machine-readable output: when HPNN_BENCH_CSV_DIR is set, each
+/// bench appends its series to <dir>/<name>.csv for replotting. No-op
+/// otherwise.
+class CsvSink {
+ public:
+  /// `name` is the file stem; `header` the comma-separated column names.
+  CsvSink(const std::string& name, const std::string& header);
+
+  bool enabled() const { return enabled_; }
+
+  /// Appends one row (values are formatted with %.6g).
+  void row(const std::vector<double>& values,
+           const std::string& label = "");
+
+ private:
+  bool enabled_ = false;
+  std::string path_;
+};
+
+}  // namespace hpnn::bench

@@ -1,0 +1,77 @@
+#include "args.hpp"
+
+#include <cstdlib>
+
+#include "core/error.hpp"
+
+namespace hpnn::cli {
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  const auto it = options.find(key);
+  return it == options.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key,
+                           std::int64_t fallback) const {
+  const auto it = options.find(key);
+  if (it == options.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw Error("--" + key + " expects an integer, got '" + it->second + "'");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto it = options.find(key);
+  if (it == options.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw Error("--" + key + " expects a number, got '" + it->second + "'");
+  }
+  return v;
+}
+
+std::string Args::require(const std::string& key) const {
+  const auto it = options.find(key);
+  if (it == options.end()) {
+    throw Error("missing required option --" + key);
+  }
+  return it->second;
+}
+
+Args parse_args(const std::vector<std::string>& tokens) {
+  Args args;
+  std::size_t i = 0;
+  if (!tokens.empty() && tokens[0].rfind("--", 0) != 0) {
+    args.command = tokens[0];
+    i = 1;
+  }
+  for (; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    if (tok.rfind("--", 0) == 0) {
+      const std::string body = tok.substr(2);
+      const auto eq = body.find('=');
+      if (eq != std::string::npos) {
+        args.options[body.substr(0, eq)] = body.substr(eq + 1);
+      } else {
+        if (i + 1 >= tokens.size()) {
+          throw Error("option " + tok + " expects a value");
+        }
+        args.options[body] = tokens[++i];
+      }
+    } else {
+      args.positional.push_back(tok);
+    }
+  }
+  return args;
+}
+
+}  // namespace hpnn::cli

@@ -1,0 +1,32 @@
+// Minimal command-line argument parsing for the hpnn CLI.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hpnn::cli {
+
+/// Parsed command line: `hpnn <command> [--flag value]... [positional]...`.
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
+
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+
+  /// Returns the option value or throws hpnn::Error mentioning the flag.
+  std::string require(const std::string& key) const;
+};
+
+/// Parses tokens after the program name. "--key value" and "--key=value"
+/// are both accepted. Throws hpnn::Error for malformed input (e.g. a
+/// trailing flag without a value).
+Args parse_args(const std::vector<std::string>& tokens);
+
+}  // namespace hpnn::cli

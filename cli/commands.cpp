@@ -1,0 +1,369 @@
+#include "commands.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "args.hpp"
+#include "attack/finetune.hpp"
+#include "core/error.hpp"
+#include "data/synthetic.hpp"
+#include "hpnn/calibration.hpp"
+#include "hpnn/keychain.hpp"
+#include "hpnn/model_io.hpp"
+#include "hpnn/owner.hpp"
+#include "hpnn/zoo_store.hpp"
+#include "hw/device.hpp"
+#include "hw/overhead.hpp"
+#include "nn/summary.hpp"
+#include "nn/trainer.hpp"
+
+namespace hpnn::cli {
+
+namespace {
+
+data::SyntheticFamily family_from_name(const std::string& name) {
+  if (name == "fashion") return data::SyntheticFamily::kFashionSynth;
+  if (name == "cifar") return data::SyntheticFamily::kColorShapes;
+  if (name == "svhn") return data::SyntheticFamily::kDigitSynth;
+  throw Error("unknown dataset '" + name + "' (fashion | cifar | svhn)");
+}
+
+data::SplitDataset load_dataset(const Args& args) {
+  if (args.has("train-file") || args.has("test-file")) {
+    // Pre-exported dataset files (see the `dataset` command).
+    data::SplitDataset split;
+    split.train = data::load_dataset_file(args.require("train-file"));
+    split.test = data::load_dataset_file(args.require("test-file"));
+    return split;
+  }
+  data::SyntheticConfig dc;
+  dc.train_per_class = args.get_int("tpc", 150);
+  dc.test_per_class = args.get_int("testpc", 30);
+  dc.image_size = args.get_int("img", 20);
+  dc.seed = static_cast<std::uint64_t>(args.get_int("data-seed", 42));
+  return data::make_dataset(family_from_name(args.require("dataset")), dc);
+}
+
+/// Resolves the artifact source: --model FILE, or --zoo DIR --name N.
+obf::PublishedModel load_artifact(const Args& args) {
+  if (args.has("zoo")) {
+    obf::ModelZoo zoo(args.require("zoo"));
+    return zoo.fetch(args.require("name"));
+  }
+  return obf::read_published_model_file(args.require("model"));
+}
+
+int cmd_zoo(const Args& args, std::ostream& out) {
+  obf::ModelZoo zoo(args.require("zoo"));
+  const auto entries = zoo.list();
+  if (entries.empty()) {
+    out << "zoo at " << zoo.directory() << " is empty\n";
+    return 0;
+  }
+  for (const auto& entry : entries) {
+    out << entry.name << "\t" << entry.file << "\tsha256:"
+        << entry.digest_hex.substr(0, 16) << "...\n";
+  }
+  return 0;
+}
+
+int cmd_dataset(const Args& args, std::ostream& out) {
+  const auto split = load_dataset(args);
+  const std::string prefix = args.require("out");
+  data::save_dataset_file(prefix + ".train.hpds", split.train);
+  data::save_dataset_file(prefix + ".test.hpds", split.test);
+  out << "wrote " << prefix << ".train.hpds (" << split.train.size()
+      << " samples) and " << prefix << ".test.hpds (" << split.test.size()
+      << " samples)\n";
+  return 0;
+}
+
+obf::SchedulePolicy policy_from_args(const Args& args) {
+  const std::string p = args.get("policy", "interleaved");
+  if (p == "interleaved") return obf::SchedulePolicy::kInterleaved;
+  if (p == "blocked") return obf::SchedulePolicy::kBlocked;
+  throw Error("unknown schedule policy '" + p +
+              "' (interleaved | blocked)");
+}
+
+models::ModelConfig model_config_for(const Args& args,
+                                     const data::Dataset& train) {
+  models::ModelConfig mc;
+  mc.in_channels = train.channels();
+  mc.image_size = train.height();
+  mc.num_classes = train.num_classes;
+  mc.init_seed = static_cast<std::uint64_t>(args.get_int("init-seed", 7));
+  mc.width_mult = args.get_double("width", 1.0);
+  return mc;
+}
+
+int cmd_keygen(const Args& args, std::ostream& out) {
+  Rng rng(static_cast<std::uint64_t>(
+      args.get_int("seed", 0x48504E4E)));
+  const obf::HpnnKey key = obf::HpnnKey::random(rng);
+  out << "key:         " << key.to_hex() << "\n";
+  out << "fingerprint: " << obf::key_fingerprint(key) << "\n";
+  if (args.has("model-id")) {
+    const std::string id = args.require("model-id");
+    const obf::HpnnKey sub = obf::derive_model_key(key, id);
+    out << "model key (" << id << "): " << sub.to_hex() << "\n";
+    out << "schedule seed (" << id
+        << "): " << obf::derive_schedule_seed(key, id) << "\n";
+  }
+  return 0;
+}
+
+int cmd_train(const Args& args, std::ostream& out) {
+  const auto split = load_dataset(args);
+  obf::HpnnKey key = obf::HpnnKey::from_hex(args.require("key"));
+  std::uint64_t schedule_seed =
+      static_cast<std::uint64_t>(args.get_int("schedule-seed", 0xDAC));
+  if (args.has("model-id")) {
+    // Master-key mode: diversify per model id.
+    const std::string id = args.require("model-id");
+    schedule_seed = obf::derive_schedule_seed(key, id);
+    key = obf::derive_model_key(key, id);
+    out << "derived model key for '" << id
+        << "', fingerprint: " << obf::key_fingerprint(key) << "\n";
+  }
+  const models::Architecture arch =
+      models::arch_from_name(args.get("arch", "CNN1"));
+
+  obf::Scheduler scheduler(schedule_seed, policy_from_args(args));
+  obf::LockedModel model(arch, model_config_for(args, split.train), key,
+                         scheduler);
+  out << "training " << models::arch_name(arch) << " ("
+      << model.locked_neuron_count() << " locked neurons) on "
+      << split.train.name << "...\n";
+
+  obf::OwnerTrainOptions opt;
+  opt.epochs = args.get_int("epochs", 8);
+  opt.sgd.lr = args.get_double("lr", 0.01);
+  opt.sgd.momentum = args.get_double("momentum", 0.9);
+  opt.sgd.weight_decay = args.get_double("weight-decay", 5e-4);
+  opt.batch_size = args.get_int("batch", 32);
+  const auto report =
+      obf::train_locked_model(model, split.train, split.test, opt);
+
+  out << "train accuracy (with key): " << report.train_accuracy * 100
+      << "%\n";
+  out << "test accuracy  (with key): " << report.test_accuracy * 100
+      << "%\n";
+  const double nokey =
+      obf::evaluate_without_key(model, key, scheduler, split.test);
+  out << "test accuracy  (no key)  : " << nokey * 100 << "%\n";
+
+  if (args.has("zoo")) {
+    // Publish straight into a zoo store instead of a bare file.
+    obf::ModelZoo zoo(args.require("zoo"));
+    zoo.publish(args.require("name"), model);
+    out << "published '" << args.require("name") << "' to zoo "
+        << zoo.directory() << "\n";
+    return 0;
+  }
+  const std::string path = args.require("out");
+  if (args.has("static-quant")) {
+    // Calibrate static int8 activation scales on (a slice of) the training
+    // set and embed them in the artifact.
+    const std::int64_t n =
+        std::min<std::int64_t>(split.train.size(), 64);
+    const std::int64_t sample =
+        split.train.images.numel() / split.train.size();
+    std::vector<std::int64_t> dims = split.train.images.shape().dims();
+    dims[0] = n;
+    const Tensor calib(Shape{dims},
+                       std::vector<float>(split.train.images.data(),
+                                          split.train.images.data() +
+                                              n * sample));
+    const auto scales = obf::calibrate_activation_scales(model, calib);
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+      throw Error("cannot open " + path + " for writing");
+    }
+    obf::publish_model(os, model, scales);
+    out << "calibrated " << scales.size() << " static activation scales\n";
+  } else {
+    obf::publish_model_file(path, model);
+  }
+  out << "published artifact: " << path << "\n";
+  return 0;
+}
+
+int cmd_eval(const Args& args, std::ostream& out) {
+  const auto artifact =
+      load_artifact(args);
+  const auto split = load_dataset(args);
+  if (args.has("key")) {
+    const obf::HpnnKey key = obf::HpnnKey::from_hex(args.require("key"));
+    const std::uint64_t schedule_seed =
+        static_cast<std::uint64_t>(args.get_int("schedule-seed", 0xDAC));
+    if (args.has("device")) {
+      // Run on the trusted-device integer datapath.
+      hw::DeviceConfig dev_cfg;
+      dev_cfg.schedule_policy = policy_from_args(args);
+      hw::TrustedDevice device(key, schedule_seed, dev_cfg);
+      device.load_model(artifact);
+      std::int64_t correct = 0;
+      const std::int64_t n = split.test.size();
+      const std::int64_t sample = split.test.images.numel() / n;
+      for (std::int64_t at = 0; at < n; at += 64) {
+        const std::int64_t count = std::min<std::int64_t>(64, n - at);
+        std::vector<std::int64_t> dims = split.test.images.shape().dims();
+        dims[0] = count;
+        Tensor batch(Shape{dims},
+                     std::vector<float>(
+                         split.test.images.data() + at * sample,
+                         split.test.images.data() + (at + count) * sample));
+        const auto pred = device.classify(batch);
+        for (std::int64_t i = 0; i < count; ++i) {
+          correct += (pred[static_cast<std::size_t>(i)] ==
+                      split.test.labels[static_cast<std::size_t>(at + i)]);
+        }
+      }
+      out << "trusted-device accuracy: "
+          << 100.0 * static_cast<double>(correct) / static_cast<double>(n)
+          << "%\n";
+      const auto& stats = device.mmu_stats();
+      out << "mmu: " << stats.mac_ops << " MACs, " << stats.cycles
+          << " cycles, " << stats.locked_outputs << " keyed outputs\n";
+    } else {
+      obf::Scheduler scheduler(schedule_seed, policy_from_args(args));
+      auto model = obf::instantiate_locked(artifact, key, scheduler);
+      out << "accuracy (with key): "
+          << nn::evaluate_accuracy(model->network(), split.test.images,
+                                   split.test.labels) *
+                 100
+          << "%\n";
+    }
+  } else {
+    auto baseline = obf::instantiate_baseline(artifact);
+    out << "accuracy (no key, attacker view): "
+        << nn::evaluate_accuracy(*baseline, split.test.images,
+                                 split.test.labels) *
+               100
+        << "%\n";
+  }
+  return 0;
+}
+
+int cmd_attack(const Args& args, std::ostream& out) {
+  const auto artifact =
+      load_artifact(args);
+  const auto split = load_dataset(args);
+  const double alpha = args.get_double("alpha", 0.10);
+  Rng thief_rng(static_cast<std::uint64_t>(args.get_int("thief-seed", 2)));
+  const data::Dataset thief =
+      data::thief_subset(split.train, alpha, thief_rng);
+
+  attack::FineTuneOptions opt;
+  opt.epochs = args.get_int("epochs", 80);
+  opt.sgd.lr = args.get_double("lr", 0.01);
+  opt.sgd.momentum = args.get_double("momentum", 0.9);
+  opt.sgd.weight_decay = args.get_double("weight-decay", 5e-4);
+  const std::string init = args.get("init", "stolen");
+  const attack::InitStrategy strategy =
+      init == "random" ? attack::InitStrategy::kRandomSmall
+                       : attack::InitStrategy::kStolenWeights;
+
+  out << "fine-tuning attack (" << attack::init_strategy_name(strategy)
+      << ") with " << thief.size() << " thief samples (alpha = "
+      << alpha * 100 << "%)...\n";
+  const auto report =
+      attack::finetune_attack(artifact, thief, split.test, strategy, opt);
+  out << "attack accuracy: final " << report.final_accuracy * 100
+      << "%, best " << report.best_accuracy * 100 << "%\n";
+  return 0;
+}
+
+int cmd_inspect(const Args& args, std::ostream& out) {
+  const auto artifact =
+      load_artifact(args);
+  out << "architecture: " << models::arch_name(artifact.arch) << "\n";
+  out << "input:        " << artifact.in_channels << "x"
+      << artifact.image_size << "x" << artifact.image_size << "\n";
+  out << "classes:      " << artifact.num_classes << "\n";
+  out << "width mult:   " << artifact.width_mult << "\n";
+  std::int64_t total = 0;
+  for (const auto& p : artifact.parameters) {
+    total += p.value.numel();
+  }
+  out << "parameters:   " << total << " in " << artifact.parameters.size()
+      << " tensors\n";
+  out << "buffers:      " << artifact.buffers.size() << "\n";
+  if (!artifact.activation_scales.empty()) {
+    out << "static quant:  " << artifact.activation_scales.size()
+        << " calibrated activation scales\n";
+  }
+  if (args.has("tensors")) {
+    for (const auto& p : artifact.parameters) {
+      out << "  " << p.name << " " << p.value.shape().to_string() << "\n";
+    }
+  }
+  if (args.has("summary")) {
+    auto net = obf::instantiate_baseline(artifact);
+    out << nn::summary_table(*net);
+  }
+  return 0;
+}
+
+int cmd_overhead(const Args& args, std::ostream& out) {
+  const std::int64_t dim = args.get_int("dim", 256);
+  const auto report = hw::mmu_overhead(dim);
+  out << report.to_string() << "\n";
+  out << "overhead vs 1e6-gate reference MMU: "
+      << report.overhead_vs_reference(1000000) * 100 << "%\n";
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+  return
+      "hpnn — Hardware Protected Neural Network toolkit (DAC 2020 repro)\n"
+      "\n"
+      "commands:\n"
+      "  keygen   [--seed N] [--model-id ID]          generate an HPNN key\n"
+      "  dataset  --dataset D --out PREFIX            export .hpds files\n"
+      "  zoo      --zoo DIR                           list a model-zoo store\n"
+      "  train    --arch A --dataset D --key HEX --out FILE\n"
+      "           [--model-id ID --schedule-seed N --policy P --epochs E\n"
+      "            --lr LR --img S --tpc N --width W --static-quant 1]\n"
+      "                                               key-dependent training\n"
+      "  eval     --model FILE --dataset D [--key HEX [--device 1]]\n"
+      "                                               evaluate an artifact\n"
+      "  attack   --model FILE --dataset D [--alpha F --init stolen|random]\n"
+      "                                               fine-tuning attack\n"
+      "  inspect  --model FILE [--tensors 1]          describe an artifact\n"
+      "  overhead [--dim N]                           locking hardware cost\n"
+      "\n"
+      "datasets: fashion | cifar | svhn (synthetic stand-ins), or\n"
+      "          --train-file F --test-file F (exported .hpds files)\n"
+      "artifacts: --model FILE, or --zoo DIR --name N (train publishes to\n"
+      "           the zoo when --zoo is given)\n"
+      "architectures: CNN1 CNN2 CNN3 ResNet18 MLP LeNet5\n";
+}
+
+int run_command(const std::vector<std::string>& tokens, std::ostream& out) {
+  try {
+    const Args args = parse_args(tokens);
+    if (args.command.empty() || args.command == "help") {
+      out << usage();
+      return args.command.empty() ? 1 : 0;
+    }
+    if (args.command == "keygen") return cmd_keygen(args, out);
+    if (args.command == "dataset") return cmd_dataset(args, out);
+    if (args.command == "zoo") return cmd_zoo(args, out);
+    if (args.command == "train") return cmd_train(args, out);
+    if (args.command == "eval") return cmd_eval(args, out);
+    if (args.command == "attack") return cmd_attack(args, out);
+    if (args.command == "inspect") return cmd_inspect(args, out);
+    if (args.command == "overhead") return cmd_overhead(args, out);
+    out << "unknown command '" << args.command << "'\n\n" << usage();
+    return 1;
+  } catch (const Error& e) {
+    out << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace hpnn::cli

@@ -1,0 +1,33 @@
+// The hpnn CLI command implementations, separated from main() so the test
+// suite can drive them directly.
+//
+//   hpnn keygen   [--seed N]
+//   hpnn train    --arch CNN1 --dataset fashion --key HEX --out FILE
+//                 [--schedule-seed N --epochs E --lr LR --img S --tpc N
+//                  --width W --model-id ID]
+//   hpnn eval     --model FILE --dataset fashion
+//                 [--key HEX --schedule-seed N]      (omit key = attacker)
+//   hpnn attack   --model FILE --dataset fashion [--alpha 0.1]
+//                 [--init stolen|random --epochs E --lr LR]
+//   hpnn inspect  --model FILE
+//   hpnn overhead [--dim 256]
+//
+// Dataset names: fashion | cifar | svhn (the synthetic stand-ins).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hpnn::cli {
+
+/// Dispatches one CLI invocation. `tokens` excludes the program name.
+/// Writes human-readable output to `out`; returns a process exit code.
+/// User errors (bad flags, unknown commands, bad files) print a message and
+/// return 1 instead of throwing.
+int run_command(const std::vector<std::string>& tokens, std::ostream& out);
+
+/// The usage text printed by `hpnn help` and on errors.
+std::string usage();
+
+}  // namespace hpnn::cli

@@ -1,0 +1,15 @@
+// hpnn — command-line front end. See commands.hpp for the command set.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> tokens;
+  tokens.reserve(static_cast<std::size_t>(argc > 1 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) {
+    tokens.emplace_back(argv[i]);
+  }
+  return hpnn::cli::run_command(tokens, std::cout);
+}

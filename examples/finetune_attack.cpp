@@ -1,0 +1,70 @@
+// Playing the attacker (Sec. IV-B): you stole the obfuscated weights and a
+// slice of the training data — how far does fine-tuning get you?
+//
+//   build/examples/finetune_attack
+#include <cstdio>
+#include <sstream>
+
+#include "attack/finetune.hpp"
+#include "data/synthetic.hpp"
+#include "hpnn/owner.hpp"
+
+using namespace hpnn;
+
+int main() {
+  std::printf("HPNN fine-tuning attack demo (CNN1, FashionSynth)\n\n");
+
+  data::SyntheticConfig dc;
+  dc.train_per_class = 150;
+  dc.test_per_class = 30;
+  dc.image_size = 20;
+  const auto split =
+      data::make_dataset(data::SyntheticFamily::kFashionSynth, dc);
+
+  // Owner trains and publishes.
+  Rng key_rng(31337);
+  const obf::HpnnKey key = obf::HpnnKey::random(key_rng);
+  obf::Scheduler scheduler(0xFACE);
+  models::ModelConfig mc;
+  mc.in_channels = 1;
+  mc.image_size = 20;
+  mc.init_seed = 5;
+  obf::LockedModel model(models::Architecture::kCnn1, mc, key, scheduler);
+  obf::OwnerTrainOptions opt;
+  opt.epochs = 8;
+  opt.sgd = {0.01, 0.9, 5e-4};
+  const auto report =
+      obf::train_locked_model(model, split.train, split.test, opt);
+  std::stringstream zoo;
+  obf::publish_model(zoo, model);
+  const obf::PublishedModel artifact = obf::read_published_model(zoo);
+  std::printf("owner accuracy (with key): %.2f%%\n", report.test_accuracy * 100);
+  std::printf("stolen model, no key     : %.2f%%\n\n",
+              obf::evaluate_without_key(model, key, scheduler, split.test) *
+                  100);
+
+  // Attacker: thief dataset sweep, both initializations.
+  attack::FineTuneOptions fopt;
+  fopt.epochs = 15;
+  fopt.sgd = opt.sgd;  // attacker reuses the owner's hyperparameters
+  std::printf("%-8s | %-16s | %-16s\n", "alpha", "HPNN fine-tune",
+              "random fine-tune");
+  for (const double alpha : {0.01, 0.05, 0.10}) {
+    Rng thief_rng(2);
+    const data::Dataset thief =
+        data::thief_subset(split.train, alpha, thief_rng);
+    const auto hpnn_ft =
+        attack::finetune_attack(artifact, thief, split.test,
+                                attack::InitStrategy::kStolenWeights, fopt);
+    const auto rand_ft =
+        attack::finetune_attack(artifact, thief, split.test,
+                                attack::InitStrategy::kRandomSmall, fopt);
+    std::printf("%-8.0f%% | %15.2f%% | %15.2f%%\n", alpha * 100,
+                hpnn_ft.final_accuracy * 100, rand_ft.final_accuracy * 100);
+  }
+  std::printf(
+      "\nTakeaways: fine-tuning stays below the owner's accuracy, and the "
+      "stolen weights give no edge over random init — the obfuscated model "
+      "leaks nothing useful.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "attack/distillation.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace hpnn::attack {
+
+DistillationReport distill_student(const obf::PublishedModel& artifact,
+                                   const TeacherOracle& teacher,
+                                   const data::Dataset& transfer,
+                                   const data::Dataset& test,
+                                   const DistillationOptions& options) {
+  HPNN_CHECK(teacher != nullptr, "distillation needs a teacher oracle");
+  transfer.validate();
+  test.validate();
+  HPNN_CHECK(transfer.size() > 0, "distillation needs transfer inputs");
+
+  // Fresh student on the known baseline topology.
+  auto cfg = artifact.model_config(options.seed ^ 0x57F0ULL);
+  cfg.activation = models::plain_relu_factory();
+  auto student = models::build(artifact.arch, cfg);
+
+  // Label the transfer set once: soft targets at temperature T.
+  const Tensor teacher_logits = teacher(transfer.images);
+  HPNN_CHECK(teacher_logits.rank() == 2 &&
+                 teacher_logits.dim(0) == transfer.size(),
+             "teacher oracle returned wrong shape");
+  const Tensor soft_targets = ops::softmax_rows(
+      teacher_logits * static_cast<float>(1.0 / options.temperature));
+
+  DistillationReport report;
+  report.transfer_size = transfer.size();
+  report.oracle_queries = 1;
+
+  nn::SoftTargetCrossEntropy loss;
+  nn::Sgd opt(nn::parameters_of(*student), options.sgd);
+  Rng shuffle_rng(options.seed);
+  const std::size_t n = static_cast<std::size_t>(transfer.size());
+  const std::int64_t classes = teacher_logits.dim(1);
+  const std::int64_t sample = transfer.images.numel() / transfer.size();
+
+  student->set_training(true);
+  for (std::int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    const auto order = shuffle_rng.permutation(n);
+    for (std::size_t at = 0; at < n; at += options.batch_size) {
+      const std::size_t count =
+          std::min<std::size_t>(options.batch_size, n - at);
+      // Gather inputs and their soft targets by the same permutation.
+      std::vector<std::int64_t> dims = transfer.images.shape().dims();
+      dims[0] = static_cast<std::int64_t>(count);
+      Tensor batch{Shape(dims)};
+      Tensor targets(Shape{static_cast<std::int64_t>(count), classes});
+      for (std::size_t i = 0; i < count; ++i) {
+        const auto src = static_cast<std::int64_t>(order[at + i]);
+        std::copy(transfer.images.data() + src * sample,
+                  transfer.images.data() + (src + 1) * sample,
+                  batch.data() + static_cast<std::int64_t>(i) * sample);
+        std::copy(soft_targets.data() + src * classes,
+                  soft_targets.data() + (src + 1) * classes,
+                  targets.data() + static_cast<std::int64_t>(i) * classes);
+      }
+      nn::zero_grads(*student);
+      const Tensor scores = student->forward(batch);
+      (void)loss.forward(scores, targets, options.temperature);
+      student->backward(loss.backward());
+      opt.step();
+    }
+  }
+
+  report.student_accuracy =
+      nn::evaluate_accuracy(*student, test.images, test.labels);
+  // The oracle's own quality, for reference.
+  const Tensor test_logits = teacher(test.images);
+  report.teacher_accuracy = nn::accuracy(test_logits, test.labels);
+  return report;
+}
+
+}  // namespace hpnn::attack

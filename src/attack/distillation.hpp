@@ -1,0 +1,49 @@
+// Model extraction by knowledge distillation: the collusion bound.
+//
+// HPNN (like every DRM scheme) bounds *unauthorized* use. An authorized
+// user — someone with a working trusted device — can always label a
+// transfer set with the protected model's soft predictions and train an
+// unlocked student from them. This module implements that extraction so its
+// cost/quality can be measured, and so the contrast is explicit: the same
+// distillation driven by a *locked* (no-key) teacher produces a useless
+// student.
+#pragma once
+
+#include <functional>
+
+#include "nn/optim.hpp"
+
+#include "data/dataset.hpp"
+#include "hpnn/model_io.hpp"
+
+namespace hpnn::attack {
+
+/// Soft-label oracle: returns [N, C] logits for a batch of inputs. Wraps
+/// whatever the colluder has — the float locked model, a TrustedDevice, or
+/// (for the control) the stolen weights run without a key.
+using TeacherOracle = std::function<Tensor(const Tensor&)>;
+
+struct DistillationOptions {
+  double temperature = 4.0;
+  std::int64_t epochs = 30;
+  std::int64_t batch_size = 32;
+  nn::Sgd::Options sgd{0.01, 0.9, 5e-4};
+  std::uint64_t seed = 5;
+};
+
+struct DistillationReport {
+  double student_accuracy = 0.0;  // on the held-out test set
+  double teacher_accuracy = 0.0;  // oracle's own accuracy on the test set
+  std::int64_t transfer_size = 0;
+  std::int64_t oracle_queries = 0;  // batches sent to the oracle
+};
+
+/// Trains a fresh baseline-architecture student to mimic `teacher` on the
+/// (label-free) `transfer` inputs; evaluates both on `test`.
+DistillationReport distill_student(const obf::PublishedModel& artifact,
+                                   const TeacherOracle& teacher,
+                                   const data::Dataset& transfer,
+                                   const data::Dataset& test,
+                                   const DistillationOptions& options);
+
+}  // namespace hpnn::attack

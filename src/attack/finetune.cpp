@@ -1,0 +1,110 @@
+#include "attack/finetune.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/logging.hpp"
+#include "nn/trainer.hpp"
+
+namespace hpnn::attack {
+
+const char* init_strategy_name(InitStrategy s) {
+  switch (s) {
+    case InitStrategy::kStolenWeights:
+      return "HPNN fine-tuning";
+    case InitStrategy::kRandomSmall:
+      return "random fine-tuning";
+  }
+  return "unknown";
+}
+
+FineTuneReport finetune_attack(const obf::PublishedModel& artifact,
+                               const data::Dataset& thief,
+                               const data::Dataset& test, InitStrategy init,
+                               const FineTuneOptions& options) {
+  test.validate();
+  if (thief.size() > 0) {
+    thief.validate();
+  }
+
+  // The attacker instantiates the known baseline architecture ...
+  std::unique_ptr<nn::Sequential> net;
+  if (init == InitStrategy::kStolenWeights) {
+    // ... and loads the stolen (obfuscated) weights into it.
+    net = obf::instantiate_baseline(artifact);
+  } else {
+    // ... and initializes it with fresh random small weights.
+    auto cfg = artifact.model_config(/*init_seed=*/options.seed ^ 0x5eedULL);
+    cfg.activation = models::plain_relu_factory();
+    net = models::build(artifact.arch, cfg);
+  }
+
+  FineTuneReport report;
+  report.thief_size = thief.size();
+
+  nn::SoftmaxCrossEntropy loss;
+  std::unique_ptr<nn::Optimizer> opt;
+  if (options.optimizer == AttackOptimizer::kAdam) {
+    nn::Adam::Options adam = options.adam;
+    adam.lr = options.sgd.lr;
+    opt = std::make_unique<nn::Adam>(nn::parameters_of(*net), adam);
+  } else {
+    opt = std::make_unique<nn::Sgd>(nn::parameters_of(*net), options.sgd);
+  }
+  nn::StepLr schedule(*opt, options.lr_step, options.lr_gamma);
+
+  if (thief.size() == 0) {
+    // No thief data: the attacker can only run the initialization as-is.
+    report.final_accuracy =
+        nn::evaluate_accuracy(*net, test.images, test.labels);
+    report.best_accuracy = report.final_accuracy;
+    return report;
+  }
+
+  for (std::int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    nn::TrainConfig cfg;
+    cfg.epochs = 1;
+    cfg.batch_size = options.batch_size;
+    cfg.shuffle_seed = options.seed + static_cast<std::uint64_t>(epoch);
+    const auto result =
+        nn::fit(*net, loss, *opt, thief.images, thief.labels, cfg);
+    report.epoch_loss.push_back(result.final_loss);
+    schedule.epoch_end();
+    if (options.track_epoch_accuracy || epoch == options.epochs - 1) {
+      const double acc =
+          nn::evaluate_accuracy(*net, test.images, test.labels);
+      if (options.track_epoch_accuracy) {
+        report.epoch_accuracy.push_back(acc);
+      }
+      report.best_accuracy = std::max(report.best_accuracy, acc);
+      if (epoch == options.epochs - 1) {
+        report.final_accuracy = acc;
+      }
+    }
+  }
+  HPNN_LOG(Debug) << init_strategy_name(init) << " on " << thief.size()
+                  << " thief samples: final acc " << report.final_accuracy;
+  return report;
+}
+
+std::vector<LrSweepPoint> lr_sweep(const obf::PublishedModel& artifact,
+                                   const data::Dataset& thief,
+                                   const data::Dataset& test,
+                                   const std::vector<double>& lrs,
+                                   const FineTuneOptions& base_options) {
+  std::vector<LrSweepPoint> out;
+  out.reserve(lrs.size());
+  for (const double lr : lrs) {
+    FineTuneOptions opts = base_options;
+    opts.sgd.lr = lr;
+    opts.track_epoch_accuracy = true;
+    LrSweepPoint point;
+    point.lr = lr;
+    point.report = finetune_attack(artifact, thief, test,
+                                   InitStrategy::kStolenWeights, opts);
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+}  // namespace hpnn::attack

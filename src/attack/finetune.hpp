@@ -1,0 +1,79 @@
+// Model fine-tuning attack (Sec. IV-B/IV-C of the paper).
+//
+// The attacker holds the published (obfuscated) model artifact, knows the
+// baseline DNN architecture (white-box setting), owns a small *thief*
+// dataset (fraction alpha of the original training data), but has neither
+// the HPNN key nor the trusted hardware. The attack retrains the baseline
+// network on the thief data, starting either from the stolen weights
+// ("HPNN fine-tuning") or from fresh random small weights ("random
+// fine-tuning"); the two initializations performing alike is the paper's
+// evidence that the obfuscated weights leak no useful information.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "hpnn/model_io.hpp"
+#include "nn/optim.hpp"
+
+namespace hpnn::attack {
+
+/// Weight initialization for the attacker's baseline network.
+enum class InitStrategy {
+  kStolenWeights,  // "HPNN fine-tuning": start from the obfuscated weights
+  kRandomSmall,    // "random fine-tuning": fresh random small weights
+};
+
+const char* init_strategy_name(InitStrategy s);
+
+/// Optimizer the attacker uses for retraining. The paper's attacker uses
+/// the owner's SGD hyperparameters; Adam models a better-resourced attacker
+/// doing independent hyperparameter search.
+enum class AttackOptimizer { kSgd, kAdam };
+
+struct FineTuneOptions {
+  nn::Sgd::Options sgd{0.01, 0.9, 5e-4};
+  AttackOptimizer optimizer = AttackOptimizer::kSgd;
+  /// Adam settings (lr is taken from sgd.lr for comparability).
+  nn::Adam::Options adam{};
+  std::int64_t epochs = 10;
+  std::int64_t batch_size = 32;
+  std::uint64_t seed = 77;
+  /// Learning-rate decay: lr *= lr_gamma every lr_step epochs (0 = off).
+  std::int64_t lr_step = 0;
+  double lr_gamma = 1.0;
+  /// Evaluate test accuracy after every epoch (needed for the Fig. 6
+  /// accuracy-vs-epoch curves; costs one test pass per epoch).
+  bool track_epoch_accuracy = false;
+};
+
+struct FineTuneReport {
+  double final_accuracy = 0.0;          // test accuracy after the last epoch
+  double best_accuracy = 0.0;           // best test accuracy seen
+  std::vector<double> epoch_accuracy;   // per-epoch (if tracked)
+  std::vector<double> epoch_loss;
+  std::int64_t thief_size = 0;
+};
+
+/// Runs the fine-tuning attack and evaluates it against `test`.
+/// An empty thief set (alpha = 0) skips training: the report then measures
+/// what the initialization alone achieves (the paper's Fig. 7 alpha=0%
+/// points).
+FineTuneReport finetune_attack(const obf::PublishedModel& artifact,
+                               const data::Dataset& thief,
+                               const data::Dataset& test, InitStrategy init,
+                               const FineTuneOptions& options);
+
+/// Hyper-parameter exploration (Fig. 6): one fine-tuning run per learning
+/// rate, tracking accuracy per epoch.
+struct LrSweepPoint {
+  double lr = 0.0;
+  FineTuneReport report;
+};
+std::vector<LrSweepPoint> lr_sweep(const obf::PublishedModel& artifact,
+                                   const data::Dataset& thief,
+                                   const data::Dataset& test,
+                                   const std::vector<double>& lrs,
+                                   const FineTuneOptions& base_options);
+
+}  // namespace hpnn::attack

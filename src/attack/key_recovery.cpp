@@ -1,0 +1,112 @@
+#include "attack/key_recovery.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/logging.hpp"
+#include "nn/trainer.hpp"
+
+namespace hpnn::attack {
+
+namespace {
+
+/// Oracle bundle: a fixed prefix of the attacker's data, evaluated either
+/// as accuracy (higher = better) or negative mean cross-entropy loss
+/// (higher = better), so greedy maximization reads the same either way.
+struct Oracle {
+  Tensor images;
+  std::vector<std::int64_t> labels;
+  OracleMetric metric;
+
+  double score(obf::LockedModel& model) const {
+    model.network().set_training(false);
+    if (metric == OracleMetric::kAccuracy) {
+      return nn::evaluate_accuracy(model.network(), images, labels);
+    }
+    nn::SoftmaxCrossEntropy loss;
+    const Tensor scores = model.network().forward(images);
+    return -static_cast<double>(loss.forward(scores, labels));
+  }
+};
+
+Oracle make_oracle(const data::Dataset& d, std::int64_t limit,
+                   OracleMetric metric) {
+  const std::int64_t n = std::min<std::int64_t>(d.size(), limit);
+  HPNN_CHECK(n > 0, "key-recovery oracle has no samples");
+  const std::int64_t sample = d.images.numel() / d.size();
+  std::vector<std::int64_t> dims = d.images.shape().dims();
+  dims[0] = n;
+  return Oracle{Tensor(Shape{dims},
+                       std::vector<float>(d.images.data(),
+                                          d.images.data() + n * sample)),
+                std::vector<std::int64_t>(d.labels.begin(),
+                                          d.labels.begin() + n),
+                metric};
+}
+
+}  // namespace
+
+KeyRecoveryReport recover_key(const obf::PublishedModel& artifact,
+                              const data::Dataset& oracle,
+                              const data::Dataset& test,
+                              const obf::HpnnKey& true_key,
+                              std::uint64_t true_schedule_seed,
+                              ScheduleKnowledge knowledge,
+                              const KeyRecoveryOptions& options) {
+  oracle.validate();
+  test.validate();
+
+  // The attacker's working scheduler: the real one if the schedule leaked,
+  // otherwise their (almost surely wrong) guess.
+  const std::uint64_t seed =
+      knowledge == ScheduleKnowledge::kKnownSchedule
+          ? true_schedule_seed
+          : options.guessed_schedule_seed;
+  obf::Scheduler scheduler(seed);
+
+  // Start from the all-zero key (the baseline-architecture guess).
+  obf::HpnnKey guess;
+  auto model = obf::instantiate_locked(artifact, guess, scheduler);
+  const Oracle oracle_set =
+      make_oracle(oracle, options.oracle_samples, options.metric);
+
+  KeyRecoveryReport report;
+  report.start_accuracy =
+      nn::evaluate_accuracy(model->network(), oracle_set.images,
+                            oracle_set.labels);
+  double current = oracle_set.score(*model);
+  report.oracle_queries = 1;
+
+  for (std::int64_t sweep = 0; sweep < options.sweeps; ++sweep) {
+    bool improved_any = false;
+    for (std::size_t bit = 0; bit < obf::HpnnKey::kBits; ++bit) {
+      guess.flip_bit(bit);
+      model->apply_key(guess, scheduler);
+      const double flipped = oracle_set.score(*model);
+      ++report.oracle_queries;
+      if (flipped > current) {
+        current = flipped;  // keep the flip
+        improved_any = true;
+      } else {
+        guess.flip_bit(bit);  // revert
+      }
+    }
+    HPNN_LOG(Debug) << "key-recovery sweep " << sweep << ": oracle score "
+                    << current;
+    if (!improved_any) {
+      break;  // greedy descent has converged
+    }
+  }
+
+  model->apply_key(guess, scheduler);
+  report.recovered_key = guess;
+  report.final_accuracy = nn::evaluate_accuracy(
+      model->network(), oracle_set.images, oracle_set.labels);
+  report.test_accuracy =
+      nn::evaluate_accuracy(model->network(), test.images, test.labels);
+  report.bits_matching =
+      obf::HpnnKey::kBits - guess.hamming_distance(true_key);
+  return report;
+}
+
+}  // namespace hpnn::attack

@@ -1,0 +1,38 @@
+#include "core/config.hpp"
+
+#include <cstdlib>
+
+namespace hpnn {
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* env = std::getenv(name.c_str());
+  if (env == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  if (end == env || (end != nullptr && *end != '\0')) {
+    return fallback;
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+double env_double(const std::string& name, double fallback) {
+  const char* env = std::getenv(name.c_str());
+  if (env == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env || (end != nullptr && *end != '\0')) {
+    return fallback;
+  }
+  return v;
+}
+
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* env = std::getenv(name.c_str());
+  return env == nullptr ? fallback : std::string(env);
+}
+
+}  // namespace hpnn

@@ -1,0 +1,22 @@
+// Environment-variable backed configuration knobs.
+//
+// Every bench/example is sized to finish quickly on a single CPU core by
+// default; users can scale experiments towards the paper's full settings by
+// exporting HPNN_* variables (documented in EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hpnn {
+
+/// Returns the environment value for `name`, or `fallback` if unset/invalid.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Returns the environment value for `name`, or `fallback` if unset/invalid.
+double env_double(const std::string& name, double fallback);
+
+/// Returns the environment value for `name`, or `fallback` if unset.
+std::string env_string(const std::string& name, const std::string& fallback);
+
+}  // namespace hpnn

@@ -1,0 +1,17 @@
+#include "core/error.hpp"
+
+#include <sstream>
+
+namespace hpnn::detail {
+
+void throw_check_failure(const char* cond, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << "HPNN_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw InvariantError(os.str());
+}
+
+}  // namespace hpnn::detail

@@ -1,0 +1,57 @@
+// Error handling primitives for the HPNN library.
+//
+// All recoverable failures are reported through exceptions derived from
+// hpnn::Error. Invariant violations (programming errors) use HPNN_CHECK,
+// which throws InvariantError with file/line context.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hpnn {
+
+/// Base class of all exceptions thrown by the HPNN library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Shape or dimensionality mismatch between tensors / layers.
+class ShapeError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Malformed, truncated or incompatible serialized artifact.
+class SerializationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Key / schedule mismatch or secure-memory access violation.
+class KeyError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Internal invariant violated (a bug in the caller or the library).
+class InvariantError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* cond, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace hpnn
+
+/// Checks a condition and throws hpnn::InvariantError with context on failure.
+/// Usage: HPNN_CHECK(a.size() == b.size(), "size mismatch: " + ...);
+#define HPNN_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::hpnn::detail::throw_check_failure(#cond, __FILE__, __LINE__, msg); \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,64 @@
+#include "core/logging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace hpnn {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("HPNN_LOG_LEVEL");
+  if (env == nullptr) {
+    return LogLevel::kInfo;
+  }
+  const std::string v(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& global_level() {
+  static std::atomic<LogLevel> level{level_from_env()};
+  return level;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?????";
+  }
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  global_level().store(level);
+}
+
+LogLevel log_level() {
+  return global_level().load();
+}
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+  os << "[hpnn " << level_tag(level) << "] " << msg << '\n';
+}
+
+}  // namespace detail
+
+}  // namespace hpnn

@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// Bench harnesses and the trainer use this for progress reporting; verbosity
+// is controlled globally (default: Info) or via the HPNN_LOG_LEVEL
+// environment variable ("debug", "info", "warn", "error", "off").
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hpnn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global log threshold.
+void set_log_level(LogLevel level);
+
+/// Current global log threshold (initialized from HPNN_LOG_LEVEL if set).
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+/// Streams a single log line at the given level.
+/// Usage: HPNN_LOG(Info) << "epoch " << e << " loss " << loss;
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() {
+    if (level_ >= log_level()) {
+      detail::log_line(level_, os_.str());
+    }
+  }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace hpnn
+
+#define HPNN_LOG(severity) ::hpnn::LogStream(::hpnn::LogLevel::k##severity)

@@ -1,0 +1,152 @@
+#include "core/serialize.hpp"
+
+#include <bit>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "core/error.hpp"
+
+static_assert(std::endian::native == std::endian::little,
+              "HPNN serialization assumes a little-endian host");
+
+namespace hpnn {
+
+void BinaryWriter::write_raw(const void* data, std::size_t n) {
+  os_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  if (!os_) {
+    throw SerializationError("write failed (stream error)");
+  }
+}
+
+void BinaryWriter::write_u8(std::uint8_t v) {
+  write_raw(&v, sizeof v);
+}
+void BinaryWriter::write_u32(std::uint32_t v) {
+  write_raw(&v, sizeof v);
+}
+void BinaryWriter::write_u64(std::uint64_t v) {
+  write_raw(&v, sizeof v);
+}
+void BinaryWriter::write_i64(std::int64_t v) {
+  write_raw(&v, sizeof v);
+}
+void BinaryWriter::write_f32(float v) {
+  write_raw(&v, sizeof v);
+}
+void BinaryWriter::write_f64(double v) {
+  write_raw(&v, sizeof v);
+}
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  if (!s.empty()) {
+    write_raw(s.data(), s.size());
+  }
+}
+
+void BinaryWriter::write_f32_vector(const std::vector<float>& v) {
+  write_u64(v.size());
+  if (!v.empty()) {
+    write_raw(v.data(), v.size() * sizeof(float));
+  }
+}
+
+void BinaryWriter::write_u8_vector(const std::vector<std::uint8_t>& v) {
+  write_u64(v.size());
+  if (!v.empty()) {
+    write_raw(v.data(), v.size());
+  }
+}
+
+void BinaryWriter::write_i64_vector(const std::vector<std::int64_t>& v) {
+  write_u64(v.size());
+  if (!v.empty()) {
+    write_raw(v.data(), v.size() * sizeof(std::int64_t));
+  }
+}
+
+void BinaryReader::read_raw(void* data, std::size_t n) {
+  is_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(is_.gcount()) != n) {
+    throw SerializationError("read failed: truncated input");
+  }
+}
+
+std::uint64_t BinaryReader::read_container_size(std::size_t elem_bytes) {
+  const std::uint64_t n = read_u64();
+  if (n > max_container_bytes_ / elem_bytes) {
+    throw SerializationError("read failed: container length " +
+                             std::to_string(n) + " exceeds sanity bound");
+  }
+  return n;
+}
+
+std::uint8_t BinaryReader::read_u8() {
+  std::uint8_t v{};
+  read_raw(&v, sizeof v);
+  return v;
+}
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v{};
+  read_raw(&v, sizeof v);
+  return v;
+}
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v{};
+  read_raw(&v, sizeof v);
+  return v;
+}
+std::int64_t BinaryReader::read_i64() {
+  std::int64_t v{};
+  read_raw(&v, sizeof v);
+  return v;
+}
+float BinaryReader::read_f32() {
+  float v{};
+  read_raw(&v, sizeof v);
+  return v;
+}
+double BinaryReader::read_f64() {
+  double v{};
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const std::uint64_t n = read_container_size(1);
+  std::string s(n, '\0');
+  if (n > 0) {
+    read_raw(s.data(), n);
+  }
+  return s;
+}
+
+std::vector<float> BinaryReader::read_f32_vector() {
+  const std::uint64_t n = read_container_size(sizeof(float));
+  std::vector<float> v(n);
+  if (n > 0) {
+    read_raw(v.data(), n * sizeof(float));
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> BinaryReader::read_u8_vector() {
+  const std::uint64_t n = read_container_size(1);
+  std::vector<std::uint8_t> v(n);
+  if (n > 0) {
+    read_raw(v.data(), n);
+  }
+  return v;
+}
+
+std::vector<std::int64_t> BinaryReader::read_i64_vector() {
+  const std::uint64_t n = read_container_size(sizeof(std::int64_t));
+  std::vector<std::int64_t> v(n);
+  if (n > 0) {
+    read_raw(v.data(), n * sizeof(std::int64_t));
+  }
+  return v;
+}
+
+}  // namespace hpnn

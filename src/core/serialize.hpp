@@ -1,0 +1,65 @@
+// Binary serialization primitives.
+//
+// Little-endian, explicitly sized writes/reads with a magic+version header,
+// used by the obfuscated-model container format (src/hpnn/model_io).
+// All read paths validate sizes and throw SerializationError on corruption —
+// a downloaded "model zoo" artifact is untrusted input.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hpnn {
+
+/// Streaming binary writer with size-prefixed containers.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& os) : os_(os) {}
+
+  void write_u8(std::uint8_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_f32_vector(const std::vector<float>& v);
+  void write_u8_vector(const std::vector<std::uint8_t>& v);
+  void write_i64_vector(const std::vector<std::int64_t>& v);
+
+ private:
+  void write_raw(const void* data, std::size_t n);
+  std::ostream& os_;
+};
+
+/// Streaming binary reader; every method throws SerializationError on
+/// truncated or over-long input.
+class BinaryReader {
+ public:
+  /// `max_container_bytes` bounds any single size-prefixed container to guard
+  /// against corrupted length fields causing huge allocations.
+  explicit BinaryReader(std::istream& is,
+                        std::uint64_t max_container_bytes = (1ULL << 32))
+      : is_(is), max_container_bytes_(max_container_bytes) {}
+
+  std::uint8_t read_u8();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int64_t read_i64();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+  std::vector<float> read_f32_vector();
+  std::vector<std::uint8_t> read_u8_vector();
+  std::vector<std::int64_t> read_i64_vector();
+
+ private:
+  void read_raw(void* data, std::size_t n);
+  std::uint64_t read_container_size(std::size_t elem_bytes);
+  std::istream& is_;
+  std::uint64_t max_container_bytes_;
+};
+
+}  // namespace hpnn

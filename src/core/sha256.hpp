@@ -1,0 +1,49 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for (i) integrity digests embedded in published model artifacts —
+// a downloaded model-zoo file is untrusted input — and (ii) HPNN key
+// fingerprints and per-model subkey diversification (hpnn/keychain.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hpnn {
+
+/// 32-byte SHA-256 digest.
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Appends bytes to the message.
+  void update(std::span<const std::uint8_t> data);
+  void update(const std::string& data);
+
+  /// Finalizes and returns the digest. The hasher must not be reused after
+  /// finalize() (construct a fresh one instead).
+  Sha256Digest finalize();
+
+  /// One-shot helpers.
+  static Sha256Digest hash(std::span<const std::uint8_t> data);
+  static Sha256Digest hash(const std::string& data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+  bool finalized_ = false;
+};
+
+/// Lowercase hex string of a digest.
+std::string to_hex(const Sha256Digest& digest);
+
+}  // namespace hpnn

@@ -1,0 +1,145 @@
+#include "data/augment.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace hpnn::data {
+
+namespace {
+
+/// Shifts a CHW image by (dy, dx) with zero fill.
+void shift_image(Tensor& img, std::int64_t dy, std::int64_t dx) {
+  if (dy == 0 && dx == 0) {
+    return;
+  }
+  const std::int64_t c = img.dim(0);
+  const std::int64_t h = img.dim(1);
+  const std::int64_t w = img.dim(2);
+  Tensor out(img.shape());
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      const std::int64_t sy = y - dy;
+      if (sy < 0 || sy >= h) {
+        continue;
+      }
+      for (std::int64_t x = 0; x < w; ++x) {
+        const std::int64_t sx = x - dx;
+        if (sx >= 0 && sx < w) {
+          out.at((ch * h + y) * w + x) = img.at((ch * h + sy) * w + sx);
+        }
+      }
+    }
+  }
+  img = std::move(out);
+}
+
+void hflip_image(Tensor& img) {
+  const std::int64_t c = img.dim(0);
+  const std::int64_t h = img.dim(1);
+  const std::int64_t w = img.dim(2);
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w / 2; ++x) {
+        std::swap(img.at((ch * h + y) * w + x),
+                  img.at((ch * h + y) * w + (w - 1 - x)));
+      }
+    }
+  }
+}
+
+void erase_patch(Tensor& img, double fraction, Rng& rng) {
+  const std::int64_t c = img.dim(0);
+  const std::int64_t h = img.dim(1);
+  const std::int64_t w = img.dim(2);
+  const auto ph = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(fraction * static_cast<double>(h)));
+  const auto pw = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(fraction * static_cast<double>(w)));
+  const auto y0 = static_cast<std::int64_t>(
+      rng.uniform_index(static_cast<std::uint64_t>(h - ph + 1)));
+  const auto x0 = static_cast<std::int64_t>(
+      rng.uniform_index(static_cast<std::uint64_t>(w - pw + 1)));
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t y = y0; y < y0 + ph; ++y) {
+      for (std::int64_t x = x0; x < x0 + pw; ++x) {
+        img.at((ch * h + y) * w + x) = 0.0f;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void augment_sample(Tensor& sample, const AugmentConfig& config, Rng& rng) {
+  HPNN_CHECK(sample.rank() == 3, "augment_sample expects a CHW image");
+  if (config.shift_pixels > 0) {
+    const std::int64_t range = 2 * config.shift_pixels + 1;
+    const auto dy = static_cast<std::int64_t>(rng.uniform_index(
+                        static_cast<std::uint64_t>(range))) -
+                    config.shift_pixels;
+    const auto dx = static_cast<std::int64_t>(rng.uniform_index(
+                        static_cast<std::uint64_t>(range))) -
+                    config.shift_pixels;
+    shift_image(sample, dy, dx);
+  }
+  if (config.hflip_prob > 0.0 && rng.bernoulli(config.hflip_prob)) {
+    hflip_image(sample);
+  }
+  if (config.erase_prob > 0.0 && rng.bernoulli(config.erase_prob)) {
+    erase_patch(sample, config.erase_fraction, rng);
+  }
+  if (config.noise_stddev > 0.0) {
+    for (auto& v : sample.span()) {
+      v += static_cast<float>(rng.normal(0.0, config.noise_stddev));
+    }
+  }
+}
+
+Dataset augment_dataset(const Dataset& d, const AugmentConfig& config,
+                        std::uint64_t seed) {
+  d.validate();
+  Rng rng(seed);
+  Dataset out;
+  out.name = d.name + "-aug";
+  out.num_classes = d.num_classes;
+  out.labels = d.labels;
+  out.images = d.images;
+  const std::int64_t n = d.size();
+  const std::int64_t c = d.channels();
+  const std::int64_t h = d.height();
+  const std::int64_t w = d.width();
+  const std::int64_t sample = c * h * w;
+  for (std::int64_t i = 0; i < n; ++i) {
+    Tensor img(Shape{c, h, w},
+               std::vector<float>(out.images.data() + i * sample,
+                                  out.images.data() + (i + 1) * sample));
+    augment_sample(img, config, rng);
+    std::copy(img.data(), img.data() + sample,
+              out.images.data() + i * sample);
+  }
+  return out;
+}
+
+Dataset concat(const Dataset& a, const Dataset& b) {
+  a.validate();
+  b.validate();
+  HPNN_CHECK(a.num_classes == b.num_classes && a.channels() == b.channels() &&
+                 a.height() == b.height() && a.width() == b.width(),
+             "concat: dataset shape mismatch");
+  Dataset out;
+  out.name = a.name + "+" + b.name;
+  out.num_classes = a.num_classes;
+  std::vector<std::int64_t> dims = a.images.shape().dims();
+  dims[0] = a.size() + b.size();
+  out.images = Tensor{Shape(dims)};
+  std::copy(a.images.data(), a.images.data() + a.images.numel(),
+            out.images.data());
+  std::copy(b.images.data(), b.images.data() + b.images.numel(),
+            out.images.data() + a.images.numel());
+  out.labels = a.labels;
+  out.labels.insert(out.labels.end(), b.labels.begin(), b.labels.end());
+  return out;
+}
+
+}  // namespace hpnn::data

@@ -1,0 +1,41 @@
+// Training-time data augmentation.
+//
+// The owner trains with far more compute and data than the attacker; the
+// augmentation pipeline widens that gap (and is the standard tool DL model
+// owners use on Fashion-MNIST/CIFAR-class data). Used by the examples and
+// available to the benches via OwnerTrainOptions-style wiring.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace hpnn::data {
+
+struct AugmentConfig {
+  /// Max shift of the random crop, in pixels (0 disables).
+  std::int64_t shift_pixels = 2;
+  /// Probability of horizontal mirroring (set 0 for digit datasets!).
+  double hflip_prob = 0.5;
+  /// Stddev of additive pixel noise (0 disables).
+  double noise_stddev = 0.02;
+  /// Probability of erasing a random small rectangle (cutout-style).
+  double erase_prob = 0.25;
+  /// Erased patch size as a fraction of the image side.
+  double erase_fraction = 0.25;
+};
+
+/// Augments a single CHW sample in place.
+void augment_sample(Tensor& sample, const AugmentConfig& config, Rng& rng);
+
+/// Returns an augmented copy of a whole dataset (labels unchanged).
+/// Deterministic given `seed`.
+Dataset augment_dataset(const Dataset& d, const AugmentConfig& config,
+                        std::uint64_t seed);
+
+/// Concatenates two datasets with identical shapes/classes (e.g. the
+/// original training set plus an augmented replica).
+Dataset concat(const Dataset& a, const Dataset& b);
+
+}  // namespace hpnn::data

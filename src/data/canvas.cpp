@@ -1,0 +1,174 @@
+#include "data/canvas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace hpnn::data {
+
+Canvas::Canvas(std::int64_t channels, std::int64_t height, std::int64_t width,
+               const Color& background)
+    : c_(channels), h_(height), w_(width) {
+  HPNN_CHECK(channels == 1 || channels == 3,
+             "Canvas supports 1 or 3 channels");
+  HPNN_CHECK(height > 0 && width > 0, "Canvas dims must be positive");
+  pix_.assign(static_cast<std::size_t>(c_ * h_ * w_), 0.0f);
+  const float bg[3] = {background.r, background.g, background.b};
+  for (std::int64_t ch = 0; ch < c_; ++ch) {
+    std::fill(pix_.begin() + ch * h_ * w_, pix_.begin() + (ch + 1) * h_ * w_,
+              bg[ch]);
+  }
+}
+
+float& Canvas::at(std::int64_t ch, std::int64_t y, std::int64_t x) {
+  return pix_[static_cast<std::size_t>((ch * h_ + y) * w_ + x)];
+}
+
+void Canvas::blend_pixel(std::int64_t y, std::int64_t x, const Color& color,
+                         float intensity) {
+  if (y < 0 || y >= h_ || x < 0 || x >= w_) {
+    return;
+  }
+  const float v[3] = {color.r * intensity, color.g * intensity,
+                      color.b * intensity};
+  for (std::int64_t ch = 0; ch < c_; ++ch) {
+    float& p = at(ch, y, x);
+    p = std::clamp(std::max(p, v[ch]), 0.0f, 1.0f);
+  }
+}
+
+void Canvas::set_pixel(std::int64_t y, std::int64_t x, const Color& color) {
+  if (y < 0 || y >= h_ || x < 0 || x >= w_) {
+    return;
+  }
+  const float v[3] = {color.r, color.g, color.b};
+  for (std::int64_t ch = 0; ch < c_; ++ch) {
+    at(ch, y, x) = std::clamp(v[ch], 0.0f, 1.0f);
+  }
+}
+
+void Canvas::fill_rect(std::int64_t y0, std::int64_t x0, std::int64_t y1,
+                       std::int64_t x1, const Color& color, float intensity) {
+  for (std::int64_t y = std::max<std::int64_t>(y0, 0);
+       y < std::min(y1, h_); ++y) {
+    for (std::int64_t x = std::max<std::int64_t>(x0, 0);
+         x < std::min(x1, w_); ++x) {
+      blend_pixel(y, x, color, intensity);
+    }
+  }
+}
+
+void Canvas::fill_ellipse(double cy, double cx, double ry, double rx,
+                          const Color& color, float intensity) {
+  if (ry <= 0.0 || rx <= 0.0) {
+    return;
+  }
+  const auto y0 = static_cast<std::int64_t>(std::floor(cy - ry));
+  const auto y1 = static_cast<std::int64_t>(std::ceil(cy + ry));
+  const auto x0 = static_cast<std::int64_t>(std::floor(cx - rx));
+  const auto x1 = static_cast<std::int64_t>(std::ceil(cx + rx));
+  for (std::int64_t y = y0; y <= y1; ++y) {
+    for (std::int64_t x = x0; x <= x1; ++x) {
+      const double dy = (y - cy) / ry;
+      const double dx = (x - cx) / rx;
+      if (dy * dy + dx * dx <= 1.0) {
+        blend_pixel(y, x, color, intensity);
+      }
+    }
+  }
+}
+
+void Canvas::fill_ring(double cy, double cx, double ry, double rx,
+                       double inner, const Color& color, float intensity) {
+  if (ry <= 0.0 || rx <= 0.0) {
+    return;
+  }
+  const auto y0 = static_cast<std::int64_t>(std::floor(cy - ry));
+  const auto y1 = static_cast<std::int64_t>(std::ceil(cy + ry));
+  const auto x0 = static_cast<std::int64_t>(std::floor(cx - rx));
+  const auto x1 = static_cast<std::int64_t>(std::ceil(cx + rx));
+  const double inner2 = inner * inner;
+  for (std::int64_t y = y0; y <= y1; ++y) {
+    for (std::int64_t x = x0; x <= x1; ++x) {
+      const double dy = (y - cy) / ry;
+      const double dx = (x - cx) / rx;
+      const double d2 = dy * dy + dx * dx;
+      if (d2 <= 1.0 && d2 >= inner2) {
+        blend_pixel(y, x, color, intensity);
+      }
+    }
+  }
+}
+
+void Canvas::fill_triangle(std::array<double, 3> ys, std::array<double, 3> xs,
+                           const Color& color, float intensity) {
+  const double ymin = std::min({ys[0], ys[1], ys[2]});
+  const double ymax = std::max({ys[0], ys[1], ys[2]});
+  const double xmin = std::min({xs[0], xs[1], xs[2]});
+  const double xmax = std::max({xs[0], xs[1], xs[2]});
+  const auto edge = [](double ay, double ax, double by, double bx, double py,
+                       double px) {
+    return (bx - ax) * (py - ay) - (by - ay) * (px - ax);
+  };
+  for (auto y = static_cast<std::int64_t>(std::floor(ymin));
+       y <= static_cast<std::int64_t>(std::ceil(ymax)); ++y) {
+    for (auto x = static_cast<std::int64_t>(std::floor(xmin));
+         x <= static_cast<std::int64_t>(std::ceil(xmax)); ++x) {
+      const double py = y + 0.5;
+      const double px = x + 0.5;
+      const double e0 = edge(ys[0], xs[0], ys[1], xs[1], py, px);
+      const double e1 = edge(ys[1], xs[1], ys[2], xs[2], py, px);
+      const double e2 = edge(ys[2], xs[2], ys[0], xs[0], py, px);
+      const bool all_nonneg = e0 >= 0 && e1 >= 0 && e2 >= 0;
+      const bool all_nonpos = e0 <= 0 && e1 <= 0 && e2 <= 0;
+      if (all_nonneg || all_nonpos) {
+        blend_pixel(y, x, color, intensity);
+      }
+    }
+  }
+}
+
+void Canvas::draw_line(std::int64_t y0, std::int64_t x0, std::int64_t y1,
+                       std::int64_t x1, const Color& color, float intensity) {
+  const std::int64_t dy = std::abs(y1 - y0);
+  const std::int64_t dx = std::abs(x1 - x0);
+  const std::int64_t sy = (y0 < y1) ? 1 : -1;
+  const std::int64_t sx = (x0 < x1) ? 1 : -1;
+  std::int64_t err = dx - dy;
+  std::int64_t y = y0;
+  std::int64_t x = x0;
+  while (true) {
+    blend_pixel(y, x, color, intensity);
+    if (y == y1 && x == x1) {
+      break;
+    }
+    const std::int64_t e2 = 2 * err;
+    if (e2 > -dy) {
+      err -= dy;
+      x += sx;
+    }
+    if (e2 < dx) {
+      err += dx;
+      y += sy;
+    }
+  }
+}
+
+void Canvas::fill_stripes(std::int64_t y0, std::int64_t x0, std::int64_t y1,
+                          std::int64_t x1, std::int64_t period, bool vertical,
+                          const Color& color, float intensity) {
+  HPNN_CHECK(period >= 2, "stripe period must be >= 2");
+  for (std::int64_t y = std::max<std::int64_t>(y0, 0);
+       y < std::min(y1, h_); ++y) {
+    for (std::int64_t x = std::max<std::int64_t>(x0, 0);
+         x < std::min(x1, w_); ++x) {
+      const std::int64_t phase = vertical ? x : y;
+      if ((phase % period) < period / 2) {
+        blend_pixel(y, x, color, intensity);
+      }
+    }
+  }
+}
+
+}  // namespace hpnn::data

@@ -1,0 +1,73 @@
+// Tiny software rasterizer used by the synthetic dataset generators.
+//
+// A Canvas is a C×H×W float image in [0, 1]; drawing primitives blend by
+// max (additive light) per channel so overlapping shapes stay in range.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace hpnn::data {
+
+/// RGB (or broadcast-gray) color in [0, 1].
+struct Color {
+  float r = 1.0f, g = 1.0f, b = 1.0f;
+  static Color gray(float v) { return {v, v, v}; }
+};
+
+class Canvas {
+ public:
+  Canvas(std::int64_t channels, std::int64_t height, std::int64_t width,
+         const Color& background = Color::gray(0.0f));
+
+  std::int64_t channels() const { return c_; }
+  std::int64_t height() const { return h_; }
+  std::int64_t width() const { return w_; }
+
+  /// Sets a pixel to max(current, color) per channel. Out-of-bounds is a
+  /// no-op so primitives can draw partially off-canvas (SVHN-style edge
+  /// distractors rely on this).
+  void blend_pixel(std::int64_t y, std::int64_t x, const Color& color,
+                   float intensity = 1.0f);
+
+  /// Overwrites a pixel (clamped to [0,1]); out-of-bounds is a no-op.
+  void set_pixel(std::int64_t y, std::int64_t x, const Color& color);
+
+  /// Axis-aligned filled rectangle [y0, y1) x [x0, x1).
+  void fill_rect(std::int64_t y0, std::int64_t x0, std::int64_t y1,
+                 std::int64_t x1, const Color& color, float intensity = 1.0f);
+
+  /// Filled ellipse centered at (cy, cx) with radii (ry, rx).
+  void fill_ellipse(double cy, double cx, double ry, double rx,
+                    const Color& color, float intensity = 1.0f);
+
+  /// Ellipse ring (annulus) with outer radii (ry, rx) and relative inner
+  /// radius `inner` in (0, 1).
+  void fill_ring(double cy, double cx, double ry, double rx, double inner,
+                 const Color& color, float intensity = 1.0f);
+
+  /// Filled triangle with vertices (y_i, x_i).
+  void fill_triangle(std::array<double, 3> ys, std::array<double, 3> xs,
+                     const Color& color, float intensity = 1.0f);
+
+  /// 1-pixel-wide line from (y0, x0) to (y1, x1) (Bresenham-style).
+  void draw_line(std::int64_t y0, std::int64_t x0, std::int64_t y1,
+                 std::int64_t x1, const Color& color, float intensity = 1.0f);
+
+  /// Horizontal stripes of given period/duty over the whole canvas region.
+  void fill_stripes(std::int64_t y0, std::int64_t x0, std::int64_t y1,
+                    std::int64_t x1, std::int64_t period, bool vertical,
+                    const Color& color, float intensity = 1.0f);
+
+  /// Raw CHW pixel buffer.
+  const std::vector<float>& pixels() const { return pix_; }
+  std::vector<float>& pixels() { return pix_; }
+
+ private:
+  float& at(std::int64_t ch, std::int64_t y, std::int64_t x);
+  std::int64_t c_, h_, w_;
+  std::vector<float> pix_;
+};
+
+}  // namespace hpnn::data

@@ -1,0 +1,56 @@
+// Labeled image dataset container and sampling utilities.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hpnn::data {
+
+/// An in-memory labeled image set. Images are NCHW float32 in roughly
+/// [-0.5, 0.5] (generator-standardized).
+struct Dataset {
+  std::string name;
+  Tensor images;                        // [N, C, H, W]
+  std::vector<std::int64_t> labels;     // N entries in [0, num_classes)
+  std::int64_t num_classes = 0;
+
+  std::int64_t size() const { return images.rank() > 0 ? images.dim(0) : 0; }
+  std::int64_t channels() const { return images.dim(1); }
+  std::int64_t height() const { return images.dim(2); }
+  std::int64_t width() const { return images.dim(3); }
+
+  /// Throws InvariantError if labels/images are inconsistent.
+  void validate() const;
+};
+
+/// Train/test pair produced by the generators.
+struct SplitDataset {
+  Dataset train;
+  Dataset test;
+};
+
+/// Returns the subset of `d` at the given sample indices.
+Dataset subset(const Dataset& d, const std::vector<std::size_t>& indices);
+
+/// The attacker's *thief* dataset: a class-stratified random fraction
+/// `alpha` (0 < alpha <= 1) of the training data (Sec. IV-B of the paper).
+/// alpha == 0 returns an empty dataset (the paper's α=0% point in Fig. 7).
+Dataset thief_subset(const Dataset& d, double alpha, Rng& rng);
+
+/// Per-class sample counts (length num_classes).
+std::vector<std::int64_t> class_histogram(const Dataset& d);
+
+/// Binary dataset serialization (".hpds"): magic + name + classes + image
+/// tensor + labels. Read paths validate and throw SerializationError on
+/// corruption.
+void save_dataset(std::ostream& os, const Dataset& d);
+Dataset load_dataset(std::istream& is);
+void save_dataset_file(const std::string& path, const Dataset& d);
+Dataset load_dataset_file(const std::string& path);
+
+}  // namespace hpnn::data

@@ -1,0 +1,176 @@
+#include "data/idx.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "core/error.hpp"
+
+namespace hpnn::data {
+
+namespace {
+
+std::uint32_t read_be32(std::istream& is) {
+  std::uint8_t bytes[4];
+  is.read(reinterpret_cast<char*>(bytes), 4);
+  if (is.gcount() != 4) {
+    throw SerializationError("IDX: truncated header");
+  }
+  return (static_cast<std::uint32_t>(bytes[0]) << 24) |
+         (static_cast<std::uint32_t>(bytes[1]) << 16) |
+         (static_cast<std::uint32_t>(bytes[2]) << 8) |
+         static_cast<std::uint32_t>(bytes[3]);
+}
+
+void write_be32(std::ostream& os, std::uint32_t v) {
+  const std::uint8_t bytes[4] = {
+      static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+      static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+  os.write(reinterpret_cast<const char*>(bytes), 4);
+}
+
+/// Per-sample standardization matching the synthetic pipeline (zero mean,
+/// 0.25 target stddev) so models transfer between real and synthetic data
+/// preprocessing.
+void standardize(float* sample, std::int64_t n) {
+  double mean = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    mean += sample[i];
+  }
+  mean /= n;
+  double var = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    var += (sample[i] - mean) * (sample[i] - mean);
+  }
+  const auto stddev =
+      static_cast<float>(std::sqrt(var / static_cast<double>(n)) + 1e-4);
+  for (std::int64_t i = 0; i < n; ++i) {
+    sample[i] = (sample[i] - static_cast<float>(mean)) / stddev * 0.25f;
+  }
+}
+
+}  // namespace
+
+Dataset load_idx(std::istream& images, std::istream& labels,
+                 const std::string& name, std::int64_t num_classes,
+                 std::int64_t limit) {
+  // Image header: 0x00000803 (ubyte, 3 dims), count, rows, cols.
+  const std::uint32_t img_magic = read_be32(images);
+  if (img_magic != 0x00000803u) {
+    throw SerializationError("IDX: bad image magic (expected 0x803)");
+  }
+  const auto img_count = static_cast<std::int64_t>(read_be32(images));
+  const auto rows = static_cast<std::int64_t>(read_be32(images));
+  const auto cols = static_cast<std::int64_t>(read_be32(images));
+  if (img_count <= 0 || rows <= 0 || cols <= 0 || rows > 4096 ||
+      cols > 4096) {
+    throw SerializationError("IDX: implausible image dimensions");
+  }
+
+  // Label header: 0x00000801 (ubyte, 1 dim), count.
+  const std::uint32_t lab_magic = read_be32(labels);
+  if (lab_magic != 0x00000801u) {
+    throw SerializationError("IDX: bad label magic (expected 0x801)");
+  }
+  const auto lab_count = static_cast<std::int64_t>(read_be32(labels));
+  if (lab_count != img_count) {
+    throw SerializationError("IDX: image/label count mismatch");
+  }
+
+  const std::int64_t n =
+      (limit > 0) ? std::min(limit, img_count) : img_count;
+  const std::int64_t sample = rows * cols;
+
+  Dataset d;
+  d.name = name;
+  d.num_classes = num_classes;
+  d.images = Tensor{Shape{n, 1, rows, cols}};
+  d.labels.resize(static_cast<std::size_t>(n));
+
+  std::vector<std::uint8_t> buffer(static_cast<std::size_t>(sample));
+  for (std::int64_t i = 0; i < n; ++i) {
+    images.read(reinterpret_cast<char*>(buffer.data()),
+                static_cast<std::streamsize>(buffer.size()));
+    if (images.gcount() != static_cast<std::streamsize>(buffer.size())) {
+      throw SerializationError("IDX: truncated image data at sample " +
+                               std::to_string(i));
+    }
+    float* dst = d.images.data() + i * sample;
+    for (std::int64_t p = 0; p < sample; ++p) {
+      dst[p] = static_cast<float>(buffer[static_cast<std::size_t>(p)]) /
+               255.0f;
+    }
+    standardize(dst, sample);
+
+    std::uint8_t label = 0;
+    labels.read(reinterpret_cast<char*>(&label), 1);
+    if (labels.gcount() != 1) {
+      throw SerializationError("IDX: truncated label data at sample " +
+                               std::to_string(i));
+    }
+    if (label >= num_classes) {
+      throw SerializationError("IDX: label " + std::to_string(label) +
+                               " out of range");
+    }
+    d.labels[static_cast<std::size_t>(i)] = label;
+  }
+  d.validate();
+  return d;
+}
+
+Dataset load_idx_files(const std::string& images_path,
+                       const std::string& labels_path,
+                       const std::string& name, std::int64_t num_classes,
+                       std::int64_t limit) {
+  std::ifstream images(images_path, std::ios::binary);
+  if (!images) {
+    throw SerializationError("cannot open " + images_path);
+  }
+  std::ifstream labels(labels_path, std::ios::binary);
+  if (!labels) {
+    throw SerializationError("cannot open " + labels_path);
+  }
+  return load_idx(images, labels, name, num_classes, limit);
+}
+
+void save_idx(std::ostream& images, std::ostream& labels, const Dataset& d) {
+  d.validate();
+  HPNN_CHECK(d.channels() == 1, "IDX export supports grayscale only");
+  const std::int64_t n = d.size();
+  const std::int64_t rows = d.height();
+  const std::int64_t cols = d.width();
+  write_be32(images, 0x00000803u);
+  write_be32(images, static_cast<std::uint32_t>(n));
+  write_be32(images, static_cast<std::uint32_t>(rows));
+  write_be32(images, static_cast<std::uint32_t>(cols));
+  write_be32(labels, 0x00000801u);
+  write_be32(labels, static_cast<std::uint32_t>(n));
+
+  const std::int64_t sample = rows * cols;
+  std::vector<std::uint8_t> buffer(static_cast<std::size_t>(sample));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* src = d.images.data() + i * sample;
+    // De-standardize into 0-255 by min-max over the sample (lossy — IDX is
+    // ubyte; round-tripping exactly is not a goal, plausibility is).
+    float lo = src[0];
+    float hi = src[0];
+    for (std::int64_t p = 1; p < sample; ++p) {
+      lo = std::min(lo, src[p]);
+      hi = std::max(hi, src[p]);
+    }
+    const float range = std::max(hi - lo, 1e-6f);
+    for (std::int64_t p = 0; p < sample; ++p) {
+      buffer[static_cast<std::size_t>(p)] = static_cast<std::uint8_t>(
+          std::clamp((src[p] - lo) / range * 255.0f, 0.0f, 255.0f));
+    }
+    images.write(reinterpret_cast<const char*>(buffer.data()),
+                 static_cast<std::streamsize>(buffer.size()));
+    const auto label =
+        static_cast<std::uint8_t>(d.labels[static_cast<std::size_t>(i)]);
+    labels.write(reinterpret_cast<const char*>(&label), 1);
+  }
+}
+
+}  // namespace hpnn::data

@@ -1,0 +1,37 @@
+// IDX-format loader (the MNIST/Fashion-MNIST file format).
+//
+// The repository ships synthetic stand-ins because the real datasets cannot
+// be redistributed — but if you have the original files
+// (train-images-idx3-ubyte / train-labels-idx1-ubyte etc.), this loader
+// turns them into a Dataset so every experiment can be repeated on the real
+// Fashion-MNIST. Handles the standard big-endian IDX header, ubyte pixel
+// data (normalized and per-sample standardized like the synthetic
+// pipeline), and validates sizes throughout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace hpnn::data {
+
+/// Parses an IDX3 (images) + IDX1 (labels) pair into a Dataset.
+/// `limit` > 0 caps the number of samples read (for quick experiments).
+/// Throws SerializationError on malformed input.
+Dataset load_idx(std::istream& images, std::istream& labels,
+                 const std::string& name, std::int64_t num_classes = 10,
+                 std::int64_t limit = 0);
+
+/// File-path convenience.
+Dataset load_idx_files(const std::string& images_path,
+                       const std::string& labels_path,
+                       const std::string& name,
+                       std::int64_t num_classes = 10, std::int64_t limit = 0);
+
+/// Writes a Dataset back out as an IDX3/IDX1 pair (grayscale only; pixels
+/// are de-standardized to 0-255). Useful for tests and for exporting
+/// synthetic data to other toolchains.
+void save_idx(std::ostream& images, std::ostream& labels, const Dataset& d);
+
+}  // namespace hpnn::data

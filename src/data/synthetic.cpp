@@ -1,0 +1,498 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "data/canvas.hpp"
+
+namespace hpnn::data {
+
+namespace {
+
+// ------------------------------------------------------------------ shared
+
+/// 5x7 bitmap glyphs for digits 0-9 (1 = lit). Used by DigitSynth.
+constexpr std::array<std::array<std::uint8_t, 7>, 10> kDigitFont = {{
+    // each row is a 5-bit mask, MSB = leftmost column
+    {{0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110}},  // 0
+    {{0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110}},  // 1
+    {{0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111}},  // 2
+    {{0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110}},  // 3
+    {{0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010}},  // 4
+    {{0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110}},  // 5
+    {{0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110}},  // 6
+    {{0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000}},  // 7
+    {{0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110}},  // 8
+    {{0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100}},  // 9
+}};
+
+struct Jitter {
+  double dy = 0.0;   // translation, fraction of image size
+  double dx = 0.0;
+  double scale = 1.0;
+  float intensity = 1.0f;
+};
+
+/// Difficulty defaults per family (see SyntheticConfig doc comment).
+struct Difficulty {
+  double noise;
+  double jitter;
+};
+
+Difficulty family_difficulty(SyntheticFamily family) {
+  switch (family) {
+    case SyntheticFamily::kFashionSynth:
+      return {0.25, 0.15};
+    case SyntheticFamily::kColorShapes:
+      return {0.32, 0.16};
+    case SyntheticFamily::kDigitSynth:
+      return {0.15, 0.12};
+  }
+  return {0.25, 0.15};
+}
+
+double effective_noise(SyntheticFamily family, const SyntheticConfig& cfg) {
+  return cfg.noise_stddev >= 0.0 ? cfg.noise_stddev
+                                 : family_difficulty(family).noise;
+}
+
+double effective_jitter(SyntheticFamily family, const SyntheticConfig& cfg) {
+  return cfg.jitter >= 0.0 ? cfg.jitter : family_difficulty(family).jitter;
+}
+
+Jitter sample_jitter(double jitter, Rng& rng) {
+  Jitter j;
+  j.dy = rng.uniform(-jitter, jitter);
+  j.dx = rng.uniform(-jitter, jitter);
+  j.scale = rng.uniform(0.85, 1.1);
+  j.intensity = static_cast<float>(rng.uniform(0.7, 1.0));
+  return j;
+}
+
+/// Converts canvas pixels [0,1] to a noisy, per-sample standardized tensor.
+/// Per-sample standardization removes global-brightness class cues — without
+/// it a sign-corrupted (locked, no key) network can still classify on DC
+/// content, which would understate the obfuscation strength the paper
+/// measures on the real datasets.
+Tensor finalize(const Canvas& canvas, double noise_stddev, Rng& rng) {
+  Tensor img(Shape{canvas.channels(), canvas.height(), canvas.width()});
+  const auto& pix = canvas.pixels();
+  for (std::size_t i = 0; i < pix.size(); ++i) {
+    float v = pix[i];
+    if (noise_stddev > 0.0) {
+      v += static_cast<float>(rng.normal(0.0, noise_stddev));
+    }
+    img.data()[i] = std::clamp(v, 0.0f, 1.0f);
+  }
+  const float mean = img.mean();
+  double var = 0.0;
+  for (const auto v : img.span()) {
+    var += static_cast<double>(v - mean) * (v - mean);
+  }
+  const float stddev = static_cast<float>(
+      std::sqrt(var / static_cast<double>(img.numel())) + 1e-4);
+  for (auto& v : img.span()) {
+    v = (v - mean) / stddev * 0.25f;
+  }
+  return img;
+}
+
+// ------------------------------------------------------------ FashionSynth
+
+/// Grayscale garment-ish silhouettes; relative coordinates scale with the
+/// canvas so any image_size works. Class index mirrors Fashion-MNIST's
+/// ordering loosely (t-shirt, trouser, pullover, dress, coat, sandal,
+/// shirt, sneaker, bag, ankle boot).
+void draw_fashion(Canvas& c, std::int64_t label, const Jitter& j, Rng& rng) {
+  const double s = static_cast<double>(c.height());
+  const auto Y = [&](double f) {
+    return static_cast<std::int64_t>((f * j.scale + j.dy) * s);
+  };
+  const auto X = [&](double f) {
+    return static_cast<std::int64_t>((f * j.scale + j.dx) * s);
+  };
+  const Color fg = Color::gray(j.intensity);
+  const Color mid = Color::gray(j.intensity * 0.55f);
+
+  switch (label) {
+    case 0:  // t-shirt: torso + short horizontal sleeves
+      c.fill_rect(Y(0.30), X(0.32), Y(0.80), X(0.68), fg);
+      c.fill_rect(Y(0.30), X(0.12), Y(0.45), X(0.88), fg);
+      break;
+    case 1:  // trouser: two legs joined at waist
+      c.fill_rect(Y(0.18), X(0.32), Y(0.32), X(0.68), fg);
+      c.fill_rect(Y(0.32), X(0.32), Y(0.88), X(0.46), fg);
+      c.fill_rect(Y(0.32), X(0.54), Y(0.88), X(0.68), fg);
+      break;
+    case 2:  // pullover: torso + long straight sleeves + dim collar
+      c.fill_rect(Y(0.28), X(0.30), Y(0.82), X(0.70), fg);
+      c.fill_rect(Y(0.28), X(0.08), Y(0.75), X(0.24), fg);
+      c.fill_rect(Y(0.28), X(0.76), Y(0.75), X(0.92), fg);
+      c.fill_rect(Y(0.24), X(0.42), Y(0.30), X(0.58), mid);
+      break;
+    case 3:  // dress: widening trapezoid body
+      c.fill_triangle({static_cast<double>(Y(0.22)),
+                       static_cast<double>(Y(0.88)),
+                       static_cast<double>(Y(0.88))},
+                      {static_cast<double>(X(0.50)),
+                       static_cast<double>(X(0.18)),
+                       static_cast<double>(X(0.82))},
+                      fg);
+      c.fill_rect(Y(0.18), X(0.40), Y(0.34), X(0.60), fg);
+      break;
+    case 4:  // coat: long torso, long sleeves, center opening seam
+      c.fill_rect(Y(0.22), X(0.28), Y(0.90), X(0.72), fg);
+      c.fill_rect(Y(0.22), X(0.08), Y(0.80), X(0.24), fg);
+      c.fill_rect(Y(0.22), X(0.76), Y(0.80), X(0.92), fg);
+      c.draw_line(Y(0.24), X(0.50), Y(0.88), X(0.50), Color::gray(0.1f));
+      break;
+    case 5:  // sandal: sole bar + thin straps
+      c.fill_rect(Y(0.68), X(0.12), Y(0.78), X(0.88), fg);
+      c.draw_line(Y(0.68), X(0.25), Y(0.45), X(0.45), mid);
+      c.draw_line(Y(0.68), X(0.55), Y(0.45), X(0.45), mid);
+      c.draw_line(Y(0.68), X(0.75), Y(0.50), X(0.62), mid);
+      break;
+    case 6: {  // shirt: torso + sleeves + button dots
+      c.fill_rect(Y(0.26), X(0.30), Y(0.84), X(0.70), fg);
+      c.fill_rect(Y(0.26), X(0.10), Y(0.60), X(0.26), fg);
+      c.fill_rect(Y(0.26), X(0.74), Y(0.60), X(0.90), fg);
+      for (int i = 0; i < 4; ++i) {
+        c.set_pixel(Y(0.34 + 0.12 * i), X(0.50), Color::gray(0.05f));
+      }
+      break;
+    }
+    case 7:  // sneaker: low blob + bright sole stripe
+      c.fill_ellipse(Y(0.60), X(0.45), 0.14 * s * j.scale,
+                     0.32 * s * j.scale, fg);
+      c.fill_rect(Y(0.68), X(0.10), Y(0.76), X(0.85), Color::gray(1.0f),
+                  j.intensity);
+      break;
+    case 8: {  // bag: box + handle arc
+      c.fill_rect(Y(0.42), X(0.22), Y(0.84), X(0.78), fg);
+      const double cy = Y(0.42);
+      const double cx = X(0.50);
+      c.fill_ring(cy, cx, 0.18 * s * j.scale, 0.22 * s * j.scale, 0.7, mid);
+      // erase ring part below the bag top edge by re-drawing the box
+      c.fill_rect(Y(0.42), X(0.22), Y(0.84), X(0.78), fg);
+      break;
+    }
+    case 9:  // ankle boot: L-shaped silhouette + heel
+      c.fill_rect(Y(0.30), X(0.30), Y(0.74), X(0.55), fg);
+      c.fill_rect(Y(0.58), X(0.30), Y(0.74), X(0.85), fg);
+      c.fill_rect(Y(0.74), X(0.30), Y(0.80), X(0.42), mid);
+      break;
+    default:
+      HPNN_CHECK(false, "FashionSynth label out of range");
+  }
+  // Light random occlusion to avoid trivially separable classes.
+  if (rng.bernoulli(0.3)) {
+    const auto oy = static_cast<std::int64_t>(rng.uniform(0.2, 0.7) * s);
+    const auto ox = static_cast<std::int64_t>(rng.uniform(0.2, 0.7) * s);
+    const auto len = static_cast<std::int64_t>(0.15 * s);
+    c.fill_rect(oy, ox, oy + 2, ox + len, Color::gray(0.0f), 0.0f);
+  }
+}
+
+// ------------------------------------------------------------- ColorShapes
+
+Color random_tint(Rng& rng, float base_r, float base_g, float base_b) {
+  const auto jig = [&](float v) {
+    return std::clamp(v + static_cast<float>(rng.uniform(-0.25, 0.25)), 0.1f,
+                      1.0f);
+  };
+  return {jig(base_r), jig(base_g), jig(base_b)};
+}
+
+/// Draws one ColorShapes object of class `label` centered at (cy, cx) with
+/// radius r. Used for the dominant (class-defining) object and, at smaller
+/// scale, for distractor objects of other classes.
+void draw_color_object(Canvas& c, std::int64_t label, double cy, double cx,
+                       double r, double s, const Jitter& j, Rng& rng) {
+  switch (label) {
+    case 0:  // red disc
+      c.fill_ellipse(cy, cx, r, r, random_tint(rng, 0.95f, 0.15f, 0.15f));
+      break;
+    case 1:  // blue square
+      c.fill_rect(static_cast<std::int64_t>(cy - r),
+                  static_cast<std::int64_t>(cx - r),
+                  static_cast<std::int64_t>(cy + r),
+                  static_cast<std::int64_t>(cx + r),
+                  random_tint(rng, 0.15f, 0.25f, 0.95f));
+      break;
+    case 2:  // green triangle
+      c.fill_triangle({cy - r, cy + r, cy + r}, {cx, cx - r, cx + r},
+                      random_tint(rng, 0.15f, 0.9f, 0.2f));
+      break;
+    case 3:  // yellow ring
+      c.fill_ring(cy, cx, r, r, 0.55, random_tint(rng, 0.95f, 0.9f, 0.15f));
+      break;
+    case 4:  // magenta horizontal stripes patch
+      c.fill_stripes(static_cast<std::int64_t>(cy - r),
+                     static_cast<std::int64_t>(cx - r),
+                     static_cast<std::int64_t>(cy + r),
+                     static_cast<std::int64_t>(cx + r), 4, false,
+                     random_tint(rng, 0.9f, 0.2f, 0.9f));
+      break;
+    case 5:  // cyan vertical stripes patch
+      c.fill_stripes(static_cast<std::int64_t>(cy - r),
+                     static_cast<std::int64_t>(cx - r),
+                     static_cast<std::int64_t>(cy + r),
+                     static_cast<std::int64_t>(cx + r), 4, true,
+                     random_tint(rng, 0.15f, 0.9f, 0.9f));
+      break;
+    case 6: {  // orange cross
+      const Color col = random_tint(rng, 0.95f, 0.55f, 0.1f);
+      const double t = 0.12 * s * j.scale;
+      c.fill_rect(static_cast<std::int64_t>(cy - r),
+                  static_cast<std::int64_t>(cx - t),
+                  static_cast<std::int64_t>(cy + r),
+                  static_cast<std::int64_t>(cx + t), col);
+      c.fill_rect(static_cast<std::int64_t>(cy - t),
+                  static_cast<std::int64_t>(cx - r),
+                  static_cast<std::int64_t>(cy + t),
+                  static_cast<std::int64_t>(cx + r), col);
+      break;
+    }
+    case 7: {  // white twin discs
+      const Color col = random_tint(rng, 0.9f, 0.9f, 0.9f);
+      c.fill_ellipse(cy, cx - 0.45 * r * 2, 0.5 * r, 0.5 * r, col);
+      c.fill_ellipse(cy, cx + 0.45 * r * 2, 0.5 * r, 0.5 * r, col);
+      break;
+    }
+    case 8: {  // purple diamond (rotated square)
+      const Color col = random_tint(rng, 0.6f, 0.2f, 0.85f);
+      c.fill_triangle({cy - r, cy, cy}, {cx, cx - r, cx + r}, col);
+      c.fill_triangle({cy + r, cy, cy}, {cx, cx - r, cx + r}, col);
+      break;
+    }
+    case 9: {  // teal checkerboard patch
+      const Color col = random_tint(rng, 0.1f, 0.65f, 0.6f);
+      const auto y0 = static_cast<std::int64_t>(cy - r);
+      const auto x0 = static_cast<std::int64_t>(cx - r);
+      const auto cell = std::max<std::int64_t>(
+          2, static_cast<std::int64_t>(0.25 * r));
+      for (std::int64_t y = 0; y < static_cast<std::int64_t>(2 * r); ++y) {
+        for (std::int64_t x = 0; x < static_cast<std::int64_t>(2 * r); ++x) {
+          if (((y / cell) + (x / cell)) % 2 == 0) {
+            c.blend_pixel(y0 + y, x0 + x, col);
+          }
+        }
+      }
+      break;
+    }
+    default:
+      HPNN_CHECK(false, "ColorShapes label out of range");
+  }
+}
+
+/// CIFAR-10 stand-in: 10 object classes defined by (shape, texture, hue)
+/// combos. The class is carried by the *dominant central* object; smaller
+/// distractor objects of other classes litter the periphery, and dim blobs
+/// clutter the background. The distractors are what give this family a
+/// CIFAR-like sample complexity — with few training samples a network
+/// cannot tell the dominant object from the clutter. Deliberately the
+/// hardest family.
+void draw_color_shape(Canvas& c, std::int64_t label, const Jitter& j,
+                      Rng& rng) {
+  const double s = static_cast<double>(c.height());
+  const double cy = (0.5 + j.dy) * s;
+  const double cx = (0.5 + j.dx) * s;
+  const double r = 0.30 * s * j.scale;
+
+  // Cluttered background: two random dim blobs.
+  for (int b = 0; b < 2; ++b) {
+    const Color bg = random_tint(rng, 0.25f, 0.25f, 0.25f);
+    c.fill_ellipse(rng.uniform(0.0, 1.0) * s, rng.uniform(0.0, 1.0) * s,
+                   0.25 * s, 0.25 * s, bg, 0.5f);
+  }
+
+  // Distractors: 2-4 small objects of *other* classes near the periphery.
+  const int distractors = 2 + static_cast<int>(rng.uniform_index(3));
+  for (int d = 0; d < distractors; ++d) {
+    std::int64_t other =
+        static_cast<std::int64_t>(rng.uniform_index(kSyntheticClasses));
+    if (other == label) {
+      other = (other + 1) % kSyntheticClasses;
+    }
+    // Place on a ring around the center so the dominant object stays
+    // dominant but the clutter often touches it.
+    const double angle = rng.uniform(0.0, 6.283185307179586);
+    const double dist = rng.uniform(0.33, 0.48) * s;
+    const double dy = cy + dist * std::sin(angle);
+    const double dx = cx + dist * std::cos(angle);
+    const double dr = rng.uniform(0.10, 0.16) * s;
+    draw_color_object(c, other, dy, dx, dr, s, j, rng);
+  }
+
+  draw_color_object(c, label, cy, cx, r, s, j, rng);
+}
+
+// -------------------------------------------------------------- DigitSynth
+
+void draw_glyph(Canvas& c, std::int64_t digit, double top, double left,
+                double cell, const Color& color, float intensity) {
+  const auto& glyph = kDigitFont[static_cast<std::size_t>(digit)];
+  for (std::int64_t gy = 0; gy < 7; ++gy) {
+    for (std::int64_t gx = 0; gx < 5; ++gx) {
+      if ((glyph[static_cast<std::size_t>(gy)] >> (4 - gx)) & 1) {
+        const auto y0 = static_cast<std::int64_t>(top + gy * cell);
+        const auto x0 = static_cast<std::int64_t>(left + gx * cell);
+        const auto y1 = static_cast<std::int64_t>(top + (gy + 1) * cell);
+        const auto x1 = static_cast<std::int64_t>(left + (gx + 1) * cell);
+        c.fill_rect(y0, x0, std::max(y1, y0 + 1), std::max(x1, x0 + 1), color,
+                    intensity);
+      }
+    }
+  }
+}
+
+/// SVHN stand-in: a centered digit in a random color over a random
+/// background, flanked by partial distractor digits at the edges (house
+/// numbers crop neighbours in SVHN).
+void draw_digit(Canvas& c, std::int64_t label, const Jitter& j, Rng& rng) {
+  const double s = static_cast<double>(c.height());
+  // Digit colors: keep contrast against the background.
+  const float bg_lum = static_cast<float>(rng.uniform(0.05, 0.45));
+  const Color fg = random_tint(rng, 1.0f - bg_lum, 1.0f - bg_lum * 0.8f,
+                               1.0f - bg_lum * 0.6f);
+  const double cell = (0.10 + 0.02 * (j.scale - 1.0)) * s;
+  const double top = (0.18 + j.dy) * s;
+  const double left = (0.28 + j.dx) * s;
+
+  draw_glyph(c, label, top, left, cell, fg, j.intensity);
+
+  // Edge distractors: random digits partially off-canvas.
+  if (rng.bernoulli(0.7)) {
+    const auto d = static_cast<std::int64_t>(rng.uniform_index(10));
+    draw_glyph(c, d, top, left - 0.55 * s, cell, fg, j.intensity * 0.8f);
+  }
+  if (rng.bernoulli(0.7)) {
+    const auto d = static_cast<std::int64_t>(rng.uniform_index(10));
+    draw_glyph(c, d, top, left + 0.55 * s, cell, fg, j.intensity * 0.8f);
+  }
+}
+
+Canvas background_for(SyntheticFamily family, std::int64_t channels,
+                      std::int64_t size, Rng& rng) {
+  switch (family) {
+    case SyntheticFamily::kFashionSynth:
+      return Canvas(channels, size, size, Color::gray(0.0f));
+    case SyntheticFamily::kColorShapes: {
+      Canvas c(channels, size, size,
+               Color{static_cast<float>(rng.uniform(0.0, 0.3)),
+                     static_cast<float>(rng.uniform(0.0, 0.3)),
+                     static_cast<float>(rng.uniform(0.0, 0.3))});
+      return c;
+    }
+    case SyntheticFamily::kDigitSynth: {
+      const auto lum = static_cast<float>(rng.uniform(0.05, 0.45));
+      return Canvas(channels, size, size,
+                    Color{lum, lum * 0.9f, lum * 0.8f});
+    }
+  }
+  HPNN_CHECK(false, "unknown synthetic family");
+}
+
+}  // namespace
+
+std::string family_name(SyntheticFamily family) {
+  switch (family) {
+    case SyntheticFamily::kFashionSynth:
+      return "FashionSynth";
+    case SyntheticFamily::kColorShapes:
+      return "ColorShapes";
+    case SyntheticFamily::kDigitSynth:
+      return "DigitSynth";
+  }
+  return "unknown";
+}
+
+std::string family_stands_for(SyntheticFamily family) {
+  switch (family) {
+    case SyntheticFamily::kFashionSynth:
+      return "Fashion-MNIST";
+    case SyntheticFamily::kColorShapes:
+      return "CIFAR-10";
+    case SyntheticFamily::kDigitSynth:
+      return "SVHN";
+  }
+  return "unknown";
+}
+
+Tensor render_sample(SyntheticFamily family, std::int64_t label,
+                     std::int64_t image_size, const SyntheticConfig& config,
+                     Rng& rng) {
+  HPNN_CHECK(label >= 0 && label < kSyntheticClasses,
+             "synthetic label out of range");
+  const std::int64_t channels =
+      (family == SyntheticFamily::kFashionSynth) ? 1 : 3;
+  Canvas canvas = background_for(family, channels, image_size, rng);
+  const Jitter j = sample_jitter(effective_jitter(family, config), rng);
+  switch (family) {
+    case SyntheticFamily::kFashionSynth:
+      draw_fashion(canvas, label, j, rng);
+      break;
+    case SyntheticFamily::kColorShapes:
+      draw_color_shape(canvas, label, j, rng);
+      break;
+    case SyntheticFamily::kDigitSynth:
+      draw_digit(canvas, label, j, rng);
+      break;
+  }
+  return finalize(canvas, effective_noise(family, config), rng);
+}
+
+namespace {
+
+Dataset generate(SyntheticFamily family, std::int64_t per_class,
+                 std::int64_t image_size, const SyntheticConfig& config,
+                 Rng& rng, const std::string& tag) {
+  const std::int64_t channels =
+      (family == SyntheticFamily::kFashionSynth) ? 1 : 3;
+  const std::int64_t n = per_class * kSyntheticClasses;
+  Dataset out;
+  out.name = family_name(family) + "-" + tag;
+  out.num_classes = kSyntheticClasses;
+  out.images = Tensor{Shape{n, channels, image_size, image_size}};
+  out.labels.resize(static_cast<std::size_t>(n));
+
+  const std::int64_t sample = channels * image_size * image_size;
+  // Interleave classes so any prefix is roughly balanced.
+  std::int64_t idx = 0;
+  for (std::int64_t i = 0; i < per_class; ++i) {
+    for (std::int64_t cls = 0; cls < kSyntheticClasses; ++cls, ++idx) {
+      const Tensor img = render_sample(family, cls, image_size, config, rng);
+      std::copy(img.data(), img.data() + sample,
+                out.images.data() + idx * sample);
+      out.labels[static_cast<std::size_t>(idx)] = cls;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SplitDataset make_dataset(SyntheticFamily family,
+                          const SyntheticConfig& config) {
+  HPNN_CHECK(config.train_per_class > 0 && config.test_per_class > 0,
+             "synthetic config needs positive sample counts");
+  const std::int64_t size =
+      config.image_size > 0
+          ? config.image_size
+          : (family == SyntheticFamily::kFashionSynth ? 28 : 32);
+  HPNN_CHECK(size >= 12, "synthetic images must be at least 12x12");
+
+  Rng rng(config.seed ^ (static_cast<std::uint64_t>(family) << 32));
+  SplitDataset split;
+  split.train =
+      generate(family, config.train_per_class, size, config, rng, "train");
+  split.test =
+      generate(family, config.test_per_class, size, config, rng, "test");
+  split.train.validate();
+  split.test.validate();
+  return split;
+}
+
+}  // namespace hpnn::data

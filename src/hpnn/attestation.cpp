@@ -1,0 +1,82 @@
+#include "hpnn/attestation.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "core/error.hpp"
+#include "core/serialize.hpp"
+#include "tensor/ops.hpp"
+
+namespace hpnn::obf {
+
+namespace {
+constexpr std::uint32_t kChallengeMagic = 0x4850'4143u;  // "HPAC"
+}
+
+AttestationChallenge make_challenge(LockedModel& model,
+                                    std::int64_t num_probes, Rng& rng,
+                                    float probe_stddev) {
+  HPNN_CHECK(num_probes > 0, "challenge needs at least one probe");
+  const auto& cfg = model.config();
+  AttestationChallenge challenge;
+  challenge.probes = Tensor::normal(
+      Shape{num_probes, cfg.in_channels, cfg.image_size, cfg.image_size},
+      rng, 0.0f, probe_stddev);
+  model.network().set_training(false);
+  challenge.expected =
+      ops::argmax_rows(model.network().forward(challenge.probes));
+  return challenge;
+}
+
+AttestationResult check_response(const AttestationChallenge& challenge,
+                                 const std::vector<std::int64_t>& response) {
+  HPNN_CHECK(response.size() == challenge.expected.size(),
+             "attestation response length mismatch");
+  std::int64_t agree = 0;
+  for (std::size_t i = 0; i < response.size(); ++i) {
+    agree += (response[i] == challenge.expected[i]);
+  }
+  AttestationResult result;
+  result.agreement = static_cast<double>(agree) /
+                     static_cast<double>(response.size());
+  result.passed = result.agreement >= challenge.min_agreement;
+  return result;
+}
+
+void write_challenge(std::ostream& os,
+                     const AttestationChallenge& challenge) {
+  BinaryWriter w(os);
+  w.write_u32(kChallengeMagic);
+  w.write_i64_vector(challenge.probes.shape().dims());
+  w.write_f32_vector(std::vector<float>(
+      challenge.probes.data(),
+      challenge.probes.data() + challenge.probes.numel()));
+  w.write_i64_vector(challenge.expected);
+  w.write_f64(challenge.min_agreement);
+}
+
+AttestationChallenge read_challenge(std::istream& is) {
+  BinaryReader r(is);
+  if (r.read_u32() != kChallengeMagic) {
+    throw SerializationError("not an HPNN attestation challenge");
+  }
+  AttestationChallenge challenge;
+  const Shape shape{r.read_i64_vector()};
+  auto values = r.read_f32_vector();
+  if (static_cast<std::int64_t>(values.size()) != shape.numel() ||
+      shape.rank() != 4) {
+    throw SerializationError("corrupt challenge probe tensor");
+  }
+  challenge.probes = Tensor(shape, std::move(values));
+  challenge.expected = r.read_i64_vector();
+  if (static_cast<std::int64_t>(challenge.expected.size()) != shape.dim(0)) {
+    throw SerializationError("corrupt challenge expectations");
+  }
+  challenge.min_agreement = r.read_f64();
+  if (challenge.min_agreement <= 0.0 || challenge.min_agreement > 1.0) {
+    throw SerializationError("corrupt challenge threshold");
+  }
+  return challenge;
+}
+
+}  // namespace hpnn::obf

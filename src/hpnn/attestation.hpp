@@ -1,0 +1,50 @@
+// Device attestation: challenge/response verification that a trusted
+// device holds the correct HPNN key for a published model.
+//
+// Deployment problem the paper leaves open: after downloading an obfuscated
+// model, an end-user (or the owner's license service) wants to confirm the
+// hardware actually decodes it — without ever seeing the key. The owner
+// generates a challenge set of random probe inputs plus the predictions the
+// *correctly keyed* model makes on them. A device proves possession of the
+// key by reproducing those predictions; a device with a wrong key (or a
+// stolen model run unlocked) falls to chance agreement.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "hpnn/locked_model.hpp"
+
+namespace hpnn::obf {
+
+struct AttestationChallenge {
+  Tensor probes;                          // [N, C, H, W] random inputs
+  std::vector<std::int64_t> expected;     // argmax under the correct key
+  /// Minimum fraction of matching predictions for a pass (int8 device
+  /// datapaths may disagree with the float reference on a few probes).
+  double min_agreement = 0.9;
+};
+
+/// Result of checking a response against a challenge.
+struct AttestationResult {
+  double agreement = 0.0;
+  bool passed = false;
+};
+
+/// Owner side: builds a challenge from the correctly keyed model.
+/// Probes are drawn i.i.d. normal with the given stddev (matching the
+/// standardized input range of the data pipeline).
+AttestationChallenge make_challenge(LockedModel& model,
+                                    std::int64_t num_probes, Rng& rng,
+                                    float probe_stddev = 0.25f);
+
+/// Verifier side: scores a response (predictions for challenge.probes).
+AttestationResult check_response(const AttestationChallenge& challenge,
+                                 const std::vector<std::int64_t>& response);
+
+/// Challenge (de)serialization for shipping alongside the model artifact.
+void write_challenge(std::ostream& os, const AttestationChallenge& challenge);
+AttestationChallenge read_challenge(std::istream& is);
+
+}  // namespace hpnn::obf

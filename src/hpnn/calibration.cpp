@@ -1,0 +1,64 @@
+#include "hpnn/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/layers.hpp"
+#include "nn/residual.hpp"
+
+namespace hpnn::obf {
+
+namespace {
+
+float max_abs(const Tensor& t) {
+  float m = 0.0f;
+  for (const auto v : t.span()) {
+    m = std::max(m, std::fabs(v));
+  }
+  return m;
+}
+
+/// Walks the module tree exactly like hw::TrustedDevice::exec_module does,
+/// recording the input magnitude of every MAC layer.
+Tensor walk(nn::Module& m, Tensor x, ActivationScales& scales) {
+  if (auto* seq = dynamic_cast<nn::Sequential*>(&m)) {
+    for (std::size_t i = 0; i < seq->size(); ++i) {
+      x = walk(seq->at(i), std::move(x), scales);
+    }
+    return x;
+  }
+  if (auto* res = dynamic_cast<nn::Residual*>(&m)) {
+    Tensor main_out = walk(res->main(), x, scales);
+    Tensor skip = res->shortcut() ? walk(*res->shortcut(), x, scales)
+                                  : std::move(x);
+    main_out.add_(skip);
+    if (res->post() != nullptr) {
+      main_out = walk(*res->post(), std::move(main_out), scales);
+    }
+    return main_out;
+  }
+  if (dynamic_cast<nn::Conv2d*>(&m) != nullptr ||
+      dynamic_cast<nn::Linear*>(&m) != nullptr) {
+    scales.push_back(std::max(max_abs(x), 1e-6f) / 127.0f);
+  }
+  return m.forward(x);
+}
+
+}  // namespace
+
+ActivationScales calibrate_activation_scales(LockedModel& model,
+                                             const Tensor& calibration_batch) {
+  HPNN_CHECK(calibration_batch.rank() == 4 && calibration_batch.dim(0) > 0,
+             "calibration batch must be a non-empty NCHW tensor");
+  const bool was_training = model.network().training();
+  model.network().set_training(false);
+  ActivationScales scales;
+  (void)walk(model.network(), calibration_batch, scales);
+  model.network().set_training(was_training);
+  HPNN_CHECK(!scales.empty(), "model has no MAC layers to calibrate");
+  return scales;
+}
+
+}  // namespace hpnn::obf

@@ -1,0 +1,25 @@
+// Static-quantization calibration (owner side).
+//
+// The trusted device quantizes activations to int8 before each MAC layer.
+// Dynamic (per-batch) scales are simple but unrealistic for streaming
+// hardware; real deployments calibrate per-layer scales offline and ship
+// them with the model. This module runs a calibration batch through the
+// locked network and records max|x| at the input of every MAC (Conv2d /
+// Linear) layer, in the exact traversal order the device executes them.
+#pragma once
+
+#include <vector>
+
+#include "hpnn/locked_model.hpp"
+
+namespace hpnn::obf {
+
+/// One scale per MAC layer, in device execution order. scale = max|x|/127.
+using ActivationScales = std::vector<float>;
+
+/// Runs `calibration_batch` (NCHW) through the model in eval mode and
+/// returns the per-MAC-layer input scales.
+ActivationScales calibrate_activation_scales(LockedModel& model,
+                                             const Tensor& calibration_batch);
+
+}  // namespace hpnn::obf

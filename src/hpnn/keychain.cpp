@@ -1,0 +1,39 @@
+#include "hpnn/keychain.hpp"
+
+namespace hpnn::obf {
+
+std::string key_fingerprint(const HpnnKey& key) {
+  return to_hex(Sha256::hash("hpnn-key-fp:" + key.to_hex()));
+}
+
+HpnnKey derive_model_key(const HpnnKey& master, const std::string& model_id) {
+  const Sha256Digest digest =
+      Sha256::hash("hpnn-model-key:" + master.to_hex() + ":" + model_id);
+  return HpnnKey::from_hex(to_hex(digest));
+}
+
+std::uint64_t derive_schedule_seed(const HpnnKey& master,
+                                   const std::string& model_id) {
+  const Sha256Digest digest =
+      Sha256::hash("hpnn-schedule:" + master.to_hex() + ":" + model_id);
+  std::uint64_t seed = 0;
+  for (int i = 0; i < 8; ++i) {
+    seed = (seed << 8) | digest[static_cast<std::size_t>(i)];
+  }
+  return seed;
+}
+
+License License::issue(const HpnnKey& master, const std::string& model_id) {
+  License lic;
+  lic.model_id = model_id;
+  lic.master_fingerprint = key_fingerprint(master);
+  lic.model_key_fingerprint =
+      key_fingerprint(derive_model_key(master, model_id));
+  return lic;
+}
+
+bool License::matches_model_key(const HpnnKey& candidate) const {
+  return key_fingerprint(candidate) == model_key_fingerprint;
+}
+
+}  // namespace hpnn::obf

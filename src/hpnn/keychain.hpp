@@ -1,0 +1,46 @@
+// Key management on top of the raw 256-bit HPNN key.
+//
+// The paper notes (Sec. III-A) that one HPNN key can lock several models.
+// In practice an owner wants per-model key diversification — compromising
+// one model's lock pattern must not expose another's — while the trusted
+// device holds a single master secret. This module derives per-model
+// subkeys and schedule seeds from (master key, model id) with SHA-256, and
+// provides public key fingerprints for license bookkeeping.
+#pragma once
+
+#include <string>
+
+#include "core/sha256.hpp"
+#include "hpnn/key.hpp"
+
+namespace hpnn::obf {
+
+/// Public identifier of a key: SHA-256 of its hex form. Safe to print/store
+/// in license databases; reveals nothing about the key bits.
+std::string key_fingerprint(const HpnnKey& key);
+
+/// Derives the per-model HPNN key: SHA256(master || ":" || model_id)
+/// interpreted as 256 key bits. Deterministic on both the owner's side and
+/// the device's side.
+HpnnKey derive_model_key(const HpnnKey& master, const std::string& model_id);
+
+/// Derives the per-model scheduling seed from the same material (domain
+/// separated), so each model also gets its own private neuron->unit map.
+std::uint64_t derive_schedule_seed(const HpnnKey& master,
+                                   const std::string& model_id);
+
+/// A license record the owner hands to a hardware vendor for provisioning:
+/// binds a device batch to a master key fingerprint and a model id.
+struct License {
+  std::string model_id;
+  std::string master_fingerprint;  // fingerprint of the master key
+  std::string model_key_fingerprint;
+
+  /// Issues the license record for (master, model_id).
+  static License issue(const HpnnKey& master, const std::string& model_id);
+
+  /// True if `candidate` is the model key this license was issued for.
+  bool matches_model_key(const HpnnKey& candidate) const;
+};
+
+}  // namespace hpnn::obf

@@ -1,0 +1,111 @@
+#include "hpnn/locked_activation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace hpnn::obf {
+
+LockedActivation::LockedActivation(std::string name, Tensor lock,
+                                   ActivationKind kind)
+    : name_(std::move(name)), lock_(std::move(lock)), kind_(kind) {
+  validate_mask(lock_, name_);
+}
+
+float LockedActivation::f(float z) const {
+  switch (kind_) {
+    case ActivationKind::kRelu:
+      return std::max(z, 0.0f);
+    case ActivationKind::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-z));
+    case ActivationKind::kTanh:
+      return std::tanh(z);
+  }
+  return z;
+}
+
+float LockedActivation::f_prime(float z) const {
+  switch (kind_) {
+    case ActivationKind::kRelu:
+      return z > 0.0f ? 1.0f : 0.0f;
+    case ActivationKind::kSigmoid: {
+      const float s = 1.0f / (1.0f + std::exp(-z));
+      return s * (1.0f - s);
+    }
+    case ActivationKind::kTanh: {
+      const float t = std::tanh(z);
+      return 1.0f - t * t;
+    }
+  }
+  return 1.0f;
+}
+
+void LockedActivation::validate_mask(const Tensor& lock,
+                                     const std::string& name) {
+  HPNN_CHECK(lock.numel() > 0, name + ": empty lock mask");
+  for (const auto v : lock.span()) {
+    HPNN_CHECK(v == 1.0f || v == -1.0f,
+               name + ": lock factors must be +1 or -1");
+  }
+}
+
+Tensor LockedActivation::forward(const Tensor& x) {
+  const std::int64_t per_sample = lock_.numel();
+  HPNN_CHECK(x.rank() >= 2 && x.numel() % per_sample == 0 &&
+                 x.numel() / x.dim(0) == per_sample,
+             name_ + ": input " + x.shape().to_string() +
+                 " incompatible with lock mask of " +
+                 std::to_string(per_sample) + " neurons");
+  const std::int64_t batch = x.dim(0);
+
+  cached_signed_ = Tensor(x.shape());
+  Tensor out(x.shape());
+  const float* lock = lock_.data();
+  const float* in = x.data();
+  float* signedz = cached_signed_.data();
+  float* o = out.data();
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const std::int64_t base = n * per_sample;
+    for (std::int64_t i = 0; i < per_sample; ++i) {
+      const float z = lock[i] * in[base + i];  // L_j * MAC_j
+      signedz[base + i] = z;
+      o[base + i] = f(z);                       // f(L_j * MAC_j), Eq. (1)
+    }
+  }
+  return out;
+}
+
+Tensor LockedActivation::backward(const Tensor& grad_out) {
+  HPNN_CHECK(grad_out.shape() == cached_signed_.shape(),
+             name_ + ": backward before forward or shape mismatch");
+  const std::int64_t per_sample = lock_.numel();
+  const std::int64_t batch = grad_out.dim(0);
+
+  Tensor grad_x(grad_out.shape());
+  const float* lock = lock_.data();
+  const float* g = grad_out.data();
+  const float* signedz = cached_signed_.data();
+  float* gx = grad_x.data();
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const std::int64_t base = n * per_sample;
+    for (std::int64_t i = 0; i < per_sample; ++i) {
+      // dE/dMAC = dE/dout * f'(L*MAC) * L  — the key-dependent delta rule.
+      gx[base + i] = g[base + i] * f_prime(signedz[base + i]) * lock[i];
+    }
+  }
+  return grad_x;
+}
+
+void LockedActivation::set_lock(Tensor lock) {
+  HPNN_CHECK(lock.shape() == lock_.shape(),
+             name_ + ": lock mask shape mismatch");
+  validate_mask(lock, name_);
+  lock_ = std::move(lock);
+}
+
+void LockedActivation::clear_lock() {
+  lock_.fill(1.0f);
+}
+
+}  // namespace hpnn::obf

@@ -1,0 +1,59 @@
+// The key-locked neuron (Sec. III-B) and the key-dependent delta rule
+// (Sec. III-C) of the paper.
+//
+// A locked neuron computes out_j = f(L_j * MAC_j) with L_j = (-1)^{k_j}
+// (Eqs. 1-2). Placing the lock on the activation module means the generic
+// layers need no changes: in backward(), dE/dMAC_j = dE/dout_j *
+// f'(L_j MAC_j) * L_j, which is exactly the delta-rule factor of Eq. (4)/(5)
+// riding the ordinary chain rule.
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace hpnn::obf {
+
+/// Nonlinearity f applied inside a locked neuron. The paper's networks use
+/// ReLU (Table I); sigmoid/tanh are provided because the theory of
+/// Sec. III-C is stated for a generic differentiable f (and the Theorem 1
+/// tests need f'(0) != 0).
+enum class ActivationKind { kRelu, kSigmoid, kTanh };
+
+/// Activation locked with a per-neuron {+1, -1} lock-factor mask (broadcast
+/// over the batch dimension).
+class LockedActivation : public nn::Module {
+ public:
+  /// `lock` must have shape == per-sample activation shape, entries in
+  /// {+1, -1}. Throws InvariantError otherwise.
+  LockedActivation(std::string name, Tensor lock,
+                   ActivationKind kind = ActivationKind::kRelu);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return name_; }
+
+  const Tensor& lock() const { return lock_; }
+
+  /// Installs a new lock mask (same shape). Used to apply / remove / corrupt
+  /// keys on an already-built network.
+  void set_lock(Tensor lock);
+
+  /// Sets every lock factor to +1 (the attacker's "no key" baseline view).
+  void clear_lock();
+
+  std::int64_t neuron_count() const { return lock_.numel(); }
+  ActivationKind kind() const { return kind_; }
+
+ private:
+  static void validate_mask(const Tensor& lock, const std::string& name);
+  float f(float z) const;        // the activation function
+  float f_prime(float z) const;  // its derivative (subgradient for ReLU)
+
+  std::string name_;
+  Tensor lock_;          // per-sample {+1,-1} mask
+  ActivationKind kind_;
+  Tensor cached_signed_; // L ⊙ z for the last forward batch
+};
+
+}  // namespace hpnn::obf

@@ -1,0 +1,50 @@
+#include "hpnn/locked_model.hpp"
+
+#include "core/error.hpp"
+
+namespace hpnn::obf {
+
+LockedModel::LockedModel(models::Architecture arch,
+                         const models::ModelConfig& config,
+                         const HpnnKey& key, const Scheduler& scheduler)
+    : arch_(arch), config_(config) {
+  HPNN_CHECK(!config_.activation,
+             "LockedModel installs its own activation factory; leave "
+             "ModelConfig::activation empty");
+
+  models::ModelConfig build_cfg = config_;
+  build_cfg.activation = [this, &key, &scheduler](const std::string& name,
+                                                  const Shape& act_shape) {
+    LockSpec spec{name, static_cast<std::int64_t>(specs_.size()), act_shape};
+    Tensor mask = scheduler.lock_mask(spec, key);
+    auto act = std::make_unique<LockedActivation>(name, std::move(mask));
+    activations_.push_back(act.get());
+    specs_.push_back(std::move(spec));
+    return act;
+  };
+  net_ = models::build(arch_, build_cfg);
+  HPNN_CHECK(!activations_.empty(),
+             "architecture has no nonlinear layers to lock");
+}
+
+std::int64_t LockedModel::locked_neuron_count() const {
+  std::int64_t n = 0;
+  for (const auto& spec : specs_) {
+    n += spec.neuron_count();
+  }
+  return n;
+}
+
+void LockedModel::apply_key(const HpnnKey& key, const Scheduler& scheduler) {
+  for (std::size_t i = 0; i < activations_.size(); ++i) {
+    activations_[i]->set_lock(scheduler.lock_mask(specs_[i], key));
+  }
+}
+
+void LockedModel::remove_locks() {
+  for (auto* act : activations_) {
+    act->clear_lock();
+  }
+}
+
+}  // namespace hpnn::obf

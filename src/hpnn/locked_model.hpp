@@ -1,0 +1,55 @@
+// A network whose nonlinear layers are key-locked (the HPNN framework's
+// obfuscated DL model).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hpnn/key.hpp"
+#include "hpnn/locked_activation.hpp"
+#include "hpnn/scheduler.hpp"
+#include "models/zoo.hpp"
+
+namespace hpnn::obf {
+
+/// An architecture built with LockedActivation modules in place of every
+/// plain ReLU, with lock masks derived from (key, scheduler).
+class LockedModel {
+ public:
+  /// Builds the architecture and installs the lock masks for `key`.
+  /// `config.activation` must be empty (the locked factory is installed
+  /// internally); throws InvariantError otherwise.
+  LockedModel(models::Architecture arch, const models::ModelConfig& config,
+              const HpnnKey& key, const Scheduler& scheduler);
+
+  nn::Sequential& network() { return *net_; }
+  const nn::Sequential& network() const { return *net_; }
+  models::Architecture architecture() const { return arch_; }
+  const models::ModelConfig& config() const { return config_; }
+  const std::vector<LockSpec>& lock_specs() const { return specs_; }
+
+  /// Total locked neurons (Table I column 3).
+  std::int64_t locked_neuron_count() const;
+
+  /// Recomputes every lock mask for a (possibly different) key/schedule —
+  /// e.g. to evaluate a wrong-key guess.
+  void apply_key(const HpnnKey& key, const Scheduler& scheduler);
+
+  /// Sets all lock factors to +1: the attacker's view, i.e. the stolen
+  /// weights loaded into the plain baseline architecture (no key).
+  void remove_locks();
+
+  /// Direct access to the locked activation modules (layer order).
+  const std::vector<LockedActivation*>& activations() const {
+    return activations_;
+  }
+
+ private:
+  models::Architecture arch_;
+  models::ModelConfig config_;
+  std::unique_ptr<nn::Sequential> net_;
+  std::vector<LockedActivation*> activations_;  // owned by net_
+  std::vector<LockSpec> specs_;
+};
+
+}  // namespace hpnn::obf

@@ -1,0 +1,218 @@
+#include "hpnn/model_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/serialize.hpp"
+#include "core/sha256.hpp"
+
+namespace hpnn::obf {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4850'4E4Eu;  // "HPNN"
+// v2 appended a SHA-256 integrity digest over the payload; v3 added the
+// optional static-quantization activation scales.
+constexpr std::uint32_t kVersion = 3;
+
+void write_named_tensors(
+    BinaryWriter& w,
+    const std::vector<PublishedModel::NamedTensor>& tensors) {
+  w.write_u64(tensors.size());
+  for (const auto& t : tensors) {
+    w.write_string(t.name);
+    w.write_i64_vector(t.value.shape().dims());
+    w.write_f32_vector(
+        std::vector<float>(t.value.data(), t.value.data() + t.value.numel()));
+  }
+}
+
+std::vector<PublishedModel::NamedTensor> read_named_tensors(BinaryReader& r) {
+  const std::uint64_t count = r.read_u64();
+  if (count > 100000) {
+    throw SerializationError("implausible tensor count in artifact");
+  }
+  std::vector<PublishedModel::NamedTensor> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PublishedModel::NamedTensor t;
+    t.name = r.read_string();
+    const Shape shape{r.read_i64_vector()};
+    auto values = r.read_f32_vector();
+    if (static_cast<std::int64_t>(values.size()) != shape.numel()) {
+      throw SerializationError("tensor " + t.name +
+                               " data does not match its shape");
+    }
+    t.value = Tensor(shape, std::move(values));
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+models::ModelConfig PublishedModel::model_config(
+    std::uint64_t init_seed) const {
+  models::ModelConfig cfg;
+  cfg.in_channels = in_channels;
+  cfg.image_size = image_size;
+  cfg.num_classes = num_classes;
+  cfg.width_mult = width_mult;
+  cfg.init_seed = init_seed;
+  return cfg;
+}
+
+void publish_model(std::ostream& os, const LockedModel& model,
+                   const std::vector<float>& activation_scales) {
+  // Build the payload in memory so an integrity digest can be appended —
+  // a model-zoo download is untrusted input on the consumer side.
+  std::ostringstream payload_stream;
+  {
+    BinaryWriter w(payload_stream);
+    w.write_string(models::arch_name(model.architecture()));
+    const auto& cfg = model.config();
+    w.write_i64(cfg.in_channels);
+    w.write_i64(cfg.image_size);
+    w.write_i64(cfg.num_classes);
+    w.write_f64(cfg.width_mult);
+
+    auto& net = const_cast<nn::Sequential&>(model.network());
+    std::vector<PublishedModel::NamedTensor> params;
+    for (const auto* p : nn::parameters_of(net)) {
+      params.push_back({p->name, p->value});
+    }
+    write_named_tensors(w, params);
+    std::vector<PublishedModel::NamedTensor> buffers;
+    for (const auto& [name, tensor] : nn::buffers_of(net)) {
+      buffers.push_back({name, *tensor});
+    }
+    write_named_tensors(w, buffers);
+    w.write_f32_vector(activation_scales);
+  }
+  const std::string payload = payload_stream.str();
+  const Sha256Digest digest = Sha256::hash(payload);
+
+  BinaryWriter w(os);
+  w.write_u32(kMagic);
+  w.write_u32(kVersion);
+  w.write_string(payload);
+  w.write_u8_vector(
+      std::vector<std::uint8_t>(digest.begin(), digest.end()));
+}
+
+PublishedModel read_published_model(std::istream& is) {
+  BinaryReader outer(is);
+  if (outer.read_u32() != kMagic) {
+    throw SerializationError("not an HPNN model artifact (bad magic)");
+  }
+  const std::uint32_t version = outer.read_u32();
+  if (version != kVersion) {
+    throw SerializationError("unsupported artifact version " +
+                             std::to_string(version));
+  }
+  const std::string payload = outer.read_string();
+  const auto digest_bytes = outer.read_u8_vector();
+  if (digest_bytes.size() != 32) {
+    throw SerializationError("artifact integrity digest malformed");
+  }
+  const Sha256Digest digest = Sha256::hash(payload);
+  if (!std::equal(digest.begin(), digest.end(), digest_bytes.begin())) {
+    throw SerializationError(
+        "artifact integrity check failed (corrupted or tampered)");
+  }
+
+  std::istringstream payload_stream{payload};
+  BinaryReader r(payload_stream);
+  PublishedModel m;
+  try {
+    m.arch = models::arch_from_name(r.read_string());
+  } catch (const Error& e) {
+    throw SerializationError(std::string("artifact architecture: ") +
+                             e.what());
+  }
+  m.in_channels = r.read_i64();
+  m.image_size = r.read_i64();
+  m.num_classes = r.read_i64();
+  m.width_mult = r.read_f64();
+  if (m.in_channels <= 0 || m.image_size <= 0 || m.num_classes <= 0 ||
+      m.width_mult <= 0.0) {
+    throw SerializationError("corrupt artifact header");
+  }
+  m.parameters = read_named_tensors(r);
+  m.buffers = read_named_tensors(r);
+  m.activation_scales = r.read_f32_vector();
+  for (const float s : m.activation_scales) {
+    if (!(s > 0.0f)) {
+      throw SerializationError("corrupt activation scale in artifact");
+    }
+  }
+  return m;
+}
+
+void load_weights(const PublishedModel& artifact, nn::Module& net) {
+  const auto params = nn::parameters_of(net);
+  if (params.size() != artifact.parameters.size()) {
+    throw SerializationError(
+        "artifact parameter count does not match architecture (" +
+        std::to_string(artifact.parameters.size()) + " vs " +
+        std::to_string(params.size()) + ")");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto& src = artifact.parameters[i];
+    if (src.name != params[i]->name ||
+        !(src.value.shape() == params[i]->value.shape())) {
+      throw SerializationError("artifact parameter mismatch at " + src.name);
+    }
+    params[i]->value = src.value;
+  }
+  const auto buffers = nn::buffers_of(net);
+  if (buffers.size() != artifact.buffers.size()) {
+    throw SerializationError("artifact buffer count mismatch");
+  }
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    const auto& src = artifact.buffers[i];
+    if (src.name != buffers[i].first ||
+        !(src.value.shape() == buffers[i].second->shape())) {
+      throw SerializationError("artifact buffer mismatch at " + src.name);
+    }
+    *buffers[i].second = src.value;
+  }
+}
+
+std::unique_ptr<nn::Sequential> instantiate_baseline(
+    const PublishedModel& artifact) {
+  auto cfg = artifact.model_config();
+  cfg.activation = models::plain_relu_factory();
+  auto net = models::build(artifact.arch, cfg);
+  load_weights(artifact, *net);
+  return net;
+}
+
+std::unique_ptr<LockedModel> instantiate_locked(const PublishedModel& artifact,
+                                                const HpnnKey& key,
+                                                const Scheduler& scheduler) {
+  auto model = std::make_unique<LockedModel>(
+      artifact.arch, artifact.model_config(), key, scheduler);
+  load_weights(artifact, model->network());
+  return model;
+}
+
+void publish_model_file(const std::string& path, const LockedModel& model) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw SerializationError("cannot open " + path + " for writing");
+  }
+  publish_model(os, model);
+}
+
+PublishedModel read_published_model_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw SerializationError("cannot open " + path);
+  }
+  return read_published_model(is);
+}
+
+}  // namespace hpnn::obf

@@ -1,0 +1,70 @@
+// Obfuscated-model container format: what the owner uploads to the public
+// model-sharing platform and what end-users (and attackers) download.
+//
+// The artifact contains the *baseline architecture description and the
+// trained weights only* — never the HPNN key or the scheduling secret. That
+// is the point of the framework: the file can be published openly because
+// the weights are meaningless without the on-chip key (Fig. 1).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hpnn/locked_model.hpp"
+#include "nn/module.hpp"
+
+namespace hpnn::obf {
+
+/// In-memory form of a downloaded model-zoo artifact.
+struct PublishedModel {
+  models::Architecture arch = models::Architecture::kCnn1;
+  std::int64_t in_channels = 0;
+  std::int64_t image_size = 0;
+  std::int64_t num_classes = 0;
+  double width_mult = 1.0;
+
+  struct NamedTensor {
+    std::string name;
+    Tensor value;
+  };
+  std::vector<NamedTensor> parameters;
+  std::vector<NamedTensor> buffers;
+  /// Optional static-quantization scales, one per MAC layer in device
+  /// execution order (empty = device falls back to dynamic quantization).
+  std::vector<float> activation_scales;
+
+  /// ModelConfig reconstructing the published topology (activation unset).
+  models::ModelConfig model_config(std::uint64_t init_seed = 0) const;
+};
+
+/// Serializes the locked model's architecture + weights (key NOT included).
+/// `activation_scales` optionally embeds calibrated static-quantization
+/// scales (see hpnn/calibration.hpp).
+void publish_model(std::ostream& os, const LockedModel& model,
+                   const std::vector<float>& activation_scales = {});
+
+/// Parses a model-zoo artifact; throws SerializationError on corruption.
+PublishedModel read_published_model(std::istream& is);
+
+/// Loads published weights into a freshly built network of the matching
+/// architecture; throws SerializationError if names/shapes disagree.
+void load_weights(const PublishedModel& artifact, nn::Module& net);
+
+/// Attacker's view: the baseline architecture (plain ReLUs) initialized with
+/// the stolen weights.
+std::unique_ptr<nn::Sequential> instantiate_baseline(
+    const PublishedModel& artifact);
+
+/// Authorized view: the locked network with masks from (key, scheduler) and
+/// the published weights — what the trusted device effectively executes.
+std::unique_ptr<LockedModel> instantiate_locked(const PublishedModel& artifact,
+                                                const HpnnKey& key,
+                                                const Scheduler& scheduler);
+
+/// File-path conveniences.
+void publish_model_file(const std::string& path, const LockedModel& model);
+PublishedModel read_published_model_file(const std::string& path);
+
+}  // namespace hpnn::obf

@@ -1,0 +1,59 @@
+#include "hpnn/owner.hpp"
+
+#include "core/logging.hpp"
+
+namespace hpnn::obf {
+
+OwnerTrainReport train_locked_model(LockedModel& model,
+                                    const data::Dataset& train,
+                                    const data::Dataset& test,
+                                    const OwnerTrainOptions& options) {
+  train.validate();
+  test.validate();
+
+  nn::SoftmaxCrossEntropy loss;
+  nn::Sgd opt(nn::parameters_of(model.network()), options.sgd);
+  nn::TrainConfig cfg;
+  cfg.epochs = options.epochs;
+  cfg.batch_size = options.batch_size;
+  cfg.shuffle_seed = options.shuffle_seed;
+  cfg.lr_step = options.lr_step;
+  cfg.lr_gamma = options.lr_gamma;
+
+  const auto result = nn::fit(model.network(), loss, opt, train.images,
+                              train.labels, cfg);
+
+  OwnerTrainReport report;
+  report.epoch_loss = result.epoch_loss;
+  report.train_accuracy =
+      nn::evaluate_accuracy(model.network(), train.images, train.labels);
+  report.test_accuracy =
+      nn::evaluate_accuracy(model.network(), test.images, test.labels);
+  HPNN_LOG(Debug) << "owner training done: train acc "
+                  << report.train_accuracy << ", test acc "
+                  << report.test_accuracy;
+  return report;
+}
+
+double evaluate_without_key(LockedModel& model, const HpnnKey& key,
+                            const Scheduler& scheduler,
+                            const data::Dataset& test) {
+  model.remove_locks();
+  const double acc =
+      nn::evaluate_accuracy(model.network(), test.images, test.labels);
+  model.apply_key(key, scheduler);
+  return acc;
+}
+
+double evaluate_with_key(LockedModel& model, const HpnnKey& trial_key,
+                         const HpnnKey& correct_key,
+                         const Scheduler& scheduler,
+                         const data::Dataset& test) {
+  model.apply_key(trial_key, scheduler);
+  const double acc =
+      nn::evaluate_accuracy(model.network(), test.images, test.labels);
+  model.apply_key(correct_key, scheduler);
+  return acc;
+}
+
+}  // namespace hpnn::obf

@@ -1,0 +1,49 @@
+// The DL model owner's workflow (Fig. 1, left): key-dependent training of a
+// network and convenience evaluation under different key scenarios.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "hpnn/locked_model.hpp"
+#include "nn/optim.hpp"
+#include "nn/trainer.hpp"
+
+namespace hpnn::obf {
+
+struct OwnerTrainOptions {
+  nn::Sgd::Options sgd{0.05, 0.9, 5e-4};
+  std::int64_t epochs = 8;
+  std::int64_t batch_size = 32;
+  std::uint64_t shuffle_seed = 11;
+  std::int64_t lr_step = 0;     // 0 disables lr decay
+  double lr_gamma = 1.0;
+};
+
+struct OwnerTrainReport {
+  std::vector<double> epoch_loss;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;   // with the correct key applied
+};
+
+/// Trains `model` with key-dependent backpropagation (the lock factors are
+/// already baked into the network's LockedActivation modules, so plain SGD
+/// performs the Sec. III-C learning rule) and evaluates it.
+OwnerTrainReport train_locked_model(LockedModel& model,
+                                    const data::Dataset& train,
+                                    const data::Dataset& test,
+                                    const OwnerTrainOptions& options);
+
+/// Accuracy of the locked model as run by an attacker with NO key, i.e. the
+/// stolen weights in the plain baseline architecture. Restores the previous
+/// lock masks afterwards.
+double evaluate_without_key(LockedModel& model, const HpnnKey& key,
+                            const Scheduler& scheduler,
+                            const data::Dataset& test);
+
+/// Accuracy of the locked model under an arbitrary (possibly wrong) key.
+/// Restores the correct key afterwards.
+double evaluate_with_key(LockedModel& model, const HpnnKey& trial_key,
+                         const HpnnKey& correct_key,
+                         const Scheduler& scheduler,
+                         const data::Dataset& test);
+
+}  // namespace hpnn::obf

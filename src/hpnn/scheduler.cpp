@@ -1,0 +1,56 @@
+#include "hpnn/scheduler.hpp"
+
+#include "core/error.hpp"
+
+namespace hpnn::obf {
+
+Scheduler::Scheduler(std::uint64_t schedule_seed, SchedulePolicy policy)
+    : seed_(schedule_seed), policy_(policy) {
+  Rng rng(schedule_seed);
+  const auto perm = rng.permutation(static_cast<std::size_t>(kUnits));
+  permutation_.resize(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    permutation_[i] = static_cast<std::uint16_t>(perm[i]);
+  }
+}
+
+std::vector<std::uint16_t> Scheduler::assign_units(std::int64_t layer_index,
+                                                   std::int64_t count) const {
+  HPNN_CHECK(layer_index >= 0 && count >= 0, "invalid scheduler query");
+  // Per-layer rotation derived from the secret seed; mixing the layer index
+  // through SplitMix-style constants keeps layers decorrelated.
+  std::uint64_t x = seed_ ^ (0x9e3779b97f4a7c15ULL *
+                             (static_cast<std::uint64_t>(layer_index) + 1));
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  const auto rotation = static_cast<std::int64_t>((x ^ (x >> 31)) %
+                                                  static_cast<std::uint64_t>(
+                                                      kUnits));
+  std::vector<std::uint16_t> units(static_cast<std::size_t>(count));
+  if (policy_ == SchedulePolicy::kInterleaved) {
+    for (std::int64_t i = 0; i < count; ++i) {
+      units[static_cast<std::size_t>(i)] =
+          permutation_[static_cast<std::size_t>((i + rotation) % kUnits)];
+    }
+  } else {
+    // Blocked: contiguous chunks of ceil(count/kUnits) neurons per unit.
+    const std::int64_t block = (count + kUnits - 1) / kUnits;
+    for (std::int64_t i = 0; i < count; ++i) {
+      units[static_cast<std::size_t>(i)] = permutation_[
+          static_cast<std::size_t>((i / block + rotation) % kUnits)];
+    }
+  }
+  return units;
+}
+
+Tensor Scheduler::lock_mask(const LockSpec& spec, const HpnnKey& key) const {
+  const std::int64_t count = spec.neuron_count();
+  const auto units = assign_units(spec.layer_index, count);
+  Tensor mask(spec.activation_shape);
+  for (std::int64_t i = 0; i < count; ++i) {
+    mask.at(i) = key.lock_factor(units[static_cast<std::size_t>(i)]);
+  }
+  return mask;
+}
+
+}  // namespace hpnn::obf

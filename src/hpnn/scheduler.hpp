@@ -1,0 +1,72 @@
+// Hardware-specific scheduling (Sec. III-D2 of the paper).
+//
+// A modern DNN has far more locked neurons than the 256 accumulator units of
+// the TPU-like trusted device, so many neurons share one key bit. The
+// mapping neuron -> accumulator unit is fixed by the device's (private)
+// scheduling algorithm; the model owner uses the same algorithm at training
+// time to expand the 256-bit HPNN key into per-neuron lock factors.
+//
+// Our model of that algorithm: output neurons of each layer are assigned to
+// units round-robin (exactly how an output-stationary systolic array tiles
+// an output matrix across its accumulator columns), composed with a secret
+// seeded permutation and per-layer rotation. Both the seed and the rotation
+// schedule are part of the owner's secret, alongside the key.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hpnn/key.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hpnn::obf {
+
+/// Identifies the locked neurons of one nonlinear layer.
+struct LockSpec {
+  std::string layer_name;     // activation module name, e.g. "act3"
+  std::int64_t layer_index;   // position among locked layers (0-based)
+  Shape activation_shape;     // per-sample activation shape
+
+  std::int64_t neuron_count() const { return activation_shape.numel(); }
+};
+
+/// Neuron→unit assignment policy. Different accelerators tile their output
+/// space differently; both policies are balanced, differ only in grouping:
+///  - kInterleaved: adjacent neurons land on different units (round-robin,
+///    an output-stationary column sweep);
+///  - kBlocked: contiguous neuron blocks share a unit (a row-major tile
+///    walk). The policy is part of the owner's private schedule config.
+enum class SchedulePolicy { kInterleaved, kBlocked };
+
+class Scheduler {
+ public:
+  /// Number of accumulator units on the trusted device (== HPNN key bits).
+  static constexpr std::int64_t kUnits = 256;
+
+  /// `schedule_seed` is the private parameter of the scheduling algorithm.
+  explicit Scheduler(std::uint64_t schedule_seed,
+                     SchedulePolicy policy = SchedulePolicy::kInterleaved);
+
+  std::uint64_t seed() const { return seed_; }
+  SchedulePolicy policy() const { return policy_; }
+
+  /// Accumulator unit for each neuron [0, count) of the given locked layer.
+  std::vector<std::uint16_t> assign_units(std::int64_t layer_index,
+                                          std::int64_t count) const;
+
+  /// Expands the HPNN key into the per-neuron lock-factor tensor
+  /// L in {+1, -1}^{activation_shape} for a layer (Eq. 2).
+  Tensor lock_mask(const LockSpec& spec, const HpnnKey& key) const;
+
+  bool operator==(const Scheduler& other) const {
+    return seed_ == other.seed_ && policy_ == other.policy_;
+  }
+
+ private:
+  std::uint64_t seed_;
+  SchedulePolicy policy_;
+  std::vector<std::uint16_t> permutation_;  // secret permutation of [0, 256)
+};
+
+}  // namespace hpnn::obf

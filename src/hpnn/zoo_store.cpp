@@ -1,0 +1,152 @@
+#include "hpnn/zoo_store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/sha256.hpp"
+
+namespace hpnn::obf {
+
+namespace {
+
+std::string hash_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw SerializationError("zoo: cannot open " + path);
+  }
+  Sha256 hasher;
+  char buffer[4096];
+  while (is.read(buffer, sizeof(buffer)) || is.gcount() > 0) {
+    hasher.update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(buffer),
+        static_cast<std::size_t>(is.gcount())));
+    if (is.eof()) {
+      break;
+    }
+  }
+  return to_hex(hasher.finalize());
+}
+
+bool valid_name(const std::string& name) {
+  if (name.empty() || name.size() > 128) {
+    return false;
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ModelZoo::ModelZoo(std::string directory) : directory_(std::move(directory)) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  if (ec) {
+    throw SerializationError("zoo: cannot create directory " + directory_);
+  }
+  load_index();
+}
+
+std::string ModelZoo::index_path() const {
+  return directory_ + "/zoo_index.tsv";
+}
+
+void ModelZoo::load_index() {
+  entries_.clear();
+  std::ifstream is(index_path());
+  if (!is) {
+    return;  // fresh store
+  }
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream row(line);
+    ZooEntry entry;
+    if (!std::getline(row, entry.name, '\t') ||
+        !std::getline(row, entry.file, '\t') ||
+        !std::getline(row, entry.digest_hex)) {
+      throw SerializationError("zoo: corrupt index line: " + line);
+    }
+    if (entry.digest_hex.size() != 64) {
+      throw SerializationError("zoo: corrupt digest for " + entry.name);
+    }
+    entries_.push_back(std::move(entry));
+  }
+}
+
+void ModelZoo::save_index() const {
+  std::ofstream os(index_path(), std::ios::trunc);
+  if (!os) {
+    throw SerializationError("zoo: cannot write index");
+  }
+  for (const auto& entry : entries_) {
+    os << entry.name << '\t' << entry.file << '\t' << entry.digest_hex
+       << '\n';
+  }
+}
+
+void ModelZoo::publish(const std::string& name, const LockedModel& model,
+                       const std::vector<float>& activation_scales) {
+  HPNN_CHECK(valid_name(name),
+             "zoo: model names are [A-Za-z0-9._-], got '" + name + "'");
+  const std::string file = name + ".hpnn";
+  const std::string path = directory_ + "/" + file;
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw SerializationError("zoo: cannot write " + path);
+    }
+    publish_model(os, model, activation_scales);
+  }
+  ZooEntry entry{name, file, hash_file(path)};
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const ZooEntry& e) {
+                                  return e.name == name;
+                                }),
+                 entries_.end());
+  entries_.push_back(std::move(entry));
+  save_index();
+}
+
+std::vector<ZooEntry> ModelZoo::list() const {
+  std::vector<ZooEntry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ZooEntry& a, const ZooEntry& b) {
+              return a.name < b.name;
+            });
+  return sorted;
+}
+
+bool ModelZoo::contains(const std::string& name) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const ZooEntry& e) { return e.name == name; });
+}
+
+PublishedModel ModelZoo::fetch(const std::string& name) const {
+  const auto it =
+      std::find_if(entries_.begin(), entries_.end(),
+                   [&](const ZooEntry& e) { return e.name == name; });
+  if (it == entries_.end()) {
+    throw SerializationError("zoo: no model named '" + name + "'");
+  }
+  const std::string path = directory_ + "/" + it->file;
+  if (hash_file(path) != it->digest_hex) {
+    throw SerializationError("zoo: artifact '" + name +
+                             "' does not match its index digest "
+                             "(tampered or corrupted)");
+  }
+  return read_published_model_file(path);
+}
+
+}  // namespace hpnn::obf

@@ -1,0 +1,56 @@
+// Model-zoo store: the "public model sharing platform" of Fig. 1 as a
+// directory of artifacts with an integrity index.
+//
+// The owner publishes named obfuscated models into the store; consumers
+// list and fetch them. Every artifact's SHA-256 is recorded in the index at
+// publish time and re-verified at fetch time — a zoo mirror that tampers
+// with a model (or a corrupted download) is detected even before the
+// artifact's own embedded digest is checked.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hpnn/model_io.hpp"
+
+namespace hpnn::obf {
+
+struct ZooEntry {
+  std::string name;
+  std::string file;        // artifact filename within the store directory
+  std::string digest_hex;  // SHA-256 of the artifact bytes
+};
+
+class ModelZoo {
+ public:
+  /// Opens (or initializes) a store in `directory`; creates the directory
+  /// if needed. Throws SerializationError if the index is corrupt.
+  explicit ModelZoo(std::string directory);
+
+  const std::string& directory() const { return directory_; }
+
+  /// Publishes `model` under `name` (overwrites an existing entry of the
+  /// same name). Optional calibrated activation scales as in
+  /// publish_model().
+  void publish(const std::string& name, const LockedModel& model,
+               const std::vector<float>& activation_scales = {});
+
+  /// All published entries, sorted by name.
+  std::vector<ZooEntry> list() const;
+
+  bool contains(const std::string& name) const;
+
+  /// Loads an artifact by name; verifies the stored digest against the file
+  /// bytes and throws SerializationError on mismatch or unknown name.
+  PublishedModel fetch(const std::string& name) const;
+
+ private:
+  std::string index_path() const;
+  void load_index();
+  void save_index() const;
+
+  std::string directory_;
+  std::vector<ZooEntry> entries_;
+};
+
+}  // namespace hpnn::obf

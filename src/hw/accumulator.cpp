@@ -1,0 +1,28 @@
+#include "hw/accumulator.hpp"
+
+#include "hw/adder.hpp"
+
+namespace hpnn::hw {
+
+void KeyedAccumulator::accumulate(std::int16_t product) {
+  if (fidelity_ == Fidelity::kBitAccurate) {
+    acc_ = static_cast<std::uint32_t>(keyed_accumulate_bitlevel(
+        acc_, product, key_bit_, kWidth));
+    return;
+  }
+  // Fast path: same arithmetic with native ops (wrap-around on overflow,
+  // matching the 32-bit register). Verified equivalent to the bit-level
+  // path by tests.
+  const auto p = static_cast<std::int32_t>(product);
+  const auto cur = static_cast<std::int32_t>(acc_);
+  const std::int32_t next =
+      key_bit_ ? static_cast<std::int32_t>(
+                     static_cast<std::uint32_t>(cur) -
+                     static_cast<std::uint32_t>(p))
+               : static_cast<std::int32_t>(
+                     static_cast<std::uint32_t>(cur) +
+                     static_cast<std::uint32_t>(p));
+  acc_ = static_cast<std::uint32_t>(next);
+}
+
+}  // namespace hpnn::hw

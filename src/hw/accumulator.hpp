@@ -1,0 +1,44 @@
+// The key-dependent accumulator unit (Fig. 4a of the paper).
+//
+// Each of the device's 256 accumulator units owns one HPNN key bit. A unit
+// collects 16-bit multiplier products into a 32-bit register; its key bit
+// selects accumulate-vs-subtract through the XOR bank (see adder.hpp), so a
+// neuron scheduled onto a k=1 unit produces -MAC with no cycle overhead.
+#pragma once
+
+#include <cstdint>
+
+namespace hpnn::hw {
+
+/// Datapath fidelity: kBitAccurate walks the full-adder chain gate by gate
+/// (slow; used by tests and tiny demos); kFast uses native integer
+/// arithmetic, proven equivalent by the property tests in
+/// tests/hw/accumulator_test.cpp.
+enum class Fidelity { kBitAccurate, kFast };
+
+class KeyedAccumulator {
+ public:
+  static constexpr int kWidth = 32;  // accumulator register width (bits)
+
+  explicit KeyedAccumulator(bool key_bit, Fidelity fidelity = Fidelity::kFast)
+      : key_bit_(key_bit), fidelity_(fidelity) {}
+
+  /// Feeds one 16-bit multiplier product into the unit.
+  void accumulate(std::int16_t product);
+
+  /// Current accumulator value (two's complement interpretation).
+  std::int32_t value() const { return static_cast<std::int32_t>(acc_); }
+
+  /// Clears the register for the next output neuron.
+  void reset() { acc_ = 0; }
+
+  bool key_bit() const { return key_bit_; }
+  Fidelity fidelity() const { return fidelity_; }
+
+ private:
+  bool key_bit_;
+  Fidelity fidelity_;
+  std::uint32_t acc_ = 0;
+};
+
+}  // namespace hpnn::hw

@@ -1,0 +1,65 @@
+#include "hw/activation_unit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace hpnn::hw {
+
+float ActivationUnit::exact(obf::ActivationKind kind, float x) {
+  switch (kind) {
+    case obf::ActivationKind::kRelu:
+      return std::max(x, 0.0f);
+    case obf::ActivationKind::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-x));
+    case obf::ActivationKind::kTanh:
+      return std::tanh(x);
+  }
+  return x;
+}
+
+ActivationUnit::ActivationUnit(obf::ActivationKind kind, float input_range)
+    : kind_(kind), range_(input_range) {
+  HPNN_CHECK(input_range > 0.0f, "activation LUT range must be positive");
+  for (int i = 0; i <= kLutSize; ++i) {
+    const float x = -range_ + 2.0f * range_ * static_cast<float>(i) /
+                                 static_cast<float>(kLutSize);
+    table_[static_cast<std::size_t>(i)] = exact(kind, x);
+  }
+}
+
+float ActivationUnit::apply(float x) const {
+  if (kind_ == obf::ActivationKind::kRelu) {
+    // ReLU is exact in hardware (a mux on the sign bit), no LUT involved.
+    return std::max(x, 0.0f);
+  }
+  const float clamped = std::clamp(x, -range_, range_);
+  const float pos = (clamped + range_) * static_cast<float>(kLutSize) /
+                    (2.0f * range_);
+  const auto idx = static_cast<int>(pos);
+  const int lo = std::clamp(idx, 0, kLutSize - 1);
+  const float frac = pos - static_cast<float>(lo);
+  const float a = table_[static_cast<std::size_t>(lo)];
+  const float b = table_[static_cast<std::size_t>(lo + 1)];
+  return a + (b - a) * frac;
+}
+
+float ActivationUnit::max_error(int probes) const {
+  HPNN_CHECK(probes > 1, "need at least two probes");
+  float worst = 0.0f;
+  for (int i = 0; i < probes; ++i) {
+    // Probe slightly beyond the table range to cover the clamped region.
+    const float x = -1.25f * range_ +
+                    2.5f * range_ * static_cast<float>(i) /
+                        static_cast<float>(probes - 1);
+    // ReLU bypasses the LUT (and its clamp); LUT kinds saturate at ±range.
+    const float ref = kind_ == obf::ActivationKind::kRelu
+                          ? exact(kind_, x)
+                          : exact(kind_, std::clamp(x, -range_, range_));
+    worst = std::max(worst, std::fabs(apply(x) - ref));
+  }
+  return worst;
+}
+
+}  // namespace hpnn::hw

@@ -1,0 +1,46 @@
+// The on-chip activation module (Sec. III-D1 mentions the TPU's activation
+// module implementing "standard nonlinear operations such as ReLU, sigmoid,
+// etc."). Hardware does not evaluate exp(); it interpolates a piecewise-
+// linear lookup table in fixed point. This component models that: a
+// 256-entry LUT over a clamped input range, evaluated with integer-friendly
+// linear interpolation.
+//
+// The zoo networks are ReLU-based (exact in hardware); the LUT path exists
+// for sigmoid/tanh locked activations (LockedActivation's other kinds) and
+// is validated against the float functions by property tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "hpnn/locked_activation.hpp"
+
+namespace hpnn::hw {
+
+class ActivationUnit {
+ public:
+  static constexpr int kLutSize = 256;
+
+  /// Builds the LUT for the given function over [-input_range, input_range]
+  /// (inputs outside the range clamp to the edge values).
+  explicit ActivationUnit(obf::ActivationKind kind, float input_range = 8.0f);
+
+  obf::ActivationKind kind() const { return kind_; }
+  float input_range() const { return range_; }
+
+  /// Evaluates the nonlinearity via LUT + linear interpolation.
+  float apply(float x) const;
+
+  /// Worst-case absolute error of the LUT vs the exact function, probed on
+  /// a dense grid (used by tests and reported by the hw bench).
+  float max_error(int probes = 10000) const;
+
+ private:
+  static float exact(obf::ActivationKind kind, float x);
+
+  obf::ActivationKind kind_;
+  float range_;
+  std::array<float, kLutSize + 1> table_;
+};
+
+}  // namespace hpnn::hw

@@ -1,0 +1,48 @@
+#include "hw/adder.hpp"
+
+#include "core/error.hpp"
+
+namespace hpnn::hw {
+
+bool full_adder(bool a, bool b, bool carry_in, bool& carry_out) {
+  const bool axb = a != b;                      // XOR
+  const bool sum = axb != carry_in;             // XOR
+  carry_out = (a && b) || (axb && carry_in);    // 2 AND + 1 OR
+  return sum;
+}
+
+std::uint64_t ripple_add(std::uint64_t a, std::uint64_t b, bool carry_in,
+                         int width) {
+  HPNN_CHECK(width > 0 && width <= 64, "ripple_add width out of range");
+  std::uint64_t sum = 0;
+  bool carry = carry_in;
+  for (int i = 0; i < width; ++i) {
+    bool carry_out = false;
+    const bool s = full_adder((a >> i) & 1, (b >> i) & 1, carry, carry_out);
+    sum |= static_cast<std::uint64_t>(s) << i;
+    carry = carry_out;
+  }
+  return sum;
+}
+
+std::uint64_t keyed_accumulate_bitlevel(std::uint64_t acc,
+                                        std::int16_t product, bool key_bit,
+                                        int width) {
+  HPNN_CHECK(width >= 17 && width <= 64,
+             "accumulator must be wider than the 16-bit product");
+  // Sign-extend the 16-bit product to the accumulator width (the hardware
+  // replicates the MSB — or, after the XOR bank, the inverted MSB — into the
+  // upper adder inputs).
+  std::uint64_t operand =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(product));
+  if (key_bit) {
+    operand = ~operand;  // the 16 XOR gates (+ sign-extension replication)
+  }
+  if (width < 64) {
+    operand &= (std::uint64_t{1} << width) - 1;
+  }
+  // key_bit doubles as the chain's carry-in, completing two's complement.
+  return ripple_add(acc, operand, key_bit, width);
+}
+
+}  // namespace hpnn::hw

@@ -1,0 +1,40 @@
+// Bit-level datapath primitives of the key-dependent accumulator (Fig. 4b).
+//
+// The trusted device's accumulator is a full-adder chain. To lock neuron j,
+// 16 XOR gates are inserted between the multiplier's 16-bit product and the
+// adder chain; key bit k_j drives every XOR and the chain's carry-in. With
+// k_j = 0 the product passes through and is accumulated; with k_j = 1 the
+// product is bitwise inverted and incremented (two's complement), so the
+// chain accumulates -product: MAC_j becomes -MAC_j with zero extra clock
+// cycles (the XORs are combinational).
+//
+// These functions model the datapath gate by gate; they exist so tests can
+// prove the XOR trick computes exactly ±Σ a_i·w_ji over the full operand
+// range. The fast integer path (accumulator.hpp) is verified against them.
+#pragma once
+
+#include <cstdint>
+
+namespace hpnn::hw {
+
+/// One-bit full adder: returns sum bit, writes carry-out.
+bool full_adder(bool a, bool b, bool carry_in, bool& carry_out);
+
+/// N-bit ripple-carry add (two's complement, wrap-around) built from
+/// full_adder. `width` <= 64.
+std::uint64_t ripple_add(std::uint64_t a, std::uint64_t b, bool carry_in,
+                         int width);
+
+/// The Fig. 4(b) keyed adder stage: adds `product` (16-bit two's complement,
+/// sign-extended to `width`) into `acc` through the XOR gate bank.
+/// key_bit=0: acc + product. key_bit=1: acc + ~product + 1 = acc - product.
+/// Gate-accurate; returns the new accumulator value (width-bit wrap).
+std::uint64_t keyed_accumulate_bitlevel(std::uint64_t acc,
+                                        std::int16_t product, bool key_bit,
+                                        int width);
+
+/// Number of XOR gates the keyed stage adds per accumulator unit (16: one
+/// per product bit, as in the paper).
+inline constexpr int kXorGatesPerAccumulator = 16;
+
+}  // namespace hpnn::hw

@@ -1,0 +1,64 @@
+#include "hw/buffer.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace hpnn::hw {
+
+UnifiedBuffer::UnifiedBuffer(std::int64_t capacity_bytes)
+    : capacity_(capacity_bytes) {
+  HPNN_CHECK(capacity_bytes > 0, "buffer capacity must be positive");
+}
+
+const std::map<std::string, std::int64_t>::const_iterator
+UnifiedBuffer::find_checked(const std::string& name) const {
+  const auto it = regions_.find(name);
+  HPNN_CHECK(it != regions_.end(), "buffer: unknown region '" + name + "'");
+  return it;
+}
+
+void UnifiedBuffer::alloc(const std::string& name, std::int64_t bytes) {
+  HPNN_CHECK(bytes > 0, "buffer: allocation must be positive");
+  HPNN_CHECK(regions_.count(name) == 0,
+             "buffer: region '" + name + "' already allocated");
+  HPNN_CHECK(in_use_ + bytes <= capacity_,
+             "buffer: out of capacity allocating '" + name + "' (" +
+                 std::to_string(bytes) + " bytes, " +
+                 std::to_string(capacity_ - in_use_) + " free)");
+  regions_[name] = bytes;
+  in_use_ += bytes;
+  peak_ = std::max(peak_, in_use_);
+}
+
+void UnifiedBuffer::free(const std::string& name) {
+  const auto it = find_checked(name);
+  in_use_ -= it->second;
+  regions_.erase(name);
+}
+
+std::int64_t UnifiedBuffer::size_of(const std::string& name) const {
+  return find_checked(name)->second;
+}
+
+void UnifiedBuffer::record_read(const std::string& name,
+                                std::uint64_t bytes) {
+  (void)find_checked(name);
+  bytes_read_ += bytes;
+}
+
+void UnifiedBuffer::record_write(const std::string& name,
+                                 std::uint64_t bytes) {
+  (void)find_checked(name);
+  bytes_written_ += bytes;
+}
+
+void UnifiedBuffer::reset() {
+  regions_.clear();
+  in_use_ = 0;
+  peak_ = 0;
+  bytes_read_ = 0;
+  bytes_written_ = 0;
+}
+
+}  // namespace hpnn::hw

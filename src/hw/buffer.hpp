@@ -1,0 +1,57 @@
+// On-chip unified buffer model (the TPU's activation/weight staging SRAM).
+//
+// Tracks capacity, live allocations and read/write traffic so deployments
+// can check that a published model's tensors actually fit the device and
+// estimate memory energy (energy.hpp charges per byte moved). Allocation
+// failures throw — a model too large for the buffer is a deployment error,
+// not a silent slowdown.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hpnn::hw {
+
+class UnifiedBuffer {
+ public:
+  /// The TPU v1 unified buffer is 24 MiB; default to that.
+  explicit UnifiedBuffer(std::int64_t capacity_bytes = 24ll << 20);
+
+  std::int64_t capacity() const { return capacity_; }
+  std::int64_t in_use() const { return in_use_; }
+  std::int64_t peak_usage() const { return peak_; }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+  /// Reserves `bytes` under `name`. Throws InvariantError if the name is
+  /// taken or capacity would be exceeded.
+  void alloc(const std::string& name, std::int64_t bytes);
+
+  /// Releases a reservation; throws InvariantError for unknown names.
+  void free(const std::string& name);
+
+  bool has(const std::string& name) const { return regions_.count(name) > 0; }
+  std::int64_t size_of(const std::string& name) const;
+
+  /// Traffic accounting (reads/writes may exceed the region size — tensors
+  /// are streamed repeatedly).
+  void record_read(const std::string& name, std::uint64_t bytes);
+  void record_write(const std::string& name, std::uint64_t bytes);
+
+  /// Frees everything and clears traffic counters.
+  void reset();
+
+ private:
+  const std::map<std::string, std::int64_t>::const_iterator find_checked(
+      const std::string& name) const;
+
+  std::int64_t capacity_;
+  std::int64_t in_use_ = 0;
+  std::int64_t peak_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::map<std::string, std::int64_t> regions_;
+};
+
+}  // namespace hpnn::hw

@@ -1,0 +1,330 @@
+#include "hw/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/layers.hpp"
+#include "nn/residual.hpp"
+#include "tensor/ops.hpp"
+
+namespace hpnn::hw {
+
+namespace {
+
+/// im2col over int8 values (same geometry as ops::im2col; zero padding).
+void im2col_i8(const std::int8_t* input, const ops::Conv2dGeometry& g,
+               std::int8_t* cols) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t plane = g.in_h * g.in_w;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        std::int8_t* out_row = cols + row * oh * ow;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + ky - g.padding;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kx - g.padding;
+            out_row[y * ow + x] =
+                (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w)
+                    ? input[c * plane + iy * g.in_w + ix]
+                    : std::int8_t{0};
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor batchnorm_eval(nn::BatchNorm2d& bn, const Tensor& x) {
+  const std::int64_t n = x.dim(0);
+  const std::int64_t ch = x.dim(1);
+  const std::int64_t plane = x.dim(2) * x.dim(3);
+  Tensor y(x.shape());
+  for (std::int64_t c = 0; c < ch; ++c) {
+    const float inv =
+        1.0f / std::sqrt(bn.running_var().at(c) + bn.eps());
+    const float g = bn.gamma().value.at(c);
+    const float b = bn.beta().value.at(c);
+    const float m = bn.running_mean().at(c);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* px = x.data() + (i * ch + c) * plane;
+      float* py = y.data() + (i * ch + c) * plane;
+      for (std::int64_t j = 0; j < plane; ++j) {
+        py[j] = g * (px[j] - m) * inv + b;
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+TrustedDevice::TrustedDevice(const obf::HpnnKey& key,
+                             std::uint64_t schedule_seed, DeviceConfig config)
+    : config_(config), mmu_(config.fidelity) {
+  key_store_.provision(key, schedule_seed, config.schedule_policy);
+  key_store_.seal();  // end-user hardware never exposes the secrets
+}
+
+void TrustedDevice::load_model(const obf::PublishedModel& artifact) {
+  net_ = obf::instantiate_baseline(artifact);
+  net_->set_training(false);
+  weight_cache_.clear();
+  lock_cache_.clear();
+  activation_scales_ = artifact.activation_scales;
+}
+
+QuantizedTensor TrustedDevice::quantize_mac_input(const Tensor& x) {
+  const std::int64_t idx = mac_cursor_++;
+  if (idx < static_cast<std::int64_t>(activation_scales_.size())) {
+    return quantize_with_scale(x, activation_scales_[
+                                      static_cast<std::size_t>(idx)]);
+  }
+  return quantize(x);  // dynamic fallback
+}
+
+const QuantizedTensor& TrustedDevice::quantized_weights(
+    const nn::Module* layer, const Tensor& weights) {
+  auto it = weight_cache_.find(layer);
+  if (it == weight_cache_.end()) {
+    it = weight_cache_.emplace(layer, quantize(weights)).first;
+  }
+  return it->second;
+}
+
+const TrustedDevice::LockInfo& TrustedDevice::lock_for_activation(
+    std::int64_t activation_index, const Shape& act_shape) {
+  auto it = lock_cache_.find(activation_index);
+  if (it == lock_cache_.end()) {
+    // On-chip expansion of the sealed key through the private scheduler —
+    // the same derivation the owner used at training time.
+    obf::LockSpec spec{"device_act", activation_index, act_shape};
+    LockInfo info;
+    info.mask = key_store_.scheduler().lock_mask(spec, key_store_.key_);
+    info.negate.resize(static_cast<std::size_t>(info.mask.numel()));
+    for (std::int64_t i = 0; i < info.mask.numel(); ++i) {
+      info.negate[static_cast<std::size_t>(i)] = info.mask.at(i) < 0.0f;
+    }
+    it = lock_cache_.emplace(activation_index, std::move(info)).first;
+  }
+  HPNN_CHECK(it->second.mask.shape() == act_shape,
+             "device lock mask shape mismatch at activation " +
+                 std::to_string(activation_index));
+  return it->second;
+}
+
+Tensor TrustedDevice::exec_conv(nn::Conv2d& conv, Tensor x,
+                                const LockInfo* lock) {
+  const auto& g = conv.geometry();
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t filters = conv.out_channels();
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t ckk = g.in_channels * g.kernel * g.kernel;
+
+  const QuantizedTensor& wq = quantized_weights(&conv, conv.weight().value);
+  const QuantizedTensor xq = quantize_mac_input(x);
+  const float out_scale = wq.scale * xq.scale;
+
+  Tensor out(Shape{batch, filters, oh, ow});
+  std::vector<std::int8_t> cols(static_cast<std::size_t>(ckk * oh * ow));
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(filters * oh * ow));
+  const std::int64_t in_sample = g.in_channels * g.in_h * g.in_w;
+  const std::int64_t out_sample = filters * oh * ow;
+  const std::span<const std::uint8_t> negate =
+      lock ? std::span<const std::uint8_t>(lock->negate)
+           : std::span<const std::uint8_t>();
+
+  const nn::Parameter* bias = conv.bias();
+  for (std::int64_t nidx = 0; nidx < batch; ++nidx) {
+    im2col_i8(xq.values.data() + nidx * in_sample, g, cols.data());
+    mmu_.matmul_i8(std::span<const std::int8_t>(wq.values), filters, ckk,
+                   std::span<const std::int8_t>(cols), oh * ow, negate,
+                   std::span<std::int32_t>(acc));
+    float* dst = out.data() + nidx * out_sample;
+    for (std::int64_t f = 0; f < filters; ++f) {
+      const float b = bias ? bias->value.at(f) : 0.0f;
+      for (std::int64_t i = 0; i < oh * ow; ++i) {
+        const std::int64_t idx = f * oh * ow + i;
+        // Bias is preloaded into the same keyed accumulator on real
+        // hardware, so the lock sign applies to it as well.
+        const float sign =
+            (lock && lock->negate[static_cast<std::size_t>(idx)]) ? -1.0f
+                                                                  : 1.0f;
+        dst[idx] = static_cast<float>(acc[static_cast<std::size_t>(idx)]) *
+                       out_scale +
+                   sign * b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor TrustedDevice::exec_linear(nn::Linear& fc, Tensor x,
+                                  const LockInfo* lock) {
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t in_f = fc.in_features();
+  const std::int64_t out_f = fc.out_features();
+
+  // Cache the transposed int8 weights ([in, out] layout for the MMU).
+  auto it = weight_cache_.find(&fc);
+  if (it == weight_cache_.end()) {
+    QuantizedTensor wq = quantize(fc.weight().value);  // [out, in]
+    QuantizedTensor wt;
+    wt.scale = wq.scale;
+    wt.shape = Shape{in_f, out_f};
+    wt.values.resize(wq.values.size());
+    for (std::int64_t o = 0; o < out_f; ++o) {
+      for (std::int64_t i = 0; i < in_f; ++i) {
+        wt.values[static_cast<std::size_t>(i * out_f + o)] =
+            wq.values[static_cast<std::size_t>(o * in_f + i)];
+      }
+    }
+    it = weight_cache_.emplace(&fc, std::move(wt)).first;
+  }
+  const QuantizedTensor& wt = it->second;
+  const QuantizedTensor xq = quantize_mac_input(x);
+  const float out_scale = wt.scale * xq.scale;
+
+  // Per-sample lock mask tiled across the batch rows.
+  std::vector<std::uint8_t> negate;
+  if (lock) {
+    negate.resize(static_cast<std::size_t>(batch * out_f));
+    for (std::int64_t n = 0; n < batch; ++n) {
+      std::copy(lock->negate.begin(), lock->negate.end(),
+                negate.begin() + n * out_f);
+    }
+  }
+
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(batch * out_f));
+  mmu_.matmul_i8(std::span<const std::int8_t>(xq.values), batch, in_f,
+                 std::span<const std::int8_t>(wt.values), out_f,
+                 std::span<const std::uint8_t>(negate),
+                 std::span<std::int32_t>(acc));
+
+  Tensor out(Shape{batch, out_f});
+  const nn::Parameter* bias = fc.bias();
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t o = 0; o < out_f; ++o) {
+      const float b = bias ? bias->value.at(o) : 0.0f;
+      const float sign =
+          (lock && lock->negate[static_cast<std::size_t>(o)]) ? -1.0f : 1.0f;
+      out.at(n, o) =
+          static_cast<float>(acc[static_cast<std::size_t>(n * out_f + o)]) *
+              out_scale +
+          sign * b;
+    }
+  }
+  return out;
+}
+
+Tensor TrustedDevice::exec_module(nn::Module& m, nn::Module* next, Tensor x,
+                                  bool& fused_activation) {
+  if (auto* seq = dynamic_cast<nn::Sequential*>(&m)) {
+    return exec_sequential(*seq, std::move(x));
+  }
+  if (auto* res = dynamic_cast<nn::Residual*>(&m)) {
+    Tensor main_out = exec_module(res->main(), nullptr, x, fused_activation);
+    Tensor skip = res->shortcut()
+                      ? exec_module(*res->shortcut(), nullptr, x,
+                                    fused_activation)
+                      : std::move(x);
+    main_out.add_(skip);  // vector-unit elementwise add
+    if (res->post() != nullptr) {
+      bool no_fuse = false;
+      main_out = exec_module(*res->post(), nullptr, std::move(main_out),
+                             no_fuse);
+    }
+    return main_out;
+  }
+  if (auto* conv = dynamic_cast<nn::Conv2d*>(&m)) {
+    const LockInfo* lock = nullptr;
+    if (dynamic_cast<nn::ReLU*>(next) != nullptr) {
+      const Shape act_shape{conv->out_channels(), conv->geometry().out_h(),
+                            conv->geometry().out_w()};
+      lock = &lock_for_activation(activation_cursor_, act_shape);
+      fused_activation = true;
+    }
+    return exec_conv(*conv, std::move(x), lock);
+  }
+  if (auto* fc = dynamic_cast<nn::Linear*>(&m)) {
+    const LockInfo* lock = nullptr;
+    if (dynamic_cast<nn::ReLU*>(next) != nullptr) {
+      lock = &lock_for_activation(activation_cursor_,
+                                  Shape{fc->out_features()});
+      fused_activation = true;
+    }
+    return exec_linear(*fc, std::move(x), lock);
+  }
+  if (dynamic_cast<nn::ReLU*>(&m) != nullptr) {
+    const std::int64_t per_sample = x.numel() / x.dim(0);
+    if (!fused_activation) {
+      // Activation fed by a vector-unit op: apply the lock sign at the
+      // activation-unit input.
+      std::vector<std::int64_t> dims(x.shape().dims().begin() + 1,
+                                     x.shape().dims().end());
+      const LockInfo& lock =
+          lock_for_activation(activation_cursor_, Shape(dims));
+      const float* mask = lock.mask.data();
+      for (std::int64_t n = 0; n < x.dim(0); ++n) {
+        float* row = x.data() + n * per_sample;
+        for (std::int64_t i = 0; i < per_sample; ++i) {
+          row[i] *= mask[i];
+        }
+      }
+    }
+    fused_activation = false;
+    ++activation_cursor_;
+    for (auto& v : x.span()) {
+      v = std::max(v, 0.0f);  // the on-chip activation module
+    }
+    return x;
+  }
+  if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&m)) {
+    return batchnorm_eval(*bn, x);
+  }
+  if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&m)) {
+    return pool->forward(x);  // host op, stateless at inference
+  }
+  if (auto* apool = dynamic_cast<nn::AvgPool2d*>(&m)) {
+    return ops::avgpool2d_forward(x, apool->kernel(), apool->stride());
+  }
+  if (dynamic_cast<nn::Flatten*>(&m) != nullptr) {
+    const std::int64_t n = x.dim(0);
+    return x.reshaped(Shape{n, x.numel() / n});
+  }
+  if (dynamic_cast<nn::GlobalAvgPool*>(&m) != nullptr) {
+    return ops::global_avgpool_forward(x);
+  }
+  if (dynamic_cast<nn::Dropout*>(&m) != nullptr) {
+    return x;  // identity at inference
+  }
+  HPNN_CHECK(false, "trusted device cannot execute module '" + m.name() + "'");
+}
+
+Tensor TrustedDevice::exec_sequential(nn::Sequential& seq, Tensor x) {
+  bool fused = false;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    nn::Module* next = (i + 1 < seq.size()) ? &seq.at(i + 1) : nullptr;
+    x = exec_module(seq.at(i), next, std::move(x), fused);
+  }
+  return x;
+}
+
+Tensor TrustedDevice::infer(const Tensor& images) {
+  HPNN_CHECK(net_ != nullptr, "no model loaded on the trusted device");
+  HPNN_CHECK(images.rank() == 4, "device input must be NCHW");
+  activation_cursor_ = 0;
+  mac_cursor_ = 0;
+  return exec_sequential(*net_, images);
+}
+
+std::vector<std::int64_t> TrustedDevice::classify(const Tensor& images) {
+  return ops::argmax_rows(infer(images));
+}
+
+}  // namespace hpnn::hw

@@ -1,0 +1,97 @@
+// The trusted hardware device (Fig. 1, right): a TPU-like inference
+// accelerator with the HPNN key in sealed on-chip storage.
+//
+// The device downloads a published (obfuscated) model artifact and runs
+// inference on its integer datapath:
+//   - conv/FC MACs execute on the MMU in int8 with 32-bit keyed accumulators;
+//     when a MAC layer feeds a nonlinear activation directly (all Table I
+//     networks), the lock factor is applied *inside the accumulator* via the
+//     Fig. 4 XOR bank — the paper's mechanism, with zero cycle overhead;
+//   - pooling / batch-norm / residual adds run on the host/vector unit in
+//     float (as on a real TPU);
+//   - for activations fed by vector-unit ops (ResNet's post-BN and
+//     post-residual-add ReLUs), the sign is applied at the activation unit
+//     input instead — mathematically identical, since our LockedModel also
+//     places those locks after the vector ops.
+//
+// The per-neuron lock factors are derived on-chip from the sealed key and
+// the private scheduling algorithm — independently from, but identically
+// to, the owner's training-time derivation (the correctness contract
+// verified by tests/hw/device_test.cpp).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "hpnn/model_io.hpp"
+#include "hw/mmu.hpp"
+#include "hw/quant.hpp"
+#include "hw/secure_memory.hpp"
+
+namespace hpnn::hw {
+
+struct DeviceConfig {
+  Fidelity fidelity = Fidelity::kFast;
+  /// Must match the owner's training-time scheduling policy.
+  obf::SchedulePolicy schedule_policy = obf::SchedulePolicy::kInterleaved;
+};
+
+class TrustedDevice {
+ public:
+  /// Provisions and seals the device with the owner's secrets. After
+  /// construction the key can no longer be exported (models license
+  /// hardware handed to an end-user).
+  TrustedDevice(const obf::HpnnKey& key, std::uint64_t schedule_seed,
+                DeviceConfig config = {});
+
+  /// Loads a model-zoo artifact (weights are quantized lazily per layer).
+  void load_model(const obf::PublishedModel& artifact);
+  bool has_model() const { return net_ != nullptr; }
+
+  /// Runs inference on a batch [N, C, H, W]; returns logits [N, classes].
+  Tensor infer(const Tensor& images);
+
+  /// Argmax class per sample.
+  std::vector<std::int64_t> classify(const Tensor& images);
+
+  const MmuStats& mmu_stats() const { return mmu_.stats(); }
+  void reset_stats() { mmu_.reset_stats(); }
+  const SecureKeyStore& key_store() const { return key_store_; }
+
+ private:
+  struct LockInfo {
+    Tensor mask;                         // per-sample {+1,-1}
+    std::vector<std::uint8_t> negate;    // mask < 0, flattened
+  };
+
+  /// Walks a module subtree, executing layers on the modeled datapath.
+  /// `next` peeks at the module following `m` within its parent Sequential
+  /// (nullptr at the end) for MAC+activation fusion.
+  Tensor exec_module(nn::Module& m, nn::Module* next, Tensor x,
+                     bool& fused_activation);
+  Tensor exec_sequential(nn::Sequential& seq, Tensor x);
+  Tensor exec_conv(nn::Conv2d& conv, Tensor x, const LockInfo* lock);
+  Tensor exec_linear(nn::Linear& fc, Tensor x, const LockInfo* lock);
+
+  const QuantizedTensor& quantized_weights(const nn::Module* layer,
+                                           const Tensor& weights);
+  const LockInfo& lock_for_activation(std::int64_t activation_index,
+                                      const Shape& act_shape);
+
+  /// Quantizes a MAC-layer input: with the artifact's calibrated static
+  /// scale when available, dynamically otherwise. Advances mac_cursor_.
+  QuantizedTensor quantize_mac_input(const Tensor& x);
+
+  SecureKeyStore key_store_;
+  DeviceConfig config_;
+  Mmu mmu_;
+  std::unique_ptr<nn::Sequential> net_;  // structure + published weights
+  std::map<const nn::Module*, QuantizedTensor> weight_cache_;
+  std::map<std::int64_t, LockInfo> lock_cache_;
+  std::vector<float> activation_scales_;  // static quant (may be empty)
+  std::int64_t activation_cursor_ = 0;  // per-inference traversal counter
+  std::int64_t mac_cursor_ = 0;         // per-inference MAC-layer counter
+};
+
+}  // namespace hpnn::hw

@@ -1,0 +1,32 @@
+#include "hw/energy.hpp"
+
+#include "hw/adder.hpp"
+
+namespace hpnn::hw {
+
+EnergyReport estimate_energy(const MmuStats& stats, const EnergyModel& m) {
+  EnergyReport r;
+  const double macs = static_cast<double>(stats.mac_ops);
+  r.mac_pj = macs * (m.mult_8b_pj + m.add_32b_pj);
+
+  // Each weight tile load moves kArrayRows x kArrayCols int8 weights
+  // through the on-chip buffer.
+  const double tile_bytes = static_cast<double>(Mmu::kArrayRows) *
+                            static_cast<double>(Mmu::kArrayCols);
+  r.weight_traffic_pj = static_cast<double>(stats.weight_tile_loads) *
+                        tile_bytes * m.sram_byte_pj;
+
+  // Locking activity: the XOR bank (16 gates) toggles once per product
+  // flowing into a locked output.
+  const double locked_fraction =
+      stats.outputs > 0 ? static_cast<double>(stats.locked_outputs) /
+                              static_cast<double>(stats.outputs)
+                        : 0.0;
+  const double locked_macs = macs * locked_fraction;
+  r.locking_pj =
+      locked_macs * static_cast<double>(kXorGatesPerAccumulator) *
+      m.xor_bit_pj;
+  return r;
+}
+
+}  // namespace hpnn::hw

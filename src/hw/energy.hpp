@@ -1,0 +1,48 @@
+// Energy model of the keyed MMU (companion to the gate/cycle overhead model
+// of overhead.hpp).
+//
+// Constants follow the widely used 45 nm estimates of Horowitz, "Computing's
+// energy problem (and what we can do about it)", ISSCC 2014: an 8-bit
+// multiply ~0.2 pJ, a 32-bit add ~0.1 pJ, SRAM access ~1.25 pJ/byte for
+// small arrays. An XOR gate toggling costs a small fraction of a full-adder
+// bit; the headline result is that the locking energy is a vanishing
+// fraction of inference energy — the energy-side counterpart of the paper's
+// < 0.5% area and zero-cycle claims.
+#pragma once
+
+#include "hw/mmu.hpp"
+
+namespace hpnn::hw {
+
+struct EnergyModel {
+  double mult_8b_pj = 0.2;     // one int8 x int8 multiply
+  double add_32b_pj = 0.1;     // one 32-bit accumulate
+  double sram_byte_pj = 1.25;  // on-chip buffer access per byte
+  /// One XOR gate toggle. Derived from Horowitz's 8-bit add (0.03 pJ over
+  /// ~50 gate equivalents -> ~0.6 fJ/gate).
+  double xor_bit_pj = 0.0006;
+};
+
+struct EnergyReport {
+  double mac_pj = 0.0;          // multiplies + accumulates
+  double weight_traffic_pj = 0.0;  // weight tile loads from the buffer
+  double locking_pj = 0.0;      // the 16-XOR bank + carry-in activity
+
+  double total_pj() const {
+    return mac_pj + weight_traffic_pj + locking_pj;
+  }
+  /// Locking energy as a fraction of everything else.
+  double locking_overhead() const {
+    const double base = mac_pj + weight_traffic_pj;
+    return base > 0.0 ? locking_pj / base : 0.0;
+  }
+};
+
+/// Estimates inference energy from MMU counters. The locked-MAC count is
+/// approximated as mac_ops * (locked_outputs / outputs) — exact when every
+/// GEMM call has a uniform contraction depth, which holds for our layer-
+/// by-layer execution.
+EnergyReport estimate_energy(const MmuStats& stats,
+                             const EnergyModel& model = {});
+
+}  // namespace hpnn::hw

@@ -1,0 +1,89 @@
+#include "hw/mmu.hpp"
+
+#include "core/error.hpp"
+
+namespace hpnn::hw {
+
+double MmuStats::utilization() const {
+  if (cycles == 0) {
+    return 0.0;
+  }
+  const double peak = static_cast<double>(cycles) *
+                      static_cast<double>(Mmu::kArrayRows) *
+                      static_cast<double>(Mmu::kArrayCols);
+  return static_cast<double>(mac_ops) / peak;
+}
+
+void Mmu::matmul_i8(std::span<const std::int8_t> a, std::int64_t m,
+                    std::int64_t k, std::span<const std::int8_t> w,
+                    std::int64_t n, std::span<const std::uint8_t> negate,
+                    std::span<std::int32_t> out) {
+  HPNN_CHECK(m > 0 && k > 0 && n > 0, "MMU matmul with empty dims");
+  HPNN_CHECK(static_cast<std::int64_t>(a.size()) == m * k,
+             "MMU: activation operand size mismatch");
+  HPNN_CHECK(static_cast<std::int64_t>(w.size()) == k * n,
+             "MMU: weight operand size mismatch");
+  HPNN_CHECK(static_cast<std::int64_t>(out.size()) == m * n,
+             "MMU: output size mismatch");
+  HPNN_CHECK(negate.empty() ||
+                 static_cast<std::int64_t>(negate.size()) == m * n,
+             "MMU: negate mask size mismatch");
+
+  if (fidelity_ == Fidelity::kBitAccurate) {
+    // Gate-accurate: every product goes through the keyed FA-chain
+    // accumulator. Slow; for tests and small demos only.
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        const bool key_bit = !negate.empty() && negate[i * n + j] != 0;
+        KeyedAccumulator acc(key_bit, Fidelity::kBitAccurate);
+        for (std::int64_t p = 0; p < k; ++p) {
+          const auto product = static_cast<std::int16_t>(
+              static_cast<std::int16_t>(a[i * k + p]) *
+              static_cast<std::int16_t>(w[p * n + j]));
+          acc.accumulate(product);
+        }
+        out[i * n + j] = acc.value();
+      }
+    }
+  } else {
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        // 32-bit wrap-around semantics identical to the register model.
+        std::uint32_t acc = 0;
+        for (std::int64_t p = 0; p < k; ++p) {
+          const auto product =
+              static_cast<std::int32_t>(a[i * k + p]) *
+              static_cast<std::int32_t>(w[p * n + j]);
+          acc += static_cast<std::uint32_t>(product);
+        }
+        const bool key_bit = !negate.empty() && negate[i * n + j] != 0;
+        // Σ(-p) == -(Σp) in two's complement, so the keyed accumulator's
+        // per-product subtraction collapses to one negation here.
+        out[i * n + j] = static_cast<std::int32_t>(key_bit ? 0u - acc : acc);
+      }
+    }
+  }
+
+  // ---- pipeline cycle model -------------------------------------------
+  // Weight-stationary tiling: each (kArrayRows x kArrayCols) weight tile is
+  // loaded once (kArrayRows cycles, double-buffered in real silicon; we
+  // charge it explicitly) and the M activation rows stream through with a
+  // fill+drain latency of (rows + cols - 2). The XOR key gates sit inside
+  // the accumulation stage and add zero cycles.
+  const std::int64_t k_tiles = (k + kArrayRows - 1) / kArrayRows;
+  const std::int64_t n_tiles = (n + kArrayCols - 1) / kArrayCols;
+  const std::int64_t tiles = k_tiles * n_tiles;
+  stats_.weight_tile_loads += static_cast<std::uint64_t>(tiles);
+  stats_.cycles += static_cast<std::uint64_t>(
+      tiles * (kArrayRows + m + (kArrayRows + kArrayCols - 2)));
+  stats_.mac_ops += static_cast<std::uint64_t>(m * k * n);
+  stats_.gemm_calls += 1;
+  stats_.outputs += static_cast<std::uint64_t>(m * n);
+  if (!negate.empty()) {
+    for (const auto b : negate) {
+      stats_.locked_outputs += (b != 0);
+    }
+  }
+}
+
+}  // namespace hpnn::hw

@@ -1,0 +1,56 @@
+// Matrix-multiply unit (MMU) model of the TPU-like trusted device.
+//
+// A 256x256 weight-stationary systolic array of 8-bit MACs feeding 256
+// key-dependent accumulator units (Sec. III-D of the paper). The model
+// computes exact int8 x int8 -> int32 GEMMs and tracks a cycle/utilization
+// estimate of the pipelined execution; the XOR key gates add zero cycles.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "hw/accumulator.hpp"
+
+namespace hpnn::hw {
+
+struct MmuStats {
+  std::uint64_t mac_ops = 0;          // int multiply-accumulates performed
+  std::uint64_t cycles = 0;           // modeled pipeline cycles
+  std::uint64_t weight_tile_loads = 0;
+  std::uint64_t gemm_calls = 0;
+  std::uint64_t outputs = 0;          // output elements produced
+  std::uint64_t locked_outputs = 0;   // outputs accumulated with key bit 1
+
+  /// Fraction of peak MAC throughput achieved (256*256 MACs per cycle).
+  double utilization() const;
+
+  void reset() { *this = MmuStats{}; }
+};
+
+class Mmu {
+ public:
+  /// Systolic array geometry (rows = contraction dim, cols = accumulators).
+  static constexpr std::int64_t kArrayRows = 256;
+  static constexpr std::int64_t kArrayCols = 256;
+
+  explicit Mmu(Fidelity fidelity = Fidelity::kFast) : fidelity_(fidelity) {}
+
+  /// out[M*N] = a[M*K] @ w[K*N] in int8 -> int32, with optional key-driven
+  /// negation: negate[i*N+j] != 0 means output element (i, j) is accumulated
+  /// through a k=1 unit and yields -Σ a·w (two's-complement wrap semantics).
+  /// `negate` may be empty (all positive).
+  void matmul_i8(std::span<const std::int8_t> a, std::int64_t m,
+                 std::int64_t k, std::span<const std::int8_t> w,
+                 std::int64_t n, std::span<const std::uint8_t> negate,
+                 std::span<std::int32_t> out);
+
+  const MmuStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+  Fidelity fidelity() const { return fidelity_; }
+
+ private:
+  Fidelity fidelity_;
+  MmuStats stats_;
+};
+
+}  // namespace hpnn::hw

@@ -1,0 +1,63 @@
+#include "hw/overhead.hpp"
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "hw/adder.hpp"
+
+namespace hpnn::hw {
+
+double MmuOverheadReport::overhead_vs_full_array() const {
+  return baseline_gates > 0
+             ? static_cast<double>(xor_gates_added) /
+                   static_cast<double>(baseline_gates)
+             : 0.0;
+}
+
+double MmuOverheadReport::overhead_vs_reference(
+    std::int64_t reference_gates) const {
+  HPNN_CHECK(reference_gates > 0, "reference gate count must be positive");
+  return static_cast<double>(xor_gates_added) /
+         static_cast<double>(reference_gates);
+}
+
+std::string MmuOverheadReport::to_string() const {
+  std::ostringstream os;
+  os << "MACs: " << mac_count << " (" << gates_per_mac << " gates each), "
+     << accumulator_units << " accumulators (" << gates_per_accumulator
+     << " gates each); baseline " << baseline_gates << " gates; +"
+     << xor_gates_added << " XOR gates, +" << cycle_overhead << " cycles";
+  return os.str();
+}
+
+MmuOverheadReport mmu_overhead(std::int64_t array_dim, const GateModel& g) {
+  HPNN_CHECK(array_dim > 0, "array dim must be positive");
+  MmuOverheadReport r;
+  r.mac_count = array_dim * array_dim;
+  r.accumulator_units = array_dim;
+
+  // One 8x8 array multiplier: 64 partial-product ANDs + 56 full adders,
+  // plus a 16-bit pipeline register.
+  const std::int64_t mult_gates =
+      g.multiplier_width * g.multiplier_width +
+      (g.multiplier_width * (g.multiplier_width - 1)) *
+          g.gates_per_full_adder / 1;
+  const std::int64_t pipe_reg_gates = g.product_width * g.gates_per_flipflop;
+  r.gates_per_mac = mult_gates + pipe_reg_gates;
+
+  // One 32-bit accumulator: FA chain + register.
+  r.gates_per_accumulator =
+      g.accumulator_width * (g.gates_per_full_adder + g.gates_per_flipflop);
+
+  r.baseline_gates = r.mac_count * r.gates_per_mac +
+                     r.accumulator_units * r.gates_per_accumulator;
+
+  // The HPNN modification: 16 XOR gates per accumulator unit (Fig. 4b),
+  // zero clock-cycle overhead (combinational only).
+  r.xor_gates_added =
+      r.accumulator_units * kXorGatesPerAccumulator * g.gates_per_xor;
+  r.cycle_overhead = 0;
+  return r;
+}
+
+}  // namespace hpnn::hw

@@ -1,0 +1,51 @@
+// Gate-count and cycle-overhead model of the key-dependent MMU
+// modification (Sec. III-D3 of the paper).
+//
+// The paper's claims: 16 XOR gates per accumulator unit, 256 x 16 = 4096
+// XOR gates total; against an MMU implementation of ~10^6 gates [Lin et al.,
+// TCAS 2017] the overhead is < 0.5%; and the modification adds zero clock
+// cycles (purely combinational). This model makes every term explicit so
+// the Fig. 4 bench can print the breakdown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hpnn::hw {
+
+/// Gate-equivalent cost constants (classic static-CMOS gate equivalents).
+struct GateModel {
+  std::int64_t gates_per_xor = 1;
+  std::int64_t gates_per_full_adder = 5;   // 2 XOR + 2 AND + 1 OR
+  std::int64_t gates_per_flipflop = 6;
+  std::int64_t multiplier_width = 8;       // 8x8 signed multiply
+  std::int64_t product_width = 16;
+  std::int64_t accumulator_width = 32;
+};
+
+struct MmuOverheadReport {
+  // Baseline MMU cost
+  std::int64_t mac_count = 0;              // systolic array MACs
+  std::int64_t accumulator_units = 0;      // keyed accumulators (= key bits)
+  std::int64_t gates_per_mac = 0;
+  std::int64_t gates_per_accumulator = 0;
+  std::int64_t baseline_gates = 0;         // full array + accumulators
+
+  // HPNN additions
+  std::int64_t xor_gates_added = 0;        // 16 per accumulator unit
+  std::int64_t cycle_overhead = 0;         // always 0 (combinational)
+
+  /// Overhead relative to our full-array estimate.
+  double overhead_vs_full_array() const;
+  /// Overhead relative to a reference MMU gate count (the paper uses ~1e6).
+  double overhead_vs_reference(std::int64_t reference_gates) const;
+
+  std::string to_string() const;
+};
+
+/// Computes the report for an `array_dim` x `array_dim` MMU (256 for the
+/// TPU-like device) under the given gate model.
+MmuOverheadReport mmu_overhead(std::int64_t array_dim,
+                               const GateModel& model = {});
+
+}  // namespace hpnn::hw

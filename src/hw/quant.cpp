@@ -1,0 +1,62 @@
+#include "hw/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace hpnn::hw {
+
+QuantizedTensor quantize(const Tensor& x) {
+  QuantizedTensor q;
+  q.shape = x.shape();
+  q.values.resize(static_cast<std::size_t>(x.numel()));
+  float max_abs = 0.0f;
+  for (const auto v : x.span()) {
+    max_abs = std::max(max_abs, std::fabs(v));
+  }
+  q.scale = (max_abs > 0.0f) ? max_abs / 127.0f : 1.0f;
+  const float inv = 1.0f / q.scale;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float scaled = std::nearbyint(x.data()[i] * inv);
+    q.values[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(
+        std::clamp(scaled, -127.0f, 127.0f));
+  }
+  return q;
+}
+
+QuantizedTensor quantize_with_scale(const Tensor& x, float scale) {
+  HPNN_CHECK(scale > 0.0f, "quantization scale must be positive");
+  QuantizedTensor q;
+  q.shape = x.shape();
+  q.scale = scale;
+  q.values.resize(static_cast<std::size_t>(x.numel()));
+  const float inv = 1.0f / scale;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float scaled = std::nearbyint(x.data()[i] * inv);
+    q.values[static_cast<std::size_t>(i)] =
+        static_cast<std::int8_t>(std::clamp(scaled, -127.0f, 127.0f));
+  }
+  return q;
+}
+
+Tensor dequantize(const QuantizedTensor& q) {
+  Tensor x(q.shape);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] =
+        static_cast<float>(q.values[static_cast<std::size_t>(i)]) * q.scale;
+  }
+  return x;
+}
+
+float max_quantization_error(const Tensor& x) {
+  const QuantizedTensor q = quantize(x);
+  const Tensor back = dequantize(q);
+  float err = 0.0f;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    err = std::max(err, std::fabs(x.data()[i] - back.data()[i]));
+  }
+  return err;
+}
+
+}  // namespace hpnn::hw

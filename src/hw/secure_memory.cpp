@@ -1,0 +1,48 @@
+#include "hw/secure_memory.hpp"
+
+#include "core/error.hpp"
+
+namespace hpnn::hw {
+
+void SecureKeyStore::provision(const obf::HpnnKey& key,
+                               std::uint64_t schedule_seed,
+                               obf::SchedulePolicy policy) {
+  if (provisioned_) {
+    throw KeyError("secure key store is already provisioned");
+  }
+  key_ = key;
+  scheduler_ = std::make_unique<obf::Scheduler>(schedule_seed, policy);
+  provisioned_ = true;
+}
+
+obf::HpnnKey SecureKeyStore::export_key() const {
+  if (!provisioned_) {
+    throw KeyError("secure key store is not provisioned");
+  }
+  if (sealed_) {
+    throw KeyError("secure key store is sealed; key export forbidden");
+  }
+  return key_;
+}
+
+std::uint64_t SecureKeyStore::export_schedule_seed() const {
+  if (!provisioned_) {
+    throw KeyError("secure key store is not provisioned");
+  }
+  if (sealed_) {
+    throw KeyError("secure key store is sealed; schedule export forbidden");
+  }
+  return scheduler_->seed();
+}
+
+bool SecureKeyStore::key_bit(std::size_t i) const {
+  HPNN_CHECK(provisioned_, "key store not provisioned");
+  return key_.bit(i);
+}
+
+const obf::Scheduler& SecureKeyStore::scheduler() const {
+  HPNN_CHECK(provisioned_, "key store not provisioned");
+  return *scheduler_;
+}
+
+}  // namespace hpnn::hw

@@ -1,0 +1,53 @@
+// Secure on-chip key storage (TPM-style root of trust, refs [5],[25] of the
+// paper).
+//
+// The HPNN key and the private scheduling seed are provisioned once (e.g. at
+// device manufacturing / license issuance) and then sealed. After sealing,
+// no public API can read them back — only the TrustedDevice's internal
+// datapath wiring (modeled as friendship) can consume individual key bits.
+#pragma once
+
+#include <memory>
+
+#include "hpnn/key.hpp"
+#include "hpnn/scheduler.hpp"
+
+namespace hpnn::hw {
+
+class TrustedDevice;
+
+class SecureKeyStore {
+ public:
+  SecureKeyStore() = default;
+
+  /// Writes the secrets. Throws KeyError if already provisioned.
+  void provision(const obf::HpnnKey& key, std::uint64_t schedule_seed,
+                 obf::SchedulePolicy policy =
+                     obf::SchedulePolicy::kInterleaved);
+
+  /// Irreversibly forbids export of the secrets.
+  void seal() { sealed_ = true; }
+
+  bool provisioned() const { return provisioned_; }
+  bool sealed() const { return sealed_; }
+
+  /// Reads back the key — only possible before seal() (e.g. for the model
+  /// owner's own provisioning flow). Throws KeyError once sealed.
+  obf::HpnnKey export_key() const;
+
+  /// Reads back the schedule seed — same sealing rules.
+  std::uint64_t export_schedule_seed() const;
+
+ private:
+  friend class TrustedDevice;  // on-chip wiring to the accumulators
+
+  bool key_bit(std::size_t i) const;
+  const obf::Scheduler& scheduler() const;
+
+  bool provisioned_ = false;
+  bool sealed_ = false;
+  obf::HpnnKey key_;
+  std::unique_ptr<obf::Scheduler> scheduler_;
+};
+
+}  // namespace hpnn::hw

@@ -1,0 +1,107 @@
+#include "hw/systolic.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace hpnn::hw {
+
+SystolicArray::SystolicArray(std::int64_t rows, std::int64_t cols)
+    : rows_(rows), cols_(cols) {
+  HPNN_CHECK(rows > 0 && cols > 0, "systolic array dims must be positive");
+  weights_.assign(static_cast<std::size_t>(rows_ * cols_), 0);
+}
+
+void SystolicArray::load_weights(std::span<const std::int8_t> w,
+                                 std::int64_t k, std::int64_t n) {
+  HPNN_CHECK(k > 0 && k <= rows_ && n > 0 && n <= cols_,
+             "weight tile does not fit the array");
+  HPNN_CHECK(static_cast<std::int64_t>(w.size()) == k * n,
+             "weight tile size mismatch");
+  std::fill(weights_.begin(), weights_.end(), 0);
+  for (std::int64_t r = 0; r < k; ++r) {
+    std::copy(w.begin() + r * n, w.begin() + (r + 1) * n,
+              weights_.begin() + r * cols_);
+  }
+  loaded_k_ = k;
+  loaded_n_ = n;
+  // One weight row shifts into the grid per cycle (double-buffered designs
+  // hide this behind the previous tile's streaming; we charge it).
+  pending_load_cycles_ = static_cast<std::uint64_t>(k);
+}
+
+SystolicArray::Result SystolicArray::run(
+    std::span<const std::int8_t> a, std::int64_t m,
+    std::span<const std::uint8_t> column_key_bits) {
+  HPNN_CHECK(loaded_k_ > 0, "run() before load_weights()");
+  HPNN_CHECK(m > 0, "no activation rows to stream");
+  HPNN_CHECK(static_cast<std::int64_t>(a.size()) == m * loaded_k_,
+             "activation operand size mismatch");
+  HPNN_CHECK(column_key_bits.empty() ||
+                 static_cast<std::int64_t>(column_key_bits.size()) ==
+                     loaded_n_,
+             "column key-bit count mismatch");
+
+  const std::int64_t k = loaded_k_;
+  const std::int64_t n = loaded_n_;
+
+  // Per-PE pipeline registers, latched at the end of each cycle.
+  std::vector<std::int8_t> act(static_cast<std::size_t>(k * n), 0);
+  std::vector<std::int32_t> psum(static_cast<std::size_t>(k * n), 0);
+  std::vector<std::int8_t> act_next(act.size(), 0);
+  std::vector<std::int32_t> psum_next(psum.size(), 0);
+
+  Result result;
+  result.out.assign(static_cast<std::size_t>(m * n), 0);
+  result.load_cycles = pending_load_cycles_;
+  pending_load_cycles_ = 0;
+
+  // Activation row `mi` enters grid row r at cycle mi + r; the finished
+  // partial sum for (mi, c) leaves PE(k-1, c) at the end of cycle
+  // mi + (k-1) + c. Total stream latency: m + k + n - 2 cycles.
+  const std::int64_t total = m + k + n - 2;
+  for (std::int64_t t = 0; t < total; ++t) {
+    for (std::int64_t r = 0; r < k; ++r) {
+      for (std::int64_t c = 0; c < n; ++c) {
+        // Activation input: from the left edge (skewed feed) or neighbor.
+        std::int8_t act_in = 0;
+        if (c == 0) {
+          const std::int64_t mi = t - r;
+          if (mi >= 0 && mi < m) {
+            act_in = a[mi * k + r];
+          }
+        } else {
+          act_in = act[r * n + (c - 1)];
+        }
+        // Partial-sum input: from above (or zero at the top row).
+        const std::int32_t psum_in = (r == 0) ? 0 : psum[(r - 1) * n + c];
+        act_next[r * n + c] = act_in;
+        psum_next[r * n + c] =
+            psum_in + static_cast<std::int32_t>(weights_[r * cols_ + c]) *
+                          static_cast<std::int32_t>(act_in);
+      }
+    }
+    act.swap(act_next);
+    psum.swap(psum_next);
+
+    // Column exits: PE(k-1, c) has just latched the finished sum for
+    // activation row mi = t - (k-1) - c; it enters the column's keyed
+    // accumulator unit. A k=1 unit negates what it ingests (Fig. 4's XOR
+    // bank applied per incoming word; Σ(-x) == -(Σx) in two's complement —
+    // the product-level bit path is covered by Mmu's bit-accurate mode and
+    // the KeyedAccumulator tests).
+    for (std::int64_t c = 0; c < n; ++c) {
+      const std::int64_t mi = t - (k - 1) - c;
+      if (mi >= 0 && mi < m) {
+        const bool key_bit =
+            !column_key_bits.empty() && column_key_bits[c] != 0;
+        const std::int32_t value = psum[(k - 1) * n + c];
+        result.out[mi * n + c] = key_bit ? -value : value;
+      }
+    }
+  }
+  result.stream_cycles = static_cast<std::uint64_t>(total);
+  return result;
+}
+
+}  // namespace hpnn::hw

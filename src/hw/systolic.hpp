@@ -1,0 +1,62 @@
+// Cycle-level weight-stationary systolic array simulation.
+//
+// The Mmu class (mmu.hpp) computes results functionally and *models* cycles
+// with a closed-form formula. This module actually simulates the dataflow,
+// PE by PE and cycle by cycle: weights parked in the grid, activations
+// streamed in skewed from the left edge, partial sums flowing down each
+// column into the key-dependent accumulator bank at the bottom (which is
+// where the paper's Fig. 4 XOR gates live — one key bit per column/unit).
+//
+// It exists to validate the closed-form model: tests check that the
+// simulated results equal the functional GEMM and that the simulated
+// latency matches the Mmu's fill+stream+drain formula.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hw/accumulator.hpp"
+
+namespace hpnn::hw {
+
+class SystolicArray {
+ public:
+  /// rows = contraction dimension capacity, cols = output-neuron capacity
+  /// (= accumulator units = key bits for this tile).
+  SystolicArray(std::int64_t rows, std::int64_t cols);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+
+  /// Parks a k x n int8 weight tile in the grid (k <= rows, n <= cols).
+  /// Costs k cycles (one row shifted in per cycle), tracked in the result
+  /// of the next run().
+  void load_weights(std::span<const std::int8_t> w, std::int64_t k,
+                    std::int64_t n);
+
+  struct Result {
+    std::vector<std::int32_t> out;  // [m x n], row-major
+    std::uint64_t load_cycles = 0;  // weight-load cost
+    std::uint64_t stream_cycles = 0;  // fill + stream + drain
+    std::uint64_t total_cycles() const { return load_cycles + stream_cycles; }
+  };
+
+  /// Streams m activation rows (each of length k, int8, row-major) through
+  /// the parked weights. `column_key_bits` holds one HPNN key bit per output
+  /// column (empty = all zero); a set bit makes that column's accumulator
+  /// negate its partial sums (the Fig. 4 mechanism). Returns the [m x n]
+  /// outputs and the exact simulated cycle counts.
+  Result run(std::span<const std::int8_t> a, std::int64_t m,
+             std::span<const std::uint8_t> column_key_bits = {});
+
+ private:
+  std::int64_t rows_;
+  std::int64_t cols_;
+  std::int64_t loaded_k_ = 0;
+  std::int64_t loaded_n_ = 0;
+  std::uint64_t pending_load_cycles_ = 0;
+  std::vector<std::int8_t> weights_;  // rows_ x cols_, row-major
+};
+
+}  // namespace hpnn::hw

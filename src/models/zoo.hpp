@@ -1,0 +1,74 @@
+// Network builders for the paper's Table I architectures and ResNet18.
+//
+// Channel counts are chosen so the number of neurons in nonlinear (ReLU)
+// layers matches Table I exactly at the native image resolutions:
+//   CNN1 @ 28x28: conv(6,5x5) + conv(14,5x5)        -> 3456 + 896   = 4352
+//   CNN2 @ 32x32: VGG-ish 64/64/96/96/128/128 + FCs -> 196608 + 1536 = 198144
+//   CNN3 @ 32x32: conv 24/16/14 + FC128             -> 29568 + 128  = 29696
+//
+// Every nonlinear activation is created through an ActivationFactory, which
+// is how the HPNN framework swaps plain ReLUs for key-locked activations
+// without touching the builders.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "nn/batchnorm.hpp"
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+#include "nn/residual.hpp"
+
+namespace hpnn::models {
+
+/// Creates the activation module for a nonlinear layer.
+/// `name` is unique within the model; `act_shape` is the per-sample shape of
+/// the activation ({C, H, W} after a conv, {F} after a linear layer).
+using ActivationFactory = std::function<std::unique_ptr<nn::Module>(
+    const std::string& name, const Shape& act_shape)>;
+
+/// Factory producing plain (baseline) ReLUs.
+ActivationFactory plain_relu_factory();
+
+/// CNN1/CNN2/CNN3 and ResNet18 are the paper's evaluation networks; MLP and
+/// LeNet5 are additional zoo members exercising the same locking machinery
+/// (fully-connected-only and classic-CNN topologies respectively).
+enum class Architecture { kCnn1, kCnn2, kCnn3, kResNet18, kMlp, kLeNet5 };
+
+/// "CNN1", "CNN2", "CNN3", "ResNet18", "MLP", "LeNet5".
+std::string arch_name(Architecture arch);
+
+/// Parses an arch_name() string; throws Error on unknown names.
+Architecture arch_from_name(const std::string& name);
+
+/// All architectures in the zoo (for parameterized tests / CLI listings).
+std::vector<Architecture> all_architectures();
+
+struct ModelConfig {
+  std::int64_t in_channels = 1;
+  std::int64_t image_size = 28;
+  std::int64_t num_classes = 10;
+  std::uint64_t init_seed = 1;
+  /// Scales every channel/feature count (floor, min 1). The default CPU-scale
+  /// benches use < 1.0; 1.0 matches the paper-neuron-count topologies.
+  double width_mult = 1.0;
+  /// Activation factory; nullptr selects plain ReLU.
+  ActivationFactory activation;
+};
+
+/// Builds the requested architecture. Throws ShapeError if image_size is too
+/// small for the architecture's pooling pyramid.
+std::unique_ptr<nn::Sequential> build(Architecture arch,
+                                      const ModelConfig& config);
+
+/// Total neurons in nonlinear layers (what Table I column 3 counts) for a
+/// given architecture/config, without building the network.
+std::int64_t locked_neuron_count(Architecture arch, const ModelConfig& config);
+
+/// Copies all parameter values from `src` into `dst`; the two models must
+/// have identical parameter lists (same architecture/config). This is how
+/// the attacker loads stolen weights into the baseline architecture.
+void copy_parameters(nn::Module& src, nn::Module& dst);
+
+}  // namespace hpnn::models

@@ -1,0 +1,167 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace hpnn::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, std::string name,
+                         float momentum, float eps)
+    : name_(std::move(name)),
+      channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(name_ + ".gamma", Tensor::ones(Shape{channels})),
+      beta_(name_ + ".beta", Tensor(Shape{channels})),
+      running_mean_(Shape{channels}),
+      running_var_(Shape{channels}, 1.0f) {}
+
+Tensor BatchNorm2d::forward(const Tensor& x) {
+  HPNN_CHECK(x.rank() == 4 && x.dim(1) == channels_,
+             name_ + ": expected NCHW with C=" + std::to_string(channels_) +
+                 ", got " + x.shape().to_string());
+  const std::int64_t n = x.dim(0);
+  const std::int64_t h = x.dim(2);
+  const std::int64_t w = x.dim(3);
+  const std::int64_t plane = h * w;
+  const std::int64_t count = n * plane;
+  cached_input_shape_ = x.shape();
+
+  Tensor mean(Shape{channels_});
+  Tensor var(Shape{channels_});
+  cached_used_batch_stats_ = training();
+  if (training()) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      double s = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* p = x.data() + (i * channels_ + c) * plane;
+        for (std::int64_t j = 0; j < plane; ++j) {
+          s += p[j];
+        }
+      }
+      mean.at(c) = static_cast<float>(s / count);
+    }
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      double s = 0.0;
+      const float m = mean.at(c);
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* p = x.data() + (i * channels_ + c) * plane;
+        for (std::int64_t j = 0; j < plane; ++j) {
+          const double d = p[j] - m;
+          s += d * d;
+        }
+      }
+      var.at(c) = static_cast<float>(s / count);
+    }
+    // Update running statistics with the biased batch variance (PyTorch uses
+    // unbiased for running stats; the distinction is immaterial here and the
+    // biased form keeps eval()==train() for full-batch data).
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      running_mean_.at(c) =
+          (1.0f - momentum_) * running_mean_.at(c) + momentum_ * mean.at(c);
+      running_var_.at(c) =
+          (1.0f - momentum_) * running_var_.at(c) + momentum_ * var.at(c);
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  cached_inv_std_ = Tensor(Shape{channels_});
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    cached_inv_std_.at(c) = 1.0f / std::sqrt(var.at(c) + eps_);
+  }
+
+  Tensor y(x.shape());
+  cached_xhat_ = Tensor(x.shape());
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    const float m = mean.at(c);
+    const float inv = cached_inv_std_.at(c);
+    const float g = gamma_.value.at(c);
+    const float b = beta_.value.at(c);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* px = x.data() + (i * channels_ + c) * plane;
+      float* pxh = cached_xhat_.data() + (i * channels_ + c) * plane;
+      float* py = y.data() + (i * channels_ + c) * plane;
+      for (std::int64_t j = 0; j < plane; ++j) {
+        const float xh = (px[j] - m) * inv;
+        pxh[j] = xh;
+        py[j] = g * xh + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  HPNN_CHECK(grad_out.shape() == cached_input_shape_,
+             name_ + ": grad shape mismatch");
+  const std::int64_t n = grad_out.dim(0);
+  const std::int64_t plane = grad_out.dim(2) * grad_out.dim(3);
+  const std::int64_t count = n * plane;
+
+  Tensor grad_x(grad_out.shape());
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    // Accumulate dgamma, dbeta and the two reduction terms of the batch-stat
+    // chain rule in double for stability.
+    double dgamma = 0.0;
+    double dbeta = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* pg = grad_out.data() + (i * channels_ + c) * plane;
+      const float* pxh = cached_xhat_.data() + (i * channels_ + c) * plane;
+      for (std::int64_t j = 0; j < plane; ++j) {
+        dgamma += static_cast<double>(pg[j]) * pxh[j];
+        dbeta += pg[j];
+      }
+    }
+    gamma_.grad.at(c) += static_cast<float>(dgamma);
+    beta_.grad.at(c) += static_cast<float>(dbeta);
+
+    const float g = gamma_.value.at(c);
+    const float inv = cached_inv_std_.at(c);
+    if (cached_used_batch_stats_) {
+      const float mean_dy = static_cast<float>(dbeta / count);
+      const float mean_dy_xhat = static_cast<float>(dgamma / count);
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* pg = grad_out.data() + (i * channels_ + c) * plane;
+        const float* pxh = cached_xhat_.data() + (i * channels_ + c) * plane;
+        float* pgx = grad_x.data() + (i * channels_ + c) * plane;
+        for (std::int64_t j = 0; j < plane; ++j) {
+          pgx[j] = g * inv * (pg[j] - mean_dy - pxh[j] * mean_dy_xhat);
+        }
+      }
+    } else {
+      // Eval mode: statistics are constants.
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* pg = grad_out.data() + (i * channels_ + c) * plane;
+        float* pgx = grad_x.data() + (i * channels_ + c) * plane;
+        for (std::int64_t j = 0; j < plane; ++j) {
+          pgx[j] = g * inv * pg[j];
+        }
+      }
+    }
+  }
+  return grad_x;
+}
+
+void BatchNorm2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+void BatchNorm2d::collect_buffers(
+    std::vector<std::pair<std::string, Tensor*>>& out) {
+  out.emplace_back(name_ + ".running_mean", &running_mean_);
+  out.emplace_back(name_ + ".running_var", &running_var_);
+}
+
+void BatchNorm2d::set_running_stats(Tensor mean, Tensor var) {
+  HPNN_CHECK(mean.shape() == Shape({channels_}) &&
+                 var.shape() == Shape({channels_}),
+             name_ + ": running stats shape mismatch");
+  running_mean_ = std::move(mean);
+  running_var_ = std::move(var);
+}
+
+}  // namespace hpnn::nn

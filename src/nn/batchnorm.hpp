@@ -1,0 +1,52 @@
+// 2-d batch normalization (per-channel, NCHW), needed for ResNet18.
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace hpnn::nn {
+
+/// BatchNorm over the (N, H, W) axes of an NCHW tensor.
+///
+/// Training mode normalizes with batch statistics and maintains running
+/// estimates; eval mode uses the running estimates. gamma/beta learnable.
+class BatchNorm2d : public Module {
+ public:
+  BatchNorm2d(std::int64_t channels, std::string name = "bn",
+              float momentum = 0.1f, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void collect_buffers(
+      std::vector<std::pair<std::string, Tensor*>>& out) override;
+  std::string name() const override { return name_; }
+
+  std::int64_t channels() const { return channels_; }
+  float eps() const { return eps_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+  /// Overwrites running statistics (used by model deserialization).
+  void set_running_stats(Tensor mean, Tensor var);
+
+ private:
+  std::string name_;
+  std::int64_t channels_;
+  float momentum_;
+  float eps_;
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // forward cache (training mode)
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;   // [C]
+  Shape cached_input_shape_;
+  bool cached_used_batch_stats_ = false;
+};
+
+}  // namespace hpnn::nn

@@ -1,0 +1,104 @@
+#include "nn/gradcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace hpnn::nn {
+
+namespace {
+
+std::vector<std::int64_t> coords_to_check(std::int64_t numel,
+                                          const GradCheckOptions& opts,
+                                          Rng& rng) {
+  std::vector<std::int64_t> coords;
+  if (opts.max_coords <= 0 || numel <= opts.max_coords) {
+    coords.resize(static_cast<std::size_t>(numel));
+    for (std::int64_t i = 0; i < numel; ++i) {
+      coords[static_cast<std::size_t>(i)] = i;
+    }
+  } else {
+    coords.reserve(static_cast<std::size_t>(opts.max_coords));
+    for (std::int64_t i = 0; i < opts.max_coords; ++i) {
+      coords.push_back(static_cast<std::int64_t>(
+          rng.uniform_index(static_cast<std::uint64_t>(numel))));
+    }
+  }
+  return coords;
+}
+
+void update(GradCheckResult& r, double analytic, double numeric,
+            double tolerance) {
+  const double abs_err = std::fabs(analytic - numeric);
+  const double denom =
+      std::max({std::fabs(analytic), std::fabs(numeric), 1e-4});
+  const double rel_err = abs_err / denom;
+  r.max_abs_err = std::max(r.max_abs_err, abs_err);
+  r.max_rel_err = std::max(r.max_rel_err, rel_err);
+  ++r.coords_checked;
+  r.coords_failed += (rel_err > tolerance);
+}
+
+void finalize(GradCheckResult& r, const GradCheckOptions& opts) {
+  r.ok = r.coords_checked > 0 &&
+         static_cast<double>(r.coords_failed) <=
+             opts.outlier_fraction * static_cast<double>(r.coords_checked);
+}
+
+}  // namespace
+
+GradCheckResult check_input_gradient(Module& model, Loss& loss,
+                                     const Tensor& input,
+                                     const std::vector<std::int64_t>& labels,
+                                     const GradCheckOptions& opts) {
+  Rng rng(opts.seed);
+  zero_grads(model);
+  Tensor scores = model.forward(input);
+  (void)loss.forward(scores, labels);
+  const Tensor analytic = model.backward(loss.backward());
+
+  GradCheckResult result;
+  Tensor x = input;
+  for (const auto c : coords_to_check(x.numel(), opts, rng)) {
+    const float orig = x.at(c);
+    x.at(c) = orig + static_cast<float>(opts.epsilon);
+    const double plus = loss.forward(model.forward(x), labels);
+    x.at(c) = orig - static_cast<float>(opts.epsilon);
+    const double minus = loss.forward(model.forward(x), labels);
+    x.at(c) = orig;
+    update(result, analytic.at(c), (plus - minus) / (2.0 * opts.epsilon),
+           opts.tolerance);
+  }
+  finalize(result, opts);
+  return result;
+}
+
+GradCheckResult check_parameter_gradients(
+    Module& model, Loss& loss, const Tensor& input,
+    const std::vector<std::int64_t>& labels, const GradCheckOptions& opts) {
+  Rng rng(opts.seed);
+  zero_grads(model);
+  Tensor scores = model.forward(input);
+  (void)loss.forward(scores, labels);
+  (void)model.backward(loss.backward());
+
+  GradCheckResult result;
+  for (Parameter* p : parameters_of(model)) {
+    for (const auto c : coords_to_check(p->value.numel(), opts, rng)) {
+      const float orig = p->value.at(c);
+      p->value.at(c) = orig + static_cast<float>(opts.epsilon);
+      const double plus = loss.forward(model.forward(input), labels);
+      p->value.at(c) = orig - static_cast<float>(opts.epsilon);
+      const double minus = loss.forward(model.forward(input), labels);
+      p->value.at(c) = orig;
+      update(result, p->grad.at(c), (plus - minus) / (2.0 * opts.epsilon),
+             opts.tolerance);
+    }
+  }
+  finalize(result, opts);
+  return result;
+}
+
+}  // namespace hpnn::nn

@@ -1,0 +1,48 @@
+// Central-difference gradient checking, used by the test suite to verify
+// every layer's backward() against its forward().
+#pragma once
+
+#include <functional>
+
+#include "nn/losses.hpp"
+#include "nn/module.hpp"
+
+namespace hpnn::nn {
+
+struct GradCheckResult {
+  double max_abs_err = 0.0;    // worst |analytic - numeric|
+  double max_rel_err = 0.0;    // worst relative error (guarded denominator)
+  std::int64_t coords_checked = 0;
+  std::int64_t coords_failed = 0;  // rel err above tolerance
+  bool ok = false;
+};
+
+struct GradCheckOptions {
+  double epsilon = 1e-3;       // central-difference step
+  double tolerance = 2e-2;     // max allowed relative error per coordinate
+  /// Fraction of coordinates allowed to exceed the tolerance. Non-zero
+  /// because ReLU/maxpool kinks make central differences locally wrong when
+  /// a perturbation crosses an activation boundary — those outliers say
+  /// nothing about the analytic gradient.
+  double outlier_fraction = 0.05;
+  /// Check at most this many randomly chosen coordinates per tensor
+  /// (0 = all). Keeps conv checks fast without losing coverage.
+  std::int64_t max_coords = 64;
+  std::uint64_t seed = 7;
+};
+
+/// Checks d(loss)/d(input) of `model` via backward() against central
+/// differences of the scalar loss. The model must be deterministic
+/// (set_training(false) for dropout; batchnorm in train mode is fine since
+/// it is deterministic given the batch).
+GradCheckResult check_input_gradient(Module& model, Loss& loss,
+                                     const Tensor& input,
+                                     const std::vector<std::int64_t>& labels,
+                                     const GradCheckOptions& opts = {});
+
+/// Checks d(loss)/d(theta) for every parameter of `model`.
+GradCheckResult check_parameter_gradients(
+    Module& model, Loss& loss, const Tensor& input,
+    const std::vector<std::int64_t>& labels, const GradCheckOptions& opts = {});
+
+}  // namespace hpnn::nn

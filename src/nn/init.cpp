@@ -1,0 +1,32 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace hpnn::nn {
+
+void he_normal(Tensor& w, std::int64_t fan_in, Rng& rng) {
+  HPNN_CHECK(fan_in > 0, "he_normal requires fan_in > 0");
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (auto& v : w.span()) {
+    v = static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+void xavier_uniform(Tensor& w, std::int64_t fan_in, std::int64_t fan_out,
+                    Rng& rng) {
+  HPNN_CHECK(fan_in > 0 && fan_out > 0, "xavier_uniform requires fans > 0");
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (auto& v : w.span()) {
+    v = static_cast<float>(rng.uniform(-a, a));
+  }
+}
+
+void small_uniform(Tensor& w, float bound, Rng& rng) {
+  for (auto& v : w.span()) {
+    v = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+}  // namespace hpnn::nn

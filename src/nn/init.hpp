@@ -1,0 +1,21 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "core/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hpnn::nn {
+
+/// He (Kaiming) normal: N(0, sqrt(2/fan_in)). The paper's networks are
+/// ReLU-based, so this is the default for conv/linear weights.
+void he_normal(Tensor& w, std::int64_t fan_in, Rng& rng);
+
+/// Xavier/Glorot uniform: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+void xavier_uniform(Tensor& w, std::int64_t fan_in, std::int64_t fan_out,
+                    Rng& rng);
+
+/// Small uniform values, U(-bound, bound). Used for the "random small weight
+/// parameters" initialization of the random fine-tuning attack (Sec. IV-C).
+void small_uniform(Tensor& w, float bound, Rng& rng);
+
+}  // namespace hpnn::nn

@@ -1,0 +1,219 @@
+#include "nn/layers.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "nn/init.hpp"
+
+namespace hpnn::nn {
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               std::string name, bool bias)
+    : name_(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      weight_(name_ + ".weight", Tensor(Shape{out_features, in_features})) {
+  he_normal(weight_.value, in_features_, rng);
+  if (bias) {
+    bias_.emplace(name_ + ".bias", Tensor(Shape{out_features}));
+  }
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  HPNN_CHECK(x.rank() == 2 && x.dim(1) == in_features_,
+             name_ + ": input shape " + x.shape().to_string() +
+                 " incompatible with in_features " +
+                 std::to_string(in_features_));
+  cached_input_ = x;
+  // y = x @ W^T
+  Tensor y = ops::matmul(x, weight_.value, ops::Trans::kNo, ops::Trans::kYes);
+  if (bias_) {
+    const std::int64_t n = y.dim(0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      float* row = y.data() + i * out_features_;
+      for (std::int64_t j = 0; j < out_features_; ++j) {
+        row[j] += bias_->value.at(j);
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  HPNN_CHECK(grad_out.rank() == 2 && grad_out.dim(1) == out_features_,
+             name_ + ": grad shape mismatch");
+  HPNN_CHECK(cached_input_.numel() > 0, name_ + ": backward before forward");
+  // dW += dY^T @ X ; dX = dY @ W
+  ops::gemm(grad_out, ops::Trans::kYes, cached_input_, ops::Trans::kNo,
+            weight_.grad, 1.0f, 1.0f);
+  if (bias_) {
+    const std::int64_t n = grad_out.dim(0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* row = grad_out.data() + i * out_features_;
+      for (std::int64_t j = 0; j < out_features_; ++j) {
+        bias_->grad.at(j) += row[j];
+      }
+    }
+  }
+  return ops::matmul(grad_out, weight_.value, ops::Trans::kNo, ops::Trans::kNo);
+}
+
+void Linear::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (bias_) {
+    out.push_back(&*bias_);
+  }
+}
+
+// ---------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(const ops::Conv2dGeometry& geometry, std::int64_t out_channels,
+               Rng& rng, std::string name, bool bias)
+    : name_(std::move(name)),
+      geometry_(geometry),
+      out_channels_(out_channels),
+      weight_(name_ + ".weight",
+              Tensor(Shape{out_channels, geometry.in_channels, geometry.kernel,
+                           geometry.kernel})) {
+  const std::int64_t fan_in =
+      geometry_.in_channels * geometry_.kernel * geometry_.kernel;
+  he_normal(weight_.value, fan_in, rng);
+  if (bias) {
+    bias_.emplace(name_ + ".bias", Tensor(Shape{out_channels}));
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  cached_input_ = x;
+  static const Tensor kNoBias;
+  return ops::conv2d_forward(x, weight_.value,
+                             bias_ ? bias_->value : kNoBias, geometry_);
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  HPNN_CHECK(cached_input_.numel() > 0, name_ + ": backward before forward");
+  static Tensor no_bias_grad;
+  return ops::conv2d_backward(cached_input_, weight_.value, grad_out,
+                              geometry_, weight_.grad,
+                              bias_ ? bias_->grad : no_bias_grad);
+}
+
+void Conv2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (bias_) {
+    out.push_back(&*bias_);
+  }
+}
+
+// ---------------------------------------------------------------- ReLU
+
+Tensor ReLU::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor y = x;
+  for (auto& v : y.span()) {
+    v = std::max(v, 0.0f);
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  HPNN_CHECK(grad_out.shape() == cached_input_.shape(),
+             name_ + ": grad shape mismatch");
+  Tensor gx = grad_out;
+  const float* in = cached_input_.data();
+  float* g = gx.data();
+  for (std::int64_t i = 0; i < gx.numel(); ++i) {
+    if (in[i] <= 0.0f) {
+      g[i] = 0.0f;
+    }
+  }
+  return gx;
+}
+
+// ---------------------------------------------------------------- MaxPool2d
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  cached_input_shape_ = x.shape();
+  auto res = ops::maxpool2d_forward(x, kernel_, stride_);
+  cached_argmax_ = std::move(res.argmax);
+  return std::move(res.output);
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  HPNN_CHECK(!cached_argmax_.empty(), name_ + ": backward before forward");
+  return ops::maxpool2d_backward(grad_out, cached_input_shape_,
+                                 cached_argmax_);
+}
+
+// ---------------------------------------------------------------- AvgPool2d
+
+Tensor AvgPool2d::forward(const Tensor& x) {
+  cached_input_shape_ = x.shape();
+  return ops::avgpool2d_forward(x, kernel_, stride_);
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  HPNN_CHECK(cached_input_shape_.rank() == 4,
+             name_ + ": backward before forward");
+  return ops::avgpool2d_backward(grad_out, cached_input_shape_, kernel_,
+                                 stride_);
+}
+
+// ---------------------------------------------------------------- Flatten
+
+Tensor Flatten::forward(const Tensor& x) {
+  HPNN_CHECK(x.rank() >= 2, name_ + ": input must have batch dim");
+  cached_input_shape_ = x.shape();
+  const std::int64_t n = x.dim(0);
+  return x.reshaped(Shape{n, x.numel() / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(cached_input_shape_);
+}
+
+// ------------------------------------------------------------ GlobalAvgPool
+
+Tensor GlobalAvgPool::forward(const Tensor& x) {
+  cached_input_shape_ = x.shape();
+  return ops::global_avgpool_forward(x);
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  return ops::global_avgpool_backward(grad_out, cached_input_shape_);
+}
+
+// ---------------------------------------------------------------- Dropout
+
+Dropout::Dropout(double p, std::uint64_t seed, std::string name)
+    : name_(std::move(name)), p_(p), rng_(seed) {
+  HPNN_CHECK(p >= 0.0 && p < 1.0, name_ + ": dropout p must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& x) {
+  if (!training() || p_ == 0.0) {
+    cached_mask_ = Tensor();
+    return x;
+  }
+  cached_mask_ = Tensor(x.shape());
+  const float scale = static_cast<float>(1.0 / (1.0 - p_));
+  for (auto& m : cached_mask_.span()) {
+    m = rng_.bernoulli(p_) ? 0.0f : scale;
+  }
+  Tensor y = x;
+  y.mul_(cached_mask_);
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (cached_mask_.numel() == 0) {
+    return grad_out;
+  }
+  Tensor gx = grad_out;
+  gx.mul_(cached_mask_);
+  return gx;
+}
+
+}  // namespace hpnn::nn

@@ -1,0 +1,140 @@
+#include "nn/losses.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace hpnn::nn {
+
+namespace {
+
+void check_batch(const Tensor& scores, const std::vector<std::int64_t>& labels,
+                 const char* who) {
+  HPNN_CHECK(scores.rank() == 2, std::string(who) + ": scores must be [N, C]");
+  HPNN_CHECK(static_cast<std::int64_t>(labels.size()) == scores.dim(0),
+             std::string(who) + ": label count mismatch");
+  for (const auto l : labels) {
+    HPNN_CHECK(l >= 0 && l < scores.dim(1),
+               std::string(who) + ": label out of range");
+  }
+}
+
+}  // namespace
+
+float SoftmaxCrossEntropy::forward(const Tensor& scores,
+                                   const std::vector<std::int64_t>& labels) {
+  check_batch(scores, labels, "SoftmaxCrossEntropy");
+  const Tensor logp = ops::log_softmax_rows(scores);
+  cached_probs_ = ops::softmax_rows(scores);
+  cached_labels_ = labels;
+  const std::int64_t n = scores.dim(0);
+  const std::int64_t c = scores.dim(1);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    loss -= logp.data()[i * c + labels[static_cast<std::size_t>(i)]];
+  }
+  return static_cast<float>(loss / n);
+}
+
+Tensor SoftmaxCrossEntropy::backward() {
+  HPNN_CHECK(cached_probs_.numel() > 0,
+             "SoftmaxCrossEntropy: backward before forward");
+  const std::int64_t n = cached_probs_.dim(0);
+  const std::int64_t c = cached_probs_.dim(1);
+  Tensor grad = cached_probs_;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    grad.data()[i * c + cached_labels_[static_cast<std::size_t>(i)]] -= 1.0f;
+  }
+  grad.scale_(inv_n);
+  return grad;
+}
+
+float MseOneHot::forward(const Tensor& scores,
+                         const std::vector<std::int64_t>& labels) {
+  check_batch(scores, labels, "MseOneHot");
+  cached_scores_ = scores;
+  cached_labels_ = labels;
+  const std::int64_t n = scores.dim(0);
+  const std::int64_t c = scores.dim(1);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float t =
+          (j == labels[static_cast<std::size_t>(i)]) ? 1.0f : 0.0f;
+      const double d = t - scores.data()[i * c + j];
+      loss += 0.5 * d * d;
+    }
+  }
+  return static_cast<float>(loss / n);
+}
+
+Tensor MseOneHot::backward() {
+  HPNN_CHECK(cached_scores_.numel() > 0, "MseOneHot: backward before forward");
+  const std::int64_t n = cached_scores_.dim(0);
+  const std::int64_t c = cached_scores_.dim(1);
+  Tensor grad(cached_scores_.shape());
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float t =
+          (j == cached_labels_[static_cast<std::size_t>(i)]) ? 1.0f : 0.0f;
+      // dE/dout = -(t - out) / N
+      grad.data()[i * c + j] =
+          (cached_scores_.data()[i * c + j] - t) * inv_n;
+    }
+  }
+  return grad;
+}
+
+float SoftTargetCrossEntropy::forward(const Tensor& student_logits,
+                                      const Tensor& teacher_probs,
+                                      double temperature) {
+  HPNN_CHECK(student_logits.rank() == 2 &&
+                 student_logits.shape() == teacher_probs.shape(),
+             "SoftTargetCrossEntropy: shape mismatch");
+  HPNN_CHECK(temperature > 0.0, "distillation temperature must be positive");
+  temperature_ = temperature;
+  const Tensor scaled =
+      student_logits * static_cast<float>(1.0 / temperature);
+  cached_student_probs_ = ops::softmax_rows(scaled);
+  cached_teacher_probs_ = teacher_probs;
+
+  const Tensor logp = ops::log_softmax_rows(scaled);
+  const std::int64_t n = student_logits.dim(0);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < logp.numel(); ++i) {
+    loss -= static_cast<double>(teacher_probs.at(i)) * logp.at(i);
+  }
+  return static_cast<float>(loss / n);
+}
+
+Tensor SoftTargetCrossEntropy::backward() {
+  HPNN_CHECK(cached_student_probs_.numel() > 0,
+             "SoftTargetCrossEntropy: backward before forward");
+  const std::int64_t n = cached_student_probs_.dim(0);
+  Tensor grad = cached_student_probs_;
+  grad.sub_(cached_teacher_probs_);
+  // d/dz [-Σ q log softmax(z/T)] = (p - q)/T, times the conventional T²
+  // compensation -> (p - q) * T / N.
+  grad.scale_(static_cast<float>(temperature_ / static_cast<double>(n)));
+  return grad;
+}
+
+double accuracy(const Tensor& scores,
+                const std::vector<std::int64_t>& labels) {
+  check_batch(scores, labels, "accuracy");
+  const auto pred = ops::argmax_rows(scores);
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (pred[i] == labels[i]) {
+      ++correct;
+    }
+  }
+  return labels.empty() ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(labels.size());
+}
+
+}  // namespace hpnn::nn

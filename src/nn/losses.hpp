@@ -1,0 +1,72 @@
+// Loss functions. Each computes the mean loss over a batch in forward()
+// and the gradient w.r.t. the network output in backward().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hpnn::nn {
+
+/// Abstract loss over ([N, C] scores, N integer labels).
+class Loss {
+ public:
+  virtual ~Loss() = default;
+  /// Mean loss over the batch; caches what backward() needs.
+  virtual float forward(const Tensor& scores,
+                        const std::vector<std::int64_t>& labels) = 0;
+  /// dE/dscores for the cached batch (already divided by batch size).
+  virtual Tensor backward() = 0;
+};
+
+/// Softmax + cross-entropy, the standard classification loss.
+class SoftmaxCrossEntropy : public Loss {
+ public:
+  float forward(const Tensor& scores,
+                const std::vector<std::int64_t>& labels) override;
+  Tensor backward() override;
+
+ private:
+  Tensor cached_probs_;
+  std::vector<std::int64_t> cached_labels_;
+};
+
+/// Mean squared error against one-hot targets: E = 1/2N Σ_n Σ_j (t_j-out_j)^2.
+/// This is the cost function the paper's key-dependent delta rule (Sec. III-C)
+/// is derived for; we provide it so the Theorem 1 property tests use the
+/// paper's exact formulation.
+class MseOneHot : public Loss {
+ public:
+  float forward(const Tensor& scores,
+                const std::vector<std::int64_t>& labels) override;
+  Tensor backward() override;
+
+ private:
+  Tensor cached_scores_;
+  std::vector<std::int64_t> cached_labels_;
+};
+
+/// Cross-entropy against *soft* target distributions at a distillation
+/// temperature T: E = -1/N Σ_n Σ_j q_nj log softmax(z_n / T)_j.
+/// (Knowledge-distillation loss; q rows must be probability vectors.)
+class SoftTargetCrossEntropy {
+ public:
+  /// `teacher_probs` has the same [N, C] shape as `student_logits`.
+  float forward(const Tensor& student_logits, const Tensor& teacher_probs,
+                double temperature = 1.0);
+
+  /// dE/d(student_logits) for the cached batch. Includes the customary T²
+  /// factor so gradient magnitudes are temperature-independent.
+  Tensor backward();
+
+ private:
+  Tensor cached_student_probs_;  // softmax(z/T)
+  Tensor cached_teacher_probs_;
+  double temperature_ = 1.0;
+};
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& scores, const std::vector<std::int64_t>& labels);
+
+}  // namespace hpnn::nn

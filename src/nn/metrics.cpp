@@ -1,0 +1,160 @@
+#include "nn/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace hpnn::nn {
+
+ConfusionMatrix::ConfusionMatrix(std::int64_t num_classes)
+    : classes_(num_classes),
+      cells_(static_cast<std::size_t>(num_classes * num_classes), 0) {
+  HPNN_CHECK(num_classes > 0, "ConfusionMatrix needs at least one class");
+}
+
+void ConfusionMatrix::add(std::int64_t truth, std::int64_t predicted) {
+  HPNN_CHECK(truth >= 0 && truth < classes_ && predicted >= 0 &&
+                 predicted < classes_,
+             "confusion matrix index out of range");
+  ++cells_[static_cast<std::size_t>(truth * classes_ + predicted)];
+  ++total_;
+}
+
+void ConfusionMatrix::add_batch(const Tensor& scores,
+                                const std::vector<std::int64_t>& labels) {
+  const auto pred = ops::argmax_rows(scores);
+  HPNN_CHECK(pred.size() == labels.size(), "batch size mismatch");
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    add(labels[i], pred[i]);
+  }
+}
+
+std::int64_t ConfusionMatrix::count(std::int64_t truth,
+                                    std::int64_t predicted) const {
+  HPNN_CHECK(truth >= 0 && truth < classes_ && predicted >= 0 &&
+                 predicted < classes_,
+             "confusion matrix index out of range");
+  return cells_[static_cast<std::size_t>(truth * classes_ + predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  std::int64_t diag = 0;
+  for (std::int64_t c = 0; c < classes_; ++c) {
+    diag += count(c, c);
+  }
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(std::int64_t cls) const {
+  std::int64_t row = 0;
+  for (std::int64_t p = 0; p < classes_; ++p) {
+    row += count(cls, p);
+  }
+  return row == 0 ? 0.0
+                  : static_cast<double>(count(cls, cls)) /
+                        static_cast<double>(row);
+}
+
+double ConfusionMatrix::precision(std::int64_t cls) const {
+  std::int64_t col = 0;
+  for (std::int64_t t = 0; t < classes_; ++t) {
+    col += count(t, cls);
+  }
+  return col == 0 ? 0.0
+                  : static_cast<double>(count(cls, cls)) /
+                        static_cast<double>(col);
+}
+
+double ConfusionMatrix::balanced_accuracy() const {
+  double sum = 0.0;
+  std::int64_t nonempty = 0;
+  for (std::int64_t c = 0; c < classes_; ++c) {
+    std::int64_t row = 0;
+    for (std::int64_t p = 0; p < classes_; ++p) {
+      row += count(c, p);
+    }
+    if (row > 0) {
+      sum += recall(c);
+      ++nonempty;
+    }
+  }
+  return nonempty == 0 ? 0.0 : sum / static_cast<double>(nonempty);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream os;
+  os << "true\\pred";
+  for (std::int64_t p = 0; p < classes_; ++p) {
+    os << '\t' << p;
+  }
+  os << '\n';
+  for (std::int64_t t = 0; t < classes_; ++t) {
+    os << t;
+    for (std::int64_t p = 0; p < classes_; ++p) {
+      os << '\t' << count(t, p);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+double topk_accuracy(const Tensor& scores,
+                     const std::vector<std::int64_t>& labels,
+                     std::int64_t k) {
+  HPNN_CHECK(scores.rank() == 2, "topk_accuracy expects [N, C]");
+  HPNN_CHECK(k >= 1 && k <= scores.dim(1), "invalid k");
+  HPNN_CHECK(static_cast<std::int64_t>(labels.size()) == scores.dim(0),
+             "label count mismatch");
+  const std::int64_t n = scores.dim(0);
+  const std::int64_t c = scores.dim(1);
+  std::int64_t hits = 0;
+  std::vector<std::int64_t> order(static_cast<std::size_t>(c));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = scores.data() + i * c;
+    for (std::int64_t j = 0; j < c; ++j) {
+      order[static_cast<std::size_t>(j)] = j;
+    }
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [row](std::int64_t a, std::int64_t b) {
+                        return row[a] > row[b];
+                      });
+    for (std::int64_t j = 0; j < k; ++j) {
+      if (order[static_cast<std::size_t>(j)] ==
+          labels[static_cast<std::size_t>(i)]) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+}
+
+ConfusionMatrix evaluate_confusion(Module& model, const Tensor& images,
+                                   const std::vector<std::int64_t>& labels,
+                                   std::int64_t num_classes,
+                                   std::int64_t batch_size) {
+  ConfusionMatrix cm(num_classes);
+  const std::size_t n = labels.size();
+  std::vector<std::size_t> identity(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    identity[i] = i;
+  }
+  const bool was_training = model.training();
+  model.set_training(false);
+  for (std::size_t at = 0; at < n; at += batch_size) {
+    const std::size_t count = std::min<std::size_t>(batch_size, n - at);
+    auto [batch, batch_labels] =
+        gather_batch(images, labels, identity, at, count);
+    cm.add_batch(model.forward(batch), batch_labels);
+  }
+  model.set_training(was_training);
+  return cm;
+}
+
+}  // namespace hpnn::nn

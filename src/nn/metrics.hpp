@@ -1,0 +1,58 @@
+// Classification metrics beyond plain accuracy: confusion matrix,
+// per-class accuracy/precision/recall, top-k accuracy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace hpnn::nn {
+
+/// Row = true class, column = predicted class.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::int64_t num_classes);
+
+  /// Adds one (true, predicted) observation.
+  void add(std::int64_t truth, std::int64_t predicted);
+
+  /// Adds a whole scored batch.
+  void add_batch(const Tensor& scores,
+                 const std::vector<std::int64_t>& labels);
+
+  std::int64_t num_classes() const { return classes_; }
+  std::int64_t count(std::int64_t truth, std::int64_t predicted) const;
+  std::int64_t total() const { return total_; }
+
+  /// Overall accuracy (trace / total); 0 when empty.
+  double accuracy() const;
+  /// Recall of one class (diagonal / row sum); 0 for empty rows.
+  double recall(std::int64_t cls) const;
+  /// Precision of one class (diagonal / column sum); 0 for empty columns.
+  double precision(std::int64_t cls) const;
+  /// Mean of per-class recalls over non-empty classes (balanced accuracy).
+  double balanced_accuracy() const;
+
+  /// Multi-line ASCII rendering (for examples / CLI output).
+  std::string to_string() const;
+
+ private:
+  std::int64_t classes_;
+  std::int64_t total_ = 0;
+  std::vector<std::int64_t> cells_;  // classes_ x classes_
+};
+
+/// Fraction of rows whose true label is within the k highest scores.
+double topk_accuracy(const Tensor& scores,
+                     const std::vector<std::int64_t>& labels, std::int64_t k);
+
+/// Evaluates a model over a dataset into a confusion matrix (eval mode,
+/// batched; restores the previous training flag).
+ConfusionMatrix evaluate_confusion(Module& model, const Tensor& images,
+                                   const std::vector<std::int64_t>& labels,
+                                   std::int64_t num_classes,
+                                   std::int64_t batch_size = 64);
+
+}  // namespace hpnn::nn

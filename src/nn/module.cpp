@@ -1,0 +1,89 @@
+#include "nn/module.hpp"
+
+#include "core/error.hpp"
+
+namespace hpnn::nn {
+
+void Module::collect_parameters(std::vector<Parameter*>&) {}
+
+void Module::collect_buffers(std::vector<std::pair<std::string, Tensor*>>&) {}
+
+Module& Sequential::add(std::unique_ptr<Module> m) {
+  HPNN_CHECK(m != nullptr, "Sequential::add(nullptr)");
+  modules_.push_back(std::move(m));
+  return *modules_.back();
+}
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor cur = x;
+  for (auto& m : modules_) {
+    cur = m->forward(cur);
+  }
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+    cur = (*it)->backward(cur);
+  }
+  return cur;
+}
+
+void Sequential::collect_parameters(std::vector<Parameter*>& out) {
+  for (auto& m : modules_) {
+    m->collect_parameters(out);
+  }
+}
+
+void Sequential::collect_buffers(
+    std::vector<std::pair<std::string, Tensor*>>& out) {
+  for (auto& m : modules_) {
+    m->collect_buffers(out);
+  }
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& m : modules_) {
+    m->set_training(training);
+  }
+}
+
+Module& Sequential::at(std::size_t i) {
+  HPNN_CHECK(i < modules_.size(), "Sequential::at out of range");
+  return *modules_[i];
+}
+
+const Module& Sequential::at(std::size_t i) const {
+  HPNN_CHECK(i < modules_.size(), "Sequential::at out of range");
+  return *modules_[i];
+}
+
+std::vector<Parameter*> parameters_of(Module& m) {
+  std::vector<Parameter*> out;
+  m.collect_parameters(out);
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor*>> buffers_of(Module& m) {
+  std::vector<std::pair<std::string, Tensor*>> out;
+  m.collect_buffers(out);
+  return out;
+}
+
+std::int64_t parameter_count(Module& m) {
+  std::int64_t n = 0;
+  for (const auto* p : parameters_of(m)) {
+    n += p->value.numel();
+  }
+  return n;
+}
+
+void zero_grads(Module& m) {
+  for (auto* p : parameters_of(m)) {
+    p->grad.zero();
+  }
+}
+
+}  // namespace hpnn::nn

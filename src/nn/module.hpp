@@ -1,0 +1,97 @@
+// Module: the building block of networks, with explicit manual backprop.
+//
+// Each module caches whatever it needs during forward() and consumes the
+// cache in backward(). This "explicit tape" style is what allows HPNN's
+// key-dependent backpropagation (Sec. III-C of the paper) to be expressed
+// exactly as written: the LockedActivation module injects the lock factor
+// L_j into both the forward response and the delta rule.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hpnn::nn {
+
+/// A learnable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+};
+
+/// Abstract network layer with explicit forward/backward.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Computes the layer output; caches anything backward() needs.
+  virtual Tensor forward(const Tensor& x) = 0;
+
+  /// Given dE/d(output), returns dE/d(input) and accumulates parameter
+  /// gradients. Must be called after a matching forward().
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Appends raw pointers to this module's parameters (stable addresses).
+  virtual void collect_parameters(std::vector<Parameter*>& out);
+
+  /// Appends named non-learnable state (e.g. batch-norm running statistics)
+  /// that must survive model serialization and weight copying.
+  virtual void collect_buffers(
+      std::vector<std::pair<std::string, Tensor*>>& out);
+
+  /// Switches train/eval behaviour (batch-norm statistics, dropout).
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  /// Short diagnostic name, e.g. "conv1" or "locked_relu2".
+  virtual std::string name() const = 0;
+
+ protected:
+  bool training_ = true;
+};
+
+/// Ordered container of modules; forward chains them, backward reverses.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a module; returns a reference for further configuration.
+  Module& add(std::unique_ptr<Module> m);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void collect_buffers(
+      std::vector<std::pair<std::string, Tensor*>>& out) override;
+  void set_training(bool training) override;
+  std::string name() const override { return name_; }
+
+  std::size_t size() const { return modules_.size(); }
+  Module& at(std::size_t i);
+  const Module& at(std::size_t i) const;
+
+ private:
+  std::string name_ = "sequential";
+  std::vector<std::unique_ptr<Module>> modules_;
+};
+
+/// All parameters of a module tree.
+std::vector<Parameter*> parameters_of(Module& m);
+
+/// All named buffers of a module tree.
+std::vector<std::pair<std::string, Tensor*>> buffers_of(Module& m);
+
+/// Total scalar parameter count of a module tree.
+std::int64_t parameter_count(Module& m);
+
+/// Zeroes every parameter gradient in the tree.
+void zero_grads(Module& m);
+
+}  // namespace hpnn::nn

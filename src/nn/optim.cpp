@@ -1,0 +1,124 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace hpnn::nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, const Options& opts)
+    : Optimizer(std::move(params)), opts_(opts) {
+  HPNN_CHECK(opts_.lr > 0.0, "Sgd: lr must be positive");
+  if (opts_.momentum != 0.0) {
+    velocity_.reserve(params_.size());
+    for (const auto* p : params_) {
+      velocity_.emplace_back(p->value.shape());
+    }
+  }
+}
+
+void Sgd::step() {
+  const auto lr = static_cast<float>(opts_.lr);
+  const auto wd = static_cast<float>(opts_.weight_decay);
+  const auto mom = static_cast<float>(opts_.momentum);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    if (mom == 0.0f) {
+      if (wd != 0.0f) {
+        p.value.axpy_(-lr * wd, p.value);
+      }
+      p.value.axpy_(-lr, p.grad);
+    } else {
+      Tensor& v = velocity_[i];
+      // v = mom * v + (grad + wd * w); w -= lr * v
+      v.scale_(mom);
+      v.add_(p.grad);
+      if (wd != 0.0f) {
+        v.axpy_(wd, p.value);
+      }
+      p.value.axpy_(-lr, v);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, const Options& opts)
+    : Optimizer(std::move(params)), opts_(opts) {
+  HPNN_CHECK(opts_.lr > 0.0, "Adam: lr must be positive");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double b1 = opts_.beta1;
+  const double b2 = opts_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  const double alpha = opts_.lr * std::sqrt(bias2) / bias1;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (std::int64_t j = 0; j < p.value.numel(); ++j) {
+      float gj = g[j];
+      if (opts_.weight_decay != 0.0) {
+        gj += static_cast<float>(opts_.weight_decay) * w[j];
+      }
+      m[j] = static_cast<float>(b1 * m[j] + (1.0 - b1) * gj);
+      v[j] = static_cast<float>(b2 * v[j] + (1.0 - b2) * gj * gj);
+      w[j] -= static_cast<float>(alpha * m[j] /
+                                 (std::sqrt(static_cast<double>(v[j])) +
+                                  opts_.eps));
+    }
+  }
+}
+
+void StepLr::epoch_end() {
+  ++epoch_;
+  if (step_size_ > 0 && epoch_ % step_size_ == 0) {
+    opt_.set_lr(opt_.lr() * gamma_);
+  }
+}
+
+CosineLr::CosineLr(Optimizer& opt, std::int64_t total_epochs, double min_lr)
+    : opt_(opt),
+      total_epochs_(total_epochs),
+      base_lr_(opt.lr()),
+      min_lr_(min_lr) {
+  HPNN_CHECK(total_epochs > 0, "CosineLr needs a positive horizon");
+  HPNN_CHECK(min_lr >= 0.0 && min_lr <= base_lr_,
+             "CosineLr min_lr out of range");
+}
+
+void CosineLr::epoch_end() {
+  epoch_ = std::min(epoch_ + 1, total_epochs_);
+  const double t =
+      static_cast<double>(epoch_) / static_cast<double>(total_epochs_);
+  const double factor = 0.5 * (1.0 + std::cos(t * 3.14159265358979323846));
+  opt_.set_lr(min_lr_ + (base_lr_ - min_lr_) * factor);
+}
+
+double clip_grad_norm(const std::vector<Parameter*>& params,
+                      double max_norm) {
+  HPNN_CHECK(max_norm > 0.0, "clip_grad_norm needs a positive bound");
+  double total = 0.0;
+  for (const auto* p : params) {
+    total += static_cast<double>(p->grad.squared_norm());
+  }
+  const double norm = std::sqrt(total);
+  if (norm > max_norm) {
+    const auto scale = static_cast<float>(max_norm / norm);
+    for (auto* p : params) {
+      p->grad.scale_(scale);
+    }
+  }
+  return norm;
+}
+
+}  // namespace hpnn::nn

@@ -1,0 +1,111 @@
+// Optimizers and learning-rate schedules.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace hpnn::nn {
+
+/// Abstract optimizer over a fixed parameter set.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients, then the caller
+  /// typically zeroes the gradients for the next step.
+  virtual void step() = 0;
+
+  /// Current learning rate.
+  virtual double lr() const = 0;
+  /// Overrides the learning rate (used by schedules and lr sweeps).
+  virtual void set_lr(double lr) = 0;
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+/// SGD with optional momentum and decoupled L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  struct Options {
+    double lr = 0.01;
+    double momentum = 0.0;
+    double weight_decay = 0.0;
+  };
+
+  Sgd(std::vector<Parameter*> params, const Options& opts);
+
+  void step() override;
+  double lr() const override { return opts_.lr; }
+  void set_lr(double lr) override { opts_.lr = lr; }
+
+ private:
+  Options opts_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam optimizer (used by the attacker's hyper-parameter sweeps).
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 0.0;
+  };
+
+  Adam(std::vector<Parameter*> params, const Options& opts);
+
+  void step() override;
+  double lr() const override { return opts_.lr; }
+  void set_lr(double lr) override { opts_.lr = lr; }
+
+ private:
+  Options opts_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  std::int64_t t_ = 0;
+};
+
+/// Multiplies the lr by `gamma` every `step_size` epochs.
+class StepLr {
+ public:
+  StepLr(Optimizer& opt, std::int64_t step_size, double gamma)
+      : opt_(opt), step_size_(step_size), gamma_(gamma) {}
+
+  /// Call once at the end of each epoch.
+  void epoch_end();
+
+ private:
+  Optimizer& opt_;
+  std::int64_t step_size_;
+  double gamma_;
+  std::int64_t epoch_ = 0;
+};
+
+/// Cosine annealing from the initial lr down to `min_lr` over
+/// `total_epochs` (the modern default for from-scratch CNN training).
+class CosineLr {
+ public:
+  CosineLr(Optimizer& opt, std::int64_t total_epochs, double min_lr = 0.0);
+
+  /// Call once at the end of each epoch.
+  void epoch_end();
+
+ private:
+  Optimizer& opt_;
+  std::int64_t total_epochs_;
+  double base_lr_;
+  double min_lr_;
+  std::int64_t epoch_ = 0;
+};
+
+/// Scales gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm. Call between backward() and step().
+double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm);
+
+}  // namespace hpnn::nn

@@ -1,0 +1,72 @@
+#include "nn/residual.hpp"
+
+#include "core/error.hpp"
+
+namespace hpnn::nn {
+
+Residual::Residual(std::unique_ptr<Module> main,
+                   std::unique_ptr<Module> shortcut,
+                   std::unique_ptr<Module> post, std::string name)
+    : name_(std::move(name)),
+      main_(std::move(main)),
+      shortcut_(std::move(shortcut)),
+      post_(std::move(post)) {
+  HPNN_CHECK(main_ != nullptr, name_ + ": main path is required");
+}
+
+Tensor Residual::forward(const Tensor& x) {
+  Tensor main_out = main_->forward(x);
+  Tensor skip = shortcut_ ? shortcut_->forward(x) : x;
+  HPNN_CHECK(main_out.shape() == skip.shape(),
+             name_ + ": main/shortcut shape mismatch " +
+                 main_out.shape().to_string() + " vs " +
+                 skip.shape().to_string());
+  main_out.add_(skip);
+  return post_ ? post_->forward(main_out) : main_out;
+}
+
+Tensor Residual::backward(const Tensor& grad_out) {
+  Tensor g = post_ ? post_->backward(grad_out) : grad_out;
+  // The sum node routes the same gradient to both branches.
+  Tensor gx = main_->backward(g);
+  if (shortcut_) {
+    gx.add_(shortcut_->backward(g));
+  } else {
+    gx.add_(g);
+  }
+  return gx;
+}
+
+void Residual::collect_parameters(std::vector<Parameter*>& out) {
+  main_->collect_parameters(out);
+  if (shortcut_) {
+    shortcut_->collect_parameters(out);
+  }
+  if (post_) {
+    post_->collect_parameters(out);
+  }
+}
+
+void Residual::collect_buffers(
+    std::vector<std::pair<std::string, Tensor*>>& out) {
+  main_->collect_buffers(out);
+  if (shortcut_) {
+    shortcut_->collect_buffers(out);
+  }
+  if (post_) {
+    post_->collect_buffers(out);
+  }
+}
+
+void Residual::set_training(bool training) {
+  Module::set_training(training);
+  main_->set_training(training);
+  if (shortcut_) {
+    shortcut_->set_training(training);
+  }
+  if (post_) {
+    post_->set_training(training);
+  }
+}
+
+}  // namespace hpnn::nn

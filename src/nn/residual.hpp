@@ -1,0 +1,42 @@
+// Residual block: out = post( main(x) + shortcut(x) ).
+//
+// Used by the ResNet18 builder; `post` is the activation applied to the sum
+// (a plain ReLU in the baseline, a LockedActivation in HPNN networks).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace hpnn::nn {
+
+class Residual : public Module {
+ public:
+  /// `shortcut` may be null for an identity skip connection.
+  /// `post` may be null to omit the post-sum activation.
+  Residual(std::unique_ptr<Module> main, std::unique_ptr<Module> shortcut,
+           std::unique_ptr<Module> post, std::string name = "residual");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void collect_buffers(
+      std::vector<std::pair<std::string, Tensor*>>& out) override;
+  void set_training(bool training) override;
+  std::string name() const override { return name_; }
+
+  /// Structural access for external interpreters (e.g. the trusted-device
+  /// executor in src/hw); shortcut()/post() may be null.
+  Module& main() { return *main_; }
+  Module* shortcut() { return shortcut_.get(); }
+  Module* post() { return post_.get(); }
+
+ private:
+  std::string name_;
+  std::unique_ptr<Module> main_;
+  std::unique_ptr<Module> shortcut_;  // null => identity
+  std::unique_ptr<Module> post_;      // null => identity
+};
+
+}  // namespace hpnn::nn

@@ -1,0 +1,98 @@
+#include "nn/summary.hpp"
+
+#include <sstream>
+#include <typeinfo>
+
+#include "nn/batchnorm.hpp"
+#include "nn/layers.hpp"
+#include "nn/residual.hpp"
+
+namespace hpnn::nn {
+
+namespace {
+
+std::string kind_of(Module& m) {
+  if (dynamic_cast<Sequential*>(&m)) return "Sequential";
+  if (dynamic_cast<Residual*>(&m)) return "Residual";
+  if (dynamic_cast<Conv2d*>(&m)) return "Conv2d";
+  if (dynamic_cast<Linear*>(&m)) return "Linear";
+  if (dynamic_cast<BatchNorm2d*>(&m)) return "BatchNorm2d";
+  if (dynamic_cast<ReLU*>(&m)) return "ReLU";
+  if (dynamic_cast<MaxPool2d*>(&m)) return "MaxPool2d";
+  if (dynamic_cast<AvgPool2d*>(&m)) return "AvgPool2d";
+  if (dynamic_cast<GlobalAvgPool*>(&m)) return "GlobalAvgPool";
+  if (dynamic_cast<Flatten*>(&m)) return "Flatten";
+  if (dynamic_cast<Dropout*>(&m)) return "Dropout";
+  return "Module";  // e.g. obf::LockedActivation (hpnn layers on top of nn)
+}
+
+std::int64_t own_parameters(Module& m) {
+  std::vector<Parameter*> params;
+  m.collect_parameters(params);
+  std::int64_t n = 0;
+  for (const auto* p : params) {
+    n += p->value.numel();
+  }
+  return n;
+}
+
+void walk(Module& m, std::int64_t depth, std::vector<LayerInfo>& out) {
+  LayerInfo info;
+  info.name = m.name();
+  info.kind = kind_of(m);
+  info.depth = depth;
+
+  if (auto* seq = dynamic_cast<Sequential*>(&m)) {
+    info.parameters = own_parameters(m);
+    out.push_back(info);
+    for (std::size_t i = 0; i < seq->size(); ++i) {
+      walk(seq->at(i), depth + 1, out);
+    }
+    return;
+  }
+  if (auto* res = dynamic_cast<Residual*>(&m)) {
+    info.parameters = own_parameters(m);
+    out.push_back(info);
+    walk(res->main(), depth + 1, out);
+    if (res->shortcut() != nullptr) {
+      walk(*res->shortcut(), depth + 1, out);
+    }
+    if (res->post() != nullptr) {
+      walk(*res->post(), depth + 1, out);
+    }
+    return;
+  }
+  info.parameters = own_parameters(m);
+  out.push_back(info);
+}
+
+}  // namespace
+
+std::vector<LayerInfo> summarize(Module& model) {
+  std::vector<LayerInfo> out;
+  walk(model, 0, out);
+  return out;
+}
+
+std::string summary_table(Module& model) {
+  const auto layers = summarize(model);
+  std::ostringstream os;
+  std::int64_t total = 0;
+  for (const auto& layer : layers) {
+    std::string indent(static_cast<std::size_t>(layer.depth) * 2, ' ');
+    os << indent << layer.kind << " " << layer.name;
+    // Only leaf layers report their own parameters (containers would
+    // double-count).
+    if (layer.kind != "Sequential" && layer.kind != "Residual") {
+      if (layer.parameters > 0) {
+        os << "  [" << layer.parameters << " params]";
+      }
+      total += layer.parameters;
+    }
+    os << '\n';
+  }
+  os << "total parameters: " << total << '\n';
+  return os.str();
+}
+
+}  // namespace hpnn::nn

@@ -1,0 +1,26 @@
+// Model summary: a human-readable table of the module tree with parameter
+// counts (what `print(model)` gives you in the big frameworks). Used by the
+// CLI's `inspect` command and the examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace hpnn::nn {
+
+struct LayerInfo {
+  std::string name;
+  std::string kind;          // "Conv2d", "Linear", "ReLU", ...
+  std::int64_t depth = 0;    // nesting level in the module tree
+  std::int64_t parameters = 0;
+};
+
+/// Flattens the module tree into per-layer records (depth-first).
+std::vector<LayerInfo> summarize(Module& model);
+
+/// Renders the summary as an aligned text table with a total row.
+std::string summary_table(Module& model);
+
+}  // namespace hpnn::nn

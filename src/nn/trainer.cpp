@@ -1,0 +1,103 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/logging.hpp"
+
+namespace hpnn::nn {
+
+std::pair<Tensor, std::vector<std::int64_t>> gather_batch(
+    const Tensor& images, const std::vector<std::int64_t>& labels,
+    const std::vector<std::size_t>& indices, std::size_t begin,
+    std::size_t count) {
+  HPNN_CHECK(images.rank() >= 2, "gather_batch: images need a batch dim");
+  HPNN_CHECK(begin + count <= indices.size(), "gather_batch: range overflow");
+  const std::int64_t sample = images.numel() / images.dim(0);
+  std::vector<std::int64_t> dims = images.shape().dims();
+  dims[0] = static_cast<std::int64_t>(count);
+
+  Tensor batch{Shape(dims)};
+  std::vector<std::int64_t> batch_labels(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t src = indices[begin + i];
+    HPNN_CHECK(src < labels.size(), "gather_batch: index out of range");
+    std::copy(images.data() + static_cast<std::int64_t>(src) * sample,
+              images.data() + static_cast<std::int64_t>(src + 1) * sample,
+              batch.data() + static_cast<std::int64_t>(i) * sample);
+    batch_labels[i] = labels[src];
+  }
+  return {std::move(batch), std::move(batch_labels)};
+}
+
+TrainResult fit(Module& model, Loss& loss, Optimizer& opt,
+                const Tensor& images, const std::vector<std::int64_t>& labels,
+                const TrainConfig& config) {
+  HPNN_CHECK(images.dim(0) == static_cast<std::int64_t>(labels.size()),
+             "fit: image/label count mismatch");
+  HPNN_CHECK(config.batch_size > 0 && config.epochs >= 0,
+             "fit: invalid config");
+  const std::size_t n = labels.size();
+  Rng rng(config.shuffle_seed);
+  StepLr schedule(opt, config.lr_step, config.lr_gamma);
+
+  TrainResult result;
+  model.set_training(true);
+  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto order = rng.permutation(n);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t at = 0; at < n; at += config.batch_size) {
+      const std::size_t count =
+          std::min<std::size_t>(config.batch_size, n - at);
+      auto [batch, batch_labels] =
+          gather_batch(images, labels, order, at, count);
+      zero_grads(model);
+      const Tensor scores = model.forward(batch);
+      epoch_loss += loss.forward(scores, batch_labels);
+      model.backward(loss.backward());
+      opt.step();
+      ++batches;
+    }
+    epoch_loss /= std::max<std::size_t>(batches, 1);
+    result.epoch_loss.push_back(epoch_loss);
+    if (config.on_epoch) {
+      config.on_epoch(epoch, epoch_loss);
+    }
+    HPNN_LOG(Debug) << "epoch " << epoch << " loss " << epoch_loss;
+    schedule.epoch_end();
+  }
+  result.final_loss =
+      result.epoch_loss.empty() ? 0.0 : result.epoch_loss.back();
+  return result;
+}
+
+double evaluate_accuracy(Module& model, const Tensor& images,
+                         const std::vector<std::int64_t>& labels,
+                         std::int64_t batch_size) {
+  HPNN_CHECK(images.dim(0) == static_cast<std::int64_t>(labels.size()),
+             "evaluate_accuracy: image/label count mismatch");
+  const std::size_t n = labels.size();
+  if (n == 0) {
+    return 0.0;
+  }
+  std::vector<std::size_t> identity(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    identity[i] = i;
+  }
+  const bool was_training = model.training();
+  model.set_training(false);
+  std::int64_t correct = 0;
+  for (std::size_t at = 0; at < n; at += batch_size) {
+    const std::size_t count = std::min<std::size_t>(batch_size, n - at);
+    auto [batch, batch_labels] =
+        gather_batch(images, labels, identity, at, count);
+    const Tensor scores = model.forward(batch);
+    correct += static_cast<std::int64_t>(
+        accuracy(scores, batch_labels) * static_cast<double>(count) + 0.5);
+  }
+  model.set_training(was_training);
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace hpnn::nn

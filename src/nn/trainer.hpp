@@ -1,0 +1,55 @@
+// Mini-batch training loop and evaluation, shared by the owner's
+// (key-dependent) training and the attacker's fine-tuning.
+//
+// The trainer is deliberately agnostic of HPNN: key-dependent
+// backpropagation needs no trainer changes because the LockedActivation
+// modules carry the lock factor through the ordinary chain rule — exactly
+// the point of Sec. III-C of the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "nn/losses.hpp"
+#include "nn/module.hpp"
+#include "nn/optim.hpp"
+
+namespace hpnn::nn {
+
+/// Copies the sample rows at `indices` from (images, labels) into a batch.
+/// images: [N, ...sample dims]; returns ([B, ...], B labels).
+std::pair<Tensor, std::vector<std::int64_t>> gather_batch(
+    const Tensor& images, const std::vector<std::int64_t>& labels,
+    const std::vector<std::size_t>& indices, std::size_t begin,
+    std::size_t count);
+
+struct TrainConfig {
+  std::int64_t epochs = 5;
+  std::int64_t batch_size = 32;
+  std::uint64_t shuffle_seed = 1;
+  /// lr decay: lr *= lr_gamma every lr_step epochs (0 disables).
+  std::int64_t lr_step = 0;
+  double lr_gamma = 1.0;
+  /// Called after each epoch with (epoch index, mean train loss).
+  std::function<void(std::int64_t, double)> on_epoch;
+};
+
+struct TrainResult {
+  std::vector<double> epoch_loss;   // mean loss per epoch
+  double final_loss = 0.0;
+};
+
+/// Runs mini-batch SGD-style training of `model` on (images, labels).
+TrainResult fit(Module& model, Loss& loss, Optimizer& opt,
+                const Tensor& images, const std::vector<std::int64_t>& labels,
+                const TrainConfig& config);
+
+/// Classification accuracy of `model` on (images, labels) in eval mode,
+/// computed in mini-batches to bound memory.
+double evaluate_accuracy(Module& model, const Tensor& images,
+                         const std::vector<std::int64_t>& labels,
+                         std::int64_t batch_size = 64);
+
+}  // namespace hpnn::nn

@@ -1,0 +1,471 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace hpnn::ops {
+
+namespace {
+
+// Blocked kernel for the non-transposed case; the transposed variants are
+// expressed by materializing a transposed copy once (K and N are small in
+// this library's workloads, so the copy is cheap relative to the GEMM).
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c) {
+  if (beta == 0.0f) {
+    std::fill(c, c + m * n, 0.0f);
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < m * n; ++i) {
+      c[i] *= beta;
+    }
+  }
+  constexpr std::int64_t kBlock = 64;
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlock) {
+    const std::int64_t i1 = std::min(i0 + kBlock, m);
+    for (std::int64_t p0 = 0; p0 < k; p0 += kBlock) {
+      const std::int64_t p1 = std::min(p0 + kBlock, k);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const float av = alpha * a[i * k + p];
+          if (av == 0.0f) {
+            continue;
+          }
+          const float* brow = b + p * n;
+          float* crow = c + i * n;
+          for (std::int64_t j = 0; j < n; ++j) {
+            crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor transpose2d(const Tensor& t) {
+  const std::int64_t r = t.dim(0);
+  const std::int64_t c = t.dim(1);
+  Tensor out(Shape{c, r});
+  const float* src = t.data();
+  float* dst = out.data();
+  for (std::int64_t i = 0; i < r; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) {
+      dst[j * r + i] = src[i * c + j];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void gemm(const Tensor& a, Trans ta, const Tensor& b, Trans tb, Tensor& c,
+          float alpha, float beta) {
+  HPNN_CHECK(a.rank() == 2 && b.rank() == 2 && c.rank() == 2,
+             "gemm requires rank-2 tensors");
+  const std::int64_t m = (ta == Trans::kNo) ? a.dim(0) : a.dim(1);
+  const std::int64_t k = (ta == Trans::kNo) ? a.dim(1) : a.dim(0);
+  const std::int64_t kb = (tb == Trans::kNo) ? b.dim(0) : b.dim(1);
+  const std::int64_t n = (tb == Trans::kNo) ? b.dim(1) : b.dim(0);
+  HPNN_CHECK(k == kb, "gemm inner dimension mismatch: " +
+                          a.shape().to_string() + " x " + b.shape().to_string());
+  HPNN_CHECK(c.dim(0) == m && c.dim(1) == n,
+             "gemm output shape mismatch, expected [" + std::to_string(m) +
+                 ", " + std::to_string(n) + "], got " + c.shape().to_string());
+
+  const Tensor a_eff = (ta == Trans::kNo) ? a : transpose2d(a);
+  const Tensor b_eff = (tb == Trans::kNo) ? b : transpose2d(b);
+  gemm_nn(m, n, k, alpha, a_eff.data(), b_eff.data(), beta, c.data());
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, Trans ta, Trans tb) {
+  const std::int64_t m = (ta == Trans::kNo) ? a.dim(0) : a.dim(1);
+  const std::int64_t n = (tb == Trans::kNo) ? b.dim(1) : b.dim(0);
+  Tensor c(Shape{m, n});
+  gemm(a, ta, b, tb, c, 1.0f, 0.0f);
+  return c;
+}
+
+void im2col(const float* input, const Conv2dGeometry& g, float* cols) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t plane = g.in_h * g.in_w;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        float* out_row = cols + row * oh * ow;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + ky - g.padding;
+          if (iy < 0 || iy >= g.in_h) {
+            std::fill(out_row + y * ow, out_row + (y + 1) * ow, 0.0f);
+            continue;
+          }
+          const float* in_row = input + c * plane + iy * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kx - g.padding;
+            out_row[y * ow + x] =
+                (ix >= 0 && ix < g.in_w) ? in_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, const Conv2dGeometry& g, float* input_grad) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t plane = g.in_h * g.in_w;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        const float* in_row = cols + row * oh * ow;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + ky - g.padding;
+          if (iy < 0 || iy >= g.in_h) {
+            continue;
+          }
+          float* grad_row = input_grad + c * plane + iy * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kx - g.padding;
+            if (ix >= 0 && ix < g.in_w) {
+              grad_row[ix] += in_row[y * ow + x];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& weight,
+                      const Tensor& bias, const Conv2dGeometry& g) {
+  HPNN_CHECK(x.rank() == 4, "conv2d input must be NCHW");
+  HPNN_CHECK(weight.rank() == 4, "conv2d weight must be [F, C, K, K]");
+  HPNN_CHECK(x.dim(1) == g.in_channels && x.dim(2) == g.in_h &&
+                 x.dim(3) == g.in_w,
+             "conv2d geometry mismatch with input " + x.shape().to_string());
+  HPNN_CHECK(weight.dim(1) == g.in_channels && weight.dim(2) == g.kernel &&
+                 weight.dim(3) == g.kernel,
+             "conv2d geometry mismatch with weight " +
+                 weight.shape().to_string());
+
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t filters = weight.dim(0);
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t cols_rows = g.in_channels * g.kernel * g.kernel;
+  HPNN_CHECK(oh > 0 && ow > 0, "conv2d output would be empty");
+  HPNN_CHECK(bias.numel() == 0 || bias.numel() == filters,
+             "conv2d bias length must equal filter count");
+
+  Tensor out(Shape{batch, filters, oh, ow});
+  Tensor cols(Shape{cols_rows, oh * ow});
+  const Tensor w2d = weight.reshaped(Shape{filters, cols_rows});
+  Tensor out2d(Shape{filters, oh * ow});
+
+  const std::int64_t in_sample = g.in_channels * g.in_h * g.in_w;
+  const std::int64_t out_sample = filters * oh * ow;
+  for (std::int64_t nidx = 0; nidx < batch; ++nidx) {
+    im2col(x.data() + nidx * in_sample, g, cols.data());
+    gemm(w2d, Trans::kNo, cols, Trans::kNo, out2d, 1.0f, 0.0f);
+    float* dst = out.data() + nidx * out_sample;
+    std::copy(out2d.data(), out2d.data() + out_sample, dst);
+    if (bias.numel() > 0) {
+      for (std::int64_t f = 0; f < filters; ++f) {
+        const float b = bias.at(f);
+        float* plane = dst + f * oh * ow;
+        for (std::int64_t i = 0; i < oh * ow; ++i) {
+          plane[i] += b;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor conv2d_backward(const Tensor& x, const Tensor& weight,
+                       const Tensor& grad_out, const Conv2dGeometry& g,
+                       Tensor& grad_weight, Tensor& grad_bias) {
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t filters = weight.dim(0);
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t cols_rows = g.in_channels * g.kernel * g.kernel;
+  HPNN_CHECK(grad_out.shape() == Shape({batch, filters, oh, ow}),
+             "conv2d_backward grad_out shape mismatch: " +
+                 grad_out.shape().to_string());
+  HPNN_CHECK(grad_weight.shape() == weight.shape(),
+             "grad_weight shape mismatch");
+
+  Tensor grad_x(x.shape());
+  Tensor cols(Shape{cols_rows, oh * ow});
+  Tensor grad_cols(Shape{cols_rows, oh * ow});
+  Tensor gw2d = grad_weight.reshaped(Shape{filters, cols_rows});
+  const Tensor w2d = weight.reshaped(Shape{filters, cols_rows});
+
+  const std::int64_t in_sample = g.in_channels * g.in_h * g.in_w;
+  const std::int64_t out_sample = filters * oh * ow;
+
+  for (std::int64_t nidx = 0; nidx < batch; ++nidx) {
+    // grad wrt weight: dW += dY @ cols^T
+    im2col(x.data() + nidx * in_sample, g, cols.data());
+    Tensor gout2d(Shape{filters, oh * ow},
+                  std::vector<float>(grad_out.data() + nidx * out_sample,
+                                     grad_out.data() + (nidx + 1) * out_sample));
+    gemm(gout2d, Trans::kNo, cols, Trans::kYes, gw2d, 1.0f, 1.0f);
+
+    // grad wrt bias: sum of each filter plane.
+    if (grad_bias.numel() > 0) {
+      for (std::int64_t f = 0; f < filters; ++f) {
+        double s = 0.0;
+        const float* plane = gout2d.data() + f * oh * ow;
+        for (std::int64_t i = 0; i < oh * ow; ++i) {
+          s += plane[i];
+        }
+        grad_bias.at(f) += static_cast<float>(s);
+      }
+    }
+
+    // grad wrt input: dcols = W^T @ dY ; col2im scatter-add.
+    gemm(w2d, Trans::kYes, gout2d, Trans::kNo, grad_cols, 1.0f, 0.0f);
+    col2im(grad_cols.data(), g, grad_x.data() + nidx * in_sample);
+  }
+  // grad_weight data was written through the reshaped alias; copy it back.
+  std::copy(gw2d.data(), gw2d.data() + gw2d.numel(), grad_weight.data());
+  return grad_x;
+}
+
+MaxPoolResult maxpool2d_forward(const Tensor& x, std::int64_t kernel,
+                                std::int64_t stride) {
+  HPNN_CHECK(x.rank() == 4, "maxpool2d input must be NCHW");
+  HPNN_CHECK(kernel >= 1 && stride >= 1, "invalid pool geometry");
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t ch = x.dim(1);
+  const std::int64_t h = x.dim(2);
+  const std::int64_t w = x.dim(3);
+  // Note: (h - kernel) must be checked before the division — C++ integer
+  // division rounds toward zero, so (1-2)/2+1 == 1 would silently produce a
+  // window that reads past the plane.
+  HPNN_CHECK(h >= kernel && w >= kernel,
+             "maxpool2d window larger than input (" + std::to_string(h) +
+                 "x" + std::to_string(w) + " vs kernel " +
+                 std::to_string(kernel) + ")");
+  const std::int64_t oh = (h - kernel) / stride + 1;
+  const std::int64_t ow = (w - kernel) / stride + 1;
+
+  MaxPoolResult res{Tensor(Shape{batch, ch, oh, ow}),
+                    std::vector<std::int64_t>(
+                        static_cast<std::size_t>(batch * ch * oh * ow))};
+  const float* src = x.data();
+  float* dst = res.output.data();
+  std::int64_t out_idx = 0;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      const float* plane = src + (n * ch + c) * h * w;
+      const std::int64_t plane_base = (n * ch + c) * h * w;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t xo = 0; xo < ow; ++xo, ++out_idx) {
+          // Seed with the first window element (not -inf) so NaN inputs
+          // still select a valid argmax for the backward scatter.
+          float best = plane[(y * stride) * w + xo * stride];
+          std::int64_t best_idx = plane_base + (y * stride) * w + xo * stride;
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel; ++kx) {
+              const std::int64_t iy = y * stride + ky;
+              const std::int64_t ix = xo * stride + kx;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = plane_base + iy * w + ix;
+              }
+            }
+          }
+          dst[out_idx] = best;
+          res.argmax[static_cast<std::size_t>(out_idx)] = best_idx;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+Tensor maxpool2d_backward(const Tensor& grad_out, const Shape& input_shape,
+                          const std::vector<std::int64_t>& argmax) {
+  HPNN_CHECK(static_cast<std::size_t>(grad_out.numel()) == argmax.size(),
+             "maxpool2d_backward argmax size mismatch");
+  Tensor grad_x(input_shape);
+  const float* g = grad_out.data();
+  float* gx = grad_x.data();
+  for (std::size_t i = 0; i < argmax.size(); ++i) {
+    gx[argmax[i]] += g[i];
+  }
+  return grad_x;
+}
+
+Tensor avgpool2d_forward(const Tensor& x, std::int64_t kernel,
+                         std::int64_t stride) {
+  HPNN_CHECK(x.rank() == 4, "avgpool2d input must be NCHW");
+  HPNN_CHECK(kernel >= 1 && stride >= 1, "invalid pool geometry");
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t ch = x.dim(1);
+  const std::int64_t h = x.dim(2);
+  const std::int64_t w = x.dim(3);
+  HPNN_CHECK(h >= kernel && w >= kernel,
+             "avgpool2d window larger than input");
+  const std::int64_t oh = (h - kernel) / stride + 1;
+  const std::int64_t ow = (w - kernel) / stride + 1;
+  Tensor out(Shape{batch, ch, oh, ow});
+  const float inv = 1.0f / static_cast<float>(kernel * kernel);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      const float* plane = x.data() + (n * ch + c) * h * w;
+      float* oplane = out.data() + (n * ch + c) * oh * ow;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t xo = 0; xo < ow; ++xo) {
+          double s = 0.0;
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel; ++kx) {
+              s += plane[(y * stride + ky) * w + (xo * stride + kx)];
+            }
+          }
+          oplane[y * ow + xo] = static_cast<float>(s) * inv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor avgpool2d_backward(const Tensor& grad_out, const Shape& input_shape,
+                          std::int64_t kernel, std::int64_t stride) {
+  HPNN_CHECK(grad_out.rank() == 4 && input_shape.rank() == 4,
+             "avgpool2d_backward expects NCHW shapes");
+  Tensor grad_x(input_shape);
+  const std::int64_t batch = input_shape.dim(0);
+  const std::int64_t ch = input_shape.dim(1);
+  const std::int64_t h = input_shape.dim(2);
+  const std::int64_t w = input_shape.dim(3);
+  const std::int64_t oh = grad_out.dim(2);
+  const std::int64_t ow = grad_out.dim(3);
+  const float inv = 1.0f / static_cast<float>(kernel * kernel);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      const float* gplane = grad_out.data() + (n * ch + c) * oh * ow;
+      float* xplane = grad_x.data() + (n * ch + c) * h * w;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t xo = 0; xo < ow; ++xo) {
+          const float g = gplane[y * ow + xo] * inv;
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel; ++kx) {
+              xplane[(y * stride + ky) * w + (xo * stride + kx)] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_x;
+}
+
+Tensor global_avgpool_forward(const Tensor& x) {
+  HPNN_CHECK(x.rank() == 4, "global_avgpool input must be NCHW");
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t ch = x.dim(1);
+  const std::int64_t plane = x.dim(2) * x.dim(3);
+  Tensor out(Shape{batch, ch});
+  const float* src = x.data();
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      double s = 0.0;
+      const float* p = src + (n * ch + c) * plane;
+      for (std::int64_t i = 0; i < plane; ++i) {
+        s += p[i];
+      }
+      out.at(n, c) = static_cast<float>(s / static_cast<double>(plane));
+    }
+  }
+  return out;
+}
+
+Tensor global_avgpool_backward(const Tensor& grad_out,
+                               const Shape& input_shape) {
+  HPNN_CHECK(grad_out.rank() == 2, "global_avgpool grad must be [N, C]");
+  Tensor grad_x(input_shape);
+  const std::int64_t batch = input_shape.dim(0);
+  const std::int64_t ch = input_shape.dim(1);
+  const std::int64_t plane = input_shape.dim(2) * input_shape.dim(3);
+  const float inv = 1.0f / static_cast<float>(plane);
+  float* gx = grad_x.data();
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      const float g = grad_out.at(n, c) * inv;
+      float* p = gx + (n * ch + c) * plane;
+      for (std::int64_t i = 0; i < plane; ++i) {
+        p[i] = g;
+      }
+    }
+  }
+  return grad_x;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  HPNN_CHECK(logits.rank() == 2, "softmax_rows expects [N, C]");
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t c = logits.dim(1);
+  Tensor out(logits.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float* orow = out.data() + i * c;
+    const float m = *std::max_element(row, row + c);
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) {
+      orow[j] = std::exp(row[j] - m);
+      denom += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t j = 0; j < c; ++j) {
+      orow[j] *= inv;
+    }
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& logits) {
+  HPNN_CHECK(logits.rank() == 2, "log_softmax_rows expects [N, C]");
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t c = logits.dim(1);
+  Tensor out(logits.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float* orow = out.data() + i * c;
+    const float m = *std::max_element(row, row + c);
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) {
+      denom += std::exp(static_cast<double>(row[j] - m));
+    }
+    const float log_denom = static_cast<float>(std::log(denom)) + m;
+    for (std::int64_t j = 0; j < c; ++j) {
+      orow[j] = row[j] - log_denom;
+    }
+  }
+  return out;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& scores) {
+  HPNN_CHECK(scores.rank() == 2, "argmax_rows expects [N, C]");
+  const std::int64_t n = scores.dim(0);
+  const std::int64_t c = scores.dim(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = scores.data() + i * c;
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::int64_t>(std::max_element(row, row + c) - row);
+  }
+  return out;
+}
+
+}  // namespace hpnn::ops

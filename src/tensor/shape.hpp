@@ -1,0 +1,41 @@
+// Tensor shape: an ordered list of non-negative extents.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace hpnn {
+
+/// Shape of a row-major dense tensor. Immutable value type.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  /// Number of dimensions.
+  std::size_t rank() const { return dims_.size(); }
+
+  /// Extent of dimension `i`; supports negative indices Python-style.
+  std::int64_t dim(std::int64_t i) const;
+
+  /// Total number of elements (1 for rank-0).
+  std::int64_t numel() const;
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const = default;
+
+  /// Row-major strides (in elements).
+  std::vector<std::int64_t> strides() const;
+
+  /// Human-readable form, e.g. "[2, 3, 4]".
+  std::string to_string() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace hpnn

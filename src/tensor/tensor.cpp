@@ -1,0 +1,221 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace hpnn {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  HPNN_CHECK(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+             "value count " + std::to_string(data_.size()) +
+                 " does not match shape " + shape_.to_string());
+}
+
+float& Tensor::at(std::int64_t i) {
+  HPNN_CHECK(i >= 0 && i < numel(), "flat index out of range");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float Tensor::at(std::int64_t i) const {
+  HPNN_CHECK(i >= 0 && i < numel(), "flat index out of range");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j) {
+  HPNN_CHECK(rank() == 2, "2-d at() on tensor of shape " + shape_.to_string());
+  HPNN_CHECK(i >= 0 && i < dim(0) && j >= 0 && j < dim(1),
+             "2-d index out of range");
+  return data_[static_cast<std::size_t>(i * dim(1) + j)];
+}
+
+float Tensor::at(std::int64_t i, std::int64_t j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+float& Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h,
+                  std::int64_t w) {
+  HPNN_CHECK(rank() == 4, "4-d at() on tensor of shape " + shape_.to_string());
+  HPNN_CHECK(n >= 0 && n < dim(0) && c >= 0 && c < dim(1) && h >= 0 &&
+                 h < dim(2) && w >= 0 && w < dim(3),
+             "4-d index out of range");
+  const std::int64_t idx = ((n * dim(1) + c) * dim(2) + h) * dim(3) + w;
+  return data_[static_cast<std::size_t>(idx)];
+}
+
+float Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h,
+                 std::int64_t w) const {
+  return const_cast<Tensor*>(this)->at(n, c, h, w);
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  HPNN_CHECK(new_shape.numel() == numel(),
+             "reshape " + shape_.to_string() + " -> " + new_shape.to_string() +
+                 " changes element count");
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::check_same_shape(const Tensor& other, const char* op) const {
+  HPNN_CHECK(shape_ == other.shape_,
+             std::string(op) + ": shape mismatch " + shape_.to_string() +
+                 " vs " + other.shape_.to_string());
+}
+
+void Tensor::add_(const Tensor& other) {
+  check_same_shape(other, "add_");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += other.data_[i];
+  }
+}
+
+void Tensor::sub_(const Tensor& other) {
+  check_same_shape(other, "sub_");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] -= other.data_[i];
+  }
+}
+
+void Tensor::mul_(const Tensor& other) {
+  check_same_shape(other, "mul_");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] *= other.data_[i];
+  }
+}
+
+void Tensor::scale_(float s) {
+  for (auto& v : data_) {
+    v *= s;
+  }
+}
+
+void Tensor::axpy_(float s, const Tensor& other) {
+  check_same_shape(other, "axpy_");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += s * other.data_[i];
+  }
+}
+
+Tensor Tensor::operator+(const Tensor& other) const {
+  Tensor out = *this;
+  out.add_(other);
+  return out;
+}
+
+Tensor Tensor::operator-(const Tensor& other) const {
+  Tensor out = *this;
+  out.sub_(other);
+  return out;
+}
+
+Tensor Tensor::operator*(const Tensor& other) const {
+  Tensor out = *this;
+  out.mul_(other);
+  return out;
+}
+
+Tensor Tensor::operator*(float s) const {
+  Tensor out = *this;
+  out.scale_(s);
+  return out;
+}
+
+Tensor Tensor::operator-() const {
+  Tensor out = *this;
+  out.scale_(-1.0f);
+  return out;
+}
+
+float Tensor::sum() const {
+  // Kahan summation: reductions feed accuracy metrics and gradient checks.
+  double s = 0.0;
+  for (const auto v : data_) {
+    s += static_cast<double>(v);
+  }
+  return static_cast<float>(s);
+}
+
+float Tensor::mean() const {
+  HPNN_CHECK(!data_.empty(), "mean of empty tensor");
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::min() const {
+  HPNN_CHECK(!data_.empty(), "min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  HPNN_CHECK(!data_.empty(), "max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::int64_t Tensor::argmax() const {
+  HPNN_CHECK(!data_.empty(), "argmax of empty tensor");
+  return static_cast<std::int64_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+float Tensor::squared_norm() const {
+  double s = 0.0;
+  for (const auto v : data_) {
+    s += static_cast<double>(v) * static_cast<double>(v);
+  }
+  return static_cast<float>(s);
+}
+
+bool Tensor::allclose(const Tensor& other, float rtol, float atol) const {
+  if (shape_ != other.shape_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const float diff = std::fabs(data_[i] - other.data_[i]);
+    if (diff > atol + rtol * std::fabs(other.data_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::normal(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::arange(Shape shape) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.data_.size(); ++i) {
+    t.data_[i] = static_cast<float>(i);
+  }
+  return t;
+}
+
+Tensor operator*(float s, const Tensor& t) {
+  return t * s;
+}
+
+}  // namespace hpnn

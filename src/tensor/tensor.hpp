@@ -1,0 +1,113 @@
+// Dense row-major float32 tensor with value semantics.
+//
+// This is the numeric workhorse of the library: activations, weights,
+// gradients and lock masks are all Tensors. Copies are deep; moves are cheap.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace hpnn {
+
+class Tensor {
+ public:
+  /// Empty rank-0 tensor with a single zero element slot is NOT created;
+  /// a default tensor has no elements and rank 0 shape [].
+  Tensor() = default;
+
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape filled with `value`.
+  Tensor(Shape shape, float value);
+
+  /// Tensor adopting `values` (must match shape.numel()).
+  Tensor(Shape shape, std::vector<float> values);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  std::int64_t dim(std::int64_t i) const { return shape_.dim(i); }
+  std::size_t rank() const { return shape_.rank(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  /// Flat element access with bounds check in debug-style (HPNN_CHECK).
+  float& at(std::int64_t i);
+  float at(std::int64_t i) const;
+
+  /// 2-d element access (rank must be 2).
+  float& at(std::int64_t i, std::int64_t j);
+  float at(std::int64_t i, std::int64_t j) const;
+
+  /// 4-d element access (rank must be 4; NCHW convention).
+  float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+  float at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const;
+
+  /// Returns a tensor with identical data and the new shape
+  /// (numel must match).
+  Tensor reshaped(Shape new_shape) const;
+
+  // ---- in-place mutation ----
+  void fill(float value);
+  void zero() { fill(0.0f); }
+  /// this += other (shapes must match).
+  void add_(const Tensor& other);
+  /// this -= other (shapes must match).
+  void sub_(const Tensor& other);
+  /// this *= other elementwise (shapes must match).
+  void mul_(const Tensor& other);
+  /// this *= s.
+  void scale_(float s);
+  /// this += s * other (axpy; shapes must match).
+  void axpy_(float s, const Tensor& other);
+
+  // ---- out-of-place helpers ----
+  Tensor operator+(const Tensor& other) const;
+  Tensor operator-(const Tensor& other) const;
+  /// Elementwise product.
+  Tensor operator*(const Tensor& other) const;
+  Tensor operator*(float s) const;
+  Tensor operator-() const;
+
+  // ---- reductions ----
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  /// Index of the maximum element (first on ties); tensor must be non-empty.
+  std::int64_t argmax() const;
+  /// Squared L2 norm.
+  float squared_norm() const;
+
+  /// True if every |this[i] - other[i]| <= atol + rtol*|other[i]|.
+  bool allclose(const Tensor& other, float rtol = 1e-5f,
+                float atol = 1e-6f) const;
+
+  // ---- factories ----
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  /// Uniform in [lo, hi).
+  static Tensor uniform(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+  /// Normal(mean, stddev).
+  static Tensor normal(Shape shape, Rng& rng, float mean = 0.0f,
+                       float stddev = 1.0f);
+  /// 0, 1, 2, ... numel-1.
+  static Tensor arange(Shape shape);
+
+ private:
+  void check_same_shape(const Tensor& other, const char* op) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+Tensor operator*(float s, const Tensor& t);
+
+}  // namespace hpnn

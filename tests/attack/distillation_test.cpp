@@ -1,0 +1,170 @@
+#include "attack/distillation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "data/synthetic.hpp"
+#include "hpnn/owner.hpp"
+
+namespace hpnn::attack {
+namespace {
+
+class DistillationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticConfig dc;
+    dc.train_per_class = 60;
+    dc.test_per_class = 15;
+    dc.image_size = 16;
+    dc.noise_stddev = 0.06;
+    dc.jitter = 0.08;
+    dc.seed = 21;
+    split_ = new data::SplitDataset(
+        data::make_dataset(data::SyntheticFamily::kFashionSynth, dc));
+
+    models::ModelConfig mc;
+    mc.in_channels = 1;
+    mc.image_size = 16;
+    mc.init_seed = 6;
+    Rng krng(17);
+    key_ = new obf::HpnnKey(obf::HpnnKey::random(krng));
+    sched_ = new obf::Scheduler(808);
+    model_ = new obf::LockedModel(models::Architecture::kCnn1, mc, *key_,
+                                  *sched_);
+    obf::OwnerTrainOptions opt;
+    opt.epochs = 6;
+    opt.sgd = {0.01, 0.9, 5e-4};
+    (void)obf::train_locked_model(*model_, split_->train, split_->test, opt);
+
+    std::stringstream ss;
+    obf::publish_model(ss, *model_);
+    artifact_ = new obf::PublishedModel(obf::read_published_model(ss));
+  }
+
+  static void TearDownTestSuite() {
+    delete artifact_;
+    delete model_;
+    delete sched_;
+    delete key_;
+    delete split_;
+  }
+
+  static data::SplitDataset* split_;
+  static obf::HpnnKey* key_;
+  static obf::Scheduler* sched_;
+  static obf::LockedModel* model_;
+  static obf::PublishedModel* artifact_;
+};
+
+data::SplitDataset* DistillationFixture::split_ = nullptr;
+obf::HpnnKey* DistillationFixture::key_ = nullptr;
+obf::Scheduler* DistillationFixture::sched_ = nullptr;
+obf::LockedModel* DistillationFixture::model_ = nullptr;
+obf::PublishedModel* DistillationFixture::artifact_ = nullptr;
+
+TEST_F(DistillationFixture, AuthorizedColluderExtractsTheModel) {
+  // The colluder has a working (keyed) model as the oracle and unlabeled
+  // transfer inputs: the extracted student approaches the teacher — DRM
+  // cannot prevent this, which is why it is explicitly out of scope for
+  // HPNN (docs/threat_model.md).
+  TeacherOracle keyed_teacher = [&](const Tensor& x) {
+    model_->network().set_training(false);
+    return model_->network().forward(x);
+  };
+  Rng rng(1);
+  const data::Dataset transfer =
+      data::thief_subset(split_->train, 0.5, rng);  // unlabeled inputs
+  DistillationOptions opt;
+  opt.epochs = 25;
+  const auto report = distill_student(*artifact_, keyed_teacher, transfer,
+                                      split_->test, opt);
+  EXPECT_GT(report.teacher_accuracy, 0.8);
+  EXPECT_GT(report.student_accuracy, report.teacher_accuracy - 0.25);
+}
+
+TEST_F(DistillationFixture, LockedTeacherYieldsUselessStudent) {
+  // The same attack with a no-key oracle (the stolen weights run unlocked):
+  // garbage in, garbage out.
+  auto stolen = obf::instantiate_baseline(*artifact_);
+  TeacherOracle locked_teacher = [&](const Tensor& x) {
+    stolen->set_training(false);
+    return stolen->forward(x);
+  };
+  Rng rng(2);
+  const data::Dataset transfer = data::thief_subset(split_->train, 0.5, rng);
+  DistillationOptions opt;
+  opt.epochs = 15;
+  const auto report = distill_student(*artifact_, locked_teacher, transfer,
+                                      split_->test, opt);
+  EXPECT_LT(report.teacher_accuracy, 0.4);
+  EXPECT_LT(report.student_accuracy, 0.5);
+}
+
+TEST_F(DistillationFixture, Validation) {
+  DistillationOptions opt;
+  EXPECT_THROW(distill_student(*artifact_, nullptr, split_->train,
+                               split_->test, opt),
+               InvariantError);
+  Rng rng(3);
+  const data::Dataset empty = data::thief_subset(split_->train, 0.0, rng);
+  TeacherOracle oracle = [&](const Tensor& x) {
+    return model_->network().forward(x);
+  };
+  EXPECT_THROW(distill_student(*artifact_, oracle, empty, split_->test, opt),
+               InvariantError);
+}
+
+TEST(SoftTargetLossTest, MatchesHardLabelGradientAtT1) {
+  // With one-hot targets and T=1 the soft loss reduces to plain CE.
+  nn::SoftTargetCrossEntropy soft;
+  nn::SoftmaxCrossEntropy hard;
+  Rng rng(4);
+  const Tensor logits = Tensor::normal(Shape{3, 5}, rng);
+  Tensor onehot(Shape{3, 5});
+  const std::vector<std::int64_t> labels{1, 4, 0};
+  for (std::int64_t i = 0; i < 3; ++i) {
+    onehot.at(i, labels[static_cast<std::size_t>(i)]) = 1.0f;
+  }
+  const float soft_loss = soft.forward(logits, onehot, 1.0);
+  const float hard_loss = hard.forward(logits, labels);
+  EXPECT_NEAR(soft_loss, hard_loss, 1e-5);
+  EXPECT_TRUE(soft.backward().allclose(hard.backward(), 1e-5f, 1e-6f));
+}
+
+TEST(SoftTargetLossTest, GradientMatchesCentralDifference) {
+  nn::SoftTargetCrossEntropy loss;
+  Rng rng(5);
+  Tensor logits = Tensor::normal(Shape{2, 4}, rng);
+  Tensor targets(Shape{2, 4}, 0.25f);  // uniform soft targets
+  (void)loss.forward(logits, targets, 3.0);
+  const Tensor analytic = loss.backward();
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits;
+    lp.at(i) += static_cast<float>(eps);
+    Tensor lm = logits;
+    lm.at(i) -= static_cast<float>(eps);
+    nn::SoftTargetCrossEntropy probe;
+    const double plus = probe.forward(lp, targets, 3.0);
+    const double minus = probe.forward(lm, targets, 3.0);
+    // backward() includes the T^2 compensation; central difference of the
+    // raw loss gives grad/T^2.
+    EXPECT_NEAR(analytic.at(i) / (3.0 * 3.0),
+                (plus - minus) / (2 * eps), 1e-4);
+  }
+}
+
+TEST(SoftTargetLossTest, Validation) {
+  nn::SoftTargetCrossEntropy loss;
+  Tensor logits(Shape{2, 3});
+  Tensor bad(Shape{2, 4});
+  EXPECT_THROW(loss.forward(logits, bad), InvariantError);
+  EXPECT_THROW(loss.forward(logits, logits, 0.0), InvariantError);
+  nn::SoftTargetCrossEntropy fresh;
+  EXPECT_THROW(fresh.backward(), InvariantError);
+}
+
+}  // namespace
+}  // namespace hpnn::attack

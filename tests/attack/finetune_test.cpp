@@ -1,0 +1,192 @@
+#include "attack/finetune.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/synthetic.hpp"
+#include "hpnn/owner.hpp"
+
+namespace hpnn::attack {
+namespace {
+
+/// Shared fixture: one trained locked model + published artifact on a tiny
+/// FashionSynth task (kept small; the full experiments live in bench/).
+class FineTuneFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticConfig dc;
+    dc.train_per_class = 60;
+    dc.test_per_class = 15;
+    dc.image_size = 16;
+    dc.noise_stddev = 0.06;  // easy setting: these tests exercise the
+    dc.jitter = 0.08;        // attack mechanics, not the reproduction
+    dc.seed = 5;
+    split_ = new data::SplitDataset(
+        data::make_dataset(data::SyntheticFamily::kFashionSynth, dc));
+
+    models::ModelConfig mc;
+    mc.in_channels = 1;
+    mc.image_size = 16;
+    mc.init_seed = 2;
+    Rng krng(99);
+    key_ = new obf::HpnnKey(obf::HpnnKey::random(krng));
+    sched_ = new obf::Scheduler(1234);
+    model_ = new obf::LockedModel(models::Architecture::kCnn1, mc, *key_,
+                                  *sched_);
+    obf::OwnerTrainOptions opt;
+    opt.epochs = 5;
+    opt.sgd = {0.01, 0.9, 5e-4};
+    report_ = new obf::OwnerTrainReport(
+        obf::train_locked_model(*model_, split_->train, split_->test, opt));
+
+    std::stringstream ss;
+    obf::publish_model(ss, *model_);
+    artifact_ = new obf::PublishedModel(obf::read_published_model(ss));
+  }
+
+  static void TearDownTestSuite() {
+    delete artifact_;
+    delete report_;
+    delete model_;
+    delete sched_;
+    delete key_;
+    delete split_;
+  }
+
+  static data::SplitDataset* split_;
+  static obf::HpnnKey* key_;
+  static obf::Scheduler* sched_;
+  static obf::LockedModel* model_;
+  static obf::OwnerTrainReport* report_;
+  static obf::PublishedModel* artifact_;
+};
+
+data::SplitDataset* FineTuneFixture::split_ = nullptr;
+obf::HpnnKey* FineTuneFixture::key_ = nullptr;
+obf::Scheduler* FineTuneFixture::sched_ = nullptr;
+obf::LockedModel* FineTuneFixture::model_ = nullptr;
+obf::OwnerTrainReport* FineTuneFixture::report_ = nullptr;
+obf::PublishedModel* FineTuneFixture::artifact_ = nullptr;
+
+TEST_F(FineTuneFixture, OwnerModelIsAccurateWithKey) {
+  EXPECT_GT(report_->test_accuracy, 0.8);
+}
+
+TEST_F(FineTuneFixture, NoKeyUsageCollapsesAccuracy) {
+  const double nokey =
+      obf::evaluate_without_key(*model_, *key_, *sched_, split_->test);
+  EXPECT_LT(nokey, 0.35);  // near-chance (paper: 10-16%)
+  EXPECT_LT(nokey, report_->test_accuracy - 0.4);
+}
+
+TEST_F(FineTuneFixture, ZeroThiefDataGivesChanceAccuracy) {
+  Rng rng(1);
+  data::Dataset empty = data::thief_subset(split_->train, 0.0, rng);
+  FineTuneOptions opts;
+  const auto rep = finetune_attack(*artifact_, empty, split_->test,
+                                   InitStrategy::kStolenWeights, opts);
+  EXPECT_EQ(rep.thief_size, 0);
+  EXPECT_LT(rep.final_accuracy, 0.35);
+}
+
+TEST_F(FineTuneFixture, FineTuningImprovesWithThiefData) {
+  Rng rng(2);
+  data::Dataset thief = data::thief_subset(split_->train, 0.2, rng);
+  FineTuneOptions opts;
+  opts.epochs = 15;
+  opts.sgd = {0.01, 0.9, 5e-4};
+  const auto rep = finetune_attack(*artifact_, thief, split_->test,
+                                   InitStrategy::kStolenWeights, opts);
+  // Clearly better than the no-thief-data baseline (which is near chance).
+  EXPECT_GT(rep.final_accuracy, 0.35);
+}
+
+TEST_F(FineTuneFixture, AttackStaysBelowOwnerAccuracy) {
+  Rng rng(3);
+  data::Dataset thief = data::thief_subset(split_->train, 0.1, rng);
+  FineTuneOptions opts;
+  opts.epochs = 6;
+  opts.sgd = {0.01, 0.9, 5e-4};
+  const auto rep = finetune_attack(*artifact_, thief, split_->test,
+                                   InitStrategy::kStolenWeights, opts);
+  EXPECT_LT(rep.final_accuracy, report_->test_accuracy);
+}
+
+TEST_F(FineTuneFixture, RandomAndHpnnInitPerformSimilarly) {
+  // The information-leakage experiment (Sec. IV-C): both inits should land
+  // in the same ballpark.
+  Rng rng(4);
+  data::Dataset thief = data::thief_subset(split_->train, 0.2, rng);
+  FineTuneOptions opts;
+  opts.epochs = 6;
+  opts.sgd = {0.01, 0.9, 5e-4};
+  const auto hpnn_rep = finetune_attack(*artifact_, thief, split_->test,
+                                        InitStrategy::kStolenWeights, opts);
+  const auto rand_rep = finetune_attack(*artifact_, thief, split_->test,
+                                        InitStrategy::kRandomSmall, opts);
+  EXPECT_LT(std::abs(hpnn_rep.final_accuracy - rand_rep.final_accuracy),
+            0.25);
+}
+
+TEST_F(FineTuneFixture, TracksEpochAccuracyWhenAsked) {
+  Rng rng(5);
+  data::Dataset thief = data::thief_subset(split_->train, 0.1, rng);
+  FineTuneOptions opts;
+  opts.epochs = 3;
+  opts.track_epoch_accuracy = true;
+  const auto rep = finetune_attack(*artifact_, thief, split_->test,
+                                   InitStrategy::kStolenWeights, opts);
+  EXPECT_EQ(rep.epoch_accuracy.size(), 3u);
+  EXPECT_EQ(rep.epoch_loss.size(), 3u);
+  EXPECT_GE(rep.best_accuracy, rep.final_accuracy);
+}
+
+TEST_F(FineTuneFixture, LrSweepReturnsOnePointPerLr) {
+  Rng rng(6);
+  data::Dataset thief = data::thief_subset(split_->train, 0.1, rng);
+  FineTuneOptions opts;
+  opts.epochs = 2;
+  const auto sweep =
+      lr_sweep(*artifact_, thief, split_->test, {0.001, 0.01}, opts);
+  ASSERT_EQ(sweep.size(), 2u);
+  EXPECT_EQ(sweep[0].lr, 0.001);
+  EXPECT_EQ(sweep[1].lr, 0.01);
+  EXPECT_EQ(sweep[0].report.epoch_accuracy.size(), 2u);
+}
+
+TEST_F(FineTuneFixture, AdamAttackerAlsoStaysBelowOwner) {
+  Rng rng(7);
+  data::Dataset thief = data::thief_subset(split_->train, 0.1, rng);
+  FineTuneOptions opts;
+  opts.epochs = 8;
+  opts.optimizer = AttackOptimizer::kAdam;
+  opts.sgd.lr = 0.001;  // Adam lr
+  const auto rep = finetune_attack(*artifact_, thief, split_->test,
+                                   InitStrategy::kStolenWeights, opts);
+  EXPECT_GT(rep.final_accuracy, 0.15);  // it does learn something
+  EXPECT_LT(rep.final_accuracy, report_->test_accuracy);
+}
+
+TEST_F(FineTuneFixture, LrDecayScheduleRuns) {
+  Rng rng(8);
+  data::Dataset thief = data::thief_subset(split_->train, 0.1, rng);
+  FineTuneOptions opts;
+  opts.epochs = 4;
+  opts.lr_step = 2;
+  opts.lr_gamma = 0.1;
+  opts.track_epoch_accuracy = true;
+  const auto rep = finetune_attack(*artifact_, thief, split_->test,
+                                   InitStrategy::kStolenWeights, opts);
+  EXPECT_EQ(rep.epoch_accuracy.size(), 4u);
+}
+
+TEST(FineTuneTest, InitStrategyNames) {
+  EXPECT_STREQ(init_strategy_name(InitStrategy::kStolenWeights),
+               "HPNN fine-tuning");
+  EXPECT_STREQ(init_strategy_name(InitStrategy::kRandomSmall),
+               "random fine-tuning");
+}
+
+}  // namespace
+}  // namespace hpnn::attack

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "args.hpp"
+#include "commands.hpp"
+#include "core/error.hpp"
+
+namespace hpnn::cli {
+namespace {
+
+int run(const std::vector<std::string>& tokens, std::string& output) {
+  std::ostringstream os;
+  const int rc = run_command(tokens, os);
+  output = os.str();
+  return rc;
+}
+
+// ---------------------------------------------------------------- args
+
+TEST(ArgsTest, ParsesCommandFlagsAndPositionals) {
+  const Args args = parse_args(
+      {"train", "--epochs", "5", "--lr=0.01", "extra1", "extra2"});
+  EXPECT_EQ(args.command, "train");
+  EXPECT_EQ(args.get_int("epochs", 0), 5);
+  EXPECT_EQ(args.get_double("lr", 0.0), 0.01);
+  EXPECT_EQ(args.positional,
+            (std::vector<std::string>{"extra1", "extra2"}));
+}
+
+TEST(ArgsTest, MissingValueThrows) {
+  EXPECT_THROW(parse_args({"train", "--epochs"}), Error);
+}
+
+TEST(ArgsTest, RequireThrowsWithFlagName) {
+  const Args args = parse_args({"train"});
+  try {
+    (void)args.require("out");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--out"), std::string::npos);
+  }
+}
+
+TEST(ArgsTest, MalformedNumbersThrow) {
+  const Args args = parse_args({"x", "--n", "12abc", "--f", "1.5x"});
+  EXPECT_THROW(args.get_int("n", 0), Error);
+  EXPECT_THROW(args.get_double("f", 0.0), Error);
+}
+
+TEST(ArgsTest, EmptyTokensGiveEmptyCommand) {
+  EXPECT_TRUE(parse_args({}).command.empty());
+}
+
+// ---------------------------------------------------------------- commands
+
+TEST(CliTest, NoCommandPrintsUsageAndFails) {
+  std::string out;
+  EXPECT_EQ(run({}, out), 1);
+  EXPECT_NE(out.find("commands:"), std::string::npos);
+}
+
+TEST(CliTest, HelpSucceeds) {
+  std::string out;
+  EXPECT_EQ(run({"help"}, out), 0);
+  EXPECT_NE(out.find("keygen"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  std::string out;
+  EXPECT_EQ(run({"frobnicate"}, out), 1);
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, KeygenIsDeterministicPerSeed) {
+  std::string a, b, c;
+  EXPECT_EQ(run({"keygen", "--seed", "5"}, a), 0);
+  EXPECT_EQ(run({"keygen", "--seed", "5"}, b), 0);
+  EXPECT_EQ(run({"keygen", "--seed", "6"}, c), 0);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a.find("fingerprint:"), std::string::npos);
+}
+
+TEST(CliTest, KeygenWithModelIdDerivesSubkey) {
+  std::string out;
+  EXPECT_EQ(run({"keygen", "--seed", "5", "--model-id", "m1"}, out), 0);
+  EXPECT_NE(out.find("model key (m1):"), std::string::npos);
+  EXPECT_NE(out.find("schedule seed (m1):"), std::string::npos);
+}
+
+TEST(CliTest, OverheadReportsXorGates) {
+  std::string out;
+  EXPECT_EQ(run({"overhead"}, out), 0);
+  EXPECT_NE(out.find("4096"), std::string::npos);
+}
+
+TEST(CliTest, TrainEvalAttackInspectRoundTrip) {
+  // Tiny end-to-end run through the CLI surface (kept fast: 12x12 images,
+  // 20 samples/class, 2 epochs).
+  const std::string key(64, 'a');
+  const std::string model_path = ::testing::TempDir() + "/cli_model.hpnn";
+  const std::vector<std::string> common = {
+      "--dataset", "fashion", "--img", "16", "--tpc", "20",
+      "--testpc",  "10"};
+
+  std::vector<std::string> train_cmd = {
+      "train", "--arch", "CNN1", "--key", key, "--out", model_path,
+      "--epochs", "2"};
+  train_cmd.insert(train_cmd.end(), common.begin(), common.end());
+  std::string out;
+  ASSERT_EQ(run(train_cmd, out), 0) << out;
+  EXPECT_NE(out.find("published artifact"), std::string::npos);
+
+  std::vector<std::string> inspect_cmd = {"inspect", "--model", model_path};
+  ASSERT_EQ(run(inspect_cmd, out), 0) << out;
+  EXPECT_NE(out.find("architecture: CNN1"), std::string::npos);
+
+  std::vector<std::string> eval_keyed = {"eval", "--model", model_path,
+                                         "--key", key};
+  eval_keyed.insert(eval_keyed.end(), common.begin(), common.end());
+  ASSERT_EQ(run(eval_keyed, out), 0) << out;
+  EXPECT_NE(out.find("with key"), std::string::npos);
+
+  std::vector<std::string> eval_nokey = {"eval", "--model", model_path};
+  eval_nokey.insert(eval_nokey.end(), common.begin(), common.end());
+  ASSERT_EQ(run(eval_nokey, out), 0) << out;
+  EXPECT_NE(out.find("no key"), std::string::npos);
+
+  std::vector<std::string> eval_device = {
+      "eval", "--model", model_path, "--key", key, "--device", "1"};
+  eval_device.insert(eval_device.end(), common.begin(), common.end());
+  ASSERT_EQ(run(eval_device, out), 0) << out;
+  EXPECT_NE(out.find("trusted-device accuracy"), std::string::npos);
+
+  std::vector<std::string> attack_cmd = {
+      "attack", "--model", model_path, "--alpha", "0.2", "--epochs", "2"};
+  attack_cmd.insert(attack_cmd.end(), common.begin(), common.end());
+  ASSERT_EQ(run(attack_cmd, out), 0) << out;
+  EXPECT_NE(out.find("attack accuracy"), std::string::npos);
+}
+
+TEST(CliTest, DatasetExportAndReuse) {
+  const std::string prefix = ::testing::TempDir() + "/cli_ds";
+  std::string out;
+  ASSERT_EQ(run({"dataset", "--dataset", "svhn", "--out", prefix, "--tpc",
+                 "5", "--testpc", "3", "--img", "16"},
+                out),
+            0)
+      << out;
+  EXPECT_NE(out.find(".train.hpds"), std::string::npos);
+
+  // Train against the exported files instead of regenerating.
+  const std::string key(64, 'b');
+  const std::string model_path = ::testing::TempDir() + "/cli_ds_model.hpnn";
+  ASSERT_EQ(run({"train", "--arch", "CNN3", "--width", "0.5", "--key", key,
+                 "--out", model_path, "--epochs", "1", "--train-file",
+                 prefix + ".train.hpds", "--test-file",
+                 prefix + ".test.hpds"},
+                out),
+            0)
+      << out;
+  EXPECT_NE(out.find("published artifact"), std::string::npos);
+}
+
+TEST(CliTest, StaticQuantTrainEmbedsScales) {
+  const std::string key(64, 'c');
+  const std::string model_path =
+      ::testing::TempDir() + "/cli_sq_model.hpnn";
+  std::string out;
+  ASSERT_EQ(run({"train", "--arch", "CNN1", "--dataset", "fashion", "--key",
+                 key, "--out", model_path, "--epochs", "1", "--img", "16",
+                 "--tpc", "10", "--testpc", "5", "--static-quant", "1"},
+                out),
+            0)
+      << out;
+  EXPECT_NE(out.find("static activation scales"), std::string::npos);
+}
+
+TEST(CliTest, BlockedPolicyRoundTripsThroughCli) {
+  const std::string key(64, 'd');
+  const std::string model_path =
+      ::testing::TempDir() + "/cli_policy_model.hpnn";
+  const std::vector<std::string> common = {
+      "--dataset", "fashion", "--img", "16", "--tpc", "20",
+      "--testpc",  "10",      "--policy", "blocked"};
+  std::vector<std::string> train_cmd = {
+      "train", "--arch", "CNN1", "--key", key, "--out", model_path,
+      "--epochs", "1"};
+  train_cmd.insert(train_cmd.end(), common.begin(), common.end());
+  std::string out;
+  ASSERT_EQ(run(train_cmd, out), 0) << out;
+
+  std::vector<std::string> eval_cmd = {"eval", "--model", model_path,
+                                       "--key", key};
+  eval_cmd.insert(eval_cmd.end(), common.begin(), common.end());
+  ASSERT_EQ(run(eval_cmd, out), 0) << out;
+  EXPECT_NE(out.find("with key"), std::string::npos);
+
+  EXPECT_EQ(run({"train", "--arch", "CNN1", "--dataset", "fashion",
+                 "--key", key, "--out", model_path, "--policy", "zigzag"},
+                out),
+            1);
+}
+
+TEST(CliTest, InspectSummaryPrintsLayerTable) {
+  const std::string key(64, 'e');
+  const std::string model_path =
+      ::testing::TempDir() + "/cli_summary_model.hpnn";
+  std::string out;
+  ASSERT_EQ(run({"train", "--arch", "LeNet5", "--dataset", "fashion",
+                 "--key", key, "--out", model_path, "--epochs", "1",
+                 "--img", "16", "--tpc", "10", "--testpc", "5"},
+                out),
+            0)
+      << out;
+  ASSERT_EQ(
+      run({"inspect", "--model", model_path, "--summary", "1"}, out), 0)
+      << out;
+  EXPECT_NE(out.find("Conv2d"), std::string::npos);
+  EXPECT_NE(out.find("total parameters:"), std::string::npos);
+}
+
+TEST(CliTest, ZooPublishListEvalFlow) {
+  const std::string zoo_dir = ::testing::TempDir() + "/cli_zoo_store";
+  std::filesystem::remove_all(zoo_dir);
+  const std::string key(64, 'f');
+  const std::vector<std::string> common = {
+      "--dataset", "fashion", "--img", "16", "--tpc", "15",
+      "--testpc",  "5"};
+
+  std::vector<std::string> train_cmd = {
+      "train", "--arch", "CNN1", "--key", key, "--zoo", zoo_dir,
+      "--name", "fashion-v1", "--epochs", "1"};
+  train_cmd.insert(train_cmd.end(), common.begin(), common.end());
+  std::string out;
+  ASSERT_EQ(run(train_cmd, out), 0) << out;
+  EXPECT_NE(out.find("published 'fashion-v1' to zoo"), std::string::npos);
+
+  ASSERT_EQ(run({"zoo", "--zoo", zoo_dir}, out), 0) << out;
+  EXPECT_NE(out.find("fashion-v1"), std::string::npos);
+  EXPECT_NE(out.find("sha256:"), std::string::npos);
+
+  std::vector<std::string> eval_cmd = {"eval", "--zoo", zoo_dir, "--name",
+                                       "fashion-v1", "--key", key};
+  eval_cmd.insert(eval_cmd.end(), common.begin(), common.end());
+  ASSERT_EQ(run(eval_cmd, out), 0) << out;
+  EXPECT_NE(out.find("with key"), std::string::npos);
+
+  EXPECT_EQ(run({"eval", "--zoo", zoo_dir, "--name", "ghost", "--dataset",
+                 "fashion"},
+                out),
+            1);
+}
+
+TEST(CliTest, TrainRejectsBadKey) {
+  std::string out;
+  EXPECT_EQ(run({"train", "--arch", "CNN1", "--dataset", "fashion",
+                 "--key", "nothex", "--out", "/tmp/x.hpnn"},
+                out),
+            1);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+}
+
+TEST(CliTest, EvalRejectsMissingFile) {
+  std::string out;
+  EXPECT_EQ(run({"eval", "--model", "/nonexistent.hpnn", "--dataset",
+                 "fashion"},
+                out),
+            1);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+}
+
+TEST(CliTest, BadDatasetNameFails) {
+  std::string out;
+  EXPECT_EQ(run({"attack", "--model", "/tmp/none", "--dataset", "imagenet"},
+                out),
+            1);
+}
+
+}  // namespace
+}  // namespace hpnn::cli

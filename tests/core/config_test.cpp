@@ -1,0 +1,50 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace hpnn {
+namespace {
+
+TEST(ConfigTest, FallbackWhenUnset) {
+  ::unsetenv("HPNN_TEST_UNSET");
+  EXPECT_EQ(env_int("HPNN_TEST_UNSET", 42), 42);
+  EXPECT_EQ(env_double("HPNN_TEST_UNSET", 1.5), 1.5);
+  EXPECT_EQ(env_string("HPNN_TEST_UNSET", "dflt"), "dflt");
+}
+
+TEST(ConfigTest, ReadsIntegers) {
+  ::setenv("HPNN_TEST_INT", "-17", 1);
+  EXPECT_EQ(env_int("HPNN_TEST_INT", 0), -17);
+  ::unsetenv("HPNN_TEST_INT");
+}
+
+TEST(ConfigTest, ReadsDoubles) {
+  ::setenv("HPNN_TEST_DBL", "2.75", 1);
+  EXPECT_EQ(env_double("HPNN_TEST_DBL", 0.0), 2.75);
+  ::unsetenv("HPNN_TEST_DBL");
+}
+
+TEST(ConfigTest, ReadsStrings) {
+  ::setenv("HPNN_TEST_STR", "value", 1);
+  EXPECT_EQ(env_string("HPNN_TEST_STR", ""), "value");
+  ::unsetenv("HPNN_TEST_STR");
+}
+
+TEST(ConfigTest, MalformedIntFallsBack) {
+  ::setenv("HPNN_TEST_BAD", "12abc", 1);
+  EXPECT_EQ(env_int("HPNN_TEST_BAD", 7), 7);
+  ::setenv("HPNN_TEST_BAD", "abc", 1);
+  EXPECT_EQ(env_int("HPNN_TEST_BAD", 7), 7);
+  ::unsetenv("HPNN_TEST_BAD");
+}
+
+TEST(ConfigTest, MalformedDoubleFallsBack) {
+  ::setenv("HPNN_TEST_BAD2", "1.5x", 1);
+  EXPECT_EQ(env_double("HPNN_TEST_BAD2", 9.0), 9.0);
+  ::unsetenv("HPNN_TEST_BAD2");
+}
+
+}  // namespace
+}  // namespace hpnn

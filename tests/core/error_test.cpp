@@ -1,0 +1,42 @@
+#include "core/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hpnn {
+namespace {
+
+TEST(ErrorTest, CheckPassesOnTrueCondition) {
+  EXPECT_NO_THROW(HPNN_CHECK(1 + 1 == 2, "math works"));
+}
+
+TEST(ErrorTest, CheckThrowsInvariantError) {
+  EXPECT_THROW(HPNN_CHECK(false, "boom"), InvariantError);
+}
+
+TEST(ErrorTest, CheckMessageContainsContext) {
+  try {
+    HPNN_CHECK(2 > 3, "custom detail");
+    FAIL() << "expected throw";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("custom detail"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, HierarchyIsCatchableAsBase) {
+  EXPECT_THROW(throw ShapeError("s"), Error);
+  EXPECT_THROW(throw SerializationError("s"), Error);
+  EXPECT_THROW(throw KeyError("k"), Error);
+  EXPECT_THROW(throw InvariantError("i"), Error);
+}
+
+TEST(ErrorTest, BaseIsRuntimeError) {
+  EXPECT_THROW(throw Error("e"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hpnn

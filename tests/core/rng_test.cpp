@@ -1,0 +1,152 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace hpnn {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    differences += (a() != b());
+  }
+  EXPECT_GT(differences, 28);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIndexCoversAllValues) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIndexRejectsZero) {
+  Rng rng(13);
+  EXPECT_THROW(rng.uniform_index(0), InvariantError);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(17);
+  constexpr int kN = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParameters) {
+  Rng rng(19);
+  constexpr int kN = 30000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.normal(5.0, 0.5);
+  }
+  EXPECT_NEAR(sum / kN, 5.0, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    hits += rng.bernoulli(0.3);
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(RngTest, PermutationIsValid) {
+  Rng rng(29);
+  const auto perm = rng.permutation(100);
+  ASSERT_EQ(perm.size(), 100u);
+  std::vector<bool> seen(100, false);
+  for (const auto p : perm) {
+    ASSERT_LT(p, 100u);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(RngTest, PermutationOfZeroAndOne) {
+  Rng rng(31);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  const auto one = rng.permutation(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng rng(37);
+  Rng child = rng.split();
+  // The child stream should not reproduce the parent stream.
+  Rng parent_copy(37);
+  (void)parent_copy();  // align with the split() draw
+  int same = 0;
+  for (int i = 0; i < 16; ++i) {
+    same += (child() == parent_copy());
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, WorksWithStdDistributions) {
+  Rng rng(41);
+  // UniformRandomBitGenerator interface sanity.
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~std::uint64_t{0});
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace hpnn

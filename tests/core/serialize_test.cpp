@@ -1,0 +1,105 @@
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace hpnn {
+namespace {
+
+TEST(SerializeTest, ScalarRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u8(0xAB);
+  w.write_u32(0xDEADBEEF);
+  w.write_u64(0x1122334455667788ULL);
+  w.write_i64(-42);
+  w.write_f32(3.25f);
+  w.write_f64(-1e100);
+
+  BinaryReader r(ss);
+  EXPECT_EQ(r.read_u8(), 0xAB);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_u64(), 0x1122334455667788ULL);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_EQ(r.read_f32(), 3.25f);
+  EXPECT_EQ(r.read_f64(), -1e100);
+}
+
+TEST(SerializeTest, StringRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_string("");
+  w.write_string("hello world");
+  w.write_string(std::string("\0binary\0", 8));
+
+  BinaryReader r(ss);
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_string(), "hello world");
+  EXPECT_EQ(r.read_string(), std::string("\0binary\0", 8));
+}
+
+TEST(SerializeTest, VectorRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  const std::vector<float> fs{1.0f, -2.5f, 0.0f};
+  const std::vector<std::uint8_t> u8s{1, 2, 255};
+  const std::vector<std::int64_t> i64s{-1, 0, 1LL << 60};
+  w.write_f32_vector(fs);
+  w.write_u8_vector(u8s);
+  w.write_i64_vector(i64s);
+
+  BinaryReader r(ss);
+  EXPECT_EQ(r.read_f32_vector(), fs);
+  EXPECT_EQ(r.read_u8_vector(), u8s);
+  EXPECT_EQ(r.read_i64_vector(), i64s);
+}
+
+TEST(SerializeTest, EmptyVectorRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_f32_vector({});
+  BinaryReader r(ss);
+  EXPECT_TRUE(r.read_f32_vector().empty());
+}
+
+TEST(SerializeTest, TruncatedInputThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u64(77);
+  std::string payload = ss.str();
+  payload.resize(payload.size() - 1);
+  std::stringstream truncated(payload);
+  BinaryReader r(truncated);
+  EXPECT_THROW(r.read_u64(), SerializationError);
+}
+
+TEST(SerializeTest, CorruptLengthFieldThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  // Claim a gigantic vector without providing data.
+  w.write_u64(~std::uint64_t{0});
+  BinaryReader r(ss);
+  EXPECT_THROW(r.read_f32_vector(), SerializationError);
+}
+
+TEST(SerializeTest, ContainerBoundIsEnforced) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u64(1000);  // 1000 floats = 4000 bytes
+  BinaryReader r(ss, /*max_container_bytes=*/100);
+  EXPECT_THROW(r.read_f32_vector(), SerializationError);
+}
+
+TEST(SerializeTest, StringTruncationThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u64(10);  // claims 10 chars, provides none
+  BinaryReader r(ss);
+  EXPECT_THROW(r.read_string(), SerializationError);
+}
+
+}  // namespace
+}  // namespace hpnn

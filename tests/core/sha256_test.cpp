@@ -1,0 +1,78 @@
+#include "core/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace hpnn {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::hash(std::string())),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(to_hex(Sha256::hash(std::string("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      to_hex(Sha256::hash(std::string(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    hasher.update(chunk);
+  }
+  EXPECT_EQ(to_hex(hasher.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  Sha256 hasher;
+  for (const char c : msg) {
+    hasher.update(std::string(1, c));
+  }
+  EXPECT_EQ(hasher.finalize(), Sha256::hash(msg));
+}
+
+TEST(Sha256Test, PaddingBoundaries) {
+  // Lengths around the 55/56/64-byte padding edge cases must all differ and
+  // be stable.
+  std::string prev;
+  for (const std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u}) {
+    const std::string hex = to_hex(Sha256::hash(std::string(len, 'x')));
+    EXPECT_EQ(hex.size(), 64u);
+    EXPECT_NE(hex, prev);
+    prev = hex;
+  }
+}
+
+TEST(Sha256Test, ReuseAfterFinalizeThrows) {
+  Sha256 hasher;
+  (void)hasher.finalize();
+  EXPECT_THROW(hasher.update(std::string("x")), InvariantError);
+  Sha256 hasher2;
+  (void)hasher2.finalize();
+  EXPECT_THROW((void)hasher2.finalize(), InvariantError);
+}
+
+TEST(Sha256Test, BinaryData) {
+  std::vector<std::uint8_t> data(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  EXPECT_EQ(to_hex(Sha256::hash(std::span<const std::uint8_t>(data))),
+            "40aff2e9d2d8922e47afd4648e6967497158785fbd1da870e7110266bf944880");
+}
+
+}  // namespace
+}  // namespace hpnn

@@ -1,0 +1,133 @@
+#include "data/augment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "data/synthetic.hpp"
+
+namespace hpnn::data {
+namespace {
+
+Tensor sample_image(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return Tensor::normal(Shape{1, 8, 8}, rng);
+}
+
+TEST(AugmentTest, NoOpConfigIsIdentity) {
+  Tensor img = sample_image();
+  const Tensor orig = img;
+  AugmentConfig cfg;
+  cfg.shift_pixels = 0;
+  cfg.hflip_prob = 0.0;
+  cfg.noise_stddev = 0.0;
+  cfg.erase_prob = 0.0;
+  Rng rng(2);
+  augment_sample(img, cfg, rng);
+  EXPECT_TRUE(img.allclose(orig, 0.0f, 0.0f));
+}
+
+TEST(AugmentTest, ShiftMovesContent) {
+  Tensor img(Shape{1, 4, 4});
+  img.at(0 * 4 * 4 + 1 * 4 + 1) = 1.0f;  // single lit pixel at (1,1)
+  AugmentConfig cfg;
+  cfg.shift_pixels = 1;
+  cfg.hflip_prob = 0;
+  cfg.noise_stddev = 0;
+  cfg.erase_prob = 0;
+  // Try until a nonzero shift occurs; content must stay a single pixel.
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    Tensor shifted = img;
+    augment_sample(shifted, cfg, rng);
+    float total = shifted.sum();
+    EXPECT_TRUE(total == 0.0f || total == 1.0f);  // clipped out or moved
+  }
+}
+
+TEST(AugmentTest, HflipIsInvolution) {
+  Tensor img = sample_image(5);
+  Tensor flipped = img;
+  AugmentConfig cfg;
+  cfg.shift_pixels = 0;
+  cfg.hflip_prob = 1.0;  // always flip
+  cfg.noise_stddev = 0;
+  cfg.erase_prob = 0;
+  Rng rng(4);
+  augment_sample(flipped, cfg, rng);
+  EXPECT_FALSE(flipped.allclose(img, 0.0f, 0.0f));
+  augment_sample(flipped, cfg, rng);
+  EXPECT_TRUE(flipped.allclose(img, 0.0f, 0.0f));
+}
+
+TEST(AugmentTest, EraseZeroesAPatch) {
+  Tensor img(Shape{1, 8, 8}, 1.0f);
+  AugmentConfig cfg;
+  cfg.shift_pixels = 0;
+  cfg.hflip_prob = 0;
+  cfg.noise_stddev = 0;
+  cfg.erase_prob = 1.0;
+  cfg.erase_fraction = 0.25;  // 2x2 patch on an 8x8 image
+  Rng rng(6);
+  augment_sample(img, cfg, rng);
+  EXPECT_FLOAT_EQ(img.sum(), 64.0f - 4.0f);
+}
+
+TEST(AugmentTest, NoiseChangesEveryPixelSlightly) {
+  Tensor img = sample_image(7);
+  const Tensor orig = img;
+  AugmentConfig cfg;
+  cfg.shift_pixels = 0;
+  cfg.hflip_prob = 0;
+  cfg.erase_prob = 0;
+  cfg.noise_stddev = 0.01;
+  Rng rng(8);
+  augment_sample(img, cfg, rng);
+  EXPECT_FALSE(img.allclose(orig, 0.0f, 0.0f));
+  EXPECT_TRUE(img.allclose(orig, 0.0f, 0.1f));
+}
+
+TEST(AugmentTest, DatasetAugmentationDeterministic) {
+  SyntheticConfig sc;
+  sc.train_per_class = 2;
+  sc.test_per_class = 1;
+  sc.image_size = 16;
+  const auto split = make_dataset(SyntheticFamily::kFashionSynth, sc);
+  const Dataset a = augment_dataset(split.train, {}, 9);
+  const Dataset b = augment_dataset(split.train, {}, 9);
+  EXPECT_TRUE(a.images.allclose(b.images, 0.0f, 0.0f));
+  const Dataset c = augment_dataset(split.train, {}, 10);
+  EXPECT_FALSE(a.images.allclose(c.images, 0.0f, 0.0f));
+  EXPECT_EQ(a.labels, split.train.labels);
+}
+
+TEST(AugmentTest, RejectsNonChwSample) {
+  Tensor img(Shape{8, 8});
+  Rng rng(1);
+  EXPECT_THROW(augment_sample(img, {}, rng), InvariantError);
+}
+
+TEST(ConcatTest, AppendsSamples) {
+  SyntheticConfig sc;
+  sc.train_per_class = 2;
+  sc.test_per_class = 1;
+  sc.image_size = 16;
+  const auto split = make_dataset(SyntheticFamily::kDigitSynth, sc);
+  const Dataset doubled = concat(split.train, split.train);
+  EXPECT_EQ(doubled.size(), 2 * split.train.size());
+  EXPECT_EQ(doubled.labels[0],
+            doubled.labels[static_cast<std::size_t>(split.train.size())]);
+  doubled.validate();
+}
+
+TEST(ConcatTest, ShapeMismatchThrows) {
+  SyntheticConfig sc;
+  sc.train_per_class = 1;
+  sc.test_per_class = 1;
+  sc.image_size = 16;
+  const auto gray = make_dataset(SyntheticFamily::kFashionSynth, sc);
+  const auto color = make_dataset(SyntheticFamily::kDigitSynth, sc);
+  EXPECT_THROW(concat(gray.train, color.train), InvariantError);
+}
+
+}  // namespace
+}  // namespace hpnn::data

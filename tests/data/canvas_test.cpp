@@ -1,0 +1,107 @@
+#include "data/canvas.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace hpnn::data {
+namespace {
+
+float px(const Canvas& c, std::int64_t ch, std::int64_t y, std::int64_t x) {
+  return c.pixels()[static_cast<std::size_t>(
+      (ch * c.height() + y) * c.width() + x)];
+}
+
+TEST(CanvasTest, BackgroundFill) {
+  Canvas c(3, 4, 4, Color{0.1f, 0.2f, 0.3f});
+  EXPECT_FLOAT_EQ(px(c, 0, 0, 0), 0.1f);
+  EXPECT_FLOAT_EQ(px(c, 1, 2, 3), 0.2f);
+  EXPECT_FLOAT_EQ(px(c, 2, 3, 3), 0.3f);
+}
+
+TEST(CanvasTest, InvalidChannelCountThrows) {
+  EXPECT_THROW(Canvas(2, 4, 4), InvariantError);
+  EXPECT_THROW(Canvas(1, 0, 4), InvariantError);
+}
+
+TEST(CanvasTest, BlendIsMax) {
+  Canvas c(1, 2, 2, Color::gray(0.5f));
+  c.blend_pixel(0, 0, Color::gray(0.3f));  // darker: no effect
+  EXPECT_FLOAT_EQ(px(c, 0, 0, 0), 0.5f);
+  c.blend_pixel(0, 0, Color::gray(0.9f));  // brighter: wins
+  EXPECT_FLOAT_EQ(px(c, 0, 0, 0), 0.9f);
+}
+
+TEST(CanvasTest, OutOfBoundsIsNoOp) {
+  Canvas c(1, 2, 2);
+  EXPECT_NO_THROW(c.blend_pixel(-1, 0, Color::gray(1.0f)));
+  EXPECT_NO_THROW(c.blend_pixel(0, 5, Color::gray(1.0f)));
+  EXPECT_NO_THROW(c.set_pixel(10, 10, Color::gray(1.0f)));
+}
+
+TEST(CanvasTest, FillRectCoversExactRegion) {
+  Canvas c(1, 4, 4);
+  c.fill_rect(1, 1, 3, 3, Color::gray(1.0f));
+  EXPECT_FLOAT_EQ(px(c, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(px(c, 0, 1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(px(c, 0, 2, 2), 1.0f);
+  EXPECT_FLOAT_EQ(px(c, 0, 3, 3), 0.0f);  // exclusive bound
+}
+
+TEST(CanvasTest, FillRectClipsToCanvas) {
+  Canvas c(1, 4, 4);
+  EXPECT_NO_THROW(c.fill_rect(-5, -5, 10, 10, Color::gray(1.0f)));
+  EXPECT_FLOAT_EQ(px(c, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(px(c, 0, 3, 3), 1.0f);
+}
+
+TEST(CanvasTest, EllipseCoversCenterNotCorners) {
+  Canvas c(1, 11, 11);
+  c.fill_ellipse(5, 5, 4, 4, Color::gray(1.0f));
+  EXPECT_FLOAT_EQ(px(c, 0, 5, 5), 1.0f);
+  EXPECT_FLOAT_EQ(px(c, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(px(c, 0, 5, 1), 1.0f);  // on the radius
+}
+
+TEST(CanvasTest, RingHasHole) {
+  Canvas c(1, 21, 21);
+  c.fill_ring(10, 10, 8, 8, 0.6, Color::gray(1.0f));
+  EXPECT_FLOAT_EQ(px(c, 0, 10, 10), 0.0f);  // hole
+  EXPECT_FLOAT_EQ(px(c, 0, 10, 3), 1.0f);   // band
+}
+
+TEST(CanvasTest, TriangleOrientationIndependent) {
+  Canvas a(1, 10, 10);
+  Canvas b(1, 10, 10);
+  a.fill_triangle({1, 8, 8}, {5, 1, 9}, Color::gray(1.0f));
+  b.fill_triangle({8, 8, 1}, {9, 1, 5}, Color::gray(1.0f));  // reversed
+  EXPECT_EQ(a.pixels(), b.pixels());
+  EXPECT_FLOAT_EQ(px(a, 0, 6, 5), 1.0f);
+}
+
+TEST(CanvasTest, LineConnectsEndpoints) {
+  Canvas c(1, 8, 8);
+  c.draw_line(0, 0, 7, 7, Color::gray(1.0f));
+  EXPECT_FLOAT_EQ(px(c, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(px(c, 0, 7, 7), 1.0f);
+  EXPECT_FLOAT_EQ(px(c, 0, 3, 3), 1.0f);
+}
+
+TEST(CanvasTest, StripesAlternate) {
+  Canvas c(1, 8, 8);
+  c.fill_stripes(0, 0, 8, 8, 4, /*vertical=*/false, Color::gray(1.0f));
+  EXPECT_FLOAT_EQ(px(c, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(px(c, 0, 1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(px(c, 0, 2, 0), 0.0f);
+  EXPECT_FLOAT_EQ(px(c, 0, 3, 0), 0.0f);
+  EXPECT_FLOAT_EQ(px(c, 0, 4, 0), 1.0f);
+}
+
+TEST(CanvasTest, StripePeriodValidated) {
+  Canvas c(1, 4, 4);
+  EXPECT_THROW(c.fill_stripes(0, 0, 4, 4, 1, true, Color::gray(1.0f)),
+               InvariantError);
+}
+
+}  // namespace
+}  // namespace hpnn::data

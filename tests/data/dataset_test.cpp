@@ -1,0 +1,168 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/serialize.hpp"
+
+#include "core/error.hpp"
+
+namespace hpnn::data {
+namespace {
+
+Dataset tiny_dataset(std::int64_t per_class, std::int64_t classes) {
+  Dataset d;
+  d.name = "tiny";
+  d.num_classes = classes;
+  const std::int64_t n = per_class * classes;
+  d.images = Tensor::arange(Shape{n, 1, 2, 2});
+  d.labels.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    d.labels[static_cast<std::size_t>(i)] = i % classes;
+  }
+  return d;
+}
+
+TEST(DatasetTest, ValidatePasses) {
+  EXPECT_NO_THROW(tiny_dataset(5, 3).validate());
+}
+
+TEST(DatasetTest, ValidateCatchesLabelRange) {
+  Dataset d = tiny_dataset(2, 3);
+  d.labels[0] = 3;
+  EXPECT_THROW(d.validate(), InvariantError);
+  d.labels[0] = -1;
+  EXPECT_THROW(d.validate(), InvariantError);
+}
+
+TEST(DatasetTest, ValidateCatchesCountMismatch) {
+  Dataset d = tiny_dataset(2, 3);
+  d.labels.pop_back();
+  EXPECT_THROW(d.validate(), InvariantError);
+}
+
+TEST(DatasetTest, SubsetSelectsRows) {
+  Dataset d = tiny_dataset(2, 2);
+  const Dataset s = subset(d, {1, 3});
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_EQ(s.labels[0], d.labels[1]);
+  EXPECT_EQ(s.images.at(0), d.images.at(4));  // sample 1 starts at flat 4
+}
+
+TEST(DatasetTest, SubsetOutOfRangeThrows) {
+  Dataset d = tiny_dataset(2, 2);
+  EXPECT_THROW(subset(d, {7}), InvariantError);
+}
+
+TEST(ThiefSubsetTest, FractionAndStratification) {
+  Dataset d = tiny_dataset(100, 5);
+  Rng rng(1);
+  const Dataset thief = thief_subset(d, 0.1, rng);
+  EXPECT_EQ(thief.size(), 50);  // 10% of 500
+  const auto hist = class_histogram(thief);
+  for (const auto h : hist) {
+    EXPECT_EQ(h, 10);  // exactly 10% of each class
+  }
+}
+
+TEST(ThiefSubsetTest, ZeroAlphaGivesEmpty) {
+  Dataset d = tiny_dataset(10, 2);
+  Rng rng(2);
+  const Dataset thief = thief_subset(d, 0.0, rng);
+  EXPECT_EQ(thief.size(), 0);
+}
+
+TEST(ThiefSubsetTest, FullAlphaGivesEverything) {
+  Dataset d = tiny_dataset(10, 2);
+  Rng rng(3);
+  const Dataset thief = thief_subset(d, 1.0, rng);
+  EXPECT_EQ(thief.size(), d.size());
+}
+
+TEST(ThiefSubsetTest, InvalidAlphaThrows) {
+  Dataset d = tiny_dataset(4, 2);
+  Rng rng(4);
+  EXPECT_THROW(thief_subset(d, -0.1, rng), InvariantError);
+  EXPECT_THROW(thief_subset(d, 1.5, rng), InvariantError);
+}
+
+TEST(ThiefSubsetTest, DifferentSeedsDifferentSamples) {
+  Dataset d = tiny_dataset(100, 2);
+  Rng r1(5);
+  Rng r2(6);
+  const Dataset a = thief_subset(d, 0.05, r1);
+  const Dataset b = thief_subset(d, 0.05, r2);
+  EXPECT_EQ(a.size(), b.size());
+  bool any_diff = false;
+  for (std::int64_t i = 0; i < a.images.numel(); ++i) {
+    if (a.images.at(i) != b.images.at(i)) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DatasetIoTest, RoundTrip) {
+  const Dataset d = tiny_dataset(3, 4);
+  std::stringstream ss;
+  save_dataset(ss, d);
+  const Dataset loaded = load_dataset(ss);
+  EXPECT_EQ(loaded.name, d.name);
+  EXPECT_EQ(loaded.num_classes, d.num_classes);
+  EXPECT_EQ(loaded.labels, d.labels);
+  EXPECT_TRUE(loaded.images.allclose(d.images, 0.0f, 0.0f));
+}
+
+TEST(DatasetIoTest, FileRoundTrip) {
+  const Dataset d = tiny_dataset(2, 3);
+  const std::string path = ::testing::TempDir() + "/tiny.hpds";
+  save_dataset_file(path, d);
+  const Dataset loaded = load_dataset_file(path);
+  EXPECT_EQ(loaded.labels, d.labels);
+  EXPECT_THROW(load_dataset_file("/nonexistent/x.hpds"),
+               SerializationError);
+}
+
+TEST(DatasetIoTest, BadMagicThrows) {
+  std::stringstream ss("garbage");
+  EXPECT_THROW(load_dataset(ss), SerializationError);
+}
+
+TEST(DatasetIoTest, TruncatedThrows) {
+  const Dataset d = tiny_dataset(2, 2);
+  std::stringstream ss;
+  save_dataset(ss, d);
+  std::string payload = ss.str();
+  payload.resize(payload.size() / 2);
+  std::stringstream truncated(payload);
+  EXPECT_THROW(load_dataset(truncated), SerializationError);
+}
+
+TEST(DatasetIoTest, InconsistentLabelsRejected) {
+  Dataset d = tiny_dataset(2, 2);
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  // Hand-craft a file whose labels are out of class range.
+  w.write_u32(0x48504453u);
+  w.write_string("bad");
+  w.write_i64(2);
+  w.write_i64_vector(d.images.shape().dims());
+  w.write_f32_vector(std::vector<float>(
+      d.images.data(), d.images.data() + d.images.numel()));
+  w.write_i64_vector(std::vector<std::int64_t>(d.labels.size(), 99));
+  EXPECT_THROW(load_dataset(ss), SerializationError);
+}
+
+TEST(ClassHistogramTest, CountsPerClass) {
+  Dataset d = tiny_dataset(3, 4);
+  const auto hist = class_histogram(d);
+  ASSERT_EQ(hist.size(), 4u);
+  for (const auto h : hist) {
+    EXPECT_EQ(h, 3);
+  }
+}
+
+}  // namespace
+}  // namespace hpnn::data

@@ -1,0 +1,133 @@
+#include "data/idx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "data/synthetic.hpp"
+
+namespace hpnn::data {
+namespace {
+
+/// Hand-crafts a tiny valid IDX pair in memory.
+std::pair<std::string, std::string> make_idx(std::int64_t n,
+                                             std::int64_t side) {
+  std::string img;
+  std::string lab;
+  const auto be32 = [](std::string& s, std::uint32_t v) {
+    s.push_back(static_cast<char>(v >> 24));
+    s.push_back(static_cast<char>(v >> 16));
+    s.push_back(static_cast<char>(v >> 8));
+    s.push_back(static_cast<char>(v));
+  };
+  be32(img, 0x803);
+  be32(img, static_cast<std::uint32_t>(n));
+  be32(img, static_cast<std::uint32_t>(side));
+  be32(img, static_cast<std::uint32_t>(side));
+  be32(lab, 0x801);
+  be32(lab, static_cast<std::uint32_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t p = 0; p < side * side; ++p) {
+      img.push_back(static_cast<char>((i * 37 + p * 11) % 256));
+    }
+    lab.push_back(static_cast<char>(i % 10));
+  }
+  return {img, lab};
+}
+
+TEST(IdxTest, LoadsValidPair) {
+  auto [img, lab] = make_idx(6, 8);
+  std::istringstream is(img), ls(lab);
+  const Dataset d = load_idx(is, ls, "mini");
+  EXPECT_EQ(d.size(), 6);
+  EXPECT_EQ(d.channels(), 1);
+  EXPECT_EQ(d.height(), 8);
+  EXPECT_EQ(d.width(), 8);
+  EXPECT_EQ(d.labels[3], 3);
+  d.validate();
+}
+
+TEST(IdxTest, SamplesAreStandardized) {
+  auto [img, lab] = make_idx(3, 8);
+  std::istringstream is(img), ls(lab);
+  const Dataset d = load_idx(is, ls, "mini");
+  const std::int64_t sample = 64;
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    double mean = 0.0;
+    for (std::int64_t p = 0; p < sample; ++p) {
+      mean += d.images.data()[i * sample + p];
+    }
+    EXPECT_NEAR(mean / sample, 0.0, 1e-4);
+  }
+}
+
+TEST(IdxTest, LimitCapsSamples) {
+  auto [img, lab] = make_idx(10, 4);
+  std::istringstream is(img), ls(lab);
+  EXPECT_EQ(load_idx(is, ls, "mini", 10, 4).size(), 4);
+}
+
+TEST(IdxTest, BadMagicRejected) {
+  auto [img, lab] = make_idx(2, 4);
+  img[3] = 0x01;  // corrupt image magic
+  std::istringstream is(img), ls(lab);
+  EXPECT_THROW(load_idx(is, ls, "x"), SerializationError);
+}
+
+TEST(IdxTest, CountMismatchRejected) {
+  auto [img, lab] = make_idx(2, 4);
+  lab[7] = 9;  // claim 9 labels
+  std::istringstream is(img), ls(lab);
+  EXPECT_THROW(load_idx(is, ls, "x"), SerializationError);
+}
+
+TEST(IdxTest, TruncatedImagesRejected) {
+  auto [img, lab] = make_idx(2, 4);
+  img.resize(img.size() - 5);
+  std::istringstream is(img), ls(lab);
+  EXPECT_THROW(load_idx(is, ls, "x"), SerializationError);
+}
+
+TEST(IdxTest, OutOfRangeLabelRejected) {
+  auto [img, lab] = make_idx(2, 4);
+  lab.back() = static_cast<char>(200);
+  std::istringstream is(img), ls(lab);
+  EXPECT_THROW(load_idx(is, ls, "x"), SerializationError);
+}
+
+TEST(IdxTest, MissingFilesThrow) {
+  EXPECT_THROW(load_idx_files("/nonexistent/img", "/nonexistent/lab", "x"),
+               SerializationError);
+}
+
+TEST(IdxTest, ExportReimportRoundTrip) {
+  // Export a synthetic grayscale dataset to IDX and read it back: shapes,
+  // labels and standardization survive (pixel values are min-max quantized
+  // to ubyte, so only structure is exact).
+  SyntheticConfig sc;
+  sc.train_per_class = 2;
+  sc.test_per_class = 1;
+  sc.image_size = 16;
+  const auto split = make_dataset(SyntheticFamily::kFashionSynth, sc);
+  std::stringstream img, lab;
+  save_idx(img, lab, split.train);
+  const Dataset back = load_idx(img, lab, "roundtrip");
+  EXPECT_EQ(back.size(), split.train.size());
+  EXPECT_EQ(back.labels, split.train.labels);
+  EXPECT_EQ(back.height(), 16);
+}
+
+TEST(IdxTest, ExportRejectsColorData) {
+  SyntheticConfig sc;
+  sc.train_per_class = 1;
+  sc.test_per_class = 1;
+  sc.image_size = 16;
+  const auto split = make_dataset(SyntheticFamily::kDigitSynth, sc);
+  std::stringstream img, lab;
+  EXPECT_THROW(save_idx(img, lab, split.train), InvariantError);
+}
+
+}  // namespace
+}  // namespace hpnn::data

@@ -1,0 +1,152 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace hpnn::data {
+namespace {
+
+class FamilyTest : public ::testing::TestWithParam<SyntheticFamily> {};
+
+TEST_P(FamilyTest, ShapesMatchStandIn) {
+  SyntheticConfig cfg;
+  cfg.train_per_class = 3;
+  cfg.test_per_class = 2;
+  const auto split = make_dataset(GetParam(), cfg);
+  const std::int64_t expected_ch =
+      GetParam() == SyntheticFamily::kFashionSynth ? 1 : 3;
+  const std::int64_t expected_size =
+      GetParam() == SyntheticFamily::kFashionSynth ? 28 : 32;
+  EXPECT_EQ(split.train.channels(), expected_ch);
+  EXPECT_EQ(split.train.height(), expected_size);
+  EXPECT_EQ(split.train.width(), expected_size);
+  EXPECT_EQ(split.train.size(), 3 * kSyntheticClasses);
+  EXPECT_EQ(split.test.size(), 2 * kSyntheticClasses);
+  EXPECT_EQ(split.train.num_classes, kSyntheticClasses);
+}
+
+TEST_P(FamilyTest, DeterministicForSeed) {
+  SyntheticConfig cfg;
+  cfg.train_per_class = 2;
+  cfg.test_per_class = 1;
+  cfg.seed = 77;
+  const auto a = make_dataset(GetParam(), cfg);
+  const auto b = make_dataset(GetParam(), cfg);
+  EXPECT_TRUE(a.train.images.allclose(b.train.images, 0.0f, 0.0f));
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST_P(FamilyTest, DifferentSeedsDiffer) {
+  SyntheticConfig a_cfg;
+  a_cfg.train_per_class = 2;
+  a_cfg.test_per_class = 1;
+  a_cfg.seed = 1;
+  SyntheticConfig b_cfg = a_cfg;
+  b_cfg.seed = 2;
+  const auto a = make_dataset(GetParam(), a_cfg);
+  const auto b = make_dataset(GetParam(), b_cfg);
+  EXPECT_FALSE(a.train.images.allclose(b.train.images, 1e-3f, 1e-3f));
+}
+
+TEST_P(FamilyTest, BalancedClasses) {
+  SyntheticConfig cfg;
+  cfg.train_per_class = 4;
+  cfg.test_per_class = 2;
+  const auto split = make_dataset(GetParam(), cfg);
+  for (const auto count : class_histogram(split.train)) {
+    EXPECT_EQ(count, 4);
+  }
+}
+
+TEST_P(FamilyTest, PerSampleStandardization) {
+  SyntheticConfig cfg;
+  cfg.train_per_class = 2;
+  cfg.test_per_class = 1;
+  const auto split = make_dataset(GetParam(), cfg);
+  const auto& img = split.train.images;
+  const std::int64_t sample = img.numel() / img.dim(0);
+  // Every sample has ~zero mean: global brightness carries no class signal.
+  for (std::int64_t n = 0; n < img.dim(0); ++n) {
+    double s = 0.0;
+    for (std::int64_t i = 0; i < sample; ++i) {
+      s += img.data()[n * sample + i];
+    }
+    EXPECT_NEAR(s / sample, 0.0, 1e-3);
+  }
+}
+
+TEST_P(FamilyTest, CustomImageSize) {
+  SyntheticConfig cfg;
+  cfg.train_per_class = 1;
+  cfg.test_per_class = 1;
+  cfg.image_size = 16;
+  const auto split = make_dataset(GetParam(), cfg);
+  EXPECT_EQ(split.train.height(), 16);
+  EXPECT_EQ(split.train.width(), 16);
+}
+
+TEST_P(FamilyTest, IntraClassVariation) {
+  // Two samples of the same class must differ (jitter + noise).
+  SyntheticConfig cfg;
+  Rng rng(5);
+  const Tensor a = render_sample(GetParam(), 0, 20, cfg, rng);
+  const Tensor b = render_sample(GetParam(), 0, 20, cfg, rng);
+  EXPECT_FALSE(a.allclose(b, 1e-3f, 1e-3f));
+}
+
+TEST_P(FamilyTest, InterClassSeparation) {
+  // Class means should differ more than intra-class samples on average.
+  SyntheticConfig cfg;
+  cfg.noise_stddev = 0.0;
+  Rng rng(6);
+  const Tensor a0 = render_sample(GetParam(), 0, 20, cfg, rng);
+  const Tensor a1 = render_sample(GetParam(), 0, 20, cfg, rng);
+  const Tensor b0 = render_sample(GetParam(), 5, 20, cfg, rng);
+  const float intra = (a0 - a1).squared_norm();
+  const float inter = (a0 - b0).squared_norm();
+  EXPECT_GT(inter, intra * 0.5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyTest,
+                         ::testing::Values(SyntheticFamily::kFashionSynth,
+                                           SyntheticFamily::kColorShapes,
+                                           SyntheticFamily::kDigitSynth),
+                         [](const auto& info) {
+                           return family_name(info.param);
+                         });
+
+TEST(SyntheticTest, FamilyNames) {
+  EXPECT_EQ(family_name(SyntheticFamily::kFashionSynth), "FashionSynth");
+  EXPECT_EQ(family_stands_for(SyntheticFamily::kFashionSynth),
+            "Fashion-MNIST");
+  EXPECT_EQ(family_stands_for(SyntheticFamily::kColorShapes), "CIFAR-10");
+  EXPECT_EQ(family_stands_for(SyntheticFamily::kDigitSynth), "SVHN");
+}
+
+TEST(SyntheticTest, LabelOutOfRangeThrows) {
+  SyntheticConfig cfg;
+  Rng rng(1);
+  EXPECT_THROW(
+      render_sample(SyntheticFamily::kFashionSynth, 10, 20, cfg, rng),
+      InvariantError);
+}
+
+TEST(SyntheticTest, TooSmallImageThrows) {
+  SyntheticConfig cfg;
+  cfg.image_size = 8;
+  EXPECT_THROW(make_dataset(SyntheticFamily::kFashionSynth, cfg),
+               InvariantError);
+}
+
+TEST(SyntheticTest, InvalidCountsThrow) {
+  SyntheticConfig cfg;
+  cfg.train_per_class = 0;
+  EXPECT_THROW(make_dataset(SyntheticFamily::kDigitSynth, cfg),
+               InvariantError);
+}
+
+}  // namespace
+}  // namespace hpnn::data

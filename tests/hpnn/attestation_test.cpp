@@ -1,0 +1,110 @@
+#include "hpnn/attestation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "hpnn/model_io.hpp"
+#include "hw/device.hpp"
+#include "tensor/ops.hpp"
+
+namespace hpnn::obf {
+namespace {
+
+struct TestSetup {
+  HpnnKey key;
+  std::uint64_t schedule_seed = 77;
+  std::unique_ptr<LockedModel> model;
+  PublishedModel artifact;
+};
+
+TestSetup make_setup() {
+  TestSetup s;
+  Rng rng(5);
+  s.key = HpnnKey::random(rng);
+  Scheduler sched(s.schedule_seed);
+  models::ModelConfig mc;
+  mc.in_channels = 1;
+  mc.image_size = 16;
+  mc.init_seed = 3;
+  s.model = std::make_unique<LockedModel>(models::Architecture::kCnn1, mc,
+                                          s.key, sched);
+  std::stringstream ss;
+  publish_model(ss, *s.model);
+  s.artifact = read_published_model(ss);
+  return s;
+}
+
+TEST(AttestationTest, CorrectDevicePasses) {
+  TestSetup s = make_setup();
+  Rng rng(7);
+  const auto challenge = make_challenge(*s.model, 32, rng);
+  hw::TrustedDevice device(s.key, s.schedule_seed);
+  device.load_model(s.artifact);
+  const auto result =
+      check_response(challenge, device.classify(challenge.probes));
+  EXPECT_TRUE(result.passed) << "agreement " << result.agreement;
+  EXPECT_GT(result.agreement, 0.9);
+}
+
+TEST(AttestationTest, WrongKeyDeviceFails) {
+  TestSetup s = make_setup();
+  Rng rng(8);
+  const auto challenge = make_challenge(*s.model, 32, rng);
+  const HpnnKey wrong = HpnnKey::random(rng);
+  hw::TrustedDevice device(wrong, s.schedule_seed);
+  device.load_model(s.artifact);
+  const auto result =
+      check_response(challenge, device.classify(challenge.probes));
+  EXPECT_FALSE(result.passed) << "agreement " << result.agreement;
+}
+
+TEST(AttestationTest, UnlockedBaselineFails) {
+  TestSetup s = make_setup();
+  Rng rng(9);
+  const auto challenge = make_challenge(*s.model, 32, rng);
+  auto baseline = instantiate_baseline(s.artifact);
+  baseline->set_training(false);
+  const auto response =
+      ops::argmax_rows(baseline->forward(challenge.probes));
+  const auto result = check_response(challenge, response);
+  EXPECT_FALSE(result.passed) << "agreement " << result.agreement;
+}
+
+TEST(AttestationTest, SelfCheckIsPerfect) {
+  TestSetup s = make_setup();
+  Rng rng(10);
+  const auto challenge = make_challenge(*s.model, 16, rng);
+  const auto response = ops::argmax_rows(
+      s.model->network().forward(challenge.probes));
+  const auto result = check_response(challenge, response);
+  EXPECT_DOUBLE_EQ(result.agreement, 1.0);
+}
+
+TEST(AttestationTest, ResponseLengthValidated) {
+  TestSetup s = make_setup();
+  Rng rng(11);
+  const auto challenge = make_challenge(*s.model, 8, rng);
+  EXPECT_THROW(check_response(challenge, {1, 2}), InvariantError);
+}
+
+TEST(AttestationTest, SerializationRoundTrip) {
+  TestSetup s = make_setup();
+  Rng rng(12);
+  const auto challenge = make_challenge(*s.model, 8, rng);
+  std::stringstream ss;
+  write_challenge(ss, challenge);
+  const auto loaded = read_challenge(ss);
+  EXPECT_TRUE(loaded.probes.allclose(challenge.probes, 0.0f, 0.0f));
+  EXPECT_EQ(loaded.expected, challenge.expected);
+  EXPECT_DOUBLE_EQ(loaded.min_agreement, challenge.min_agreement);
+}
+
+TEST(AttestationTest, CorruptChallengeRejected) {
+  std::stringstream ss("this is not a challenge");
+  EXPECT_THROW(read_challenge(ss), SerializationError);
+}
+
+}  // namespace
+}  // namespace hpnn::obf

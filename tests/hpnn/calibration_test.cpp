@@ -1,0 +1,138 @@
+#include "hpnn/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "hpnn/model_io.hpp"
+#include "hw/device.hpp"
+#include "tensor/ops.hpp"
+
+namespace hpnn::obf {
+namespace {
+
+struct TestSetup {
+  HpnnKey key;
+  std::uint64_t schedule_seed = 321;
+  std::unique_ptr<LockedModel> model;
+};
+
+TestSetup make_setup(models::Architecture arch, double width = 1.0,
+                     std::int64_t channels = 1) {
+  TestSetup s;
+  Rng rng(6);
+  s.key = HpnnKey::random(rng);
+  Scheduler sched(s.schedule_seed);
+  models::ModelConfig mc;
+  mc.in_channels = channels;
+  mc.image_size = 16;
+  mc.init_seed = 4;
+  mc.width_mult = width;
+  s.model = std::make_unique<LockedModel>(arch, mc, s.key, sched);
+  return s;
+}
+
+TEST(CalibrationTest, OneScalePerMacLayer) {
+  TestSetup s = make_setup(models::Architecture::kCnn1);
+  Rng rng(1);
+  const auto scales = calibrate_activation_scales(
+      *s.model, Tensor::normal(Shape{8, 1, 16, 16}, rng, 0.0f, 0.25f));
+  // CNN1: conv1, conv2, fc1 = 3 MAC layers.
+  ASSERT_EQ(scales.size(), 3u);
+  for (const float scale : scales) {
+    EXPECT_GT(scale, 0.0f);
+  }
+}
+
+TEST(CalibrationTest, FirstScaleMatchesInputRange) {
+  TestSetup s = make_setup(models::Architecture::kCnn1);
+  Rng rng(2);
+  const Tensor batch = Tensor::normal(Shape{4, 1, 16, 16}, rng, 0.0f, 0.3f);
+  const auto scales = calibrate_activation_scales(*s.model, batch);
+  float max_abs = 0.0f;
+  for (const auto v : batch.span()) {
+    max_abs = std::max(max_abs, std::fabs(v));
+  }
+  EXPECT_FLOAT_EQ(scales[0], max_abs / 127.0f);
+}
+
+TEST(CalibrationTest, CountsResNetMacLayers) {
+  TestSetup s = make_setup(models::Architecture::kResNet18, 0.125, 3);
+  Rng rng(3);
+  const auto scales = calibrate_activation_scales(
+      *s.model, Tensor::normal(Shape{2, 3, 16, 16}, rng, 0.0f, 0.25f));
+  // stem conv + 8 blocks x 2 convs + 3 projection convs + final fc = 21.
+  EXPECT_EQ(scales.size(), 21u);
+}
+
+TEST(CalibrationTest, EmptyBatchThrows) {
+  TestSetup s = make_setup(models::Architecture::kCnn1);
+  EXPECT_THROW(
+      calibrate_activation_scales(*s.model, Tensor(Shape{0, 1, 16, 16})),
+      InvariantError);
+}
+
+TEST(CalibrationTest, ScalesSurviveArtifactRoundTrip) {
+  TestSetup s = make_setup(models::Architecture::kCnn1);
+  Rng rng(4);
+  const auto scales = calibrate_activation_scales(
+      *s.model, Tensor::normal(Shape{4, 1, 16, 16}, rng, 0.0f, 0.25f));
+  std::stringstream ss;
+  publish_model(ss, *s.model, scales);
+  const PublishedModel artifact = read_published_model(ss);
+  ASSERT_EQ(artifact.activation_scales.size(), scales.size());
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    EXPECT_FLOAT_EQ(artifact.activation_scales[i], scales[i]);
+  }
+}
+
+TEST(CalibrationTest, ArtifactWithoutScalesIsEmpty) {
+  TestSetup s = make_setup(models::Architecture::kCnn1);
+  std::stringstream ss;
+  publish_model(ss, *s.model);
+  EXPECT_TRUE(read_published_model(ss).activation_scales.empty());
+}
+
+TEST(CalibrationTest, StaticDeviceMatchesDynamicDevice) {
+  // The headline contract: a device running on calibrated static scales
+  // must agree with the dynamic-quantization device on predictions for
+  // in-distribution inputs (same traversal order owner-side and
+  // device-side).
+  TestSetup s = make_setup(models::Architecture::kCnn1);
+  Rng rng(5);
+  const Tensor calib = Tensor::normal(Shape{16, 1, 16, 16}, rng, 0.0f, 0.25f);
+  const auto scales = calibrate_activation_scales(*s.model, calib);
+
+  std::stringstream with_scales_ss, without_ss;
+  publish_model(with_scales_ss, *s.model, scales);
+  publish_model(without_ss, *s.model);
+
+  hw::TrustedDevice static_dev(s.key, s.schedule_seed);
+  hw::TrustedDevice dynamic_dev(s.key, s.schedule_seed);
+  static_dev.load_model(read_published_model(with_scales_ss));
+  dynamic_dev.load_model(read_published_model(without_ss));
+
+  const Tensor x = Tensor::normal(Shape{16, 1, 16, 16}, rng, 0.0f, 0.25f);
+  const auto sp = static_dev.classify(x);
+  const auto dp = dynamic_dev.classify(x);
+  const Tensor float_logits = s.model->network().forward(x);
+  const auto fp = ops::argmax_rows(float_logits);
+  int static_agree = 0;
+  for (std::size_t i = 0; i < fp.size(); ++i) {
+    static_agree += (sp[i] == fp[i]);
+  }
+  EXPECT_GE(static_agree, 13) << "static quantization diverged from float";
+  (void)dp;
+}
+
+TEST(CalibrationTest, CorruptScaleInArtifactRejected) {
+  TestSetup s = make_setup(models::Architecture::kCnn1);
+  std::stringstream ss;
+  publish_model(ss, *s.model, {0.1f, -1.0f, 0.2f});
+  EXPECT_THROW(read_published_model(ss), SerializationError);
+}
+
+}  // namespace
+}  // namespace hpnn::obf

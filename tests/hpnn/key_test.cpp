@@ -1,0 +1,111 @@
+#include "hpnn/key.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace hpnn::obf {
+namespace {
+
+TEST(KeyTest, DefaultIsAllZero) {
+  HpnnKey key;
+  for (std::size_t i = 0; i < HpnnKey::kBits; ++i) {
+    EXPECT_FALSE(key.bit(i));
+    EXPECT_EQ(key.lock_factor(i), 1.0f);
+  }
+  EXPECT_EQ(key.popcount(), 0u);
+}
+
+TEST(KeyTest, SetAndFlipBits) {
+  HpnnKey key;
+  key.set_bit(0, true);
+  key.set_bit(255, true);
+  EXPECT_TRUE(key.bit(0));
+  EXPECT_TRUE(key.bit(255));
+  EXPECT_EQ(key.popcount(), 2u);
+  key.flip_bit(0);
+  EXPECT_FALSE(key.bit(0));
+  key.set_bit(255, false);
+  EXPECT_EQ(key.popcount(), 0u);
+}
+
+TEST(KeyTest, LockFactorFollowsEq2) {
+  HpnnKey key;
+  key.set_bit(7, true);
+  EXPECT_EQ(key.lock_factor(7), -1.0f);  // (-1)^1
+  EXPECT_EQ(key.lock_factor(8), 1.0f);   // (-1)^0
+}
+
+TEST(KeyTest, BitIndexOutOfRangeThrows) {
+  HpnnKey key;
+  EXPECT_THROW(key.bit(256), InvariantError);
+  EXPECT_THROW(key.set_bit(256, true), InvariantError);
+  EXPECT_THROW(key.flip_bit(999), InvariantError);
+}
+
+TEST(KeyTest, RandomKeysDiffer) {
+  Rng rng(1);
+  const HpnnKey a = HpnnKey::random(rng);
+  const HpnnKey b = HpnnKey::random(rng);
+  EXPECT_NE(a, b);
+  // A random key has roughly half its bits set.
+  EXPECT_GT(a.popcount(), 90u);
+  EXPECT_LT(a.popcount(), 166u);
+}
+
+TEST(KeyTest, HexRoundTrip) {
+  Rng rng(2);
+  const HpnnKey key = HpnnKey::random(rng);
+  const std::string hex = key.to_hex();
+  EXPECT_EQ(hex.size(), 64u);
+  EXPECT_EQ(HpnnKey::from_hex(hex), key);
+}
+
+TEST(KeyTest, HexKnownValue) {
+  HpnnKey key;
+  key.set_bit(0, true);  // lowest bit of lowest word
+  const std::string hex = key.to_hex();
+  EXPECT_EQ(hex.back(), '1');
+  EXPECT_EQ(hex.substr(0, 63), std::string(63, '0'));
+}
+
+TEST(KeyTest, FromHexAcceptsUppercase) {
+  const std::string hex(64, 'A');
+  EXPECT_EQ(HpnnKey::from_hex(hex).to_hex(), std::string(64, 'a'));
+}
+
+TEST(KeyTest, FromHexRejectsBadInput) {
+  EXPECT_THROW(HpnnKey::from_hex("abc"), KeyError);
+  EXPECT_THROW(HpnnKey::from_hex(std::string(64, 'g')), KeyError);
+}
+
+TEST(KeyTest, HammingDistance) {
+  HpnnKey a;
+  HpnnKey b;
+  EXPECT_EQ(a.hamming_distance(b), 0u);
+  b.set_bit(3, true);
+  b.set_bit(200, true);
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  EXPECT_EQ(b.hamming_distance(a), 2u);
+}
+
+TEST(KeyTest, RandomKeysHaveHalfDistance) {
+  Rng rng(3);
+  const HpnnKey a = HpnnKey::random(rng);
+  const HpnnKey b = HpnnKey::random(rng);
+  const auto d = a.hamming_distance(b);
+  EXPECT_GT(d, 90u);
+  EXPECT_LT(d, 166u);
+}
+
+TEST(KeyTest, EqualityIsValueBased) {
+  Rng rng(4);
+  const HpnnKey a = HpnnKey::random(rng);
+  HpnnKey b = a;
+  EXPECT_EQ(a, b);
+  b.flip_bit(17);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace hpnn::obf

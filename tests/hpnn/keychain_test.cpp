@@ -1,0 +1,80 @@
+#include "hpnn/keychain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpnn::obf {
+namespace {
+
+HpnnKey master() {
+  Rng rng(123);
+  return HpnnKey::random(rng);
+}
+
+TEST(KeychainTest, FingerprintIsStableAndHex) {
+  const auto fp = key_fingerprint(master());
+  EXPECT_EQ(fp.size(), 64u);
+  EXPECT_EQ(fp, key_fingerprint(master()));
+}
+
+TEST(KeychainTest, FingerprintDoesNotRevealKey) {
+  const HpnnKey key = master();
+  EXPECT_EQ(key_fingerprint(key).find(key.to_hex()), std::string::npos);
+}
+
+TEST(KeychainTest, DifferentKeysDifferentFingerprints) {
+  Rng rng(9);
+  EXPECT_NE(key_fingerprint(HpnnKey::random(rng)),
+            key_fingerprint(HpnnKey::random(rng)));
+}
+
+TEST(KeychainTest, ModelKeyDerivationDeterministic) {
+  const HpnnKey m = master();
+  EXPECT_EQ(derive_model_key(m, "cnn1-fashion"),
+            derive_model_key(m, "cnn1-fashion"));
+}
+
+TEST(KeychainTest, ModelKeysAreDiversified) {
+  const HpnnKey m = master();
+  const HpnnKey a = derive_model_key(m, "model-a");
+  const HpnnKey b = derive_model_key(m, "model-b");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, m);
+  // Derived keys look random: about half the bits differ.
+  const auto d = a.hamming_distance(b);
+  EXPECT_GT(d, 90u);
+  EXPECT_LT(d, 166u);
+}
+
+TEST(KeychainTest, ScheduleSeedDiversified) {
+  const HpnnKey m = master();
+  EXPECT_NE(derive_schedule_seed(m, "model-a"),
+            derive_schedule_seed(m, "model-b"));
+  EXPECT_EQ(derive_schedule_seed(m, "model-a"),
+            derive_schedule_seed(m, "model-a"));
+}
+
+TEST(KeychainTest, ScheduleAndKeyDomainsSeparated) {
+  // The schedule seed must not simply be a prefix of the model key.
+  const HpnnKey m = master();
+  const HpnnKey mk = derive_model_key(m, "model-a");
+  std::uint64_t key_prefix = 0;
+  const std::string hex = mk.to_hex();
+  // (coarse check: derive_schedule_seed differs from any 64-bit slice origin)
+  EXPECT_NE(std::to_string(derive_schedule_seed(m, "model-a")),
+            hex.substr(0, 16));
+  (void)key_prefix;
+}
+
+TEST(KeychainTest, LicenseRoundTrip) {
+  const HpnnKey m = master();
+  const License lic = License::issue(m, "resnet18-cifar");
+  EXPECT_EQ(lic.model_id, "resnet18-cifar");
+  EXPECT_EQ(lic.master_fingerprint, key_fingerprint(m));
+  EXPECT_TRUE(
+      lic.matches_model_key(derive_model_key(m, "resnet18-cifar")));
+  EXPECT_FALSE(lic.matches_model_key(derive_model_key(m, "other-model")));
+  EXPECT_FALSE(lic.matches_model_key(m));
+}
+
+}  // namespace
+}  // namespace hpnn::obf

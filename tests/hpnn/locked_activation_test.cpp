@@ -1,0 +1,190 @@
+#include "hpnn/locked_activation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace hpnn::obf {
+namespace {
+
+Tensor mask_pm(std::initializer_list<float> vals) {
+  std::vector<float> v(vals);
+  return Tensor(Shape{static_cast<std::int64_t>(v.size())}, v);
+}
+
+TEST(LockedActivationTest, Eq1Semantics) {
+  // out_j = f(L_j * MAC_j) with f = ReLU.
+  LockedActivation act("act", mask_pm({1.0f, -1.0f}));
+  Tensor x(Shape{1, 2}, std::vector<float>{3.0f, 3.0f});
+  const Tensor y = act.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0), 3.0f);  // L=+1: relu(3)
+  EXPECT_FLOAT_EQ(y.at(1), 0.0f);  // L=-1: relu(-3)
+}
+
+TEST(LockedActivationTest, NegativeInputFlippedNeuron) {
+  LockedActivation act("act", mask_pm({-1.0f}));
+  Tensor x(Shape{1, 1}, std::vector<float>{-2.0f});
+  EXPECT_FLOAT_EQ(act.forward(x).at(0), 2.0f);  // relu(+2)
+}
+
+TEST(LockedActivationTest, AllPositiveMaskIsPlainRelu) {
+  LockedActivation act("act", Tensor(Shape{4}, 1.0f));
+  Tensor x(Shape{2, 4},
+           std::vector<float>{-1, 2, -3, 4, 5, -6, 7, -8});
+  const Tensor y = act.forward(x);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y.at(i), std::max(x.at(i), 0.0f));
+  }
+}
+
+TEST(LockedActivationTest, BackwardAppliesDeltaRule) {
+  // dE/dMAC = dE/dout * f'(L*MAC) * L (Eq. 4/5).
+  LockedActivation act("act", mask_pm({1.0f, -1.0f, -1.0f}));
+  Tensor x(Shape{1, 3}, std::vector<float>{2.0f, -2.0f, 2.0f});
+  (void)act.forward(x);  // signed: [2, 2, -2] -> relu' = [1, 1, 0]
+  Tensor g(Shape{1, 3}, std::vector<float>{5.0f, 5.0f, 5.0f});
+  const Tensor gx = act.backward(g);
+  EXPECT_FLOAT_EQ(gx.at(0), 5.0f);    // L=+1, active
+  EXPECT_FLOAT_EQ(gx.at(1), -5.0f);   // L=-1, active: gradient sign-flipped
+  EXPECT_FLOAT_EQ(gx.at(2), 0.0f);    // inactive
+}
+
+TEST(LockedActivationTest, MaskBroadcastsOverBatch) {
+  LockedActivation act("act", mask_pm({-1.0f, 1.0f}));
+  Tensor x(Shape{3, 2}, 1.0f);
+  const Tensor y = act.forward(x);
+  for (std::int64_t n = 0; n < 3; ++n) {
+    EXPECT_FLOAT_EQ(y.at(n * 2 + 0), 0.0f);
+    EXPECT_FLOAT_EQ(y.at(n * 2 + 1), 1.0f);
+  }
+}
+
+TEST(LockedActivationTest, WorksOn4dActivations) {
+  Rng rng(1);
+  Tensor mask(Shape{2, 3, 3});
+  for (std::int64_t i = 0; i < mask.numel(); ++i) {
+    mask.at(i) = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+  }
+  LockedActivation act("act", mask);
+  const Tensor x = Tensor::normal(Shape{4, 2, 3, 3}, rng);
+  const Tensor y = act.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+  for (std::int64_t n = 0; n < 4; ++n) {
+    for (std::int64_t i = 0; i < 18; ++i) {
+      const float expected = std::max(mask.at(i) * x.at(n * 18 + i), 0.0f);
+      EXPECT_FLOAT_EQ(y.at(n * 18 + i), expected);
+    }
+  }
+}
+
+TEST(LockedActivationTest, RejectsNonSignMask) {
+  EXPECT_THROW(LockedActivation("a", mask_pm({0.5f})), InvariantError);
+  EXPECT_THROW(LockedActivation("a", mask_pm({0.0f})), InvariantError);
+  EXPECT_THROW(LockedActivation("a", Tensor()), InvariantError);
+}
+
+TEST(LockedActivationTest, RejectsIncompatibleInput) {
+  LockedActivation act("act", Tensor(Shape{4}, 1.0f));
+  Tensor x(Shape{2, 5});
+  EXPECT_THROW(act.forward(x), InvariantError);
+}
+
+TEST(LockedActivationTest, SetLockReplacesMask) {
+  LockedActivation act("act", mask_pm({1.0f, 1.0f}));
+  act.set_lock(mask_pm({-1.0f, -1.0f}));
+  Tensor x(Shape{1, 2}, 1.0f);
+  EXPECT_FLOAT_EQ(act.forward(x).at(0), 0.0f);
+  EXPECT_THROW(act.set_lock(Tensor(Shape{3}, 1.0f)), InvariantError);
+}
+
+TEST(LockedActivationTest, ClearLockMakesBaseline) {
+  LockedActivation act("act", mask_pm({-1.0f, -1.0f}));
+  act.clear_lock();
+  Tensor x(Shape{1, 2}, std::vector<float>{1.0f, -1.0f});
+  const Tensor y = act.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 0.0f);
+}
+
+TEST(LockedActivationTest, NeuronCount) {
+  LockedActivation act("act", Tensor(Shape{3, 4, 5}, 1.0f));
+  EXPECT_EQ(act.neuron_count(), 60);
+}
+
+// ---- generic-f variants (Sec. III-C is stated for any differentiable f)
+
+class LockedKindTest : public ::testing::TestWithParam<ActivationKind> {};
+
+TEST_P(LockedKindTest, ForwardMatchesDefinition) {
+  Tensor mask = mask_pm({1.0f, -1.0f});
+  LockedActivation act("act", mask, GetParam());
+  Tensor x(Shape{1, 2}, std::vector<float>{0.7f, 0.7f});
+  const Tensor y = act.forward(x);
+  const auto f = [&](float z) {
+    switch (GetParam()) {
+      case ActivationKind::kRelu:
+        return std::max(z, 0.0f);
+      case ActivationKind::kSigmoid:
+        return 1.0f / (1.0f + std::exp(-z));
+      case ActivationKind::kTanh:
+        return std::tanh(z);
+    }
+    return z;
+  };
+  EXPECT_FLOAT_EQ(y.at(0), f(0.7f));
+  EXPECT_FLOAT_EQ(y.at(1), f(-0.7f));
+}
+
+TEST_P(LockedKindTest, BackwardMatchesCentralDifference) {
+  Rng rng(31);
+  Tensor mask(Shape{6});
+  for (std::int64_t i = 0; i < 6; ++i) {
+    mask.at(i) = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+  }
+  LockedActivation act("act", mask, GetParam());
+  // Keep inputs away from ReLU's kink so central differences are valid.
+  Tensor x(Shape{2, 6});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    float v = static_cast<float>(rng.uniform(-1.5, 1.5));
+    if (std::fabs(v) < 0.1f) {
+      v = 0.2f;
+    }
+    x.at(i) = v;
+  }
+  (void)act.forward(x);
+  // Scalar objective: sum of outputs -> upstream gradient of ones.
+  const Tensor analytic = act.backward(Tensor(x.shape(), 1.0f));
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    Tensor xp = x;
+    xp.at(i) += static_cast<float>(eps);
+    Tensor xm = x;
+    xm.at(i) -= static_cast<float>(eps);
+    const double numeric =
+        (static_cast<double>(act.forward(xp).sum()) -
+         act.forward(xm).sum()) /
+        (2 * eps);
+    EXPECT_NEAR(analytic.at(i), numeric, 5e-3) << "coord " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, LockedKindTest,
+                         ::testing::Values(ActivationKind::kRelu,
+                                           ActivationKind::kSigmoid,
+                                           ActivationKind::kTanh),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ActivationKind::kRelu:
+                               return "Relu";
+                             case ActivationKind::kSigmoid:
+                               return "Sigmoid";
+                             default:
+                               return "Tanh";
+                           }
+                         });
+
+}  // namespace
+}  // namespace hpnn::obf

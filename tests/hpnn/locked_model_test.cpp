@@ -1,0 +1,156 @@
+#include "hpnn/locked_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "nn/trainer.hpp"
+
+namespace hpnn::obf {
+namespace {
+
+models::ModelConfig small_cfg() {
+  models::ModelConfig cfg;
+  cfg.in_channels = 1;
+  cfg.image_size = 16;
+  cfg.num_classes = 10;
+  cfg.init_seed = 5;
+  return cfg;
+}
+
+TEST(LockedModelTest, BuildsWithLockedActivations) {
+  Rng rng(1);
+  const HpnnKey key = HpnnKey::random(rng);
+  Scheduler sched(11);
+  LockedModel model(models::Architecture::kCnn1, small_cfg(), key, sched);
+  EXPECT_EQ(model.activations().size(), 2u);  // CNN1 has 2 nonlinear layers
+  EXPECT_EQ(model.lock_specs().size(), 2u);
+  EXPECT_EQ(model.lock_specs()[0].layer_index, 0);
+  EXPECT_EQ(model.lock_specs()[1].layer_index, 1);
+}
+
+TEST(LockedModelTest, NeuronCountMatchesZooCount) {
+  Rng rng(2);
+  const HpnnKey key = HpnnKey::random(rng);
+  Scheduler sched(13);
+  auto cfg = small_cfg();
+  LockedModel model(models::Architecture::kCnn1, cfg, key, sched);
+  EXPECT_EQ(model.locked_neuron_count(),
+            models::locked_neuron_count(models::Architecture::kCnn1, cfg));
+}
+
+TEST(LockedModelTest, MasksMatchSchedulerDerivation) {
+  Rng rng(3);
+  const HpnnKey key = HpnnKey::random(rng);
+  Scheduler sched(17);
+  LockedModel model(models::Architecture::kCnn1, small_cfg(), key, sched);
+  for (std::size_t i = 0; i < model.activations().size(); ++i) {
+    const Tensor expected = sched.lock_mask(model.lock_specs()[i], key);
+    EXPECT_TRUE(model.activations()[i]->lock().allclose(expected, 0.0f, 0.0f));
+  }
+}
+
+TEST(LockedModelTest, RejectsCustomActivationFactory) {
+  Rng rng(4);
+  const HpnnKey key = HpnnKey::random(rng);
+  Scheduler sched(19);
+  auto cfg = small_cfg();
+  cfg.activation = models::plain_relu_factory();
+  EXPECT_THROW(
+      LockedModel(models::Architecture::kCnn1, cfg, key, sched),
+      InvariantError);
+}
+
+TEST(LockedModelTest, ForwardShape) {
+  Rng rng(5);
+  const HpnnKey key = HpnnKey::random(rng);
+  Scheduler sched(23);
+  LockedModel model(models::Architecture::kCnn1, small_cfg(), key, sched);
+  const Tensor x = Tensor::normal(Shape{3, 1, 16, 16}, rng);
+  EXPECT_EQ(model.network().forward(x).shape(), Shape({3, 10}));
+}
+
+TEST(LockedModelTest, RemoveLocksChangesOutputs) {
+  Rng rng(6);
+  const HpnnKey key = HpnnKey::random(rng);
+  Scheduler sched(29);
+  LockedModel model(models::Architecture::kCnn1, small_cfg(), key, sched);
+  const Tensor x = Tensor::normal(Shape{2, 1, 16, 16}, rng);
+  const Tensor locked_out = model.network().forward(x);
+  model.remove_locks();
+  const Tensor unlocked_out = model.network().forward(x);
+  EXPECT_FALSE(locked_out.allclose(unlocked_out, 1e-3f, 1e-3f));
+  for (const auto* act : model.activations()) {
+    EXPECT_EQ(act->lock().min(), 1.0f);
+  }
+}
+
+TEST(LockedModelTest, ApplyKeyRestoresOriginalBehaviour) {
+  Rng rng(7);
+  const HpnnKey key = HpnnKey::random(rng);
+  Scheduler sched(31);
+  LockedModel model(models::Architecture::kCnn1, small_cfg(), key, sched);
+  const Tensor x = Tensor::normal(Shape{2, 1, 16, 16}, rng);
+  const Tensor before = model.network().forward(x);
+  model.remove_locks();
+  model.apply_key(key, sched);
+  const Tensor after = model.network().forward(x);
+  EXPECT_TRUE(before.allclose(after, 0.0f, 0.0f));
+}
+
+TEST(LockedModelTest, WrongKeyGivesDifferentFunction) {
+  Rng rng(8);
+  const HpnnKey key = HpnnKey::random(rng);
+  const HpnnKey wrong = HpnnKey::random(rng);
+  Scheduler sched(37);
+  LockedModel model(models::Architecture::kCnn1, small_cfg(), key, sched);
+  const Tensor x = Tensor::normal(Shape{2, 1, 16, 16}, rng);
+  const Tensor right_out = model.network().forward(x);
+  model.apply_key(wrong, sched);
+  const Tensor wrong_out = model.network().forward(x);
+  EXPECT_FALSE(right_out.allclose(wrong_out, 1e-3f, 1e-3f));
+}
+
+TEST(LockedModelTest, WrongScheduleGivesDifferentFunction) {
+  Rng rng(9);
+  const HpnnKey key = HpnnKey::random(rng);
+  Scheduler sched(41);
+  Scheduler other_sched(43);
+  LockedModel model(models::Architecture::kCnn1, small_cfg(), key, sched);
+  const Tensor x = Tensor::normal(Shape{2, 1, 16, 16}, rng);
+  const Tensor right_out = model.network().forward(x);
+  model.apply_key(key, other_sched);
+  const Tensor wrong_out = model.network().forward(x);
+  EXPECT_FALSE(right_out.allclose(wrong_out, 1e-3f, 1e-3f));
+}
+
+TEST(LockedModelTest, ZeroKeyEqualsBaseline) {
+  Rng rng(10);
+  Scheduler sched(47);
+  HpnnKey zero;
+  LockedModel model(models::Architecture::kCnn1, small_cfg(), zero, sched);
+  const Tensor x = Tensor::normal(Shape{2, 1, 16, 16}, rng);
+  const Tensor locked_out = model.network().forward(x);
+  model.remove_locks();
+  const Tensor base_out = model.network().forward(x);
+  EXPECT_TRUE(locked_out.allclose(base_out, 0.0f, 0.0f));
+}
+
+TEST(LockedModelTest, ResNetBuildsLocked) {
+  Rng rng(11);
+  const HpnnKey key = HpnnKey::random(rng);
+  Scheduler sched(53);
+  models::ModelConfig cfg;
+  cfg.in_channels = 3;
+  cfg.image_size = 16;
+  cfg.width_mult = 0.125;
+  cfg.init_seed = 5;
+  LockedModel model(models::Architecture::kResNet18, cfg, key, sched);
+  // stem act + 8 blocks x (inner act + post act) = 17 locked layers
+  EXPECT_EQ(model.activations().size(), 17u);
+  const Tensor x = Tensor::normal(Shape{2, 3, 16, 16}, rng);
+  model.network().set_training(true);
+  EXPECT_EQ(model.network().forward(x).shape(), Shape({2, 10}));
+}
+
+}  // namespace
+}  // namespace hpnn::obf

@@ -1,0 +1,160 @@
+#include "hpnn/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/error.hpp"
+
+namespace hpnn::obf {
+namespace {
+
+TEST(SchedulerTest, DeterministicForSeed) {
+  Scheduler a(42);
+  Scheduler b(42);
+  EXPECT_EQ(a.assign_units(0, 1000), b.assign_units(0, 1000));
+  EXPECT_EQ(a.assign_units(3, 17), b.assign_units(3, 17));
+}
+
+TEST(SchedulerTest, DifferentSeedsDiffer) {
+  Scheduler a(1);
+  Scheduler b(2);
+  EXPECT_NE(a.assign_units(0, 256), b.assign_units(0, 256));
+}
+
+TEST(SchedulerTest, DifferentLayersDiffer) {
+  Scheduler s(7);
+  EXPECT_NE(s.assign_units(0, 256), s.assign_units(1, 256));
+}
+
+TEST(SchedulerTest, UnitsAreInRange) {
+  Scheduler s(5);
+  for (const auto u : s.assign_units(2, 5000)) {
+    EXPECT_LT(u, Scheduler::kUnits);
+  }
+}
+
+TEST(SchedulerTest, RoundRobinCoversAllUnits) {
+  Scheduler s(9);
+  const auto units = s.assign_units(0, 256);
+  std::set<std::uint16_t> seen(units.begin(), units.end());
+  EXPECT_EQ(seen.size(), 256u);  // a full tile touches every accumulator
+}
+
+TEST(SchedulerTest, LoadIsBalanced) {
+  Scheduler s(11);
+  const auto units = s.assign_units(1, 2560);
+  std::vector<int> counts(256, 0);
+  for (const auto u : units) {
+    ++counts[u];
+  }
+  for (const auto c : counts) {
+    EXPECT_EQ(c, 10);  // perfect balance for multiples of 256
+  }
+}
+
+TEST(SchedulerTest, PeriodicityMatchesUnitCount) {
+  Scheduler s(13);
+  const auto units = s.assign_units(0, 512);
+  for (std::size_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(units[i], units[i + 256]);  // neuron i and i+256 share a unit
+  }
+}
+
+TEST(SchedulerTest, InvalidQueryThrows) {
+  Scheduler s(1);
+  EXPECT_THROW(s.assign_units(-1, 10), InvariantError);
+  EXPECT_THROW(s.assign_units(0, -5), InvariantError);
+}
+
+TEST(SchedulerTest, LockMaskValuesAreSigns) {
+  Scheduler s(17);
+  Rng rng(3);
+  const HpnnKey key = HpnnKey::random(rng);
+  LockSpec spec{"act1", 0, Shape{4, 5, 5}};
+  const Tensor mask = s.lock_mask(spec, key);
+  EXPECT_EQ(mask.shape(), Shape({4, 5, 5}));
+  for (const auto v : mask.span()) {
+    EXPECT_TRUE(v == 1.0f || v == -1.0f);
+  }
+}
+
+TEST(SchedulerTest, LockMaskConsistentWithUnits) {
+  Scheduler s(19);
+  Rng rng(4);
+  const HpnnKey key = HpnnKey::random(rng);
+  LockSpec spec{"act2", 5, Shape{100}};
+  const Tensor mask = s.lock_mask(spec, key);
+  const auto units = s.assign_units(5, 100);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(mask.at(i),
+              key.lock_factor(units[static_cast<std::size_t>(i)]));
+  }
+}
+
+TEST(SchedulerTest, ZeroKeyGivesAllPositiveMask) {
+  Scheduler s(23);
+  HpnnKey zero;
+  LockSpec spec{"act", 0, Shape{64}};
+  const Tensor mask = s.lock_mask(spec, zero);
+  EXPECT_EQ(mask.min(), 1.0f);
+}
+
+TEST(SchedulerTest, RandomKeyMaskIsBalanced) {
+  Scheduler s(29);
+  Rng rng(5);
+  const HpnnKey key = HpnnKey::random(rng);
+  LockSpec spec{"act", 0, Shape{2560}};
+  const Tensor mask = s.lock_mask(spec, key);
+  std::int64_t negatives = 0;
+  for (const auto v : mask.span()) {
+    negatives += (v < 0.0f);
+  }
+  // about half the neurons land on k=1 units
+  EXPECT_GT(negatives, 2560 / 4);
+  EXPECT_LT(negatives, 3 * 2560 / 4);
+}
+
+TEST(SchedulerTest, EqualityBySeedAndPolicy) {
+  EXPECT_EQ(Scheduler(5), Scheduler(5));
+  EXPECT_FALSE(Scheduler(5) == Scheduler(6));
+  EXPECT_FALSE(Scheduler(5, SchedulePolicy::kInterleaved) ==
+               Scheduler(5, SchedulePolicy::kBlocked));
+}
+
+TEST(SchedulerTest, BlockedPolicyGroupsContiguousNeurons) {
+  Scheduler s(7, SchedulePolicy::kBlocked);
+  const auto units = s.assign_units(0, 512);  // block size 2
+  for (std::size_t i = 0; i + 1 < units.size(); i += 2) {
+    EXPECT_EQ(units[i], units[i + 1]);  // pairs share a unit
+  }
+}
+
+TEST(SchedulerTest, BlockedPolicyIsBalanced) {
+  Scheduler s(11, SchedulePolicy::kBlocked);
+  const auto units = s.assign_units(2, 2560);  // 10 per unit
+  std::vector<int> counts(256, 0);
+  for (const auto u : units) {
+    ++counts[u];
+  }
+  for (const auto c : counts) {
+    EXPECT_EQ(c, 10);
+  }
+}
+
+TEST(SchedulerTest, PoliciesProduceDifferentAssignments) {
+  Scheduler a(13, SchedulePolicy::kInterleaved);
+  Scheduler b(13, SchedulePolicy::kBlocked);
+  EXPECT_NE(a.assign_units(0, 1024), b.assign_units(0, 1024));
+}
+
+TEST(SchedulerTest, BlockedSmallLayerStillInRange) {
+  Scheduler s(17, SchedulePolicy::kBlocked);
+  for (const auto u : s.assign_units(1, 10)) {  // fewer neurons than units
+    EXPECT_LT(u, Scheduler::kUnits);
+  }
+}
+
+}  // namespace
+}  // namespace hpnn::obf

@@ -1,0 +1,231 @@
+// Property tests for the paper's theoretical results:
+//   Theorem 1 — single-layer FC network, zero-initialized: training with
+//     lock factor -1 yields exactly the negated weights of training with +1.
+//   Lemma 1 — (w_j, k_j) -> (-w_j, 1-k_j) leaves every network output
+//     unchanged, so models locked with different keys have equal capacity.
+#include <gtest/gtest.h>
+
+#include "hpnn/locked_activation.hpp"
+#include "hpnn/locked_model.hpp"
+#include "hpnn/owner.hpp"
+#include "nn/layers.hpp"
+#include "nn/losses.hpp"
+#include "nn/trainer.hpp"
+
+namespace hpnn::obf {
+namespace {
+
+/// Builds Linear(in->out, optional bias, ZERO weights) + LockedActivation.
+/// Sigmoid activation: Theorem 1 holds for any f, but with ReLU a
+/// zero-initialized network has f'(0) = 0 and never trains, so the sigmoid
+/// variant is what makes the property observable.
+std::unique_ptr<nn::Sequential> single_layer_net(std::int64_t in,
+                                                 std::int64_t out, float lock,
+                                                 bool bias) {
+  Rng rng(1);
+  auto net = std::make_unique<nn::Sequential>("single");
+  auto fc = std::make_unique<nn::Linear>(in, out, rng, "fc", bias);
+  fc->weight().value.zero();  // Theorem 1 precondition: w_init = 0
+  if (bias) {
+    fc->bias()->value.zero();
+  }
+  net->add(std::move(fc));
+  net->add(std::make_unique<LockedActivation>("act", Tensor(Shape{out}, lock),
+                                              ActivationKind::kSigmoid));
+  return net;
+}
+
+std::pair<Tensor, std::vector<std::int64_t>> toy_batch(std::int64_t n,
+                                                       std::int64_t in,
+                                                       std::int64_t classes) {
+  Rng rng(42);
+  Tensor x = Tensor::normal(Shape{n, in}, rng);
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    labels[static_cast<std::size_t>(i)] = i % classes;
+  }
+  return {std::move(x), std::move(labels)};
+}
+
+void train_delta_rule(nn::Sequential& net, const Tensor& x,
+                      const std::vector<std::int64_t>& labels,
+                      std::int64_t epochs) {
+  nn::MseOneHot loss;  // the cost function of Sec. III-C
+  nn::Sgd opt(nn::parameters_of(net), {.lr = 0.05});
+  nn::TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batch_size = x.dim(0);  // full-batch delta rule
+  cfg.shuffle_seed = 7;
+  (void)nn::fit(net, loss, opt, x, labels, cfg);
+}
+
+class Theorem1Test : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(Theorem1Test, WeightsAreExactNegations) {
+  const std::int64_t epochs = GetParam();
+  auto [x, labels] = toy_batch(12, 6, 4);
+
+  auto plus = single_layer_net(6, 4, +1.0f, /*bias=*/false);
+  auto minus = single_layer_net(6, 4, -1.0f, /*bias=*/false);
+  train_delta_rule(*plus, x, labels, epochs);
+  train_delta_rule(*minus, x, labels, epochs);
+
+  const auto wp = nn::parameters_of(*plus);
+  const auto wm = nn::parameters_of(*minus);
+  ASSERT_EQ(wp.size(), 1u);
+  // w_{j,-1}^N == -w_{j,1}^N, bit for bit.
+  EXPECT_TRUE((-wp[0]->value).allclose(wm[0]->value, 0.0f, 0.0f));
+  // and the weights are non-trivial (training actually moved them)
+  EXPECT_GT(wp[0]->value.squared_norm(), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(EpochCounts, Theorem1Test,
+                         ::testing::Values(1, 2, 5, 10));
+
+TEST(Theorem1BiasTest, BiasNegatesToo) {
+  // The bias is an incoming weight from a constant input, so the theorem
+  // extends to it.
+  auto [x, labels] = toy_batch(10, 5, 3);
+  auto plus = single_layer_net(5, 3, +1.0f, /*bias=*/true);
+  auto minus = single_layer_net(5, 3, -1.0f, /*bias=*/true);
+  train_delta_rule(*plus, x, labels, 5);
+  train_delta_rule(*minus, x, labels, 5);
+  const auto wp = nn::parameters_of(*plus);
+  const auto wm = nn::parameters_of(*minus);
+  ASSERT_EQ(wp.size(), 2u);
+  EXPECT_TRUE((-wp[0]->value).allclose(wm[0]->value, 0.0f, 0.0f));
+  EXPECT_TRUE((-wp[1]->value).allclose(wm[1]->value, 0.0f, 0.0f));
+}
+
+TEST(Theorem1Test, EquivalentOutputsAfterTraining) {
+  // Corollary: the two trained networks implement the same function.
+  auto [x, labels] = toy_batch(12, 6, 4);
+  auto plus = single_layer_net(6, 4, +1.0f, false);
+  auto minus = single_layer_net(6, 4, -1.0f, false);
+  train_delta_rule(*plus, x, labels, 5);
+  train_delta_rule(*minus, x, labels, 5);
+  Rng rng(9);
+  const Tensor probe = Tensor::normal(Shape{8, 6}, rng);
+  EXPECT_TRUE(plus->forward(probe).allclose(minus->forward(probe), 0.0f,
+                                            0.0f));
+}
+
+TEST(Theorem1Test, NonZeroInitBreaksExactNegation) {
+  // The theorem requires w_init = 0; with random init the exact relation
+  // disappears (the paper's motivation for Lemma 1).
+  auto [x, labels] = toy_batch(12, 6, 4);
+  Rng rng(3);
+  auto make_net = [&](float lock) {
+    auto net = std::make_unique<nn::Sequential>("s");
+    Rng init_rng(55);  // same non-zero init for both
+    net->add(std::make_unique<nn::Linear>(6, 4, init_rng, "fc", false));
+    net->add(std::make_unique<LockedActivation>(
+        "act", Tensor(Shape{4}, lock), ActivationKind::kSigmoid));
+    return net;
+  };
+  auto plus = make_net(+1.0f);
+  auto minus = make_net(-1.0f);
+  train_delta_rule(*plus, x, labels, 5);
+  train_delta_rule(*minus, x, labels, 5);
+  const auto wp = nn::parameters_of(*plus);
+  const auto wm = nn::parameters_of(*minus);
+  EXPECT_FALSE((-wp[0]->value).allclose(wm[0]->value, 0.0f, 0.0f));
+}
+
+// ---------------------------------------------------------------- Lemma 1
+
+/// Two-layer MLP with a locked hidden activation.
+struct Mlp {
+  std::unique_ptr<nn::Sequential> net;
+  nn::Linear* fc1 = nullptr;
+  LockedActivation* act = nullptr;
+  nn::Linear* fc2 = nullptr;
+};
+
+Mlp make_mlp(const Tensor& mask, std::uint64_t seed) {
+  Mlp m;
+  m.net = std::make_unique<nn::Sequential>("mlp");
+  Rng rng(seed);
+  auto fc1 = std::make_unique<nn::Linear>(6, 8, rng, "fc1");
+  auto act = std::make_unique<LockedActivation>("act", mask);
+  auto fc2 = std::make_unique<nn::Linear>(8, 3, rng, "fc2");
+  m.fc1 = fc1.get();
+  m.act = act.get();
+  m.fc2 = fc2.get();
+  m.net->add(std::move(fc1));
+  m.net->add(std::move(act));
+  m.net->add(std::move(fc2));
+  return m;
+}
+
+TEST(Lemma1Test, NegatedWeightsCompensateFlippedKeyBits) {
+  Rng rng(13);
+  Tensor mask(Shape{8});
+  for (std::int64_t i = 0; i < 8; ++i) {
+    mask.at(i) = rng.bernoulli(0.5) ? -1.0f : 1.0f;
+  }
+  Mlp locked = make_mlp(mask, 21);
+
+  // Equivalent assignment: flip incoming weights (and bias) of every neuron
+  // whose lock factor is -1, and clear the key.
+  Mlp baseline = make_mlp(Tensor(Shape{8}, 1.0f), 21);
+  for (std::int64_t j = 0; j < 8; ++j) {
+    if (mask.at(j) < 0.0f) {
+      for (std::int64_t i = 0; i < 6; ++i) {
+        baseline.fc1->weight().value.at(j, i) =
+            -baseline.fc1->weight().value.at(j, i);
+      }
+      baseline.fc1->bias()->value.at(j) = -baseline.fc1->bias()->value.at(j);
+    }
+  }
+
+  const Tensor probe = Tensor::normal(Shape{16, 6}, rng);
+  const Tensor y_locked = locked.net->forward(probe);
+  const Tensor y_base = baseline.net->forward(probe);
+  EXPECT_TRUE(y_locked.allclose(y_base, 0.0f, 0.0f));
+}
+
+TEST(Lemma1Test, FlippingOneKeyBitEqualsNegatingOneNeuron) {
+  Rng rng(17);
+  Tensor mask(Shape{8}, 1.0f);
+  Mlp a = make_mlp(mask, 31);
+  Tensor flipped = mask;
+  flipped.at(3) = -1.0f;
+  Mlp b = make_mlp(flipped, 31);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    b.fc1->weight().value.at(3, i) = -b.fc1->weight().value.at(3, i);
+  }
+  b.fc1->bias()->value.at(3) = -b.fc1->bias()->value.at(3);
+
+  const Tensor probe = Tensor::normal(Shape{8, 6}, rng);
+  EXPECT_TRUE(
+      a.net->forward(probe).allclose(b.net->forward(probe), 0.0f, 0.0f));
+}
+
+TEST(Lemma1Test, TrainedModelsWithDifferentKeysReachSimilarLoss) {
+  // Capacity-equivalence smoke test (the full Fig. 3 experiment lives in
+  // bench/bench_fig3_key_equivalence).
+  auto [x, labels] = toy_batch(60, 6, 3);
+  std::vector<double> final_losses;
+  for (const std::uint64_t key_seed : {101u, 202u, 303u}) {
+    Rng krng(key_seed);
+    Tensor mask(Shape{8});
+    for (std::int64_t i = 0; i < 8; ++i) {
+      mask.at(i) = krng.bernoulli(0.5) ? -1.0f : 1.0f;
+    }
+    Mlp m = make_mlp(mask, 77);  // same init for all keys
+    nn::SoftmaxCrossEntropy loss;
+    nn::Sgd opt(nn::parameters_of(*m.net), {.lr = 0.05, .momentum = 0.9});
+    nn::TrainConfig cfg;
+    cfg.epochs = 30;
+    cfg.batch_size = 20;
+    final_losses.push_back(
+        nn::fit(*m.net, loss, opt, x, labels, cfg).final_loss);
+  }
+  const auto [lo, hi] =
+      std::minmax_element(final_losses.begin(), final_losses.end());
+  EXPECT_LT(*hi - *lo, 0.5);  // all keys train to a comparable optimum
+}
+
+}  // namespace
+}  // namespace hpnn::obf

@@ -1,0 +1,114 @@
+#include "hpnn/zoo_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/error.hpp"
+
+namespace hpnn::obf {
+namespace {
+
+class ZooStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/zoo_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+
+  LockedModel make_model(std::uint64_t key_seed) {
+    Rng rng(key_seed);
+    const HpnnKey key = HpnnKey::random(rng);
+    Scheduler sched(44);
+    models::ModelConfig mc;
+    mc.in_channels = 1;
+    mc.image_size = 16;
+    mc.init_seed = key_seed;
+    return LockedModel(models::Architecture::kCnn1, mc, key, sched);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ZooStoreTest, PublishListFetchRoundTrip) {
+  ModelZoo zoo(dir_);
+  EXPECT_TRUE(zoo.list().empty());
+  const LockedModel model = make_model(1);
+  zoo.publish("fashion-cnn1", model);
+  ASSERT_TRUE(zoo.contains("fashion-cnn1"));
+  const auto entries = zoo.list();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].name, "fashion-cnn1");
+  EXPECT_EQ(entries[0].digest_hex.size(), 64u);
+
+  const PublishedModel fetched = zoo.fetch("fashion-cnn1");
+  EXPECT_EQ(fetched.arch, models::Architecture::kCnn1);
+}
+
+TEST_F(ZooStoreTest, RepublishOverwrites) {
+  ModelZoo zoo(dir_);
+  zoo.publish("m", make_model(1));
+  const auto first_digest = zoo.list()[0].digest_hex;
+  zoo.publish("m", make_model(2));  // different weights
+  const auto entries = zoo.list();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_NE(entries[0].digest_hex, first_digest);
+}
+
+TEST_F(ZooStoreTest, IndexPersistsAcrossReopen) {
+  {
+    ModelZoo zoo(dir_);
+    zoo.publish("a", make_model(1));
+    zoo.publish("b", make_model(2));
+  }
+  ModelZoo reopened(dir_);
+  EXPECT_TRUE(reopened.contains("a"));
+  EXPECT_TRUE(reopened.contains("b"));
+  EXPECT_EQ(reopened.list().size(), 2u);
+  EXPECT_EQ(reopened.fetch("b").arch, models::Architecture::kCnn1);
+}
+
+TEST_F(ZooStoreTest, TamperedArtifactDetectedAtFetch) {
+  ModelZoo zoo(dir_);
+  zoo.publish("m", make_model(1));
+  // Flip a byte inside the stored artifact file.
+  const std::string path = dir_ + "/m.hpnn";
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(100);
+  char c = 0;
+  f.seekg(100);
+  f.get(c);
+  f.seekp(100);
+  f.put(static_cast<char>(c ^ 1));
+  f.close();
+  EXPECT_THROW((void)zoo.fetch("m"), SerializationError);
+}
+
+TEST_F(ZooStoreTest, UnknownNameThrows) {
+  ModelZoo zoo(dir_);
+  EXPECT_THROW((void)zoo.fetch("ghost"), SerializationError);
+}
+
+TEST_F(ZooStoreTest, InvalidNamesRejected) {
+  ModelZoo zoo(dir_);
+  const LockedModel model = make_model(1);
+  EXPECT_THROW(zoo.publish("", model), InvariantError);
+  EXPECT_THROW(zoo.publish("../escape", model), InvariantError);
+  EXPECT_THROW(zoo.publish("has space", model), InvariantError);
+}
+
+TEST_F(ZooStoreTest, CorruptIndexRejected) {
+  {
+    ModelZoo zoo(dir_);
+    zoo.publish("m", make_model(1));
+  }
+  std::ofstream os(dir_ + "/zoo_index.tsv", std::ios::trunc);
+  os << "broken line without tabs\n";
+  os.close();
+  EXPECT_THROW(ModelZoo{dir_}, SerializationError);
+}
+
+}  // namespace
+}  // namespace hpnn::obf

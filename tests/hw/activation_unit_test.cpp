@@ -1,0 +1,77 @@
+#include "hw/activation_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace hpnn::hw {
+namespace {
+
+TEST(ActivationUnitTest, ReluIsExact) {
+  ActivationUnit unit(obf::ActivationKind::kRelu);
+  EXPECT_FLOAT_EQ(unit.apply(-3.5f), 0.0f);
+  EXPECT_FLOAT_EQ(unit.apply(2.25f), 2.25f);
+  EXPECT_FLOAT_EQ(unit.apply(0.0f), 0.0f);
+  EXPECT_FLOAT_EQ(unit.max_error(), 0.0f);
+}
+
+class LutKindTest
+    : public ::testing::TestWithParam<obf::ActivationKind> {};
+
+TEST_P(LutKindTest, LutErrorBounded) {
+  ActivationUnit unit(GetParam());
+  // 256-entry piecewise-linear table over [-8, 8]: worst-case error for
+  // smooth sigmoids is well under 1e-3.
+  EXPECT_LT(unit.max_error(), 1e-3f);
+}
+
+TEST_P(LutKindTest, MonotoneNondecreasing) {
+  ActivationUnit unit(GetParam());
+  float prev = unit.apply(-10.0f);
+  for (int i = -1000; i <= 1000; ++i) {
+    const float x = static_cast<float>(i) * 0.01f;
+    const float y = unit.apply(x);
+    EXPECT_GE(y, prev - 1e-6f) << "at x=" << x;
+    prev = y;
+  }
+}
+
+TEST_P(LutKindTest, ClampsOutsideRange) {
+  ActivationUnit unit(GetParam(), 4.0f);
+  EXPECT_FLOAT_EQ(unit.apply(100.0f), unit.apply(4.0f));
+  EXPECT_FLOAT_EQ(unit.apply(-100.0f), unit.apply(-4.0f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, LutKindTest,
+                         ::testing::Values(obf::ActivationKind::kSigmoid,
+                                           obf::ActivationKind::kTanh),
+                         [](const auto& info) {
+                           return info.param ==
+                                          obf::ActivationKind::kSigmoid
+                                      ? "Sigmoid"
+                                      : "Tanh";
+                         });
+
+TEST(ActivationUnitTest, SigmoidKnownValues) {
+  ActivationUnit unit(obf::ActivationKind::kSigmoid);
+  EXPECT_NEAR(unit.apply(0.0f), 0.5f, 1e-4f);
+  EXPECT_NEAR(unit.apply(8.0f), 1.0f, 1e-3f);
+  EXPECT_NEAR(unit.apply(-8.0f), 0.0f, 1e-3f);
+}
+
+TEST(ActivationUnitTest, TanhOddSymmetry) {
+  ActivationUnit unit(obf::ActivationKind::kTanh);
+  for (const float x : {0.3f, 1.7f, 3.9f}) {
+    EXPECT_NEAR(unit.apply(x), -unit.apply(-x), 1e-4f);
+  }
+}
+
+TEST(ActivationUnitTest, InvalidRangeThrows) {
+  EXPECT_THROW(ActivationUnit(obf::ActivationKind::kSigmoid, 0.0f),
+               InvariantError);
+}
+
+}  // namespace
+}  // namespace hpnn::hw

@@ -1,0 +1,128 @@
+#include "hw/adder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace hpnn::hw {
+namespace {
+
+TEST(FullAdderTest, ExhaustiveTruthTable) {
+  struct Row {
+    bool a, b, cin, sum, cout;
+  };
+  const Row rows[] = {
+      {false, false, false, false, false}, {false, false, true, true, false},
+      {false, true, false, true, false},   {false, true, true, false, true},
+      {true, false, false, true, false},   {true, false, true, false, true},
+      {true, true, false, false, true},    {true, true, true, true, true},
+  };
+  for (const auto& r : rows) {
+    bool cout = false;
+    EXPECT_EQ(full_adder(r.a, r.b, r.cin, cout), r.sum);
+    EXPECT_EQ(cout, r.cout);
+  }
+}
+
+TEST(RippleAddTest, MatchesNativeAddExhaustive8Bit) {
+  for (std::uint64_t a = 0; a < 256; a += 7) {
+    for (std::uint64_t b = 0; b < 256; b += 5) {
+      EXPECT_EQ(ripple_add(a, b, false, 8), (a + b) & 0xFF);
+      EXPECT_EQ(ripple_add(a, b, true, 8), (a + b + 1) & 0xFF);
+    }
+  }
+}
+
+TEST(RippleAddTest, Randomized32Bit) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng() & 0xFFFFFFFF;
+    const std::uint64_t b = rng() & 0xFFFFFFFF;
+    EXPECT_EQ(ripple_add(a, b, false, 32), (a + b) & 0xFFFFFFFF);
+  }
+}
+
+TEST(RippleAddTest, WidthValidation) {
+  EXPECT_THROW(ripple_add(0, 0, false, 0), InvariantError);
+  EXPECT_THROW(ripple_add(0, 0, false, 65), InvariantError);
+  EXPECT_NO_THROW(ripple_add(~0ULL, 1, false, 64));
+}
+
+TEST(KeyedAccumulateTest, KeyZeroAdds) {
+  // k=0: acc + product.
+  EXPECT_EQ(keyed_accumulate_bitlevel(100, 23, false, 32), 123u);
+  EXPECT_EQ(keyed_accumulate_bitlevel(100, -23, false, 32), 77u);
+}
+
+TEST(KeyedAccumulateTest, KeyOneSubtracts) {
+  // k=1: the XOR bank + carry-in computes acc - product (two's complement).
+  EXPECT_EQ(keyed_accumulate_bitlevel(100, 23, true, 32), 77u);
+  EXPECT_EQ(static_cast<std::int32_t>(
+                keyed_accumulate_bitlevel(0, 23, true, 32)),
+            -23);
+  EXPECT_EQ(keyed_accumulate_bitlevel(100, -23, true, 32), 123u);
+}
+
+TEST(KeyedAccumulateTest, Int16ExtremesBothKeys) {
+  // INT16_MIN's two's complement does not fit int16 — the 32-bit chain must
+  // still produce +32768.
+  EXPECT_EQ(static_cast<std::int32_t>(keyed_accumulate_bitlevel(
+                0, std::numeric_limits<std::int16_t>::min(), true, 32)),
+            32768);
+  EXPECT_EQ(static_cast<std::int32_t>(keyed_accumulate_bitlevel(
+                0, std::numeric_limits<std::int16_t>::max(), true, 32)),
+            -32767);
+  EXPECT_EQ(static_cast<std::int32_t>(keyed_accumulate_bitlevel(
+                0, std::numeric_limits<std::int16_t>::min(), false, 32)),
+            -32768);
+}
+
+TEST(KeyedAccumulateTest, ExhaustiveOverProductsSampled) {
+  // Sweep the 16-bit product range (stride keeps runtime sane) against
+  // native arithmetic for both key values and random accumulator states.
+  Rng rng(2);
+  for (std::int32_t p = -32768; p <= 32767; p += 97) {
+    const auto product = static_cast<std::int16_t>(p);
+    const auto acc = static_cast<std::uint32_t>(rng());
+    const auto plus =
+        keyed_accumulate_bitlevel(acc, product, false, 32);
+    const auto minus =
+        keyed_accumulate_bitlevel(acc, product, true, 32);
+    EXPECT_EQ(plus, static_cast<std::uint32_t>(
+                        acc + static_cast<std::uint32_t>(
+                                  static_cast<std::int32_t>(product))));
+    EXPECT_EQ(minus, static_cast<std::uint32_t>(
+                         acc - static_cast<std::uint32_t>(
+                                   static_cast<std::int32_t>(product))));
+  }
+}
+
+TEST(KeyedAccumulateTest, SequenceComputesNegatedSum) {
+  // Accumulating a stream through a k=1 unit yields exactly -Σ products.
+  Rng rng(3);
+  std::uint64_t acc = 0;
+  std::int64_t expected = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto p = static_cast<std::int16_t>(rng() & 0xFFFF);
+    acc = keyed_accumulate_bitlevel(acc, p, true, 32);
+    expected -= p;
+  }
+  EXPECT_EQ(static_cast<std::int32_t>(acc),
+            static_cast<std::int32_t>(expected));
+}
+
+TEST(KeyedAccumulateTest, WidthValidation) {
+  EXPECT_THROW(keyed_accumulate_bitlevel(0, 1, false, 16), InvariantError);
+  EXPECT_NO_THROW(keyed_accumulate_bitlevel(0, 1, false, 17));
+}
+
+TEST(KeyedAccumulateTest, XorGateCountIsSixteen) {
+  // The paper's Fig. 4(b): one XOR per product bit.
+  EXPECT_EQ(kXorGatesPerAccumulator, 16);
+}
+
+}  // namespace
+}  // namespace hpnn::hw

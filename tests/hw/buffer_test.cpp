@@ -1,0 +1,69 @@
+#include "hw/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace hpnn::hw {
+namespace {
+
+TEST(BufferTest, AllocFreeAccounting) {
+  UnifiedBuffer buf(1000);
+  buf.alloc("weights", 600);
+  EXPECT_EQ(buf.in_use(), 600);
+  buf.alloc("acts", 300);
+  EXPECT_EQ(buf.in_use(), 900);
+  EXPECT_EQ(buf.peak_usage(), 900);
+  buf.free("weights");
+  EXPECT_EQ(buf.in_use(), 300);
+  EXPECT_EQ(buf.peak_usage(), 900);  // peak sticks
+  EXPECT_TRUE(buf.has("acts"));
+  EXPECT_FALSE(buf.has("weights"));
+  EXPECT_EQ(buf.size_of("acts"), 300);
+}
+
+TEST(BufferTest, OverCapacityThrows) {
+  UnifiedBuffer buf(100);
+  buf.alloc("a", 80);
+  EXPECT_THROW(buf.alloc("b", 21), InvariantError);
+  EXPECT_NO_THROW(buf.alloc("b", 20));
+}
+
+TEST(BufferTest, DuplicateAndUnknownNames) {
+  UnifiedBuffer buf(100);
+  buf.alloc("a", 10);
+  EXPECT_THROW(buf.alloc("a", 10), InvariantError);
+  EXPECT_THROW(buf.free("ghost"), InvariantError);
+  EXPECT_THROW(buf.size_of("ghost"), InvariantError);
+  EXPECT_THROW(buf.record_read("ghost", 1), InvariantError);
+}
+
+TEST(BufferTest, TrafficCounters) {
+  UnifiedBuffer buf(1000);
+  buf.alloc("w", 100);
+  buf.record_read("w", 400);   // streamed 4x
+  buf.record_write("w", 100);
+  EXPECT_EQ(buf.bytes_read(), 400u);
+  EXPECT_EQ(buf.bytes_written(), 100u);
+}
+
+TEST(BufferTest, ResetClearsEverything) {
+  UnifiedBuffer buf(1000);
+  buf.alloc("a", 500);
+  buf.record_read("a", 10);
+  buf.reset();
+  EXPECT_EQ(buf.in_use(), 0);
+  EXPECT_EQ(buf.peak_usage(), 0);
+  EXPECT_EQ(buf.bytes_read(), 0u);
+  EXPECT_FALSE(buf.has("a"));
+  EXPECT_NO_THROW(buf.alloc("a", 1000));
+}
+
+TEST(BufferTest, DefaultIsTpuSized) {
+  UnifiedBuffer buf;
+  EXPECT_EQ(buf.capacity(), 24ll << 20);
+  EXPECT_THROW(UnifiedBuffer(0), InvariantError);
+}
+
+}  // namespace
+}  // namespace hpnn::hw

@@ -1,0 +1,54 @@
+#include "hw/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpnn::hw {
+namespace {
+
+MmuStats make_stats(std::uint64_t macs, std::uint64_t outputs,
+                    std::uint64_t locked, std::uint64_t tiles) {
+  MmuStats s;
+  s.mac_ops = macs;
+  s.outputs = outputs;
+  s.locked_outputs = locked;
+  s.weight_tile_loads = tiles;
+  return s;
+}
+
+TEST(EnergyTest, ZeroStatsZeroEnergy) {
+  const auto r = estimate_energy(MmuStats{});
+  EXPECT_DOUBLE_EQ(r.total_pj(), 0.0);
+  EXPECT_DOUBLE_EQ(r.locking_overhead(), 0.0);
+}
+
+TEST(EnergyTest, MacEnergyScalesLinearly) {
+  const auto a = estimate_energy(make_stats(1000, 100, 0, 1));
+  const auto b = estimate_energy(make_stats(2000, 100, 0, 1));
+  EXPECT_DOUBLE_EQ(b.mac_pj, 2.0 * a.mac_pj);
+}
+
+TEST(EnergyTest, KnownValues) {
+  EnergyModel m;
+  const auto r = estimate_energy(make_stats(1000, 100, 0, 2), m);
+  EXPECT_DOUBLE_EQ(r.mac_pj, 1000 * (m.mult_8b_pj + m.add_32b_pj));
+  EXPECT_DOUBLE_EQ(r.weight_traffic_pj, 2.0 * 256 * 256 * m.sram_byte_pj);
+  EXPECT_DOUBLE_EQ(r.locking_pj, 0.0);
+}
+
+TEST(EnergyTest, LockingEnergyProportionalToLockedFraction) {
+  const auto half = estimate_energy(make_stats(1000, 100, 50, 1));
+  const auto full = estimate_energy(make_stats(1000, 100, 100, 1));
+  EXPECT_GT(half.locking_pj, 0.0);
+  EXPECT_DOUBLE_EQ(full.locking_pj, 2.0 * half.locking_pj);
+}
+
+TEST(EnergyTest, LockingOverheadIsSmall) {
+  // Even with every output locked, the XOR bank costs a few percent of the
+  // MAC energy — the energy-side analogue of the paper's area claim.
+  const auto r = estimate_energy(make_stats(1000000, 10000, 10000, 16));
+  EXPECT_GT(r.locking_overhead(), 0.0);
+  EXPECT_LT(r.locking_overhead(), 0.05);
+}
+
+}  // namespace
+}  // namespace hpnn::hw

@@ -1,0 +1,62 @@
+#include "hw/overhead.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace hpnn::hw {
+namespace {
+
+TEST(OverheadTest, TpuLikeXorCountIs4096) {
+  // Sec. III-D3: 256 accumulators x 16 XOR gates = 4096 gates.
+  const auto report = mmu_overhead(256);
+  EXPECT_EQ(report.accumulator_units, 256);
+  EXPECT_EQ(report.xor_gates_added, 4096);
+}
+
+TEST(OverheadTest, ZeroCycleOverhead) {
+  EXPECT_EQ(mmu_overhead(256).cycle_overhead, 0);
+}
+
+TEST(OverheadTest, ReferenceMmuOverheadBelowHalfPercent) {
+  // The paper's headline: < 0.5% against a ~1e6-gate MMU [16].
+  const auto report = mmu_overhead(256);
+  EXPECT_LT(report.overhead_vs_reference(1000000), 0.005);
+  EXPECT_GT(report.overhead_vs_reference(1000000), 0.0);
+}
+
+TEST(OverheadTest, FullArrayOverheadIsTiny) {
+  const auto report = mmu_overhead(256);
+  EXPECT_GT(report.baseline_gates, 1000000);  // 256x256 MACs >> 1e6 gates
+  EXPECT_LT(report.overhead_vs_full_array(), 0.0005);
+}
+
+TEST(OverheadTest, ScalesWithArrayDim) {
+  const auto small = mmu_overhead(16);
+  const auto big = mmu_overhead(256);
+  EXPECT_EQ(small.xor_gates_added, 16 * 16);
+  EXPECT_LT(small.baseline_gates, big.baseline_gates);
+  EXPECT_EQ(small.mac_count, 256);
+}
+
+TEST(OverheadTest, GateModelKnobs) {
+  GateModel model;
+  model.gates_per_xor = 2;  // e.g. a different cell library
+  const auto report = mmu_overhead(256, model);
+  EXPECT_EQ(report.xor_gates_added, 8192);
+}
+
+TEST(OverheadTest, Validation) {
+  EXPECT_THROW(mmu_overhead(0), InvariantError);
+  EXPECT_THROW(mmu_overhead(256).overhead_vs_reference(0), InvariantError);
+}
+
+TEST(OverheadTest, ReportToStringMentionsKeyNumbers) {
+  const auto report = mmu_overhead(256);
+  const std::string s = report.to_string();
+  EXPECT_NE(s.find("4096"), std::string::npos);
+  EXPECT_NE(s.find("+0 cycles"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpnn::hw

@@ -1,0 +1,56 @@
+#include "hw/secure_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "hw/device.hpp"
+
+namespace hpnn::hw {
+namespace {
+
+obf::HpnnKey some_key() {
+  Rng rng(1);
+  return obf::HpnnKey::random(rng);
+}
+
+TEST(SecureKeyStoreTest, StartsUnprovisioned) {
+  SecureKeyStore store;
+  EXPECT_FALSE(store.provisioned());
+  EXPECT_FALSE(store.sealed());
+  EXPECT_THROW(store.export_key(), KeyError);
+  EXPECT_THROW(store.export_schedule_seed(), KeyError);
+}
+
+TEST(SecureKeyStoreTest, ProvisionThenExportBeforeSeal) {
+  SecureKeyStore store;
+  const auto key = some_key();
+  store.provision(key, 99);
+  EXPECT_TRUE(store.provisioned());
+  EXPECT_EQ(store.export_key(), key);
+  EXPECT_EQ(store.export_schedule_seed(), 99u);
+}
+
+TEST(SecureKeyStoreTest, ProvisionIsWriteOnce) {
+  SecureKeyStore store;
+  store.provision(some_key(), 1);
+  EXPECT_THROW(store.provision(some_key(), 2), KeyError);
+}
+
+TEST(SecureKeyStoreTest, SealForbidsExport) {
+  SecureKeyStore store;
+  store.provision(some_key(), 7);
+  store.seal();
+  EXPECT_TRUE(store.sealed());
+  EXPECT_THROW(store.export_key(), KeyError);
+  EXPECT_THROW(store.export_schedule_seed(), KeyError);
+}
+
+TEST(SecureKeyStoreTest, DeviceSealsOnConstruction) {
+  TrustedDevice device(some_key(), 5);
+  EXPECT_TRUE(device.key_store().provisioned());
+  EXPECT_TRUE(device.key_store().sealed());
+  EXPECT_THROW(device.key_store().export_key(), KeyError);
+}
+
+}  // namespace
+}  // namespace hpnn::hw

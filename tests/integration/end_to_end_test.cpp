@@ -1,0 +1,213 @@
+// Full HPNN lifecycle (Fig. 1): owner trains with key-dependent
+// backpropagation -> publishes the obfuscated model -> an authorized user
+// runs it on the trusted device (int8 datapath, sealed key) -> an attacker
+// loads the same artifact into the baseline architecture and fails.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "attack/finetune.hpp"
+#include "data/augment.hpp"
+#include "data/synthetic.hpp"
+#include "hpnn/owner.hpp"
+#include "hw/device.hpp"
+#include "nn/trainer.hpp"
+
+namespace hpnn {
+namespace {
+
+TEST(EndToEndTest, FullLifecycle) {
+  // ---- 1. Owner side: data + key-dependent training -------------------
+  data::SyntheticConfig dc;
+  dc.train_per_class = 80;
+  dc.test_per_class = 20;
+  dc.image_size = 16;
+  dc.noise_stddev = 0.06;  // easy difficulty keeps this lifecycle test fast
+  dc.jitter = 0.08;
+  dc.seed = 31;
+  const auto split =
+      data::make_dataset(data::SyntheticFamily::kFashionSynth, dc);
+
+  models::ModelConfig mc;
+  mc.in_channels = 1;
+  mc.image_size = 16;
+  mc.init_seed = 8;
+
+  Rng krng(2024);
+  const obf::HpnnKey key = obf::HpnnKey::random(krng);
+  const std::uint64_t schedule_seed = 0xC0FFEE;
+  obf::Scheduler sched(schedule_seed);
+  obf::LockedModel owner_model(models::Architecture::kCnn1, mc, key, sched);
+
+  obf::OwnerTrainOptions topt;
+  topt.epochs = 6;
+  topt.sgd = {0.01, 0.9, 5e-4};
+  const auto report =
+      obf::train_locked_model(owner_model, split.train, split.test, topt);
+  ASSERT_GT(report.test_accuracy, 0.8) << "owner training failed";
+
+  // ---- 2. Publish to the model zoo (no key in the artifact) -----------
+  std::stringstream zoo;
+  obf::publish_model(zoo, owner_model);
+  const obf::PublishedModel artifact = obf::read_published_model(zoo);
+  EXPECT_EQ(zoo.str().find(key.to_hex()), std::string::npos);
+
+  // ---- 3. Authorized user: trusted device with sealed key -------------
+  hw::TrustedDevice device(key, schedule_seed);
+  device.load_model(artifact);
+  std::int64_t correct = 0;
+  const std::int64_t n = split.test.size();
+  const std::int64_t sample = split.test.images.numel() / n;
+  for (std::int64_t at = 0; at < n; at += 50) {
+    const std::int64_t count = std::min<std::int64_t>(50, n - at);
+    Tensor batch(Shape{count, 1, 16, 16},
+                 std::vector<float>(
+                     split.test.images.data() + at * sample,
+                     split.test.images.data() + (at + count) * sample));
+    const auto pred = device.classify(batch);
+    for (std::int64_t i = 0; i < count; ++i) {
+      correct += (pred[static_cast<std::size_t>(i)] ==
+                  split.test.labels[static_cast<std::size_t>(at + i)]);
+    }
+  }
+  const double device_acc = static_cast<double>(correct) / n;
+  EXPECT_GT(device_acc, report.test_accuracy - 0.1)
+      << "trusted device lost too much accuracy to quantization";
+
+  // ---- 4. Attacker: baseline architecture, no key ---------------------
+  auto stolen = obf::instantiate_baseline(artifact);
+  const double attacker_acc = nn::evaluate_accuracy(
+      *stolen, split.test.images, split.test.labels);
+  EXPECT_LT(attacker_acc, 0.35) << "obfuscation failed to collapse accuracy";
+  EXPECT_GT(report.test_accuracy - attacker_acc, 0.45)
+      << "accuracy drop too small";
+
+  // ---- 5. Attacker with thief data still below the owner --------------
+  Rng trng(77);
+  const data::Dataset thief = data::thief_subset(split.train, 0.1, trng);
+  attack::FineTuneOptions fopt;
+  fopt.epochs = 5;
+  fopt.sgd = {0.01, 0.9, 5e-4};
+  const auto ft = attack::finetune_attack(
+      artifact, thief, split.test, attack::InitStrategy::kStolenWeights,
+      fopt);
+  EXPECT_LT(ft.final_accuracy, report.test_accuracy);
+}
+
+TEST(EndToEndTest, OwnerTrainingWithAugmentationAndSchedules) {
+  // Exercises the full owner-side training toolchain: augmented data
+  // (shift/flip/cutout/noise), cosine lr annealing and gradient clipping on
+  // a key-locked network — the pieces compose without interfering with
+  // key-dependent backpropagation.
+  data::SyntheticConfig dc;
+  dc.train_per_class = 60;
+  dc.test_per_class = 15;
+  dc.image_size = 16;
+  dc.noise_stddev = 0.06;
+  dc.jitter = 0.08;
+  dc.seed = 13;
+  const auto split =
+      data::make_dataset(data::SyntheticFamily::kFashionSynth, dc);
+
+  data::AugmentConfig ac;
+  ac.shift_pixels = 1;
+  ac.hflip_prob = 0.5;
+  ac.erase_prob = 0.2;
+  const data::Dataset augmented = data::augment_dataset(split.train, ac, 7);
+  const data::Dataset train = data::concat(split.train, augmented);
+  ASSERT_EQ(train.size(), 2 * split.train.size());
+
+  Rng krng(77);
+  const obf::HpnnKey key = obf::HpnnKey::random(krng);
+  obf::Scheduler sched(5);
+  models::ModelConfig mc;
+  mc.in_channels = 1;
+  mc.image_size = 16;
+  mc.init_seed = 9;
+  obf::LockedModel model(models::Architecture::kCnn1, mc, key, sched);
+
+  nn::SoftmaxCrossEntropy loss;
+  nn::Sgd opt(nn::parameters_of(model.network()), {0.02, 0.9, 5e-4});
+  nn::CosineLr schedule(opt, /*total_epochs=*/6, /*min_lr=*/1e-3);
+  const std::size_t n = train.labels.size();
+  Rng shuffle_rng(3);
+  model.network().set_training(true);
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    const auto order = shuffle_rng.permutation(n);
+    for (std::size_t at = 0; at < n; at += 32) {
+      const std::size_t count = std::min<std::size_t>(32, n - at);
+      auto [batch, labels] =
+          nn::gather_batch(train.images, train.labels, order, at, count);
+      nn::zero_grads(model.network());
+      const Tensor scores = model.network().forward(batch);
+      (void)loss.forward(scores, labels);
+      model.network().backward(loss.backward());
+      (void)nn::clip_grad_norm(nn::parameters_of(model.network()), 5.0);
+      opt.step();
+    }
+    schedule.epoch_end();
+  }
+  EXPECT_LT(opt.lr(), 0.02);  // cosine schedule actually annealed
+
+  const double with_key = nn::evaluate_accuracy(
+      model.network(), split.test.images, split.test.labels);
+  model.remove_locks();
+  const double no_key = nn::evaluate_accuracy(
+      model.network(), split.test.images, split.test.labels);
+  EXPECT_GT(with_key, 0.75);
+  EXPECT_LT(no_key, with_key - 0.35);
+}
+
+TEST(EndToEndTest, SameKeyDifferentModelsShareDevice) {
+  // A model owner can train several DNNs with the same HPNN key (Sec. III-A)
+  // and an end-user's single device runs them all.
+  data::SyntheticConfig dc;
+  dc.train_per_class = 30;
+  dc.test_per_class = 10;
+  dc.image_size = 16;
+  dc.seed = 41;
+  const auto fashion =
+      data::make_dataset(data::SyntheticFamily::kFashionSynth, dc);
+  const auto digits =
+      data::make_dataset(data::SyntheticFamily::kDigitSynth, dc);
+
+  Rng krng(55);
+  const obf::HpnnKey key = obf::HpnnKey::random(krng);
+  const std::uint64_t schedule_seed = 99;
+  obf::Scheduler sched(schedule_seed);
+
+  models::ModelConfig mc1;
+  mc1.in_channels = 1;
+  mc1.image_size = 16;
+  mc1.init_seed = 1;
+  obf::LockedModel m1(models::Architecture::kCnn1, mc1, key, sched);
+
+  models::ModelConfig mc3;
+  mc3.in_channels = 3;
+  mc3.image_size = 16;
+  mc3.init_seed = 2;
+  mc3.width_mult = 0.5;
+  obf::LockedModel m3(models::Architecture::kCnn3, mc3, key, sched);
+
+  obf::OwnerTrainOptions topt;
+  topt.epochs = 3;
+  topt.sgd = {0.01, 0.9, 5e-4};
+  (void)obf::train_locked_model(m1, fashion.train, fashion.test, topt);
+  (void)obf::train_locked_model(m3, digits.train, digits.test, topt);
+
+  std::stringstream s1, s3;
+  obf::publish_model(s1, m1);
+  obf::publish_model(s3, m3);
+
+  hw::TrustedDevice device(key, schedule_seed);
+  device.load_model(obf::read_published_model(s1));
+  Rng rng(3);
+  EXPECT_EQ(device.infer(Tensor::normal(Shape{1, 1, 16, 16}, rng)).shape(),
+            Shape({1, 10}));
+  device.load_model(obf::read_published_model(s3));
+  EXPECT_EQ(device.infer(Tensor::normal(Shape{1, 3, 16, 16}, rng)).shape(),
+            Shape({1, 10}));
+}
+
+}  // namespace
+}  // namespace hpnn

@@ -1,0 +1,121 @@
+#include "nn/batchnorm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace hpnn::nn {
+namespace {
+
+TEST(BatchNormTest, NormalizesBatchStatistics) {
+  Rng rng(1);
+  BatchNorm2d bn(3, "bn");
+  bn.set_training(true);
+  const Tensor x = Tensor::normal(Shape{8, 3, 4, 4}, rng, 5.0f, 2.0f);
+  const Tensor y = bn.forward(x);
+
+  // Per-channel mean ~0, var ~1 after normalization (gamma=1, beta=0).
+  const std::int64_t plane = 16;
+  for (std::int64_t c = 0; c < 3; ++c) {
+    double sum = 0.0;
+    double sq = 0.0;
+    for (std::int64_t n = 0; n < 8; ++n) {
+      for (std::int64_t i = 0; i < plane; ++i) {
+        const float v = y.data()[(n * 3 + c) * plane + i];
+        sum += v;
+        sq += static_cast<double>(v) * v;
+      }
+    }
+    const double mean = sum / (8 * plane);
+    const double var = sq / (8 * plane) - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, GammaBetaApplied) {
+  Rng rng(2);
+  BatchNorm2d bn(1, "bn");
+  bn.gamma().value.fill(3.0f);
+  bn.beta().value.fill(-1.0f);
+  bn.set_training(true);
+  const Tensor x = Tensor::normal(Shape{4, 1, 8, 8}, rng);
+  const Tensor y = bn.forward(x);
+  double sum = 0.0;
+  for (const auto v : y.span()) {
+    sum += v;
+  }
+  EXPECT_NEAR(sum / y.numel(), -1.0, 1e-3);  // mean shifted to beta
+}
+
+TEST(BatchNormTest, RunningStatsConverge) {
+  Rng rng(3);
+  BatchNorm2d bn(2, "bn", /*momentum=*/0.5f);
+  bn.set_training(true);
+  for (int i = 0; i < 20; ++i) {
+    (void)bn.forward(Tensor::normal(Shape{16, 2, 4, 4}, rng, 4.0f, 1.0f));
+  }
+  EXPECT_NEAR(bn.running_mean().at(0), 4.0f, 0.2f);
+  EXPECT_NEAR(bn.running_var().at(0), 1.0f, 0.2f);
+}
+
+TEST(BatchNormTest, EvalUsesRunningStats) {
+  Rng rng(4);
+  BatchNorm2d bn(1, "bn", 0.5f);
+  bn.set_training(true);
+  for (int i = 0; i < 20; ++i) {
+    (void)bn.forward(Tensor::normal(Shape{16, 1, 4, 4}, rng, 2.0f, 1.0f));
+  }
+  bn.set_training(false);
+  // A constant input equal to the running mean must map to ~beta (0).
+  Tensor x(Shape{1, 1, 4, 4}, bn.running_mean().at(0));
+  const Tensor y = bn.forward(x);
+  EXPECT_NEAR(y.at(0), 0.0f, 1e-2f);
+}
+
+TEST(BatchNormTest, EvalIsDeterministicPerSample) {
+  Rng rng(5);
+  BatchNorm2d bn(2, "bn");
+  bn.set_training(true);
+  (void)bn.forward(Tensor::normal(Shape{8, 2, 3, 3}, rng));
+  bn.set_training(false);
+  const Tensor a = Tensor::normal(Shape{1, 2, 3, 3}, rng);
+  Tensor batch(Shape{2, 2, 3, 3});
+  std::copy(a.data(), a.data() + a.numel(), batch.data());
+  std::copy(a.data(), a.data() + a.numel(), batch.data() + a.numel());
+  const Tensor ya = bn.forward(a);
+  const Tensor yb = bn.forward(batch);
+  for (std::int64_t i = 0; i < ya.numel(); ++i) {
+    EXPECT_FLOAT_EQ(ya.at(i), yb.at(i));           // first sample
+    EXPECT_FLOAT_EQ(ya.at(i), yb.at(a.numel() + i));  // second sample
+  }
+}
+
+TEST(BatchNormTest, WrongChannelCountThrows) {
+  BatchNorm2d bn(3, "bn");
+  Tensor x(Shape{1, 2, 4, 4});
+  EXPECT_THROW(bn.forward(x), InvariantError);
+}
+
+TEST(BatchNormTest, SetRunningStatsValidatesShape) {
+  BatchNorm2d bn(3, "bn");
+  EXPECT_THROW(bn.set_running_stats(Tensor(Shape{2}), Tensor(Shape{3})),
+               InvariantError);
+  EXPECT_NO_THROW(
+      bn.set_running_stats(Tensor(Shape{3}), Tensor(Shape{3}, 1.0f)));
+}
+
+TEST(BatchNormTest, BuffersExposed) {
+  BatchNorm2d bn(2, "bn");
+  std::vector<std::pair<std::string, Tensor*>> buffers;
+  bn.collect_buffers(buffers);
+  ASSERT_EQ(buffers.size(), 2u);
+  EXPECT_EQ(buffers[0].first, "bn.running_mean");
+  EXPECT_EQ(buffers[1].first, "bn.running_var");
+}
+
+}  // namespace
+}  // namespace hpnn::nn

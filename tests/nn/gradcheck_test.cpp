@@ -1,0 +1,191 @@
+// Central-difference gradient verification of every layer's backward().
+#include "nn/gradcheck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/batchnorm.hpp"
+#include "nn/layers.hpp"
+#include "nn/residual.hpp"
+
+namespace hpnn::nn {
+namespace {
+
+std::vector<std::int64_t> labels_mod(std::int64_t n, std::int64_t classes) {
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    labels[static_cast<std::size_t>(i)] = i % classes;
+  }
+  return labels;
+}
+
+TEST(GradCheckTest, LinearLayer) {
+  Rng rng(1);
+  Sequential net;
+  net.add(std::make_unique<Linear>(6, 4, rng, "fc"));
+  SoftmaxCrossEntropy loss;
+  const Tensor x = Tensor::normal(Shape{3, 6}, rng);
+  const auto labels = labels_mod(3, 4);
+  EXPECT_TRUE(check_input_gradient(net, loss, x, labels).ok);
+  EXPECT_TRUE(check_parameter_gradients(net, loss, x, labels).ok);
+}
+
+TEST(GradCheckTest, TwoLayerMlpWithRelu) {
+  Rng rng(2);
+  Sequential net;
+  net.add(std::make_unique<Linear>(5, 8, rng, "fc1"));
+  net.add(std::make_unique<ReLU>("r"));
+  net.add(std::make_unique<Linear>(8, 3, rng, "fc2"));
+  SoftmaxCrossEntropy loss;
+  const Tensor x = Tensor::normal(Shape{4, 5}, rng);
+  const auto labels = labels_mod(4, 3);
+  EXPECT_TRUE(check_input_gradient(net, loss, x, labels).ok);
+  EXPECT_TRUE(check_parameter_gradients(net, loss, x, labels).ok);
+}
+
+TEST(GradCheckTest, ConvPoolNetwork) {
+  Rng rng(3);
+  Sequential net;
+  net.add(std::make_unique<Conv2d>(ops::Conv2dGeometry{2, 6, 6, 3, 1, 1}, 3,
+                                   rng, "c1"));
+  net.add(std::make_unique<ReLU>("r1"));
+  net.add(std::make_unique<MaxPool2d>(2, 2, "p1"));
+  net.add(std::make_unique<Flatten>());
+  net.add(std::make_unique<Linear>(3 * 3 * 3, 4, rng, "fc"));
+  SoftmaxCrossEntropy loss;
+  const Tensor x = Tensor::normal(Shape{2, 2, 6, 6}, rng);
+  const auto labels = labels_mod(2, 4);
+  const auto in_res = check_input_gradient(net, loss, x, labels);
+  EXPECT_TRUE(in_res.ok) << "rel err " << in_res.max_rel_err;
+  const auto par_res = check_parameter_gradients(net, loss, x, labels);
+  EXPECT_TRUE(par_res.ok) << "rel err " << par_res.max_rel_err;
+}
+
+TEST(GradCheckTest, StridedPaddedConv) {
+  Rng rng(4);
+  Sequential net;
+  net.add(std::make_unique<Conv2d>(ops::Conv2dGeometry{1, 7, 7, 3, 2, 1}, 2,
+                                   rng, "c"));
+  net.add(std::make_unique<Flatten>());
+  net.add(std::make_unique<Linear>(2 * 4 * 4, 3, rng, "fc"));
+  SoftmaxCrossEntropy loss;
+  const Tensor x = Tensor::normal(Shape{2, 1, 7, 7}, rng);
+  const auto labels = labels_mod(2, 3);
+  EXPECT_TRUE(check_parameter_gradients(net, loss, x, labels).ok);
+}
+
+TEST(GradCheckTest, BatchNormTrainMode) {
+  Rng rng(5);
+  Sequential net;
+  net.add(std::make_unique<Conv2d>(ops::Conv2dGeometry{1, 5, 5, 3, 1, 1}, 4,
+                                   rng, "c"));
+  net.add(std::make_unique<BatchNorm2d>(4, "bn"));
+  net.add(std::make_unique<ReLU>("r"));
+  net.add(std::make_unique<Flatten>());
+  net.add(std::make_unique<Linear>(4 * 5 * 5, 3, rng, "fc"));
+  net.set_training(true);
+  SoftmaxCrossEntropy loss;
+  const Tensor x = Tensor::normal(Shape{4, 1, 5, 5}, rng);
+  const auto labels = labels_mod(4, 3);
+  GradCheckOptions opts;
+  opts.tolerance = 5e-2;  // batch-stat coupling amplifies fp noise slightly
+  const auto res = check_parameter_gradients(net, loss, x, labels, opts);
+  EXPECT_TRUE(res.ok) << "rel err " << res.max_rel_err;
+}
+
+TEST(GradCheckTest, BatchNormEvalMode) {
+  Rng rng(6);
+  Sequential net;
+  net.add(std::make_unique<BatchNorm2d>(2, "bn"));
+  net.add(std::make_unique<Flatten>());
+  net.add(std::make_unique<Linear>(2 * 4 * 4, 3, rng, "fc"));
+  // Populate running stats, then check gradients in eval mode (constants).
+  net.set_training(true);
+  (void)net.forward(Tensor::normal(Shape{4, 2, 4, 4}, rng));
+  net.set_training(false);
+  SoftmaxCrossEntropy loss;
+  const Tensor x = Tensor::normal(Shape{2, 2, 4, 4}, rng);
+  const auto labels = labels_mod(2, 3);
+  EXPECT_TRUE(check_input_gradient(net, loss, x, labels).ok);
+}
+
+TEST(GradCheckTest, ResidualBlockIdentityShortcut) {
+  Rng rng(7);
+  auto main = std::make_unique<Sequential>("main");
+  main->add(std::make_unique<Conv2d>(ops::Conv2dGeometry{2, 4, 4, 3, 1, 1}, 2,
+                                     rng, "c1"));
+  main->add(std::make_unique<ReLU>("r1"));
+  main->add(std::make_unique<Conv2d>(ops::Conv2dGeometry{2, 4, 4, 3, 1, 1}, 2,
+                                     rng, "c2"));
+  Sequential net;
+  net.add(std::make_unique<Residual>(std::move(main), nullptr,
+                                     std::make_unique<ReLU>("post"), "res"));
+  net.add(std::make_unique<Flatten>());
+  net.add(std::make_unique<Linear>(2 * 4 * 4, 3, rng, "fc"));
+  SoftmaxCrossEntropy loss;
+  const Tensor x = Tensor::normal(Shape{2, 2, 4, 4}, rng);
+  const auto labels = labels_mod(2, 3);
+  EXPECT_TRUE(check_input_gradient(net, loss, x, labels).ok);
+  EXPECT_TRUE(check_parameter_gradients(net, loss, x, labels).ok);
+}
+
+TEST(GradCheckTest, ResidualBlockProjectionShortcut) {
+  Rng rng(8);
+  auto main = std::make_unique<Sequential>("main");
+  main->add(std::make_unique<Conv2d>(ops::Conv2dGeometry{2, 4, 4, 3, 2, 1}, 4,
+                                     rng, "c1"));
+  auto shortcut = std::make_unique<Sequential>("sc");
+  shortcut->add(std::make_unique<Conv2d>(
+      ops::Conv2dGeometry{2, 4, 4, 1, 2, 0}, 4, rng, "proj"));
+  Sequential net;
+  net.add(std::make_unique<Residual>(std::move(main), std::move(shortcut),
+                                     std::make_unique<ReLU>("post"), "res"));
+  net.add(std::make_unique<Flatten>());
+  net.add(std::make_unique<Linear>(4 * 2 * 2, 3, rng, "fc"));
+  SoftmaxCrossEntropy loss;
+  const Tensor x = Tensor::normal(Shape{2, 2, 4, 4}, rng);
+  const auto labels = labels_mod(2, 3);
+  EXPECT_TRUE(check_parameter_gradients(net, loss, x, labels).ok);
+}
+
+TEST(GradCheckTest, MseLossGradient) {
+  Rng rng(9);
+  Sequential net;
+  net.add(std::make_unique<Linear>(4, 3, rng, "fc"));
+  MseOneHot loss;
+  const Tensor x = Tensor::normal(Shape{3, 4}, rng);
+  const auto labels = labels_mod(3, 3);
+  EXPECT_TRUE(check_input_gradient(net, loss, x, labels).ok);
+  EXPECT_TRUE(check_parameter_gradients(net, loss, x, labels).ok);
+}
+
+TEST(GradCheckTest, AvgPoolPath) {
+  Rng rng(11);
+  Sequential net;
+  net.add(std::make_unique<Conv2d>(ops::Conv2dGeometry{1, 6, 6, 3, 1, 1}, 3,
+                                   rng, "c"));
+  net.add(std::make_unique<AvgPool2d>(2, 2, "ap"));
+  net.add(std::make_unique<Flatten>());
+  net.add(std::make_unique<Linear>(3 * 3 * 3, 3, rng, "fc"));
+  SoftmaxCrossEntropy loss;
+  const Tensor x = Tensor::normal(Shape{2, 1, 6, 6}, rng);
+  const auto labels = labels_mod(2, 3);
+  EXPECT_TRUE(check_input_gradient(net, loss, x, labels).ok);
+  EXPECT_TRUE(check_parameter_gradients(net, loss, x, labels).ok);
+}
+
+TEST(GradCheckTest, GlobalAvgPoolPath) {
+  Rng rng(10);
+  Sequential net;
+  net.add(std::make_unique<Conv2d>(ops::Conv2dGeometry{1, 6, 6, 3, 1, 1}, 4,
+                                   rng, "c"));
+  net.add(std::make_unique<ReLU>("r"));
+  net.add(std::make_unique<GlobalAvgPool>());
+  net.add(std::make_unique<Linear>(4, 3, rng, "fc"));
+  SoftmaxCrossEntropy loss;
+  const Tensor x = Tensor::normal(Shape{2, 1, 6, 6}, rng);
+  const auto labels = labels_mod(2, 3);
+  EXPECT_TRUE(check_parameter_gradients(net, loss, x, labels).ok);
+}
+
+}  // namespace
+}  // namespace hpnn::nn

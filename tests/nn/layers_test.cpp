@@ -1,0 +1,166 @@
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace hpnn::nn {
+namespace {
+
+TEST(LinearTest, KnownValuesForward) {
+  Rng rng(1);
+  Linear fc(2, 2, rng, "fc");
+  // overwrite with known weights: y = [ [1,2],[3,4] ] x + [10, 20]
+  fc.weight().value = Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3, 4});
+  fc.bias()->value = Tensor(Shape{2}, std::vector<float>{10, 20});
+  Tensor x(Shape{1, 2}, std::vector<float>{5, 6});
+  const Tensor y = fc.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1 * 5 + 2 * 6 + 10);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 3 * 5 + 4 * 6 + 20);
+}
+
+TEST(LinearTest, NoBiasOption) {
+  Rng rng(2);
+  Linear fc(3, 2, rng, "fc", /*bias=*/false);
+  EXPECT_EQ(fc.bias(), nullptr);
+  std::vector<Parameter*> params;
+  fc.collect_parameters(params);
+  EXPECT_EQ(params.size(), 1u);
+}
+
+TEST(LinearTest, WrongInputWidthThrows) {
+  Rng rng(3);
+  Linear fc(3, 2, rng);
+  Tensor x(Shape{1, 4});
+  EXPECT_THROW(fc.forward(x), InvariantError);
+}
+
+TEST(LinearTest, BackwardBeforeForwardThrows) {
+  Rng rng(4);
+  Linear fc(3, 2, rng);
+  Tensor g(Shape{1, 2});
+  EXPECT_THROW(fc.backward(g), InvariantError);
+}
+
+TEST(LinearTest, GradAccumulatesAcrossCalls) {
+  Rng rng(5);
+  Linear fc(2, 1, rng, "fc", false);
+  Tensor x(Shape{1, 2}, std::vector<float>{1, 1});
+  Tensor g(Shape{1, 1}, 1.0f);
+  (void)fc.forward(x);
+  (void)fc.backward(g);
+  const float after_one = fc.weight().grad.at(0);
+  (void)fc.forward(x);
+  (void)fc.backward(g);
+  EXPECT_FLOAT_EQ(fc.weight().grad.at(0), 2 * after_one);
+}
+
+TEST(ReLUTest, ClampsNegative) {
+  ReLU relu;
+  Tensor x(Shape{1, 4}, std::vector<float>{-2, -0.5f, 0, 3});
+  const Tensor y = relu.forward(x);
+  EXPECT_EQ(y.at(0), 0.0f);
+  EXPECT_EQ(y.at(1), 0.0f);
+  EXPECT_EQ(y.at(2), 0.0f);
+  EXPECT_EQ(y.at(3), 3.0f);
+}
+
+TEST(ReLUTest, BackwardGatesGradient) {
+  ReLU relu;
+  Tensor x(Shape{1, 3}, std::vector<float>{-1, 0, 2});
+  (void)relu.forward(x);
+  Tensor g(Shape{1, 3}, std::vector<float>{10, 10, 10});
+  const Tensor gx = relu.backward(g);
+  EXPECT_EQ(gx.at(0), 0.0f);
+  EXPECT_EQ(gx.at(1), 0.0f);  // convention: gradient 0 at the kink
+  EXPECT_EQ(gx.at(2), 10.0f);
+}
+
+TEST(FlattenTest, RoundTrip) {
+  Flatten f;
+  Tensor x = Tensor::arange(Shape{2, 3, 2, 2});
+  const Tensor y = f.forward(x);
+  EXPECT_EQ(y.shape(), Shape({2, 12}));
+  const Tensor gx = f.backward(Tensor(y.shape(), 1.0f));
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  Dropout d(0.5, 42);
+  d.set_training(false);
+  Tensor x(Shape{1, 8}, 3.0f);
+  const Tensor y = d.forward(x);
+  EXPECT_TRUE(y.allclose(x, 0.0f, 0.0f));
+}
+
+TEST(DropoutTest, TrainModeZeroesAndScales) {
+  Dropout d(0.5, 42);
+  d.set_training(true);
+  Tensor x(Shape{1, 1000}, 1.0f);
+  const Tensor y = d.forward(x);
+  std::int64_t zeros = 0;
+  for (const auto v : y.span()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0f);  // inverted dropout scaling 1/(1-p)
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 1000.0, 0.5, 0.07);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Dropout d(0.3, 9);
+  d.set_training(true);
+  Tensor x(Shape{1, 100}, 1.0f);
+  const Tensor y = d.forward(x);
+  const Tensor gx = d.backward(Tensor(x.shape(), 1.0f));
+  EXPECT_TRUE(gx.allclose(y, 0.0f, 0.0f));
+}
+
+TEST(DropoutTest, InvalidProbabilityThrows) {
+  EXPECT_THROW(Dropout(1.0, 1), InvariantError);
+  EXPECT_THROW(Dropout(-0.1, 1), InvariantError);
+}
+
+TEST(Conv2dTest, OutputShape) {
+  Rng rng(6);
+  ops::Conv2dGeometry g{3, 8, 8, 3, 1, 1};
+  Conv2d conv(g, 5, rng, "c");
+  const Tensor x = Tensor::normal(Shape{2, 3, 8, 8}, rng);
+  EXPECT_EQ(conv.forward(x).shape(), Shape({2, 5, 8, 8}));
+}
+
+TEST(Conv2dTest, ParameterShapes) {
+  Rng rng(7);
+  ops::Conv2dGeometry g{3, 8, 8, 5, 1, 2};
+  Conv2d conv(g, 4, rng, "c");
+  EXPECT_EQ(conv.weight().value.shape(), Shape({4, 3, 5, 5}));
+  std::vector<Parameter*> params;
+  conv.collect_parameters(params);
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[1]->value.shape(), Shape({4}));
+}
+
+TEST(MaxPool2dModuleTest, ForwardBackward) {
+  MaxPool2d pool(2, 2);
+  Tensor x = Tensor::arange(Shape{1, 1, 4, 4});
+  const Tensor y = pool.forward(x);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  const Tensor gx = pool.backward(Tensor(y.shape(), 1.0f));
+  EXPECT_EQ(gx.shape(), x.shape());
+  EXPECT_FLOAT_EQ(gx.sum(), 4.0f);
+}
+
+TEST(GlobalAvgPoolModuleTest, ForwardBackward) {
+  GlobalAvgPool gap;
+  Tensor x(Shape{2, 3, 4, 4}, 2.0f);
+  const Tensor y = gap.forward(x);
+  EXPECT_EQ(y.shape(), Shape({2, 3}));
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.0f);
+  const Tensor gx = gap.backward(Tensor(y.shape(), 16.0f));
+  EXPECT_FLOAT_EQ(gx.at(0, 0, 0, 0), 1.0f);
+}
+
+}  // namespace
+}  // namespace hpnn::nn

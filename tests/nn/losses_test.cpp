@@ -1,0 +1,88 @@
+#include "nn/losses.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace hpnn::nn {
+namespace {
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy ce;
+  Tensor scores(Shape{2, 10});  // all-zero logits -> uniform
+  const float loss = ce.forward(scores, {0, 5});
+  EXPECT_NEAR(loss, std::log(10.0f), 1e-5);
+}
+
+TEST(CrossEntropyTest, ConfidentCorrectIsLowLoss) {
+  SoftmaxCrossEntropy ce;
+  Tensor scores(Shape{1, 3}, std::vector<float>{10.0f, -10.0f, -10.0f});
+  EXPECT_LT(ce.forward(scores, {0}), 1e-4f);
+  EXPECT_GT(ce.forward(scores, {1}), 10.0f);
+}
+
+TEST(CrossEntropyTest, GradientIsProbsMinusOneHot) {
+  SoftmaxCrossEntropy ce;
+  Tensor scores(Shape{1, 2}, std::vector<float>{0.0f, 0.0f});
+  (void)ce.forward(scores, {0});
+  const Tensor g = ce.backward();
+  EXPECT_NEAR(g.at(0, 0), (0.5f - 1.0f) / 1.0f, 1e-6);
+  EXPECT_NEAR(g.at(0, 1), 0.5f, 1e-6);
+}
+
+TEST(CrossEntropyTest, GradientScaledByBatch) {
+  SoftmaxCrossEntropy ce;
+  Tensor scores(Shape{4, 2});
+  (void)ce.forward(scores, {0, 0, 0, 0});
+  const Tensor g = ce.backward();
+  EXPECT_NEAR(g.at(0, 0), -0.5f / 4.0f, 1e-6);
+}
+
+TEST(CrossEntropyTest, LabelValidation) {
+  SoftmaxCrossEntropy ce;
+  Tensor scores(Shape{1, 3});
+  EXPECT_THROW(ce.forward(scores, {3}), InvariantError);
+  EXPECT_THROW(ce.forward(scores, {-1}), InvariantError);
+  EXPECT_THROW(ce.forward(scores, {0, 1}), InvariantError);
+}
+
+TEST(CrossEntropyTest, BackwardBeforeForwardThrows) {
+  SoftmaxCrossEntropy ce;
+  EXPECT_THROW(ce.backward(), InvariantError);
+}
+
+TEST(MseTest, PerfectOneHotIsZero) {
+  MseOneHot mse;
+  Tensor scores(Shape{1, 3}, std::vector<float>{0.0f, 1.0f, 0.0f});
+  EXPECT_FLOAT_EQ(mse.forward(scores, {1}), 0.0f);
+}
+
+TEST(MseTest, KnownValue) {
+  MseOneHot mse;
+  Tensor scores(Shape{1, 2}, std::vector<float>{0.5f, 0.5f});
+  // E = 1/2 [(1-0.5)^2 + (0-0.5)^2] = 0.25
+  EXPECT_FLOAT_EQ(mse.forward(scores, {0}), 0.25f);
+}
+
+TEST(MseTest, GradientIsOutMinusTarget) {
+  MseOneHot mse;
+  Tensor scores(Shape{1, 2}, std::vector<float>{0.3f, 0.8f});
+  (void)mse.forward(scores, {1});
+  const Tensor g = mse.backward();
+  EXPECT_NEAR(g.at(0, 0), 0.3f, 1e-6);
+  EXPECT_NEAR(g.at(0, 1), 0.8f - 1.0f, 1e-6);
+}
+
+TEST(AccuracyTest, CountsCorrectArgmax) {
+  Tensor scores(Shape{3, 2}, std::vector<float>{1, 0,  //
+                                                0, 1,  //
+                                                1, 0});
+  EXPECT_DOUBLE_EQ(accuracy(scores, {0, 1, 1}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy(scores, {0, 1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(scores, {1, 0, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace hpnn::nn

@@ -1,0 +1,112 @@
+#include "nn/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "nn/layers.hpp"
+#include "nn/trainer.hpp"
+
+namespace hpnn::nn {
+namespace {
+
+TEST(ConfusionMatrixTest, CountsObservations) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(2, 2);
+  EXPECT_EQ(cm.count(0, 0), 1);
+  EXPECT_EQ(cm.count(0, 1), 1);
+  EXPECT_EQ(cm.count(2, 2), 1);
+  EXPECT_EQ(cm.count(1, 1), 0);
+  EXPECT_EQ(cm.total(), 3);
+}
+
+TEST(ConfusionMatrixTest, AccuracyIsTraceOverTotal) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(1, 0);
+  cm.add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 3.0 / 4.0);
+}
+
+TEST(ConfusionMatrixTest, PrecisionRecall) {
+  ConfusionMatrix cm(2);
+  // class 0: 2 true, 1 recalled; predictions of 0: 1 correct out of 2.
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 0);
+  cm.add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 0.5);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 0.5);
+  EXPECT_DOUBLE_EQ(cm.balanced_accuracy(), 0.5);
+}
+
+TEST(ConfusionMatrixTest, EmptyClassHandling) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.balanced_accuracy(), 1.0);  // only class 0 non-empty
+}
+
+TEST(ConfusionMatrixTest, AddBatchUsesArgmax) {
+  ConfusionMatrix cm(2);
+  Tensor scores(Shape{2, 2}, std::vector<float>{0.9f, 0.1f,   //
+                                                0.2f, 0.8f});
+  cm.add_batch(scores, {0, 0});
+  EXPECT_EQ(cm.count(0, 0), 1);
+  EXPECT_EQ(cm.count(0, 1), 1);
+}
+
+TEST(ConfusionMatrixTest, Validation) {
+  EXPECT_THROW(ConfusionMatrix(0), InvariantError);
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), InvariantError);
+  EXPECT_THROW(cm.count(0, 5), InvariantError);
+}
+
+TEST(ConfusionMatrixTest, ToStringContainsCounts) {
+  ConfusionMatrix cm(2);
+  cm.add(1, 1);
+  const std::string s = cm.to_string();
+  EXPECT_NE(s.find("true\\pred"), std::string::npos);
+}
+
+TEST(TopkTest, Top1EqualsAccuracy) {
+  Tensor scores(Shape{3, 4}, std::vector<float>{1, 2, 3, 0,   //
+                                                5, 1, 0, 0,   //
+                                                0, 0, 0, 9});
+  EXPECT_DOUBLE_EQ(topk_accuracy(scores, {2, 0, 3}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(topk_accuracy(scores, {0, 0, 0}, 1), 1.0 / 3.0);
+}
+
+TEST(TopkTest, LargerKIsMoreForgiving) {
+  Tensor scores(Shape{1, 4}, std::vector<float>{4, 3, 2, 1});
+  EXPECT_DOUBLE_EQ(topk_accuracy(scores, {2}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(topk_accuracy(scores, {2}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(topk_accuracy(scores, {2}, 4), 1.0);
+}
+
+TEST(TopkTest, Validation) {
+  Tensor scores(Shape{1, 3});
+  EXPECT_THROW(topk_accuracy(scores, {0}, 0), InvariantError);
+  EXPECT_THROW(topk_accuracy(scores, {0}, 4), InvariantError);
+}
+
+TEST(EvaluateConfusionTest, MatchesEvaluateAccuracy) {
+  Rng rng(1);
+  Sequential net;
+  net.add(std::make_unique<Linear>(4, 3, rng, "fc"));
+  const Tensor x = Tensor::normal(Shape{10, 4}, rng);
+  std::vector<std::int64_t> labels(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    labels[i] = static_cast<std::int64_t>(i % 3);
+  }
+  const auto cm = evaluate_confusion(net, x, labels, 3, 4);
+  EXPECT_EQ(cm.total(), 10);
+  EXPECT_NEAR(cm.accuracy(), evaluate_accuracy(net, x, labels), 1e-12);
+}
+
+}  // namespace
+}  // namespace hpnn::nn

@@ -1,0 +1,93 @@
+#include "nn/module.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "nn/layers.hpp"
+
+namespace hpnn::nn {
+namespace {
+
+TEST(SequentialTest, ChainsForward) {
+  Rng rng(1);
+  Sequential seq("test");
+  seq.add(std::make_unique<Linear>(4, 3, rng, "fc1"));
+  seq.add(std::make_unique<ReLU>("r1"));
+  seq.add(std::make_unique<Linear>(3, 2, rng, "fc2"));
+  const Tensor x = Tensor::normal(Shape{5, 4}, rng);
+  const Tensor y = seq.forward(x);
+  EXPECT_EQ(y.shape(), Shape({5, 2}));
+}
+
+TEST(SequentialTest, CollectsParametersInOrder) {
+  Rng rng(2);
+  Sequential seq;
+  seq.add(std::make_unique<Linear>(4, 3, rng, "fc1"));
+  seq.add(std::make_unique<Linear>(3, 2, rng, "fc2"));
+  const auto params = parameters_of(seq);
+  ASSERT_EQ(params.size(), 4u);  // 2x (weight + bias)
+  EXPECT_EQ(params[0]->name, "fc1.weight");
+  EXPECT_EQ(params[1]->name, "fc1.bias");
+  EXPECT_EQ(params[2]->name, "fc2.weight");
+  EXPECT_EQ(params[3]->name, "fc2.bias");
+}
+
+TEST(SequentialTest, ParameterCount) {
+  Rng rng(3);
+  Sequential seq;
+  seq.add(std::make_unique<Linear>(4, 3, rng, "fc1", /*bias=*/true));
+  EXPECT_EQ(parameter_count(seq), 4 * 3 + 3);
+}
+
+TEST(SequentialTest, ZeroGradsClearsAll) {
+  Rng rng(4);
+  Sequential seq;
+  seq.add(std::make_unique<Linear>(2, 2, rng, "fc"));
+  auto params = parameters_of(seq);
+  params[0]->grad.fill(5.0f);
+  zero_grads(seq);
+  EXPECT_EQ(params[0]->grad.max(), 0.0f);
+}
+
+TEST(SequentialTest, AddNullThrows) {
+  Sequential seq;
+  EXPECT_THROW(seq.add(nullptr), InvariantError);
+}
+
+TEST(SequentialTest, AtBoundsChecked) {
+  Rng rng(5);
+  Sequential seq;
+  seq.add(std::make_unique<ReLU>());
+  EXPECT_NO_THROW(seq.at(0));
+  EXPECT_THROW(seq.at(1), InvariantError);
+}
+
+TEST(SequentialTest, TrainingFlagPropagates) {
+  Rng rng(6);
+  Sequential seq;
+  auto& drop = seq.add(std::make_unique<Dropout>(0.5, 1, "d"));
+  seq.set_training(false);
+  EXPECT_FALSE(drop.training());
+  seq.set_training(true);
+  EXPECT_TRUE(drop.training());
+}
+
+TEST(SequentialTest, BackwardReversesOrder) {
+  Rng rng(7);
+  Sequential seq;
+  seq.add(std::make_unique<Linear>(3, 3, rng, "fc1", false));
+  seq.add(std::make_unique<Linear>(3, 3, rng, "fc2", false));
+  const Tensor x = Tensor::normal(Shape{2, 3}, rng);
+  const Tensor y = seq.forward(x);
+  const Tensor gx = seq.backward(Tensor(y.shape(), 1.0f));
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(ParameterTest, GradMatchesValueShape) {
+  Parameter p("w", Tensor(Shape{3, 4}, 1.0f));
+  EXPECT_EQ(p.grad.shape(), p.value.shape());
+  EXPECT_EQ(p.grad.max(), 0.0f);
+}
+
+}  // namespace
+}  // namespace hpnn::nn

@@ -1,0 +1,167 @@
+#include "nn/optim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace hpnn::nn {
+namespace {
+
+Parameter make_param(float value, float grad) {
+  Parameter p("w", Tensor(Shape{1}, value));
+  p.grad.fill(grad);
+  return p;
+}
+
+TEST(SgdTest, PlainStep) {
+  Parameter p = make_param(1.0f, 0.5f);
+  Sgd opt({&p}, {.lr = 0.1, .momentum = 0.0, .weight_decay = 0.0});
+  opt.step();
+  EXPECT_NEAR(p.value.at(0), 1.0f - 0.1f * 0.5f, 1e-6);
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Parameter p = make_param(1.0f, 0.0f);
+  Sgd opt({&p}, {.lr = 0.1, .momentum = 0.0, .weight_decay = 0.5});
+  opt.step();
+  EXPECT_NEAR(p.value.at(0), 1.0f - 0.1f * 0.5f * 1.0f, 1e-6);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  Parameter p = make_param(0.0f, 1.0f);
+  Sgd opt({&p}, {.lr = 1.0, .momentum = 0.5, .weight_decay = 0.0});
+  opt.step();  // v=1, w=-1
+  EXPECT_NEAR(p.value.at(0), -1.0f, 1e-6);
+  opt.step();  // v=1.5, w=-2.5
+  EXPECT_NEAR(p.value.at(0), -2.5f, 1e-6);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  // minimize f(w) = (w-3)^2 by hand-computed gradients
+  Parameter p = make_param(0.0f, 0.0f);
+  Sgd opt({&p}, {.lr = 0.1, .momentum = 0.9, .weight_decay = 0.0});
+  for (int i = 0; i < 200; ++i) {
+    p.grad.fill(2.0f * (p.value.at(0) - 3.0f));
+    opt.step();
+  }
+  EXPECT_NEAR(p.value.at(0), 3.0f, 1e-3);
+}
+
+TEST(SgdTest, InvalidLrThrows) {
+  Parameter p = make_param(0.0f, 0.0f);
+  EXPECT_THROW(Sgd({&p}, {.lr = 0.0}), InvariantError);
+  EXPECT_THROW(Sgd({&p}, {.lr = -1.0}), InvariantError);
+}
+
+TEST(SgdTest, SetLrTakesEffect) {
+  Parameter p = make_param(1.0f, 1.0f);
+  Sgd opt({&p}, {.lr = 0.1});
+  opt.set_lr(0.2);
+  EXPECT_DOUBLE_EQ(opt.lr(), 0.2);
+  opt.step();
+  EXPECT_NEAR(p.value.at(0), 0.8f, 1e-6);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Parameter p = make_param(0.0f, 0.0f);
+  Adam opt({&p}, {.lr = 0.1});
+  for (int i = 0; i < 500; ++i) {
+    p.grad.fill(2.0f * (p.value.at(0) - 3.0f));
+    opt.step();
+  }
+  EXPECT_NEAR(p.value.at(0), 3.0f, 1e-2);
+}
+
+TEST(AdamTest, FirstStepIsLrSized) {
+  Parameter p = make_param(0.0f, 10.0f);
+  Adam opt({&p}, {.lr = 0.01});
+  opt.step();
+  // bias-corrected Adam's first step is ~lr regardless of gradient scale
+  EXPECT_NEAR(p.value.at(0), -0.01f, 1e-4);
+}
+
+TEST(StepLrTest, DecaysOnSchedule) {
+  Parameter p = make_param(0.0f, 0.0f);
+  Sgd opt({&p}, {.lr = 1.0});
+  StepLr sched(opt, /*step_size=*/2, /*gamma=*/0.1);
+  sched.epoch_end();
+  EXPECT_DOUBLE_EQ(opt.lr(), 1.0);
+  sched.epoch_end();
+  EXPECT_NEAR(opt.lr(), 0.1, 1e-12);
+  sched.epoch_end();
+  EXPECT_NEAR(opt.lr(), 0.1, 1e-12);
+  sched.epoch_end();
+  EXPECT_NEAR(opt.lr(), 0.01, 1e-12);
+}
+
+TEST(CosineLrTest, AnnealsToMinimum) {
+  Parameter p = make_param(0.0f, 0.0f);
+  Sgd opt({&p}, {.lr = 1.0});
+  CosineLr sched(opt, /*total_epochs=*/10, /*min_lr=*/0.1);
+  double prev = opt.lr();
+  for (int i = 0; i < 10; ++i) {
+    sched.epoch_end();
+    EXPECT_LE(opt.lr(), prev + 1e-12);  // monotone decay
+    prev = opt.lr();
+  }
+  EXPECT_NEAR(opt.lr(), 0.1, 1e-9);
+  sched.epoch_end();  // past the horizon: clamps at min
+  EXPECT_NEAR(opt.lr(), 0.1, 1e-9);
+}
+
+TEST(CosineLrTest, HalfwayIsMidpoint) {
+  Parameter p = make_param(0.0f, 0.0f);
+  Sgd opt({&p}, {.lr = 2.0});
+  CosineLr sched(opt, 2, 0.0);
+  sched.epoch_end();
+  EXPECT_NEAR(opt.lr(), 1.0, 1e-9);  // cos(pi/2) midpoint
+}
+
+TEST(CosineLrTest, Validation) {
+  Parameter p = make_param(0.0f, 0.0f);
+  Sgd opt({&p}, {.lr = 1.0});
+  EXPECT_THROW(CosineLr(opt, 0), InvariantError);
+  EXPECT_THROW(CosineLr(opt, 5, 2.0), InvariantError);
+}
+
+TEST(ClipGradNormTest, ScalesDownLargeGradients) {
+  Parameter p("w", Tensor(Shape{2}, std::vector<float>{0.0f, 0.0f}));
+  p.grad = Tensor(Shape{2}, std::vector<float>{3.0f, 4.0f});  // norm 5
+  const double norm = clip_grad_norm({&p}, 1.0);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_NEAR(p.grad.at(0), 0.6f, 1e-6);
+  EXPECT_NEAR(p.grad.at(1), 0.8f, 1e-6);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  Parameter p("w", Tensor(Shape{1}, 0.0f));
+  p.grad.fill(0.5f);
+  (void)clip_grad_norm({&p}, 1.0);
+  EXPECT_FLOAT_EQ(p.grad.at(0), 0.5f);
+}
+
+TEST(ClipGradNormTest, GlobalNormAcrossParams) {
+  Parameter a("a", Tensor(Shape{1}, 0.0f));
+  Parameter b("b", Tensor(Shape{1}, 0.0f));
+  a.grad.fill(3.0f);
+  b.grad.fill(4.0f);
+  const double norm = clip_grad_norm({&a, &b}, 5.0);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_FLOAT_EQ(a.grad.at(0), 3.0f);  // exactly at the bound: untouched
+  EXPECT_THROW(clip_grad_norm({&a}, 0.0), InvariantError);
+}
+
+TEST(StepLrTest, ZeroStepDisables) {
+  Parameter p = make_param(0.0f, 0.0f);
+  Sgd opt({&p}, {.lr = 1.0});
+  StepLr sched(opt, 0, 0.1);
+  for (int i = 0; i < 5; ++i) {
+    sched.epoch_end();
+  }
+  EXPECT_DOUBLE_EQ(opt.lr(), 1.0);
+}
+
+}  // namespace
+}  // namespace hpnn::nn

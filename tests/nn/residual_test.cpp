@@ -1,0 +1,91 @@
+#include "nn/residual.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "nn/layers.hpp"
+
+namespace hpnn::nn {
+namespace {
+
+/// A module that multiplies by a constant (for analytic residual checks).
+class Scale : public Module {
+ public:
+  explicit Scale(float s) : s_(s) {}
+  Tensor forward(const Tensor& x) override { return x * s_; }
+  Tensor backward(const Tensor& g) override { return g * s_; }
+  std::string name() const override { return "scale"; }
+
+ private:
+  float s_;
+};
+
+TEST(ResidualTest, IdentityShortcutAddsInput) {
+  auto r = Residual(std::make_unique<Scale>(2.0f), nullptr, nullptr);
+  Tensor x(Shape{1, 4}, 3.0f);
+  const Tensor y = r.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0), 9.0f);  // 2x + x
+}
+
+TEST(ResidualTest, IdentityShortcutGradient) {
+  auto r = Residual(std::make_unique<Scale>(2.0f), nullptr, nullptr);
+  Tensor x(Shape{1, 4}, 1.0f);
+  (void)r.forward(x);
+  const Tensor gx = r.backward(Tensor(Shape{1, 4}, 1.0f));
+  EXPECT_FLOAT_EQ(gx.at(0), 3.0f);  // d(2x+x)/dx
+}
+
+TEST(ResidualTest, ProjectionShortcut) {
+  auto r = Residual(std::make_unique<Scale>(2.0f),
+                    std::make_unique<Scale>(0.5f), nullptr);
+  Tensor x(Shape{1, 2}, 4.0f);
+  const Tensor y = r.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0), 10.0f);  // 2x + 0.5x
+  (void)y;
+  const Tensor gx = r.backward(Tensor(Shape{1, 2}, 1.0f));
+  EXPECT_FLOAT_EQ(gx.at(0), 2.5f);
+}
+
+TEST(ResidualTest, PostActivationApplied) {
+  auto r = Residual(std::make_unique<Scale>(-3.0f), nullptr,
+                    std::make_unique<ReLU>("post"));
+  Tensor x(Shape{1, 2}, 1.0f);
+  const Tensor y = r.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0), 0.0f);  // relu(-3x + x) = relu(-2) = 0
+}
+
+TEST(ResidualTest, ShapeMismatchThrows) {
+  Rng rng(1);
+  auto main = std::make_unique<Linear>(4, 3, rng, "fc");
+  auto r = Residual(std::move(main), nullptr, nullptr);
+  Tensor x(Shape{1, 4});
+  EXPECT_THROW(r.forward(x), InvariantError);  // [1,3] vs [1,4]
+}
+
+TEST(ResidualTest, NullMainThrows) {
+  EXPECT_THROW(Residual(nullptr, nullptr, nullptr), InvariantError);
+}
+
+TEST(ResidualTest, CollectsAllParameters) {
+  Rng rng(2);
+  auto main = std::make_unique<Linear>(4, 4, rng, "main_fc");
+  auto shortcut = std::make_unique<Linear>(4, 4, rng, "sc_fc");
+  Residual r(std::move(main), std::move(shortcut), nullptr);
+  std::vector<Parameter*> params;
+  r.collect_parameters(params);
+  EXPECT_EQ(params.size(), 4u);
+}
+
+TEST(ResidualTest, StructuralAccessors) {
+  auto r = Residual(std::make_unique<Scale>(1.0f),
+                    std::make_unique<Scale>(1.0f),
+                    std::make_unique<ReLU>("post"));
+  EXPECT_NE(r.shortcut(), nullptr);
+  EXPECT_NE(r.post(), nullptr);
+  auto r2 = Residual(std::make_unique<Scale>(1.0f), nullptr, nullptr);
+  EXPECT_EQ(r2.shortcut(), nullptr);
+  EXPECT_EQ(r2.post(), nullptr);
+}
+
+}  // namespace
+}  // namespace hpnn::nn

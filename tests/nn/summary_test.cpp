@@ -1,0 +1,59 @@
+#include "nn/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.hpp"
+#include "nn/layers.hpp"
+
+namespace hpnn::nn {
+namespace {
+
+TEST(SummaryTest, FlatSequential) {
+  Rng rng(1);
+  Sequential net("mlp");
+  net.add(std::make_unique<Linear>(4, 3, rng, "fc1"));
+  net.add(std::make_unique<ReLU>("r"));
+  net.add(std::make_unique<Linear>(3, 2, rng, "fc2"));
+  const auto layers = summarize(net);
+  ASSERT_EQ(layers.size(), 4u);  // container + 3 leaves
+  EXPECT_EQ(layers[0].kind, "Sequential");
+  EXPECT_EQ(layers[1].kind, "Linear");
+  EXPECT_EQ(layers[1].parameters, 4 * 3 + 3);
+  EXPECT_EQ(layers[2].kind, "ReLU");
+  EXPECT_EQ(layers[2].parameters, 0);
+  EXPECT_EQ(layers[1].depth, 1);
+}
+
+TEST(SummaryTest, TableTotalsMatchParameterCount) {
+  models::ModelConfig cfg;
+  cfg.in_channels = 1;
+  cfg.image_size = 16;
+  cfg.init_seed = 2;
+  auto net = models::build(models::Architecture::kCnn1, cfg);
+  const std::string table = summary_table(*net);
+  EXPECT_NE(table.find("Conv2d"), std::string::npos);
+  EXPECT_NE(table.find("total parameters: " +
+                       std::to_string(parameter_count(*net))),
+            std::string::npos);
+}
+
+TEST(SummaryTest, ResNetNestingDepth) {
+  models::ModelConfig cfg;
+  cfg.in_channels = 3;
+  cfg.image_size = 16;
+  cfg.init_seed = 2;
+  cfg.width_mult = 0.125;
+  auto net = models::build(models::Architecture::kResNet18, cfg);
+  const auto layers = summarize(*net);
+  bool saw_residual = false;
+  bool saw_nested = false;
+  for (const auto& layer : layers) {
+    saw_residual |= (layer.kind == "Residual");
+    saw_nested |= (layer.depth >= 3);  // root -> residual -> main -> conv
+  }
+  EXPECT_TRUE(saw_residual);
+  EXPECT_TRUE(saw_nested);
+}
+
+}  // namespace
+}  // namespace hpnn::nn

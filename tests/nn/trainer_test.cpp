@@ -1,0 +1,144 @@
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "nn/layers.hpp"
+
+namespace hpnn::nn {
+namespace {
+
+/// A linearly separable 2-class toy problem.
+std::pair<Tensor, std::vector<std::int64_t>> toy_data(std::int64_t n,
+                                                      Rng& rng) {
+  Tensor x(Shape{n, 2});
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t cls = i % 2;
+    const float cx = cls == 0 ? -1.0f : 1.0f;
+    x.at(i, 0) = cx + static_cast<float>(rng.normal(0.0, 0.3));
+    x.at(i, 1) = -cx + static_cast<float>(rng.normal(0.0, 0.3));
+    labels[static_cast<std::size_t>(i)] = cls;
+  }
+  return {std::move(x), std::move(labels)};
+}
+
+TEST(GatherBatchTest, CopiesSelectedRows) {
+  Tensor images = Tensor::arange(Shape{4, 2});
+  const std::vector<std::int64_t> labels{10, 11, 12, 13};
+  const std::vector<std::size_t> order{3, 1, 0, 2};
+  auto [batch, blabels] = gather_batch(images, labels, order, 1, 2);
+  EXPECT_EQ(batch.shape(), Shape({2, 2}));
+  EXPECT_EQ(batch.at(0, 0), 2.0f);  // sample 1
+  EXPECT_EQ(batch.at(1, 0), 0.0f);  // sample 0
+  EXPECT_EQ(blabels, (std::vector<std::int64_t>{11, 10}));
+}
+
+TEST(GatherBatchTest, RangeOverflowThrows) {
+  Tensor images(Shape{2, 2});
+  const std::vector<std::int64_t> labels{0, 1};
+  const std::vector<std::size_t> order{0, 1};
+  EXPECT_THROW(gather_batch(images, labels, order, 1, 2), InvariantError);
+}
+
+TEST(FitTest, LossDecreasesOnSeparableData) {
+  Rng rng(1);
+  auto [x, labels] = toy_data(128, rng);
+  Sequential net;
+  net.add(std::make_unique<Linear>(2, 8, rng, "fc1"));
+  net.add(std::make_unique<ReLU>("r"));
+  net.add(std::make_unique<Linear>(8, 2, rng, "fc2"));
+  SoftmaxCrossEntropy loss;
+  Sgd opt(parameters_of(net), {.lr = 0.1, .momentum = 0.9});
+  TrainConfig cfg;
+  cfg.epochs = 10;
+  cfg.batch_size = 16;
+  const auto result = fit(net, loss, opt, x, labels, cfg);
+  ASSERT_EQ(result.epoch_loss.size(), 10u);
+  EXPECT_LT(result.final_loss, result.epoch_loss.front() * 0.3);
+  EXPECT_GT(evaluate_accuracy(net, x, labels), 0.95);
+}
+
+TEST(FitTest, DeterministicGivenSeeds) {
+  auto run = [] {
+    Rng rng(7);
+    auto [x, labels] = toy_data(64, rng);
+    Sequential net;
+    net.add(std::make_unique<Linear>(2, 4, rng, "fc1"));
+    net.add(std::make_unique<ReLU>("r"));
+    net.add(std::make_unique<Linear>(4, 2, rng, "fc2"));
+    SoftmaxCrossEntropy loss;
+    Sgd opt(parameters_of(net), {.lr = 0.05});
+    TrainConfig cfg;
+    cfg.epochs = 3;
+    cfg.batch_size = 8;
+    cfg.shuffle_seed = 99;
+    return fit(net, loss, opt, x, labels, cfg).final_loss;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(FitTest, EpochCallbackInvoked) {
+  Rng rng(2);
+  auto [x, labels] = toy_data(32, rng);
+  Sequential net;
+  net.add(std::make_unique<Linear>(2, 2, rng, "fc"));
+  SoftmaxCrossEntropy loss;
+  Sgd opt(parameters_of(net), {.lr = 0.01});
+  TrainConfig cfg;
+  cfg.epochs = 4;
+  int calls = 0;
+  cfg.on_epoch = [&](std::int64_t epoch, double) {
+    EXPECT_EQ(epoch, calls);
+    ++calls;
+  };
+  (void)fit(net, loss, opt, x, labels, cfg);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(FitTest, MismatchedLabelsThrow) {
+  Rng rng(3);
+  Tensor x(Shape{4, 2});
+  Sequential net;
+  net.add(std::make_unique<Linear>(2, 2, rng, "fc"));
+  SoftmaxCrossEntropy loss;
+  Sgd opt(parameters_of(net), {.lr = 0.01});
+  EXPECT_THROW(fit(net, loss, opt, x, {0, 1}, TrainConfig{}), InvariantError);
+}
+
+TEST(FitTest, LastPartialBatchHandled) {
+  Rng rng(4);
+  auto [x, labels] = toy_data(10, rng);  // batch 4 -> batches of 4,4,2
+  Sequential net;
+  net.add(std::make_unique<Linear>(2, 2, rng, "fc"));
+  SoftmaxCrossEntropy loss;
+  Sgd opt(parameters_of(net), {.lr = 0.01});
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 4;
+  EXPECT_NO_THROW(fit(net, loss, opt, x, labels, cfg));
+}
+
+TEST(EvaluateAccuracyTest, RestoresTrainingFlag) {
+  Rng rng(5);
+  auto [x, labels] = toy_data(8, rng);
+  Sequential net;
+  net.add(std::make_unique<Linear>(2, 2, rng, "fc"));
+  net.set_training(true);
+  (void)evaluate_accuracy(net, x, labels);
+  EXPECT_TRUE(net.training());
+  net.set_training(false);
+  (void)evaluate_accuracy(net, x, labels);
+  EXPECT_FALSE(net.training());
+}
+
+TEST(EvaluateAccuracyTest, EmptyDatasetIsZero) {
+  Rng rng(6);
+  Sequential net;
+  net.add(std::make_unique<Linear>(2, 2, rng, "fc"));
+  Tensor x(Shape{0, 2});
+  EXPECT_DOUBLE_EQ(evaluate_accuracy(net, x, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace hpnn::nn

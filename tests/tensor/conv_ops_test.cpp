@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace hpnn::ops {
+namespace {
+
+/// Direct (non-im2col) convolution reference.
+Tensor naive_conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
+                    const Conv2dGeometry& g) {
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t filters = w.dim(0);
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  Tensor out(Shape{batch, filters, oh, ow});
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t f = 0; f < filters; ++f) {
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t xo = 0; xo < ow; ++xo) {
+          double s = bias.numel() > 0 ? bias.at(f) : 0.0;
+          for (std::int64_t c = 0; c < g.in_channels; ++c) {
+            for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+              for (std::int64_t kx = 0; kx < g.kernel; ++kx) {
+                const std::int64_t iy = y * g.stride + ky - g.padding;
+                const std::int64_t ix = xo * g.stride + kx - g.padding;
+                if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) {
+                  s += static_cast<double>(x.at(n, c, iy, ix)) *
+                       w.at(f, c, ky, kx);
+                }
+              }
+            }
+          }
+          out.at(n, f, y, xo) = static_cast<float>(s);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+struct ConvCase {
+  std::int64_t batch, in_ch, h, w, filters, kernel, stride, padding;
+};
+
+class ConvParamTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvParamTest, ForwardMatchesNaive) {
+  const auto& p = GetParam();
+  Rng rng(100 + p.kernel * 10 + p.stride);
+  const Conv2dGeometry g{p.in_ch, p.h, p.w, p.kernel, p.stride, p.padding};
+  const Tensor x = Tensor::normal(Shape{p.batch, p.in_ch, p.h, p.w}, rng);
+  const Tensor w =
+      Tensor::normal(Shape{p.filters, p.in_ch, p.kernel, p.kernel}, rng);
+  const Tensor b = Tensor::normal(Shape{p.filters}, rng);
+  const Tensor out = conv2d_forward(x, w, b, g);
+  const Tensor ref = naive_conv2d(x, w, b, g);
+  EXPECT_TRUE(out.allclose(ref, 1e-4f, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvParamTest,
+    ::testing::Values(ConvCase{1, 1, 5, 5, 1, 3, 1, 0},
+                      ConvCase{2, 3, 8, 8, 4, 3, 1, 1},
+                      ConvCase{1, 2, 9, 7, 3, 3, 2, 1},
+                      ConvCase{2, 1, 6, 6, 2, 5, 1, 0},
+                      ConvCase{1, 4, 8, 8, 8, 1, 1, 0},
+                      ConvCase{3, 2, 12, 12, 5, 3, 2, 0},
+                      ConvCase{1, 1, 4, 4, 1, 4, 4, 0}));
+
+TEST(ConvOpsTest, Im2ColRoundTripShape) {
+  Rng rng(7);
+  const Conv2dGeometry g{2, 6, 6, 3, 1, 1};
+  const Tensor x = Tensor::normal(Shape{2, 6, 6}, rng);
+  Tensor cols(Shape{2 * 9, g.out_h() * g.out_w()});
+  im2col(x.data(), g, cols.data());
+  // col2im of ones-scatter: every input position receives as many
+  // contributions as windows covering it (spot-check center > corner).
+  Tensor grad(Shape{2, 6, 6});
+  Tensor ones(cols.shape(), 1.0f);
+  col2im(ones.data(), g, grad.data());
+  EXPECT_GT(grad.at(0 * 36 + 3 * 6 + 3), grad.at(0));
+}
+
+TEST(ConvOpsTest, ConvBackwardMatchesNumericGradient) {
+  Rng rng(21);
+  const Conv2dGeometry g{2, 5, 5, 3, 1, 1};
+  const Tensor x = Tensor::normal(Shape{2, 2, 5, 5}, rng);
+  const Tensor w = Tensor::normal(Shape{3, 2, 3, 3}, rng, 0.0f, 0.5f);
+  const Tensor b = Tensor::normal(Shape{3}, rng);
+
+  // Scalar objective: sum of outputs => grad_out = ones.
+  const Tensor out = conv2d_forward(x, w, b, g);
+  Tensor grad_out(out.shape(), 1.0f);
+  Tensor gw(w.shape());
+  Tensor gb(b.shape());
+  const Tensor gx = conv2d_backward(x, w, grad_out, g, gw, gb);
+
+  const double eps = 1e-2;
+  // check a sample of weight coordinates
+  for (const std::int64_t idx : {0L, 7L, 23L, 53L}) {
+    Tensor wp = w;
+    wp.at(idx) += static_cast<float>(eps);
+    Tensor wm = w;
+    wm.at(idx) -= static_cast<float>(eps);
+    const double num =
+        (conv2d_forward(x, wp, b, g).sum() -
+         conv2d_forward(x, wm, b, g).sum()) /
+        (2 * eps);
+    EXPECT_NEAR(gw.at(idx), num, 2e-2) << "weight coord " << idx;
+  }
+  // check a sample of input coordinates
+  for (const std::int64_t idx : {0L, 17L, 49L, 99L}) {
+    Tensor xp = x;
+    xp.at(idx) += static_cast<float>(eps);
+    Tensor xm = x;
+    xm.at(idx) -= static_cast<float>(eps);
+    const double num = (conv2d_forward(xp, w, b, g).sum() -
+                        conv2d_forward(xm, w, b, g).sum()) /
+                       (2 * eps);
+    EXPECT_NEAR(gx.at(idx), num, 2e-2) << "input coord " << idx;
+  }
+  // bias gradient of a sum objective is the output plane size per filter
+  const float plane = static_cast<float>(2 * g.out_h() * g.out_w());
+  for (std::int64_t f = 0; f < 3; ++f) {
+    EXPECT_NEAR(gb.at(f), plane, 1e-3);
+  }
+}
+
+TEST(ConvOpsTest, GeometryMismatchThrows) {
+  const Conv2dGeometry g{2, 5, 5, 3, 1, 1};
+  Tensor x(Shape{1, 3, 5, 5});  // wrong channels
+  Tensor w(Shape{3, 2, 3, 3});
+  Tensor b(Shape{3});
+  EXPECT_THROW(conv2d_forward(x, w, b, g), InvariantError);
+}
+
+TEST(ConvOpsTest, BiaslessConv) {
+  Rng rng(5);
+  const Conv2dGeometry g{1, 4, 4, 3, 1, 0};
+  const Tensor x = Tensor::normal(Shape{1, 1, 4, 4}, rng);
+  const Tensor w = Tensor::normal(Shape{2, 1, 3, 3}, rng);
+  const Tensor out = conv2d_forward(x, w, Tensor(), g);
+  const Tensor ref = naive_conv2d(x, w, Tensor(), g);
+  EXPECT_TRUE(out.allclose(ref, 1e-4f, 1e-4f));
+}
+
+}  // namespace
+}  // namespace hpnn::ops

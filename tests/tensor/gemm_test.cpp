@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace hpnn::ops {
+namespace {
+
+/// Naive triple-loop reference.
+Tensor naive_matmul(const Tensor& a, const Tensor& b, bool ta, bool tb) {
+  const std::int64_t m = ta ? a.dim(1) : a.dim(0);
+  const std::int64_t k = ta ? a.dim(0) : a.dim(1);
+  const std::int64_t n = tb ? b.dim(0) : b.dim(1);
+  Tensor c(Shape{m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a.at(p, i) : a.at(i, p);
+        const float bv = tb ? b.at(j, p) : b.at(p, j);
+        s += static_cast<double>(av) * bv;
+      }
+      c.at(i, j) = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+struct GemmCase {
+  std::int64_t m, k, n;
+  Trans ta, tb;
+};
+
+class GemmParamTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParamTest, MatchesNaiveReference) {
+  const auto& p = GetParam();
+  Rng rng(11 + p.m * 131 + p.k * 17 + p.n);
+  const Tensor a = Tensor::normal(
+      p.ta == Trans::kNo ? Shape{p.m, p.k} : Shape{p.k, p.m}, rng);
+  const Tensor b = Tensor::normal(
+      p.tb == Trans::kNo ? Shape{p.k, p.n} : Shape{p.n, p.k}, rng);
+  const Tensor c = matmul(a, b, p.ta, p.tb);
+  const Tensor ref =
+      naive_matmul(a, b, p.ta == Trans::kYes, p.tb == Trans::kYes);
+  EXPECT_TRUE(c.allclose(ref, 1e-4f, 1e-4f))
+      << "m=" << p.m << " k=" << p.k << " n=" << p.n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParamTest,
+    ::testing::Values(
+        GemmCase{1, 1, 1, Trans::kNo, Trans::kNo},
+        GemmCase{3, 5, 7, Trans::kNo, Trans::kNo},
+        GemmCase{3, 5, 7, Trans::kYes, Trans::kNo},
+        GemmCase{3, 5, 7, Trans::kNo, Trans::kYes},
+        GemmCase{3, 5, 7, Trans::kYes, Trans::kYes},
+        GemmCase{64, 64, 64, Trans::kNo, Trans::kNo},
+        GemmCase{65, 63, 130, Trans::kNo, Trans::kNo},  // crosses blocks
+        GemmCase{128, 1, 128, Trans::kNo, Trans::kNo},
+        GemmCase{1, 200, 1, Trans::kYes, Trans::kYes}));
+
+TEST(GemmTest, AlphaBetaSemantics) {
+  Rng rng(3);
+  const Tensor a = Tensor::normal(Shape{4, 5}, rng);
+  const Tensor b = Tensor::normal(Shape{5, 6}, rng);
+  Tensor c(Shape{4, 6}, 1.0f);
+  gemm(a, Trans::kNo, b, Trans::kNo, c, 2.0f, 3.0f);
+  Tensor expected = naive_matmul(a, b, false, false) * 2.0f;
+  expected.add_(Tensor(Shape{4, 6}, 3.0f));
+  EXPECT_TRUE(c.allclose(expected, 1e-4f, 1e-4f));
+}
+
+TEST(GemmTest, BetaOneAccumulates) {
+  Rng rng(4);
+  const Tensor a = Tensor::normal(Shape{2, 3}, rng);
+  const Tensor b = Tensor::normal(Shape{3, 2}, rng);
+  Tensor c(Shape{2, 2});
+  gemm(a, Trans::kNo, b, Trans::kNo, c, 1.0f, 0.0f);
+  const Tensor once = c;
+  gemm(a, Trans::kNo, b, Trans::kNo, c, 1.0f, 1.0f);
+  EXPECT_TRUE(c.allclose(once * 2.0f, 1e-5f, 1e-5f));
+}
+
+TEST(GemmTest, DimensionMismatchThrows) {
+  Tensor a(Shape{2, 3});
+  Tensor b(Shape{4, 5});
+  Tensor c(Shape{2, 5});
+  EXPECT_THROW(gemm(a, Trans::kNo, b, Trans::kNo, c), InvariantError);
+}
+
+TEST(GemmTest, OutputShapeMismatchThrows) {
+  Tensor a(Shape{2, 3});
+  Tensor b(Shape{3, 5});
+  Tensor c(Shape{2, 4});
+  EXPECT_THROW(gemm(a, Trans::kNo, b, Trans::kNo, c), InvariantError);
+}
+
+TEST(GemmTest, RankCheck) {
+  Tensor a(Shape{2, 3, 1});
+  Tensor b(Shape{3, 5});
+  Tensor c(Shape{2, 5});
+  EXPECT_THROW(gemm(a, Trans::kNo, b, Trans::kNo, c), InvariantError);
+}
+
+}  // namespace
+}  // namespace hpnn::ops

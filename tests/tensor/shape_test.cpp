@@ -1,0 +1,66 @@
+#include "tensor/shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace hpnn {
+namespace {
+
+TEST(ShapeTest, DefaultIsRankZero) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(ShapeTest, InitializerList) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(2), 4);
+}
+
+TEST(ShapeTest, NegativeIndexing) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.dim(-3), 2);
+}
+
+TEST(ShapeTest, OutOfRangeDimThrows) {
+  Shape s{2, 3};
+  EXPECT_THROW(s.dim(2), InvariantError);
+  EXPECT_THROW(s.dim(-3), InvariantError);
+}
+
+TEST(ShapeTest, NegativeExtentThrows) {
+  EXPECT_THROW(Shape({2, -1}), InvariantError);
+}
+
+TEST(ShapeTest, ZeroExtentGivesZeroNumel) {
+  Shape s{4, 0, 2};
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(ShapeTest, Strides) {
+  Shape s{2, 3, 4};
+  const auto st = s.strides();
+  ASSERT_EQ(st.size(), 3u);
+  EXPECT_EQ(st[0], 12);
+  EXPECT_EQ(st[1], 4);
+  EXPECT_EQ(st[2], 1);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(Shape({2, 3}).to_string(), "[2, 3]");
+  EXPECT_EQ(Shape{}.to_string(), "[]");
+}
+
+}  // namespace
+}  // namespace hpnn

@@ -1,0 +1,142 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace hpnn {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (const auto v : t.span()) {
+    EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(TensorTest, FillValueConstructor) {
+  Tensor t(Shape{4}, 2.5f);
+  for (const auto v : t.span()) {
+    EXPECT_EQ(v, 2.5f);
+  }
+}
+
+TEST(TensorTest, AdoptValuesChecksCount) {
+  EXPECT_NO_THROW(Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3}),
+               InvariantError);
+}
+
+TEST(TensorTest, FlatAccessBounds) {
+  Tensor t(Shape{3});
+  t.at(2) = 7.0f;
+  EXPECT_EQ(t.at(2), 7.0f);
+  EXPECT_THROW(t.at(3), InvariantError);
+  EXPECT_THROW(t.at(-1), InvariantError);
+}
+
+TEST(TensorTest, TwoDAccess) {
+  Tensor t(Shape{2, 3});
+  t.at(1, 2) = 9.0f;
+  EXPECT_EQ(t.at(5), 9.0f);
+  EXPECT_THROW(t.at(2, 0), InvariantError);
+  Tensor r1(Shape{6});
+  EXPECT_THROW(r1.at(0, 0), InvariantError);  // wrong rank
+}
+
+TEST(TensorTest, FourDAccessNCHW) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 1.5f;
+  EXPECT_EQ(t.at(t.numel() - 1), 1.5f);
+  EXPECT_THROW(t.at(2, 0, 0, 0), InvariantError);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::arange(Shape{2, 6});
+  const Tensor r = t.reshaped(Shape{3, 4});
+  EXPECT_EQ(r.shape(), Shape({3, 4}));
+  EXPECT_EQ(r.at(11), 11.0f);
+  EXPECT_THROW(t.reshaped(Shape{5}), InvariantError);
+}
+
+TEST(TensorTest, InPlaceArithmetic) {
+  Tensor a(Shape{3}, 1.0f);
+  Tensor b(Shape{3}, 2.0f);
+  a.add_(b);
+  EXPECT_EQ(a.at(0), 3.0f);
+  a.sub_(b);
+  EXPECT_EQ(a.at(1), 1.0f);
+  a.mul_(b);
+  EXPECT_EQ(a.at(2), 2.0f);
+  a.scale_(0.5f);
+  EXPECT_EQ(a.at(0), 1.0f);
+  a.axpy_(3.0f, b);
+  EXPECT_EQ(a.at(0), 7.0f);
+}
+
+TEST(TensorTest, ShapeMismatchThrows) {
+  Tensor a(Shape{3});
+  Tensor b(Shape{4});
+  EXPECT_THROW(a.add_(b), InvariantError);
+  EXPECT_THROW(a.mul_(b), InvariantError);
+  EXPECT_THROW(a.axpy_(1.0f, b), InvariantError);
+}
+
+TEST(TensorTest, OutOfPlaceOperators) {
+  Tensor a(Shape{2}, 3.0f);
+  Tensor b(Shape{2}, 2.0f);
+  EXPECT_EQ((a + b).at(0), 5.0f);
+  EXPECT_EQ((a - b).at(0), 1.0f);
+  EXPECT_EQ((a * b).at(0), 6.0f);
+  EXPECT_EQ((a * 2.0f).at(0), 6.0f);
+  EXPECT_EQ((2.0f * a).at(0), 6.0f);
+  EXPECT_EQ((-a).at(0), -3.0f);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t(Shape{4}, std::vector<float>{1.0f, -2.0f, 3.0f, 2.0f});
+  EXPECT_FLOAT_EQ(t.sum(), 4.0f);
+  EXPECT_FLOAT_EQ(t.mean(), 1.0f);
+  EXPECT_EQ(t.min(), -2.0f);
+  EXPECT_EQ(t.max(), 3.0f);
+  EXPECT_EQ(t.argmax(), 2);
+  EXPECT_FLOAT_EQ(t.squared_norm(), 1 + 4 + 9 + 4);
+}
+
+TEST(TensorTest, ArgmaxFirstOnTies) {
+  Tensor t(Shape{3}, std::vector<float>{5.0f, 5.0f, 1.0f});
+  EXPECT_EQ(t.argmax(), 0);
+}
+
+TEST(TensorTest, AllClose) {
+  Tensor a(Shape{2}, std::vector<float>{1.0f, 2.0f});
+  Tensor b(Shape{2}, std::vector<float>{1.0f + 1e-7f, 2.0f});
+  EXPECT_TRUE(a.allclose(b));
+  Tensor c(Shape{2}, std::vector<float>{1.1f, 2.0f});
+  EXPECT_FALSE(a.allclose(c));
+  Tensor d(Shape{2, 1});
+  EXPECT_FALSE(a.allclose(d));  // different shape
+}
+
+TEST(TensorTest, RandomFactoriesDeterministic) {
+  Rng r1(5);
+  Rng r2(5);
+  const Tensor a = Tensor::normal(Shape{16}, r1);
+  const Tensor b = Tensor::normal(Shape{16}, r2);
+  EXPECT_TRUE(a.allclose(b, 0.0f, 0.0f));
+  Rng r3(5);
+  const Tensor u = Tensor::uniform(Shape{64}, r3, -1.0f, 1.0f);
+  EXPECT_GE(u.min(), -1.0f);
+  EXPECT_LT(u.max(), 1.0f);
+}
+
+TEST(TensorTest, CopyIsDeep) {
+  Tensor a(Shape{2}, 1.0f);
+  Tensor b = a;
+  b.at(0) = 9.0f;
+  EXPECT_EQ(a.at(0), 1.0f);
+}
+
+}  // namespace
+}  // namespace hpnn
