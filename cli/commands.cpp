@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "args.hpp"
 #include "attack/finetune.hpp"
@@ -13,6 +14,7 @@
 #include "hpnn/owner.hpp"
 #include "hpnn/zoo_store.hpp"
 #include "hw/device.hpp"
+#include "hw/fault.hpp"
 #include "hw/overhead.hpp"
 #include "nn/summary.hpp"
 #include "nn/trainer.hpp"
@@ -306,6 +308,94 @@ int cmd_inspect(const Args& args, std::ostream& out) {
   return 0;
 }
 
+/// Parses "0,1,2,4,8" into bit counts for the key-SEU campaign.
+std::vector<std::size_t> parse_bit_counts(const std::string& csv) {
+  std::vector<std::size_t> counts;
+  std::string token;
+  std::istringstream ss(csv);
+  while (std::getline(ss, token, ',')) {
+    try {
+      std::size_t consumed = 0;
+      const unsigned long v = std::stoul(token, &consumed);
+      if (consumed != token.size() || v > obf::HpnnKey::kBits) {
+        throw Error("");
+      }
+      counts.push_back(v);
+    } catch (const std::exception&) {
+      throw Error("bad --bits entry '" + token +
+                  "' (expected integers 0.." +
+                  std::to_string(obf::HpnnKey::kBits) + ")");
+    }
+  }
+  if (counts.empty()) {
+    throw Error("--bits must list at least one flip count");
+  }
+  return counts;
+}
+
+int cmd_fault_campaign(const Args& args, std::ostream& out) {
+  const auto artifact = load_artifact(args);
+  const auto split = load_dataset(args);
+  const obf::HpnnKey key = obf::HpnnKey::from_hex(args.require("key"));
+  const std::uint64_t schedule_seed =
+      static_cast<std::uint64_t>(args.get_int("schedule-seed", 0xDAC));
+  hw::DeviceConfig dev_cfg;
+  dev_cfg.schedule_policy = policy_from_args(args);
+
+  const auto bit_counts = parse_bit_counts(args.get("bits", "0,1,2,4,8"));
+  const int trials = static_cast<int>(args.get_int("trials", 3));
+  const auto campaign_seed =
+      static_cast<std::uint64_t>(args.get_int("campaign-seed", 1));
+
+  const auto baseline = hw::run_fault_trial(
+      key, schedule_seed, artifact, split.test.images, split.test.labels,
+      hw::FaultPlan{}, dev_cfg);
+  out << "trusted-device baseline accuracy: " << baseline.accuracy * 100
+      << "%\n";
+
+  const auto points = hw::run_key_flip_campaign(
+      key, schedule_seed, artifact, split.test.images, split.test.labels,
+      bit_counts, trials, campaign_seed, dev_cfg);
+  out << "flipped-bits  raw-mean  raw-min  served  detected\n";
+  for (const auto& p : points) {
+    out << p.bits_flipped << "\t" << p.mean_accuracy * 100 << "%\t"
+        << p.min_accuracy * 100 << "%\t" << p.mean_served_accuracy * 100
+        << "%\t" << p.detection_rate * 100 << "%\n";
+  }
+
+  const double acc_rate = args.get_double("acc-rate", 0.0);
+  if (acc_rate > 0.0) {
+    hw::FaultPlan plan;
+    plan.accumulator_flip_rate = acc_rate;
+    plan.accumulator_bit =
+        static_cast<int>(args.get_int("acc-bit", plan.accumulator_bit));
+    plan.seed = campaign_seed;
+    const auto trial = hw::run_fault_trial(
+        key, schedule_seed, artifact, split.test.images, split.test.labels,
+        plan, dev_cfg);
+    out << "accumulator faults (rate " << acc_rate << ", bit "
+        << plan.accumulator_bit << "): accuracy " << trial.accuracy * 100
+        << "%, " << trial.stats.accumulator_faults << " flips\n";
+  }
+  const double scale_err = args.get_double("scale-error", 0.0);
+  if (scale_err != 0.0) {
+    hw::FaultPlan plan;
+    plan.scale_relative_error = scale_err;
+    const auto trial = hw::run_fault_trial(
+        key, schedule_seed, artifact, split.test.images, split.test.labels,
+        plan, dev_cfg);
+    out << "scale corruption (rel. error " << scale_err << "): accuracy "
+        << trial.accuracy * 100 << "%\n";
+  }
+
+  if (args.has("json")) {
+    hw::write_campaign_json(out, models::arch_name(artifact.arch),
+                            baseline.accuracy, points);
+    out << "\n";
+  }
+  return 0;
+}
+
 int cmd_overhead(const Args& args, std::ostream& out) {
   const std::int64_t dim = args.get_int("dim", 256);
   const auto report = hw::mmu_overhead(dim);
@@ -335,6 +425,10 @@ std::string usage() {
       "                                               fine-tuning attack\n"
       "  inspect  --model FILE [--tensors 1]          describe an artifact\n"
       "  overhead [--dim N]                           locking hardware cost\n"
+      "  fault-campaign --model FILE --dataset D --key HEX\n"
+      "           [--bits 0,1,2,4,8 --trials N --campaign-seed N\n"
+      "            --acc-rate F --acc-bit B --scale-error F --json 1]\n"
+      "                                               SEU fault injection\n"
       "\n"
       "datasets: fashion | cifar | svhn (synthetic stand-ins), or\n"
       "          --train-file F --test-file F (exported .hpds files)\n"
@@ -358,6 +452,9 @@ int run_command(const std::vector<std::string>& tokens, std::ostream& out) {
     if (args.command == "attack") return cmd_attack(args, out);
     if (args.command == "inspect") return cmd_inspect(args, out);
     if (args.command == "overhead") return cmd_overhead(args, out);
+    if (args.command == "fault-campaign") {
+      return cmd_fault_campaign(args, out);
+    }
     out << "unknown command '" << args.command << "'\n\n" << usage();
     return 1;
   } catch (const Error& e) {

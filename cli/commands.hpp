@@ -11,6 +11,9 @@
 //                 [--init stolen|random --epochs E --lr LR]
 //   hpnn inspect  --model FILE
 //   hpnn overhead [--dim 256]
+//   hpnn fault-campaign --model FILE --dataset fashion --key HEX
+//                 [--bits 0,1,2,4,8 --trials N --acc-rate F --scale-error F
+//                  --json 1]
 //
 // Dataset names: fashion | cifar | svhn (the synthetic stand-ins).
 #pragma once

@@ -73,11 +73,40 @@ void BinaryReader::read_raw(void* data, std::size_t n) {
   }
 }
 
+std::uint64_t BinaryReader::remaining_bytes_or(std::uint64_t fallback) {
+  const std::streampos cur = is_.tellg();
+  if (!is_ || cur == std::streampos(-1)) {
+    is_.clear();
+    return fallback;
+  }
+  is_.seekg(0, std::ios::end);
+  if (!is_) {
+    is_.clear();
+    is_.seekg(cur);
+    return fallback;
+  }
+  const std::streampos end = is_.tellg();
+  is_.seekg(cur);
+  if (end == std::streampos(-1) || end < cur) {
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(end - cur);
+}
+
 std::uint64_t BinaryReader::read_container_size(std::size_t elem_bytes) {
   const std::uint64_t n = read_u64();
   if (n > max_container_bytes_ / elem_bytes) {
     throw SerializationError("read failed: container length " +
                              std::to_string(n) + " exceeds sanity bound");
+  }
+  // A length field cannot legitimately exceed the bytes physically left in
+  // the input; reject before resize() so truncated or hostile headers never
+  // trigger a huge allocation.
+  const std::uint64_t remaining = remaining_bytes_or(max_container_bytes_);
+  if (n > remaining / elem_bytes) {
+    throw SerializationError("read failed: container length " +
+                             std::to_string(n) +
+                             " exceeds remaining input size");
   }
   return n;
 }

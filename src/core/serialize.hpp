@@ -55,8 +55,15 @@ class BinaryReader {
   std::vector<std::uint8_t> read_u8_vector();
   std::vector<std::int64_t> read_i64_vector();
 
+  /// Bytes left in the stream, or `fallback` when the stream is not
+  /// seekable.
+  std::uint64_t remaining_bytes_or(std::uint64_t fallback);
+
  private:
   void read_raw(void* data, std::size_t n);
+  /// Reads a u64 length prefix and validates it against both the sanity
+  /// bound and — for seekable streams — the bytes actually remaining, so a
+  /// corrupted length field is rejected before any allocation.
   std::uint64_t read_container_size(std::size_t elem_bytes);
   std::istream& is_;
   std::uint64_t max_container_bytes_;

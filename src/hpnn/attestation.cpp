@@ -61,10 +61,28 @@ AttestationChallenge read_challenge(std::istream& is) {
     throw SerializationError("not an HPNN attestation challenge");
   }
   AttestationChallenge challenge;
-  const Shape shape{r.read_i64_vector()};
+  // A challenge file is untrusted input: validate the declared probe
+  // extents before they reach Shape (whose negative-dim check reports a
+  // programmer error) or an allocation size.
+  const auto dims = r.read_i64_vector();
+  if (dims.size() != 4) {
+    throw SerializationError("corrupt challenge probe tensor rank");
+  }
+  std::int64_t numel = 1;
+  for (const std::int64_t d : dims) {
+    constexpr std::int64_t kMaxProbeElems = std::int64_t{1} << 28;
+    if (d <= 0 || d > kMaxProbeElems) {
+      throw SerializationError("corrupt challenge probe dimension " +
+                               std::to_string(d));
+    }
+    numel *= d;
+    if (numel > kMaxProbeElems) {
+      throw SerializationError("declared challenge probe tensor too large");
+    }
+  }
+  const Shape shape{dims};
   auto values = r.read_f32_vector();
-  if (static_cast<std::int64_t>(values.size()) != shape.numel() ||
-      shape.rank() != 4) {
+  if (static_cast<std::int64_t>(values.size()) != shape.numel()) {
     throw SerializationError("corrupt challenge probe tensor");
   }
   challenge.probes = Tensor(shape, std::move(values));
@@ -73,7 +91,8 @@ AttestationChallenge read_challenge(std::istream& is) {
     throw SerializationError("corrupt challenge expectations");
   }
   challenge.min_agreement = r.read_f64();
-  if (challenge.min_agreement <= 0.0 || challenge.min_agreement > 1.0) {
+  // Negated comparison so NaN (from corrupt bytes) is also rejected.
+  if (!(challenge.min_agreement > 0.0 && challenge.min_agreement <= 1.0)) {
     throw SerializationError("corrupt challenge threshold");
   }
   return challenge;

@@ -29,6 +29,33 @@ void write_named_tensors(
   }
 }
 
+// Declared tensor extents are untrusted: a hostile artifact can carry a
+// self-consistent digest, so every dimension must be validated before it
+// reaches Shape (which treats bad dims as programmer error) or an
+// allocation.
+constexpr std::size_t kMaxTensorRank = 8;
+constexpr std::int64_t kMaxTensorElems = std::int64_t{1} << 28;  // 1 GiB f32
+
+Shape checked_shape(std::vector<std::int64_t> dims,
+                    const std::string& context) {
+  if (dims.size() > kMaxTensorRank) {
+    throw SerializationError(context + ": implausible tensor rank " +
+                             std::to_string(dims.size()));
+  }
+  std::int64_t numel = 1;
+  for (const std::int64_t d : dims) {
+    if (d < 0 || d > kMaxTensorElems) {
+      throw SerializationError(context + ": corrupt tensor dimension " +
+                               std::to_string(d));
+    }
+    numel *= d == 0 ? 1 : d;
+    if (numel > kMaxTensorElems) {
+      throw SerializationError(context + ": declared tensor size too large");
+    }
+  }
+  return Shape{std::move(dims)};
+}
+
 std::vector<PublishedModel::NamedTensor> read_named_tensors(BinaryReader& r) {
   const std::uint64_t count = r.read_u64();
   if (count > 100000) {
@@ -39,7 +66,7 @@ std::vector<PublishedModel::NamedTensor> read_named_tensors(BinaryReader& r) {
   for (std::uint64_t i = 0; i < count; ++i) {
     PublishedModel::NamedTensor t;
     t.name = r.read_string();
-    const Shape shape{r.read_i64_vector()};
+    const Shape shape = checked_shape(r.read_i64_vector(), "tensor " + t.name);
     auto values = r.read_f32_vector();
     if (static_cast<std::int64_t>(values.size()) != shape.numel()) {
       throw SerializationError("tensor " + t.name +

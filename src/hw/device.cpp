@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/error.hpp"
+#include "hw/fault.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/layers.hpp"
 #include "nn/residual.hpp"
@@ -71,6 +72,7 @@ TrustedDevice::TrustedDevice(const obf::HpnnKey& key,
 }
 
 void TrustedDevice::load_model(const obf::PublishedModel& artifact) {
+  key_store_.check_integrity();
   net_ = obf::instantiate_baseline(artifact);
   net_->set_training(false);
   weight_cache_.clear();
@@ -78,13 +80,40 @@ void TrustedDevice::load_model(const obf::PublishedModel& artifact) {
   activation_scales_ = artifact.activation_scales;
 }
 
+obf::AttestationResult TrustedDevice::self_test(
+    const obf::AttestationChallenge& challenge) {
+  key_store_.check_integrity();
+  HPNN_CHECK(net_ != nullptr, "no model loaded for device self-test");
+  return obf::check_response(challenge, classify(challenge.probes));
+}
+
+void TrustedDevice::attach_fault_injector(FaultInjector* injector) {
+  fault_ = injector;
+  mmu_.attach_fault_injector(injector);
+  if (injector != nullptr) {
+    injector->apply_key_faults(key_store_);
+    // Lock masks derive from the (now possibly faulted) key bits.
+    lock_cache_.clear();
+  }
+}
+
 QuantizedTensor TrustedDevice::quantize_mac_input(const Tensor& x) {
   const std::int64_t idx = mac_cursor_++;
   if (idx < static_cast<std::int64_t>(activation_scales_.size())) {
-    return quantize_with_scale(x, activation_scales_[
-                                      static_cast<std::size_t>(idx)]);
+    float scale = activation_scales_[static_cast<std::size_t>(idx)];
+    if (fault_ != nullptr) {
+      scale = fault_->corrupt_scale(scale, idx);
+    }
+    return quantize_with_scale(x, scale);
   }
-  return quantize(x);  // dynamic fallback
+  QuantizedTensor q = quantize(x);  // dynamic fallback
+  if (fault_ != nullptr) {
+    // The fault hits the scale register after quantization: the int8
+    // values are consistent, but the dequantization factor read back by
+    // the accumulator drain path is wrong.
+    q.scale = fault_->corrupt_scale(q.scale, idx);
+  }
+  return q;
 }
 
 const QuantizedTensor& TrustedDevice::quantized_weights(

@@ -24,12 +24,15 @@
 #include <memory>
 #include <vector>
 
+#include "hpnn/attestation.hpp"
 #include "hpnn/model_io.hpp"
 #include "hw/mmu.hpp"
 #include "hw/quant.hpp"
 #include "hw/secure_memory.hpp"
 
 namespace hpnn::hw {
+
+class FaultInjector;
 
 struct DeviceConfig {
   Fidelity fidelity = Fidelity::kFast;
@@ -46,8 +49,23 @@ class TrustedDevice {
                 DeviceConfig config = {});
 
   /// Loads a model-zoo artifact (weights are quantized lazily per layer).
+  /// Fails fast with KeyError if the sealed key store no longer passes its
+  /// integrity check — a corrupted device must not serve predictions.
   void load_model(const obf::PublishedModel& artifact);
   bool has_model() const { return net_ != nullptr; }
+
+  /// Post-load health check: verifies key-store integrity (KeyError on
+  /// mismatch) and replays an attestation challenge bundled with the
+  /// artifact, so a silently corrupted device degrades to a detected
+  /// error instead of confidently wrong predictions.
+  obf::AttestationResult self_test(
+      const obf::AttestationChallenge& challenge);
+
+  /// Attaches a fault-injection engine (nullptr detaches). Planned key-bit
+  /// SEUs are applied immediately and persist for the device's lifetime;
+  /// transient accumulator/scale faults fire during subsequent inference.
+  /// Without an injector every hook reduces to a null-pointer test.
+  void attach_fault_injector(FaultInjector* injector);
 
   /// Runs inference on a batch [N, C, H, W]; returns logits [N, classes].
   Tensor infer(const Tensor& images);
@@ -86,6 +104,7 @@ class TrustedDevice {
   SecureKeyStore key_store_;
   DeviceConfig config_;
   Mmu mmu_;
+  FaultInjector* fault_ = nullptr;
   std::unique_ptr<nn::Sequential> net_;  // structure + published weights
   std::map<const nn::Module*, QuantizedTensor> weight_cache_;
   std::map<std::int64_t, LockInfo> lock_cache_;

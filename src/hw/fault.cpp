@@ -1,0 +1,168 @@
+#include "hw/fault.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "core/error.hpp"
+#include "hw/accumulator.hpp"
+#include "hw/secure_memory.hpp"
+
+namespace hpnn::hw {
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {
+  for (const auto bit : plan_.key_bits) {
+    HPNN_CHECK(bit < obf::HpnnKey::kBits,
+               "fault plan targets key bit " + std::to_string(bit) +
+                   " beyond the " + std::to_string(obf::HpnnKey::kBits) +
+                   "-bit key");
+  }
+  HPNN_CHECK(plan_.accumulator_flip_rate >= 0.0 &&
+                 plan_.accumulator_flip_rate <= 1.0,
+             "accumulator flip rate must be a probability");
+  HPNN_CHECK(plan_.accumulator_bit >= 0 &&
+                 plan_.accumulator_bit < KeyedAccumulator::kWidth,
+             "accumulator fault bit outside the 32-bit register");
+}
+
+void FaultInjector::apply_key_faults(SecureKeyStore& store) {
+  HPNN_CHECK(store.provisioned(),
+             "cannot inject key faults into an unprovisioned store");
+  for (const auto bit : plan_.key_bits) {
+    store.key_.flip_bit(bit);
+    ++stats_.key_bits_flipped;
+  }
+}
+
+void FaultInjector::on_gemm() { ++stats_.gemms_observed; }
+
+void FaultInjector::corrupt_accumulators(std::span<std::int32_t> partials) {
+  if (plan_.accumulator_flip_rate <= 0.0 || !armed()) {
+    return;
+  }
+  const std::int32_t mask = std::int32_t{1} << plan_.accumulator_bit;
+  for (auto& value : partials) {
+    if (rng_.bernoulli(plan_.accumulator_flip_rate)) {
+      value ^= mask;
+      ++stats_.accumulator_faults;
+    }
+  }
+}
+
+float FaultInjector::corrupt_scale(float scale, std::int64_t mac_layer) {
+  if (plan_.scale_relative_error == 0.0) {
+    return scale;
+  }
+  if (!plan_.scale_layers.empty() &&
+      std::find(plan_.scale_layers.begin(), plan_.scale_layers.end(),
+                mac_layer) == plan_.scale_layers.end()) {
+    return scale;
+  }
+  ++stats_.scale_faults;
+  return scale * (1.0f + static_cast<float>(plan_.scale_relative_error));
+}
+
+// ---- campaign driver ----------------------------------------------------
+
+double evaluate_device_accuracy(TrustedDevice& device, const Tensor& images,
+                                const std::vector<std::int64_t>& labels) {
+  HPNN_CHECK(images.rank() == 4, "campaign images must be NCHW");
+  const std::int64_t n = images.dim(0);
+  HPNN_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+             "campaign labels do not match the image batch");
+  const std::int64_t sample = images.numel() / n;
+  constexpr std::int64_t kBatch = 64;
+  std::int64_t correct = 0;
+  for (std::int64_t at = 0; at < n; at += kBatch) {
+    const std::int64_t count = std::min<std::int64_t>(kBatch, n - at);
+    std::vector<std::int64_t> dims = images.shape().dims();
+    dims[0] = count;
+    const Tensor batch(
+        Shape{dims},
+        std::vector<float>(images.data() + at * sample,
+                           images.data() + (at + count) * sample));
+    const auto pred = device.classify(batch);
+    for (std::int64_t i = 0; i < count; ++i) {
+      correct += (pred[static_cast<std::size_t>(i)] ==
+                  labels[static_cast<std::size_t>(at + i)]);
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+FaultTrialResult run_fault_trial(const obf::HpnnKey& key,
+                                 std::uint64_t schedule_seed,
+                                 const obf::PublishedModel& artifact,
+                                 const Tensor& images,
+                                 const std::vector<std::int64_t>& labels,
+                                 const FaultPlan& plan,
+                                 const DeviceConfig& config) {
+  TrustedDevice device(key, schedule_seed, config);
+  device.load_model(artifact);  // integrity checks run on a healthy device
+  FaultInjector injector(plan);
+  device.attach_fault_injector(&injector);
+  FaultTrialResult result;
+  result.accuracy = evaluate_device_accuracy(device, images, labels);
+  result.integrity_detected = !device.key_store().integrity_ok();
+  result.stats = injector.stats();
+  return result;
+}
+
+std::vector<KeyFlipCampaignPoint> run_key_flip_campaign(
+    const obf::HpnnKey& key, std::uint64_t schedule_seed,
+    const obf::PublishedModel& artifact, const Tensor& images,
+    const std::vector<std::int64_t>& labels,
+    const std::vector<std::size_t>& bit_counts, int trials,
+    std::uint64_t campaign_seed, const DeviceConfig& config) {
+  HPNN_CHECK(trials > 0, "key-flip campaign needs at least one trial");
+  Rng rng(campaign_seed);
+  std::vector<KeyFlipCampaignPoint> points;
+  points.reserve(bit_counts.size());
+  for (const std::size_t bits : bit_counts) {
+    HPNN_CHECK(bits <= obf::HpnnKey::kBits,
+               "cannot flip more bits than the key holds");
+    KeyFlipCampaignPoint point;
+    point.bits_flipped = bits;
+    point.min_accuracy = 1.0;
+    // A zero-bit point is deterministic; do not repeat it.
+    const int runs = bits == 0 ? 1 : trials;
+    for (int t = 0; t < runs; ++t) {
+      FaultPlan plan;
+      const auto perm = rng.permutation(obf::HpnnKey::kBits);
+      plan.key_bits.assign(perm.begin(),
+                           perm.begin() + static_cast<std::ptrdiff_t>(bits));
+      const auto trial = run_fault_trial(key, schedule_seed, artifact, images,
+                                         labels, plan, config);
+      point.mean_accuracy += trial.accuracy;
+      point.min_accuracy = std::min(point.min_accuracy, trial.accuracy);
+      // A detected corruption fails closed: the device serves nothing.
+      point.mean_served_accuracy +=
+          trial.integrity_detected ? 0.0 : trial.accuracy;
+      point.detection_rate += trial.integrity_detected ? 1.0 : 0.0;
+    }
+    point.mean_accuracy /= runs;
+    point.mean_served_accuracy /= runs;
+    point.detection_rate /= runs;
+    points.push_back(point);
+  }
+  return points;
+}
+
+void write_campaign_json(std::ostream& os, const std::string& model_label,
+                         double baseline_accuracy,
+                         const std::vector<KeyFlipCampaignPoint>& points) {
+  os << "{\"bench\":\"fault_campaign\",\"model\":\"" << model_label
+     << "\",\"baseline_accuracy\":" << baseline_accuracy
+     << ",\"key_bit_flips\":[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    os << (i ? "," : "") << "{\"bits\":" << p.bits_flipped
+       << ",\"mean_accuracy\":" << p.mean_accuracy
+       << ",\"min_accuracy\":" << p.min_accuracy
+       << ",\"served_accuracy\":" << p.mean_served_accuracy
+       << ",\"detection_rate\":" << p.detection_rate << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace hpnn::hw

@@ -1,0 +1,172 @@
+// Fault-injection subsystem for the trusted device.
+//
+// The paper's security argument rests on the integrity of the sealed key
+// and the keyed datapath: a single wrong key bit should collapse accuracy
+// to near-chance. This module makes that assumption measurable under a
+// realistic hardware fault model:
+//
+//   - persistent SEUs in the sealed key store (bit flips in the key words
+//     that survive until the next power cycle);
+//   - transient bit flips in the keyed-accumulator partial sums of the MMU;
+//   - corruption of the quantization-scale registers feeding the MAC units.
+//
+// A seeded, deterministic FaultInjector executes a FaultPlan and reports
+// FaultStats per campaign. The hardware model (SecureKeyStore, Mmu,
+// TrustedDevice) carries injection hooks that reduce to a null-pointer test
+// when no injector is attached, so the fault machinery costs nothing in
+// normal operation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "hw/device.hpp"
+
+namespace hpnn::hw {
+
+class SecureKeyStore;
+
+/// Which faults to inject, where, and when. Default-constructed plans
+/// inject nothing.
+struct FaultPlan {
+  /// Persistent SEUs in sealed key storage: indices of HPNN key bits to
+  /// flip (applied once, when the injector is attached to a device).
+  std::vector<std::size_t> key_bits;
+
+  /// Transient accumulator faults: once armed, every output element of a
+  /// keyed GEMM flips bit `accumulator_bit` of its 32-bit partial sum with
+  /// this per-element probability.
+  double accumulator_flip_rate = 0.0;
+  int accumulator_bit = 30;
+
+  /// Number of GEMM calls to observe before transient faults arm (0 =
+  /// armed from the first GEMM). Selects the inference step under attack.
+  std::uint64_t arm_after_gemms = 0;
+
+  /// Quantization-scale corruption: affected scale registers read back
+  /// scale * (1 + scale_relative_error).
+  double scale_relative_error = 0.0;
+  /// MAC-layer indices (device execution order) whose scale registers are
+  /// corrupted; empty = every MAC layer.
+  std::vector<std::int64_t> scale_layers;
+
+  /// Seed of the transient-fault randomness (campaigns are reproducible).
+  std::uint64_t seed = 0;
+};
+
+/// Per-campaign accounting of what the injector actually did.
+struct FaultStats {
+  std::uint64_t key_bits_flipped = 0;
+  std::uint64_t accumulator_faults = 0;
+  std::uint64_t scale_faults = 0;
+  std::uint64_t gemms_observed = 0;
+
+  void reset() { *this = FaultStats{}; }
+};
+
+/// Deterministic fault-injection engine. Attach to a TrustedDevice via
+/// TrustedDevice::attach_fault_injector; the device wires it through to its
+/// key store and MMU. Key-bit SEUs are applied once at attach time and are
+/// irreversible for the lifetime of the device (as on real silicon until a
+/// re-provision); transient faults fire during inference.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  // ---- hooks called by the hardware model ------------------------------
+
+  /// Flips the planned key bits inside the (sealed) store, bypassing the
+  /// provisioning interface — this is physics, not API. The store's
+  /// integrity digest is deliberately NOT updated, so detection logic can
+  /// observe the corruption.
+  void apply_key_faults(SecureKeyStore& store);
+
+  /// Counts a GEMM issue (arms transient faults after `arm_after_gemms`).
+  void on_gemm();
+
+  /// Flips accumulator bits in a GEMM output tile according to the plan.
+  void corrupt_accumulators(std::span<std::int32_t> partials);
+
+  /// Returns the (possibly corrupted) value a scale register reads back
+  /// for the given MAC layer.
+  float corrupt_scale(float scale, std::int64_t mac_layer);
+
+ private:
+  bool armed() const { return stats_.gemms_observed > plan_.arm_after_gemms; }
+
+  FaultPlan plan_;
+  FaultStats stats_;
+  Rng rng_;
+};
+
+// ---- campaign driver ----------------------------------------------------
+
+/// Outcome of evaluating one faulted device over a labeled dataset.
+struct FaultTrialResult {
+  double accuracy = 0.0;
+  /// True when the key store's integrity digest no longer matches — i.e.
+  /// the parity/CRC logic would have caught this fault before inference.
+  bool integrity_detected = false;
+  FaultStats stats;
+};
+
+/// Classification accuracy of a device over [N, C, H, W] images (batched
+/// internally; the device's fault hooks stay attached throughout).
+double evaluate_device_accuracy(TrustedDevice& device, const Tensor& images,
+                                const std::vector<std::int64_t>& labels);
+
+/// Builds a fresh device (key + schedule sealed on-chip), loads the
+/// artifact, attaches an injector for `plan` and evaluates accuracy.
+FaultTrialResult run_fault_trial(const obf::HpnnKey& key,
+                                 std::uint64_t schedule_seed,
+                                 const obf::PublishedModel& artifact,
+                                 const Tensor& images,
+                                 const std::vector<std::int64_t>& labels,
+                                 const FaultPlan& plan,
+                                 const DeviceConfig& config = {});
+
+/// One point of the accuracy-vs-flipped-key-bits curve.
+///
+/// `mean_accuracy`/`min_accuracy` describe the raw datapath: what the device
+/// would predict if it kept serving on a corrupted key. Each key bit drives
+/// only a slice of the per-neuron locks, so this decays gradually with the
+/// flip count (the key-distance ablation seen from the fault side).
+/// `mean_served_accuracy` is the deployed behavior: the integrity digest
+/// detects the corruption and the device fails closed, serving nothing —
+/// so it collapses to 0 as soon as a single bit is flipped.
+struct KeyFlipCampaignPoint {
+  std::size_t bits_flipped = 0;
+  double mean_accuracy = 0.0;
+  double min_accuracy = 0.0;
+  double mean_served_accuracy = 0.0;
+  /// Fraction of trials where the key-store digest detected the corruption
+  /// (1.0 whenever bits_flipped > 0 — the digest covers every key word).
+  double detection_rate = 0.0;
+};
+
+/// Monte-Carlo key-SEU campaign: for each entry of `bit_counts`, runs
+/// `trials` independent trials flipping that many uniformly drawn distinct
+/// key bits, and aggregates accuracy. `campaign_seed` fixes the drawn bit
+/// positions.
+std::vector<KeyFlipCampaignPoint> run_key_flip_campaign(
+    const obf::HpnnKey& key, std::uint64_t schedule_seed,
+    const obf::PublishedModel& artifact, const Tensor& images,
+    const std::vector<std::int64_t>& labels,
+    const std::vector<std::size_t>& bit_counts, int trials,
+    std::uint64_t campaign_seed, const DeviceConfig& config = {});
+
+/// Serializes a key-flip campaign as a JSON object:
+/// {"bench":"fault_campaign","model":<label>,"baseline_accuracy":...,
+///  "key_bit_flips":[{"bits":...,"mean_accuracy":...,...},...]}
+void write_campaign_json(std::ostream& os, const std::string& model_label,
+                         double baseline_accuracy,
+                         const std::vector<KeyFlipCampaignPoint>& points);
+
+}  // namespace hpnn::hw

@@ -1,6 +1,7 @@
 #include "hw/mmu.hpp"
 
 #include "core/error.hpp"
+#include "hw/fault.hpp"
 
 namespace hpnn::hw {
 
@@ -62,6 +63,14 @@ void Mmu::matmul_i8(std::span<const std::int8_t> a, std::int64_t m,
         out[i * n + j] = static_cast<std::int32_t>(key_bit ? 0u - acc : acc);
       }
     }
+  }
+
+  if (fault_ != nullptr) {
+    // SEUs strike the accumulator registers holding the partial sums,
+    // after the keyed accumulation but before write-back to the unified
+    // buffer.
+    fault_->on_gemm();
+    fault_->corrupt_accumulators(out);
   }
 
   // ---- pipeline cycle model -------------------------------------------

@@ -13,6 +13,8 @@
 
 namespace hpnn::hw {
 
+class FaultInjector;
+
 struct MmuStats {
   std::uint64_t mac_ops = 0;          // int multiply-accumulates performed
   std::uint64_t cycles = 0;           // modeled pipeline cycles
@@ -48,9 +50,15 @@ class Mmu {
   void reset_stats() { stats_.reset(); }
   Fidelity fidelity() const { return fidelity_; }
 
+  /// Wires a fault injector into the accumulator bank (nullptr detaches).
+  /// With no injector attached the hook is a single null-pointer test per
+  /// GEMM — the normal datapath is untouched.
+  void attach_fault_injector(FaultInjector* injector) { fault_ = injector; }
+
  private:
   Fidelity fidelity_;
   MmuStats stats_;
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace hpnn::hw

@@ -7,12 +7,36 @@ namespace hpnn::hw {
 void SecureKeyStore::provision(const obf::HpnnKey& key,
                                std::uint64_t schedule_seed,
                                obf::SchedulePolicy policy) {
+  if (sealed_) {
+    throw KeyError("secure key store is sealed; provisioning forbidden");
+  }
   if (provisioned_) {
     throw KeyError("secure key store is already provisioned");
   }
   key_ = key;
   scheduler_ = std::make_unique<obf::Scheduler>(schedule_seed, policy);
   provisioned_ = true;
+  digest_ = compute_digest();
+}
+
+Sha256Digest SecureKeyStore::compute_digest() const {
+  // Domain-separated digest over everything the datapath derives from:
+  // the key words, the schedule seed and the tiling policy.
+  return Sha256::hash("hpnn-keystore-v1:" + key_.to_hex() + ":" +
+                      std::to_string(scheduler_->seed()) + ":" +
+                      std::to_string(static_cast<int>(scheduler_->policy())));
+}
+
+bool SecureKeyStore::integrity_ok() const {
+  return !provisioned_ || compute_digest() == digest_;
+}
+
+void SecureKeyStore::check_integrity() const {
+  if (!integrity_ok()) {
+    throw KeyError(
+        "secure key store failed its integrity check (corrupted key or "
+        "schedule state)");
+  }
 }
 
 obf::HpnnKey SecureKeyStore::export_key() const {

@@ -9,18 +9,21 @@
 
 #include <memory>
 
+#include "core/sha256.hpp"
 #include "hpnn/key.hpp"
 #include "hpnn/scheduler.hpp"
 
 namespace hpnn::hw {
 
 class TrustedDevice;
+class FaultInjector;
 
 class SecureKeyStore {
  public:
   SecureKeyStore() = default;
 
-  /// Writes the secrets. Throws KeyError if already provisioned.
+  /// Writes the secrets. Throws KeyError if already provisioned or sealed
+  /// (a sealed store can never be re-keyed, even when empty).
   void provision(const obf::HpnnKey& key, std::uint64_t schedule_seed,
                  obf::SchedulePolicy policy =
                      obf::SchedulePolicy::kInterleaved);
@@ -38,16 +41,29 @@ class SecureKeyStore {
   /// Reads back the schedule seed — same sealing rules.
   std::uint64_t export_schedule_seed() const;
 
+  /// SEU detection: recomputes the integrity digest taken at provisioning
+  /// time over the stored secrets and compares. An unprovisioned store is
+  /// trivially intact. A fault injector flips key bits *without* updating
+  /// the digest, so single-event upsets are observable here.
+  bool integrity_ok() const;
+
+  /// Throws KeyError when the stored secrets no longer match their
+  /// provisioning-time digest (fail fast instead of computing garbage).
+  void check_integrity() const;
+
  private:
   friend class TrustedDevice;  // on-chip wiring to the accumulators
+  friend class FaultInjector;  // physical fault model, not an API consumer
 
   bool key_bit(std::size_t i) const;
   const obf::Scheduler& scheduler() const;
+  Sha256Digest compute_digest() const;
 
   bool provisioned_ = false;
   bool sealed_ = false;
   obf::HpnnKey key_;
   std::unique_ptr<obf::Scheduler> scheduler_;
+  Sha256Digest digest_{};  // taken over the secrets at provisioning time
 };
 
 }  // namespace hpnn::hw

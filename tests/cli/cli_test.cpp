@@ -254,6 +254,49 @@ TEST(CliTest, ZooPublishListEvalFlow) {
             1);
 }
 
+TEST(CliTest, FaultCampaignReportsCurveAndJson) {
+  const std::string key(64, '1');
+  const std::string model_path =
+      ::testing::TempDir() + "/cli_fault_model.hpnn";
+  const std::vector<std::string> common = {
+      "--dataset", "fashion", "--img", "16", "--tpc", "20",
+      "--testpc",  "10"};
+
+  std::vector<std::string> train_cmd = {
+      "train", "--arch", "CNN1", "--key", key, "--out", model_path,
+      "--epochs", "1"};
+  train_cmd.insert(train_cmd.end(), common.begin(), common.end());
+  std::string out;
+  ASSERT_EQ(run(train_cmd, out), 0) << out;
+
+  std::vector<std::string> campaign_cmd = {
+      "fault-campaign", "--model", model_path, "--key", key,
+      "--bits", "0,1", "--trials", "1", "--scale-error", "1.0",
+      "--json", "1"};
+  campaign_cmd.insert(campaign_cmd.end(), common.begin(), common.end());
+  ASSERT_EQ(run(campaign_cmd, out), 0) << out;
+  EXPECT_NE(out.find("baseline accuracy"), std::string::npos);
+  EXPECT_NE(out.find("flipped-bits"), std::string::npos);
+  EXPECT_NE(out.find("scale corruption"), std::string::npos);
+  EXPECT_NE(out.find("\"bench\":\"fault_campaign\""), std::string::npos);
+
+  std::vector<std::string> bad_bits = {
+      "fault-campaign", "--model", model_path, "--key", key,
+      "--bits", "0,900"};
+  bad_bits.insert(bad_bits.end(), common.begin(), common.end());
+  EXPECT_EQ(run(bad_bits, out), 1);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+}
+
+TEST(CliTest, FaultCampaignRequiresKey) {
+  std::string out;
+  EXPECT_EQ(run({"fault-campaign", "--model", "/nonexistent.hpnn",
+                 "--dataset", "fashion"},
+                out),
+            1);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+}
+
 TEST(CliTest, TrainRejectsBadKey) {
   std::string out;
   EXPECT_EQ(run({"train", "--arch", "CNN1", "--dataset", "fashion",

@@ -93,6 +93,27 @@ TEST(SerializeTest, ContainerBoundIsEnforced) {
   EXPECT_THROW(r.read_f32_vector(), SerializationError);
 }
 
+TEST(SerializeTest, LengthBeyondRemainingStreamRejectedBeforeAlloc) {
+  // 2^31 bytes claimed but only 8 bytes present: the reader must compare
+  // the declared length against the physically remaining input and throw
+  // instead of attempting a 2 GiB resize (std::bad_alloc / OOM-killer).
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u64(std::uint64_t{1} << 31);
+  BinaryReader r(ss);
+  EXPECT_THROW(r.read_u8_vector(), SerializationError);
+}
+
+TEST(SerializeTest, RemainingBytesProbeMatchesStream) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u64(42);
+  BinaryReader r(ss);
+  EXPECT_EQ(r.remaining_bytes_or(0), 8u);
+  (void)r.read_u64();
+  EXPECT_EQ(r.remaining_bytes_or(0), 0u);
+}
+
 TEST(SerializeTest, StringTruncationThrows) {
   std::stringstream ss;
   BinaryWriter w(ss);

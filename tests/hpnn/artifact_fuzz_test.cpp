@@ -71,6 +71,32 @@ TEST(ArtifactFuzzTest, RandomGarbageInputs) {
   }
 }
 
+TEST(ArtifactFuzzTest, TruncationAtEvery64ByteBoundary) {
+  // Exhaustive (not sampled) truncation sweep: cut the artifact at every
+  // 64-byte boundary. Each prefix must be rejected with SerializationError
+  // — never a crash, hang, or a silently parsed model.
+  const std::string valid = make_valid_artifact();
+  for (std::size_t len = 0; len < valid.size(); len += 64) {
+    std::stringstream ss(valid.substr(0, len));
+    EXPECT_THROW((void)read_published_model(ss), SerializationError)
+        << "truncation to " << len << " bytes parsed successfully";
+  }
+}
+
+TEST(ArtifactFuzzTest, ByteFlipAtEvery256ByteStride) {
+  // Deterministic corruption sweep: flip one byte every 256 bytes across
+  // the whole artifact (headers, shape tables, weight payload, digest).
+  // The SHA-256 trailer guarantees detection of every flip.
+  const std::string valid = make_valid_artifact();
+  for (std::size_t pos = 0; pos < valid.size(); pos += 256) {
+    std::string mutated = valid;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5A);
+    std::stringstream ss(mutated);
+    EXPECT_THROW((void)read_published_model(ss), SerializationError)
+        << "byte flip at offset " << pos << " parsed successfully";
+  }
+}
+
 TEST(ArtifactFuzzTest, LengthFieldInflation) {
   // Corrupt the outer payload-length field specifically: the reader must
   // reject it via its container sanity bound, not attempt the allocation.

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "core/error.hpp"
+#include "core/serialize.hpp"
 #include "hpnn/model_io.hpp"
 #include "hw/device.hpp"
 #include "tensor/ops.hpp"
@@ -104,6 +106,53 @@ TEST(AttestationTest, SerializationRoundTrip) {
 TEST(AttestationTest, CorruptChallengeRejected) {
   std::stringstream ss("this is not a challenge");
   EXPECT_THROW(read_challenge(ss), SerializationError);
+}
+
+TEST(AttestationTest, TruncatedChallengeRejectedAtEveryLength) {
+  TestSetup s = make_setup();
+  Rng rng(13);
+  const auto challenge = make_challenge(*s.model, 4, rng);
+  std::stringstream full;
+  write_challenge(full, challenge);
+  const std::string bytes = full.str();
+  for (std::size_t len = 0; len < bytes.size(); len += 16) {
+    std::stringstream ss(bytes.substr(0, len));
+    EXPECT_THROW(read_challenge(ss), SerializationError)
+        << "truncation to " << len << " bytes parsed successfully";
+  }
+}
+
+TEST(AttestationTest, HostileProbeDimsRejected) {
+  // Negative and absurdly large probe extents must surface as
+  // SerializationError (untrusted input), not as Shape's InvariantError
+  // (programmer error) or an attempted multi-GiB allocation.
+  const auto craft = [](const std::vector<std::int64_t>& dims) {
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    w.write_u32(0x4850'4143u);  // challenge magic
+    w.write_i64_vector(dims);
+    return ss;
+  };
+  auto negative = craft({1, -1, 8, 8});
+  EXPECT_THROW(read_challenge(negative), SerializationError);
+  auto huge = craft({1 << 12, 1 << 12, 1 << 12, 1 << 12});
+  EXPECT_THROW(read_challenge(huge), SerializationError);
+  auto wrong_rank = craft({4, 8, 8});
+  EXPECT_THROW(read_challenge(wrong_rank), SerializationError);
+}
+
+TEST(AttestationTest, NonFiniteAgreementThresholdRejected) {
+  TestSetup s = make_setup();
+  Rng rng(14);
+  auto challenge = make_challenge(*s.model, 4, rng);
+  for (const double bad :
+       {std::numeric_limits<double>::quiet_NaN(), 0.0, -1.0, 2.0}) {
+    challenge.min_agreement = bad;
+    std::stringstream ss;
+    write_challenge(ss, challenge);
+    EXPECT_THROW(read_challenge(ss), SerializationError)
+        << "threshold " << bad << " accepted";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,252 @@
+// Contract of the fault-injection subsystem: deterministic faults, zero
+// effect without a plan, and every key SEU caught by the key-store
+// integrity digest.
+#include "hw/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "hpnn/attestation.hpp"
+#include "hpnn/owner.hpp"
+#include "hw/secure_memory.hpp"
+
+namespace hpnn::hw {
+namespace {
+
+struct PublishedSetup {
+  obf::HpnnKey key;
+  std::uint64_t schedule_seed = 4321;
+  obf::PublishedModel artifact;
+  std::unique_ptr<obf::LockedModel> owner_model;
+};
+
+PublishedSetup make_published(std::uint64_t key_seed) {
+  PublishedSetup s;
+  Rng rng(key_seed);
+  s.key = obf::HpnnKey::random(rng);
+  obf::Scheduler sched(s.schedule_seed);
+  models::ModelConfig cfg;
+  cfg.in_channels = 1;
+  cfg.image_size = 16;
+  cfg.init_seed = 7;
+  s.owner_model = std::make_unique<obf::LockedModel>(
+      models::Architecture::kCnn1, cfg, s.key, sched);
+  std::stringstream ss;
+  obf::publish_model(ss, *s.owner_model);
+  s.artifact = obf::read_published_model(ss);
+  return s;
+}
+
+Tensor probe_batch(std::uint64_t seed, std::int64_t n = 4) {
+  Rng rng(seed);
+  return Tensor::normal(Shape{n, 1, 16, 16}, rng, 0.0f, 0.25f);
+}
+
+TEST(FaultInjectorTest, RejectsMalformedPlans) {
+  {
+    FaultPlan plan;
+    plan.key_bits = {obf::HpnnKey::kBits};  // one past the end
+    EXPECT_THROW(FaultInjector{plan}, InvariantError);
+  }
+  {
+    FaultPlan plan;
+    plan.accumulator_flip_rate = 1.5;
+    EXPECT_THROW(FaultInjector{plan}, InvariantError);
+  }
+  {
+    FaultPlan plan;
+    plan.accumulator_bit = 32;  // accumulators are 32-bit
+    EXPECT_THROW(FaultInjector{plan}, InvariantError);
+  }
+}
+
+TEST(FaultInjectorTest, EmptyPlanIsTransparent) {
+  auto s = make_published(101);
+  const Tensor x = probe_batch(1);
+
+  TrustedDevice clean(s.key, s.schedule_seed);
+  clean.load_model(s.artifact);
+  const Tensor clean_logits = clean.infer(x);
+
+  TrustedDevice faulted(s.key, s.schedule_seed);
+  faulted.load_model(s.artifact);
+  FaultInjector injector{FaultPlan{}};
+  faulted.attach_fault_injector(&injector);
+  const Tensor faulted_logits = faulted.infer(x);
+
+  EXPECT_TRUE(clean_logits.allclose(faulted_logits, 0.0f, 0.0f));
+  EXPECT_TRUE(faulted.key_store().integrity_ok());
+  EXPECT_EQ(injector.stats().key_bits_flipped, 0u);
+  EXPECT_EQ(injector.stats().accumulator_faults, 0u);
+  EXPECT_EQ(injector.stats().scale_faults, 0u);
+  EXPECT_GT(injector.stats().gemms_observed, 0u);  // hooks were wired
+}
+
+TEST(FaultInjectorTest, KeyBitFlipChangesLogitsAndIsDetected) {
+  auto s = make_published(103);
+  const Tensor x = probe_batch(2, 8);
+
+  TrustedDevice clean(s.key, s.schedule_seed);
+  clean.load_model(s.artifact);
+
+  TrustedDevice faulted(s.key, s.schedule_seed);
+  faulted.load_model(s.artifact);
+  FaultPlan plan;
+  plan.key_bits = {17};
+  FaultInjector injector{plan};
+  faulted.attach_fault_injector(&injector);
+
+  EXPECT_FALSE(clean.infer(x).allclose(faulted.infer(x), 1e-2f, 1e-2f));
+  EXPECT_EQ(injector.stats().key_bits_flipped, 1u);
+  EXPECT_FALSE(faulted.key_store().integrity_ok());
+  EXPECT_THROW(faulted.key_store().check_integrity(), KeyError);
+
+  // self_test must fail fast on the corrupted store, before replaying the
+  // challenge.
+  Rng rng(7);
+  const auto challenge = obf::make_challenge(*s.owner_model, 8, rng);
+  EXPECT_THROW(faulted.self_test(challenge), KeyError);
+}
+
+TEST(FaultInjectorTest, LoadModelFailsFastAfterKeyCorruption) {
+  auto s = make_published(107);
+  TrustedDevice device(s.key, s.schedule_seed);
+  FaultPlan plan;
+  plan.key_bits = {0, 255};
+  FaultInjector injector{plan};
+  device.attach_fault_injector(&injector);
+  EXPECT_EQ(injector.stats().key_bits_flipped, 2u);
+  EXPECT_THROW(device.load_model(s.artifact), KeyError);
+}
+
+TEST(FaultInjectorTest, AccumulatorFaultsPerturbOutputsAndCount) {
+  auto s = make_published(109);
+  const Tensor x = probe_batch(3);
+
+  TrustedDevice clean(s.key, s.schedule_seed);
+  clean.load_model(s.artifact);
+
+  TrustedDevice faulted(s.key, s.schedule_seed);
+  faulted.load_model(s.artifact);
+  FaultPlan plan;
+  plan.accumulator_flip_rate = 1.0;  // every partial sum
+  plan.accumulator_bit = 30;
+  plan.seed = 5;
+  FaultInjector injector{plan};
+  faulted.attach_fault_injector(&injector);
+
+  EXPECT_FALSE(clean.infer(x).allclose(faulted.infer(x), 1e-2f, 1e-2f));
+  EXPECT_GT(injector.stats().accumulator_faults, 0u);
+  // Transient datapath faults do not touch the sealed key words.
+  EXPECT_TRUE(faulted.key_store().integrity_ok());
+}
+
+TEST(FaultInjectorTest, ArmAfterGemmsDelaysInjection) {
+  auto s = make_published(113);
+  const Tensor x = probe_batch(4);
+
+  TrustedDevice clean(s.key, s.schedule_seed);
+  clean.load_model(s.artifact);
+
+  TrustedDevice faulted(s.key, s.schedule_seed);
+  faulted.load_model(s.artifact);
+  FaultPlan plan;
+  plan.accumulator_flip_rate = 1.0;
+  plan.arm_after_gemms = 1u << 30;  // never reached in this test
+  FaultInjector injector{plan};
+  faulted.attach_fault_injector(&injector);
+
+  EXPECT_TRUE(clean.infer(x).allclose(faulted.infer(x), 0.0f, 0.0f));
+  EXPECT_EQ(injector.stats().accumulator_faults, 0u);
+  EXPECT_GT(injector.stats().gemms_observed, 0u);
+}
+
+TEST(FaultInjectorTest, ScaleCorruptionPerturbsOutputsAndCounts) {
+  auto s = make_published(127);
+  const Tensor x = probe_batch(5);
+
+  TrustedDevice clean(s.key, s.schedule_seed);
+  clean.load_model(s.artifact);
+
+  TrustedDevice faulted(s.key, s.schedule_seed);
+  faulted.load_model(s.artifact);
+  FaultPlan plan;
+  plan.scale_relative_error = 1.0;  // scale registers read back 2x
+  FaultInjector injector{plan};
+  faulted.attach_fault_injector(&injector);
+
+  EXPECT_FALSE(clean.infer(x).allclose(faulted.infer(x), 1e-2f, 1e-2f));
+  EXPECT_GT(injector.stats().scale_faults, 0u);
+}
+
+TEST(FaultInjectorTest, ScaleLayerFilterRestrictsCorruption) {
+  FaultPlan plan;
+  plan.scale_relative_error = 0.5;
+  plan.scale_layers = {2};
+  FaultInjector injector{plan};
+  EXPECT_FLOAT_EQ(injector.corrupt_scale(1.0f, 0), 1.0f);
+  EXPECT_FLOAT_EQ(injector.corrupt_scale(1.0f, 2), 1.5f);
+  EXPECT_EQ(injector.stats().scale_faults, 1u);
+}
+
+TEST(FaultInjectorTest, SelfTestPassesOnHealthyDevice) {
+  auto s = make_published(131);
+  TrustedDevice device(s.key, s.schedule_seed);
+  device.load_model(s.artifact);
+  Rng rng(9);
+  const auto challenge = obf::make_challenge(*s.owner_model, 32, rng);
+  const auto result = device.self_test(challenge);
+  EXPECT_TRUE(result.passed) << "agreement " << result.agreement;
+}
+
+TEST(FaultTrialTest, TrialsAreDeterministic) {
+  auto s = make_published(137);
+  const Tensor images = probe_batch(6, 12);
+  const std::vector<std::int64_t> labels(12, 0);
+
+  FaultPlan plan;
+  plan.key_bits = {5, 200};
+  plan.accumulator_flip_rate = 1e-3;
+  plan.seed = 11;
+  const auto a = run_fault_trial(s.key, s.schedule_seed, s.artifact, images,
+                                 labels, plan);
+  const auto b = run_fault_trial(s.key, s.schedule_seed, s.artifact, images,
+                                 labels, plan);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+  EXPECT_EQ(a.integrity_detected, b.integrity_detected);
+  EXPECT_TRUE(a.integrity_detected);
+  EXPECT_EQ(a.stats.accumulator_faults, b.stats.accumulator_faults);
+  EXPECT_EQ(a.stats.key_bits_flipped, 2u);
+}
+
+TEST(FaultTrialTest, KeyFlipCampaignShapeAndDetection) {
+  auto s = make_published(139);
+  const Tensor images = probe_batch(7, 8);
+  const std::vector<std::int64_t> labels(8, 1);
+
+  const auto points = run_key_flip_campaign(
+      s.key, s.schedule_seed, s.artifact, images, labels, {0, 1},
+      /*trials=*/2, /*campaign_seed=*/99);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].bits_flipped, 0u);
+  EXPECT_EQ(points[0].detection_rate, 0.0);   // healthy devices
+  EXPECT_DOUBLE_EQ(points[0].mean_served_accuracy, points[0].mean_accuracy);
+  EXPECT_EQ(points[1].bits_flipped, 1u);
+  EXPECT_EQ(points[1].detection_rate, 1.0);   // digest always catches SEUs
+  // The detected corruption fails closed: served accuracy collapses.
+  EXPECT_DOUBLE_EQ(points[1].mean_served_accuracy, 0.0);
+  EXPECT_GE(points[0].mean_accuracy, points[0].min_accuracy);
+
+  std::ostringstream json;
+  write_campaign_json(json, "CNN1", points[0].mean_accuracy, points);
+  const std::string text = json.str();
+  EXPECT_NE(text.find("\"bench\":\"fault_campaign\""), std::string::npos);
+  EXPECT_NE(text.find("\"key_bit_flips\""), std::string::npos);
+  EXPECT_NE(text.find("\"bits\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"served_accuracy\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpnn::hw

@@ -4,6 +4,7 @@
 
 #include "core/error.hpp"
 #include "hw/device.hpp"
+#include "hw/fault.hpp"
 
 namespace hpnn::hw {
 namespace {
@@ -43,6 +44,47 @@ TEST(SecureKeyStoreTest, SealForbidsExport) {
   EXPECT_TRUE(store.sealed());
   EXPECT_THROW(store.export_key(), KeyError);
   EXPECT_THROW(store.export_schedule_seed(), KeyError);
+}
+
+TEST(SecureKeyStoreTest, ProvisionAfterSealThrows) {
+  // Re-provisioning a sealed, provisioned store is the attack surface:
+  // swapping the key after the device left the owner's hands.
+  SecureKeyStore store;
+  store.provision(some_key(), 3);
+  store.seal();
+  EXPECT_THROW(store.provision(some_key(), 4), KeyError);
+
+  // Sealing an empty store must also close the provisioning port.
+  SecureKeyStore empty;
+  empty.seal();
+  EXPECT_THROW(empty.provision(some_key(), 5), KeyError);
+  EXPECT_FALSE(empty.provisioned());
+}
+
+TEST(SecureKeyStoreTest, IntegrityDigestTracksProvisioning) {
+  SecureKeyStore unprovisioned;
+  EXPECT_TRUE(unprovisioned.integrity_ok());  // nothing to protect yet
+  unprovisioned.check_integrity();            // must not throw
+
+  SecureKeyStore store;
+  store.provision(some_key(), 13);
+  store.seal();
+  EXPECT_TRUE(store.integrity_ok());
+  store.check_integrity();
+}
+
+TEST(SecureKeyStoreTest, IntegrityDigestDetectsTampering) {
+  SecureKeyStore store;
+  store.provision(some_key(), 21);
+  store.seal();
+
+  FaultPlan plan;
+  plan.key_bits = {42};
+  FaultInjector injector{plan};
+  injector.apply_key_faults(store);  // flips a key word behind the digest
+
+  EXPECT_FALSE(store.integrity_ok());
+  EXPECT_THROW(store.check_integrity(), KeyError);
 }
 
 TEST(SecureKeyStoreTest, DeviceSealsOnConstruction) {
