@@ -14,8 +14,11 @@
 #include <cstdio>
 #include <sstream>
 
+#include <vector>
+
 #include "common.hpp"
 #include "core/config.hpp"
+#include "core/threadpool.hpp"
 #include "hw/fault.hpp"
 
 using namespace hpnn;
@@ -73,38 +76,57 @@ int main() {
   }
 
   // ---- 2. transient accumulator faults --------------------------------
+  // Each trial builds its own device + injector, so the independent rate /
+  // error points fan out across the thread pool into result slots and are
+  // printed afterwards in the original order.
+  const std::vector<double> flip_rates{1e-5, 1e-4, 1e-3};
+  std::vector<hw::FaultTrialResult> acc_trials(flip_rates.size());
+  core::parallel_for(
+      0, static_cast<std::int64_t>(flip_rates.size()), 1,
+      [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          hw::FaultPlan plan;
+          plan.accumulator_flip_rate = flip_rates[static_cast<std::size_t>(r)];
+          plan.seed = scale.key_seed + 7;
+          acc_trials[static_cast<std::size_t>(r)] = hw::run_fault_trial(
+              owner.key, owner.scheduler->seed(), owner.artifact, images,
+              labels, plan);
+        }
+      });
   std::printf("\ntransient accumulator bit flips (bit 30 of the partial "
               "sum)\n");
   std::printf("%-14s %-10s %s\n", "flip rate", "accuracy", "faults injected");
-  for (const double rate : {1e-5, 1e-4, 1e-3}) {
-    hw::FaultPlan plan;
-    plan.accumulator_flip_rate = rate;
-    plan.seed = scale.key_seed + 7;
-    const auto trial = hw::run_fault_trial(owner.key,
-                                           owner.scheduler->seed(),
-                                           owner.artifact, images, labels,
-                                           plan);
-    std::printf("%-14g %-10s %llu\n", rate,
+  for (std::size_t r = 0; r < flip_rates.size(); ++r) {
+    const auto& trial = acc_trials[r];
+    std::printf("%-14g %-10s %llu\n", flip_rates[r],
                 bench::pct(trial.accuracy).c_str(),
                 static_cast<unsigned long long>(
                     trial.stats.accumulator_faults));
-    csv.row({rate, trial.accuracy,
+    csv.row({flip_rates[r], trial.accuracy,
              static_cast<double>(trial.stats.accumulator_faults)},
             "accumulator");
   }
 
   // ---- 3. quantization-scale corruption -------------------------------
+  const std::vector<double> scale_errors{0.25, 1.0};
+  std::vector<hw::FaultTrialResult> scale_trials(scale_errors.size());
+  core::parallel_for(
+      0, static_cast<std::int64_t>(scale_errors.size()), 1,
+      [&](std::int64_t e0, std::int64_t e1) {
+        for (std::int64_t e = e0; e < e1; ++e) {
+          hw::FaultPlan plan;
+          plan.scale_relative_error = scale_errors[static_cast<std::size_t>(e)];
+          scale_trials[static_cast<std::size_t>(e)] = hw::run_fault_trial(
+              owner.key, owner.scheduler->seed(), owner.artifact, images,
+              labels, plan);
+        }
+      });
   std::printf("\nquantization-scale register corruption\n");
   std::printf("%-14s %-10s\n", "rel. error", "accuracy");
-  for (const double err : {0.25, 1.0}) {
-    hw::FaultPlan plan;
-    plan.scale_relative_error = err;
-    const auto trial = hw::run_fault_trial(owner.key,
-                                           owner.scheduler->seed(),
-                                           owner.artifact, images, labels,
-                                           plan);
-    std::printf("%-14g %-10s\n", err, bench::pct(trial.accuracy).c_str());
-    csv.row({err, trial.accuracy}, "scale");
+  for (std::size_t e = 0; e < scale_errors.size(); ++e) {
+    std::printf("%-14g %-10s\n", scale_errors[e],
+                bench::pct(scale_trials[e].accuracy).c_str());
+    csv.row({scale_errors[e], scale_trials[e].accuracy}, "scale");
   }
 
   std::printf(

@@ -5,7 +5,10 @@
 // path and nothing on the integer path.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "core/rng.hpp"
+#include "core/threadpool.hpp"
 #include "hpnn/locked_activation.hpp"
 #include "hpnn/scheduler.hpp"
 #include "hw/accumulator.hpp"
@@ -31,6 +34,30 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
 
+// Same GEMM at an explicit pool size — the scaling curve of the
+// deterministic thread pool (outputs are bit-identical at every size).
+void BM_GemmThreads(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  core::set_thread_count(threads);
+  Rng rng(1);
+  const Tensor a = Tensor::normal(Shape{n, n}, rng);
+  const Tensor b = Tensor::normal(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    ops::gemm(a, ops::Trans::kNo, b, ops::Trans::kNo, c, 1.0f, 0.0f);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.SetLabel(std::to_string(threads) + " thread(s)");
+  core::set_thread_count(0);  // restore the HPNN_THREADS default
+}
+BENCHMARK(BM_GemmThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 8});
+
 void BM_Conv2dForward(benchmark::State& state) {
   Rng rng(2);
   const ops::Conv2dGeometry g{16, 28, 28, 3, 1, 1};
@@ -43,6 +70,23 @@ void BM_Conv2dForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv2dForward);
+
+void BM_Conv2dForwardThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  core::set_thread_count(threads);
+  Rng rng(2);
+  const ops::Conv2dGeometry g{16, 28, 28, 3, 1, 1};
+  const Tensor x = Tensor::normal(Shape{8, 16, 28, 28}, rng);
+  const Tensor w = Tensor::normal(Shape{32, 16, 3, 3}, rng);
+  const Tensor b = Tensor::normal(Shape{32}, rng);
+  for (auto _ : state) {
+    Tensor out = ops::conv2d_forward(x, w, b, g);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(std::to_string(threads) + " thread(s)");
+  core::set_thread_count(0);
+}
+BENCHMARK(BM_Conv2dForwardThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_PlainRelu(benchmark::State& state) {
   Rng rng(3);

@@ -7,6 +7,7 @@
 #include "args.hpp"
 #include "attack/finetune.hpp"
 #include "core/error.hpp"
+#include "core/threadpool.hpp"
 #include "data/synthetic.hpp"
 #include "hpnn/calibration.hpp"
 #include "hpnn/keychain.hpp"
@@ -434,12 +435,23 @@ std::string usage() {
       "          --train-file F --test-file F (exported .hpds files)\n"
       "artifacts: --model FILE, or --zoo DIR --name N (train publishes to\n"
       "           the zoo when --zoo is given)\n"
-      "architectures: CNN1 CNN2 CNN3 ResNet18 MLP LeNet5\n";
+      "architectures: CNN1 CNN2 CNN3 ResNet18 MLP LeNet5\n"
+      "\n"
+      "global options:\n"
+      "  --threads N   worker-pool size for GEMM/conv/campaign loops\n"
+      "                (default: HPNN_THREADS env var, else all cores;\n"
+      "                 results are bit-identical at any setting)\n";
 }
 
 int run_command(const std::vector<std::string>& tokens, std::ostream& out) {
   try {
     const Args args = parse_args(tokens);
+    if (args.has("threads")) {
+      // Global option: overrides HPNN_THREADS for this invocation.
+      const std::int64_t threads = args.get_int("threads", 0);
+      HPNN_CHECK(threads >= 1, "--threads must be >= 1");
+      core::set_thread_count(static_cast<int>(threads));
+    }
     if (args.command.empty() || args.command == "help") {
       out << usage();
       return args.command.empty() ? 1 : 0;

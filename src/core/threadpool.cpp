@@ -1,0 +1,205 @@
+#include "core/threadpool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/error.hpp"
+
+namespace hpnn::core {
+
+namespace {
+
+/// True on threads owned by the pool; nested parallel_for calls detect this
+/// and run inline instead of re-entering the pool (which would deadlock a
+/// fully busy pool).
+thread_local bool t_in_worker = false;
+
+int default_thread_count() {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::int64_t requested =
+      env_int("HPNN_THREADS", static_cast<std::int64_t>(hw));
+  return static_cast<int>(std::clamp<std::int64_t>(requested, 1, 1024));
+}
+
+/// One blocking parallel_for invocation. Heap-allocated and shared with the
+/// workers so a worker that wakes up late (after the caller returned) still
+/// touches valid memory.
+struct Job {
+  std::int64_t begin = 0;
+  std::int64_t grain = 1;
+  std::int64_t end = 0;
+  std::int64_t chunks = 0;
+  const ChunkFn* fn = nullptr;
+  std::atomic<std::int64_t> cursor{0};
+  std::atomic<std::int64_t> done{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  /// Claims and runs chunks until none remain; returns true if this thread
+  /// ran the final chunk.
+  bool drain() {
+    bool finished_last = false;
+    for (;;) {
+      const std::int64_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) {
+        break;
+      }
+      const std::int64_t c0 = begin + c * grain;
+      const std::int64_t c1 = std::min(end, c0 + grain);
+      try {
+        (*fn)(c0, c1, c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) {
+          error = std::current_exception();
+        }
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        finished_last = true;
+      }
+    }
+    return finished_last;
+  }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_cv;   // wakes workers
+  std::condition_variable done_cv;   // wakes the caller
+  std::shared_ptr<Job> job;          // current job, null when idle
+  std::uint64_t epoch = 0;           // bumped per job submission
+  bool stopping = false;
+  std::vector<std::thread> workers;
+
+  void worker_loop() {
+    t_in_worker = true;
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      work_cv.wait(lock,
+                   [&] { return stopping || (job != nullptr && epoch != seen); });
+      if (stopping) {
+        return;
+      }
+      seen = epoch;
+      std::shared_ptr<Job> current = job;
+      lock.unlock();
+      const bool last = current->drain();
+      lock.lock();
+      if (last) {
+        done_cv.notify_all();
+      }
+    }
+  }
+
+  void start(int lanes) {
+    // `lanes` counts the caller as one execution lane; spawn the rest.
+    for (int i = 1; i < lanes; ++i) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stopping = true;
+    }
+    work_cv.notify_all();
+    for (auto& w : workers) {
+      w.join();
+    }
+    workers.clear();
+    stopping = false;
+  }
+};
+
+ThreadPool::ThreadPool() : impl_(new Impl) {
+  configured_threads_ = default_thread_count();
+  impl_->start(configured_threads_);
+}
+
+ThreadPool::~ThreadPool() {
+  impl_->stop();
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::restart(int threads) {
+  impl_->stop();
+  configured_threads_ = threads > 0 ? threads : default_thread_count();
+  impl_->start(configured_threads_);
+}
+
+std::int64_t ThreadPool::chunk_count(std::int64_t begin, std::int64_t end,
+                                     std::int64_t grain) {
+  HPNN_CHECK(grain >= 1, "parallel_for grain must be >= 1");
+  const std::int64_t range = end - begin;
+  return range <= 0 ? 0 : (range + grain - 1) / grain;
+}
+
+void ThreadPool::run(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                     const ChunkFn& fn) {
+  const std::int64_t chunks = chunk_count(begin, end, grain);
+  if (chunks == 0) {
+    return;
+  }
+  // Serial fast paths: a one-lane pool, a single chunk, or a nested call
+  // from inside a worker all execute inline, in chunk order. The chunk
+  // decomposition (and therefore every result bit) is identical to the
+  // parallel path.
+  if (chunks == 1 || impl_->workers.empty() || t_in_worker) {
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      const std::int64_t c0 = begin + c * grain;
+      fn(c0, std::min(end, c0 + grain), c);
+    }
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->grain = grain;
+  job->end = end;
+  job->chunks = chunks;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->job = job;
+    ++impl_->epoch;
+  }
+  impl_->work_cv.notify_all();
+
+  // The caller is a full execution lane, not a spectator.
+  job->drain();
+
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->done_cv.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == chunks;
+    });
+    impl_->job = nullptr;
+  }
+  if (job->error) {
+    std::rethrow_exception(job->error);
+  }
+}
+
+void set_thread_count(int n) {
+  ThreadPool::instance().restart(n);
+}
+
+int thread_count() { return ThreadPool::instance().threads(); }
+
+}  // namespace hpnn::core

@@ -1,0 +1,95 @@
+// Deterministic thread-pool execution layer.
+//
+// A lazily-started, fixed-size worker pool (size from the HPNN_THREADS
+// environment variable, default std::thread::hardware_concurrency) exposing
+// one primitive: parallel_for(begin, end, grain, fn).
+//
+// Determinism contract: the range [begin, end) is split into *static*
+// chunks of exactly `grain` iterations (the last chunk may be short). The
+// chunk boundaries are a pure function of (begin, end, grain) — never of
+// the thread count — so a kernel that writes disjoint outputs per chunk, or
+// reduces per-chunk partials in chunk-index order, produces bit-identical
+// results at any HPNN_THREADS setting, including 1. Which worker executes
+// which chunk is dynamic (work stealing via an atomic cursor); that only
+// affects wall-clock, never values.
+//
+// Nesting: a parallel_for issued from inside a worker runs its chunks
+// inline on that worker (no re-entry into the pool), so kernels may freely
+// call other parallel kernels — e.g. the per-sample conv loop calling gemm.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+namespace hpnn::core {
+
+/// Body signature for chunk-indexed loops: [chunk_begin, chunk_end) plus
+/// the zero-based chunk index (for per-chunk scratch / partial slots).
+using ChunkFn =
+    std::function<void(std::int64_t, std::int64_t, std::int64_t)>;
+
+class ThreadPool {
+ public:
+  /// The process-wide pool. Workers are spawned on first use.
+  static ThreadPool& instance();
+
+  /// Number of chunks parallel_for will create for this range — a pure
+  /// function of the range and grain, independent of the thread count.
+  static std::int64_t chunk_count(std::int64_t begin, std::int64_t end,
+                                  std::int64_t grain);
+
+  /// Total execution lanes (caller + workers), >= 1.
+  int threads() const { return configured_threads_; }
+
+  /// Runs fn over the static chunks of [begin, end); blocks until every
+  /// chunk finished. The first exception thrown by a chunk is rethrown in
+  /// the calling thread once all chunks have completed or been skipped.
+  void run(std::int64_t begin, std::int64_t end, std::int64_t grain,
+           const ChunkFn& fn);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  friend void set_thread_count(int n);
+  struct Impl;
+
+  ThreadPool();
+  ~ThreadPool();
+
+  void restart(int threads);  // joins workers and reconfigures the pool
+
+  Impl* impl_;
+  int configured_threads_ = 1;
+};
+
+/// Overrides the pool size at runtime (tests, CLI --threads). `n <= 0`
+/// re-reads HPNN_THREADS / hardware_concurrency. Must not be called while a
+/// parallel_for is in flight.
+void set_thread_count(int n);
+
+/// The pool's current lane count (>= 1).
+int thread_count();
+
+/// Splits [begin, end) into static chunks of `grain` iterations and runs
+/// `fn` across the pool. `fn` is either fn(chunk_begin, chunk_end) or
+/// fn(chunk_begin, chunk_end, chunk_index). See the determinism contract
+/// at the top of this header.
+template <typename Fn>
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  Fn&& fn) {
+  if constexpr (std::is_invocable_v<Fn&, std::int64_t, std::int64_t,
+                                    std::int64_t>) {
+    ThreadPool::instance().run(begin, end, grain, std::forward<Fn>(fn));
+  } else {
+    static_assert(std::is_invocable_v<Fn&, std::int64_t, std::int64_t>,
+                  "parallel_for body must be fn(begin, end[, chunk])");
+    ThreadPool::instance().run(
+        begin, end, grain,
+        [&fn](std::int64_t b, std::int64_t e, std::int64_t) { fn(b, e); });
+  }
+}
+
+}  // namespace hpnn::core

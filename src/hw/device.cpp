@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/error.hpp"
+#include "core/threadpool.hpp"
 #include "hw/fault.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/layers.hpp"
@@ -11,58 +12,6 @@
 #include "tensor/ops.hpp"
 
 namespace hpnn::hw {
-
-namespace {
-
-/// im2col over int8 values (same geometry as ops::im2col; zero padding).
-void im2col_i8(const std::int8_t* input, const ops::Conv2dGeometry& g,
-               std::int8_t* cols) {
-  const std::int64_t oh = g.out_h();
-  const std::int64_t ow = g.out_w();
-  const std::int64_t plane = g.in_h * g.in_w;
-  std::int64_t row = 0;
-  for (std::int64_t c = 0; c < g.in_channels; ++c) {
-    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
-      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
-        std::int8_t* out_row = cols + row * oh * ow;
-        for (std::int64_t y = 0; y < oh; ++y) {
-          const std::int64_t iy = y * g.stride + ky - g.padding;
-          for (std::int64_t x = 0; x < ow; ++x) {
-            const std::int64_t ix = x * g.stride + kx - g.padding;
-            out_row[y * ow + x] =
-                (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w)
-                    ? input[c * plane + iy * g.in_w + ix]
-                    : std::int8_t{0};
-          }
-        }
-      }
-    }
-  }
-}
-
-Tensor batchnorm_eval(nn::BatchNorm2d& bn, const Tensor& x) {
-  const std::int64_t n = x.dim(0);
-  const std::int64_t ch = x.dim(1);
-  const std::int64_t plane = x.dim(2) * x.dim(3);
-  Tensor y(x.shape());
-  for (std::int64_t c = 0; c < ch; ++c) {
-    const float inv =
-        1.0f / std::sqrt(bn.running_var().at(c) + bn.eps());
-    const float g = bn.gamma().value.at(c);
-    const float b = bn.beta().value.at(c);
-    const float m = bn.running_mean().at(c);
-    for (std::int64_t i = 0; i < n; ++i) {
-      const float* px = x.data() + (i * ch + c) * plane;
-      float* py = y.data() + (i * ch + c) * plane;
-      for (std::int64_t j = 0; j < plane; ++j) {
-        py[j] = g * (px[j] - m) * inv + b;
-      }
-    }
-  }
-  return y;
-}
-
-}  // namespace
 
 TrustedDevice::TrustedDevice(const obf::HpnnKey& key,
                              std::uint64_t schedule_seed, DeviceConfig config)
@@ -160,8 +109,6 @@ Tensor TrustedDevice::exec_conv(nn::Conv2d& conv, Tensor x,
   const float out_scale = wq.scale * xq.scale;
 
   Tensor out(Shape{batch, filters, oh, ow});
-  std::vector<std::int8_t> cols(static_cast<std::size_t>(ckk * oh * ow));
-  std::vector<std::int32_t> acc(static_cast<std::size_t>(filters * oh * ow));
   const std::int64_t in_sample = g.in_channels * g.in_h * g.in_w;
   const std::int64_t out_sample = filters * oh * ow;
   const std::span<const std::uint8_t> negate =
@@ -169,26 +116,41 @@ Tensor TrustedDevice::exec_conv(nn::Conv2d& conv, Tensor x,
            : std::span<const std::uint8_t>();
 
   const nn::Parameter* bias = conv.bias();
-  for (std::int64_t nidx = 0; nidx < batch; ++nidx) {
-    im2col_i8(xq.values.data() + nidx * in_sample, g, cols.data());
-    mmu_.matmul_i8(std::span<const std::int8_t>(wq.values), filters, ckk,
-                   std::span<const std::int8_t>(cols), oh * ow, negate,
-                   std::span<std::int32_t>(acc));
-    float* dst = out.data() + nidx * out_sample;
-    for (std::int64_t f = 0; f < filters; ++f) {
-      const float b = bias ? bias->value.at(f) : 0.0f;
-      for (std::int64_t i = 0; i < oh * ow; ++i) {
-        const std::int64_t idx = f * oh * ow + i;
-        // Bias is preloaded into the same keyed accumulator on real
-        // hardware, so the lock sign applies to it as well.
-        const float sign =
-            (lock && lock->negate[static_cast<std::size_t>(idx)]) ? -1.0f
-                                                                  : 1.0f;
-        dst[idx] = static_cast<float>(acc[static_cast<std::size_t>(idx)]) *
-                       out_scale +
-                   sign * b;
+  // Per-sample MMU tiles are independent, so the batch fans out over the
+  // pool with per-chunk im2col/accumulator scratch. Integer arithmetic is
+  // exact, so results don't depend on the partition. With a fault injector
+  // attached the loop stays serial: fault draws consume the injector's RNG
+  // in GEMM issue order, which must match the single-threaded campaigns.
+  auto sample_range = [&](std::int64_t n0, std::int64_t n1) {
+    std::vector<std::int8_t> cols(static_cast<std::size_t>(ckk * oh * ow));
+    std::vector<std::int32_t> acc(
+        static_cast<std::size_t>(filters * oh * ow));
+    for (std::int64_t nidx = n0; nidx < n1; ++nidx) {
+      ops::im2col(xq.values.data() + nidx * in_sample, g, cols.data());
+      mmu_.matmul_i8(std::span<const std::int8_t>(wq.values), filters, ckk,
+                     std::span<const std::int8_t>(cols), oh * ow, negate,
+                     std::span<std::int32_t>(acc));
+      float* dst = out.data() + nidx * out_sample;
+      for (std::int64_t f = 0; f < filters; ++f) {
+        const float b = bias ? bias->value.at(f) : 0.0f;
+        for (std::int64_t i = 0; i < oh * ow; ++i) {
+          const std::int64_t idx = f * oh * ow + i;
+          // Bias is preloaded into the same keyed accumulator on real
+          // hardware, so the lock sign applies to it as well.
+          const float sign =
+              (lock && lock->negate[static_cast<std::size_t>(idx)]) ? -1.0f
+                                                                    : 1.0f;
+          dst[idx] = static_cast<float>(acc[static_cast<std::size_t>(idx)]) *
+                         out_scale +
+                     sign * b;
+        }
       }
     }
+  };
+  if (fault_ != nullptr || batch == 1) {
+    sample_range(0, batch);
+  } else {
+    core::parallel_for(0, batch, 1, sample_range);
   }
   return out;
 }
@@ -314,7 +276,9 @@ Tensor TrustedDevice::exec_module(nn::Module& m, nn::Module* next, Tensor x,
     return x;
   }
   if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&m)) {
-    return batchnorm_eval(*bn, x);
+    // Stateless running-stats normalization owned by nn::BatchNorm2d; the
+    // device no longer carries its own copy of the formula.
+    return bn->eval_forward(x);
   }
   if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&m)) {
     return pool->forward(x);  // host op, stateless at inference

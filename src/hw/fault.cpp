@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "core/error.hpp"
+#include "core/threadpool.hpp"
 #include "hw/accumulator.hpp"
 #include "hw/secure_memory.hpp"
 
@@ -116,23 +117,54 @@ std::vector<KeyFlipCampaignPoint> run_key_flip_campaign(
     std::uint64_t campaign_seed, const DeviceConfig& config) {
   HPNN_CHECK(trials > 0, "key-flip campaign needs at least one trial");
   Rng rng(campaign_seed);
-  std::vector<KeyFlipCampaignPoint> points;
-  points.reserve(bit_counts.size());
+
+  // Draw every trial's fault plan up front, serially, in the exact RNG call
+  // order of the original single-threaded campaign — campaign_seed must map
+  // to the same bit draws at any thread count.
+  std::vector<FaultPlan> plans;
+  std::vector<int> runs_per_point;
+  runs_per_point.reserve(bit_counts.size());
   for (const std::size_t bits : bit_counts) {
     HPNN_CHECK(bits <= obf::HpnnKey::kBits,
                "cannot flip more bits than the key holds");
-    KeyFlipCampaignPoint point;
-    point.bits_flipped = bits;
-    point.min_accuracy = 1.0;
     // A zero-bit point is deterministic; do not repeat it.
     const int runs = bits == 0 ? 1 : trials;
+    runs_per_point.push_back(runs);
     for (int t = 0; t < runs; ++t) {
       FaultPlan plan;
       const auto perm = rng.permutation(obf::HpnnKey::kBits);
       plan.key_bits.assign(perm.begin(),
                            perm.begin() + static_cast<std::ptrdiff_t>(bits));
-      const auto trial = run_fault_trial(key, schedule_seed, artifact, images,
-                                         labels, plan, config);
+      plans.push_back(std::move(plan));
+    }
+  }
+
+  // Each trial builds its own device + injector, so trials fan out across
+  // the pool into pre-sized result slots; a trial's own per-sample loop is
+  // serialized by the device while its injector is attached. Aggregating in
+  // the original trial order below keeps every campaign statistic
+  // bit-identical to the serial run.
+  std::vector<FaultTrialResult> results(plans.size());
+  core::parallel_for(
+      0, static_cast<std::int64_t>(plans.size()), 1,
+      [&](std::int64_t s0, std::int64_t s1) {
+        for (std::int64_t s = s0; s < s1; ++s) {
+          results[static_cast<std::size_t>(s)] =
+              run_fault_trial(key, schedule_seed, artifact, images, labels,
+                              plans[static_cast<std::size_t>(s)], config);
+        }
+      });
+
+  std::vector<KeyFlipCampaignPoint> points;
+  points.reserve(bit_counts.size());
+  std::size_t cursor = 0;
+  for (std::size_t bi = 0; bi < bit_counts.size(); ++bi) {
+    KeyFlipCampaignPoint point;
+    point.bits_flipped = bit_counts[bi];
+    point.min_accuracy = 1.0;
+    const int runs = runs_per_point[bi];
+    for (int t = 0; t < runs; ++t) {
+      const FaultTrialResult& trial = results[cursor++];
       point.mean_accuracy += trial.accuracy;
       point.min_accuracy = std::min(point.min_accuracy, trial.accuracy);
       // A detected corruption fails closed: the device serves nothing.

@@ -82,6 +82,7 @@ void Mmu::matmul_i8(std::span<const std::int8_t> a, std::int64_t m,
   const std::int64_t k_tiles = (k + kArrayRows - 1) / kArrayRows;
   const std::int64_t n_tiles = (n + kArrayCols - 1) / kArrayCols;
   const std::int64_t tiles = k_tiles * n_tiles;
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
   stats_.weight_tile_loads += static_cast<std::uint64_t>(tiles);
   stats_.cycles += static_cast<std::uint64_t>(
       tiles * (kArrayRows + m + (kArrayRows + kArrayCols - 2)));

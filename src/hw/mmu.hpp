@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <span>
 
 #include "hw/accumulator.hpp"
@@ -58,6 +59,11 @@ class Mmu {
  private:
   Fidelity fidelity_;
   MmuStats stats_;
+  // Guards stats_ when the device fans sample tiles out across the thread
+  // pool. The counters are order-independent sums, so concurrent GEMMs
+  // still produce exact totals. (Makes Mmu non-copyable, which it should
+  // be anyway: it models one physical unit.)
+  std::mutex stats_mutex_;
   FaultInjector* fault_ = nullptr;
 };
 

@@ -3,8 +3,35 @@
 #include <cmath>
 
 #include "core/error.hpp"
+#include "core/threadpool.hpp"
 
 namespace hpnn::nn {
+
+namespace {
+
+/// Channels are fully independent in every BatchNorm loop; fan out over
+/// them when the tensor is big enough for the dispatch to pay off.
+/// Per-channel results are unchanged by the partitioning, so outputs are
+/// bit-identical at any thread count.
+template <typename Fn>
+void for_each_channel(std::int64_t channels, std::int64_t per_channel_work,
+                      const Fn& fn) {
+  constexpr std::int64_t kParallelWorkThreshold = 1 << 15;
+  if (channels * per_channel_work < kParallelWorkThreshold) {
+    for (std::int64_t c = 0; c < channels; ++c) {
+      fn(c);
+    }
+  } else {
+    core::parallel_for(0, channels, 1,
+                       [&fn](std::int64_t c0, std::int64_t c1) {
+                         for (std::int64_t c = c0; c < c1; ++c) {
+                           fn(c);
+                         }
+                       });
+  }
+}
+
+}  // namespace
 
 BatchNorm2d::BatchNorm2d(std::int64_t channels, std::string name,
                          float momentum, float eps)
@@ -32,7 +59,7 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
   Tensor var(Shape{channels_});
   cached_used_batch_stats_ = training();
   if (training()) {
-    for (std::int64_t c = 0; c < channels_; ++c) {
+    for_each_channel(channels_, count, [&](std::int64_t c) {
       double s = 0.0;
       for (std::int64_t i = 0; i < n; ++i) {
         const float* p = x.data() + (i * channels_ + c) * plane;
@@ -41,8 +68,8 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
         }
       }
       mean.at(c) = static_cast<float>(s / count);
-    }
-    for (std::int64_t c = 0; c < channels_; ++c) {
+    });
+    for_each_channel(channels_, count, [&](std::int64_t c) {
       double s = 0.0;
       const float m = mean.at(c);
       for (std::int64_t i = 0; i < n; ++i) {
@@ -53,7 +80,7 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
         }
       }
       var.at(c) = static_cast<float>(s / count);
-    }
+    });
     // Update running statistics with the biased batch variance (PyTorch uses
     // unbiased for running stats; the distinction is immaterial here and the
     // biased form keeps eval()==train() for full-batch data).
@@ -75,7 +102,7 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
 
   Tensor y(x.shape());
   cached_xhat_ = Tensor(x.shape());
-  for (std::int64_t c = 0; c < channels_; ++c) {
+  for_each_channel(channels_, count, [&](std::int64_t c) {
     const float m = mean.at(c);
     const float inv = cached_inv_std_.at(c);
     const float g = gamma_.value.at(c);
@@ -90,7 +117,30 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
         py[j] = g * xh + b;
       }
     }
-  }
+  });
+  return y;
+}
+
+Tensor BatchNorm2d::eval_forward(const Tensor& x) const {
+  HPNN_CHECK(x.rank() == 4 && x.dim(1) == channels_,
+             name_ + ": expected NCHW with C=" + std::to_string(channels_) +
+                 ", got " + x.shape().to_string());
+  const std::int64_t n = x.dim(0);
+  const std::int64_t plane = x.dim(2) * x.dim(3);
+  Tensor y(x.shape());
+  for_each_channel(channels_, n * plane, [&](std::int64_t c) {
+    const float m = running_mean_.at(c);
+    const float inv = 1.0f / std::sqrt(running_var_.at(c) + eps_);
+    const float g = gamma_.value.at(c);
+    const float b = beta_.value.at(c);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* px = x.data() + (i * channels_ + c) * plane;
+      float* py = y.data() + (i * channels_ + c) * plane;
+      for (std::int64_t j = 0; j < plane; ++j) {
+        py[j] = g * ((px[j] - m) * inv) + b;
+      }
+    }
+  });
   return y;
 }
 
@@ -102,7 +152,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
   const std::int64_t count = n * plane;
 
   Tensor grad_x(grad_out.shape());
-  for (std::int64_t c = 0; c < channels_; ++c) {
+  for_each_channel(channels_, count, [&](std::int64_t c) {
     // Accumulate dgamma, dbeta and the two reduction terms of the batch-stat
     // chain rule in double for stability.
     double dgamma = 0.0;
@@ -141,7 +191,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
         }
       }
     }
-  }
+  });
   return grad_x;
 }
 

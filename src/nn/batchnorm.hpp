@@ -18,6 +18,10 @@ class BatchNorm2d : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  /// Stateless eval-mode forward using the running statistics: touches no
+  /// caches, so it is safe from const contexts and concurrent callers (the
+  /// trusted device's serving path normalizes through this).
+  Tensor eval_forward(const Tensor& x) const;
   void collect_parameters(std::vector<Parameter*>& out) override;
   void collect_buffers(
       std::vector<std::pair<std::string, Tensor*>>& out) override;

@@ -4,6 +4,7 @@
 
 #include "core/error.hpp"
 #include "core/logging.hpp"
+#include "tensor/ops.hpp"
 
 namespace hpnn::nn {
 
@@ -42,6 +43,7 @@ TrainResult fit(Module& model, Loss& loss, Optimizer& opt,
   StepLr schedule(opt, config.lr_step, config.lr_gamma);
 
   TrainResult result;
+  const bool was_training = model.training();
   model.set_training(true);
   for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
     const auto order = rng.permutation(n);
@@ -67,6 +69,7 @@ TrainResult fit(Module& model, Loss& loss, Optimizer& opt,
     HPNN_LOG(Debug) << "epoch " << epoch << " loss " << epoch_loss;
     schedule.epoch_end();
   }
+  model.set_training(was_training);
   result.final_loss =
       result.epoch_loss.empty() ? 0.0 : result.epoch_loss.back();
   return result;
@@ -77,6 +80,7 @@ double evaluate_accuracy(Module& model, const Tensor& images,
                          std::int64_t batch_size) {
   HPNN_CHECK(images.dim(0) == static_cast<std::int64_t>(labels.size()),
              "evaluate_accuracy: image/label count mismatch");
+  HPNN_CHECK(batch_size > 0, "evaluate_accuracy: batch_size must be > 0");
   const std::size_t n = labels.size();
   if (n == 0) {
     return 0.0;
@@ -93,8 +97,14 @@ double evaluate_accuracy(Module& model, const Tensor& images,
     auto [batch, batch_labels] =
         gather_batch(images, labels, identity, at, count);
     const Tensor scores = model.forward(batch);
-    correct += static_cast<std::int64_t>(
-        accuracy(scores, batch_labels) * static_cast<double>(count) + 0.5);
+    // Count exact correct predictions; deriving the count from the batch
+    // accuracy ratio re-rounds and can be off by one on odd batch sizes.
+    const auto predicted = ops::argmax_rows(scores);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (predicted[i] == batch_labels[i]) {
+        ++correct;
+      }
+    }
   }
   model.set_training(was_training);
   return static_cast<double>(correct) / static_cast<double>(n);

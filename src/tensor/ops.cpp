@@ -5,43 +5,69 @@
 #include <limits>
 
 #include "core/error.hpp"
+#include "core/threadpool.hpp"
 
 namespace hpnn::ops {
 
 namespace {
 
-// Blocked kernel for the non-transposed case; the transposed variants are
-// expressed by materializing a transposed copy once (K and N are small in
-// this library's workloads, so the copy is cheap relative to the GEMM).
-void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, const float* b, float beta, float* c) {
-  if (beta == 0.0f) {
-    std::fill(c, c + m * n, 0.0f);
-  } else if (beta != 1.0f) {
-    for (std::int64_t i = 0; i < m * n; ++i) {
-      c[i] *= beta;
+// Minimum arithmetic volume (rough op count) before a kernel fans out to
+// the thread pool; below this the dispatch overhead dominates. For every
+// kernel here except conv2d_backward the partitioning cannot affect the
+// result bits (disjoint writes, per-element order unchanged), so this is a
+// pure performance knob. conv2d_backward fixes its own partition
+// independently of both this threshold and the thread count.
+constexpr std::int64_t kParallelWorkThreshold = 1 << 15;
+
+/// Computes rows [i0, i1) of C = alpha * A @ B + beta * C. Each row is
+/// produced by the same instruction sequence regardless of how the row
+/// range is partitioned, so results are bit-identical at any thread count.
+void gemm_rows(std::int64_t i0, std::int64_t i1, std::int64_t n,
+               std::int64_t k, float alpha, const float* a, const float* b,
+               float beta, float* c) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    float* crow = c + i * n;
+    if (beta == 0.0f) {
+      std::fill(crow, crow + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] *= beta;
+      }
     }
   }
   constexpr std::int64_t kBlock = 64;
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlock) {
-    const std::int64_t i1 = std::min(i0 + kBlock, m);
-    for (std::int64_t p0 = 0; p0 < k; p0 += kBlock) {
-      const std::int64_t p1 = std::min(p0 + kBlock, k);
-      for (std::int64_t i = i0; i < i1; ++i) {
-        for (std::int64_t p = p0; p < p1; ++p) {
-          const float av = alpha * a[i * k + p];
-          if (av == 0.0f) {
-            continue;
-          }
-          const float* brow = b + p * n;
-          float* crow = c + i * n;
-          for (std::int64_t j = 0; j < n; ++j) {
-            crow[j] += av * brow[j];
-          }
+  for (std::int64_t p0 = 0; p0 < k; p0 += kBlock) {
+    const std::int64_t p1 = std::min(p0 + kBlock, k);
+    for (std::int64_t i = i0; i < i1; ++i) {
+      for (std::int64_t p = p0; p < p1; ++p) {
+        const float av = alpha * a[i * k + p];
+        if (av == 0.0f) {
+          continue;
+        }
+        const float* brow = b + p * n;
+        float* crow = c + i * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+          crow[j] += av * brow[j];
         }
       }
     }
   }
+}
+
+// Row-blocked kernel for the non-transposed case; the transposed variants
+// are expressed by materializing a transposed copy once (K and N are small
+// in this library's workloads, so the copy is cheap relative to the GEMM).
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c) {
+  if (m * n * k < kParallelWorkThreshold || m == 1) {
+    gemm_rows(0, m, n, k, alpha, a, b, beta, c);
+    return;
+  }
+  const std::int64_t grain = std::max<std::int64_t>(1, m / 64);
+  core::parallel_for(0, m, grain,
+                     [&](std::int64_t i0, std::int64_t i1) {
+                       gemm_rows(i0, i1, n, k, alpha, a, b, beta, c);
+                     });
 }
 
 Tensor transpose2d(const Tensor& t) {
@@ -85,33 +111,6 @@ Tensor matmul(const Tensor& a, const Tensor& b, Trans ta, Trans tb) {
   Tensor c(Shape{m, n});
   gemm(a, ta, b, tb, c, 1.0f, 0.0f);
   return c;
-}
-
-void im2col(const float* input, const Conv2dGeometry& g, float* cols) {
-  const std::int64_t oh = g.out_h();
-  const std::int64_t ow = g.out_w();
-  const std::int64_t plane = g.in_h * g.in_w;
-  std::int64_t row = 0;
-  for (std::int64_t c = 0; c < g.in_channels; ++c) {
-    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
-      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
-        float* out_row = cols + row * oh * ow;
-        for (std::int64_t y = 0; y < oh; ++y) {
-          const std::int64_t iy = y * g.stride + ky - g.padding;
-          if (iy < 0 || iy >= g.in_h) {
-            std::fill(out_row + y * ow, out_row + (y + 1) * ow, 0.0f);
-            continue;
-          }
-          const float* in_row = input + c * plane + iy * g.in_w;
-          for (std::int64_t x = 0; x < ow; ++x) {
-            const std::int64_t ix = x * g.stride + kx - g.padding;
-            out_row[y * ow + x] =
-                (ix >= 0 && ix < g.in_w) ? in_row[ix] : 0.0f;
-          }
-        }
-      }
-    }
-  }
 }
 
 void col2im(const float* cols, const Conv2dGeometry& g, float* input_grad) {
@@ -163,26 +162,37 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& weight,
              "conv2d bias length must equal filter count");
 
   Tensor out(Shape{batch, filters, oh, ow});
-  Tensor cols(Shape{cols_rows, oh * ow});
   const Tensor w2d = weight.reshaped(Shape{filters, cols_rows});
-  Tensor out2d(Shape{filters, oh * ow});
 
   const std::int64_t in_sample = g.in_channels * g.in_h * g.in_w;
   const std::int64_t out_sample = filters * oh * ow;
-  for (std::int64_t nidx = 0; nidx < batch; ++nidx) {
-    im2col(x.data() + nidx * in_sample, g, cols.data());
-    gemm(w2d, Trans::kNo, cols, Trans::kNo, out2d, 1.0f, 0.0f);
-    float* dst = out.data() + nidx * out_sample;
-    std::copy(out2d.data(), out2d.data() + out_sample, dst);
-    if (bias.numel() > 0) {
-      for (std::int64_t f = 0; f < filters; ++f) {
-        const float b = bias.at(f);
-        float* plane = dst + f * oh * ow;
-        for (std::int64_t i = 0; i < oh * ow; ++i) {
-          plane[i] += b;
+
+  // Samples are independent: fan out over the batch with per-chunk im2col
+  // and GEMM scratch. Each sample's arithmetic is identical to the serial
+  // path, so the output is bit-identical at any thread count.
+  auto sample_range = [&](std::int64_t n0, std::int64_t n1) {
+    Tensor cols(Shape{cols_rows, oh * ow});
+    Tensor out2d(Shape{filters, oh * ow});
+    for (std::int64_t nidx = n0; nidx < n1; ++nidx) {
+      im2col(x.data() + nidx * in_sample, g, cols.data());
+      gemm(w2d, Trans::kNo, cols, Trans::kNo, out2d, 1.0f, 0.0f);
+      float* dst = out.data() + nidx * out_sample;
+      std::copy(out2d.data(), out2d.data() + out_sample, dst);
+      if (bias.numel() > 0) {
+        for (std::int64_t f = 0; f < filters; ++f) {
+          const float b = bias.at(f);
+          float* plane = dst + f * oh * ow;
+          for (std::int64_t i = 0; i < oh * ow; ++i) {
+            plane[i] += b;
+          }
         }
       }
     }
+  };
+  if (batch == 1 || batch * out_sample * cols_rows < kParallelWorkThreshold) {
+    sample_range(0, batch);
+  } else {
+    core::parallel_for(0, batch, 1, sample_range);
   }
   return out;
 }
@@ -202,40 +212,76 @@ Tensor conv2d_backward(const Tensor& x, const Tensor& weight,
              "grad_weight shape mismatch");
 
   Tensor grad_x(x.shape());
-  Tensor cols(Shape{cols_rows, oh * ow});
-  Tensor grad_cols(Shape{cols_rows, oh * ow});
-  Tensor gw2d = grad_weight.reshaped(Shape{filters, cols_rows});
   const Tensor w2d = weight.reshaped(Shape{filters, cols_rows});
+  const bool has_bias = grad_bias.numel() > 0;
 
   const std::int64_t in_sample = g.in_channels * g.in_h * g.in_w;
   const std::int64_t out_sample = filters * oh * ow;
 
-  for (std::int64_t nidx = 0; nidx < batch; ++nidx) {
-    // grad wrt weight: dW += dY @ cols^T
-    im2col(x.data() + nidx * in_sample, g, cols.data());
-    Tensor gout2d(Shape{filters, oh * ow},
-                  std::vector<float>(grad_out.data() + nidx * out_sample,
-                                     grad_out.data() + (nidx + 1) * out_sample));
-    gemm(gout2d, Trans::kNo, cols, Trans::kYes, gw2d, 1.0f, 1.0f);
+  // Static partition of the batch: at most 8 chunks, boundaries a pure
+  // function of the batch size. grad_x writes are disjoint per sample; the
+  // per-chunk grad_weight/grad_bias partials are reduced below in chunk
+  // order, so the result is bit-identical at any thread count. The chunk
+  // cap also bounds the partial-accumulator memory to 8 weight-sized
+  // tensors.
+  constexpr std::int64_t kMaxChunks = 8;
+  const std::int64_t grain = (batch + kMaxChunks - 1) / kMaxChunks;
+  const std::int64_t chunks = core::ThreadPool::chunk_count(0, batch, grain);
+  std::vector<Tensor> partial_gw(static_cast<std::size_t>(chunks));
+  std::vector<Tensor> partial_gb(static_cast<std::size_t>(chunks));
 
-    // grad wrt bias: sum of each filter plane.
-    if (grad_bias.numel() > 0) {
-      for (std::int64_t f = 0; f < filters; ++f) {
-        double s = 0.0;
-        const float* plane = gout2d.data() + f * oh * ow;
-        for (std::int64_t i = 0; i < oh * ow; ++i) {
-          s += plane[i];
+  core::parallel_for(0, batch, grain, [&](std::int64_t n0, std::int64_t n1,
+                                          std::int64_t chunk) {
+    Tensor cols(Shape{cols_rows, oh * ow});
+    Tensor grad_cols(Shape{cols_rows, oh * ow});
+    Tensor gw2d(Shape{filters, cols_rows});
+    Tensor gb(Shape{filters});
+    for (std::int64_t nidx = n0; nidx < n1; ++nidx) {
+      // grad wrt weight: dW += dY @ cols^T
+      im2col(x.data() + nidx * in_sample, g, cols.data());
+      Tensor gout2d(Shape{filters, oh * ow},
+                    std::vector<float>(
+                        grad_out.data() + nidx * out_sample,
+                        grad_out.data() + (nidx + 1) * out_sample));
+      gemm(gout2d, Trans::kNo, cols, Trans::kYes, gw2d, 1.0f, 1.0f);
+
+      // grad wrt bias: sum of each filter plane.
+      if (has_bias) {
+        for (std::int64_t f = 0; f < filters; ++f) {
+          double s = 0.0;
+          const float* plane = gout2d.data() + f * oh * ow;
+          for (std::int64_t i = 0; i < oh * ow; ++i) {
+            s += plane[i];
+          }
+          gb.at(f) += static_cast<float>(s);
         }
-        grad_bias.at(f) += static_cast<float>(s);
+      }
+
+      // grad wrt input: dcols = W^T @ dY ; col2im scatter-add.
+      gemm(w2d, Trans::kYes, gout2d, Trans::kNo, grad_cols, 1.0f, 0.0f);
+      col2im(grad_cols.data(), g, grad_x.data() + nidx * in_sample);
+    }
+    partial_gw[static_cast<std::size_t>(chunk)] = std::move(gw2d);
+    partial_gb[static_cast<std::size_t>(chunk)] = std::move(gb);
+  });
+
+  // Deterministic reduction: accumulate the partials into the caller's
+  // gradients in ascending chunk (i.e. sample) order.
+  float* gw = grad_weight.data();
+  for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {
+    const float* p = partial_gw[static_cast<std::size_t>(chunk)].data();
+    for (std::int64_t i = 0; i < grad_weight.numel(); ++i) {
+      gw[i] += p[i];
+    }
+  }
+  if (has_bias) {
+    for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {
+      const Tensor& p = partial_gb[static_cast<std::size_t>(chunk)];
+      for (std::int64_t f = 0; f < filters; ++f) {
+        grad_bias.at(f) += p.at(f);
       }
     }
-
-    // grad wrt input: dcols = W^T @ dY ; col2im scatter-add.
-    gemm(w2d, Trans::kYes, gout2d, Trans::kNo, grad_cols, 1.0f, 0.0f);
-    col2im(grad_cols.data(), g, grad_x.data() + nidx * in_sample);
   }
-  // grad_weight data was written through the reshaped alias; copy it back.
-  std::copy(gw2d.data(), gw2d.data() + gw2d.numel(), grad_weight.data());
   return grad_x;
 }
 
@@ -262,11 +308,12 @@ MaxPoolResult maxpool2d_forward(const Tensor& x, std::int64_t kernel,
                         static_cast<std::size_t>(batch * ch * oh * ow))};
   const float* src = x.data();
   float* dst = res.output.data();
-  std::int64_t out_idx = 0;
-  for (std::int64_t n = 0; n < batch; ++n) {
-    for (std::int64_t c = 0; c < ch; ++c) {
-      const float* plane = src + (n * ch + c) * h * w;
-      const std::int64_t plane_base = (n * ch + c) * h * w;
+  const std::int64_t planes = batch * ch;
+  auto plane_range = [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t pidx = p0; pidx < p1; ++pidx) {
+      const float* plane = src + pidx * h * w;
+      const std::int64_t plane_base = pidx * h * w;
+      std::int64_t out_idx = pidx * oh * ow;
       for (std::int64_t y = 0; y < oh; ++y) {
         for (std::int64_t xo = 0; xo < ow; ++xo, ++out_idx) {
           // Seed with the first window element (not -inf) so NaN inputs
@@ -289,6 +336,12 @@ MaxPoolResult maxpool2d_forward(const Tensor& x, std::int64_t kernel,
         }
       }
     }
+  };
+  if (planes * oh * ow * kernel * kernel < kParallelWorkThreshold) {
+    plane_range(0, planes);
+  } else {
+    core::parallel_for(0, planes, std::max<std::int64_t>(1, planes / 64),
+                       plane_range);
   }
   return res;
 }
@@ -320,10 +373,11 @@ Tensor avgpool2d_forward(const Tensor& x, std::int64_t kernel,
   const std::int64_t ow = (w - kernel) / stride + 1;
   Tensor out(Shape{batch, ch, oh, ow});
   const float inv = 1.0f / static_cast<float>(kernel * kernel);
-  for (std::int64_t n = 0; n < batch; ++n) {
-    for (std::int64_t c = 0; c < ch; ++c) {
-      const float* plane = x.data() + (n * ch + c) * h * w;
-      float* oplane = out.data() + (n * ch + c) * oh * ow;
+  const std::int64_t planes = batch * ch;
+  auto plane_range = [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t pidx = p0; pidx < p1; ++pidx) {
+      const float* plane = x.data() + pidx * h * w;
+      float* oplane = out.data() + pidx * oh * ow;
       for (std::int64_t y = 0; y < oh; ++y) {
         for (std::int64_t xo = 0; xo < ow; ++xo) {
           double s = 0.0;
@@ -336,6 +390,12 @@ Tensor avgpool2d_forward(const Tensor& x, std::int64_t kernel,
         }
       }
     }
+  };
+  if (planes * oh * ow * kernel * kernel < kParallelWorkThreshold) {
+    plane_range(0, planes);
+  } else {
+    core::parallel_for(0, planes, std::max<std::int64_t>(1, planes / 64),
+                       plane_range);
   }
   return out;
 }
@@ -352,10 +412,13 @@ Tensor avgpool2d_backward(const Tensor& grad_out, const Shape& input_shape,
   const std::int64_t oh = grad_out.dim(2);
   const std::int64_t ow = grad_out.dim(3);
   const float inv = 1.0f / static_cast<float>(kernel * kernel);
-  for (std::int64_t n = 0; n < batch; ++n) {
-    for (std::int64_t c = 0; c < ch; ++c) {
-      const float* gplane = grad_out.data() + (n * ch + c) * oh * ow;
-      float* xplane = grad_x.data() + (n * ch + c) * h * w;
+  const std::int64_t planes = batch * ch;
+  // Windows overlap within a plane but never across planes, so chunking by
+  // plane keeps the scatter-adds race-free.
+  auto plane_range = [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t pidx = p0; pidx < p1; ++pidx) {
+      const float* gplane = grad_out.data() + pidx * oh * ow;
+      float* xplane = grad_x.data() + pidx * h * w;
       for (std::int64_t y = 0; y < oh; ++y) {
         for (std::int64_t xo = 0; xo < ow; ++xo) {
           const float g = gplane[y * ow + xo] * inv;
@@ -367,6 +430,12 @@ Tensor avgpool2d_backward(const Tensor& grad_out, const Shape& input_shape,
         }
       }
     }
+  };
+  if (planes * oh * ow * kernel * kernel < kParallelWorkThreshold) {
+    plane_range(0, planes);
+  } else {
+    core::parallel_for(0, planes, std::max<std::int64_t>(1, planes / 64),
+                       plane_range);
   }
   return grad_x;
 }
@@ -378,15 +447,22 @@ Tensor global_avgpool_forward(const Tensor& x) {
   const std::int64_t plane = x.dim(2) * x.dim(3);
   Tensor out(Shape{batch, ch});
   const float* src = x.data();
-  for (std::int64_t n = 0; n < batch; ++n) {
-    for (std::int64_t c = 0; c < ch; ++c) {
+  const std::int64_t planes = batch * ch;
+  auto plane_range = [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t pidx = p0; pidx < p1; ++pidx) {
       double s = 0.0;
-      const float* p = src + (n * ch + c) * plane;
+      const float* p = src + pidx * plane;
       for (std::int64_t i = 0; i < plane; ++i) {
         s += p[i];
       }
-      out.at(n, c) = static_cast<float>(s / static_cast<double>(plane));
+      out.at(pidx) = static_cast<float>(s / static_cast<double>(plane));
     }
+  };
+  if (planes * plane < kParallelWorkThreshold) {
+    plane_range(0, planes);
+  } else {
+    core::parallel_for(0, planes, std::max<std::int64_t>(1, planes / 64),
+                       plane_range);
   }
   return out;
 }
@@ -412,25 +488,42 @@ Tensor global_avgpool_backward(const Tensor& grad_out,
   return grad_x;
 }
 
+namespace {
+
+/// Shared row-parallel driver for the softmax family: every row is an
+/// independent computation writing its own output slice.
+template <typename RowFn>
+void for_each_row(std::int64_t n, std::int64_t c, const RowFn& row_fn) {
+  if (n * c < kParallelWorkThreshold / 8) {
+    row_fn(0, n);
+  } else {
+    core::parallel_for(0, n, std::max<std::int64_t>(1, n / 64), row_fn);
+  }
+}
+
+}  // namespace
+
 Tensor softmax_rows(const Tensor& logits) {
   HPNN_CHECK(logits.rank() == 2, "softmax_rows expects [N, C]");
   const std::int64_t n = logits.dim(0);
   const std::int64_t c = logits.dim(1);
   Tensor out(logits.shape());
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* row = logits.data() + i * c;
-    float* orow = out.data() + i * c;
-    const float m = *std::max_element(row, row + c);
-    double denom = 0.0;
-    for (std::int64_t j = 0; j < c; ++j) {
-      orow[j] = std::exp(row[j] - m);
-      denom += orow[j];
+  for_each_row(n, c, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      const float* row = logits.data() + i * c;
+      float* orow = out.data() + i * c;
+      const float m = *std::max_element(row, row + c);
+      double denom = 0.0;
+      for (std::int64_t j = 0; j < c; ++j) {
+        orow[j] = std::exp(row[j] - m);
+        denom += orow[j];
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (std::int64_t j = 0; j < c; ++j) {
+        orow[j] *= inv;
+      }
     }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (std::int64_t j = 0; j < c; ++j) {
-      orow[j] *= inv;
-    }
-  }
+  });
   return out;
 }
 
@@ -439,19 +532,21 @@ Tensor log_softmax_rows(const Tensor& logits) {
   const std::int64_t n = logits.dim(0);
   const std::int64_t c = logits.dim(1);
   Tensor out(logits.shape());
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* row = logits.data() + i * c;
-    float* orow = out.data() + i * c;
-    const float m = *std::max_element(row, row + c);
-    double denom = 0.0;
-    for (std::int64_t j = 0; j < c; ++j) {
-      denom += std::exp(static_cast<double>(row[j] - m));
+  for_each_row(n, c, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      const float* row = logits.data() + i * c;
+      float* orow = out.data() + i * c;
+      const float m = *std::max_element(row, row + c);
+      double denom = 0.0;
+      for (std::int64_t j = 0; j < c; ++j) {
+        denom += std::exp(static_cast<double>(row[j] - m));
+      }
+      const float log_denom = static_cast<float>(std::log(denom)) + m;
+      for (std::int64_t j = 0; j < c; ++j) {
+        orow[j] = row[j] - log_denom;
+      }
     }
-    const float log_denom = static_cast<float>(std::log(denom)) + m;
-    for (std::int64_t j = 0; j < c; ++j) {
-      orow[j] = row[j] - log_denom;
-    }
-  }
+  });
   return out;
 }
 

@@ -1,10 +1,15 @@
 // Dense numeric kernels: GEMM, im2col/col2im, convolution, pooling, softmax.
 //
 // These are the raw computational primitives; the layer classes in src/nn
-// are thin stateful wrappers around them. All kernels are single-threaded,
-// cache-blocked where it matters, and deterministic.
+// are thin stateful wrappers around them. Kernels are cache-blocked where
+// it matters and run on the deterministic thread pool (core/threadpool.hpp)
+// when the work is large enough: GEMM fans out over row chunks, conv over
+// samples, pooling/softmax over planes/rows. Chunk boundaries never depend
+// on the thread count, so every kernel returns bit-identical results at any
+// HPNN_THREADS setting.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -43,8 +48,35 @@ struct Conv2dGeometry {
 };
 
 /// im2col for one sample: input [C, H, W] -> columns
-/// [C*K*K, out_h*out_w]. `cols` must be pre-sized.
-void im2col(const float* input, const Conv2dGeometry& g, float* cols);
+/// [C*K*K, out_h*out_w]. `cols` must be pre-sized. Templated over the
+/// scalar type so the float host path and the device's int8 datapath share
+/// one owner for the padding/stride semantics.
+template <typename T>
+void im2col(const T* input, const Conv2dGeometry& g, T* cols) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t plane = g.in_h * g.in_w;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        T* out_row = cols + row * oh * ow;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + ky - g.padding;
+          if (iy < 0 || iy >= g.in_h) {
+            std::fill(out_row + y * ow, out_row + (y + 1) * ow, T{});
+            continue;
+          }
+          const T* in_row = input + c * plane + iy * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kx - g.padding;
+            out_row[y * ow + x] = (ix >= 0 && ix < g.in_w) ? in_row[ix] : T{};
+          }
+        }
+      }
+    }
+  }
+}
 
 /// col2im for one sample: scatter-add columns back to input gradient.
 void col2im(const float* cols, const Conv2dGeometry& g, float* input_grad);

@@ -4,6 +4,7 @@
 
 #include "core/error.hpp"
 #include "nn/layers.hpp"
+#include "tensor/ops.hpp"
 
 namespace hpnn::nn {
 namespace {
@@ -117,6 +118,60 @@ TEST(FitTest, LastPartialBatchHandled) {
   cfg.epochs = 1;
   cfg.batch_size = 4;
   EXPECT_NO_THROW(fit(net, loss, opt, x, labels, cfg));
+}
+
+TEST(FitTest, RestoresPriorTrainingMode) {
+  Rng rng(8);
+  auto [x, labels] = toy_data(16, rng);
+  Sequential net;
+  net.add(std::make_unique<Linear>(2, 2, rng, "fc"));
+  SoftmaxCrossEntropy loss;
+  Sgd opt(parameters_of(net), {.lr = 0.01});
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 8;
+
+  net.set_training(false);  // caller is in inference mode
+  (void)fit(net, loss, opt, x, labels, cfg);
+  EXPECT_FALSE(net.training()) << "fit leaked training mode";
+
+  net.set_training(true);
+  (void)fit(net, loss, opt, x, labels, cfg);
+  EXPECT_TRUE(net.training());
+}
+
+TEST(EvaluateAccuracyTest, NonPositiveBatchSizeThrows) {
+  Rng rng(9);
+  auto [x, labels] = toy_data(8, rng);
+  Sequential net;
+  net.add(std::make_unique<Linear>(2, 2, rng, "fc"));
+  EXPECT_THROW(evaluate_accuracy(net, x, labels, 0), InvariantError);
+  EXPECT_THROW(evaluate_accuracy(net, x, labels, -4), InvariantError);
+}
+
+TEST(EvaluateAccuracyTest, ExactCountOnOddBatches) {
+  Rng rng(10);
+  auto [x, labels] = toy_data(7, rng);
+  Sequential net;
+  net.add(std::make_unique<Linear>(2, 8, rng, "fc1"));
+  net.add(std::make_unique<ReLU>("r"));
+  net.add(std::make_unique<Linear>(8, 2, rng, "fc2"));
+
+  // Ground truth: argmax over one full-batch forward in eval mode.
+  net.set_training(false);
+  const auto predicted = ops::argmax_rows(net.forward(x));
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    correct += (predicted[i] == labels[i]);
+  }
+  const double expected = static_cast<double>(correct) / 7.0;
+
+  // Odd batch sizes used to re-round each batch's accuracy ratio; the
+  // result must now match the exact count for every batching.
+  for (const std::int64_t bs : {1, 2, 3, 5, 7, 64}) {
+    EXPECT_DOUBLE_EQ(evaluate_accuracy(net, x, labels, bs), expected)
+        << "batch_size " << bs;
+  }
 }
 
 TEST(EvaluateAccuracyTest, RestoresTrainingFlag) {

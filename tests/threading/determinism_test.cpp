@@ -1,0 +1,209 @@
+// Bit-exactness of the threaded kernels across pool sizes: the same inputs
+// must produce byte-identical outputs at 1 and 8 threads (the programmatic
+// equivalent of running under HPNN_THREADS=1 vs HPNN_THREADS=8), and
+// training must follow the exact same loss trajectory.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/threadpool.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/gradcheck.hpp"
+#include "nn/layers.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace hpnn {
+namespace {
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { core::set_thread_count(0); }
+};
+
+::testing::AssertionResult bits_equal(const Tensor& a, const Tensor& b) {
+  if (!(a.shape() == b.shape())) {
+    return ::testing::AssertionFailure()
+           << "shape " << a.shape().to_string() << " vs "
+           << b.shape().to_string();
+  }
+  if (std::memcmp(a.data(), b.data(),
+                  static_cast<std::size_t>(a.numel()) * sizeof(float)) != 0) {
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+      if (a.at(i) != b.at(i)) {
+        return ::testing::AssertionFailure()
+               << "first mismatch at flat index " << i << ": " << a.at(i)
+               << " vs " << b.at(i);
+      }
+    }
+    return ::testing::AssertionFailure() << "NaN-only bit difference";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST_F(DeterminismTest, GemmBitIdenticalAcrossThreadCounts) {
+  Rng rng(11);
+  // Large enough to clear the kernel's serial-work threshold.
+  const Tensor a = Tensor::normal(Shape{96, 64}, rng);
+  const Tensor b = Tensor::normal(Shape{64, 80}, rng);
+  core::set_thread_count(1);
+  const Tensor serial = ops::matmul(a, b);
+  core::set_thread_count(8);
+  const Tensor parallel = ops::matmul(a, b);
+  EXPECT_TRUE(bits_equal(serial, parallel));
+
+  // Transposed operands and accumulating beta take the same row kernel.
+  const Tensor bt = Tensor::normal(Shape{96, 80}, rng);  // op(a)^T @ bt
+  Tensor c1(Shape{64, 80}, 0.5f);
+  Tensor c8 = c1;
+  core::set_thread_count(1);
+  ops::gemm(a, ops::Trans::kYes, bt, ops::Trans::kNo, c1, 2.0f, 1.0f);
+  core::set_thread_count(8);
+  ops::gemm(a, ops::Trans::kYes, bt, ops::Trans::kNo, c8, 2.0f, 1.0f);
+  EXPECT_TRUE(bits_equal(c1, c8));
+}
+
+TEST_F(DeterminismTest, Conv2dForwardBitIdenticalAcrossThreadCounts) {
+  Rng rng(12);
+  const ops::Conv2dGeometry g{3, 12, 12, 3, 1, 1};
+  const Tensor x = Tensor::normal(Shape{4, 3, 12, 12}, rng);
+  const Tensor w = Tensor::normal(Shape{8, 3, 3, 3}, rng);
+  const Tensor b = Tensor::normal(Shape{8}, rng);
+  core::set_thread_count(1);
+  const Tensor serial = ops::conv2d_forward(x, w, b, g);
+  core::set_thread_count(8);
+  const Tensor parallel = ops::conv2d_forward(x, w, b, g);
+  EXPECT_TRUE(bits_equal(serial, parallel));
+}
+
+TEST_F(DeterminismTest, Conv2dBackwardBitIdenticalAcrossThreadCounts) {
+  Rng rng(13);
+  const ops::Conv2dGeometry g{3, 12, 12, 3, 1, 1};
+  const Tensor x = Tensor::normal(Shape{5, 3, 12, 12}, rng);
+  const Tensor w = Tensor::normal(Shape{8, 3, 3, 3}, rng);
+  const Tensor gout = Tensor::normal(Shape{5, 8, 12, 12}, rng);
+
+  auto run = [&] {
+    Tensor gw(w.shape());
+    Tensor gb(Shape{8});
+    Tensor gx = ops::conv2d_backward(x, w, gout, g, gw, gb);
+    return std::make_tuple(std::move(gx), std::move(gw), std::move(gb));
+  };
+  core::set_thread_count(1);
+  auto [gx1, gw1, gb1] = run();
+  core::set_thread_count(8);
+  auto [gx8, gw8, gb8] = run();
+  EXPECT_TRUE(bits_equal(gx1, gx8));
+  EXPECT_TRUE(bits_equal(gw1, gw8));
+  EXPECT_TRUE(bits_equal(gb1, gb8));
+}
+
+TEST_F(DeterminismTest, PoolingAndSoftmaxBitIdenticalAcrossThreadCounts) {
+  Rng rng(14);
+  const Tensor x = Tensor::normal(Shape{4, 6, 16, 16}, rng);
+  const Tensor logits = Tensor::normal(Shape{512, 10}, rng);
+  auto run = [&] {
+    auto mp = ops::maxpool2d_forward(x, 2, 2);
+    Tensor mp_grad = ops::maxpool2d_backward(mp.output, x.shape(), mp.argmax);
+    Tensor ap = ops::avgpool2d_forward(x, 2, 2);
+    Tensor gap = ops::global_avgpool_forward(x);
+    Tensor sm = ops::softmax_rows(logits);
+    Tensor lsm = ops::log_softmax_rows(logits);
+    return std::make_tuple(std::move(mp.output), std::move(mp_grad),
+                           std::move(ap), std::move(gap), std::move(sm),
+                           std::move(lsm));
+  };
+  core::set_thread_count(1);
+  auto r1 = run();
+  core::set_thread_count(8);
+  auto r8 = run();
+  EXPECT_TRUE(bits_equal(std::get<0>(r1), std::get<0>(r8)));
+  EXPECT_TRUE(bits_equal(std::get<1>(r1), std::get<1>(r8)));
+  EXPECT_TRUE(bits_equal(std::get<2>(r1), std::get<2>(r8)));
+  EXPECT_TRUE(bits_equal(std::get<3>(r1), std::get<3>(r8)));
+  EXPECT_TRUE(bits_equal(std::get<4>(r1), std::get<4>(r8)));
+  EXPECT_TRUE(bits_equal(std::get<5>(r1), std::get<5>(r8)));
+}
+
+TEST_F(DeterminismTest, BatchNormBitIdenticalAcrossThreadCounts) {
+  Rng rng(15);
+  const Tensor x = Tensor::normal(Shape{4, 8, 32, 32}, rng);
+  auto run = [&](bool training) {
+    nn::BatchNorm2d bn(8, "bn");
+    bn.set_training(training);
+    Tensor y = bn.forward(x);
+    Tensor eval_y = bn.eval_forward(x);
+    return std::make_pair(std::move(y), std::move(eval_y));
+  };
+  core::set_thread_count(1);
+  auto train1 = run(true);
+  auto eval1 = run(false);
+  core::set_thread_count(8);
+  auto train8 = run(true);
+  auto eval8 = run(false);
+  EXPECT_TRUE(bits_equal(train1.first, train8.first));
+  EXPECT_TRUE(bits_equal(train1.second, train8.second));
+  EXPECT_TRUE(bits_equal(eval1.first, eval8.first));
+  EXPECT_TRUE(bits_equal(eval1.second, eval8.second));
+}
+
+TEST_F(DeterminismTest, FitLossCurveIdenticalAcrossThreadCounts) {
+  auto train = [] {
+    Rng rng(16);
+    Tensor x(Shape{64, 2});
+    std::vector<std::int64_t> labels(64);
+    for (std::int64_t i = 0; i < 64; ++i) {
+      const std::int64_t cls = i % 2;
+      x.at(i, 0) = (cls == 0 ? -1.0f : 1.0f) +
+                   static_cast<float>(rng.normal(0.0, 0.3));
+      x.at(i, 1) = static_cast<float>(rng.normal(0.0, 0.3));
+      labels[static_cast<std::size_t>(i)] = cls;
+    }
+    nn::Sequential net;
+    net.add(std::make_unique<nn::Linear>(2, 16, rng, "fc1"));
+    net.add(std::make_unique<nn::ReLU>("r"));
+    net.add(std::make_unique<nn::Linear>(16, 2, rng, "fc2"));
+    nn::SoftmaxCrossEntropy loss;
+    nn::Sgd opt(nn::parameters_of(net), {.lr = 0.05, .momentum = 0.9});
+    nn::TrainConfig cfg;
+    cfg.epochs = 5;
+    cfg.batch_size = 16;
+    cfg.shuffle_seed = 42;
+    return nn::fit(net, loss, opt, x, labels, cfg).epoch_loss;
+  };
+  core::set_thread_count(1);
+  const auto serial = train();
+  core::set_thread_count(8);
+  const auto parallel = train();
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t e = 0; e < serial.size(); ++e) {
+    EXPECT_EQ(serial[e], parallel[e]) << "epoch " << e;
+  }
+}
+
+TEST_F(DeterminismTest, GradcheckPassesUnderThePool) {
+  core::set_thread_count(4);
+  Rng rng(17);
+  nn::Sequential net;
+  net.add(std::make_unique<nn::Conv2d>(ops::Conv2dGeometry{2, 8, 8, 3, 1, 1},
+                                       4, rng, "c1"));
+  net.add(std::make_unique<nn::ReLU>("r1"));
+  net.add(std::make_unique<nn::MaxPool2d>(2, 2, "p1"));
+  net.add(std::make_unique<nn::Flatten>());
+  net.add(std::make_unique<nn::Linear>(4 * 4 * 4, 3, rng, "fc"));
+  nn::SoftmaxCrossEntropy loss;
+  const Tensor x = Tensor::normal(Shape{3, 2, 8, 8}, rng);
+  std::vector<std::int64_t> labels(3);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    labels[static_cast<std::size_t>(i)] = i % 3;
+  }
+  const auto in_res = nn::check_input_gradient(net, loss, x, labels);
+  EXPECT_TRUE(in_res.ok) << "rel err " << in_res.max_rel_err;
+  const auto par_res = nn::check_parameter_gradients(net, loss, x, labels);
+  EXPECT_TRUE(par_res.ok) << "rel err " << par_res.max_rel_err;
+}
+
+}  // namespace
+}  // namespace hpnn

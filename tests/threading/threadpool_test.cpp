@@ -1,0 +1,167 @@
+// Unit tests of the deterministic thread-pool primitive itself: static
+// chunking, coverage, nesting, exception propagation, reconfiguration.
+#include "core/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace hpnn::core {
+namespace {
+
+/// Restores the pool to its environment-default size after each test so a
+/// reconfiguration cannot leak into other suites in this binary.
+class ThreadPoolTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_thread_count(0); }
+};
+
+TEST_F(ThreadPoolTest, ChunkCountIsPureFunctionOfRange) {
+  EXPECT_EQ(ThreadPool::chunk_count(0, 10, 3), 4);
+  EXPECT_EQ(ThreadPool::chunk_count(0, 9, 3), 3);
+  EXPECT_EQ(ThreadPool::chunk_count(5, 5, 1), 0);
+  EXPECT_EQ(ThreadPool::chunk_count(7, 3, 1), 0);  // inverted range is empty
+  EXPECT_EQ(ThreadPool::chunk_count(0, 1, 1000), 1);
+  // The count must not depend on the pool size.
+  set_thread_count(4);
+  EXPECT_EQ(ThreadPool::chunk_count(0, 10, 3), 4);
+}
+
+TEST_F(ThreadPoolTest, InvalidGrainThrows) {
+  EXPECT_THROW(ThreadPool::chunk_count(0, 10, 0), InvariantError);
+  EXPECT_THROW(parallel_for(0, 10, -1, [](std::int64_t, std::int64_t) {}),
+               InvariantError);
+}
+
+TEST_F(ThreadPoolTest, EmptyRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  parallel_for(3, 3, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  parallel_for(5, 2, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_F(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (const int threads : {1, 4}) {
+    set_thread_count(threads);
+    constexpr std::int64_t kN = 1037;
+    std::vector<std::atomic<int>> hits(kN);
+    parallel_for(0, kN, 16, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        ++hits[static_cast<std::size_t>(i)];
+      }
+    });
+    for (std::int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << "index " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST_F(ThreadPoolTest, ChunkIndexMatchesStaticDecomposition) {
+  set_thread_count(4);
+  constexpr std::int64_t kBegin = 5;
+  constexpr std::int64_t kEnd = 43;
+  constexpr std::int64_t kGrain = 7;
+  const std::int64_t chunks = ThreadPool::chunk_count(kBegin, kEnd, kGrain);
+  std::vector<std::atomic<int>> seen(static_cast<std::size_t>(chunks));
+  parallel_for(kBegin, kEnd, kGrain,
+               [&](std::int64_t b, std::int64_t e, std::int64_t chunk) {
+                 EXPECT_EQ(b, kBegin + chunk * kGrain);
+                 EXPECT_EQ(e, std::min<std::int64_t>(kEnd, b + kGrain));
+                 ++seen[static_cast<std::size_t>(chunk)];
+               });
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(c)].load(), 1);
+  }
+}
+
+TEST_F(ThreadPoolTest, NestedParallelForRunsInline) {
+  set_thread_count(4);
+  constexpr std::int64_t kOuter = 16;
+  constexpr std::int64_t kInner = 32;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  parallel_for(0, kOuter, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t o = b; o < e; ++o) {
+      parallel_for(0, kInner, 4, [&](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t i = ib; i < ie; ++i) {
+          ++hits[static_cast<std::size_t>(o * kInner + i)];
+        }
+      });
+    }
+  });
+  for (const auto& h : hits) {
+    ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST_F(ThreadPoolTest, ExceptionPropagatesAndPoolSurvives) {
+  set_thread_count(4);
+  EXPECT_THROW(
+      parallel_for(0, 64, 1,
+                   [&](std::int64_t b, std::int64_t) {
+                     if (b == 17) {
+                       throw std::runtime_error("chunk failure");
+                     }
+                   }),
+      std::runtime_error);
+  // The pool must still execute work after a failed job.
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(0, 100, 8, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      sum += i;
+    }
+  });
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST_F(ThreadPoolTest, SetThreadCountReconfigures) {
+  set_thread_count(3);
+  EXPECT_EQ(thread_count(), 3);
+  set_thread_count(1);
+  EXPECT_EQ(thread_count(), 1);
+  set_thread_count(0);  // back to the environment default
+  EXPECT_GE(thread_count(), 1);
+}
+
+TEST_F(ThreadPoolTest, ChunkOrderedReductionIsThreadCountInvariant) {
+  // The canonical deterministic-reduction recipe: per-chunk partials
+  // reduced in chunk-index order. The result bits must not change with the
+  // pool size.
+  auto reduce_at = [](int threads) {
+    set_thread_count(threads);
+    constexpr std::int64_t kN = 4096;
+    constexpr std::int64_t kGrain = 128;
+    std::vector<float> values(kN);
+    for (std::int64_t i = 0; i < kN; ++i) {
+      values[static_cast<std::size_t>(i)] =
+          1.0f / static_cast<float>(i + 1);  // non-associative workload
+    }
+    const std::int64_t chunks = ThreadPool::chunk_count(0, kN, kGrain);
+    std::vector<float> partial(static_cast<std::size_t>(chunks), 0.0f);
+    parallel_for(0, kN, kGrain,
+                 [&](std::int64_t b, std::int64_t e, std::int64_t chunk) {
+                   float s = 0.0f;
+                   for (std::int64_t i = b; i < e; ++i) {
+                     s += values[static_cast<std::size_t>(i)];
+                   }
+                   partial[static_cast<std::size_t>(chunk)] = s;
+                 });
+    float total = 0.0f;
+    for (const float p : partial) {
+      total += p;
+    }
+    return total;
+  };
+  const float serial = reduce_at(1);
+  EXPECT_EQ(serial, reduce_at(2));
+  EXPECT_EQ(serial, reduce_at(4));
+  EXPECT_EQ(serial, reduce_at(8));
+}
+
+}  // namespace
+}  // namespace hpnn::core
