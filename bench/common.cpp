@@ -6,6 +6,7 @@
 
 #include "core/config.hpp"
 #include "core/logging.hpp"
+#include "core/metrics.hpp"
 
 namespace hpnn::bench {
 
@@ -127,6 +128,16 @@ CsvSink::CsvSink(const std::string& name, const std::string& header) {
   }
   os << "label," << header << '\n';
   enabled_ = true;
+}
+
+CsvSink::~CsvSink() {
+  if (!enabled_ || !metrics::enabled()) {
+    return;
+  }
+  // path_ ends in ".csv"; swap the extension for the snapshot file.
+  const std::string snap_path =
+      path_.substr(0, path_.size() - 4) + ".metrics.json";
+  metrics::write_snapshot_file(snap_path);
 }
 
 void CsvSink::row(const std::vector<double>& values,

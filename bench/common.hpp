@@ -84,6 +84,10 @@ class CsvSink {
   /// `name` is the file stem; `header` the comma-separated column names.
   CsvSink(const std::string& name, const std::string& header);
 
+  /// On destruction (bench end) also drops a metrics snapshot
+  /// `<dir>/<name>.metrics.json` next to the CSV, when metrics are on.
+  ~CsvSink();
+
   bool enabled() const { return enabled_; }
 
   /// Appends one row (values are formatted with %.6g).

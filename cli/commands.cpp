@@ -7,6 +7,7 @@
 #include "args.hpp"
 #include "attack/finetune.hpp"
 #include "core/error.hpp"
+#include "core/metrics.hpp"
 #include "core/threadpool.hpp"
 #include "data/synthetic.hpp"
 #include "hpnn/calibration.hpp"
@@ -397,6 +398,52 @@ int cmd_fault_campaign(const Args& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_metrics_demo(const Args& args, std::ostream& out) {
+  if (!metrics::enabled()) {
+    out << "metrics are disabled (HPNN_METRICS=off or compiled out); "
+           "nothing to demo\n";
+    return 1;
+  }
+  // Tiny end-to-end pass — train a locked model, publish it, serve a batch
+  // on the trusted device — so every instrumented layer (tensor ops, pool,
+  // trainer, MMU, device) shows up in the snapshot printed below.
+  data::SyntheticConfig dc;
+  dc.train_per_class = args.get_int("tpc", 6);
+  dc.test_per_class = args.get_int("testpc", 3);
+  dc.image_size = args.get_int("img", 12);
+  dc.seed = static_cast<std::uint64_t>(args.get_int("data-seed", 42));
+  const auto split =
+      data::make_dataset(data::SyntheticFamily::kFashionSynth, dc);
+
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
+  const obf::HpnnKey key = obf::HpnnKey::random(rng);
+  const std::uint64_t schedule_seed = 0xDAC;
+  obf::Scheduler scheduler(schedule_seed, obf::SchedulePolicy::kInterleaved);
+  models::ModelConfig mc = model_config_for(args, split.train);
+  obf::LockedModel model(models::arch_from_name(args.get("arch", "MLP")), mc,
+                         key, scheduler);
+
+  obf::OwnerTrainOptions opt;
+  opt.epochs = args.get_int("epochs", 1);
+  opt.batch_size = 16;
+  obf::train_locked_model(model, split.train, split.test, opt);
+
+  std::stringstream artifact_buf;
+  obf::publish_model(artifact_buf, model);
+  const obf::PublishedModel artifact =
+      obf::read_published_model(artifact_buf);
+  hw::TrustedDevice device(key, schedule_seed, hw::DeviceConfig{});
+  device.load_model(artifact);
+  device.classify(split.test.images);
+
+  const auto snap = metrics::MetricsRegistry::instance().snapshot();
+  metrics::write_json(out, snap);
+  const auto events = metrics::TraceBuffer::instance().events();
+  out << "trace: " << events.size() << " spans retained (capacity "
+      << metrics::TraceBuffer::instance().capacity() << ")\n";
+  return 0;
+}
+
 int cmd_overhead(const Args& args, std::ostream& out) {
   const std::int64_t dim = args.get_int("dim", 256);
   const auto report = hw::mmu_overhead(dim);
@@ -426,6 +473,8 @@ std::string usage() {
       "                                               fine-tuning attack\n"
       "  inspect  --model FILE [--tensors 1]          describe an artifact\n"
       "  overhead [--dim N]                           locking hardware cost\n"
+      "  metrics-demo [--arch A --epochs E]           end-to-end pass that\n"
+      "                                               prints a metrics snapshot\n"
       "  fault-campaign --model FILE --dataset D --key HEX\n"
       "           [--bits 0,1,2,4,8 --trials N --campaign-seed N\n"
       "            --acc-rate F --acc-bit B --scale-error F --json 1]\n"
@@ -440,8 +489,32 @@ std::string usage() {
       "global options:\n"
       "  --threads N   worker-pool size for GEMM/conv/campaign loops\n"
       "                (default: HPNN_THREADS env var, else all cores;\n"
-      "                 results are bit-identical at any setting)\n";
+      "                 results are bit-identical at any setting)\n"
+      "  --metrics-out PATH   write a metrics snapshot after the command\n"
+      "                (.csv extension selects CSV, otherwise JSON;\n"
+      "                 disable collection with HPNN_METRICS=off)\n";
 }
+
+namespace {
+
+int dispatch(const Args& args, std::ostream& out) {
+  if (args.command == "keygen") return cmd_keygen(args, out);
+  if (args.command == "dataset") return cmd_dataset(args, out);
+  if (args.command == "zoo") return cmd_zoo(args, out);
+  if (args.command == "train") return cmd_train(args, out);
+  if (args.command == "eval") return cmd_eval(args, out);
+  if (args.command == "attack") return cmd_attack(args, out);
+  if (args.command == "inspect") return cmd_inspect(args, out);
+  if (args.command == "overhead") return cmd_overhead(args, out);
+  if (args.command == "metrics-demo") return cmd_metrics_demo(args, out);
+  if (args.command == "fault-campaign") {
+    return cmd_fault_campaign(args, out);
+  }
+  out << "unknown command '" << args.command << "'\n\n" << usage();
+  return 1;
+}
+
+}  // namespace
 
 int run_command(const std::vector<std::string>& tokens, std::ostream& out) {
   try {
@@ -456,19 +529,18 @@ int run_command(const std::vector<std::string>& tokens, std::ostream& out) {
       out << usage();
       return args.command.empty() ? 1 : 0;
     }
-    if (args.command == "keygen") return cmd_keygen(args, out);
-    if (args.command == "dataset") return cmd_dataset(args, out);
-    if (args.command == "zoo") return cmd_zoo(args, out);
-    if (args.command == "train") return cmd_train(args, out);
-    if (args.command == "eval") return cmd_eval(args, out);
-    if (args.command == "attack") return cmd_attack(args, out);
-    if (args.command == "inspect") return cmd_inspect(args, out);
-    if (args.command == "overhead") return cmd_overhead(args, out);
-    if (args.command == "fault-campaign") {
-      return cmd_fault_campaign(args, out);
+    const int rc = dispatch(args, out);
+    if (args.has("metrics-out")) {
+      // Global option: snapshot whatever the command recorded, even on a
+      // nonzero exit — a failed run's partial counters are still useful.
+      const std::string path = args.require("metrics-out");
+      if (!metrics::enabled()) {
+        out << "warning: --metrics-out given but metrics are disabled\n";
+      } else if (metrics::write_snapshot_file(path)) {
+        out << "metrics snapshot: " << path << "\n";
+      }
     }
-    out << "unknown command '" << args.command << "'\n\n" << usage();
-    return 1;
+    return rc;
   } catch (const Error& e) {
     out << "error: " << e.what() << "\n";
     return 1;

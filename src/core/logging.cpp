@@ -3,6 +3,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
+
+#include "core/metrics.hpp"
 
 namespace hpnn {
 
@@ -55,8 +58,19 @@ LogLevel log_level() {
 namespace detail {
 
 void log_line(LogLevel level, const std::string& msg) {
+  // Leaked so workers logging during static destruction stay safe.
+  static std::mutex* sink_mutex = new std::mutex;
   std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
-  os << "[hpnn " << level_tag(level) << "] " << msg << '\n';
+  const int tid = metrics::thread_ordinal();
+  const std::uint64_t now_us = metrics::trace_now_us();
+  std::lock_guard<std::mutex> lock(*sink_mutex);
+  os << "[hpnn " << level_tag(level) << " t" << tid << " +" << now_us
+     << "us] " << msg << '\n';
+}
+
+void log_dropped(LogLevel level) {
+  (void)level;
+  HPNN_METRIC_COUNT("log.lines_dropped", 1);
 }
 
 }  // namespace detail

@@ -19,7 +19,14 @@ void set_log_level(LogLevel level);
 LogLevel log_level();
 
 namespace detail {
+/// Emits one log line with a "[hpnn LEVEL t<id> +<us>us]" prefix under a
+/// process-wide mutex, so lines from pool workers never interleave
+/// mid-line. The thread id is metrics::thread_ordinal(); the timestamp is
+/// monotonic microseconds since the process trace epoch.
 void log_line(LogLevel level, const std::string& msg);
+/// Accounts a line suppressed by the level threshold (metrics counter
+/// "log.lines_dropped").
+void log_dropped(LogLevel level);
 }  // namespace detail
 
 /// Streams a single log line at the given level.
@@ -30,6 +37,8 @@ class LogStream {
   ~LogStream() {
     if (level_ >= log_level()) {
       detail::log_line(level_, os_.str());
+    } else {
+      detail::log_dropped(level_);
     }
   }
   LogStream(const LogStream&) = delete;

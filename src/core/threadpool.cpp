@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <memory>
@@ -11,6 +12,7 @@
 
 #include "core/config.hpp"
 #include "core/error.hpp"
+#include "core/metrics.hpp"
 
 namespace hpnn::core {
 
@@ -41,11 +43,18 @@ struct Job {
   std::atomic<std::int64_t> done{0};
   std::mutex error_mutex;
   std::exception_ptr error;
+  // Set at submission when metrics are enabled; workers observe the gap
+  // between this and their wake-up as "core.pool.queue_wait_us".
+  std::chrono::steady_clock::time_point submitted;
 
-  /// Claims and runs chunks until none remain; returns true if this thread
-  /// ran the final chunk.
-  bool drain() {
-    bool finished_last = false;
+  struct DrainOutcome {
+    std::int64_t ran = 0;  // chunks this thread executed (imbalance signal)
+    bool last = false;     // this thread completed the final chunk
+  };
+
+  /// Claims and runs chunks until none remain.
+  DrainOutcome drain() {
+    DrainOutcome outcome;
     for (;;) {
       const std::int64_t c = cursor.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks) {
@@ -61,11 +70,12 @@ struct Job {
           error = std::current_exception();
         }
       }
+      ++outcome.ran;
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
-        finished_last = true;
+        outcome.last = true;
       }
     }
-    return finished_last;
+    return outcome;
   }
 };
 
@@ -93,9 +103,16 @@ struct ThreadPool::Impl {
       seen = epoch;
       std::shared_ptr<Job> current = job;
       lock.unlock();
-      const bool last = current->drain();
+      if (metrics::enabled()) {
+        const auto wait = std::chrono::steady_clock::now() - current->submitted;
+        HPNN_METRIC_OBSERVE(
+            "core.pool.queue_wait_us",
+            std::chrono::duration_cast<std::chrono::microseconds>(wait)
+                .count());
+      }
+      const Job::DrainOutcome outcome = current->drain();
       lock.lock();
-      if (last) {
+      if (outcome.last) {
         done_cv.notify_all();
       }
     }
@@ -161,6 +178,8 @@ void ThreadPool::run(std::int64_t begin, std::int64_t end, std::int64_t grain,
   // decomposition (and therefore every result bit) is identical to the
   // parallel path.
   if (chunks == 1 || impl_->workers.empty() || t_in_worker) {
+    HPNN_METRIC_COUNT("core.pool.jobs_inline", 1);
+    HPNN_METRIC_COUNT("core.pool.chunks", chunks);
     for (std::int64_t c = 0; c < chunks; ++c) {
       const std::int64_t c0 = begin + c * grain;
       fn(c0, std::min(end, c0 + grain), c);
@@ -168,12 +187,17 @@ void ThreadPool::run(std::int64_t begin, std::int64_t end, std::int64_t grain,
     return;
   }
 
+  HPNN_METRIC_COUNT("core.pool.jobs", 1);
+  HPNN_METRIC_COUNT("core.pool.chunks", chunks);
   auto job = std::make_shared<Job>();
   job->begin = begin;
   job->grain = grain;
   job->end = end;
   job->chunks = chunks;
   job->fn = &fn;
+  if (metrics::enabled()) {
+    job->submitted = std::chrono::steady_clock::now();
+  }
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     impl_->job = job;
@@ -181,8 +205,11 @@ void ThreadPool::run(std::int64_t begin, std::int64_t end, std::int64_t grain,
   }
   impl_->work_cv.notify_all();
 
-  // The caller is a full execution lane, not a spectator.
-  job->drain();
+  // The caller is a full execution lane, not a spectator. The share of
+  // chunks it ends up running is the chunk-imbalance signal: with perfect
+  // load spread it runs ~chunks/lanes of them.
+  const Job::DrainOutcome caller = job->drain();
+  HPNN_METRIC_COUNT("core.pool.caller_chunks", caller.ran);
 
   {
     std::unique_lock<std::mutex> lock(impl_->mutex);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/error.hpp"
+#include "core/metrics.hpp"
 #include "core/threadpool.hpp"
 #include "hw/fault.hpp"
 #include "nn/batchnorm.hpp"
@@ -311,6 +312,19 @@ Tensor TrustedDevice::exec_sequential(nn::Sequential& seq, Tensor x) {
 Tensor TrustedDevice::infer(const Tensor& images) {
   HPNN_CHECK(net_ != nullptr, "no model loaded on the trusted device");
   HPNN_CHECK(images.rank() == 4, "device input must be NCHW");
+  // Batched-serving latency: one histogram sample per infer() request, so
+  // the snapshot's p50/p95/p99 describe request latency and its count
+  // equals requests served (asserted by the serving integration test).
+  metrics::Histogram* latency = nullptr;
+  if (metrics::enabled()) {
+    static metrics::Histogram& hist =
+        metrics::MetricsRegistry::instance().histogram(
+            "hw.device.infer.latency_us");
+    latency = &hist;
+  }
+  metrics::TraceSpan span("hw.device.infer", latency);
+  HPNN_METRIC_COUNT("hw.device.infer.requests", 1);
+  HPNN_METRIC_COUNT("hw.device.infer.samples", images.dim(0));
   activation_cursor_ = 0;
   mac_cursor_ = 0;
   return exec_sequential(*net_, images);

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "core/error.hpp"
+#include "core/metrics.hpp"
 #include "core/threadpool.hpp"
 #include "hw/accumulator.hpp"
 #include "hw/secure_memory.hpp"
@@ -106,6 +107,12 @@ FaultTrialResult run_fault_trial(const obf::HpnnKey& key,
   result.accuracy = evaluate_device_accuracy(device, images, labels);
   result.integrity_detected = !device.key_store().integrity_ok();
   result.stats = injector.stats();
+  HPNN_METRIC_COUNT("hw.fault.trials", 1);
+  HPNN_METRIC_COUNT("hw.fault.key_bits_flipped", result.stats.key_bits_flipped);
+  HPNN_METRIC_COUNT("hw.fault.accumulator_faults",
+                    result.stats.accumulator_faults);
+  HPNN_METRIC_COUNT("hw.fault.scale_faults", result.stats.scale_faults);
+  HPNN_METRIC_COUNT("hw.fault.detections", result.integrity_detected ? 1 : 0);
   return result;
 }
 
@@ -116,6 +123,8 @@ std::vector<KeyFlipCampaignPoint> run_key_flip_campaign(
     const std::vector<std::size_t>& bit_counts, int trials,
     std::uint64_t campaign_seed, const DeviceConfig& config) {
   HPNN_CHECK(trials > 0, "key-flip campaign needs at least one trial");
+  metrics::TraceSpan span("hw.fault.key_flip_campaign");
+  HPNN_METRIC_COUNT("hw.fault.campaigns", 1);
   Rng rng(campaign_seed);
 
   // Draw every trial's fault plan up front, serially, in the exact RNG call

@@ -1,6 +1,7 @@
 #include "hw/mmu.hpp"
 
 #include "core/error.hpp"
+#include "core/metrics.hpp"
 #include "hw/fault.hpp"
 
 namespace hpnn::hw {
@@ -82,18 +83,36 @@ void Mmu::matmul_i8(std::span<const std::int8_t> a, std::int64_t m,
   const std::int64_t k_tiles = (k + kArrayRows - 1) / kArrayRows;
   const std::int64_t n_tiles = (n + kArrayCols - 1) / kArrayCols;
   const std::int64_t tiles = k_tiles * n_tiles;
-  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-  stats_.weight_tile_loads += static_cast<std::uint64_t>(tiles);
-  stats_.cycles += static_cast<std::uint64_t>(
-      tiles * (kArrayRows + m + (kArrayRows + kArrayCols - 2)));
-  stats_.mac_ops += static_cast<std::uint64_t>(m * k * n);
-  stats_.gemm_calls += 1;
-  stats_.outputs += static_cast<std::uint64_t>(m * n);
+  std::uint64_t locked = 0;
   if (!negate.empty()) {
     for (const auto b : negate) {
-      stats_.locked_outputs += (b != 0);
+      locked += (b != 0);
     }
   }
+  const auto cycles = static_cast<std::uint64_t>(
+      tiles * (kArrayRows + m + (kArrayRows + kArrayCols - 2)));
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    stats_.weight_tile_loads += static_cast<std::uint64_t>(tiles);
+    stats_.cycles += cycles;
+    stats_.mac_ops += static_cast<std::uint64_t>(m * k * n);
+    stats_.gemm_calls += 1;
+    stats_.outputs += static_cast<std::uint64_t>(m * n);
+    stats_.locked_outputs += locked;
+  }
+  HPNN_METRIC_COUNT("hw.mmu.gemm_calls", 1);
+  HPNN_METRIC_COUNT("hw.mmu.mac_ops", m * k * n);
+  HPNN_METRIC_COUNT("hw.mmu.cycles", cycles);
+  HPNN_METRIC_COUNT("hw.mmu.weight_tile_loads", tiles);
+  HPNN_METRIC_COUNT("hw.mmu.outputs", m * n);
+  HPNN_METRIC_COUNT("hw.mmu.locked_outputs", locked);
+  // Each keyed output negates all k partial products through its FA-chain
+  // XOR gates — the toggle count is the Fig. 4 dynamic-power proxy.
+  HPNN_METRIC_COUNT("hw.mmu.xor_gate_toggles",
+                    locked * static_cast<std::uint64_t>(k));
+  // Unified-buffer traffic in bytes: int8 operand reads + int32 drains.
+  HPNN_METRIC_COUNT("hw.mmu.buffer_bytes",
+                    static_cast<std::uint64_t>(m * k + k * n + 4 * m * n));
 }
 
 }  // namespace hpnn::hw

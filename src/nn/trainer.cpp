@@ -4,6 +4,7 @@
 
 #include "core/error.hpp"
 #include "core/logging.hpp"
+#include "core/metrics.hpp"
 #include "tensor/ops.hpp"
 
 namespace hpnn::nn {
@@ -46,12 +47,14 @@ TrainResult fit(Module& model, Loss& loss, Optimizer& opt,
   const bool was_training = model.training();
   model.set_training(true);
   for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    metrics::TraceSpan epoch_span("trainer.epoch");
     const auto order = rng.permutation(n);
     double epoch_loss = 0.0;
     std::size_t batches = 0;
     for (std::size_t at = 0; at < n; at += config.batch_size) {
       const std::size_t count =
           std::min<std::size_t>(config.batch_size, n - at);
+      HPNN_METRIC_OP_SCOPE("trainer.step");
       auto [batch, batch_labels] =
           gather_batch(images, labels, order, at, count);
       zero_grads(model);
@@ -60,9 +63,12 @@ TrainResult fit(Module& model, Loss& loss, Optimizer& opt,
       model.backward(loss.backward());
       opt.step();
       ++batches;
+      HPNN_METRIC_COUNT("trainer.samples", count);
     }
     epoch_loss /= std::max<std::size_t>(batches, 1);
     result.epoch_loss.push_back(epoch_loss);
+    HPNN_METRIC_COUNT("trainer.epochs", 1);
+    HPNN_METRIC_GAUGE("trainer.last_epoch_loss", epoch_loss);
     if (config.on_epoch) {
       config.on_epoch(epoch, epoch_loss);
     }
@@ -107,7 +113,11 @@ double evaluate_accuracy(Module& model, const Tensor& images,
     }
   }
   model.set_training(was_training);
-  return static_cast<double>(correct) / static_cast<double>(n);
+  const double accuracy =
+      static_cast<double>(correct) / static_cast<double>(n);
+  HPNN_METRIC_COUNT("trainer.eval.samples", n);
+  HPNN_METRIC_GAUGE("trainer.eval.last_accuracy", accuracy);
+  return accuracy;
 }
 
 }  // namespace hpnn::nn

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/error.hpp"
+#include "core/metrics.hpp"
 #include "core/threadpool.hpp"
 
 namespace hpnn::ops {
@@ -88,6 +89,7 @@ Tensor transpose2d(const Tensor& t) {
 
 void gemm(const Tensor& a, Trans ta, const Tensor& b, Trans tb, Tensor& c,
           float alpha, float beta) {
+  HPNN_METRIC_OP_SCOPE("tensor.gemm");
   HPNN_CHECK(a.rank() == 2 && b.rank() == 2 && c.rank() == 2,
              "gemm requires rank-2 tensors");
   const std::int64_t m = (ta == Trans::kNo) ? a.dim(0) : a.dim(1);
@@ -142,6 +144,7 @@ void col2im(const float* cols, const Conv2dGeometry& g, float* input_grad) {
 
 Tensor conv2d_forward(const Tensor& x, const Tensor& weight,
                       const Tensor& bias, const Conv2dGeometry& g) {
+  HPNN_METRIC_OP_SCOPE("tensor.conv2d_forward");
   HPNN_CHECK(x.rank() == 4, "conv2d input must be NCHW");
   HPNN_CHECK(weight.rank() == 4, "conv2d weight must be [F, C, K, K]");
   HPNN_CHECK(x.dim(1) == g.in_channels && x.dim(2) == g.in_h &&
@@ -200,6 +203,7 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& weight,
 Tensor conv2d_backward(const Tensor& x, const Tensor& weight,
                        const Tensor& grad_out, const Conv2dGeometry& g,
                        Tensor& grad_weight, Tensor& grad_bias) {
+  HPNN_METRIC_OP_SCOPE("tensor.conv2d_backward");
   const std::int64_t batch = x.dim(0);
   const std::int64_t filters = weight.dim(0);
   const std::int64_t oh = g.out_h();
@@ -287,6 +291,7 @@ Tensor conv2d_backward(const Tensor& x, const Tensor& weight,
 
 MaxPoolResult maxpool2d_forward(const Tensor& x, std::int64_t kernel,
                                 std::int64_t stride) {
+  HPNN_METRIC_OP_SCOPE("tensor.maxpool2d_forward");
   HPNN_CHECK(x.rank() == 4, "maxpool2d input must be NCHW");
   HPNN_CHECK(kernel >= 1 && stride >= 1, "invalid pool geometry");
   const std::int64_t batch = x.dim(0);
@@ -361,6 +366,7 @@ Tensor maxpool2d_backward(const Tensor& grad_out, const Shape& input_shape,
 
 Tensor avgpool2d_forward(const Tensor& x, std::int64_t kernel,
                          std::int64_t stride) {
+  HPNN_METRIC_OP_SCOPE("tensor.avgpool2d_forward");
   HPNN_CHECK(x.rank() == 4, "avgpool2d input must be NCHW");
   HPNN_CHECK(kernel >= 1 && stride >= 1, "invalid pool geometry");
   const std::int64_t batch = x.dim(0);
@@ -441,6 +447,7 @@ Tensor avgpool2d_backward(const Tensor& grad_out, const Shape& input_shape,
 }
 
 Tensor global_avgpool_forward(const Tensor& x) {
+  HPNN_METRIC_OP_SCOPE("tensor.global_avgpool_forward");
   HPNN_CHECK(x.rank() == 4, "global_avgpool input must be NCHW");
   const std::int64_t batch = x.dim(0);
   const std::int64_t ch = x.dim(1);
@@ -504,6 +511,7 @@ void for_each_row(std::int64_t n, std::int64_t c, const RowFn& row_fn) {
 }  // namespace
 
 Tensor softmax_rows(const Tensor& logits) {
+  HPNN_METRIC_OP_SCOPE("tensor.softmax_rows");
   HPNN_CHECK(logits.rank() == 2, "softmax_rows expects [N, C]");
   const std::int64_t n = logits.dim(0);
   const std::int64_t c = logits.dim(1);
@@ -528,6 +536,7 @@ Tensor softmax_rows(const Tensor& logits) {
 }
 
 Tensor log_softmax_rows(const Tensor& logits) {
+  HPNN_METRIC_OP_SCOPE("tensor.log_softmax_rows");
   HPNN_CHECK(logits.rank() == 2, "log_softmax_rows expects [N, C]");
   const std::int64_t n = logits.dim(0);
   const std::int64_t c = logits.dim(1);

@@ -1,0 +1,204 @@
+// Finite-difference gradient checks through LockedActivation for every
+// lock-sign pattern. The chain rule must carry L_j = (-1)^{k_j} exactly
+// (Eq. 4/5: dE/dMAC_j = dE/dout_j * f'(L_j * MAC_j) * L_j) — an attacker
+// training without the key gets sign-corrupted gradients, so the owner's
+// key-dependent backward has to be bit-for-bit right.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "hpnn/locked_activation.hpp"
+#include "nn/gradcheck.hpp"
+#include "nn/layers.hpp"
+#include "nn/losses.hpp"
+
+namespace hpnn::obf {
+namespace {
+
+enum class MaskPattern { kAllPlus, kAllMinus, kMixed };
+
+Tensor make_mask(MaskPattern pattern, std::int64_t n) {
+  Tensor mask(Shape{n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    switch (pattern) {
+      case MaskPattern::kAllPlus:
+        mask.at(i) = 1.0f;
+        break;
+      case MaskPattern::kAllMinus:
+        mask.at(i) = -1.0f;
+        break;
+      case MaskPattern::kMixed:
+        mask.at(i) = (i % 2 == 0) ? 1.0f : -1.0f;
+        break;
+    }
+  }
+  return mask;
+}
+
+const char* pattern_name(MaskPattern p) {
+  switch (p) {
+    case MaskPattern::kAllPlus:
+      return "AllPlus";
+    case MaskPattern::kAllMinus:
+      return "AllMinus";
+    default:
+      return "Mixed";
+  }
+}
+
+class LockedActivationGradTest
+    : public ::testing::TestWithParam<MaskPattern> {};
+
+TEST_P(LockedActivationGradTest, SigmoidAtZeroCarriesLockSignExactly) {
+  // At x = 0 the signed pre-activation is 0 for every L, and
+  // sigmoid'(0) = 0.25 exactly in float, so the input gradient must be
+  // exactly 0.25 * L_j — any lost or double-applied sign shows up here.
+  const std::int64_t n = 5;
+  const Tensor mask = make_mask(GetParam(), n);
+  LockedActivation act("act", mask, ActivationKind::kSigmoid);
+  Tensor x(Shape{2, n}, 0.0f);
+  (void)act.forward(x);
+  const Tensor gx = act.backward(Tensor(x.shape(), 1.0f));
+  for (std::int64_t b = 0; b < 2; ++b) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      EXPECT_FLOAT_EQ(gx.at(b * n + j), 0.25f * mask.at(j))
+          << pattern_name(GetParam()) << " neuron " << j;
+    }
+  }
+}
+
+TEST_P(LockedActivationGradTest, TanhAtZeroCarriesLockSignExactly) {
+  // tanh'(0) = 1, so the gradient at zero is the lock mask itself.
+  const std::int64_t n = 4;
+  const Tensor mask = make_mask(GetParam(), n);
+  LockedActivation act("act", mask, ActivationKind::kTanh);
+  Tensor x(Shape{1, n}, 0.0f);
+  (void)act.forward(x);
+  const Tensor gx = act.backward(Tensor(x.shape(), 1.0f));
+  for (std::int64_t j = 0; j < n; ++j) {
+    EXPECT_FLOAT_EQ(gx.at(j), mask.at(j)) << pattern_name(GetParam());
+  }
+}
+
+TEST_P(LockedActivationGradTest, ReluBackwardMatchesCentralDifference) {
+  const std::int64_t n = 6;
+  const Tensor mask = make_mask(GetParam(), n);
+  LockedActivation act("act", mask, ActivationKind::kRelu);
+  Rng rng(11);
+  // Keep inputs away from the kink so central differences are valid.
+  Tensor x(Shape{3, n});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    float v = static_cast<float>(rng.uniform(-1.5, 1.5));
+    if (std::fabs(v) < 0.15f) {
+      v = std::copysign(0.3f, v == 0.0f ? 1.0f : v);
+    }
+    x.at(i) = v;
+  }
+  (void)act.forward(x);
+  const Tensor analytic = act.backward(Tensor(x.shape(), 1.0f));
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    Tensor xp = x;
+    xp.at(i) += static_cast<float>(eps);
+    Tensor xm = x;
+    xm.at(i) -= static_cast<float>(eps);
+    const double numeric =
+        (static_cast<double>(act.forward(xp).sum()) -
+         act.forward(xm).sum()) /
+        (2 * eps);
+    EXPECT_NEAR(analytic.at(i), numeric, 5e-3)
+        << pattern_name(GetParam()) << " coord " << i;
+  }
+}
+
+TEST_P(LockedActivationGradTest, SmoothKindsMatchCentralDifference) {
+  // Sigmoid and tanh have no kinks, so the tolerance can be tight.
+  for (const auto kind : {ActivationKind::kSigmoid, ActivationKind::kTanh}) {
+    const std::int64_t n = 5;
+    const Tensor mask = make_mask(GetParam(), n);
+    LockedActivation act("act", mask, kind);
+    Rng rng(17);
+    Tensor x(Shape{2, n});
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      x.at(i) = static_cast<float>(rng.uniform(-2.0, 2.0));
+    }
+    (void)act.forward(x);
+    const Tensor analytic = act.backward(Tensor(x.shape(), 1.0f));
+    const double eps = 1e-3;
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      Tensor xp = x;
+      xp.at(i) += static_cast<float>(eps);
+      Tensor xm = x;
+      xm.at(i) -= static_cast<float>(eps);
+      const double numeric =
+          (static_cast<double>(act.forward(xp).sum()) -
+           act.forward(xm).sum()) /
+          (2 * eps);
+      EXPECT_NEAR(analytic.at(i), numeric, 2e-3)
+          << pattern_name(GetParam()) << " coord " << i;
+    }
+  }
+}
+
+TEST_P(LockedActivationGradTest, ChainRuleThroughWholeModel) {
+  // Model-level check: gradients must flow correctly through
+  // Linear -> LockedActivation -> Linear under softmax cross-entropy,
+  // i.e. the lock sign composes with both upstream and downstream layers.
+  Rng rng(23);
+  nn::Sequential net;
+  net.add(std::make_unique<nn::Linear>(6, 8, rng, "fc1"));
+  net.add(std::make_unique<LockedActivation>("lock", make_mask(GetParam(), 8),
+                                             ActivationKind::kSigmoid));
+  net.add(std::make_unique<nn::Linear>(8, 4, rng, "fc2"));
+  nn::SoftmaxCrossEntropy loss;
+  const Tensor x = Tensor::normal(Shape{3, 6}, rng);
+  std::vector<std::int64_t> labels;
+  for (std::int64_t i = 0; i < 3; ++i) {
+    labels.push_back(i % 4);
+  }
+  // A lost/flipped lock sign yields relative errors near 2.0; 5e-2 rides
+  // above float noise on near-zero coordinates while still catching that.
+  nn::GradCheckOptions opts;
+  opts.tolerance = 5e-2;
+  EXPECT_TRUE(nn::check_input_gradient(net, loss, x, labels, opts).ok)
+      << pattern_name(GetParam());
+  EXPECT_TRUE(nn::check_parameter_gradients(net, loss, x, labels, opts).ok)
+      << pattern_name(GetParam());
+}
+
+TEST(LockedActivationGradInvarianceTest, OppositeMasksGiveOppositeGradients) {
+  // g(+L) == -g(-L) at symmetric f' — with tanh at arbitrary x, flipping
+  // the whole mask flips the signed pre-activation, and tanh' is even, so
+  // the input gradients are exact negations of each other.
+  const std::int64_t n = 7;
+  Rng rng(29);
+  Tensor x(Shape{2, n});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x.at(i) = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  LockedActivation plus("p", make_mask(MaskPattern::kAllPlus, n),
+                        ActivationKind::kTanh);
+  LockedActivation minus("m", make_mask(MaskPattern::kAllMinus, n),
+                         ActivationKind::kTanh);
+  (void)plus.forward(x);
+  (void)minus.forward(x);
+  const Tensor gp = plus.backward(Tensor(x.shape(), 1.0f));
+  const Tensor gm = minus.backward(Tensor(x.shape(), 1.0f));
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_FLOAT_EQ(gp.at(i), -gm.at(i)) << "coord " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, LockedActivationGradTest,
+                         ::testing::Values(MaskPattern::kAllPlus,
+                                           MaskPattern::kAllMinus,
+                                           MaskPattern::kMixed),
+                         [](const auto& info) {
+                           return pattern_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace hpnn::obf
