@@ -34,6 +34,32 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
 
+// All four transpose combinations at one size. The packed kernel absorbs
+// the transposes into the pack-stage strides (no materialized copies), so
+// the variants should cluster — the historical T-paths paid an extra
+// transpose2d allocation + copy each call.
+void BM_GemmTrans(benchmark::State& state) {
+  const auto ta = state.range(0) != 0 ? ops::Trans::kYes : ops::Trans::kNo;
+  const auto tb = state.range(1) != 0 ? ops::Trans::kYes : ops::Trans::kNo;
+  const std::int64_t n = 256;
+  Rng rng(1);
+  const Tensor a = Tensor::normal(Shape{n, n}, rng);
+  const Tensor b = Tensor::normal(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    ops::gemm(a, ta, b, tb, c, 1.0f, 0.0f);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.SetLabel(std::string(ta == ops::Trans::kYes ? "T" : "N") +
+                 (tb == ops::Trans::kYes ? "T" : "N"));
+}
+BENCHMARK(BM_GemmTrans)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1});
+
 // Same GEMM at an explicit pool size — the scaling curve of the
 // deterministic thread pool (outputs are bit-identical at every size).
 void BM_GemmThreads(benchmark::State& state) {

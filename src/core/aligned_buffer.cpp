@@ -1,0 +1,107 @@
+#include "core/aligned_buffer.hpp"
+
+#include <algorithm>
+#include <new>
+
+namespace hpnn::core {
+
+namespace {
+
+/// First block size: big enough for the pack buffers of a 28x28 conv layer
+/// so steady-state training never chains a second block.
+constexpr std::size_t kInitialBlockBytes = std::size_t{1} << 16;  // 64 KiB
+
+std::size_t round_up(std::size_t bytes, std::size_t align) {
+  return (bytes + align - 1) / align * align;
+}
+
+}  // namespace
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    data_ = other.data_;
+    capacity_ = other.capacity_;
+    other.data_ = nullptr;
+    other.capacity_ = 0;
+  }
+  return *this;
+}
+
+void AlignedBuffer::reserve(std::size_t bytes) {
+  if (bytes <= capacity_) {
+    return;
+  }
+  const std::size_t grown = std::max(bytes, capacity_ * 2);
+  release();
+  data_ = static_cast<std::byte*>(
+      ::operator new(grown, std::align_val_t{kScratchAlignment}));
+  capacity_ = grown;
+}
+
+void AlignedBuffer::release() {
+  if (data_ != nullptr) {
+    ::operator delete(data_, std::align_val_t{kScratchAlignment});
+    data_ = nullptr;
+    capacity_ = 0;
+  }
+}
+
+ScratchArena& ScratchArena::tls() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+std::size_t ScratchArena::retained_bytes() const {
+  std::size_t total = 0;
+  for (const auto& block : blocks_) {
+    total += block->capacity();
+  }
+  return total;
+}
+
+std::byte* ScratchArena::allocate(std::size_t bytes) {
+  bytes = std::max<std::size_t>(round_up(bytes, kScratchAlignment), 1);
+  // Bump within the active block when it fits.
+  if (active_block_ < blocks_.size()) {
+    AlignedBuffer& block = *blocks_[active_block_];
+    if (offset_ + bytes <= block.capacity()) {
+      std::byte* p = block.data() + offset_;
+      offset_ += bytes;
+      return p;
+    }
+    // Advance to the next retained block that fits (its predecessor keeps
+    // its live allocations; only the unused tail is skipped).
+    for (std::size_t i = active_block_ + 1; i < blocks_.size(); ++i) {
+      if (bytes <= blocks_[i]->capacity()) {
+        active_block_ = i;
+        offset_ = bytes;
+        return blocks_[i]->data();
+      }
+    }
+  }
+  // Chain a new block; existing blocks (and the pointers into them) are
+  // untouched. Doubling keeps the chain length logarithmic in demand.
+  const std::size_t last_cap =
+      blocks_.empty() ? kInitialBlockBytes / 2 : blocks_.back()->capacity();
+  const std::size_t cap = std::max(bytes, last_cap * 2);
+  blocks_.push_back(std::make_unique<AlignedBuffer>(cap));
+  active_block_ = blocks_.size() - 1;
+  offset_ = bytes;
+  return blocks_.back()->data();
+}
+
+void ScratchArena::rewind(std::size_t block, std::size_t offset) {
+  active_block_ = block;
+  offset_ = offset;
+  // Full rewind with a fragmented chain: coalesce into one block sized for
+  // everything seen so far, so the next pass bumps through contiguous,
+  // cache-friendly storage.
+  if (active_block_ == 0 && offset_ == 0 && blocks_.size() > 1) {
+    const std::size_t total = retained_bytes();
+    blocks_.clear();
+    blocks_.push_back(std::make_unique<AlignedBuffer>(total));
+  }
+}
+
+}  // namespace hpnn::core

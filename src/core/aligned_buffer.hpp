@@ -1,0 +1,121 @@
+// Cache-line-aligned scratch storage for the packed kernels.
+//
+// AlignedBuffer is raw, 64-byte-aligned, geometrically-grown storage with no
+// construction/destruction of elements — the GEMM pack buffers, im2col
+// columns and per-layer packed weight panels all live in one. Contents are
+// discarded on growth (scratch semantics), so reserve() is O(1) amortized
+// and never copies.
+//
+// ScratchArena is a thread-local bump allocator over a chain of
+// AlignedBuffers. Kernels open a ScratchArena::Scope, carve out what they
+// need, and the storage is handed back (not freed) when the scope closes —
+// the second conv batch, the second GEMM of a training step, every
+// subsequent call reuses the same cache-hot bytes instead of hitting the
+// system allocator. Blocks already handed out stay valid while new blocks
+// are chained on, so pointers never move mid-scope; when the arena fully
+// rewinds it coalesces the chain into one block sized for the high-water
+// mark.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace hpnn::core {
+
+/// Alignment of every buffer and arena allocation: one cache line, which
+/// also satisfies 32-byte AVX vector loads.
+inline constexpr std::size_t kScratchAlignment = 64;
+
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t bytes) { reserve(bytes); }
+  ~AlignedBuffer() { release(); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(other.data_), capacity_(other.capacity_) {
+    other.data_ = nullptr;
+    other.capacity_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  /// Ensures at least `bytes` of capacity. Growth discards contents; the
+  /// new capacity is at least double the old one so repeated reserve()
+  /// calls settle after the first pass over a workload.
+  void reserve(std::size_t bytes);
+
+  std::size_t capacity() const { return capacity_; }
+  std::byte* data() { return data_; }
+  const std::byte* data() const { return data_; }
+
+  /// Reserves room for `count` floats and returns the typed base pointer.
+  float* float_slots(std::size_t count) {
+    reserve(count * sizeof(float));
+    return reinterpret_cast<float*>(data_);
+  }
+
+ private:
+  void release();
+
+  std::byte* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+class ScratchArena {
+ public:
+  /// The calling thread's arena. Each pool worker (and the main thread)
+  /// owns one, so kernels running under parallel_for get private scratch
+  /// with no synchronization.
+  static ScratchArena& tls();
+
+  /// RAII allocation frame. Allocations made through a Scope are handed
+  /// back when it is destroyed (destruction order must nest, which the
+  /// stack guarantees). Pointers remain stable for the Scope's lifetime.
+  class Scope {
+   public:
+    Scope() : Scope(tls()) {}
+    explicit Scope(ScratchArena& arena)
+        : arena_(arena),
+          saved_block_(arena.active_block_),
+          saved_offset_(arena.offset_) {}
+    ~Scope() { arena_.rewind(saved_block_, saved_offset_); }
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    /// 64-byte-aligned uninitialized allocation of `count` floats.
+    float* floats(std::int64_t count) {
+      return reinterpret_cast<float*>(
+          arena_.allocate(static_cast<std::size_t>(count) * sizeof(float)));
+    }
+    /// 64-byte-aligned uninitialized allocation of `count` bytes.
+    std::byte* bytes(std::size_t count) { return arena_.allocate(count); }
+
+   private:
+    ScratchArena& arena_;
+    std::size_t saved_block_;
+    std::size_t saved_offset_;
+  };
+
+  /// Total capacity currently retained across all blocks (observability /
+  /// tests).
+  std::size_t retained_bytes() const;
+  /// Number of blocks in the chain; 1 once the arena has coalesced.
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  friend class Scope;
+
+  std::byte* allocate(std::size_t bytes);
+  void rewind(std::size_t block, std::size_t offset);
+
+  std::vector<std::unique_ptr<AlignedBuffer>> blocks_;
+  std::size_t active_block_ = 0;  // block currently being bumped
+  std::size_t offset_ = 0;        // bump offset within the active block
+};
+
+}  // namespace hpnn::core

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/error.hpp"
+#include "tensor/vec_ops.hpp"
 
 namespace hpnn::obf {
 
@@ -67,10 +68,16 @@ Tensor LockedActivation::forward(const Tensor& x) {
   float* o = out.data();
   for (std::int64_t n = 0; n < batch; ++n) {
     const std::int64_t base = n * per_sample;
-    for (std::int64_t i = 0; i < per_sample; ++i) {
-      const float z = lock[i] * in[base + i];  // L_j * MAC_j
-      signedz[base + i] = z;
-      o[base + i] = f(z);                       // f(L_j * MAC_j), Eq. (1)
+    // z = L_j * MAC_j per neuron; ±1 multiplication is exact, so the
+    // vectorized path is bit-identical to the scalar one (Theorem 1's
+    // exact-negation property is preserved).
+    ops::vec_mul(lock, in + base, signedz + base, per_sample);
+    if (kind_ == ActivationKind::kRelu) {
+      ops::vec_relu(signedz + base, o + base, per_sample);  // f(L*MAC), Eq. (1)
+    } else {
+      for (std::int64_t i = 0; i < per_sample; ++i) {
+        o[base + i] = f(signedz[base + i]);  // f(L_j * MAC_j), Eq. (1)
+      }
     }
   }
   return out;
@@ -89,9 +96,17 @@ Tensor LockedActivation::backward(const Tensor& grad_out) {
   float* gx = grad_x.data();
   for (std::int64_t n = 0; n < batch; ++n) {
     const std::int64_t base = n * per_sample;
-    for (std::int64_t i = 0; i < per_sample; ++i) {
-      // dE/dMAC = dE/dout * f'(L*MAC) * L  — the key-dependent delta rule.
-      gx[base + i] = g[base + i] * f_prime(signedz[base + i]) * lock[i];
+    if (kind_ == ActivationKind::kRelu) {
+      // dE/dMAC = dE/dout * f'(L*MAC) * L with f' ∈ {0, 1}: the fused
+      // vector form selects g*L where z > 0, matching the scalar product
+      // g * f'(z) * L bit for bit (multiplying by exactly 1.0 or 0.0).
+      ops::vec_lock_relu_grad(g + base, signedz + base, lock, gx + base,
+                              per_sample);
+    } else {
+      for (std::int64_t i = 0; i < per_sample; ++i) {
+        // dE/dMAC = dE/dout * f'(L*MAC) * L — the key-dependent delta rule.
+        gx[base + i] = g[base + i] * f_prime(signedz[base + i]) * lock[i];
+      }
     }
   }
   return grad_x;

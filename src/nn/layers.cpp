@@ -4,6 +4,7 @@
 
 #include "core/error.hpp"
 #include "nn/init.hpp"
+#include "tensor/vec_ops.hpp"
 
 namespace hpnn::nn {
 
@@ -31,11 +32,9 @@ Tensor Linear::forward(const Tensor& x) {
   Tensor y = ops::matmul(x, weight_.value, ops::Trans::kNo, ops::Trans::kYes);
   if (bias_) {
     const std::int64_t n = y.dim(0);
+    const float* b = bias_->value.data();
     for (std::int64_t i = 0; i < n; ++i) {
-      float* row = y.data() + i * out_features_;
-      for (std::int64_t j = 0; j < out_features_; ++j) {
-        row[j] += bias_->value.at(j);
-      }
+      ops::vec_axpy(1.0f, b, y.data() + i * out_features_, out_features_);
     }
   }
   return y;
@@ -50,11 +49,10 @@ Tensor Linear::backward(const Tensor& grad_out) {
             weight_.grad, 1.0f, 1.0f);
   if (bias_) {
     const std::int64_t n = grad_out.dim(0);
+    float* bg = bias_->grad.data();
     for (std::int64_t i = 0; i < n; ++i) {
-      const float* row = grad_out.data() + i * out_features_;
-      for (std::int64_t j = 0; j < out_features_; ++j) {
-        bias_->grad.at(j) += row[j];
-      }
+      ops::vec_axpy(1.0f, grad_out.data() + i * out_features_, bg,
+                    out_features_);
     }
   }
   return ops::matmul(grad_out, weight_.value, ops::Trans::kNo, ops::Trans::kNo);
@@ -88,7 +86,19 @@ Conv2d::Conv2d(const ops::Conv2dGeometry& geometry, std::int64_t out_channels,
 Tensor Conv2d::forward(const Tensor& x) {
   cached_input_ = x;
   static const Tensor kNoBias;
-  return ops::conv2d_forward(x, weight_.value,
+  const std::int64_t cols_rows =
+      geometry_.in_channels * geometry_.kernel * geometry_.kernel;
+  // Training mutates the weights every step, so the panels must be
+  // re-packed (into the retained buffer — no allocation). In eval mode the
+  // packing is reused while the weight storage is unchanged; swapping in a
+  // new weight tensor (e.g. model load) changes the data pointer and
+  // forces a repack.
+  if (training() || !packed_weight_.matches(weight_.value.data(), false,
+                                            out_channels_, cols_rows)) {
+    packed_weight_.pack(weight_.value.data(), false, out_channels_,
+                        cols_rows);
+  }
+  return ops::conv2d_forward(x, packed_weight_,
                              bias_ ? bias_->value : kNoBias, geometry_);
 }
 
@@ -112,9 +122,7 @@ void Conv2d::collect_parameters(std::vector<Parameter*>& out) {
 Tensor ReLU::forward(const Tensor& x) {
   cached_input_ = x;
   Tensor y = x;
-  for (auto& v : y.span()) {
-    v = std::max(v, 0.0f);
-  }
+  ops::vec_relu(y.data(), y.data(), y.numel());
   return y;
 }
 
@@ -122,13 +130,7 @@ Tensor ReLU::backward(const Tensor& grad_out) {
   HPNN_CHECK(grad_out.shape() == cached_input_.shape(),
              name_ + ": grad shape mismatch");
   Tensor gx = grad_out;
-  const float* in = cached_input_.data();
-  float* g = gx.data();
-  for (std::int64_t i = 0; i < gx.numel(); ++i) {
-    if (in[i] <= 0.0f) {
-      g[i] = 0.0f;
-    }
-  }
+  ops::vec_relu_mask(cached_input_.data(), gx.data(), gx.numel());
   return gx;
 }
 

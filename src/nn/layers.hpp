@@ -59,6 +59,11 @@ class Conv2d : public Module {
   Parameter weight_;
   std::optional<Parameter> bias_;
   Tensor cached_input_;
+  // Packed weight panels for the im2col GEMM. In training mode they are
+  // re-packed every forward (weights move every step) into the same
+  // retained storage; in eval mode with unchanged weight storage the
+  // packing is reused outright across calls.
+  ops::PackedA packed_weight_;
 };
 
 /// Plain rectified linear unit. The HPNN LockedActivation (src/hpnn)

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <limits>
 
+#include "core/aligned_buffer.hpp"
 #include "core/error.hpp"
 #include "core/metrics.hpp"
 #include "core/threadpool.hpp"
+#include "tensor/gemm_kernel.hpp"
+#include "tensor/vec_ops.hpp"
 
 namespace hpnn::ops {
 
@@ -19,71 +22,6 @@ namespace {
 // pure performance knob. conv2d_backward fixes its own partition
 // independently of both this threshold and the thread count.
 constexpr std::int64_t kParallelWorkThreshold = 1 << 15;
-
-/// Computes rows [i0, i1) of C = alpha * A @ B + beta * C. Each row is
-/// produced by the same instruction sequence regardless of how the row
-/// range is partitioned, so results are bit-identical at any thread count.
-void gemm_rows(std::int64_t i0, std::int64_t i1, std::int64_t n,
-               std::int64_t k, float alpha, const float* a, const float* b,
-               float beta, float* c) {
-  for (std::int64_t i = i0; i < i1; ++i) {
-    float* crow = c + i * n;
-    if (beta == 0.0f) {
-      std::fill(crow, crow + n, 0.0f);
-    } else if (beta != 1.0f) {
-      for (std::int64_t j = 0; j < n; ++j) {
-        crow[j] *= beta;
-      }
-    }
-  }
-  constexpr std::int64_t kBlock = 64;
-  for (std::int64_t p0 = 0; p0 < k; p0 += kBlock) {
-    const std::int64_t p1 = std::min(p0 + kBlock, k);
-    for (std::int64_t i = i0; i < i1; ++i) {
-      for (std::int64_t p = p0; p < p1; ++p) {
-        const float av = alpha * a[i * k + p];
-        if (av == 0.0f) {
-          continue;
-        }
-        const float* brow = b + p * n;
-        float* crow = c + i * n;
-        for (std::int64_t j = 0; j < n; ++j) {
-          crow[j] += av * brow[j];
-        }
-      }
-    }
-  }
-}
-
-// Row-blocked kernel for the non-transposed case; the transposed variants
-// are expressed by materializing a transposed copy once (K and N are small
-// in this library's workloads, so the copy is cheap relative to the GEMM).
-void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, const float* b, float beta, float* c) {
-  if (m * n * k < kParallelWorkThreshold || m == 1) {
-    gemm_rows(0, m, n, k, alpha, a, b, beta, c);
-    return;
-  }
-  const std::int64_t grain = std::max<std::int64_t>(1, m / 64);
-  core::parallel_for(0, m, grain,
-                     [&](std::int64_t i0, std::int64_t i1) {
-                       gemm_rows(i0, i1, n, k, alpha, a, b, beta, c);
-                     });
-}
-
-Tensor transpose2d(const Tensor& t) {
-  const std::int64_t r = t.dim(0);
-  const std::int64_t c = t.dim(1);
-  Tensor out(Shape{c, r});
-  const float* src = t.data();
-  float* dst = out.data();
-  for (std::int64_t i = 0; i < r; ++i) {
-    for (std::int64_t j = 0; j < c; ++j) {
-      dst[j * r + i] = src[i * c + j];
-    }
-  }
-  return out;
-}
 
 }  // namespace
 
@@ -102,9 +40,10 @@ void gemm(const Tensor& a, Trans ta, const Tensor& b, Trans tb, Tensor& c,
              "gemm output shape mismatch, expected [" + std::to_string(m) +
                  ", " + std::to_string(n) + "], got " + c.shape().to_string());
 
-  const Tensor a_eff = (ta == Trans::kNo) ? a : transpose2d(a);
-  const Tensor b_eff = (tb == Trans::kNo) ? b : transpose2d(b);
-  gemm_nn(m, n, k, alpha, a_eff.data(), b_eff.data(), beta, c.data());
+  // Transposition is folded into the pack stage of the microkernel — no
+  // materialized transposed copy (gemm_kernel.hpp).
+  gemm_raw(a.data(), ta == Trans::kYes, b.data(), tb == Trans::kYes, m, n, k,
+           alpha, beta, c.data(), n);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b, Trans ta, Trans tb) {
@@ -142,52 +81,56 @@ void col2im(const float* cols, const Conv2dGeometry& g, float* input_grad) {
   }
 }
 
-Tensor conv2d_forward(const Tensor& x, const Tensor& weight,
-                      const Tensor& bias, const Conv2dGeometry& g) {
-  HPNN_METRIC_OP_SCOPE("tensor.conv2d_forward");
+namespace {
+
+/// Shared conv2d forward body: `pw` is the packed weight panel image
+/// (PackedA layout, filters x cols_rows, alpha = 1). Writes the GEMM
+/// result directly into the output tensor (no per-sample staging copy).
+Tensor conv2d_forward_packed(const Tensor& x, const float* pw,
+                             std::int64_t filters, const Tensor& bias,
+                             const Conv2dGeometry& g) {
   HPNN_CHECK(x.rank() == 4, "conv2d input must be NCHW");
-  HPNN_CHECK(weight.rank() == 4, "conv2d weight must be [F, C, K, K]");
   HPNN_CHECK(x.dim(1) == g.in_channels && x.dim(2) == g.in_h &&
                  x.dim(3) == g.in_w,
              "conv2d geometry mismatch with input " + x.shape().to_string());
-  HPNN_CHECK(weight.dim(1) == g.in_channels && weight.dim(2) == g.kernel &&
-                 weight.dim(3) == g.kernel,
-             "conv2d geometry mismatch with weight " +
-                 weight.shape().to_string());
 
   const std::int64_t batch = x.dim(0);
-  const std::int64_t filters = weight.dim(0);
   const std::int64_t oh = g.out_h();
   const std::int64_t ow = g.out_w();
+  const std::int64_t ohw = oh * ow;
   const std::int64_t cols_rows = g.in_channels * g.kernel * g.kernel;
   HPNN_CHECK(oh > 0 && ow > 0, "conv2d output would be empty");
   HPNN_CHECK(bias.numel() == 0 || bias.numel() == filters,
              "conv2d bias length must equal filter count");
 
   Tensor out(Shape{batch, filters, oh, ow});
-  const Tensor w2d = weight.reshaped(Shape{filters, cols_rows});
 
   const std::int64_t in_sample = g.in_channels * g.in_h * g.in_w;
-  const std::int64_t out_sample = filters * oh * ow;
+  const std::int64_t out_sample = filters * ohw;
 
-  // Samples are independent: fan out over the batch with per-chunk im2col
-  // and GEMM scratch. Each sample's arithmetic is identical to the serial
-  // path, so the output is bit-identical at any thread count.
+  // Samples are independent: fan out over the batch. Each chunk carves its
+  // im2col columns and B-panel scratch from its worker's arena once and
+  // reuses them for every sample in the chunk; each sample's arithmetic is
+  // identical to the serial path, so the output is bit-identical at any
+  // thread count.
   auto sample_range = [&](std::int64_t n0, std::int64_t n1) {
-    Tensor cols(Shape{cols_rows, oh * ow});
-    Tensor out2d(Shape{filters, oh * ow});
+    core::ScratchArena::Scope scope;
+    float* cols = scope.floats(cols_rows * ohw);
+    float* pb = scope.floats(detail::packed_b_floats(cols_rows, ohw));
     for (std::int64_t nidx = n0; nidx < n1; ++nidx) {
-      im2col(x.data() + nidx * in_sample, g, cols.data());
-      gemm(w2d, Trans::kNo, cols, Trans::kNo, out2d, 1.0f, 0.0f);
       float* dst = out.data() + nidx * out_sample;
-      std::copy(out2d.data(), out2d.data() + out_sample, dst);
+      {
+        HPNN_METRIC_OP_SCOPE("tensor.conv2d.pack");
+        im2col(x.data() + nidx * in_sample, g, cols);
+        detail::pack_b(cols, false, cols_rows, ohw, pb);
+      }
+      {
+        HPNN_METRIC_OP_SCOPE("tensor.conv2d.compute");
+        detail::gemm_packed(pw, pb, filters, ohw, cols_rows, 0.0f, dst, ohw);
+      }
       if (bias.numel() > 0) {
         for (std::int64_t f = 0; f < filters; ++f) {
-          const float b = bias.at(f);
-          float* plane = dst + f * oh * ow;
-          for (std::int64_t i = 0; i < oh * ow; ++i) {
-            plane[i] += b;
-          }
+          vec_add_scalar(bias.at(f), dst + f * ohw, ohw);
         }
       }
     }
@@ -198,6 +141,41 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& weight,
     core::parallel_for(0, batch, 1, sample_range);
   }
   return out;
+}
+
+}  // namespace
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& weight,
+                      const Tensor& bias, const Conv2dGeometry& g) {
+  HPNN_METRIC_OP_SCOPE("tensor.conv2d_forward");
+  HPNN_CHECK(weight.rank() == 4, "conv2d weight must be [F, C, K, K]");
+  HPNN_CHECK(weight.dim(1) == g.in_channels && weight.dim(2) == g.kernel &&
+                 weight.dim(3) == g.kernel,
+             "conv2d geometry mismatch with weight " +
+                 weight.shape().to_string());
+  const std::int64_t filters = weight.dim(0);
+  const std::int64_t cols_rows = g.in_channels * g.kernel * g.kernel;
+
+  // Pack the weight panels once for the whole batch (the old path packed
+  // nothing but re-read the unblocked weight matrix per sample).
+  core::ScratchArena::Scope scope;
+  float* pw = scope.floats(detail::packed_a_floats(filters, cols_rows));
+  {
+    HPNN_METRIC_OP_SCOPE("tensor.gemm.pack");
+    detail::pack_a(weight.data(), false, filters, cols_rows, 1.0f, pw);
+  }
+  return conv2d_forward_packed(x, pw, filters, bias, g);
+}
+
+Tensor conv2d_forward(const Tensor& x, const PackedA& packed_weight,
+                      const Tensor& bias, const Conv2dGeometry& g) {
+  HPNN_METRIC_OP_SCOPE("tensor.conv2d_forward");
+  HPNN_CHECK(!packed_weight.empty() &&
+                 packed_weight.k() ==
+                     g.in_channels * g.kernel * g.kernel,
+             "conv2d packed weight panels do not match geometry");
+  return conv2d_forward_packed(x, packed_weight.data(), packed_weight.m(),
+                               bias, g);
 }
 
 Tensor conv2d_backward(const Tensor& x, const Tensor& weight,
@@ -216,11 +194,21 @@ Tensor conv2d_backward(const Tensor& x, const Tensor& weight,
              "grad_weight shape mismatch");
 
   Tensor grad_x(x.shape());
-  const Tensor w2d = weight.reshaped(Shape{filters, cols_rows});
   const bool has_bias = grad_bias.numel() > 0;
 
   const std::int64_t in_sample = g.in_channels * g.in_h * g.in_w;
   const std::int64_t out_sample = filters * oh * ow;
+  const std::int64_t ohw = oh * ow;
+
+  // W^T is consumed by every sample's dX GEMM: pack it once (transposition
+  // folded into the pack, no materialized W^T) and share the read-only
+  // panels across all chunks.
+  core::ScratchArena::Scope wt_scope;
+  float* pwt = wt_scope.floats(detail::packed_a_floats(cols_rows, filters));
+  {
+    HPNN_METRIC_OP_SCOPE("tensor.gemm.pack");
+    detail::pack_a(weight.data(), true, cols_rows, filters, 1.0f, pwt);
+  }
 
   // Static partition of the batch: at most 8 chunks, boundaries a pure
   // function of the batch size. grad_x writes are disjoint per sample; the
@@ -236,25 +224,27 @@ Tensor conv2d_backward(const Tensor& x, const Tensor& weight,
 
   core::parallel_for(0, batch, grain, [&](std::int64_t n0, std::int64_t n1,
                                           std::int64_t chunk) {
-    Tensor cols(Shape{cols_rows, oh * ow});
-    Tensor grad_cols(Shape{cols_rows, oh * ow});
+    core::ScratchArena::Scope scope;
+    float* cols = scope.floats(cols_rows * ohw);
+    float* grad_cols = scope.floats(cols_rows * ohw);
     Tensor gw2d(Shape{filters, cols_rows});
     Tensor gb(Shape{filters});
     for (std::int64_t nidx = n0; nidx < n1; ++nidx) {
-      // grad wrt weight: dW += dY @ cols^T
-      im2col(x.data() + nidx * in_sample, g, cols.data());
-      Tensor gout2d(Shape{filters, oh * ow},
-                    std::vector<float>(
-                        grad_out.data() + nidx * out_sample,
-                        grad_out.data() + (nidx + 1) * out_sample));
-      gemm(gout2d, Trans::kNo, cols, Trans::kYes, gw2d, 1.0f, 1.0f);
+      // The sample's output-gradient slice is already a contiguous
+      // [filters, oh*ow] matrix — no staging copy needed.
+      const float* gout = grad_out.data() + nidx * out_sample;
+
+      // grad wrt weight: dW += dY @ cols^T (cols^T folded into packing).
+      im2col(x.data() + nidx * in_sample, g, cols);
+      gemm_raw(gout, false, cols, true, filters, cols_rows, ohw, 1.0f, 1.0f,
+               gw2d.data(), cols_rows);
 
       // grad wrt bias: sum of each filter plane.
       if (has_bias) {
         for (std::int64_t f = 0; f < filters; ++f) {
           double s = 0.0;
-          const float* plane = gout2d.data() + f * oh * ow;
-          for (std::int64_t i = 0; i < oh * ow; ++i) {
+          const float* plane = gout + f * ohw;
+          for (std::int64_t i = 0; i < ohw; ++i) {
             s += plane[i];
           }
           gb.at(f) += static_cast<float>(s);
@@ -262,8 +252,9 @@ Tensor conv2d_backward(const Tensor& x, const Tensor& weight,
       }
 
       // grad wrt input: dcols = W^T @ dY ; col2im scatter-add.
-      gemm(w2d, Trans::kYes, gout2d, Trans::kNo, grad_cols, 1.0f, 0.0f);
-      col2im(grad_cols.data(), g, grad_x.data() + nidx * in_sample);
+      detail::gemm_with_packed_a(pwt, cols_rows, filters, gout, false, ohw,
+                                 0.0f, grad_cols, ohw);
+      col2im(grad_cols, g, grad_x.data() + nidx * in_sample);
     }
     partial_gw[static_cast<std::size_t>(chunk)] = std::move(gw2d);
     partial_gb[static_cast<std::size_t>(chunk)] = std::move(gb);
@@ -274,9 +265,7 @@ Tensor conv2d_backward(const Tensor& x, const Tensor& weight,
   float* gw = grad_weight.data();
   for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {
     const float* p = partial_gw[static_cast<std::size_t>(chunk)].data();
-    for (std::int64_t i = 0; i < grad_weight.numel(); ++i) {
-      gw[i] += p[i];
-    }
+    vec_axpy(1.0f, p, gw, grad_weight.numel());
   }
   if (has_bias) {
     for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {

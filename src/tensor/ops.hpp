@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "tensor/gemm_kernel.hpp"
 #include "tensor/tensor.hpp"
 
 namespace hpnn::ops {
@@ -85,6 +86,13 @@ void col2im(const float* cols, const Conv2dGeometry& g, float* input_grad);
 /// x: [N, C, H, W]; weight: [F, C, K, K]; bias: [F] (may be empty for none).
 /// Returns [N, F, out_h, out_w].
 Tensor conv2d_forward(const Tensor& x, const Tensor& weight,
+                      const Tensor& bias, const Conv2dGeometry& g);
+
+/// Convolution forward against weight panels packed once via
+/// PackedA::pack(weight.data(), false, filters, C*K*K) — layers cache the
+/// packing across a batch (training) or across calls (frozen eval
+/// weights) instead of re-packing per sample.
+Tensor conv2d_forward(const Tensor& x, const PackedA& packed_weight,
                       const Tensor& bias, const Conv2dGeometry& g);
 
 /// Convolution backward.

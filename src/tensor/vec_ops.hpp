@@ -1,0 +1,46 @@
+// Vectorized elementwise primitives shared by the layers and kernels.
+//
+// Each function has an explicit AVX2 implementation (compiled when
+// HPNN_SIMD is ON on x86-64) and a scalar fallback with identical
+// per-element semantics; the choice is made once at startup from CPUID and
+// the HPNN_SIMD environment variable, together with the GEMM microkernel
+// dispatch (gemm_kernel.hpp). Every function is branch-free in the data —
+// ReLU and mask selection compile to max/blend, never to a data-dependent
+// jump — and processes elements in ascending index order, so outputs are
+// deterministic for a fixed dispatch and safe to split across the thread
+// pool at any chunk boundary.
+#pragma once
+
+#include <cstdint>
+
+namespace hpnn::ops {
+
+/// True when the AVX2 elementwise/microkernel paths are active (same
+/// dispatch decision as detail::gemm_simd_active()).
+bool simd_active();
+
+/// y[i] = max(x[i], 0). In-place (y == x) allowed.
+void vec_relu(const float* x, float* y, std::int64_t n);
+
+/// g[i] = x[i] > 0 ? g[i] : 0  — ReLU backward mask applied in place.
+void vec_relu_mask(const float* x, float* g, std::int64_t n);
+
+/// y[i] = a[i] * b[i]. Any aliasing among a, b, y allowed.
+void vec_mul(const float* a, const float* b, float* y, std::int64_t n);
+
+/// y[i] += s * x[i]  (axpy).
+void vec_axpy(float s, const float* x, float* y, std::int64_t n);
+
+/// y[i] += s.
+void vec_add_scalar(float s, float* y, std::int64_t n);
+
+/// Dot product with a fixed lane-reduction order (8 partial lanes summed
+/// pairwise), deterministic for a fixed dispatch.
+float vec_dot(const float* a, const float* b, std::int64_t n);
+
+/// gx[i] = g[i] * lock[i] when z[i] > 0, else 0 — the locked-ReLU delta
+/// rule gx = g * f'(z) * L with f = ReLU fused into one pass.
+void vec_lock_relu_grad(const float* g, const float* z, const float* lock,
+                        float* gx, std::int64_t n);
+
+}  // namespace hpnn::ops

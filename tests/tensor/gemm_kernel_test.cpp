@@ -1,0 +1,324 @@
+// Tests for the packed GEMM microkernel layer (tensor/gemm_kernel.hpp):
+// transpose folding in the pack stage, alpha/beta edge semantics, the
+// scratch arena's alignment/reuse contract, prepacked-A replay, and
+// bit-exact determinism across thread-pool sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/aligned_buffer.hpp"
+#include "core/rng.hpp"
+#include "core/threadpool.hpp"
+#include "tensor/gemm_kernel.hpp"
+#include "tensor/ops.hpp"
+
+namespace hpnn::ops {
+namespace {
+
+/// Naive triple-loop reference with a double accumulator.
+std::vector<float> reference_gemm(const std::vector<float>& a, bool ta,
+                                  const std::vector<float>& b, bool tb,
+                                  std::int64_t m, std::int64_t n,
+                                  std::int64_t k, float alpha, float beta,
+                                  const std::vector<float>& c0) {
+  std::vector<float> c = c0;
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a[p * m + i] : a[i * k + p];
+        const float bv = tb ? b[j * k + p] : b[p * n + j];
+        s += static_cast<double>(av) * bv;
+      }
+      const float prior = beta == 0.0f ? 0.0f : beta * c[i * n + j];
+      c[i * n + j] = alpha * static_cast<float>(s) + prior;
+    }
+  }
+  return c;
+}
+
+std::vector<float> random_vec(std::int64_t count, Rng& rng) {
+  std::vector<float> v(static_cast<std::size_t>(count));
+  for (auto& x : v) {
+    x = static_cast<float>(rng.normal());
+  }
+  return v;
+}
+
+void expect_close(const std::vector<float>& got,
+                  const std::vector<float>& want, float tol,
+                  const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], tol) << what << " at flat index " << i;
+  }
+}
+
+struct KernelCase {
+  std::int64_t m, n, k;
+  bool ta, tb;
+};
+
+class GemmKernelTransposeTest : public ::testing::TestWithParam<KernelCase> {};
+
+// Every transpose combination, at sizes that are deliberately not
+// multiples of the 6x16 microkernel tile, on both the small unpacked path
+// and the packed-panel path.
+TEST_P(GemmKernelTransposeTest, MatchesReference) {
+  const auto& p = GetParam();
+  Rng rng(101 + p.m * 7 + p.n * 11 + p.k * 13 + (p.ta ? 1 : 0) +
+          (p.tb ? 2 : 0));
+  const auto a = random_vec(p.m * p.k, rng);
+  const auto b = random_vec(p.k * p.n, rng);
+  const auto c0 = random_vec(p.m * p.n, rng);
+
+  std::vector<float> c = c0;
+  gemm_raw(a.data(), p.ta, b.data(), p.tb, p.m, p.n, p.k, 1.0f, 1.0f,
+           c.data(), p.n);
+  const auto want =
+      reference_gemm(a, p.ta, b, p.tb, p.m, p.n, p.k, 1.0f, 1.0f, c0);
+  const float tol = 1e-3f * static_cast<float>(std::sqrt(p.k));
+  expect_close(c, want, tol, "transpose combo");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddShapes, GemmKernelTransposeTest,
+    ::testing::Values(
+        // Small-volume unpacked path (m*n*k below the packing threshold).
+        KernelCase{7, 5, 13, false, false}, KernelCase{7, 5, 13, false, true},
+        KernelCase{7, 5, 13, true, false}, KernelCase{7, 5, 13, true, true},
+        // Packed-panel path, every dimension off-tile.
+        KernelCase{17, 31, 23, false, false},
+        KernelCase{17, 31, 23, false, true},
+        KernelCase{17, 31, 23, true, false},
+        KernelCase{17, 31, 23, true, true},
+        // Larger, prime-ish shapes.
+        KernelCase{67, 101, 45, false, false},
+        KernelCase{67, 101, 45, false, true},
+        KernelCase{67, 101, 45, true, false},
+        KernelCase{67, 101, 45, true, true},
+        // Exact tile multiples (full-tile store path, no edge spill).
+        KernelCase{12, 32, 24, false, false},
+        KernelCase{12, 32, 24, true, true},
+        // GEMV row (m == 1) in both B orientations.
+        KernelCase{1, 33, 19, false, false},
+        KernelCase{1, 33, 19, false, true}));
+
+// beta == 0 must overwrite C without reading it: NaN garbage in the output
+// buffer must not propagate (the reference semantics for an uninitialized
+// destination).
+TEST(GemmKernelEdgeTest, BetaZeroOverwritesNaN) {
+  const std::int64_t m = 19, n = 21, k = 17;
+  Rng rng(7);
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+  std::vector<float> c(static_cast<std::size_t>(m * n),
+                       std::numeric_limits<float>::quiet_NaN());
+  gemm_raw(a.data(), false, b.data(), false, m, n, k, 1.0f, 0.0f, c.data(),
+           n);
+  for (const auto v : c) {
+    EXPECT_FALSE(std::isnan(v));
+  }
+  const auto want = reference_gemm(
+      a, false, b, false, m, n, k, 1.0f, 0.0f,
+      std::vector<float>(static_cast<std::size_t>(m * n), 0.0f));
+  expect_close(c, want, 1e-3f, "beta=0 NaN overwrite");
+}
+
+// Same contract on the degenerate alpha == 0 path: C = beta * C, and with
+// beta == 0 the NaNs must still be flushed to exact zeros.
+TEST(GemmKernelEdgeTest, AlphaZeroScalesC) {
+  const std::int64_t m = 9, n = 14, k = 11;
+  Rng rng(8);
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+  const auto c0 = random_vec(m * n, rng);
+
+  std::vector<float> c = c0;
+  gemm_raw(a.data(), false, b.data(), false, m, n, k, 0.0f, 2.5f, c.data(),
+           n);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_FLOAT_EQ(c[i], 2.5f * c0[i]);
+  }
+
+  std::vector<float> nan_c(static_cast<std::size_t>(m * n),
+                           std::numeric_limits<float>::quiet_NaN());
+  gemm_raw(a.data(), false, b.data(), false, m, n, k, 0.0f, 0.0f,
+           nan_c.data(), n);
+  for (const auto v : nan_c) {
+    EXPECT_EQ(v, 0.0f);
+  }
+}
+
+class GemmKernelAlphaBetaTest
+    : public ::testing::TestWithParam<std::pair<float, float>> {};
+
+TEST_P(GemmKernelAlphaBetaTest, MatchesReference) {
+  const auto [alpha, beta] = GetParam();
+  const std::int64_t m = 23, n = 29, k = 31;
+  Rng rng(17);
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+  const auto c0 = random_vec(m * n, rng);
+  std::vector<float> c = c0;
+  gemm_raw(a.data(), false, b.data(), false, m, n, k, alpha, beta, c.data(),
+           n);
+  const auto want =
+      reference_gemm(a, false, b, false, m, n, k, alpha, beta, c0);
+  expect_close(c, want, 2e-3f, "alpha/beta combo");
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaBeta, GemmKernelAlphaBetaTest,
+                         ::testing::Values(std::make_pair(1.0f, 0.0f),
+                                           std::make_pair(1.0f, 1.0f),
+                                           std::make_pair(2.0f, 2.5f),
+                                           std::make_pair(-1.5f, 1.0f),
+                                           std::make_pair(0.5f, -2.0f)));
+
+// A packed-once A operand replayed through gemm_prepacked must produce the
+// same bits as the pack-every-call entry point: same pack layout, same
+// microkernel, same accumulation order.
+TEST(GemmKernelPackedATest, PrepackedMatchesGemmRawBitExact) {
+  const std::int64_t m = 37, n = 53, k = 29;
+  const float alpha = 1.25f;
+  Rng rng(23);
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+
+  std::vector<float> want(static_cast<std::size_t>(m * n), 0.0f);
+  gemm_raw(a.data(), false, b.data(), false, m, n, k, alpha, 0.0f,
+           want.data(), n);
+
+  PackedA pa;
+  EXPECT_TRUE(pa.empty());
+  pa.pack(a.data(), false, m, k, alpha);
+  EXPECT_FALSE(pa.empty());
+  EXPECT_TRUE(pa.matches(a.data(), false, m, k, alpha));
+  EXPECT_FALSE(pa.matches(a.data(), false, m, k, 1.0f));
+  EXPECT_FALSE(pa.matches(b.data(), false, m, k, alpha));
+
+  std::vector<float> got(static_cast<std::size_t>(m * n), 0.0f);
+  gemm_prepacked(pa, b.data(), false, n, 0.0f, got.data(), n);
+  EXPECT_EQ(0, std::memcmp(got.data(), want.data(),
+                           got.size() * sizeof(float)));
+
+  // Transposed-B replay against the transposed-B direct path.
+  std::vector<float> bt(static_cast<std::size_t>(k * n));
+  for (std::int64_t p = 0; p < k; ++p) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      bt[j * k + p] = b[p * n + j];
+    }
+  }
+  std::vector<float> got_t(static_cast<std::size_t>(m * n), 0.0f);
+  gemm_prepacked(pa, bt.data(), true, n, 0.0f, got_t.data(), n);
+  EXPECT_EQ(0, std::memcmp(got_t.data(), want.data(),
+                           got_t.size() * sizeof(float)));
+}
+
+// The determinism contract: for a fixed build, results are bit-identical
+// at every thread-pool size because chunk boundaries are a pure function
+// of the shape and each C element accumulates its full K extent in one
+// microkernel call.
+TEST(GemmKernelDeterminismTest, ThreadCountDoesNotChangeBits) {
+  const std::int64_t m = 191, n = 163, k = 127;
+  Rng rng(31);
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+
+  core::set_thread_count(1);
+  std::vector<float> c1(static_cast<std::size_t>(m * n), 0.0f);
+  gemm_raw(a.data(), false, b.data(), true, m, n, k, 1.0f, 0.0f, c1.data(),
+           n);
+
+  for (const int threads : {2, 3, 8}) {
+    core::set_thread_count(threads);
+    std::vector<float> ct(static_cast<std::size_t>(m * n), 0.0f);
+    gemm_raw(a.data(), false, b.data(), true, m, n, k, 1.0f, 0.0f, ct.data(),
+             n);
+    EXPECT_EQ(0,
+              std::memcmp(c1.data(), ct.data(), c1.size() * sizeof(float)))
+        << "thread count " << threads << " changed the result bits";
+  }
+  core::set_thread_count(0);  // restore the HPNN_THREADS default
+}
+
+// ---------------------------------------------------------------- arena
+
+TEST(AlignedBufferTest, AllocationsAreCacheLineAligned) {
+  core::AlignedBuffer buf;
+  EXPECT_EQ(buf.capacity(), 0u);
+  float* p = buf.float_slots(100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % core::kScratchAlignment,
+            0u);
+  EXPECT_GE(buf.capacity(), 100 * sizeof(float));
+
+  // Growth discards but realigns; capacity at least doubles.
+  const std::size_t old_cap = buf.capacity();
+  float* q = buf.float_slots(static_cast<std::size_t>(old_cap));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % core::kScratchAlignment,
+            0u);
+  EXPECT_GE(buf.capacity(), 2 * old_cap);
+}
+
+TEST(ScratchArenaTest, ScopeAllocationsAlignedAndReusedAcrossScopes) {
+  auto& arena = core::ScratchArena::tls();
+  float* first = nullptr;
+  {
+    core::ScratchArena::Scope scope(arena);
+    first = scope.floats(513);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(
+        reinterpret_cast<std::uintptr_t>(first) % core::kScratchAlignment,
+        0u);
+    // A second carve within the same scope must not alias the first.
+    float* second = scope.floats(257);
+    EXPECT_EQ(
+        reinterpret_cast<std::uintptr_t>(second) % core::kScratchAlignment,
+        0u);
+    EXPECT_GE(second, first + 513);
+  }
+  // The scope handed its storage back; an equal-size request from a fresh
+  // scope reuses the same retained bytes (no fresh allocation).
+  const std::size_t retained = arena.retained_bytes();
+  {
+    core::ScratchArena::Scope scope(arena);
+    float* again = scope.floats(513);
+    EXPECT_EQ(again, first);
+  }
+  EXPECT_EQ(arena.retained_bytes(), retained);
+}
+
+TEST(ScratchArenaTest, GrowthKeepsLivePointersStableThenCoalesces) {
+  auto& arena = core::ScratchArena::tls();
+  {
+    core::ScratchArena::Scope scope(arena);
+    // Force the arena past any single retained block so it has to chain.
+    float* a = scope.floats(1 << 14);
+    a[0] = 42.0f;
+    float* b = scope.floats(1 << 18);
+    ASSERT_NE(b, nullptr);
+    // The earlier allocation survived the growth un-moved.
+    EXPECT_EQ(a[0], 42.0f);
+  }
+  // Fully rewound: the chain coalesces into a single block big enough for
+  // the high-water mark.
+  EXPECT_EQ(arena.block_count(), 1u);
+  EXPECT_GE(arena.retained_bytes(),
+            (std::size_t{1} << 14) * sizeof(float));
+}
+
+// Packed-size helpers round up to whole tiles.
+TEST(GemmKernelDetailTest, PackedSizesRoundUpToTiles) {
+  EXPECT_EQ(detail::packed_a_floats(6, 10), 6 * 10);
+  EXPECT_EQ(detail::packed_a_floats(7, 10), 12 * 10);
+  EXPECT_EQ(detail::packed_b_floats(10, 16), 16 * 10);
+  EXPECT_EQ(detail::packed_b_floats(10, 17), 32 * 10);
+}
+
+}  // namespace
+}  // namespace hpnn::ops
