@@ -192,7 +192,7 @@ void load_weights(const PublishedModel& artifact, nn::Module& net) {
         !(src.value.shape() == params[i]->value.shape())) {
       throw SerializationError("artifact parameter mismatch at " + src.name);
     }
-    params[i]->value = src.value;
+    params[i]->assign_value(src.value);
   }
   const auto buffers = nn::buffers_of(net);
   if (buffers.size() != artifact.buffers.size()) {

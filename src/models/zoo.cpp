@@ -329,7 +329,7 @@ void copy_parameters(nn::Module& src, nn::Module& dst) {
   for (std::size_t i = 0; i < sp.size(); ++i) {
     HPNN_CHECK(sp[i]->value.shape() == dp[i]->value.shape(),
                "copy_parameters: shape mismatch at " + sp[i]->name);
-    dp[i]->value = sp[i]->value;
+    dp[i]->assign_value(sp[i]->value);
   }
   const auto sb = nn::buffers_of(src);
   const auto db = nn::buffers_of(dst);

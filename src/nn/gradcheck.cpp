@@ -89,10 +89,13 @@ GradCheckResult check_parameter_gradients(
     for (const auto c : coords_to_check(p->value.numel(), opts, rng)) {
       const float orig = p->value.at(c);
       p->value.at(c) = orig + static_cast<float>(opts.epsilon);
+      p->mark_value_updated();
       const double plus = loss.forward(model.forward(input), labels);
       p->value.at(c) = orig - static_cast<float>(opts.epsilon);
+      p->mark_value_updated();
       const double minus = loss.forward(model.forward(input), labels);
       p->value.at(c) = orig;
+      p->mark_value_updated();
       update(result, p->grad.at(c), (plus - minus) / (2.0 * opts.epsilon),
              opts.tolerance);
     }

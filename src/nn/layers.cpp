@@ -90,13 +90,16 @@ Tensor Conv2d::forward(const Tensor& x) {
       geometry_.in_channels * geometry_.kernel * geometry_.kernel;
   // Training mutates the weights every step, so the panels must be
   // re-packed (into the retained buffer — no allocation). In eval mode the
-  // packing is reused while the weight storage is unchanged; swapping in a
-  // new weight tensor (e.g. model load) changes the data pointer and
-  // forces a repack.
-  if (training() || !packed_weight_.matches(weight_.value.data(), false,
-                                            out_channels_, cols_rows)) {
+  // packing is reused until the parameter's mutation counter moves; the
+  // pointer-identity matches() check alone cannot detect staleness, since
+  // optimizer steps and checkpoint loads rewrite the weights in place
+  // without changing the data pointer (see Parameter::version()).
+  if (training() || packed_weight_version_ != weight_.version() ||
+      !packed_weight_.matches(weight_.value.data(), false, out_channels_,
+                              cols_rows)) {
     packed_weight_.pack(weight_.value.data(), false, out_channels_,
                         cols_rows);
+    packed_weight_version_ = weight_.version();
   }
   return ops::conv2d_forward(x, packed_weight_,
                              bias_ ? bias_->value : kNoBias, geometry_);

@@ -61,9 +61,11 @@ class Conv2d : public Module {
   Tensor cached_input_;
   // Packed weight panels for the im2col GEMM. In training mode they are
   // re-packed every forward (weights move every step) into the same
-  // retained storage; in eval mode with unchanged weight storage the
-  // packing is reused outright across calls.
+  // retained storage; in eval mode the packing is reused until the
+  // parameter's mutation counter moves (optimizer step, checkpoint load —
+  // see Parameter::version()).
   ops::PackedA packed_weight_;
+  std::uint64_t packed_weight_version_ = 0;
 };
 
 /// Plain rectified linear unit. The HPNN LockedActivation (src/hpnn)

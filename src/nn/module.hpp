@@ -7,6 +7,7 @@
 // L_j into both the forward response and the delta rule.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +24,30 @@ struct Parameter {
 
   Parameter(std::string n, Tensor v)
       : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  /// Monotonic mutation counter for `value`. Neither the data pointer nor
+  /// the shape can signal a rewrite: optimizer steps mutate the weights in
+  /// place (axpy on the same storage), and tensor copy-assignment reuses
+  /// the existing allocation when capacity suffices, so a checkpoint load
+  /// leaves the pointer unchanged too. Every code path that rewrites
+  /// `value` outside the layer's own forward (optimizer step, weight
+  /// load/copy, gradcheck perturbation) must call mark_value_updated() or
+  /// assign_value(); consumers holding a derived image of the weights
+  /// (e.g. Conv2d's packed GEMM panels) compare version() to invalidate.
+  std::uint64_t version() const { return version_; }
+
+  /// Records an in-place mutation of `value`.
+  void mark_value_updated() { ++version_; }
+
+  /// Replaces `value` (same allocation when capacity suffices) and records
+  /// the mutation.
+  void assign_value(const Tensor& v) {
+    value = v;
+    ++version_;
+  }
+
+ private:
+  std::uint64_t version_ = 0;
 };
 
 /// Abstract network layer with explicit forward/backward.

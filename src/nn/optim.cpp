@@ -38,6 +38,7 @@ void Sgd::step() {
       }
       p.value.axpy_(-lr, v);
     }
+    p.mark_value_updated();
   }
 }
 
@@ -76,6 +77,7 @@ void Adam::step() {
                                  (std::sqrt(static_cast<double>(v[j])) +
                                   opts_.eps));
     }
+    p.mark_value_updated();
   }
 }
 

@@ -97,9 +97,11 @@ class PackedA {
 
   /// True when the buffer already holds the packing of exactly this
   /// (pointer, shape, transpose, alpha) request. Callers are responsible
-  /// for content freshness: matches() is a pointer identity check, valid
-  /// only while the source tensor is known not to have been mutated (e.g.
-  /// eval-mode serving of frozen weights).
+  /// for content freshness: matches() is a pointer identity check and
+  /// cannot see in-place rewrites of the source (optimizer steps and
+  /// same-shape tensor assignment both keep the data pointer), so callers
+  /// must pair it with their own mutation signal — the nn layers use
+  /// nn::Parameter::version().
   bool matches(const float* a, bool trans, std::int64_t m, std::int64_t k,
                float alpha = 1.0f) const {
     return src_ == a && trans_ == trans && m_ == m && k_ == k &&

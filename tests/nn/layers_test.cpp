@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/error.hpp"
+#include "nn/optim.hpp"
 
 namespace hpnn::nn {
 namespace {
@@ -140,6 +141,60 @@ TEST(Conv2dTest, ParameterShapes) {
   conv.collect_parameters(params);
   ASSERT_EQ(params.size(), 2u);
   EXPECT_EQ(params[1]->value.shape(), Shape({4}));
+}
+
+TEST(Conv2dTest, EvalRepacksAfterOptimizerStep) {
+  Rng rng(11);
+  ops::Conv2dGeometry g{2, 6, 6, 3, 1, 1};
+  Conv2d conv(g, 4, rng, "c");
+  const Tensor x = Tensor::normal(Shape{2, 2, 6, 6}, rng);
+
+  // Train-mode forward packs W_t; the optimizer step then mutates the
+  // weights in place, leaving the data pointer unchanged. The following
+  // eval forward must serve W_{t+1}, not the stale packing of W_t.
+  conv.set_training(true);
+  const Tensor y = conv.forward(x);
+  (void)conv.backward(Tensor(y.shape(), 1.0f));
+  std::vector<Parameter*> params;
+  conv.collect_parameters(params);
+  Sgd opt(params, {.lr = 0.1});
+  opt.step();
+
+  conv.set_training(false);
+  const Tensor got = conv.forward(x);
+
+  Conv2d fresh(g, 4, rng, "fresh");
+  fresh.weight().assign_value(conv.weight().value);
+  fresh.bias()->assign_value(conv.bias()->value);
+  fresh.set_training(false);
+  const Tensor want = fresh.forward(x);
+  EXPECT_TRUE(got.allclose(want, 0.0f, 0.0f));
+}
+
+TEST(Conv2dTest, EvalRepacksAfterWeightAssignIntoSameAllocation) {
+  Rng rng(12);
+  ops::Conv2dGeometry g{2, 6, 6, 3, 1, 1};
+  Conv2d conv(g, 4, rng, "c", /*bias=*/false);
+  conv.set_training(false);
+  const Tensor x = Tensor::normal(Shape{1, 2, 6, 6}, rng);
+  (void)conv.forward(x);  // packs the initial weights
+
+  // Same-shape assignment reuses the existing heap block, so the data
+  // pointer does not change and only the parameter's mutation counter can
+  // signal the rewrite. This is the checkpoint-load path: load_weights()
+  // and copy_parameters() assign into an already-packed model.
+  const float* storage_before = conv.weight().value.data();
+  const Tensor new_w = Tensor::normal(conv.weight().value.shape(), rng);
+  conv.weight().assign_value(new_w);
+  EXPECT_EQ(conv.weight().value.data(), storage_before);
+
+  const Tensor got = conv.forward(x);
+
+  Conv2d fresh(g, 4, rng, "fresh", /*bias=*/false);
+  fresh.weight().assign_value(new_w);
+  fresh.set_training(false);
+  const Tensor want = fresh.forward(x);
+  EXPECT_TRUE(got.allclose(want, 0.0f, 0.0f));
 }
 
 TEST(MaxPool2dModuleTest, ForwardBackward) {

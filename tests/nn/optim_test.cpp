@@ -153,6 +153,31 @@ TEST(ClipGradNormTest, GlobalNormAcrossParams) {
   EXPECT_THROW(clip_grad_norm({&a}, 0.0), InvariantError);
 }
 
+TEST(ParameterVersionTest, OptimizerStepsBumpVersion) {
+  // Packed-weight caches key on Parameter::version(); every in-place
+  // weight update must advance it.
+  Parameter p = make_param(1.0f, 0.5f);
+  Parameter q = make_param(1.0f, 0.5f);
+  EXPECT_EQ(p.version(), 0u);
+  Sgd sgd({&p}, {.lr = 0.1, .momentum = 0.9});
+  sgd.step();
+  EXPECT_EQ(p.version(), 1u);
+  sgd.step();
+  EXPECT_EQ(p.version(), 2u);
+  Adam adam({&q}, {.lr = 0.1});
+  adam.step();
+  EXPECT_EQ(q.version(), 1u);
+}
+
+TEST(ParameterVersionTest, AssignValueBumpsVersion) {
+  Parameter p = make_param(1.0f, 0.0f);
+  p.assign_value(Tensor(Shape{1}, 2.0f));
+  EXPECT_EQ(p.version(), 1u);
+  EXPECT_FLOAT_EQ(p.value.at(0), 2.0f);
+  p.mark_value_updated();
+  EXPECT_EQ(p.version(), 2u);
+}
+
 TEST(StepLrTest, ZeroStepDisables) {
   Parameter p = make_param(0.0f, 0.0f);
   Sgd opt({&p}, {.lr = 1.0});
