@@ -1,0 +1,81 @@
+// Chaos campaign against the fault-tolerant serving supervisor (beyond the
+// paper; availability companion to bench_fault_campaign's accuracy story).
+//
+// Runs a seeded SEU-weather scenario — persistent sealed-key bit flips
+// landing on healthy replicas plus a transiently flaky accumulator on one
+// replica — against a 4-replica witness-verified pool, and reports the
+// serving outcome: every fault must cost retries and re-provisions, never
+// a wrong answer. Scale with HPNN_BENCH_CHAOS_REQUESTS / _SEU_RATE.
+//
+// The final stdout line is a single JSON object for machine consumption.
+#include <cstdio>
+#include <sstream>
+
+#include "common.hpp"
+#include "core/config.hpp"
+#include "serve/chaos.hpp"
+
+using namespace hpnn;
+
+int main() {
+  const int requests =
+      static_cast<int>(env_int("HPNN_BENCH_CHAOS_REQUESTS", 120));
+  const double seu_rate =
+      env_int("HPNN_BENCH_CHAOS_SEU_PCT", 15) / 100.0;
+
+  bench::print_header(
+      "Serving chaos campaign — replicated pool under SEU weather",
+      "(beyond the paper; availability under the Sec. III fault model)");
+
+  const serve::ChaosModelBundle bundle = serve::make_chaos_model(33);
+  serve::ChaosScenario scenario;
+  scenario.requests = requests;
+  scenario.batch = 2;
+  scenario.seed = 1;
+  scenario.key_seu_rate = seu_rate;
+  scenario.config.replicas = 4;
+  // Replica 1's first device ships with a flaky accumulator: bit 30 of a
+  // keyed partial sum flips with 2% probability per output element.
+  scenario.plans.resize(2);
+  scenario.plans[1].initial = hw::FaultPlan{};
+  scenario.plans[1].initial->accumulator_flip_rate = 0.02;
+  scenario.plans[1].initial->seed = 1234;
+
+  std::printf(
+      "pool: %zu replicas (witness-verified), %d requests, "
+      "key SEU rate %.2f, flaky accumulator on replica 1\n\n",
+      scenario.config.replicas, scenario.requests, scenario.key_seu_rate);
+
+  const serve::ChaosReport report =
+      serve::run_chaos_scenario(bundle, scenario);
+
+  std::printf("served:          %d/%d (%d wrong, %d timeouts, "
+              "%d unavailable, %d retry-exhausted)\n",
+              report.succeeded, report.requests, report.wrong,
+              report.timeouts, report.unavailable, report.retry_exhausted);
+  std::printf("faults:          %d key SEUs injected\n",
+              report.seus_injected);
+  std::printf("healing:         %llu quarantines, %llu re-provisions, "
+              "%llu probes, %llu breaker trips\n",
+              static_cast<unsigned long long>(report.pool.quarantines),
+              static_cast<unsigned long long>(report.pool.reprovisions),
+              static_cast<unsigned long long>(report.pool.probes),
+              static_cast<unsigned long long>(report.pool.breaker_trips));
+  std::printf("attempts:        %lld (%lld retries), %d degraded "
+              "successes\n",
+              static_cast<long long>(report.attempts),
+              static_cast<long long>(report.retries), report.degraded);
+  std::printf("virtual elapsed: %llu us\n\n",
+              static_cast<unsigned long long>(report.virtual_elapsed_us));
+
+  const bool ok = report.wrong == 0 && report.succeeded == report.requests;
+  std::printf("verdict: %s — %s\n\n",
+              ok ? "PASS" : "FAIL",
+              ok ? "all answers correct despite injected faults"
+                 : "supervisor served a wrong or dropped request");
+
+  std::ostringstream json;
+  serve::write_chaos_json(json, scenario, report);
+  std::printf("%s\n", json.str().c_str());
+  return ok ? 0 : 1;
+}

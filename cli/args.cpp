@@ -21,7 +21,7 @@ std::int64_t Args::get_int(const std::string& key,
   char* end = nullptr;
   const long long v = std::strtoll(it->second.c_str(), &end, 10);
   if (end == it->second.c_str() || *end != '\0') {
-    throw Error("--" + key + " expects an integer, got '" + it->second + "'");
+    throw UsageError("--" + key + " expects an integer, got '" + it->second + "'");
   }
   return static_cast<std::int64_t>(v);
 }
@@ -34,7 +34,7 @@ double Args::get_double(const std::string& key, double fallback) const {
   char* end = nullptr;
   const double v = std::strtod(it->second.c_str(), &end);
   if (end == it->second.c_str() || *end != '\0') {
-    throw Error("--" + key + " expects a number, got '" + it->second + "'");
+    throw UsageError("--" + key + " expects a number, got '" + it->second + "'");
   }
   return v;
 }
@@ -42,7 +42,7 @@ double Args::get_double(const std::string& key, double fallback) const {
 std::string Args::require(const std::string& key) const {
   const auto it = options.find(key);
   if (it == options.end()) {
-    throw Error("missing required option --" + key);
+    throw UsageError("missing required option --" + key);
   }
   return it->second;
 }
@@ -63,7 +63,7 @@ Args parse_args(const std::vector<std::string>& tokens) {
         args.options[body.substr(0, eq)] = body.substr(eq + 1);
       } else {
         if (i + 1 >= tokens.size()) {
-          throw Error("option " + tok + " expects a value");
+          throw UsageError("option " + tok + " expects a value");
         }
         args.options[body] = tokens[++i];
       }

@@ -20,6 +20,7 @@
 #include "hw/overhead.hpp"
 #include "nn/summary.hpp"
 #include "nn/trainer.hpp"
+#include "serve/chaos.hpp"
 
 namespace hpnn::cli {
 
@@ -444,6 +445,84 @@ int cmd_metrics_demo(const Args& args, std::ostream& out) {
   return 0;
 }
 
+serve::DegradationPolicy degradation_from_name(const std::string& name) {
+  if (name == "fail_closed") return serve::DegradationPolicy::kFailClosed;
+  if (name == "degrade_to_subset") {
+    return serve::DegradationPolicy::kDegradeToSubset;
+  }
+  if (name == "reject_with_retry_after") {
+    return serve::DegradationPolicy::kRejectWithRetryAfter;
+  }
+  throw Error("unknown degradation policy '" + name +
+              "' (fail_closed | degrade_to_subset | reject_with_retry_after)");
+}
+
+serve::VerifyMode verify_from_name(const std::string& name) {
+  if (name == "none") return serve::VerifyMode::kNone;
+  if (name == "echo") return serve::VerifyMode::kEcho;
+  if (name == "witness") return serve::VerifyMode::kWitness;
+  throw Error("unknown verify mode '" + name + "' (none | echo | witness)");
+}
+
+int cmd_serve_sim(const Args& args, std::ostream& out) {
+  serve::ChaosScenario scenario;
+  scenario.requests = static_cast<int>(args.get_int("requests", 40));
+  scenario.batch = args.get_int("batch", 2);
+  scenario.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  scenario.key_seu_rate = args.get_double("key-seu-rate", 0.1);
+  scenario.config.replicas =
+      static_cast<std::size_t>(args.get_int("replicas", 4));
+  scenario.config.retry.max_attempts =
+      static_cast<int>(args.get_int("max-attempts", 4));
+  scenario.config.default_deadline_us =
+      static_cast<std::uint64_t>(args.get_int("deadline-us", 0));
+  scenario.config.degradation =
+      degradation_from_name(args.get("degradation", "degrade_to_subset"));
+  scenario.config.verify = verify_from_name(args.get("verify", "witness"));
+
+  const double acc_rate = args.get_double("acc-rate", 0.0);
+  if (acc_rate > 0.0 && scenario.config.replicas >= 2) {
+    // Transient accumulator faults on replica 1 from first provisioning;
+    // replacement hardware after re-provisioning is clean.
+    scenario.plans.resize(2);
+    hw::FaultPlan plan;
+    plan.accumulator_flip_rate = acc_rate;
+    plan.seed = scenario.seed + 17;
+    scenario.plans[1].initial = plan;
+  }
+
+  const auto bundle = serve::make_chaos_model(
+      static_cast<std::uint64_t>(args.get_int("model-seed", 33)));
+  out << "serve-sim: " << scenario.config.replicas << " replicas, "
+      << scenario.requests << " requests, key SEU rate "
+      << scenario.key_seu_rate << ", "
+      << serve::degradation_policy_name(scenario.config.degradation)
+      << ", verify " << serve::verify_mode_name(scenario.config.verify)
+      << "\n";
+  const serve::ChaosReport report =
+      serve::run_chaos_scenario(bundle, scenario);
+  out << "served " << report.succeeded << "/" << report.requests
+      << " requests (" << report.wrong << " wrong, " << report.timeouts
+      << " timeouts, " << report.unavailable << " unavailable, "
+      << report.retry_exhausted << " retry-exhausted)\n";
+  out << "faults:   " << report.seus_injected << " key SEUs injected, "
+      << report.pool.quarantines << " quarantines, "
+      << report.pool.reprovisions << " re-provisions, "
+      << report.pool.probes << " probes\n";
+  out << "attempts: " << report.attempts << " total (" << report.retries
+      << " retries), " << report.degraded << " degraded successes\n";
+  if (args.has("json")) {
+    serve::write_chaos_json(out, scenario, report);
+    out << "\n";
+  }
+  if (report.wrong > 0) {
+    out << "FAIL: " << report.wrong << " served predictions differed from "
+        << "the un-faulted reference\n";
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_overhead(const Args& args, std::ostream& out) {
   const std::int64_t dim = args.get_int("dim", 256);
   const auto report = hw::mmu_overhead(dim);
@@ -479,6 +558,12 @@ std::string usage() {
       "           [--bits 0,1,2,4,8 --trials N --campaign-seed N\n"
       "            --acc-rate F --acc-bit B --scale-error F --json 1]\n"
       "                                               SEU fault injection\n"
+      "  serve-sim [--requests N --batch B --seed S --key-seu-rate F\n"
+      "            --replicas N --max-attempts N --deadline-us N\n"
+      "            --degradation P --verify M --acc-rate F\n"
+      "            --model-seed N --json 1]\n"
+      "                                               chaos-test a replicated\n"
+      "                                               serving pool\n"
       "\n"
       "datasets: fashion | cifar | svhn (synthetic stand-ins), or\n"
       "          --train-file F --test-file F (exported .hpds files)\n"
@@ -492,7 +577,12 @@ std::string usage() {
       "                 results are bit-identical at any setting)\n"
       "  --metrics-out PATH   write a metrics snapshot after the command\n"
       "                (.csv extension selects CSV, otherwise JSON;\n"
-      "                 disable collection with HPNN_METRICS=off)\n";
+      "                 disable collection with HPNN_METRICS=off)\n"
+      "\n"
+      "exit codes:\n"
+      "  0 success          1 command failed       2 usage error\n"
+      "  3 bad artifact/data  4 key/integrity error  5 deadline exceeded\n"
+      "  6 no device available  7 retries exhausted\n";
 }
 
 namespace {
@@ -510,8 +600,9 @@ int dispatch(const Args& args, std::ostream& out) {
   if (args.command == "fault-campaign") {
     return cmd_fault_campaign(args, out);
   }
+  if (args.command == "serve-sim") return cmd_serve_sim(args, out);
   out << "unknown command '" << args.command << "'\n\n" << usage();
-  return 1;
+  return 2;
 }
 
 }  // namespace
@@ -527,7 +618,7 @@ int run_command(const std::vector<std::string>& tokens, std::ostream& out) {
     }
     if (args.command.empty() || args.command == "help") {
       out << usage();
-      return args.command.empty() ? 1 : 0;
+      return args.command.empty() ? 2 : 0;
     }
     const int rc = dispatch(args, out);
     if (args.has("metrics-out")) {
@@ -541,6 +632,24 @@ int run_command(const std::vector<std::string>& tokens, std::ostream& out) {
       }
     }
     return rc;
+  } catch (const UsageError& e) {
+    out << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const SerializationError& e) {
+    out << "error: " << e.what() << "\n";
+    return 3;
+  } catch (const KeyError& e) {
+    out << "error: " << e.what() << "\n";
+    return 4;
+  } catch (const TimeoutError& e) {
+    out << "error: " << e.what() << "\n";
+    return 5;
+  } catch (const DeviceUnavailableError& e) {
+    out << "error: " << e.what() << "\n";
+    return 6;
+  } catch (const RetryExhaustedError& e) {
+    out << "error: " << e.what() << "\n";
+    return 7;
   } catch (const Error& e) {
     out << "error: " << e.what() << "\n";
     return 1;

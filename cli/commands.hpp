@@ -14,6 +14,8 @@
 //   hpnn fault-campaign --model FILE --dataset fashion --key HEX
 //                 [--bits 0,1,2,4,8 --trials N --acc-rate F --scale-error F
 //                  --json 1]
+//   hpnn serve-sim [--requests N --batch B --seed S --key-seu-rate F
+//                  --replicas N --degradation P --verify M --json 1]
 //
 // Dataset names: fashion | cifar | svhn (the synthetic stand-ins).
 #pragma once
@@ -26,8 +28,11 @@ namespace hpnn::cli {
 
 /// Dispatches one CLI invocation. `tokens` excludes the program name.
 /// Writes human-readable output to `out`; returns a process exit code.
-/// User errors (bad flags, unknown commands, bad files) print a message and
-/// return 1 instead of throwing.
+/// Errors print a message and return a code keyed to the error taxonomy
+/// instead of throwing: 1 generic failure, 2 usage error (bad flags or
+/// unknown command), 3 serialization (bad artifact/dataset file), 4 key or
+/// integrity error, 5 deadline exceeded, 6 no device available, 7 retries
+/// exhausted.
 int run_command(const std::vector<std::string>& tokens, std::ostream& out);
 
 /// The usage text printed by `hpnn help` and on errors.

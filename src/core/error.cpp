@@ -2,6 +2,24 @@
 
 #include <sstream>
 
+namespace hpnn {
+
+std::string RetryExhaustedError::format(
+    const std::string& what, const std::vector<std::string>& history) {
+  std::ostringstream os;
+  os << what << " after " << history.size() << " attempt"
+     << (history.size() == 1 ? "" : "s");
+  if (!history.empty()) {
+    os << ":";
+    for (std::size_t i = 0; i < history.size(); ++i) {
+      os << "\n  attempt " << (i + 1) << ": " << history[i];
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hpnn
+
 namespace hpnn::detail {
 
 void throw_check_failure(const char* cond, const char* file, int line,

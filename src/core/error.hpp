@@ -5,8 +5,10 @@
 // which throws InvariantError with file/line context.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace hpnn {
 
@@ -38,6 +40,70 @@ class KeyError : public Error {
 class InvariantError : public Error {
  public:
   using Error::Error;
+};
+
+/// Malformed user input at an interface boundary (bad CLI flags, unknown
+/// commands). The CLI maps this to its "usage" exit code.
+class UsageError : public Error {
+ public:
+  using Error::Error;
+};
+
+// ---- serving taxonomy ----------------------------------------------------
+//
+// The serving supervisor (src/serve) reports request outcomes through typed
+// errors so callers (and the CLI exit-code map) can distinguish "the request
+// ran out of time" from "the pool is down" from "every retry failed".
+
+/// A request exceeded its deadline (including time spent on retries and
+/// backoff sleeps).
+class TimeoutError : public Error {
+ public:
+  TimeoutError(const std::string& what, std::uint64_t elapsed_us = 0,
+               std::uint64_t budget_us = 0)
+      : Error(what), elapsed_us_(elapsed_us), budget_us_(budget_us) {}
+
+  std::uint64_t elapsed_us() const { return elapsed_us_; }
+  std::uint64_t budget_us() const { return budget_us_; }
+
+ private:
+  std::uint64_t elapsed_us_;
+  std::uint64_t budget_us_;
+};
+
+/// No healthy device replica can serve the request. `retry_after_us` is a
+/// backpressure hint: microseconds until the pool next probes or
+/// re-provisions a sick replica (0 = no estimate; the pool is hard down).
+class DeviceUnavailableError : public Error {
+ public:
+  explicit DeviceUnavailableError(const std::string& what,
+                                  std::uint64_t retry_after_us = 0)
+      : Error(what), retry_after_us_(retry_after_us) {}
+
+  std::uint64_t retry_after_us() const { return retry_after_us_; }
+
+ private:
+  std::uint64_t retry_after_us_;
+};
+
+/// Every allowed attempt of a request failed. Carries the per-attempt cause
+/// history ("attempt 2: replica 1: key-store integrity check failed", ...)
+/// so the caller can see *why* the retries burned down.
+class RetryExhaustedError : public Error {
+ public:
+  RetryExhaustedError(const std::string& what,
+                      std::vector<std::string> history)
+      : Error(format(what, history)), history_(std::move(history)) {}
+
+  /// One cause per failed attempt, oldest first.
+  const std::vector<std::string>& history() const { return history_; }
+  int attempts() const { return static_cast<int>(history_.size()); }
+
+ private:
+  static std::string format(const std::string& what,
+                            const std::vector<std::string>& history);
+
+  std::vector<std::string> history_;
 };
 
 namespace detail {

@@ -23,11 +23,20 @@ TrustedDevice::TrustedDevice(const obf::HpnnKey& key,
 
 void TrustedDevice::load_model(const obf::PublishedModel& artifact) {
   key_store_.check_integrity();
-  net_ = obf::instantiate_baseline(artifact);
-  net_->set_training(false);
+  // Stage every fallible step before touching device state: a corrupt
+  // artifact that throws partway (bad weights, shape mismatch, allocation
+  // failure) must leave the previously loaded model — and the caches and
+  // static-quant scales that belong to it — fully intact.
+  auto net = obf::instantiate_baseline(artifact);
+  net->set_training(false);
+  std::vector<float> scales = artifact.activation_scales;
+  // Commit point: nothing below throws.
+  net_ = std::move(net);
   weight_cache_.clear();
   lock_cache_.clear();
-  activation_scales_ = artifact.activation_scales;
+  activation_scales_ = std::move(scales);
+  in_channels_ = artifact.in_channels;
+  image_size_ = artifact.image_size;
 }
 
 obf::AttestationResult TrustedDevice::self_test(
@@ -309,9 +318,42 @@ Tensor TrustedDevice::exec_sequential(nn::Sequential& seq, Tensor x) {
   return x;
 }
 
+namespace {
+
+/// Zeroes the per-inference traversal cursors on construction and again on
+/// scope exit — including exception unwinding — so a request that dies
+/// mid-batch cannot leave the *next* request reading misaligned lock masks
+/// or static quantization scales.
+class CursorGuard {
+ public:
+  CursorGuard(std::int64_t& activation_cursor, std::int64_t& mac_cursor)
+      : activation_cursor_(activation_cursor), mac_cursor_(mac_cursor) {
+    activation_cursor_ = 0;
+    mac_cursor_ = 0;
+  }
+  ~CursorGuard() {
+    activation_cursor_ = 0;
+    mac_cursor_ = 0;
+  }
+  CursorGuard(const CursorGuard&) = delete;
+  CursorGuard& operator=(const CursorGuard&) = delete;
+
+ private:
+  std::int64_t& activation_cursor_;
+  std::int64_t& mac_cursor_;
+};
+
+}  // namespace
+
 Tensor TrustedDevice::infer(const Tensor& images) {
   HPNN_CHECK(net_ != nullptr, "no model loaded on the trusted device");
-  HPNN_CHECK(images.rank() == 4, "device input must be NCHW");
+  if (images.rank() != 4 || images.dim(1) != in_channels_ ||
+      images.dim(2) != image_size_ || images.dim(3) != image_size_) {
+    throw ShapeError(
+        "device input must be [N, " + std::to_string(in_channels_) + ", " +
+        std::to_string(image_size_) + ", " + std::to_string(image_size_) +
+        "], got " + images.shape().to_string());
+  }
   // Batched-serving latency: one histogram sample per infer() request, so
   // the snapshot's p50/p95/p99 describe request latency and its count
   // equals requests served (asserted by the serving integration test).
@@ -325,8 +367,7 @@ Tensor TrustedDevice::infer(const Tensor& images) {
   metrics::TraceSpan span("hw.device.infer", latency);
   HPNN_METRIC_COUNT("hw.device.infer.requests", 1);
   HPNN_METRIC_COUNT("hw.device.infer.samples", images.dim(0));
-  activation_cursor_ = 0;
-  mac_cursor_ = 0;
+  CursorGuard cursors(activation_cursor_, mac_cursor_);
   return exec_sequential(*net_, images);
 }
 

@@ -51,6 +51,9 @@ class TrustedDevice {
   /// Loads a model-zoo artifact (weights are quantized lazily per layer).
   /// Fails fast with KeyError if the sealed key store no longer passes its
   /// integrity check — a corrupted device must not serve predictions.
+  /// Strong exception safety: if instantiating the artifact throws partway
+  /// (corrupt weights, shape mismatch), the previously loaded model and all
+  /// derived caches remain fully intact and keep serving.
   void load_model(const obf::PublishedModel& artifact);
   bool has_model() const { return net_ != nullptr; }
 
@@ -68,6 +71,12 @@ class TrustedDevice {
   void attach_fault_injector(FaultInjector* injector);
 
   /// Runs inference on a batch [N, C, H, W]; returns logits [N, classes].
+  /// Throws ShapeError if the batch does not match the loaded artifact's
+  /// input geometry (serving inputs are untrusted). The per-inference
+  /// traversal cursors are managed by a scope guard, so an exception
+  /// unwinding mid-inference (shape error, injected fault) cannot leave the
+  /// device with misaligned lock masks or quantization scales for the next
+  /// request.
   Tensor infer(const Tensor& images);
 
   /// Argmax class per sample.
@@ -109,6 +118,8 @@ class TrustedDevice {
   std::map<const nn::Module*, QuantizedTensor> weight_cache_;
   std::map<std::int64_t, LockInfo> lock_cache_;
   std::vector<float> activation_scales_;  // static quant (may be empty)
+  std::int64_t in_channels_ = 0;          // artifact input geometry
+  std::int64_t image_size_ = 0;
   std::int64_t activation_cursor_ = 0;  // per-inference traversal counter
   std::int64_t mac_cursor_ = 0;         // per-inference MAC-layer counter
 };

@@ -1,0 +1,115 @@
+#include "serve/breaker.hpp"
+
+namespace hpnn::serve {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+void CircuitBreaker::record_success() {
+  switch (state_) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case BreakerState::kHalfOpen:
+      if (++half_open_successes_ >= policy_.half_open_successes) {
+        state_ = BreakerState::kClosed;
+        consecutive_failures_ = 0;
+        half_open_successes_ = 0;
+        probe_failures_ = 0;
+      }
+      break;
+    case BreakerState::kOpen:
+    case BreakerState::kQuarantined:
+      // Success reports can race a trip (another thread's failure tripped
+      // the breaker while this request was in flight). Ignore them.
+      break;
+  }
+}
+
+bool CircuitBreaker::record_failure(std::uint64_t now_us) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= policy_.failure_threshold) {
+        state_ = BreakerState::kOpen;
+        opened_at_us_ = now_us;
+        consecutive_failures_ = 0;
+        return true;
+      }
+      return false;
+    case BreakerState::kHalfOpen:
+      // Any failure during trial traffic re-opens immediately.
+      state_ = BreakerState::kOpen;
+      opened_at_us_ = now_us;
+      half_open_successes_ = 0;
+      return true;
+    case BreakerState::kOpen:
+    case BreakerState::kQuarantined:
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::quarantine() {
+  state_ = BreakerState::kQuarantined;
+  consecutive_failures_ = 0;
+  half_open_successes_ = 0;
+  probe_failures_ = 0;
+}
+
+bool CircuitBreaker::maintenance_due(std::uint64_t now_us) const {
+  switch (state_) {
+    case BreakerState::kQuarantined:
+      return true;
+    case BreakerState::kOpen:
+      return now_us - opened_at_us_ >= policy_.open_cooldown_us;
+    case BreakerState::kClosed:
+    case BreakerState::kHalfOpen:
+      return false;
+  }
+  return false;
+}
+
+std::uint64_t CircuitBreaker::maintenance_due_at(std::uint64_t now_us) const {
+  if (state_ != BreakerState::kOpen) {
+    return now_us;
+  }
+  const std::uint64_t due = opened_at_us_ + policy_.open_cooldown_us;
+  return due > now_us ? due : now_us;
+}
+
+void CircuitBreaker::record_probe(bool passed, std::uint64_t now_us) {
+  if (state_ != BreakerState::kOpen) {
+    return;
+  }
+  if (passed) {
+    state_ = BreakerState::kHalfOpen;
+    half_open_successes_ = 0;
+    probe_failures_ = 0;
+  } else if (++probe_failures_ >= policy_.probe_failure_limit) {
+    quarantine();
+  } else {
+    // Restart the cooldown before the next probe.
+    opened_at_us_ = now_us;
+  }
+}
+
+void CircuitBreaker::reset() {
+  state_ = BreakerState::kClosed;
+  consecutive_failures_ = 0;
+  half_open_successes_ = 0;
+  probe_failures_ = 0;
+  opened_at_us_ = 0;
+}
+
+}  // namespace hpnn::serve

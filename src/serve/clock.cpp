@@ -1,0 +1,25 @@
+#include "serve/clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace hpnn::serve {
+
+SteadyClock& SteadyClock::instance() {
+  static SteadyClock clock;
+  return clock;
+}
+
+std::uint64_t SteadyClock::now_us() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+}
+
+void SteadyClock::sleep_us(std::uint64_t us) {
+  if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+}  // namespace hpnn::serve

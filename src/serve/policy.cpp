@@ -1,0 +1,49 @@
+#include "serve/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace hpnn::serve {
+
+std::uint64_t backoff_delay_us(const RetryPolicy& policy, int failed_attempts,
+                               Rng& rng) {
+  HPNN_CHECK(failed_attempts >= 1, "backoff requires at least one failure");
+  double delay =
+      static_cast<double>(policy.base_backoff_us) *
+      std::pow(policy.backoff_multiplier, failed_attempts - 1);
+  delay = std::min(delay, static_cast<double>(policy.max_backoff_us));
+  if (policy.jitter > 0.0) {
+    const double lo = 1.0 - policy.jitter;
+    const double span = 2.0 * policy.jitter;
+    delay *= lo + span * rng.uniform();
+  }
+  return static_cast<std::uint64_t>(std::llround(std::max(delay, 0.0)));
+}
+
+const char* degradation_policy_name(DegradationPolicy policy) {
+  switch (policy) {
+    case DegradationPolicy::kFailClosed:
+      return "fail_closed";
+    case DegradationPolicy::kDegradeToSubset:
+      return "degrade_to_subset";
+    case DegradationPolicy::kRejectWithRetryAfter:
+      return "reject_with_retry_after";
+  }
+  return "unknown";
+}
+
+const char* verify_mode_name(VerifyMode mode) {
+  switch (mode) {
+    case VerifyMode::kNone:
+      return "none";
+    case VerifyMode::kEcho:
+      return "echo";
+    case VerifyMode::kWitness:
+      return "witness";
+  }
+  return "unknown";
+}
+
+}  // namespace hpnn::serve

@@ -1,0 +1,66 @@
+// Serving policies: retry/backoff, degradation and verification knobs.
+//
+// Everything here is plain data so scenarios are trivially serializable and
+// the chaos harness can sweep configurations. The backoff schedule is a
+// pure function of (policy, attempt, rng draw) — under a fixed seed the
+// whole retry timeline of a serial request stream is reproducible, exactly
+// like the PR-1 fault campaigns.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+
+namespace hpnn::serve {
+
+/// Bounded retries with seeded exponential backoff + jitter.
+struct RetryPolicy {
+  /// Total tries per request (first attempt included). >= 1.
+  int max_attempts = 4;
+  /// Delay before retry k (1-based) is base * multiplier^(k-1), capped.
+  std::uint64_t base_backoff_us = 500;
+  double backoff_multiplier = 2.0;
+  std::uint64_t max_backoff_us = 50'000;
+  /// Uniform jitter fraction in [0, 1): the delay is scaled by a factor
+  /// drawn from [1 - jitter, 1 + jitter). 0 disables jitter.
+  double jitter = 0.25;
+};
+
+/// Backoff delay before the retry following `failed_attempts` failures
+/// (>= 1). Consumes exactly one rng draw when jitter is enabled.
+std::uint64_t backoff_delay_us(const RetryPolicy& policy, int failed_attempts,
+                               Rng& rng);
+
+/// What the supervisor does when replicas are sick.
+enum class DegradationPolicy {
+  /// Strictest posture: a detected fault anywhere in the pool halts serving
+  /// (every replica must be fully healthy). The paper's fail-closed story
+  /// extended to the pool level.
+  kFailClosed,
+  /// Keep serving on the healthy subset; fail only when it is empty.
+  kDegradeToSubset,
+  /// Like kDegradeToSubset, but an empty healthy subset is reported as
+  /// backpressure: DeviceUnavailableError carries retry_after_us (time
+  /// until the next probe / re-provision is due) instead of a hard refusal.
+  kRejectWithRetryAfter,
+};
+
+/// How a served result is cross-checked before it is returned.
+enum class VerifyMode {
+  /// Trust a single execution (integrity pre/post checks still run).
+  kNone,
+  /// Run the request twice on the same replica and require bit-identical
+  /// logits. Catches stochastic datapath faults (transient accumulator
+  /// flips); deterministic corruption repeats identically and slips by.
+  kEcho,
+  /// Run the request on a second replica and require bit-identical logits
+  /// (replicas share key + schedule, so healthy devices agree exactly).
+  /// Catches deterministic single-replica corruption too. Falls back to
+  /// kEcho when only one replica is healthy.
+  kWitness,
+};
+
+const char* degradation_policy_name(DegradationPolicy policy);
+const char* verify_mode_name(VerifyMode mode);
+
+}  // namespace hpnn::serve

@@ -1,0 +1,331 @@
+#include "serve/pool.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/metrics.hpp"
+#include "core/threadpool.hpp"
+#include "hpnn/keychain.hpp"
+
+namespace hpnn::serve {
+
+DevicePool::DevicePool(const obf::HpnnKey& master_key,
+                       const std::string& model_id,
+                       const obf::PublishedModel& artifact,
+                       obf::AttestationChallenge challenge, PoolConfig config,
+                       Clock* clock, ProvisionHook hook)
+    : model_key_(obf::derive_model_key(master_key, model_id)),
+      schedule_seed_(obf::derive_schedule_seed(master_key, model_id)),
+      artifact_(artifact),
+      challenge_(std::move(challenge)),
+      config_(config),
+      clock_(clock != nullptr ? clock : &SteadyClock::instance()),
+      hook_(std::move(hook)) {
+  HPNN_CHECK(config_.replicas >= 1, "device pool needs at least one replica");
+  replicas_.resize(config_.replicas);
+  for (auto& replica : replicas_) {
+    replica.mutex = std::make_unique<std::mutex>();
+    replica.breaker = CircuitBreaker(config_.breaker);
+  }
+  // Initial provisioning fans out on the threadpool: each replica derives
+  // the same sealed secrets independently, exactly like a device batch
+  // programmed from one license record.
+  core::parallel_for(
+      0, static_cast<std::int64_t>(replicas_.size()), 1,
+      [this](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          replicas_[static_cast<std::size_t>(i)].device =
+              build_device(static_cast<std::size_t>(i), /*reprovision=*/false);
+        }
+      });
+  HPNN_METRIC_GAUGE("serve.pool.size", replicas_.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  update_gauges_locked();
+}
+
+std::unique_ptr<hw::TrustedDevice> DevicePool::build_device(std::size_t index,
+                                                            bool reprovision) {
+  auto device = std::make_unique<hw::TrustedDevice>(model_key_, schedule_seed_,
+                                                    config_.device);
+  device->load_model(artifact_);
+  if (hook_) {
+    hook_(*device, index, reprovision);
+  }
+  return device;
+}
+
+std::size_t DevicePool::admitting_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& replica : replicas_) {
+    n += replica.breaker.admits() ? 1 : 0;
+  }
+  return n;
+}
+
+BreakerState DevicePool::state(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return replicas_.at(index).breaker.state();
+}
+
+std::uint64_t DevicePool::reprovision_count(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return replicas_.at(index).reprovisions;
+}
+
+PoolStats DevicePool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<std::size_t> DevicePool::admitting_rotation_locked(
+    bool advance_cursor) {
+  std::vector<std::size_t> admitting;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (replicas_[i].breaker.admits() && !replicas_[i].busy_maintenance) {
+      admitting.push_back(i);
+    }
+  }
+  if (admitting.empty()) {
+    return admitting;
+  }
+  const std::size_t start = rr_cursor_ % admitting.size();
+  if (advance_cursor) {
+    ++rr_cursor_;
+  }
+  std::rotate(admitting.begin(),
+              admitting.begin() + static_cast<std::ptrdiff_t>(start),
+              admitting.end());
+  return admitting;
+}
+
+DevicePool::Lease DevicePool::acquire() {
+  std::vector<std::size_t> order;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    order = admitting_rotation_locked(/*advance_cursor=*/true);
+  }
+  if (order.empty()) {
+    return {};
+  }
+  for (std::size_t index : order) {
+    std::unique_lock<std::mutex> lease_lock(*replicas_[index].mutex,
+                                            std::try_to_lock);
+    if (lease_lock.owns_lock()) {
+      return Lease{replicas_[index].device.get(), index,
+                   std::move(lease_lock)};
+    }
+  }
+  // Every admitting replica is busy: wait on the round-robin choice. The
+  // caller holds no other replica lease here, so this cannot deadlock.
+  const std::size_t index = order.front();
+  std::unique_lock<std::mutex> lease_lock(*replicas_[index].mutex);
+  return Lease{replicas_[index].device.get(), index, std::move(lease_lock)};
+}
+
+DevicePool::Lease DevicePool::acquire_witness(std::size_t exclude) {
+  std::vector<std::size_t> order;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Deterministic witness choice: first admitting replica after the
+    // primary in cyclic index order (independent of the round-robin
+    // cursor, so witness selection never perturbs primary routing).
+    for (std::size_t step = 1; step < replicas_.size() + 1; ++step) {
+      const std::size_t i = (exclude + step) % replicas_.size();
+      if (i != exclude && replicas_[i].breaker.admits() &&
+          !replicas_[i].busy_maintenance) {
+        order.push_back(i);
+      }
+    }
+  }
+  for (std::size_t index : order) {
+    // Try-lock only: the caller already holds the primary's lease, and a
+    // blocking second lock could deadlock against another request doing
+    // the same dance in the opposite order.
+    std::unique_lock<std::mutex> lease_lock(*replicas_[index].mutex,
+                                            std::try_to_lock);
+    if (lease_lock.owns_lock()) {
+      return Lease{replicas_[index].device.get(), index,
+                   std::move(lease_lock)};
+    }
+  }
+  return {};
+}
+
+void DevicePool::report_success(std::size_t index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  replicas_.at(index).breaker.record_success();
+  update_gauges_locked();
+}
+
+bool DevicePool::report_failure(std::size_t index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool tripped =
+      replicas_.at(index).breaker.record_failure(clock_->now_us());
+  if (tripped) {
+    ++stats_.breaker_trips;
+    HPNN_METRIC_COUNT("serve.breaker.trips", 1);
+  }
+  update_gauges_locked();
+  return tripped;
+}
+
+void DevicePool::quarantine(std::size_t index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& replica = replicas_.at(index);
+  if (replica.breaker.state() == BreakerState::kQuarantined) {
+    return;  // already counted for this sick episode
+  }
+  replica.breaker.quarantine();
+  ++stats_.quarantines;
+  HPNN_METRIC_COUNT("serve.quarantines", 1);
+  update_gauges_locked();
+}
+
+void DevicePool::run_maintenance(std::uint64_t now_us) {
+  struct Claim {
+    std::size_t index = 0;
+    bool reprovision = false;
+  };
+  std::vector<Claim> claims;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      auto& replica = replicas_[i];
+      if (replica.busy_maintenance ||
+          !replica.breaker.maintenance_due(now_us)) {
+        continue;
+      }
+      replica.busy_maintenance = true;
+      claims.push_back(
+          {i, replica.breaker.state() == BreakerState::kQuarantined});
+    }
+  }
+  if (claims.empty()) {
+    return;
+  }
+
+  struct Outcome {
+    bool success = false;
+    bool integrity_fault = false;
+  };
+  std::vector<Outcome> outcomes(claims.size());
+  // Probes and re-provisions for distinct replicas are independent, so the
+  // claimed batch fans out on the threadpool. Outcomes land in per-claim
+  // slots; breaker transitions are applied afterwards in claim order under
+  // the pool mutex, so the resulting state is schedule-independent.
+  core::parallel_for(
+      0, static_cast<std::int64_t>(claims.size()), 1,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t k = begin; k < end; ++k) {
+          const Claim& claim = claims[static_cast<std::size_t>(k)];
+          Outcome& out = outcomes[static_cast<std::size_t>(k)];
+          auto& replica = replicas_[claim.index];
+          if (claim.reprovision) {
+            try {
+              auto fresh = build_device(claim.index, /*reprovision=*/true);
+              if (fresh->self_test(challenge_).passed) {
+                std::lock_guard<std::mutex> lease(*replica.mutex);
+                replica.device = std::move(fresh);
+                out.success = true;
+              }
+            } catch (const Error&) {
+              // Provisioning or attestation of the fresh device failed:
+              // the replica stays quarantined until the next round.
+            }
+          } else {
+            try {
+              std::lock_guard<std::mutex> lease(*replica.mutex);
+              out.success = replica.device->self_test(challenge_).passed;
+            } catch (const KeyError&) {
+              out.integrity_fault = true;
+            } catch (const Error&) {
+              out.success = false;
+            }
+          }
+        }
+      });
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t k = 0; k < claims.size(); ++k) {
+    auto& replica = replicas_[claims[k].index];
+    replica.busy_maintenance = false;
+    if (claims[k].reprovision) {
+      if (outcomes[k].success) {
+        replica.breaker.reset();
+        ++replica.reprovisions;
+        ++stats_.reprovisions;
+        HPNN_METRIC_COUNT("serve.reprovisions", 1);
+      } else {
+        ++stats_.reprovision_failures;
+        HPNN_METRIC_COUNT("serve.reprovision_failures", 1);
+      }
+      continue;
+    }
+    ++stats_.probes;
+    HPNN_METRIC_COUNT("serve.probes", 1);
+    if (!outcomes[k].success) {
+      ++stats_.probe_failures;
+      HPNN_METRIC_COUNT("serve.probe_failures", 1);
+    }
+    if (outcomes[k].integrity_fault) {
+      replica.breaker.quarantine();
+      ++stats_.quarantines;
+      HPNN_METRIC_COUNT("serve.quarantines", 1);
+    } else {
+      replica.breaker.record_probe(outcomes[k].success, now_us);
+      if (replica.breaker.state() == BreakerState::kQuarantined) {
+        // record_probe escalated: probe failures exceeded the limit.
+        ++stats_.quarantines;
+        HPNN_METRIC_COUNT("serve.quarantines", 1);
+      }
+    }
+  }
+  update_gauges_locked();
+}
+
+std::uint64_t DevicePool::next_maintenance_due_us(std::uint64_t now_us) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& replica : replicas_) {
+    if (replica.breaker.admits()) {
+      continue;
+    }
+    best = std::min(best, replica.breaker.maintenance_due_at(now_us));
+  }
+  return best == std::numeric_limits<std::uint64_t>::max() ? now_us : best;
+}
+
+void DevicePool::with_replica(
+    std::size_t index, const std::function<void(hw::TrustedDevice&)>& fn) {
+  auto& replica = replicas_.at(index);
+  std::lock_guard<std::mutex> lease(*replica.mutex);
+  fn(*replica.device);
+}
+
+void DevicePool::update_gauges_locked() {
+  if (!metrics::enabled()) {
+    return;
+  }
+  auto& registry = metrics::MetricsRegistry::instance();
+  if (healthy_gauge_ == nullptr) {
+    healthy_gauge_ = &registry.gauge("serve.pool.healthy");
+    state_gauges_.resize(replicas_.size(), nullptr);
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      state_gauges_[i] = &registry.gauge("serve.replica." + std::to_string(i) +
+                                         ".state");
+    }
+  }
+  std::size_t healthy = 0;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const BreakerState state = replicas_[i].breaker.state();
+    healthy += replicas_[i].breaker.admits() ? 1 : 0;
+    state_gauges_[i]->set(static_cast<double>(static_cast<int>(state)));
+  }
+  healthy_gauge_->set(static_cast<double>(healthy));
+}
+
+}  // namespace hpnn::serve

@@ -1,0 +1,351 @@
+#include "serve/supervisor.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/metrics.hpp"
+
+namespace hpnn::serve {
+namespace {
+
+std::vector<std::int64_t> argmax_rows(const Tensor& logits) {
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t classes = logits.dim(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n), 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < classes; ++j) {
+      if (logits.at(i, j) > logits.at(i, best)) {
+        best = j;
+      }
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+std::string replica_tag(std::size_t index) {
+  return "replica " + std::to_string(index);
+}
+
+}  // namespace
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    return false;
+  }
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+ServingSupervisor::ServingSupervisor(const obf::HpnnKey& master_key,
+                                     const std::string& model_id,
+                                     const obf::PublishedModel& artifact,
+                                     obf::AttestationChallenge challenge,
+                                     SupervisorConfig config)
+    : config_(std::move(config)),
+      pool_(master_key, model_id, artifact, std::move(challenge),
+            PoolConfig{config_.replicas, config_.device, config_.breaker},
+            config_.clock != nullptr ? config_.clock
+                                     : &SteadyClock::instance(),
+            config_.provision),
+      clock_(config_.clock != nullptr ? config_.clock
+                                      : &SteadyClock::instance()),
+      backoff_rng_(config_.backoff_seed) {
+  HPNN_CHECK(config_.retry.max_attempts >= 1,
+             "retry policy must allow at least one attempt");
+}
+
+std::uint64_t ServingSupervisor::next_backoff_us(int failed_attempts) {
+  std::lock_guard<std::mutex> lock(backoff_mutex_);
+  return backoff_delay_us(config_.retry, failed_attempts, backoff_rng_);
+}
+
+RequestResult ServingSupervisor::submit(const Tensor& images,
+                                        const RequestOptions& options) {
+  const std::uint64_t start = clock_->now_us();
+  const std::uint64_t budget = options.deadline_us != 0
+                                   ? options.deadline_us
+                                   : config_.default_deadline_us;
+  HPNN_METRIC_COUNT("serve.requests", 1);
+  std::vector<std::string> history;
+
+  for (int attempt = 1;; ++attempt) {
+    // Heal before routing: re-provision quarantined replicas and probe
+    // tripped ones whose cooldown elapsed, so a retry can land on hardware
+    // that was sick one attempt ago.
+    pool_.run_maintenance(clock_->now_us());
+
+    const std::uint64_t elapsed = clock_->now_us() - start;
+    if (budget != 0 && elapsed >= budget) {
+      HPNN_METRIC_COUNT("serve.fail.timeout", 1);
+      throw TimeoutError("request deadline exceeded after " +
+                             std::to_string(history.size()) +
+                             " failed attempt(s)",
+                         elapsed, budget);
+    }
+
+    const std::size_t admitting = pool_.admitting_count();
+    if (config_.degradation == DegradationPolicy::kFailClosed &&
+        admitting < pool_.size()) {
+      HPNN_METRIC_COUNT("serve.fail.unavailable", 1);
+      throw DeviceUnavailableError(
+          "fail-closed policy: " +
+          std::to_string(pool_.size() - admitting) + " of " +
+          std::to_string(pool_.size()) + " replicas unhealthy");
+    }
+
+    Attempt attempt_result;
+    if (admitting == 0) {
+      if (config_.degradation == DegradationPolicy::kRejectWithRetryAfter) {
+        const std::uint64_t now = clock_->now_us();
+        const std::uint64_t due = pool_.next_maintenance_due_us(now);
+        HPNN_METRIC_COUNT("serve.fail.unavailable", 1);
+        throw DeviceUnavailableError("no healthy replica available",
+                                     due > now ? due - now : 0);
+      }
+      HPNN_METRIC_COUNT("serve.attempts", 1);
+      HPNN_METRIC_COUNT("serve.attempt_fail.unavailable", 1);
+      attempt_result.cause = "no healthy replica available";
+    } else {
+      HPNN_METRIC_COUNT("serve.attempts", 1);
+      attempt_result = try_once(images);
+    }
+
+    if (attempt_result.ok) {
+      RequestResult result;
+      result.logits = std::move(attempt_result.logits);
+      result.classes = argmax_rows(result.logits);
+      result.attempts = attempt;
+      result.replica = attempt_result.replica;
+      result.latency_us = clock_->now_us() - start;
+      result.degraded = pool_.admitting_count() < pool_.size();
+      HPNN_METRIC_COUNT("serve.success", 1);
+      if (result.degraded) {
+        HPNN_METRIC_COUNT("serve.degraded_success", 1);
+      }
+      HPNN_METRIC_OBSERVE("serve.request.latency_us", result.latency_us);
+      if (metrics::enabled()) {
+        static metrics::Histogram& attempts_hist =
+            metrics::MetricsRegistry::instance().histogram(
+                "serve.request.attempts",
+                {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0});
+        attempts_hist.observe(static_cast<double>(attempt));
+      }
+      return result;
+    }
+
+    history.push_back(std::move(attempt_result.cause));
+    if (attempt >= config_.retry.max_attempts) {
+      HPNN_METRIC_COUNT("serve.fail.retry_exhausted", 1);
+      throw RetryExhaustedError("inference request failed", history);
+    }
+
+    const std::uint64_t delay = next_backoff_us(attempt);
+    if (budget != 0 && (clock_->now_us() - start) + delay >= budget) {
+      HPNN_METRIC_COUNT("serve.fail.timeout", 1);
+      throw TimeoutError(
+          "deadline would elapse during backoff (last cause: " +
+              history.back() + ")",
+          (clock_->now_us() - start) + delay, budget);
+    }
+    HPNN_METRIC_COUNT("serve.backoff.sleeps", 1);
+    HPNN_METRIC_COUNT("serve.backoff.slept_us", delay);
+    clock_->sleep_us(delay);
+    HPNN_METRIC_COUNT("serve.retries", 1);
+  }
+}
+
+ServingSupervisor::Attempt ServingSupervisor::try_once(const Tensor& images) {
+  Attempt result;
+  DevicePool::Lease primary = pool_.acquire();
+  if (!primary.valid()) {
+    // Raced to zero healthy replicas between the availability check and
+    // the acquire; treated like any other unavailable attempt.
+    HPNN_METRIC_COUNT("serve.attempt_fail.unavailable", 1);
+    result.cause = "no healthy replica available";
+    return result;
+  }
+  result.replica = primary.index;
+
+  // Integrity pre-check: a key-store SEU must never reach the datapath.
+  // infer() itself does not re-verify the digest (the paper's device fails
+  // closed at load/self-test), so the supervisor gates every attempt.
+  if (!primary.device->key_store().integrity_ok()) {
+    pool_.quarantine(primary.index);
+    HPNN_METRIC_COUNT("serve.attempt_fail.integrity", 1);
+    result.cause = replica_tag(primary.index) +
+                   ": key-store integrity check failed";
+    return result;
+  }
+
+  try {
+    return run_verified(primary, images);
+  } catch (const ShapeError&) {
+    throw;  // malformed request — a caller bug, never retried
+  } catch (const KeyError& e) {
+    pool_.quarantine(primary.index);
+    HPNN_METRIC_COUNT("serve.attempt_fail.integrity", 1);
+    result.cause = replica_tag(primary.index) + ": " + e.what();
+    return result;
+  } catch (const Error& e) {
+    // Datapath malfunction mid-inference (e.g. a corrupted scale register
+    // tripping a device invariant): penalize and retry elsewhere.
+    pool_.report_failure(primary.index);
+    HPNN_METRIC_COUNT("serve.attempt_fail.error", 1);
+    result.cause = replica_tag(primary.index) + ": " + e.what();
+    return result;
+  }
+}
+
+ServingSupervisor::Attempt ServingSupervisor::run_verified(
+    DevicePool::Lease& primary, const Tensor& images) {
+  Attempt result;
+  result.replica = primary.index;
+
+  Tensor logits = primary.device->infer(images);
+
+  // Post-check: catches an SEU that landed while the request was on the
+  // datapath (long batches on real hardware).
+  if (!primary.device->key_store().integrity_ok()) {
+    pool_.quarantine(primary.index);
+    HPNN_METRIC_COUNT("serve.attempt_fail.integrity", 1);
+    result.cause = replica_tag(primary.index) +
+                   ": key-store integrity check failed after inference";
+    return result;
+  }
+
+  if (config_.verify == VerifyMode::kNone) {
+    pool_.report_success(primary.index);
+    result.ok = true;
+    result.logits = std::move(logits);
+    return result;
+  }
+  if (config_.verify == VerifyMode::kEcho) {
+    return echo_check(primary, std::move(logits), images);
+  }
+
+  // kWitness: find a second replica whose key store is intact.
+  DevicePool::Lease witness;
+  for (std::size_t guard = 0; guard < pool_.size(); ++guard) {
+    witness = pool_.acquire_witness(primary.index);
+    if (!witness.valid()) {
+      break;
+    }
+    if (witness.device->key_store().integrity_ok()) {
+      break;
+    }
+    pool_.quarantine(witness.index);
+    witness = {};  // quarantined replicas are not offered again
+  }
+  if (!witness.valid()) {
+    // Single healthy replica (or all peers busy): degrade to an echo.
+    return echo_check(primary, std::move(logits), images);
+  }
+
+  HPNN_METRIC_COUNT("serve.witness.runs", 1);
+  Tensor witness_logits;
+  try {
+    witness_logits = witness.device->infer(images);
+  } catch (const KeyError&) {
+    pool_.quarantine(witness.index);
+    witness = {};
+    return echo_check(primary, std::move(logits), images);
+  } catch (const ShapeError&) {
+    throw;
+  } catch (const Error&) {
+    pool_.report_failure(witness.index);
+    witness = {};
+    return echo_check(primary, std::move(logits), images);
+  }
+
+  if (bitwise_equal(logits, witness_logits)) {
+    // Healthy replicas are bit-identical executors; exact agreement is the
+    // expected case, not a lucky one.
+    pool_.report_success(primary.index);
+    pool_.report_success(witness.index);
+    result.ok = true;
+    result.logits = std::move(logits);
+    return result;
+  }
+
+  // One of the two is faulty. Arbitrate by replaying the artifact's
+  // attestation challenge on both replicas.
+  HPNN_METRIC_COUNT("serve.witness.mismatches", 1);
+  const auto attest = [this](DevicePool::Lease& lease) {
+    try {
+      return lease.device->self_test(pool_.challenge()).passed;
+    } catch (const Error&) {
+      return false;  // KeyError => integrity gone => failed attestation
+    }
+  };
+  const bool primary_passed = attest(primary);
+  const bool witness_passed = attest(witness);
+  if (!primary_passed) {
+    pool_.quarantine(primary.index);
+  }
+  if (!witness_passed) {
+    pool_.quarantine(witness.index);
+  }
+
+  if (primary_passed && !witness_passed) {
+    // The witness was the liar; the primary's answer stands.
+    pool_.report_success(primary.index);
+    result.ok = true;
+    result.logits = std::move(logits);
+    return result;
+  }
+
+  HPNN_METRIC_COUNT("serve.attempt_fail.mismatch", 1);
+  if (primary_passed && witness_passed) {
+    // Transient fault, cannot attribute: penalize both, retry elsewhere.
+    pool_.report_failure(primary.index);
+    pool_.report_failure(witness.index);
+    result.cause = replica_tag(primary.index) + " and " +
+                   replica_tag(witness.index) +
+                   " disagreed; attestation inconclusive";
+  } else {
+    result.cause = replica_tag(primary.index) +
+                   ": failed attestation after witness mismatch";
+  }
+  return result;
+}
+
+ServingSupervisor::Attempt ServingSupervisor::echo_check(
+    DevicePool::Lease& primary, Tensor logits, const Tensor& images) {
+  Attempt result;
+  result.replica = primary.index;
+
+  HPNN_METRIC_COUNT("serve.echo.runs", 1);
+  const Tensor replay = primary.device->infer(images);
+  if (bitwise_equal(logits, replay)) {
+    pool_.report_success(primary.index);
+    result.ok = true;
+    result.logits = std::move(logits);
+    return result;
+  }
+
+  // The device contradicted itself: a transient datapath fault fired in at
+  // least one of the two runs.
+  HPNN_METRIC_COUNT("serve.echo.mismatches", 1);
+  HPNN_METRIC_COUNT("serve.attempt_fail.mismatch", 1);
+  bool passed = false;
+  try {
+    passed = primary.device->self_test(pool_.challenge()).passed;
+  } catch (const Error&) {
+    passed = false;
+  }
+  if (passed) {
+    pool_.report_failure(primary.index);
+    result.cause = replica_tag(primary.index) +
+                   ": echo mismatch (transient datapath fault suspected)";
+  } else {
+    pool_.quarantine(primary.index);
+    result.cause = replica_tag(primary.index) +
+                   ": echo mismatch and failed attestation";
+  }
+  return result;
+}
+
+}  // namespace hpnn::serve

@@ -55,9 +55,12 @@ TEST(ArgsTest, EmptyTokensGiveEmptyCommand) {
 
 // ---------------------------------------------------------------- commands
 
+// Exit codes follow the error taxonomy: 1 generic, 2 usage, 3 bad
+// artifact/data, 4 key/integrity, 5 timeout, 6 unavailable, 7 retries
+// exhausted. The tests below pin the mapping so scripts can rely on it.
 TEST(CliTest, NoCommandPrintsUsageAndFails) {
   std::string out;
-  EXPECT_EQ(run({}, out), 1);
+  EXPECT_EQ(run({}, out), 2);
   EXPECT_NE(out.find("commands:"), std::string::npos);
 }
 
@@ -69,7 +72,7 @@ TEST(CliTest, HelpSucceeds) {
 
 TEST(CliTest, UnknownCommandFails) {
   std::string out;
-  EXPECT_EQ(run({"frobnicate"}, out), 1);
+  EXPECT_EQ(run({"frobnicate"}, out), 2);
   EXPECT_NE(out.find("unknown command"), std::string::npos);
 }
 
@@ -251,7 +254,7 @@ TEST(CliTest, ZooPublishListEvalFlow) {
   EXPECT_EQ(run({"eval", "--zoo", zoo_dir, "--name", "ghost", "--dataset",
                  "fashion"},
                 out),
-            1);
+            3);
 }
 
 TEST(CliTest, FaultCampaignReportsCurveAndJson) {
@@ -293,7 +296,7 @@ TEST(CliTest, FaultCampaignRequiresKey) {
   EXPECT_EQ(run({"fault-campaign", "--model", "/nonexistent.hpnn",
                  "--dataset", "fashion"},
                 out),
-            1);
+            3);
   EXPECT_NE(out.find("error:"), std::string::npos);
 }
 
@@ -302,7 +305,7 @@ TEST(CliTest, TrainRejectsBadKey) {
   EXPECT_EQ(run({"train", "--arch", "CNN1", "--dataset", "fashion",
                  "--key", "nothex", "--out", "/tmp/x.hpnn"},
                 out),
-            1);
+            4);
   EXPECT_NE(out.find("error:"), std::string::npos);
 }
 
@@ -311,15 +314,56 @@ TEST(CliTest, EvalRejectsMissingFile) {
   EXPECT_EQ(run({"eval", "--model", "/nonexistent.hpnn", "--dataset",
                  "fashion"},
                 out),
-            1);
+            3);
   EXPECT_NE(out.find("error:"), std::string::npos);
 }
 
 TEST(CliTest, BadDatasetNameFails) {
   std::string out;
+  // The attack command reads the stolen model before parsing the dataset
+  // name, so the missing artifact surfaces first as a serialization error.
   EXPECT_EQ(run({"attack", "--model", "/tmp/none", "--dataset", "imagenet"},
                 out),
-            1);
+            3);
+}
+
+TEST(CliTest, MissingOptionValueIsUsageError) {
+  std::string out;
+  EXPECT_EQ(run({"keygen", "--seed"}, out), 2);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+}
+
+TEST(CliTest, ServeSimRunsCleanPoolDeterministically) {
+  std::string a, b;
+  const std::vector<std::string> cmd = {
+      "serve-sim", "--requests", "6",   "--batch", "1",
+      "--seed",    "11",         "--replicas", "2",
+      "--key-seu-rate", "0.0",   "--model-seed", "21"};
+  ASSERT_EQ(run(cmd, a), 0) << a;
+  ASSERT_EQ(run(cmd, b), 0) << b;
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("served 6/6 requests (0 wrong"), std::string::npos) << a;
+}
+
+TEST(CliTest, ServeSimSurvivesKeySeusAndEmitsJson) {
+  std::string out;
+  ASSERT_EQ(run({"serve-sim", "--requests", "10", "--batch", "1", "--seed",
+                 "7", "--replicas", "3", "--key-seu-rate", "0.3",
+                 "--model-seed", "21", "--json", "1"},
+                out),
+            0)
+      << out;
+  EXPECT_NE(out.find("0 wrong"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"bench\":\"serve_chaos\""), std::string::npos);
+  EXPECT_NE(out.find("\"wrong\":0"), std::string::npos) << out;
+}
+
+TEST(CliTest, ServeSimRejectsBadPolicyNames) {
+  std::string out;
+  EXPECT_EQ(run({"serve-sim", "--degradation", "warp-core"}, out), 1);
+  EXPECT_NE(out.find("unknown degradation policy"), std::string::npos);
+  EXPECT_EQ(run({"serve-sim", "--verify", "vibes"}, out), 1);
+  EXPECT_NE(out.find("unknown verify mode"), std::string::npos);
 }
 
 }  // namespace

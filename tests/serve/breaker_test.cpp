@@ -1,0 +1,113 @@
+// CircuitBreaker state machine: transitions, cooldown timing, and the
+// quarantine escalation tier, exercised as pure bookkeeping (no devices).
+#include "serve/breaker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpnn::serve {
+namespace {
+
+BreakerPolicy test_policy() {
+  BreakerPolicy policy;
+  policy.failure_threshold = 3;
+  policy.open_cooldown_us = 100;
+  policy.half_open_successes = 2;
+  policy.probe_failure_limit = 2;
+  return policy;
+}
+
+TEST(BreakerTest, StartsClosedAndAdmitting) {
+  CircuitBreaker breaker(test_policy());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.admits());
+  EXPECT_FALSE(breaker.maintenance_due(0));
+}
+
+TEST(BreakerTest, TripsAfterConsecutiveFailuresOnly) {
+  CircuitBreaker breaker(test_policy());
+  EXPECT_FALSE(breaker.record_failure(10));
+  EXPECT_FALSE(breaker.record_failure(11));
+  breaker.record_success();  // resets the consecutive-failure run
+  EXPECT_FALSE(breaker.record_failure(12));
+  EXPECT_FALSE(breaker.record_failure(13));
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.record_failure(14));
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.admits());
+}
+
+TEST(BreakerTest, CooldownGatesProbeEligibility) {
+  CircuitBreaker breaker(test_policy());
+  breaker.record_failure(0);
+  breaker.record_failure(0);
+  ASSERT_TRUE(breaker.record_failure(50));
+  EXPECT_FALSE(breaker.maintenance_due(149));
+  EXPECT_EQ(breaker.maintenance_due_at(60), 150u);
+  EXPECT_TRUE(breaker.maintenance_due(150));
+  EXPECT_EQ(breaker.maintenance_due_at(200), 200u);  // already due
+}
+
+TEST(BreakerTest, ProbePassMovesToHalfOpenThenClosesOnSuccesses) {
+  CircuitBreaker breaker(test_policy());
+  for (int i = 0; i < 3; ++i) breaker.record_failure(0);
+  breaker.record_probe(true, 200);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.admits());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);  // needs 2
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(BreakerTest, HalfOpenFailureReopensImmediately) {
+  CircuitBreaker breaker(test_policy());
+  for (int i = 0; i < 3; ++i) breaker.record_failure(0);
+  breaker.record_probe(true, 200);
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.record_failure(300));
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  // Cooldown restarts from the re-open time.
+  EXPECT_FALSE(breaker.maintenance_due(399));
+  EXPECT_TRUE(breaker.maintenance_due(400));
+}
+
+TEST(BreakerTest, RepeatedProbeFailuresEscalateToQuarantine) {
+  CircuitBreaker breaker(test_policy());
+  for (int i = 0; i < 3; ++i) breaker.record_failure(0);
+  breaker.record_probe(false, 200);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  // A failed probe restarts the cooldown before the next one is due.
+  EXPECT_FALSE(breaker.maintenance_due(250));
+  breaker.record_probe(false, 300);
+  EXPECT_EQ(breaker.state(), BreakerState::kQuarantined);
+  EXPECT_FALSE(breaker.admits());
+  // Quarantine is immediately due for re-provisioning, no cooldown.
+  EXPECT_TRUE(breaker.maintenance_due(300));
+}
+
+TEST(BreakerTest, QuarantineIsStickyUntilReset) {
+  CircuitBreaker breaker(test_policy());
+  breaker.quarantine();
+  EXPECT_EQ(breaker.state(), BreakerState::kQuarantined);
+  breaker.record_probe(true, 500);  // probes do not heal quarantine
+  EXPECT_EQ(breaker.state(), BreakerState::kQuarantined);
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kQuarantined);
+  breaker.reset();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.admits());
+  // Counters are cleared: tripping again takes a full threshold run.
+  breaker.record_failure(600);
+  breaker.record_failure(601);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(BreakerTest, StateNamesAreStable) {
+  EXPECT_STREQ(breaker_state_name(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(breaker_state_name(BreakerState::kHalfOpen), "half_open");
+  EXPECT_STREQ(breaker_state_name(BreakerState::kOpen), "open");
+  EXPECT_STREQ(breaker_state_name(BreakerState::kQuarantined), "quarantined");
+}
+
+}  // namespace
+}  // namespace hpnn::serve
