@@ -1,6 +1,7 @@
 #include "commands.hpp"
 
 #include <fstream>
+#include <iostream>
 #include <ostream>
 #include <sstream>
 
@@ -21,6 +22,9 @@
 #include "nn/summary.hpp"
 #include "nn/trainer.hpp"
 #include "serve/chaos.hpp"
+#include "serve/daemon/daemon.hpp"
+#include "serve/daemon/load_gen.hpp"
+#include "serve/daemon/protocol.hpp"
 
 namespace hpnn::cli {
 
@@ -460,11 +464,259 @@ serve::DegradationPolicy degradation_from_name(const std::string& name) {
 serve::VerifyMode verify_from_name(const std::string& name) {
   if (name == "none") return serve::VerifyMode::kNone;
   if (name == "echo") return serve::VerifyMode::kEcho;
+  if (name == "digest") return serve::VerifyMode::kDigest;
   if (name == "witness") return serve::VerifyMode::kWitness;
-  throw Error("unknown verify mode '" + name + "' (none | echo | witness)");
+  throw Error("unknown verify mode '" + name +
+              "' (none | echo | digest | witness)");
+}
+
+/// Shared daemon/load knobs for serve, serve-load and serve-sim
+/// --offered-qps mode. Defaults model a device sustaining ~6.6k rows/s
+/// (400us + 100us/row, 8-row batches).
+serve::LoadScenario load_scenario_from_args(const Args& args) {
+  serve::LoadScenario scenario;
+  scenario.offered_qps = args.get_double("offered-qps", 4'000.0);
+  scenario.requests = static_cast<int>(args.get_int("requests", 400));
+  scenario.batch = args.get_int("batch", 1);
+  scenario.tenants = static_cast<int>(args.get_int("tenants", 4));
+  scenario.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  scenario.burst = static_cast<int>(args.get_int("burst", 1));
+  scenario.key_seu_rate = args.get_double("key-seu-rate", 0.0);
+  scenario.quarantine_at_request =
+      static_cast<int>(args.get_int("quarantine-at", -1));
+  scenario.config.replicas =
+      static_cast<std::size_t>(args.get_int("replicas", 4));
+  scenario.config.retry.max_attempts =
+      static_cast<int>(args.get_int("max-attempts", 4));
+  scenario.config.degradation =
+      degradation_from_name(args.get("degradation", "degrade_to_subset"));
+  scenario.config.verify = verify_from_name(args.get("verify", "digest"));
+  scenario.daemon.batcher.max_batch_rows = args.get_int("max-batch", 8);
+  scenario.daemon.batcher.slo_p99_us =
+      static_cast<std::uint64_t>(args.get_int("slo-us", 20'000));
+  scenario.daemon.batcher.max_linger_us =
+      static_cast<std::uint64_t>(args.get_int("max-linger-us", 2'000));
+  scenario.daemon.queue.capacity =
+      static_cast<std::size_t>(args.get_int("queue-capacity", 64));
+  scenario.daemon.queue.max_queue_wait_us =
+      static_cast<std::uint64_t>(args.get_int("max-queue-wait-us", 0));
+  scenario.daemon.admission.high_watermark =
+      static_cast<std::size_t>(args.get_int("high-watermark", 48));
+  scenario.daemon.admission.low_watermark =
+      static_cast<std::size_t>(args.get_int("low-watermark", 24));
+  scenario.daemon.admission.per_tenant.tokens_per_sec =
+      args.get_double("tenant-qps", 0.0);
+  scenario.daemon.admission.per_tenant.burst =
+      args.get_double("tenant-burst", 8.0);
+  scenario.daemon.sessions.capacity =
+      static_cast<std::size_t>(args.get_int("session-capacity", 64));
+  scenario.daemon.sim_service_base_us =
+      static_cast<std::uint64_t>(args.get_int("service-base-us", 400));
+  scenario.daemon.sim_service_per_row_us =
+      static_cast<std::uint64_t>(args.get_int("service-per-row-us", 100));
+  return scenario;
+}
+
+void print_load_report(std::ostream& out, const serve::LoadScenario& scenario,
+                       const serve::LoadReport& report) {
+  out << "offered " << report.offered << " requests @ "
+      << scenario.offered_qps << " qps (burst " << scenario.burst
+      << ", sustainable ~" << serve::sustainable_qps(scenario) << " qps)\n";
+  out << "accepted " << report.accepted << ", completed " << report.completed
+      << ", shed " << report.shed << ", queue-full " << report.queue_full
+      << ", expired " << report.expired << ", failed " << report.failed
+      << ", wrong " << report.wrong << "\n";
+  out << "latency us p50/p99/max: " << report.p50_latency_us << "/"
+      << report.p99_latency_us << "/" << report.max_latency_us
+      << "; queue wait us p50/p99: " << report.p50_queue_wait_us << "/"
+      << report.p99_queue_wait_us << "\n";
+  out << "retry-after hints us: [" << report.min_retry_after_us << ", "
+      << report.max_retry_after_us << "]; batches " << report.daemon.batches
+      << ", quarantines " << report.pool.quarantines << ", re-provisions "
+      << report.pool.reprovisions << "\n";
+}
+
+int cmd_serve_load(const Args& args, std::ostream& out) {
+  const auto bundle = serve::make_chaos_model(
+      static_cast<std::uint64_t>(args.get_int("model-seed", 33)), 16, 0.6,
+      /*with_logit_digest=*/true);
+  serve::LoadScenario scenario = load_scenario_from_args(args);
+
+  // Sweep offered load, default 0.5x / 1x / 2x of sustainable.
+  std::vector<double> sweep;
+  if (args.has("qps-list")) {
+    std::stringstream ss(args.require("qps-list"));
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      sweep.push_back(std::stod(token));
+    }
+  } else if (args.has("offered-qps")) {
+    sweep.push_back(scenario.offered_qps);
+  } else {
+    const double cap = serve::sustainable_qps(scenario);
+    sweep = {0.5 * cap, 1.0 * cap, 2.0 * cap};
+  }
+
+  int wrong = 0;
+  for (const double qps : sweep) {
+    scenario.offered_qps = qps;
+    const serve::LoadReport report =
+        serve::run_load_scenario(bundle, scenario);
+    out << "--- offered " << qps << " qps ---\n";
+    print_load_report(out, scenario, report);
+    if (args.has("json")) {
+      serve::write_overload_json(out, scenario, report);
+      out << "\n";
+    }
+    wrong += report.wrong;
+  }
+  if (wrong > 0) {
+    out << "FAIL: " << wrong << " served batches differed from the "
+        << "un-faulted reference\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_serve(const Args& args, std::ostream& out) {
+  const bool sim = args.get_int("sim", 1) != 0;
+  const auto bundle = serve::make_chaos_model(
+      static_cast<std::uint64_t>(args.get_int("model-seed", 33)), 16, 0.6,
+      /*with_logit_digest=*/true);
+  serve::LoadScenario defaults = load_scenario_from_args(args);
+
+  core::SimulatedClock sim_clock(0);
+  serve::SupervisorConfig config = defaults.config;
+  if (sim) {
+    config.clock = &sim_clock;
+  }
+  serve::ServingSupervisor supervisor(bundle.master, bundle.model_id,
+                                      bundle.artifact, bundle.challenge,
+                                      config);
+  serve::DaemonConfig dconfig = defaults.daemon;
+  if (sim) {
+    dconfig.workers = 0;  // pump mode: the protocol loop drives the clock
+  } else {
+    dconfig.workers = static_cast<std::size_t>(args.get_int("workers", 2));
+    dconfig.sim_service_base_us = 0;  // real inference is the service time
+    dconfig.sim_service_per_row_us = 0;
+  }
+  serve::ServeDaemon daemon(supervisor, bundle.master, bundle.model_id,
+                            dconfig);
+  daemon.start();
+
+  std::ifstream script;
+  std::istream* in = &std::cin;
+  if (args.has("script")) {
+    const std::string path = args.require("script");
+    script.open(path);
+    if (!script) {
+      throw Error("cannot open script file '" + path + "'");
+    }
+    in = &script;
+  }
+  out << "READY model=" << bundle.model_id << " replicas="
+      << config.replicas << " mode=" << (sim ? "sim" : "real")
+      << " workers=" << dconfig.workers << "\n";
+
+  bool drained = false;
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    serve::ProtoRequest request;
+    try {
+      request = serve::parse_request(line);
+    } catch (const Error& e) {
+      out << serve::format_error(0, "protocol", 0, e.what()) << "\n";
+      continue;
+    }
+    if (request.kind == serve::ProtoRequest::Kind::kInfer) {
+      Rng rng(request.seed);
+      Tensor images = Tensor::normal(
+          Shape{request.n, bundle.artifact.in_channels,
+                bundle.artifact.image_size, bundle.artifact.image_size},
+          rng, 0.0f, 0.25f);
+      try {
+        const serve::Reply reply =
+            daemon.submit(request.tenant, std::move(images));
+        out << serve::format_reply(request.id, reply) << "\n";
+      } catch (...) {
+        out << serve::format_exception(request.id, std::current_exception())
+            << "\n";
+      }
+    } else if (request.kind == serve::ProtoRequest::Kind::kStats) {
+      out << serve::format_stats(daemon.stats()) << "\n";
+    } else if (request.kind == serve::ProtoRequest::Kind::kReload) {
+      try {
+        for (const auto& [key, value] : request.options) {
+          if (key == "slo-us") {
+            dconfig.batcher.slo_p99_us = std::stoull(value);
+          } else if (key == "max-batch") {
+            dconfig.batcher.max_batch_rows = std::stoll(value);
+          } else if (key == "max-linger-us") {
+            dconfig.batcher.max_linger_us = std::stoull(value);
+          } else if (key == "queue-capacity") {
+            dconfig.queue.capacity = std::stoull(value);
+          } else if (key == "high-watermark") {
+            dconfig.admission.high_watermark = std::stoull(value);
+          } else if (key == "low-watermark") {
+            dconfig.admission.low_watermark = std::stoull(value);
+          } else if (key == "tenant-qps") {
+            dconfig.admission.per_tenant.tokens_per_sec = std::stod(value);
+          } else if (key == "tenant-burst") {
+            dconfig.admission.per_tenant.burst = std::stod(value);
+          } else if (key == "session-capacity") {
+            dconfig.sessions.capacity = std::stoull(value);
+          } else {
+            throw Error("unknown reload option '" + key + "'");
+          }
+        }
+        daemon.reload(dconfig);
+        out << "OK reload\n";
+      } catch (const std::exception& e) {
+        out << serve::format_error(0, "reload", 0, e.what()) << "\n";
+      }
+    } else if (request.kind == serve::ProtoRequest::Kind::kDrain) {
+      daemon.drain();
+      drained = true;
+      out << "OK drained\n";
+    } else if (request.kind == serve::ProtoRequest::Kind::kQuit) {
+      out << "OK bye\n";
+      break;
+    }
+  }
+  if (!drained) {
+    daemon.drain();
+  }
+  out << serve::format_stats(daemon.stats()) << "\n";
+  return 0;
 }
 
 int cmd_serve_sim(const Args& args, std::ostream& out) {
+  if (args.has("offered-qps") || args.has("burst")) {
+    // Overload mode: open-loop offered load against the serving daemon
+    // instead of the serial chaos campaign.
+    const auto bundle = serve::make_chaos_model(
+        static_cast<std::uint64_t>(args.get_int("model-seed", 33)), 16, 0.6,
+        /*with_logit_digest=*/true);
+    const serve::LoadScenario scenario = load_scenario_from_args(args);
+    const serve::LoadReport report =
+        serve::run_load_scenario(bundle, scenario);
+    print_load_report(out, scenario, report);
+    if (args.has("json")) {
+      serve::write_overload_json(out, scenario, report);
+      out << "\n";
+    }
+    if (report.wrong > 0) {
+      out << "FAIL: " << report.wrong << " served batches differed from "
+          << "the un-faulted reference\n";
+      return 1;
+    }
+    return 0;
+  }
+
   serve::ChaosScenario scenario;
   scenario.requests = static_cast<int>(args.get_int("requests", 40));
   scenario.batch = args.get_int("batch", 2);
@@ -564,6 +816,20 @@ std::string usage() {
       "            --model-seed N --json 1]\n"
       "                                               chaos-test a replicated\n"
       "                                               serving pool\n"
+      "           [--offered-qps Q --burst B]         overload mode: open-\n"
+      "                                               loop load against the\n"
+      "                                               serving daemon\n"
+      "  serve    [--sim 1 --workers N --script FILE --replicas N\n"
+      "            --verify M --max-batch N --slo-us N --queue-capacity N\n"
+      "            --high-watermark N --low-watermark N --tenant-qps F]\n"
+      "                                               line-protocol daemon\n"
+      "                                               (INFER/STATS/RELOAD/\n"
+      "                                                DRAIN/QUIT on stdin)\n"
+      "  serve-load [--qps-list A,B,C | --offered-qps Q] [--requests N\n"
+      "            --burst B --tenants N --slo-us N --json 1]\n"
+      "                                               offered-load sweep,\n"
+      "                                               default 0.5x/1x/2x of\n"
+      "                                               sustainable capacity\n"
       "\n"
       "datasets: fashion | cifar | svhn (synthetic stand-ins), or\n"
       "          --train-file F --test-file F (exported .hpds files)\n"
@@ -582,7 +848,8 @@ std::string usage() {
       "exit codes:\n"
       "  0 success          1 command failed       2 usage error\n"
       "  3 bad artifact/data  4 key/integrity error  5 deadline exceeded\n"
-      "  6 no device available  7 retries exhausted\n";
+      "  6 no device available  7 retries exhausted\n"
+      "  8 admission rejected (retry_after hint printed)  9 queue full\n";
 }
 
 namespace {
@@ -601,6 +868,8 @@ int dispatch(const Args& args, std::ostream& out) {
     return cmd_fault_campaign(args, out);
   }
   if (args.command == "serve-sim") return cmd_serve_sim(args, out);
+  if (args.command == "serve") return cmd_serve(args, out);
+  if (args.command == "serve-load") return cmd_serve_load(args, out);
   out << "unknown command '" << args.command << "'\n\n" << usage();
   return 2;
 }
@@ -650,6 +919,12 @@ int run_command(const std::vector<std::string>& tokens, std::ostream& out) {
   } catch (const RetryExhaustedError& e) {
     out << "error: " << e.what() << "\n";
     return 7;
+  } catch (const AdmissionRejectedError& e) {
+    out << "error: " << e.what() << "\n";
+    return 8;
+  } catch (const QueueFullError& e) {
+    out << "error: " << e.what() << "\n";
+    return 9;
   } catch (const Error& e) {
     out << "error: " << e.what() << "\n";
     return 1;

@@ -32,7 +32,8 @@ namespace hpnn::cli {
 /// instead of throwing: 1 generic failure, 2 usage error (bad flags or
 /// unknown command), 3 serialization (bad artifact/dataset file), 4 key or
 /// integrity error, 5 deadline exceeded, 6 no device available, 7 retries
-/// exhausted.
+/// exhausted, 8 admission rejected (daemon shedding load), 9 request queue
+/// full.
 int run_command(const std::vector<std::string>& tokens, std::ostream& out);
 
 /// The usage text printed by `hpnn help` and on errors.

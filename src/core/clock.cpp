@@ -1,9 +1,9 @@
-#include "serve/clock.hpp"
+#include "core/clock.hpp"
 
 #include <chrono>
 #include <thread>
 
-namespace hpnn::serve {
+namespace hpnn::core {
 
 SteadyClock& SteadyClock::instance() {
   static SteadyClock clock;
@@ -22,4 +22,4 @@ void SteadyClock::sleep_us(std::uint64_t us) {
   }
 }
 
-}  // namespace hpnn::serve
+}  // namespace hpnn::core

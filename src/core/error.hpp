@@ -5,6 +5,7 @@
 // which throws InvariantError with file/line context.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -84,6 +85,40 @@ class DeviceUnavailableError : public Error {
 
  private:
   std::uint64_t retry_after_us_;
+};
+
+/// The serving daemon's admission controller shed the request before it
+/// entered the queue (token bucket empty, overload watermark reached, or
+/// the daemon is draining). `retry_after_us` tells a well-behaved client
+/// when capacity is expected back (0 = unknown / permanently closed).
+class AdmissionRejectedError : public Error {
+ public:
+  explicit AdmissionRejectedError(const std::string& what,
+                                  std::uint64_t retry_after_us = 0)
+      : Error(what), retry_after_us_(retry_after_us) {}
+
+  std::uint64_t retry_after_us() const { return retry_after_us_; }
+
+ private:
+  std::uint64_t retry_after_us_;
+};
+
+/// The daemon's bounded request queue is at capacity. Admission control is
+/// tuned to shed with AdmissionRejectedError *before* this fires; hitting
+/// it means the watermarks are misconfigured (or disabled). Carries the
+/// depth/capacity observed at rejection time.
+class QueueFullError : public Error {
+ public:
+  QueueFullError(const std::string& what, std::size_t depth = 0,
+                 std::size_t capacity = 0)
+      : Error(what), depth_(depth), capacity_(capacity) {}
+
+  std::size_t depth() const { return depth_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t depth_;
+  std::size_t capacity_;
 };
 
 /// Every allowed attempt of a request failed. Carries the per-attempt cause

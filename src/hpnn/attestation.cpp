@@ -2,9 +2,11 @@
 
 #include <istream>
 #include <ostream>
+#include <span>
 
 #include "core/error.hpp"
 #include "core/serialize.hpp"
+#include "core/sha256.hpp"
 #include "tensor/ops.hpp"
 
 namespace hpnn::obf {
@@ -43,6 +45,18 @@ AttestationResult check_response(const AttestationChallenge& challenge,
   return result;
 }
 
+std::string logit_digest_hex(const Tensor& logits) {
+  Sha256 hasher;
+  for (const std::int64_t d : logits.shape().dims()) {
+    hasher.update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(&d), sizeof(d)));
+  }
+  hasher.update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(logits.data()),
+      static_cast<std::size_t>(logits.numel()) * sizeof(float)));
+  return to_hex(hasher.finalize());
+}
+
 void write_challenge(std::ostream& os,
                      const AttestationChallenge& challenge) {
   BinaryWriter w(os);
@@ -53,6 +67,7 @@ void write_challenge(std::ostream& os,
       challenge.probes.data() + challenge.probes.numel()));
   w.write_i64_vector(challenge.expected);
   w.write_f64(challenge.min_agreement);
+  w.write_string(challenge.logit_digest_hex);
 }
 
 AttestationChallenge read_challenge(std::istream& is) {
@@ -94,6 +109,11 @@ AttestationChallenge read_challenge(std::istream& is) {
   // Negated comparison so NaN (from corrupt bytes) is also rejected.
   if (!(challenge.min_agreement > 0.0 && challenge.min_agreement <= 1.0)) {
     throw SerializationError("corrupt challenge threshold");
+  }
+  challenge.logit_digest_hex = r.read_string();
+  if (!challenge.logit_digest_hex.empty() &&
+      challenge.logit_digest_hex.size() != 64) {
+    throw SerializationError("corrupt challenge logit digest");
   }
   return challenge;
 }

@@ -24,6 +24,14 @@ struct AttestationChallenge {
   /// Minimum fraction of matching predictions for a pass (int8 device
   /// datapaths may disagree with the float reference on a few probes).
   double min_agreement = 0.9;
+  /// Optional logit-digest witness: SHA-256 (hex) of the *device* logits a
+  /// correctly keyed golden device produces on `probes` (the owner holds
+  /// the key, so it can emulate the integer datapath exactly). Class-based
+  /// agreement is blind to deterministic faults that shift every logit but
+  /// preserve the argmax (e.g. a stuck high accumulator bit); healthy
+  /// devices are bit-identical executors, so an exact digest closes that
+  /// blind spot. Empty = not recorded (class agreement only).
+  std::string logit_digest_hex;
 };
 
 /// Result of checking a response against a challenge.
@@ -42,6 +50,10 @@ AttestationChallenge make_challenge(LockedModel& model,
 /// Verifier side: scores a response (predictions for challenge.probes).
 AttestationResult check_response(const AttestationChallenge& challenge,
                                  const std::vector<std::int64_t>& response);
+
+/// Canonical logit digest: SHA-256 (hex) over the tensor's shape and the
+/// bit patterns of its floats. Bit-identical logits <=> equal digests.
+std::string logit_digest_hex(const Tensor& logits);
 
 /// Challenge (de)serialization for shipping alongside the model artifact.
 void write_challenge(std::ostream& os, const AttestationChallenge& challenge);

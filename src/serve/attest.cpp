@@ -1,0 +1,30 @@
+#include "serve/attest.hpp"
+
+#include <vector>
+
+#include "core/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace hpnn::serve {
+
+ProbeResult attestation_probe(hw::TrustedDevice& device,
+                              const obf::AttestationChallenge& challenge) {
+  if (!device.key_store().integrity_ok()) {
+    throw KeyError("sealed key store failed integrity check during probe");
+  }
+  const Tensor logits = device.infer(challenge.probes);
+  const std::vector<std::int64_t> classes = ops::argmax_rows(logits);
+  const obf::AttestationResult classes_result =
+      obf::check_response(challenge, classes);
+
+  ProbeResult result;
+  result.agreement = classes_result.agreement;
+  if (!challenge.logit_digest_hex.empty()) {
+    result.digest_match =
+        obf::logit_digest_hex(logits) == challenge.logit_digest_hex;
+  }
+  result.passed = classes_result.passed && result.digest_match;
+  return result;
+}
+
+}  // namespace hpnn::serve

@@ -1,0 +1,31 @@
+// Replica attestation probe shared by pool maintenance and supervisor
+// arbitration.
+//
+// A probe replays the artifact's attestation challenge on one device and
+// applies *both* acceptance tests: class agreement against the owner's
+// expectations (tolerant of int8-vs-float rounding) and — when the
+// challenge carries one — the exact logit digest of a correctly keyed
+// golden device. The digest is what catches deterministic datapath faults
+// that preserve the argmax (the echo-mode blind spot documented in
+// tests/serve/supervisor_test.cpp): every healthy replica reproduces the
+// golden logits bit for bit, so a single differing bit is proof of fault.
+#pragma once
+
+#include "hpnn/attestation.hpp"
+#include "hw/device.hpp"
+
+namespace hpnn::serve {
+
+struct ProbeResult {
+  bool passed = false;      ///< class agreement *and* digest (when present)
+  bool digest_match = true; ///< false only when a recorded digest differed
+  double agreement = 0.0;
+};
+
+/// Runs the challenge probes on `device` (one inference). Throws KeyError
+/// if the device's sealed key store fails its integrity check, exactly like
+/// TrustedDevice::self_test; other device faults propagate as hpnn::Error.
+ProbeResult attestation_probe(hw::TrustedDevice& device,
+                              const obf::AttestationChallenge& challenge);
+
+}  // namespace hpnn::serve

@@ -8,6 +8,7 @@
 
 #include "core/error.hpp"
 #include "core/metrics.hpp"
+#include "hpnn/attestation.hpp"
 #include "hpnn/keychain.hpp"
 #include "hpnn/locked_model.hpp"
 #include "hpnn/model_io.hpp"
@@ -15,7 +16,8 @@
 namespace hpnn::serve {
 
 ChaosModelBundle make_chaos_model(std::uint64_t seed, std::int64_t num_probes,
-                                  double min_agreement) {
+                                  double min_agreement,
+                                  bool with_logit_digest) {
   ChaosModelBundle bundle;
   Rng rng(seed);
   bundle.master = obf::HpnnKey::random(rng);
@@ -41,6 +43,15 @@ ChaosModelBundle make_chaos_model(std::uint64_t seed, std::int64_t num_probes,
   Rng probe_rng = rng.split();
   bundle.challenge = obf::make_challenge(model, num_probes, probe_rng);
   bundle.challenge.min_agreement = min_agreement;
+  if (with_logit_digest) {
+    // The owner holds the master key, so it can provision a golden device
+    // and record the exact int8 probe logits every healthy replica must
+    // reproduce bit-for-bit (same key, schedule seed and DeviceConfig).
+    hw::TrustedDevice golden(model_key, schedule_seed, hw::DeviceConfig{});
+    golden.load_model(bundle.artifact);
+    bundle.challenge.logit_digest_hex =
+        obf::logit_digest_hex(golden.infer(bundle.challenge.probes));
+  }
   return bundle;
 }
 

@@ -1,59 +1,14 @@
-// Time source abstraction for the serving supervisor.
-//
-// Deadlines, breaker cooldowns and backoff sleeps all go through a Clock so
-// the chaos harness and the unit tests can run on a SimulatedClock: sleeps
-// advance a counter instead of blocking, which makes seeded chaos campaigns
-// both fast and bit-reproducible (wall time never enters the control flow).
+// The serving layer's clock is the core abstraction (core/clock.hpp); the
+// aliases below keep the historical hpnn::serve spellings working. New code
+// should prefer core::Clock directly.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
+#include "core/clock.hpp"
 
 namespace hpnn::serve {
 
-/// Monotonic microsecond clock + sleep. Implementations must be safe to
-/// call from multiple threads.
-class Clock {
- public:
-  virtual ~Clock() = default;
-
-  /// Microseconds since an arbitrary (per-clock) epoch. Monotonic.
-  virtual std::uint64_t now_us() = 0;
-
-  /// Blocks the caller for `us` microseconds (or advances simulated time).
-  virtual void sleep_us(std::uint64_t us) = 0;
-};
-
-/// Wall-clock implementation on std::chrono::steady_clock.
-class SteadyClock final : public Clock {
- public:
-  /// Process-wide instance (the default clock of a ServingSupervisor).
-  static SteadyClock& instance();
-
-  std::uint64_t now_us() override;
-  void sleep_us(std::uint64_t us) override;
-};
-
-/// Deterministic virtual time: now_us() is a counter, sleep_us() advances
-/// it atomically without blocking. Two runs of the same seeded scenario see
-/// the exact same timestamps, so breaker cooldowns and deadlines fire
-/// identically.
-class SimulatedClock final : public Clock {
- public:
-  explicit SimulatedClock(std::uint64_t start_us = 0) : now_(start_us) {}
-
-  std::uint64_t now_us() override {
-    return now_.load(std::memory_order_relaxed);
-  }
-  void sleep_us(std::uint64_t us) override { advance(us); }
-
-  /// Manually advances virtual time (tests stepping through cooldowns).
-  void advance(std::uint64_t us) {
-    now_.fetch_add(us, std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<std::uint64_t> now_;
-};
+using Clock = core::Clock;
+using SteadyClock = core::SteadyClock;
+using SimulatedClock = core::SimulatedClock;
 
 }  // namespace hpnn::serve

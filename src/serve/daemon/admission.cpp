@@ -1,0 +1,137 @@
+#include "serve/daemon/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/metrics.hpp"
+
+namespace hpnn::serve {
+
+AdmissionController::AdmissionController(AdmissionConfig config,
+                                         core::Clock& clock)
+    : config_(config), clock_(clock) {
+  HPNN_CHECK(config_.low_watermark <= config_.high_watermark,
+             "low watermark must not exceed high watermark");
+  HPNN_CHECK(config_.per_tenant.tokens_per_sec >= 0.0,
+             "tokens_per_sec must be non-negative");
+  HPNN_CHECK(config_.per_tenant.burst >= 1.0,
+             "token bucket burst must be at least 1");
+}
+
+std::uint64_t AdmissionController::drain_hint_locked(
+    std::size_t queue_depth) const {
+  const double per_request =
+      drain_seeded_
+          ? drain_ewma_us_
+          : static_cast<double>(config_.initial_drain_us_per_request);
+  const std::size_t excess = queue_depth > config_.low_watermark
+                                 ? queue_depth - config_.low_watermark
+                                 : 0;
+  return static_cast<std::uint64_t>(
+      std::llround(per_request * static_cast<double>(excess + 1)));
+}
+
+void AdmissionController::refill_locked(Bucket& bucket,
+                                        std::uint64_t now_us) const {
+  const double rate = config_.per_tenant.tokens_per_sec;
+  if (now_us > bucket.last_refill_us) {
+    const double elapsed_s =
+        static_cast<double>(now_us - bucket.last_refill_us) * 1e-6;
+    bucket.tokens =
+        std::min(config_.per_tenant.burst, bucket.tokens + elapsed_s * rate);
+  }
+  bucket.last_refill_us = now_us;
+}
+
+void AdmissionController::admit(const std::string& tenant,
+                                std::size_t queue_depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  // Watermark hysteresis: flip the shedding latch on the band edges.
+  if (!shedding_ && queue_depth >= config_.high_watermark) {
+    shedding_ = true;
+    HPNN_METRIC_COUNT("serve.daemon.shed.engaged", 1);
+  } else if (shedding_ && queue_depth <= config_.low_watermark) {
+    shedding_ = false;
+    HPNN_METRIC_COUNT("serve.daemon.shed.released", 1);
+  }
+  if (shedding_) {
+    ++stats_.shed_watermark;
+    HPNN_METRIC_COUNT("serve.daemon.shed.watermark", 1);
+    throw AdmissionRejectedError(
+        "daemon shedding load: queue depth " + std::to_string(queue_depth) +
+            " over high watermark " + std::to_string(config_.high_watermark),
+        drain_hint_locked(queue_depth));
+  }
+
+  const double rate = config_.per_tenant.tokens_per_sec;
+  if (rate > 0.0) {
+    const std::uint64_t now = clock_.now_us();
+    auto [it, fresh] = buckets_.try_emplace(tenant);
+    Bucket& bucket = it->second;
+    if (fresh) {
+      bucket.tokens = config_.per_tenant.burst;  // new tenants start full
+      bucket.last_refill_us = now;
+    }
+    refill_locked(bucket, now);
+    if (bucket.tokens < 1.0) {
+      ++stats_.shed_rate;
+      HPNN_METRIC_COUNT("serve.daemon.shed.tenant_rate", 1);
+      const auto wait_us = static_cast<std::uint64_t>(
+          std::ceil((1.0 - bucket.tokens) / rate * 1e6));
+      throw AdmissionRejectedError(
+          "tenant " + tenant + " over sustained rate", wait_us);
+    }
+    bucket.tokens -= 1.0;
+  }
+
+  ++stats_.admitted;
+  HPNN_METRIC_COUNT("serve.daemon.admitted", 1);
+}
+
+void AdmissionController::observe_drain(std::uint64_t us_per_request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto sample = static_cast<double>(us_per_request);
+  if (!drain_seeded_) {
+    drain_ewma_us_ = sample;
+    drain_seeded_ = true;
+    return;
+  }
+  drain_ewma_us_ += 0.2 * (sample - drain_ewma_us_);
+}
+
+bool AdmissionController::shedding() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shedding_;
+}
+
+std::uint64_t AdmissionController::watermark_retry_after_us(
+    std::size_t queue_depth) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return drain_hint_locked(queue_depth);
+}
+
+void AdmissionController::reload(const AdmissionConfig& config) {
+  HPNN_CHECK(config.low_watermark <= config.high_watermark,
+             "low watermark must not exceed high watermark");
+  HPNN_CHECK(config.per_tenant.burst >= 1.0,
+             "token bucket burst must be at least 1");
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_ = config;
+  for (auto& [tenant, bucket] : buckets_) {
+    bucket.tokens = std::min(bucket.tokens, config_.per_tenant.burst);
+  }
+}
+
+AdmissionConfig AdmissionController::config() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return config_;
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace hpnn::serve

@@ -1,0 +1,95 @@
+// Admission control: shed load *before* the queue saturates.
+//
+// Two gates, both resolved at submit time so a rejected request costs the
+// daemon nothing downstream:
+//
+//   1. Per-tenant token bucket — a tenant above its sustained rate is
+//      rejected with the exact time until its next token, independent of
+//      everyone else's traffic.
+//   2. Global watermark hysteresis — when queue depth crosses the high
+//      watermark the daemon enters shedding and rejects *all* tenants until
+//      depth falls back to the low watermark. The retry_after hint is the
+//      estimated drain time of the excess depth (per-request drain EWMA fed
+//      by the batcher), so hints shrink monotonically as the queue drains —
+//      clients that honor them re-arrive exactly when capacity exists.
+//
+// Rejections carry AdmissionRejectedError with retry_after_us; everything
+// runs on the injected Clock, so overload scenarios are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/clock.hpp"
+
+namespace hpnn::serve {
+
+struct TokenBucketPolicy {
+  /// Sustained per-tenant request rate (0 = no rate limit).
+  double tokens_per_sec = 0.0;
+  /// Bucket capacity: how many requests a tenant may burst above the
+  /// sustained rate.
+  double burst = 8.0;
+};
+
+struct AdmissionConfig {
+  TokenBucketPolicy per_tenant;
+  /// Queue depth at which shedding starts / stops (hysteresis band).
+  std::size_t high_watermark = 224;
+  std::size_t low_watermark = 128;
+  /// Drain-time estimate per queued request before any batch has been
+  /// observed (seeds the retry_after hint).
+  std::uint64_t initial_drain_us_per_request = 1'000;
+};
+
+class AdmissionController {
+ public:
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t shed_watermark = 0;
+    std::uint64_t shed_rate = 0;
+  };
+
+  AdmissionController(AdmissionConfig config, core::Clock& clock);
+
+  /// Gate for one request at the current queue depth. Throws
+  /// AdmissionRejectedError (with a retry_after_us hint) when shedding or
+  /// when the tenant's bucket is empty; otherwise consumes one token.
+  void admit(const std::string& tenant, std::size_t queue_depth);
+
+  /// Feeds the observed per-request drain time (batch service / batch
+  /// size) into the EWMA behind watermark retry_after hints.
+  void observe_drain(std::uint64_t us_per_request);
+
+  bool shedding() const;
+  /// Estimated time until queue depth reaches the low watermark.
+  std::uint64_t watermark_retry_after_us(std::size_t queue_depth) const;
+
+  /// Swaps the policy, keeping current bucket levels (clamped to the new
+  /// burst) and the shedding state (config reload).
+  void reload(const AdmissionConfig& config);
+  AdmissionConfig config() const;
+  Stats stats() const;
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    std::uint64_t last_refill_us = 0;
+  };
+
+  std::uint64_t drain_hint_locked(std::size_t queue_depth) const;
+  void refill_locked(Bucket& bucket, std::uint64_t now_us) const;
+
+  mutable std::mutex mutex_;
+  AdmissionConfig config_;
+  core::Clock& clock_;
+  std::map<std::string, Bucket> buckets_;
+  bool shedding_ = false;
+  double drain_ewma_us_ = 0.0;
+  bool drain_seeded_ = false;
+  Stats stats_;
+};
+
+}  // namespace hpnn::serve

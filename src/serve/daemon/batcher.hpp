@@ -1,0 +1,80 @@
+// Adaptive micro-batching: coalesce queued requests into MMU-sized batches.
+//
+// The int8 datapath amortizes its per-dispatch cost over batch rows, so the
+// daemon wants full batches — but a request must not linger past its
+// latency SLO waiting for co-travellers. The batcher closes a batch when it
+// is full *or* when the oldest queued request has lingered for the adaptive
+// window:
+//
+//   linger = clamp(slo_p99 - service_ewma, min_linger, max_linger)
+//
+// As the observed batch service time (EWMA) grows toward the SLO, the
+// linger window shrinks toward min_linger, trading batch efficiency for
+// latency headroom; when the device is fast, requests may wait longer and
+// batches fill. All timing is virtual-clock driven, so pump-mode runs are
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/daemon/queue.hpp"
+
+namespace hpnn::serve {
+
+struct BatcherConfig {
+  /// Maximum sample rows per coalesced batch (the MMU-friendly size).
+  std::int64_t max_batch_rows = 8;
+  /// Target p99 enqueue-to-completion latency the linger window defends.
+  std::uint64_t slo_p99_us = 50'000;
+  /// Linger window clamp.
+  std::uint64_t min_linger_us = 0;
+  std::uint64_t max_linger_us = 5'000;
+  /// EWMA weight of the newest batch service time observation.
+  double service_ewma_alpha = 0.2;
+};
+
+class AdaptiveBatcher {
+ public:
+  explicit AdaptiveBatcher(BatcherConfig config);
+
+  /// Current adaptive linger window (max_linger until service times are
+  /// observed).
+  std::uint64_t linger_us() const;
+
+  /// True when a batch should be cut now: the queue holds a full batch of
+  /// rows, the oldest request has lingered past the window, or the queue is
+  /// closed (drain) and non-empty.
+  bool batch_ready(const RequestQueue& queue, std::uint64_t now_us) const;
+
+  /// Pops up to max_batch_rows rows in tenant-fair order. The first request
+  /// is taken unconditionally (a single oversized request still ships as
+  /// its own batch). Empty result iff the queue yielded nothing.
+  std::vector<std::shared_ptr<PendingRequest>> collect(RequestQueue& queue,
+                                                       std::uint64_t now_us);
+
+  /// Feeds one coalesced-batch service time into the EWMA.
+  void observe_service(std::uint64_t service_us);
+  std::uint64_t service_ewma_us() const;
+
+  /// Earliest time at which the linger window would force a batch closed;
+  /// UINT64_MAX when the queue is empty. Drives the pump/event loop.
+  std::uint64_t next_due_us(const RequestQueue& queue,
+                            std::uint64_t now_us) const;
+
+  /// Swaps the policy, keeping the learned service EWMA (config reload).
+  void reload(const BatcherConfig& config);
+  BatcherConfig config() const;
+
+ private:
+  std::uint64_t linger_locked() const;
+
+  mutable std::mutex mutex_;
+  BatcherConfig config_;
+  double service_ewma_us_ = 0.0;
+  bool service_seeded_ = false;
+};
+
+}  // namespace hpnn::serve

@@ -1,0 +1,95 @@
+// Open-loop load generator for overload experiments.
+//
+// Arrivals are scheduled on virtual time at a configured offered rate —
+// open-loop, so the generator keeps offering load while the daemon sheds
+// (closed-loop clients would politely slow down and hide the overload).
+// Bursts model thundering herds: `burst` requests land back-to-back, then
+// the lane goes quiet until the next burst boundary, keeping the long-run
+// offered rate at offered_qps.
+//
+// Everything runs on a SimulatedClock in pump mode with seeded inputs, so
+// a scenario is a pure function of its parameters: two runs produce
+// byte-identical reports and metrics snapshots. The correctness oracle
+// rides the daemon's batch observer — an un-faulted reference device
+// re-infers every coalesced batch, the granularity at which int8
+// quantization makes answers comparable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "serve/chaos.hpp"
+#include "serve/daemon/daemon.hpp"
+
+namespace hpnn::serve {
+
+struct LoadScenario {
+  /// Long-run offered request rate on the virtual clock.
+  double offered_qps = 2'000.0;
+  int requests = 200;
+  /// Sample rows per request.
+  std::int64_t batch = 1;
+  int tenants = 4;
+  std::uint64_t seed = 1;
+  /// Arrivals per burst (1 = evenly spaced open-loop arrivals).
+  int burst = 1;
+  /// Per-request probability of a key-bit SEU on a healthy replica
+  /// (the chaos harness's weather, aimed at the daemon path).
+  double key_seu_rate = 0.0;
+  /// Request index at which replica 0 is forcibly quarantined (-1 = never):
+  /// capacity loss in the middle of the storm.
+  int quarantine_at_request = -1;
+  DaemonConfig daemon;
+  /// Supervisor configuration; clock and provision are harness-owned.
+  SupervisorConfig config;
+};
+
+struct LoadReport {
+  int offered = 0;
+  int accepted = 0;
+  int completed = 0;
+  /// Rejected by admission control (with retry_after hints).
+  int shed = 0;
+  /// Rejected by the hard queue bound (admission reacted too slowly).
+  int queue_full = 0;
+  /// Accepted but expired in the queue past max_queue_wait_us.
+  int expired = 0;
+  /// Accepted but failed in serving (supervisor exhausted retries etc.).
+  int failed = 0;
+  /// Batch-oracle disagreements among completed requests. Must be zero.
+  int wrong = 0;
+  int seus_injected = 0;
+
+  std::uint64_t p50_latency_us = 0;
+  std::uint64_t p99_latency_us = 0;
+  std::uint64_t max_latency_us = 0;
+  std::uint64_t p50_queue_wait_us = 0;
+  std::uint64_t p99_queue_wait_us = 0;
+  /// Range of retry_after hints handed to shed requests.
+  std::uint64_t min_retry_after_us = 0;
+  std::uint64_t max_retry_after_us = 0;
+
+  std::uint64_t virtual_elapsed_us = 0;
+  DaemonStats daemon;
+  PoolStats pool;
+  /// Deterministic metrics snapshot (counters + histogram sample counts);
+  /// empty when metrics are compiled out or disabled.
+  std::string metrics_json;
+};
+
+/// Offered load the scenario's service model can sustain, in qps:
+/// max_batch_rows / service(max_batch_rows) for the simulated service
+/// time. 0 when the scenario has no simulated service model.
+double sustainable_qps(const LoadScenario& scenario);
+
+/// Runs the scenario to completion (arrivals, pumping, graceful drain) and
+/// returns the report. Resets the process metrics registry first.
+LoadReport run_load_scenario(const ChaosModelBundle& bundle,
+                             const LoadScenario& scenario);
+
+/// JSON report {"bench":"serve_overload",...} for bench sinks and CI.
+void write_overload_json(std::ostream& os, const LoadScenario& scenario,
+                         const LoadReport& report);
+
+}  // namespace hpnn::serve

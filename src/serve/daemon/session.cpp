@@ -1,0 +1,108 @@
+#include "serve/daemon/session.hpp"
+
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/metrics.hpp"
+#include "hpnn/keychain.hpp"
+
+namespace hpnn::serve {
+
+SessionCache::SessionCache(const obf::HpnnKey& master_key,
+                           std::string model_id, SessionCacheConfig config,
+                           core::Clock& clock)
+    : master_(master_key),
+      model_id_(std::move(model_id)),
+      config_(config),
+      clock_(clock) {
+  HPNN_CHECK(config_.capacity >= 1, "session cache capacity must be >= 1");
+}
+
+SessionTicket SessionCache::ticket(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(tenant);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    HPNN_METRIC_COUNT("serve.daemon.sessions.hits", 1);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.ticket;
+  }
+
+  ++stats_.misses;
+  HPNN_METRIC_COUNT("serve.daemon.sessions.misses", 1);
+  const std::uint64_t epoch = epochs_[tenant];
+  const obf::HpnnKey session_key = obf::derive_model_key(
+      master_,
+      model_id_ + "/session/" + tenant + "#" + std::to_string(epoch));
+  SessionTicket ticket;
+  ticket.tenant = tenant;
+  ticket.fingerprint = obf::key_fingerprint(session_key);
+  ticket.epoch = epoch;
+  ticket.issued_at_us = clock_.now_us();
+
+  lru_.push_front(tenant);
+  entries_[tenant] = Entry{ticket, lru_.begin()};
+  evict_to_capacity_locked();
+  HPNN_METRIC_GAUGE("serve.daemon.sessions.size", entries_.size());
+  return ticket;
+}
+
+void SessionCache::evict_to_capacity_locked() {
+  while (entries_.size() > config_.capacity) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+    HPNN_METRIC_COUNT("serve.daemon.sessions.evictions", 1);
+  }
+}
+
+void SessionCache::revoke(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++epochs_[tenant];
+  ++stats_.revocations;
+  HPNN_METRIC_COUNT("serve.daemon.sessions.revocations", 1);
+  auto it = entries_.find(tenant);
+  if (it != entries_.end()) {
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+  }
+  HPNN_METRIC_GAUGE("serve.daemon.sessions.size", entries_.size());
+}
+
+void SessionCache::revoke_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [tenant, entry] : entries_) {
+    ++epochs_[tenant];
+    ++stats_.revocations;
+    HPNN_METRIC_COUNT("serve.daemon.sessions.revocations", 1);
+  }
+  entries_.clear();
+  lru_.clear();
+  HPNN_METRIC_GAUGE("serve.daemon.sessions.size", 0);
+}
+
+std::size_t SessionCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t SessionCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return config_.capacity;
+}
+
+void SessionCache::resize(std::size_t capacity) {
+  HPNN_CHECK(capacity >= 1, "session cache capacity must be >= 1");
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_.capacity = capacity;
+  evict_to_capacity_locked();
+  HPNN_METRIC_GAUGE("serve.daemon.sessions.size", entries_.size());
+}
+
+SessionCache::Stats SessionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace hpnn::serve

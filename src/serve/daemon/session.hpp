@@ -1,0 +1,89 @@
+// Per-tenant session keys derived from the owner's keychain.
+//
+// Each tenant talking to the daemon gets a session subkey diversified from
+// the master key: SHA-256 keychain derivation over
+// "<model_id>/session/<tenant>#<epoch>". Only the public fingerprint ever
+// leaves the cache — the key material itself stays sealed, exactly like the
+// paper's device-side key handling. Entries are LRU-evicted at capacity and
+// *revoked* (epoch bump, so the old key can never be re-derived into the
+// cache) when serving detects an integrity violation on hardware that
+// touched the tenant's traffic.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/clock.hpp"
+#include "hpnn/key.hpp"
+
+namespace hpnn::serve {
+
+struct SessionCacheConfig {
+  std::size_t capacity = 64;
+};
+
+struct SessionTicket {
+  std::string tenant;
+  /// Public fingerprint of the tenant's current session key.
+  std::string fingerprint;
+  /// Bumped on every revocation; part of the derivation string.
+  std::uint64_t epoch = 0;
+  std::uint64_t issued_at_us = 0;
+};
+
+class SessionCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t revocations = 0;
+  };
+
+  SessionCache(const obf::HpnnKey& master_key, std::string model_id,
+               SessionCacheConfig config, core::Clock& clock);
+
+  /// Returns the tenant's current session ticket, deriving and caching it
+  /// on miss (LRU eviction at capacity).
+  SessionTicket ticket(const std::string& tenant);
+
+  /// Drops the tenant's cached key and bumps its epoch: the next ticket()
+  /// derives a fresh session key.
+  void revoke(const std::string& tenant);
+
+  /// Integrity-violation response: revokes every cached session at once.
+  void revoke_all();
+
+  std::size_t size() const;
+  std::size_t capacity() const;
+  /// Shrinks/grows capacity, LRU-evicting as needed (config reload). The
+  /// cache contents otherwise survive reloads.
+  void resize(std::size_t capacity);
+
+  Stats stats() const;
+
+ private:
+  void evict_to_capacity_locked();
+
+  struct Entry {
+    SessionTicket ticket;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  obf::HpnnKey master_;
+  std::string model_id_;
+  SessionCacheConfig config_;
+  core::Clock& clock_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  /// Front = most recently used tenant.
+  std::list<std::string> lru_;
+  std::map<std::string, std::uint64_t> epochs_;
+  Stats stats_;
+};
+
+}  // namespace hpnn::serve

@@ -40,6 +40,8 @@ const char* verify_mode_name(VerifyMode mode) {
       return "none";
     case VerifyMode::kEcho:
       return "echo";
+    case VerifyMode::kDigest:
+      return "digest";
     case VerifyMode::kWitness:
       return "witness";
   }

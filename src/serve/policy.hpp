@@ -53,10 +53,19 @@ enum class VerifyMode {
   /// logits. Catches stochastic datapath faults (transient accumulator
   /// flips); deterministic corruption repeats identically and slips by.
   kEcho,
+  /// Replay the artifact's attestation probes on the serving replica after
+  /// the request and require the exact logit digest recorded from the
+  /// owner's golden device (AttestationChallenge::logit_digest_hex). A
+  /// self-witness against a provision-time golden: unlike kEcho it catches
+  /// *deterministic* single-replica corruption (a stuck accumulator bit
+  /// reproduces on the probes and breaks the digest), and unlike kWitness
+  /// it needs no second healthy replica. Falls back to kEcho when the
+  /// challenge carries no digest.
+  kDigest,
   /// Run the request on a second replica and require bit-identical logits
   /// (replicas share key + schedule, so healthy devices agree exactly).
   /// Catches deterministic single-replica corruption too. Falls back to
-  /// kEcho when only one replica is healthy.
+  /// kDigest (then kEcho) when only one replica is healthy.
   kWitness,
 };
 

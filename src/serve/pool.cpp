@@ -9,6 +9,7 @@
 #include "core/metrics.hpp"
 #include "core/threadpool.hpp"
 #include "hpnn/keychain.hpp"
+#include "serve/attest.hpp"
 
 namespace hpnn::serve {
 
@@ -16,13 +17,13 @@ DevicePool::DevicePool(const obf::HpnnKey& master_key,
                        const std::string& model_id,
                        const obf::PublishedModel& artifact,
                        obf::AttestationChallenge challenge, PoolConfig config,
-                       Clock* clock, ProvisionHook hook)
+                       core::Clock& clock, ProvisionHook hook)
     : model_key_(obf::derive_model_key(master_key, model_id)),
       schedule_seed_(obf::derive_schedule_seed(master_key, model_id)),
       artifact_(artifact),
       challenge_(std::move(challenge)),
       config_(config),
-      clock_(clock != nullptr ? clock : &SteadyClock::instance()),
+      clock_(clock),
       hook_(std::move(hook)) {
   HPNN_CHECK(config_.replicas >= 1, "device pool needs at least one replica");
   replicas_.resize(config_.replicas);
@@ -164,7 +165,7 @@ void DevicePool::report_success(std::size_t index) {
 bool DevicePool::report_failure(std::size_t index) {
   std::lock_guard<std::mutex> lock(mutex_);
   const bool tripped =
-      replicas_.at(index).breaker.record_failure(clock_->now_us());
+      replicas_.at(index).breaker.record_failure(clock_.now_us());
   if (tripped) {
     ++stats_.breaker_trips;
     HPNN_METRIC_COUNT("serve.breaker.trips", 1);
@@ -227,7 +228,7 @@ void DevicePool::run_maintenance(std::uint64_t now_us) {
           if (claim.reprovision) {
             try {
               auto fresh = build_device(claim.index, /*reprovision=*/true);
-              if (fresh->self_test(challenge_).passed) {
+              if (attestation_probe(*fresh, challenge_).passed) {
                 std::lock_guard<std::mutex> lease(*replica.mutex);
                 replica.device = std::move(fresh);
                 out.success = true;
@@ -239,7 +240,8 @@ void DevicePool::run_maintenance(std::uint64_t now_us) {
           } else {
             try {
               std::lock_guard<std::mutex> lease(*replica.mutex);
-              out.success = replica.device->self_test(challenge_).passed;
+              out.success =
+                  attestation_probe(*replica.device, challenge_).passed;
             } catch (const KeyError&) {
               out.integrity_fault = true;
             } catch (const Error&) {

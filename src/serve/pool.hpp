@@ -86,7 +86,7 @@ class DevicePool {
   DevicePool(const obf::HpnnKey& master_key, const std::string& model_id,
              const obf::PublishedModel& artifact,
              obf::AttestationChallenge challenge, PoolConfig config,
-             Clock* clock, ProvisionHook hook = {});
+             core::Clock& clock, ProvisionHook hook = {});
 
   std::size_t size() const { return replicas_.size(); }
   const obf::AttestationChallenge& challenge() const { return challenge_; }
@@ -159,7 +159,7 @@ class DevicePool {
   obf::PublishedModel artifact_;
   obf::AttestationChallenge challenge_;
   PoolConfig config_;
-  Clock* clock_;
+  core::Clock& clock_;
   ProvisionHook hook_;
 
   mutable std::mutex mutex_;

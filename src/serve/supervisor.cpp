@@ -5,6 +5,7 @@
 
 #include "core/error.hpp"
 #include "core/metrics.hpp"
+#include "serve/attest.hpp"
 
 namespace hpnn::serve {
 namespace {
@@ -45,13 +46,11 @@ ServingSupervisor::ServingSupervisor(const obf::HpnnKey& master_key,
                                      obf::AttestationChallenge challenge,
                                      SupervisorConfig config)
     : config_(std::move(config)),
+      clock_(config_.clock != nullptr ? config_.clock
+                                      : &core::SteadyClock::instance()),
       pool_(master_key, model_id, artifact, std::move(challenge),
             PoolConfig{config_.replicas, config_.device, config_.breaker},
-            config_.clock != nullptr ? config_.clock
-                                     : &SteadyClock::instance(),
-            config_.provision),
-      clock_(config_.clock != nullptr ? config_.clock
-                                      : &SteadyClock::instance()),
+            *clock_, config_.provision),
       backoff_rng_(config_.backoff_seed) {
   HPNN_CHECK(config_.retry.max_attempts >= 1,
              "retry policy must allow at least one attempt");
@@ -225,6 +224,9 @@ ServingSupervisor::Attempt ServingSupervisor::run_verified(
   if (config_.verify == VerifyMode::kEcho) {
     return echo_check(primary, std::move(logits), images);
   }
+  if (config_.verify == VerifyMode::kDigest) {
+    return digest_check(primary, std::move(logits), images);
+  }
 
   // kWitness: find a second replica whose key store is intact.
   DevicePool::Lease witness;
@@ -240,8 +242,9 @@ ServingSupervisor::Attempt ServingSupervisor::run_verified(
     witness = {};  // quarantined replicas are not offered again
   }
   if (!witness.valid()) {
-    // Single healthy replica (or all peers busy): degrade to an echo.
-    return echo_check(primary, std::move(logits), images);
+    // Single healthy replica (or all peers busy): degrade to the digest
+    // self-witness (itself degrading to an echo when no digest exists).
+    return digest_check(primary, std::move(logits), images);
   }
 
   HPNN_METRIC_COUNT("serve.witness.runs", 1);
@@ -251,13 +254,13 @@ ServingSupervisor::Attempt ServingSupervisor::run_verified(
   } catch (const KeyError&) {
     pool_.quarantine(witness.index);
     witness = {};
-    return echo_check(primary, std::move(logits), images);
+    return digest_check(primary, std::move(logits), images);
   } catch (const ShapeError&) {
     throw;
   } catch (const Error&) {
     pool_.report_failure(witness.index);
     witness = {};
-    return echo_check(primary, std::move(logits), images);
+    return digest_check(primary, std::move(logits), images);
   }
 
   if (bitwise_equal(logits, witness_logits)) {
@@ -271,11 +274,13 @@ ServingSupervisor::Attempt ServingSupervisor::run_verified(
   }
 
   // One of the two is faulty. Arbitrate by replaying the artifact's
-  // attestation challenge on both replicas.
+  // attestation challenge on both replicas (class agreement plus the golden
+  // logit digest when the challenge records one — the digest makes faults
+  // that preserve the argmax, like a stuck bit 30, decisively attributable).
   HPNN_METRIC_COUNT("serve.witness.mismatches", 1);
   const auto attest = [this](DevicePool::Lease& lease) {
     try {
-      return lease.device->self_test(pool_.challenge()).passed;
+      return attestation_probe(*lease.device, pool_.challenge()).passed;
     } catch (const Error&) {
       return false;  // KeyError => integrity gone => failed attestation
     }
@@ -345,6 +350,54 @@ ServingSupervisor::Attempt ServingSupervisor::echo_check(
     result.cause = replica_tag(primary.index) +
                    ": echo mismatch and failed attestation";
   }
+  return result;
+}
+
+ServingSupervisor::Attempt ServingSupervisor::digest_check(
+    DevicePool::Lease& primary, Tensor logits, const Tensor& images) {
+  if (pool_.challenge().logit_digest_hex.empty()) {
+    // Artifact published before golden digests existed: the strongest
+    // single-replica check left is the echo.
+    return echo_check(primary, std::move(logits), images);
+  }
+
+  Attempt result;
+  result.replica = primary.index;
+
+  HPNN_METRIC_COUNT("serve.digest.runs", 1);
+  ProbeResult probe;
+  try {
+    probe = attestation_probe(*primary.device, pool_.challenge());
+  } catch (const KeyError& e) {
+    pool_.quarantine(primary.index);
+    HPNN_METRIC_COUNT("serve.attempt_fail.integrity", 1);
+    result.cause = replica_tag(primary.index) + ": " + e.what();
+    return result;
+  } catch (const Error& e) {
+    pool_.report_failure(primary.index);
+    HPNN_METRIC_COUNT("serve.attempt_fail.error", 1);
+    result.cause = replica_tag(primary.index) +
+                   ": probe replay failed: " + e.what();
+    return result;
+  }
+
+  if (probe.passed) {
+    pool_.report_success(primary.index);
+    result.ok = true;
+    result.logits = std::move(logits);
+    return result;
+  }
+
+  // The replica no longer reproduces the owner's golden probe logits: its
+  // datapath (or key material) is corrupt right now, whether or not the
+  // fault is deterministic. The answer it just served is not trustworthy.
+  HPNN_METRIC_COUNT("serve.digest.mismatches", 1);
+  HPNN_METRIC_COUNT("serve.attempt_fail.mismatch", 1);
+  pool_.quarantine(primary.index);
+  result.cause = replica_tag(primary.index) +
+                 ": probe logits diverged from golden digest (class "
+                 "agreement " +
+                 std::to_string(probe.agreement) + ")";
   return result;
 }
 

@@ -111,12 +111,14 @@ class ServingSupervisor {
   Attempt run_verified(DevicePool::Lease& primary, const Tensor& images);
   Attempt echo_check(DevicePool::Lease& primary, Tensor logits,
                      const Tensor& images);
+  Attempt digest_check(DevicePool::Lease& primary, Tensor logits,
+                       const Tensor& images);
 
   std::uint64_t next_backoff_us(int failed_attempts);
 
   SupervisorConfig config_;
+  core::Clock* clock_;  // resolved before pool_ so the pool can borrow it
   DevicePool pool_;
-  Clock* clock_;
   std::mutex backoff_mutex_;
   Rng backoff_rng_;
 };

@@ -1,0 +1,149 @@
+// AdmissionController: watermark hysteresis, retry_after hint shape, and
+// the per-tenant token bucket — all on virtual time.
+#include "serve/daemon/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/clock.hpp"
+#include "core/error.hpp"
+
+namespace hpnn::serve {
+namespace {
+
+AdmissionConfig watermark_config() {
+  AdmissionConfig config;
+  config.high_watermark = 8;
+  config.low_watermark = 4;
+  config.initial_drain_us_per_request = 1'000;
+  return config;
+}
+
+TEST(AdmissionTest, WatermarkHysteresisLatchesAcrossTheBand) {
+  core::SimulatedClock clock{0};
+  AdmissionController admission(watermark_config(), clock);
+
+  EXPECT_NO_THROW(admission.admit("a", 7));  // below high: admitted
+  EXPECT_FALSE(admission.shedding());
+
+  EXPECT_THROW(admission.admit("a", 8), AdmissionRejectedError);
+  EXPECT_TRUE(admission.shedding());
+
+  // Inside the band the latch holds: depth 6 is under the high watermark
+  // but the controller keeps shedding until depth reaches the low one.
+  EXPECT_THROW(admission.admit("a", 6), AdmissionRejectedError);
+  EXPECT_TRUE(admission.shedding());
+
+  EXPECT_NO_THROW(admission.admit("a", 4));  // at low: released
+  EXPECT_FALSE(admission.shedding());
+
+  const AdmissionController::Stats stats = admission.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.shed_watermark, 2u);
+  EXPECT_EQ(stats.shed_rate, 0u);
+}
+
+TEST(AdmissionTest, RetryAfterHintIsMonotoneNonIncreasingAsQueueDrains) {
+  // The contract clients rely on for backoff: as the queue drains through
+  // a shedding episode, every successive hint is <= the previous one — a
+  // client that honors the first hint never re-arrives to a *longer* wait.
+  core::SimulatedClock clock{0};
+  AdmissionController admission(watermark_config(), clock);
+  admission.observe_drain(800);  // seed the drain EWMA
+
+  std::vector<std::uint64_t> hints;
+  for (std::size_t depth = 12; depth > 4; --depth) {
+    try {
+      admission.admit("a", depth);
+      FAIL() << "expected shedding at depth " << depth;
+    } catch (const AdmissionRejectedError& e) {
+      hints.push_back(e.retry_after_us());
+    }
+  }
+  ASSERT_EQ(hints.size(), 8u);
+  for (std::size_t i = 1; i < hints.size(); ++i) {
+    EXPECT_LE(hints[i], hints[i - 1]) << "hint " << i << " increased";
+  }
+  // Exact shape: drain_ewma * (depth - low_watermark + 1).
+  EXPECT_EQ(hints.front(), 800u * 9u);
+  EXPECT_EQ(hints.back(), 800u * 2u);
+}
+
+TEST(AdmissionTest, HintUsesInitialEstimateUntilDrainObserved) {
+  core::SimulatedClock clock{0};
+  AdmissionController admission(watermark_config(), clock);
+
+  EXPECT_EQ(admission.watermark_retry_after_us(9), 1'000u * 6u);
+  admission.observe_drain(500);
+  EXPECT_EQ(admission.watermark_retry_after_us(9), 500u * 6u);
+}
+
+TEST(AdmissionTest, TokenBucketLimitsTenantRateIndependently) {
+  core::SimulatedClock clock{0};
+  AdmissionConfig config;
+  config.per_tenant.tokens_per_sec = 1'000.0;  // one token per ms
+  config.per_tenant.burst = 2.0;
+  AdmissionController admission(config, clock);
+
+  // Fresh bucket starts full: the burst is admitted, the next is not.
+  EXPECT_NO_THROW(admission.admit("a", 0));
+  EXPECT_NO_THROW(admission.admit("a", 0));
+  try {
+    admission.admit("a", 0);
+    FAIL() << "expected rate rejection";
+  } catch (const AdmissionRejectedError& e) {
+    // Empty bucket at 1000 tokens/s: the next token is exactly 1ms out.
+    EXPECT_EQ(e.retry_after_us(), 1'000u);
+  }
+
+  // Another tenant is unaffected by "a"'s exhaustion.
+  EXPECT_NO_THROW(admission.admit("b", 0));
+
+  // After the hinted wait, "a" has a token again.
+  clock.advance(1'000);
+  EXPECT_NO_THROW(admission.admit("a", 0));
+  EXPECT_EQ(admission.stats().shed_rate, 1u);
+}
+
+TEST(AdmissionTest, ReloadSwapsPolicyAndClampsBucketLevels) {
+  core::SimulatedClock clock{0};
+  AdmissionConfig config;
+  config.per_tenant.tokens_per_sec = 1'000.0;
+  config.per_tenant.burst = 8.0;
+  config.high_watermark = 100;
+  config.low_watermark = 50;
+  AdmissionController admission(config, clock);
+  EXPECT_NO_THROW(admission.admit("a", 0));  // bucket now at 7 tokens
+
+  AdmissionConfig tighter = config;
+  tighter.per_tenant.burst = 1.0;
+  tighter.high_watermark = 4;
+  tighter.low_watermark = 2;
+  admission.reload(tighter);
+
+  // Burst clamped to 1: one more request drains the bucket.
+  EXPECT_NO_THROW(admission.admit("a", 0));
+  EXPECT_THROW(admission.admit("a", 0), AdmissionRejectedError);
+  // New watermarks in force immediately.
+  EXPECT_THROW(admission.admit("b", 4), AdmissionRejectedError);
+  EXPECT_TRUE(admission.shedding());
+}
+
+TEST(AdmissionTest, InvalidConfigIsRejectedUpFront) {
+  core::SimulatedClock clock{0};
+  AdmissionConfig bad;
+  bad.high_watermark = 2;
+  bad.low_watermark = 8;
+  EXPECT_THROW(AdmissionController(bad, clock), Error);
+
+  AdmissionConfig ok;
+  AdmissionController admission(ok, clock);
+  AdmissionConfig bad_burst;
+  bad_burst.per_tenant.burst = 0.5;
+  EXPECT_THROW(admission.reload(bad_burst), Error);
+}
+
+}  // namespace
+}  // namespace hpnn::serve

@@ -1,0 +1,117 @@
+// SessionCache: keychain-derived per-tenant session keys, LRU eviction,
+// and epoch-bumping revocation (the old key can never be re-derived).
+#include "serve/daemon/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/clock.hpp"
+#include "core/error.hpp"
+#include "hpnn/keychain.hpp"
+
+namespace hpnn::serve {
+namespace {
+
+obf::HpnnKey master() {
+  Rng rng(2020);
+  return obf::HpnnKey::random(rng);
+}
+
+TEST(SessionCacheTest, TicketsAreDeterministicPerTenantAndModel) {
+  core::SimulatedClock clock{0};
+  SessionCache cache(master(), "model-a", SessionCacheConfig{}, clock);
+  SessionCache twin(master(), "model-a", SessionCacheConfig{}, clock);
+
+  const SessionTicket t1 = cache.ticket("alice");
+  EXPECT_EQ(t1.tenant, "alice");
+  EXPECT_EQ(t1.epoch, 0u);
+  EXPECT_FALSE(t1.fingerprint.empty());
+
+  // Same keychain, same derivation string => same session fingerprint.
+  EXPECT_EQ(twin.ticket("alice").fingerprint, t1.fingerprint);
+  // Different tenant or model diversifies the key.
+  EXPECT_NE(cache.ticket("bob").fingerprint, t1.fingerprint);
+  SessionCache other(master(), "model-b", SessionCacheConfig{}, clock);
+  EXPECT_NE(other.ticket("alice").fingerprint, t1.fingerprint);
+}
+
+TEST(SessionCacheTest, HitsServeFromCacheAndRefreshLru) {
+  core::SimulatedClock clock{0};
+  SessionCacheConfig config;
+  config.capacity = 2;
+  SessionCache cache(master(), "m", config, clock);
+
+  const std::string a = cache.ticket("a").fingerprint;
+  (void)cache.ticket("b");
+  (void)cache.ticket("a");  // hit: "a" becomes most-recently-used
+  (void)cache.ticket("c");  // evicts "b", not "a"
+
+  const SessionCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // "a" survived eviction with the same fingerprint (hit, not re-derive).
+  EXPECT_EQ(cache.ticket("a").fingerprint, a);
+  // "b" was evicted but NOT revoked: the re-derived key is the same epoch.
+  const SessionTicket b = cache.ticket("b");
+  EXPECT_EQ(b.epoch, 0u);
+}
+
+TEST(SessionCacheTest, RevocationBumpsEpochAndRotatesTheKey) {
+  core::SimulatedClock clock{0};
+  SessionCache cache(master(), "m", SessionCacheConfig{}, clock);
+
+  const SessionTicket before = cache.ticket("alice");
+  cache.revoke("alice");
+
+  const SessionTicket after = cache.ticket("alice");
+  EXPECT_EQ(after.epoch, before.epoch + 1);
+  EXPECT_NE(after.fingerprint, before.fingerprint);
+  EXPECT_EQ(cache.stats().revocations, 1u);
+
+  // Epochs only move forward; a second revocation rotates again.
+  cache.revoke("alice");
+  const SessionTicket third = cache.ticket("alice");
+  EXPECT_EQ(third.epoch, 2u);
+  EXPECT_NE(third.fingerprint, after.fingerprint);
+}
+
+TEST(SessionCacheTest, RevokeAllRotatesEveryCachedSession) {
+  core::SimulatedClock clock{0};
+  SessionCache cache(master(), "m", SessionCacheConfig{}, clock);
+
+  const std::string a = cache.ticket("a").fingerprint;
+  const std::string b = cache.ticket("b").fingerprint;
+  cache.revoke_all();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_NE(cache.ticket("a").fingerprint, a);
+  EXPECT_NE(cache.ticket("b").fingerprint, b);
+  EXPECT_EQ(cache.stats().revocations, 2u);
+}
+
+TEST(SessionCacheTest, ResizeEvictsDownAndValidates) {
+  core::SimulatedClock clock{0};
+  SessionCacheConfig config;
+  config.capacity = 4;
+  SessionCache cache(master(), "m", config, clock);
+  (void)cache.ticket("a");
+  (void)cache.ticket("b");
+  (void)cache.ticket("c");
+
+  cache.resize(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.capacity(), 1u);
+  // Most recently used tenant ("c") is the one kept.
+  EXPECT_EQ(cache.ticket("c").epoch, 0u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  EXPECT_THROW(cache.resize(0), Error);
+  EXPECT_THROW(SessionCache(master(), "m", SessionCacheConfig{0}, clock),
+               Error);
+}
+
+}  // namespace
+}  // namespace hpnn::serve

@@ -224,6 +224,74 @@ TEST(SupervisorTest, EchoCannotCatchDeterministicFaults) {
   }
 }
 
+TEST(SupervisorTest, DigestCatchesTheBit30FaultEchoMisses) {
+  // Regression for the echo blind spot above: the *same* deterministic
+  // bit-30 accumulator fault (flip_rate 1.0), but the bundle carries the
+  // provision-time golden logit digest and verification runs kDigest. The
+  // corrupted probe logits cannot reproduce the golden digest, so the
+  // primary is quarantined and the retry serves bit-exact logits from
+  // healed hardware — the fault class kEcho provably serves through.
+  Harness h;
+  h.bundle = make_chaos_model(/*seed=*/33, /*num_probes=*/16,
+                              /*min_agreement=*/0.6,
+                              /*with_logit_digest=*/true);
+  SupervisorConfig config;
+  config.replicas = 2;
+  config.verify = VerifyMode::kDigest;
+  config.retry.jitter = 0.0;
+  h.start(config);
+
+  hw::FaultPlan corrupt;
+  corrupt.accumulator_flip_rate = 1.0;  // bit 30, the default
+  corrupt.seed = 99;
+  auto injector = std::make_unique<hw::FaultInjector>(corrupt);
+  h.supervisor->pool().with_replica(0, [&](hw::TrustedDevice& device) {
+    device.attach_fault_injector(injector.get());
+  });
+
+  const Tensor images = h.batch(9);
+  const RequestResult result = h.supervisor->submit(images);
+  EXPECT_EQ(result.attempts, 2);
+  EXPECT_TRUE(bitwise_equal(result.logits, h.reference->infer(images)));
+  EXPECT_EQ(result.classes, h.reference->classify(images));
+
+  const PoolStats stats = h.supervisor->pool().stats();
+  EXPECT_EQ(stats.quarantines, 1u);
+  EXPECT_EQ(stats.reprovisions, 1u);
+  if (metrics::enabled()) {
+    EXPECT_EQ(counter_value("serve.digest.runs"), 2u);
+    EXPECT_EQ(counter_value("serve.digest.mismatches"), 1u);
+    EXPECT_EQ(counter_value("serve.attempt_fail.mismatch"), 1u);
+  }
+}
+
+TEST(SupervisorTest, DigestWithoutGoldenFallsBackToEcho) {
+  // kDigest on a bundle provisioned without a golden digest degrades to
+  // echo verification — and inherits echo's documented blind spot.
+  Harness h;  // default bundle: no logit digest recorded
+  SupervisorConfig config;
+  config.replicas = 1;
+  config.verify = VerifyMode::kDigest;
+  h.start(config);
+
+  hw::FaultPlan corrupt;
+  corrupt.accumulator_flip_rate = 1.0;
+  corrupt.seed = 99;
+  auto injector = std::make_unique<hw::FaultInjector>(corrupt);
+  h.supervisor->pool().with_replica(0, [&](hw::TrustedDevice& device) {
+    device.attach_fault_injector(injector.get());
+  });
+
+  const Tensor images = h.batch(9);
+  const RequestResult result = h.supervisor->submit(images);
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_FALSE(bitwise_equal(result.logits, h.reference->infer(images)));
+  if (metrics::enabled()) {
+    EXPECT_EQ(counter_value("serve.digest.runs"), 0u);
+    EXPECT_EQ(counter_value("serve.echo.mismatches"), 0u);
+  }
+}
+
 TEST(SupervisorTest, RetryExhaustionCarriesTheCauseHistory) {
   // A single replica whose replacement hardware is just as corrupt: the
   // first attempt quarantines it, re-provisioning keeps failing, and the
