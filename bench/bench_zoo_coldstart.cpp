@@ -1,0 +1,194 @@
+// Artifact-store cold-start and fleet-provisioning throughput (beyond the
+// paper; the deployment-at-scale companion to the Fig. 1 sharing flow).
+//
+// Publishes HPNN_BENCH_ZOO_MODELS names into a content-addressed store
+// (cycling a few distinct models, so dedup keeps the object count small),
+// then measures what a serving node pays on a cold start for model N of
+// those K: index load, the historic hash-then-reopen streamed load, and
+// the mmap'd zero-copy fetch_view path. Finally provisions
+// HPNN_BENCH_FLEET_DEVICES trusted devices off one master key and reports
+// attested-devices/second.
+//
+// The final stdout line is a single JSON object for machine consumption.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/config.hpp"
+#include "core/sha256.hpp"
+#include "hpnn/keychain.hpp"
+#include "hpnn/zoo_store.hpp"
+#include "serve/fleet.hpp"
+
+using namespace hpnn;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// The pre-mmap load path this bench exists to retire: read the whole file
+/// once to hash it, then reopen and parse it with the streaming reader
+/// (two passes, one full float copy, and a verify/parse window).
+obf::PublishedModel streamed_baseline_fetch(const std::string& path,
+                                            const std::string& digest_hex) {
+  std::ifstream hash_is(path, std::ios::binary);
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(hash_is)),
+      std::istreambuf_iterator<char>());
+  if (to_hex(Sha256::hash(bytes)) != digest_hex) {
+    std::fprintf(stderr, "baseline digest mismatch\n");
+    std::exit(1);
+  }
+  std::ifstream parse_is(path, std::ios::binary);
+  return obf::read_published_model(parse_is);
+}
+
+obf::LockedModel make_model(const obf::HpnnKey& key, std::uint64_t seed,
+                            std::uint64_t init_seed) {
+  obf::Scheduler sched(seed);
+  models::ModelConfig mc;
+  mc.in_channels = 1;
+  mc.image_size = 16;
+  mc.init_seed = init_seed;
+  return obf::LockedModel(models::Architecture::kCnn1, mc, key, sched);
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t num_names = env_int("HPNN_BENCH_ZOO_MODELS", 10000);
+  const std::int64_t distinct = std::min<std::int64_t>(
+      env_int("HPNN_BENCH_ZOO_DISTINCT", 4), num_names);
+  const std::int64_t fleet_devices =
+      env_int("HPNN_BENCH_FLEET_DEVICES", 64);
+  const std::int64_t fetch_reps = env_int("HPNN_BENCH_ZOO_FETCH_REPS", 50);
+
+  bench::print_header(
+      "Model-zoo cold start — content-addressed store + fleet provisioning",
+      "(beyond the paper; deployment cost of the Fig. 1 sharing flow)");
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "hpnn_bench_zoo").string();
+  std::filesystem::remove_all(dir);
+
+  Rng rng(2020);
+  const obf::HpnnKey master = obf::HpnnKey::random(rng);
+  const std::string model_id = "coldstart-bench";
+  const obf::HpnnKey model_key = obf::derive_model_key(master, model_id);
+  const std::uint64_t schedule_seed =
+      obf::derive_schedule_seed(master, model_id);
+
+  std::vector<obf::LockedModel> models_pool;
+  models_pool.reserve(static_cast<std::size_t>(distinct));
+  for (std::int64_t d = 0; d < distinct; ++d) {
+    models_pool.push_back(make_model(model_key, schedule_seed,
+                                     static_cast<std::uint64_t>(d + 1)));
+  }
+
+  // --- publish K names (cycling D distinct models: dedup at work) ---
+  auto start = std::chrono::steady_clock::now();
+  obf::ModelZoo zoo(dir);
+  for (std::int64_t i = 0; i < num_names; ++i) {
+    zoo.publish("model-" + std::to_string(i),
+                models_pool[static_cast<std::size_t>(i % distinct)]);
+  }
+  const double publish_s = seconds_since(start);
+  std::printf("published %lld name(s) -> %zu content object(s) in %.2fs "
+              "(%.0f publishes/s)\n",
+              static_cast<long long>(num_names), zoo.object_count(),
+              publish_s, static_cast<double>(num_names) / publish_s);
+
+  // --- cold index load ---
+  start = std::chrono::steady_clock::now();
+  obf::ModelZoo cold(dir);
+  const double index_load_s = seconds_since(start);
+  std::printf("index load: %zu entries in %.4fs\n", cold.list().size(),
+              index_load_s);
+
+  // --- cold fetch of the last-published name, both load paths ---
+  const std::string target = "model-" + std::to_string(num_names - 1);
+  const auto entries = cold.list();
+  std::string target_file, target_digest;
+  for (const auto& e : entries) {
+    if (e.name == target) {
+      target_file = dir + "/" + e.file;
+      target_digest = e.digest_hex;
+    }
+  }
+
+  start = std::chrono::steady_clock::now();
+  std::size_t streamed_params = 0;
+  for (std::int64_t r = 0; r < fetch_reps; ++r) {
+    streamed_params =
+        streamed_baseline_fetch(target_file, target_digest).parameters.size();
+  }
+  const double streamed_s =
+      seconds_since(start) / static_cast<double>(fetch_reps);
+
+  start = std::chrono::steady_clock::now();
+  std::size_t view_params = 0;
+  for (std::int64_t r = 0; r < fetch_reps; ++r) {
+    view_params = cold.fetch_view(target).parameters.size();
+  }
+  const double view_s = seconds_since(start) / static_cast<double>(fetch_reps);
+
+  const bool same_shape = streamed_params == view_params;
+  std::printf("cold fetch '%s' (%lld reps):\n", target.c_str(),
+              static_cast<long long>(fetch_reps));
+  std::printf("  hash-then-reopen stream : %8.1f us\n", streamed_s * 1e6);
+  std::printf("  mmap fetch_view         : %8.1f us  (%.1fx)\n",
+              view_s * 1e6, view_s > 0 ? streamed_s / view_s : 0.0);
+
+  // --- fleet provisioning off the fetched artifact ---
+  const obf::ArtifactView view = cold.fetch_view(target);
+  const obf::PublishedModel artifact = view.materialize();
+  obf::Scheduler scheduler(schedule_seed);
+  auto reference = obf::instantiate_locked(artifact, model_key, scheduler);
+  Rng probe_rng(97);
+  const obf::AttestationChallenge challenge =
+      obf::make_challenge(*reference, 16, probe_rng);
+
+  serve::FleetConfig config;
+  config.devices = static_cast<std::size_t>(fleet_devices);
+  const serve::FleetReport fleet =
+      serve::provision_fleet(master, model_id, artifact, challenge, config);
+  std::printf("fleet: provisioned %zu/%zu, attested %zu, %.1f devices/s\n",
+              fleet.provisioned, config.devices, fleet.attested,
+              fleet.devices_per_second);
+
+  const bool ok = same_shape && fleet.all_ok(/*attest_required=*/true) &&
+                  zoo.object_count() == static_cast<std::size_t>(distinct);
+  std::printf("\nverdict: %s — %s\n\n", ok ? "PASS" : "FAIL",
+              ok ? "both load paths agree, dedup held, fleet fully attested"
+                 : "load-path mismatch, dedup failure, or fleet incomplete");
+
+  std::ostringstream json;
+  json << "{\"bench\":\"zoo_coldstart\""
+       << ",\"names\":" << num_names << ",\"objects\":" << zoo.object_count()
+       << ",\"publish_seconds\":" << publish_s
+       << ",\"publishes_per_second\":"
+       << static_cast<double>(num_names) / publish_s
+       << ",\"index_load_seconds\":" << index_load_s
+       << ",\"cold_fetch_stream_us\":" << streamed_s * 1e6
+       << ",\"cold_fetch_view_us\":" << view_s * 1e6
+       << ",\"view_speedup\":" << (view_s > 0 ? streamed_s / view_s : 0.0)
+       << ",\"fleet_devices\":" << fleet_devices
+       << ",\"fleet_attested\":" << fleet.attested
+       << ",\"fleet_devices_per_second\":" << fleet.devices_per_second
+       << ",\"pass\":" << (ok ? "true" : "false") << "}";
+  std::printf("%s\n", json.str().c_str());
+
+  std::filesystem::remove_all(dir);
+  return ok ? 0 : 1;
+}

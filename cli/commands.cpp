@@ -23,6 +23,7 @@
 #include "nn/trainer.hpp"
 #include "serve/chaos.hpp"
 #include "serve/daemon/daemon.hpp"
+#include "serve/fleet.hpp"
 #include "serve/daemon/load_gen.hpp"
 #include "serve/daemon/protocol.hpp"
 
@@ -53,6 +54,8 @@ data::SplitDataset load_dataset(const Args& args) {
   return data::make_dataset(family_from_name(args.require("dataset")), dc);
 }
 
+obf::SchedulePolicy policy_from_args(const Args& args);
+
 /// Resolves the artifact source: --model FILE, or --zoo DIR --name N.
 obf::PublishedModel load_artifact(const Args& args) {
   if (args.has("zoo")) {
@@ -72,6 +75,79 @@ int cmd_zoo(const Args& args, std::ostream& out) {
   for (const auto& entry : entries) {
     out << entry.name << "\t" << entry.file << "\tsha256:"
         << entry.digest_hex.substr(0, 16) << "...\n";
+  }
+  out << entries.size() << " name(s) -> " << zoo.object_count()
+      << " content object(s)\n";
+  return 0;
+}
+
+int cmd_provision(const Args& args, std::ostream& out) {
+  const auto artifact = load_artifact(args);
+  const obf::HpnnKey master = obf::HpnnKey::from_hex(args.require("key"));
+  const std::string model_id = args.require("model-id");
+
+  serve::FleetConfig config;
+  config.devices = static_cast<std::size_t>(args.get_int("devices", 16));
+  config.device.schedule_policy = policy_from_args(args);
+  config.attest = args.get_int("attest", 1) != 0;
+
+  // The challenge either comes from the owner (--challenge FILE, the real
+  // deployment shape: a vendor cannot forge a passing fleet with a wrong
+  // master because the expectations were fixed by the true key), or is
+  // synthesized here from the supplied master when this invocation *is*
+  // the owner. --challenge-out saves a synthesized challenge for vendors.
+  obf::AttestationChallenge challenge;
+  if (args.has("challenge")) {
+    std::ifstream is(args.require("challenge"), std::ios::binary);
+    if (!is) {
+      throw SerializationError("cannot open challenge file " +
+                               args.require("challenge"));
+    }
+    challenge = obf::read_challenge(is);
+  } else {
+    const obf::HpnnKey model_key = obf::derive_model_key(master, model_id);
+    const obf::Scheduler scheduler(
+        obf::derive_schedule_seed(master, model_id),
+        config.device.schedule_policy);
+    auto reference = obf::instantiate_locked(artifact, model_key, scheduler);
+    Rng probe_rng(
+        static_cast<std::uint64_t>(args.get_int("probe-seed", 97)));
+    challenge = obf::make_challenge(*reference, args.get_int("probes", 16),
+                                    probe_rng);
+    if (args.has("challenge-out")) {
+      const std::string path = args.require("challenge-out");
+      std::ofstream os(path, std::ios::binary);
+      obf::write_challenge(os, challenge);
+      if (!os) {
+        throw SerializationError("cannot write challenge file " + path);
+      }
+      out << "challenge written to " << path << "\n";
+    }
+  }
+
+  out << "provisioning " << config.devices << " device(s) for model '"
+      << model_id << "' (master fingerprint "
+      << obf::key_fingerprint(master).substr(0, 16) << "...)\n";
+  const serve::FleetReport report =
+      serve::provision_fleet(master, model_id, artifact, challenge, config);
+  out << "provisioned " << report.provisioned << "/" << config.devices
+      << ", attested " << report.attested << "/" << config.devices
+      << ", failed " << report.failed << "\n";
+  out << "throughput: " << report.devices_per_second << " devices/s (wall "
+      << report.wall_seconds << "s), model key fingerprint "
+      << report.model_key_fingerprint.substr(0, 16) << "...\n";
+  if (args.has("json")) {
+    serve::write_fleet_json(out, report);
+    out << "\n";
+  }
+  if (!report.all_ok(config.attest)) {
+    for (std::size_t i = 0; i < report.devices.size(); ++i) {
+      if (!report.devices[i].error.empty()) {
+        out << "device " << i << ": " << report.devices[i].error << "\n";
+      }
+    }
+    throw KeyError("fleet provisioning incomplete: " +
+                   std::to_string(report.failed) + " device(s) failed");
   }
   return 0;
 }
@@ -794,6 +870,12 @@ std::string usage() {
       "  keygen   [--seed N] [--model-id ID]          generate an HPNN key\n"
       "  dataset  --dataset D --out PREFIX            export .hpds files\n"
       "  zoo      --zoo DIR                           list a model-zoo store\n"
+      "  provision --zoo DIR --name N | --model FILE\n"
+      "           --key HEX --model-id ID [--devices N --probes N\n"
+      "            --attest 0|1 --json 1\n"
+      "            --challenge FILE | --challenge-out FILE]\n"
+      "                                               attest a device fleet\n"
+      "                                               off one master key\n"
       "  train    --arch A --dataset D --key HEX --out FILE\n"
       "           [--model-id ID --schedule-seed N --policy P --epochs E\n"
       "            --lr LR --img S --tpc N --width W --static-quant 1]\n"
@@ -858,6 +940,7 @@ int dispatch(const Args& args, std::ostream& out) {
   if (args.command == "keygen") return cmd_keygen(args, out);
   if (args.command == "dataset") return cmd_dataset(args, out);
   if (args.command == "zoo") return cmd_zoo(args, out);
+  if (args.command == "provision") return cmd_provision(args, out);
   if (args.command == "train") return cmd_train(args, out);
   if (args.command == "eval") return cmd_eval(args, out);
   if (args.command == "attack") return cmd_attack(args, out);

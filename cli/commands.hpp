@@ -10,6 +10,9 @@
 //   hpnn attack   --model FILE --dataset fashion [--alpha 0.1]
 //                 [--init stolen|random --epochs E --lr LR]
 //   hpnn inspect  --model FILE
+//   hpnn provision --zoo DIR --name N --key HEX --model-id ID
+//                 [--devices N --probes N --attest 0|1 --json 1
+//                  --challenge FILE | --challenge-out FILE]
 //   hpnn overhead [--dim 256]
 //   hpnn fault-campaign --model FILE --dataset fashion --key HEX
 //                 [--bits 0,1,2,4,8 --trials N --acc-rate F --scale-error F

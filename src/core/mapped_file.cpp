@@ -1,0 +1,125 @@
+#include "core/mapped_file.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "core/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HPNN_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace hpnn::core {
+
+namespace {
+
+// One-pass read of the whole file; used when mmap is unavailable or fails
+// (special files, exotic filesystems).
+std::vector<std::uint8_t> read_all(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw SerializationError("mapped_file: cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes;
+  char buffer[1 << 16];
+  while (is.read(buffer, sizeof(buffer)) || is.gcount() > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + is.gcount());
+    if (is.eof()) {
+      break;
+    }
+  }
+  if (is.bad()) {
+    throw SerializationError("mapped_file: read failed for " + path);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+MappedFile::MappedFile(const std::string& path) : path_(path) {
+#if HPNN_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw SerializationError("mapped_file: cannot open " + path);
+  }
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw SerializationError("mapped_file: cannot stat " + path);
+  }
+  if (S_ISREG(st.st_mode) && st.st_size > 0) {
+    void* addr = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                        PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (addr != MAP_FAILED) {
+      data_ = addr;
+      size_ = static_cast<std::size_t>(st.st_size);
+      mapped_ = true;
+      return;
+    }
+    // fall through to the buffered read
+  } else {
+    ::close(fd);
+    if (S_ISREG(st.st_mode)) {
+      return;  // empty regular file: empty view, nothing to map
+    }
+  }
+#endif
+  fallback_ = read_all(path);
+  data_ = fallback_.data();
+  size_ = fallback_.size();
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      fallback_(std::move(other.fallback_)) {
+  if (!mapped_ && !fallback_.empty()) {
+    data_ = fallback_.data();
+  }
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    path_ = std::move(other.path_);
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    fallback_ = std::move(other.fallback_);
+    if (!mapped_ && !fallback_.empty()) {
+      data_ = fallback_.data();
+    }
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  reset();
+}
+
+void MappedFile::reset() noexcept {
+#if HPNN_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<void*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  fallback_.clear();
+}
+
+}  // namespace hpnn::core

@@ -1,0 +1,65 @@
+// Read-only memory-mapped files.
+//
+// The artifact load path hashes and parses every model-zoo object; doing
+// that through an ifstream means at least one full copy of the bytes into
+// userspace buffers, and — worse — the historic hash-then-reopen pattern
+// read the file *twice*, leaving a window where the bytes that were
+// verified were not the bytes that were parsed. MappedFile maps an
+// artifact once; the SHA-256 digest and the parser then consume the same
+// ByteView, so there is no second read and no verify/parse divergence.
+//
+// On platforms (or special files) where mmap fails, the file is read once
+// into an owned buffer instead: the ByteView contract — one stable span of
+// the file's bytes for the object's lifetime — holds either way.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hpnn::core {
+
+/// A borrowed, read-only view of contiguous bytes. The owner (MappedFile,
+/// a buffer, ...) must outlive every view derived from it.
+using ByteView = std::span<const std::uint8_t>;
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+
+  /// Maps `path` read-only (private mapping); throws SerializationError if
+  /// the file cannot be opened or sized. A zero-length file maps to an
+  /// empty view.
+  explicit MappedFile(const std::string& path);
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  /// The mapped bytes. Stable for the lifetime of this object, including
+  /// across moves (the mapping travels with the object).
+  ByteView bytes() const {
+    return {static_cast<const std::uint8_t*>(data_), size_};
+  }
+
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// True when the bytes come from an actual mmap (false: owned-buffer
+  /// fallback). Either way bytes() obeys the same contract.
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  void reset() noexcept;
+
+  std::string path_;
+  const void* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<std::uint8_t> fallback_;  // owns the bytes when !mapped_
+};
+
+}  // namespace hpnn::core

@@ -12,6 +12,22 @@ static_assert(std::endian::native == std::endian::little,
 
 namespace hpnn {
 
+namespace {
+
+/// Zero bytes needed so that (position + bias) becomes a multiple of
+/// `alignment`.
+std::size_t padding_for(std::uint64_t position, std::uint64_t bias,
+                        std::size_t alignment) {
+  if (alignment <= 1) {
+    return 0;
+  }
+  const std::uint64_t at = position + bias;
+  const std::uint64_t rem = at % alignment;
+  return rem == 0 ? 0 : static_cast<std::size_t>(alignment - rem);
+}
+
+}  // namespace
+
 void BinaryWriter::write_raw(const void* data, std::size_t n) {
   os_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
   if (!os_) {
@@ -66,27 +82,84 @@ void BinaryWriter::write_i64_vector(const std::vector<std::int64_t>& v) {
   }
 }
 
+std::uint64_t BinaryWriter::position() const {
+  const std::streampos p = os_.tellp();
+  if (p == std::streampos(-1)) {
+    throw SerializationError("aligned write requires a seekable stream");
+  }
+  return static_cast<std::uint64_t>(p);
+}
+
+void BinaryWriter::write_f32_array_aligned(const std::vector<float>& v,
+                                           std::size_t alignment,
+                                           std::uint64_t offset_bias) {
+  write_u64(v.size());
+  const std::size_t pad = padding_for(position(), offset_bias, alignment);
+  static constexpr char kZeros[64] = {};
+  std::size_t left = pad;
+  while (left > 0) {
+    const std::size_t n = left < sizeof(kZeros) ? left : sizeof(kZeros);
+    write_raw(kZeros, n);
+    left -= n;
+  }
+  if (!v.empty()) {
+    write_raw(v.data(), v.size() * sizeof(float));
+  }
+}
+
+BinaryReader::BinaryReader(std::istream& is,
+                           std::uint64_t max_container_bytes)
+    : is_(&is), max_container_bytes_(max_container_bytes) {}
+
+BinaryReader::BinaryReader(ByteView data, std::uint64_t max_container_bytes)
+    : data_(data.data()),
+      size_(data.size()),
+      max_container_bytes_(max_container_bytes) {}
+
 void BinaryReader::read_raw(void* data, std::size_t n) {
-  is_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
-  if (static_cast<std::size_t>(is_.gcount()) != n) {
+  if (span_mode()) {
+    if (n > size_ - pos_) {
+      throw SerializationError("read failed: truncated input");
+    }
+    std::memcpy(data, data_ + pos_, n);
+    pos_ += n;
+    return;
+  }
+  is_->read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(is_->gcount()) != n) {
     throw SerializationError("read failed: truncated input");
   }
 }
 
+std::uint64_t BinaryReader::position_or(std::uint64_t fallback) {
+  if (span_mode()) {
+    return pos_;
+  }
+  const std::streampos cur = is_->tellg();
+  if (!*is_ || cur == std::streampos(-1)) {
+    is_->clear();
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(cur);
+}
+
 std::uint64_t BinaryReader::remaining_bytes_or(std::uint64_t fallback) {
-  const std::streampos cur = is_.tellg();
-  if (!is_ || cur == std::streampos(-1)) {
-    is_.clear();
+  if (span_mode()) {
+    return size_ - pos_;
+  }
+  const std::streampos cur = is_->tellg();
+  if (!*is_ || cur == std::streampos(-1)) {
+    is_->clear();
     return fallback;
   }
-  is_.seekg(0, std::ios::end);
-  if (!is_) {
-    is_.clear();
-    is_.seekg(cur);
+  is_->seekg(0, std::ios::end);
+  if (!*is_) {
+    is_->clear();
+    is_->seekg(cur);
     return fallback;
   }
-  const std::streampos end = is_.tellg();
-  is_.seekg(cur);
+  const std::streampos end = is_->tellg();
+  is_->seekg(cur);
   if (end == std::streampos(-1) || end < cur) {
     return fallback;
   }
@@ -109,6 +182,32 @@ std::uint64_t BinaryReader::read_container_size(std::size_t elem_bytes) {
                              " exceeds remaining input size");
   }
   return n;
+}
+
+void BinaryReader::skip_alignment_padding(std::size_t alignment,
+                                          std::uint64_t offset_bias) {
+  std::uint64_t position;
+  if (span_mode()) {
+    position = pos_;
+  } else {
+    // Stream mode relies on tellg for the padding math; a non-seekable
+    // stream would desynchronize silently, so fail loudly instead. In
+    // practice artifact streams (ifstream, stringstream) are seekable.
+    const std::streampos cur = is_->tellg();
+    if (!*is_ || cur == std::streampos(-1)) {
+      is_->clear();
+      throw SerializationError(
+          "aligned read requires a seekable stream or span input");
+    }
+    position = static_cast<std::uint64_t>(cur);
+  }
+  std::size_t pad = padding_for(position, offset_bias, alignment);
+  char scratch[64];
+  while (pad > 0) {
+    const std::size_t n = pad < sizeof(scratch) ? pad : sizeof(scratch);
+    read_raw(scratch, n);
+    pad -= n;
+  }
 }
 
 std::uint8_t BinaryReader::read_u8() {
@@ -176,6 +275,45 @@ std::vector<std::int64_t> BinaryReader::read_i64_vector() {
     read_raw(v.data(), n * sizeof(std::int64_t));
   }
   return v;
+}
+
+std::vector<float> BinaryReader::read_f32_array_aligned(
+    std::size_t alignment, std::uint64_t offset_bias) {
+  const std::uint64_t n = read_container_size(sizeof(float));
+  skip_alignment_padding(alignment, offset_bias);
+  std::vector<float> v(n);
+  if (n > 0) {
+    read_raw(v.data(), n * sizeof(float));
+  }
+  return v;
+}
+
+ByteView BinaryReader::view_u8_array() {
+  HPNN_CHECK(span_mode(), "view_u8_array requires a span-backed reader");
+  const std::uint64_t n = read_container_size(1);
+  ByteView view{data_ + pos_, static_cast<std::size_t>(n)};
+  pos_ += static_cast<std::size_t>(n);
+  return view;
+}
+
+std::span<const float> BinaryReader::view_f32_array_aligned(
+    std::size_t alignment, std::uint64_t offset_bias) {
+  HPNN_CHECK(span_mode(),
+             "view_f32_array_aligned requires a span-backed reader");
+  const std::uint64_t n = read_container_size(sizeof(float));
+  skip_alignment_padding(alignment, offset_bias);
+  // read_container_size validated n against the bytes remaining *before*
+  // the padding was consumed; re-check against what is actually left.
+  if (n > (size_ - pos_) / sizeof(float)) {
+    throw SerializationError("read failed: truncated aligned f32 array");
+  }
+  const std::uint8_t* at = data_ + pos_;
+  if (reinterpret_cast<std::uintptr_t>(at) % alignof(float) != 0) {
+    throw SerializationError(
+        "aligned f32 array is misaligned in memory (buffer not aligned)");
+  }
+  pos_ += static_cast<std::size_t>(n) * sizeof(float);
+  return {reinterpret_cast<const float*>(at), static_cast<std::size_t>(n)};
 }
 
 }  // namespace hpnn

@@ -4,14 +4,27 @@
 // used by the obfuscated-model container format (src/hpnn/model_io).
 // All read paths validate sizes and throw SerializationError on corruption —
 // a downloaded "model zoo" artifact is untrusted input.
+//
+// BinaryReader has two backends behind one API: a streaming mode over any
+// std::istream, and a span mode over an in-memory ByteView (typically a
+// core::MappedFile of a zoo object). Span mode additionally supports
+// zero-copy reads — view_bytes()/view_f32_array_aligned() return spans that
+// alias the underlying buffer instead of copying, which is what lets the
+// artifact loader parse a verified mapping without touching the float
+// payload at all.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "core/mapped_file.hpp"
+
 namespace hpnn {
+
+using core::ByteView;
 
 /// Streaming binary writer with size-prefixed containers.
 class BinaryWriter {
@@ -29,20 +42,39 @@ class BinaryWriter {
   void write_u8_vector(const std::vector<std::uint8_t>& v);
   void write_i64_vector(const std::vector<std::int64_t>& v);
 
+  /// Size-prefixed f32 array whose *data* starts at a file offset that is a
+  /// multiple of `alignment`: after the u64 count, zero bytes pad the
+  /// stream until (stream position + offset_bias) % alignment == 0.
+  /// `offset_bias` is the absolute file offset at which this writer's
+  /// stream begins (0 when writing the file directly; the payload offset
+  /// when building a nested payload buffer). A span-mode reader can then
+  /// view the floats in place without misaligned access.
+  void write_f32_array_aligned(const std::vector<float>& v,
+                               std::size_t alignment,
+                               std::uint64_t offset_bias);
+
+  /// Bytes written so far (stream position relative to construction is the
+  /// caller's business; this queries tellp).
+  std::uint64_t position() const;
+
  private:
   void write_raw(const void* data, std::size_t n);
   std::ostream& os_;
 };
 
-/// Streaming binary reader; every method throws SerializationError on
-/// truncated or over-long input.
+/// Binary reader over a stream or an in-memory span; every method throws
+/// SerializationError on truncated or over-long input.
 class BinaryReader {
  public:
   /// `max_container_bytes` bounds any single size-prefixed container to guard
   /// against corrupted length fields causing huge allocations.
   explicit BinaryReader(std::istream& is,
-                        std::uint64_t max_container_bytes = (1ULL << 32))
-      : is_(is), max_container_bytes_(max_container_bytes) {}
+                        std::uint64_t max_container_bytes = (1ULL << 32));
+
+  /// Span mode: reads parse `data` in place; the caller keeps `data` alive
+  /// for at least as long as any span returned by the view_* methods.
+  explicit BinaryReader(ByteView data,
+                        std::uint64_t max_container_bytes = (1ULL << 32));
 
   std::uint8_t read_u8();
   std::uint32_t read_u32();
@@ -55,17 +87,48 @@ class BinaryReader {
   std::vector<std::uint8_t> read_u8_vector();
   std::vector<std::int64_t> read_i64_vector();
 
-  /// Bytes left in the stream, or `fallback` when the stream is not
+  /// Reads an array written by write_f32_array_aligned (count, padding,
+  /// data), copying the floats out. Works in both modes.
+  std::vector<float> read_f32_array_aligned(std::size_t alignment,
+                                            std::uint64_t offset_bias);
+
+  bool span_mode() const { return data_ != nullptr; }
+
+  /// Span mode only: size-prefixed byte container returned as a view into
+  /// the underlying buffer (no copy). Throws InvariantError in stream mode.
+  ByteView view_u8_array();
+
+  /// Span mode only: the counterpart of write_f32_array_aligned that
+  /// returns the float data as a span aliasing the underlying buffer —
+  /// zero bytes copied. The padding protocol guarantees the data is
+  /// `alignment`-aligned in the file; if the resulting in-memory pointer is
+  /// still not float-aligned (buffer not at a page/alignment boundary),
+  /// the call throws SerializationError rather than fabricate a misaligned
+  /// span.
+  std::span<const float> view_f32_array_aligned(std::size_t alignment,
+                                                std::uint64_t offset_bias);
+
+  /// Bytes consumed so far (span mode: cursor; stream mode: tellg-based,
+  /// `fallback` when not seekable).
+  std::uint64_t position_or(std::uint64_t fallback);
+
+  /// Bytes left in the input, or `fallback` when the stream is not
   /// seekable.
   std::uint64_t remaining_bytes_or(std::uint64_t fallback);
 
  private:
   void read_raw(void* data, std::size_t n);
+  void skip_alignment_padding(std::size_t alignment,
+                              std::uint64_t offset_bias);
   /// Reads a u64 length prefix and validates it against both the sanity
-  /// bound and — for seekable streams — the bytes actually remaining, so a
-  /// corrupted length field is rejected before any allocation.
+  /// bound and the bytes actually remaining, so a corrupted length field is
+  /// rejected before any allocation.
   std::uint64_t read_container_size(std::size_t elem_bytes);
-  std::istream& is_;
+
+  std::istream* is_ = nullptr;
+  const std::uint8_t* data_ = nullptr;  // span mode when non-null
+  std::size_t size_ = 0;
+  std::size_t pos_ = 0;
   std::uint64_t max_container_bytes_;
 };
 

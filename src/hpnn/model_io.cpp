@@ -1,5 +1,6 @@
 #include "hpnn/model_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -14,8 +15,21 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x4850'4E4Eu;  // "HPNN"
 // v2 appended a SHA-256 integrity digest over the payload; v3 added the
-// optional static-quantization activation scales.
-constexpr std::uint32_t kVersion = 3;
+// optional static-quantization activation scales; v4 pads every float
+// array to a 64-byte-aligned file offset so an mmap'd artifact can be
+// parsed into spans with zero float copies (see ArtifactView).
+constexpr std::uint32_t kVersion = 4;
+
+// File offset at which the payload begins: magic (4) + version (4) +
+// payload length prefix (8). Both the writer (building the payload in a
+// buffer) and the reader (parsing the payload in place) add this bias to
+// their payload-relative positions, so alignment padding is computed
+// against real file offsets.
+constexpr std::uint64_t kPayloadFileOffset = 16;
+
+// Cache-line alignment for tensor data: the packed-GEMM kernels load
+// 32-byte vectors, and 64 keeps mapped panels friendly to both.
+constexpr std::size_t kFloatAlignment = 64;
 
 void write_named_tensors(
     BinaryWriter& w,
@@ -24,8 +38,9 @@ void write_named_tensors(
   for (const auto& t : tensors) {
     w.write_string(t.name);
     w.write_i64_vector(t.value.shape().dims());
-    w.write_f32_vector(
-        std::vector<float>(t.value.data(), t.value.data() + t.value.numel()));
+    w.write_f32_array_aligned(
+        std::vector<float>(t.value.data(), t.value.data() + t.value.numel()),
+        kFloatAlignment, kPayloadFileOffset);
   }
 }
 
@@ -35,6 +50,7 @@ void write_named_tensors(
 // allocation.
 constexpr std::size_t kMaxTensorRank = 8;
 constexpr std::int64_t kMaxTensorElems = std::int64_t{1} << 28;  // 1 GiB f32
+constexpr std::uint64_t kMaxTensorCount = 100000;
 
 Shape checked_shape(std::vector<std::int64_t> dims,
                     const std::string& context) {
@@ -58,7 +74,7 @@ Shape checked_shape(std::vector<std::int64_t> dims,
 
 std::vector<PublishedModel::NamedTensor> read_named_tensors(BinaryReader& r) {
   const std::uint64_t count = r.read_u64();
-  if (count > 100000) {
+  if (count > kMaxTensorCount) {
     throw SerializationError("implausible tensor count in artifact");
   }
   std::vector<PublishedModel::NamedTensor> out;
@@ -67,7 +83,7 @@ std::vector<PublishedModel::NamedTensor> read_named_tensors(BinaryReader& r) {
     PublishedModel::NamedTensor t;
     t.name = r.read_string();
     const Shape shape = checked_shape(r.read_i64_vector(), "tensor " + t.name);
-    auto values = r.read_f32_vector();
+    auto values = r.read_f32_array_aligned(kFloatAlignment, kPayloadFileOffset);
     if (static_cast<std::int64_t>(values.size()) != shape.numel()) {
       throw SerializationError("tensor " + t.name +
                                " data does not match its shape");
@@ -76,6 +92,73 @@ std::vector<PublishedModel::NamedTensor> read_named_tensors(BinaryReader& r) {
     out.push_back(std::move(t));
   }
   return out;
+}
+
+std::vector<ArtifactView::TensorView> read_tensor_views(BinaryReader& r) {
+  const std::uint64_t count = r.read_u64();
+  if (count > kMaxTensorCount) {
+    throw SerializationError("implausible tensor count in artifact");
+  }
+  std::vector<ArtifactView::TensorView> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ArtifactView::TensorView t;
+    t.name = r.read_string();
+    t.shape = checked_shape(r.read_i64_vector(), "tensor " + t.name);
+    t.values = r.view_f32_array_aligned(kFloatAlignment, kPayloadFileOffset);
+    if (static_cast<std::int64_t>(t.values.size()) != t.shape.numel()) {
+      throw SerializationError("tensor " + t.name +
+                               " data does not match its shape");
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+struct ArtifactHeader {
+  models::Architecture arch;
+  std::int64_t in_channels;
+  std::int64_t image_size;
+  std::int64_t num_classes;
+  double width_mult;
+};
+
+ArtifactHeader read_artifact_header(BinaryReader& r) {
+  ArtifactHeader h;
+  try {
+    h.arch = models::arch_from_name(r.read_string());
+  } catch (const Error& e) {
+    throw SerializationError(std::string("artifact architecture: ") +
+                             e.what());
+  }
+  h.in_channels = r.read_i64();
+  h.image_size = r.read_i64();
+  h.num_classes = r.read_i64();
+  h.width_mult = r.read_f64();
+  if (h.in_channels <= 0 || h.image_size <= 0 || h.num_classes <= 0 ||
+      h.width_mult <= 0.0) {
+    throw SerializationError("corrupt artifact header");
+  }
+  return h;
+}
+
+void check_outer_header(BinaryReader& outer) {
+  if (outer.read_u32() != kMagic) {
+    throw SerializationError("not an HPNN model artifact (bad magic)");
+  }
+  const std::uint32_t version = outer.read_u32();
+  if (version != kVersion) {
+    throw SerializationError("unsupported artifact version " +
+                             std::to_string(version));
+  }
+}
+
+void check_scales(std::span<const float> scales) {
+  for (const float s : scales) {
+    if (!(s > 0.0f)) {
+      throw SerializationError("corrupt activation scale in artifact");
+    }
+  }
 }
 
 }  // namespace
@@ -89,6 +172,40 @@ models::ModelConfig PublishedModel::model_config(
   cfg.width_mult = width_mult;
   cfg.init_seed = init_seed;
   return cfg;
+}
+
+models::ModelConfig ArtifactView::model_config(std::uint64_t init_seed) const {
+  models::ModelConfig cfg;
+  cfg.in_channels = in_channels;
+  cfg.image_size = image_size;
+  cfg.num_classes = num_classes;
+  cfg.width_mult = width_mult;
+  cfg.init_seed = init_seed;
+  return cfg;
+}
+
+PublishedModel ArtifactView::materialize() const {
+  PublishedModel m;
+  m.arch = arch;
+  m.in_channels = in_channels;
+  m.image_size = image_size;
+  m.num_classes = num_classes;
+  m.width_mult = width_mult;
+  m.parameters.reserve(parameters.size());
+  for (const auto& t : parameters) {
+    m.parameters.push_back(
+        {t.name, Tensor(t.shape,
+                        std::vector<float>(t.values.begin(), t.values.end()))});
+  }
+  m.buffers.reserve(buffers.size());
+  for (const auto& t : buffers) {
+    m.buffers.push_back(
+        {t.name, Tensor(t.shape,
+                        std::vector<float>(t.values.begin(), t.values.end()))});
+  }
+  m.activation_scales.assign(activation_scales.begin(),
+                             activation_scales.end());
+  return m;
 }
 
 void publish_model(std::ostream& os, const LockedModel& model,
@@ -116,7 +233,8 @@ void publish_model(std::ostream& os, const LockedModel& model,
       buffers.push_back({name, *tensor});
     }
     write_named_tensors(w, buffers);
-    w.write_f32_vector(activation_scales);
+    w.write_f32_array_aligned(activation_scales, kFloatAlignment,
+                              kPayloadFileOffset);
   }
   const std::string payload = payload_stream.str();
   const Sha256Digest digest = Sha256::hash(payload);
@@ -131,14 +249,7 @@ void publish_model(std::ostream& os, const LockedModel& model,
 
 PublishedModel read_published_model(std::istream& is) {
   BinaryReader outer(is);
-  if (outer.read_u32() != kMagic) {
-    throw SerializationError("not an HPNN model artifact (bad magic)");
-  }
-  const std::uint32_t version = outer.read_u32();
-  if (version != kVersion) {
-    throw SerializationError("unsupported artifact version " +
-                             std::to_string(version));
-  }
+  check_outer_header(outer);
   const std::string payload = outer.read_string();
   const auto digest_bytes = outer.read_u8_vector();
   if (digest_bytes.size() != 32) {
@@ -152,30 +263,63 @@ PublishedModel read_published_model(std::istream& is) {
 
   std::istringstream payload_stream{payload};
   BinaryReader r(payload_stream);
+  const ArtifactHeader h = read_artifact_header(r);
   PublishedModel m;
-  try {
-    m.arch = models::arch_from_name(r.read_string());
-  } catch (const Error& e) {
-    throw SerializationError(std::string("artifact architecture: ") +
-                             e.what());
-  }
-  m.in_channels = r.read_i64();
-  m.image_size = r.read_i64();
-  m.num_classes = r.read_i64();
-  m.width_mult = r.read_f64();
-  if (m.in_channels <= 0 || m.image_size <= 0 || m.num_classes <= 0 ||
-      m.width_mult <= 0.0) {
-    throw SerializationError("corrupt artifact header");
-  }
+  m.arch = h.arch;
+  m.in_channels = h.in_channels;
+  m.image_size = h.image_size;
+  m.num_classes = h.num_classes;
+  m.width_mult = h.width_mult;
   m.parameters = read_named_tensors(r);
   m.buffers = read_named_tensors(r);
-  m.activation_scales = r.read_f32_vector();
-  for (const float s : m.activation_scales) {
-    if (!(s > 0.0f)) {
-      throw SerializationError("corrupt activation scale in artifact");
-    }
-  }
+  m.activation_scales =
+      r.read_f32_array_aligned(kFloatAlignment, kPayloadFileOffset);
+  check_scales(m.activation_scales);
   return m;
+}
+
+ArtifactView view_published_model(core::ByteView bytes) {
+  BinaryReader outer(bytes);
+  check_outer_header(outer);
+  const core::ByteView payload = outer.view_u8_array();
+  const core::ByteView digest_bytes = outer.view_u8_array();
+  if (digest_bytes.size() != 32) {
+    throw SerializationError("artifact integrity digest malformed");
+  }
+  // Digest over the exact bytes the spans below will alias: verification
+  // and parsing cannot diverge.
+  const Sha256Digest digest = Sha256::hash(payload);
+  if (!std::equal(digest.begin(), digest.end(), digest_bytes.begin())) {
+    throw SerializationError(
+        "artifact integrity check failed (corrupted or tampered)");
+  }
+
+  BinaryReader r(payload);
+  const ArtifactHeader h = read_artifact_header(r);
+  ArtifactView view;
+  view.arch = h.arch;
+  view.in_channels = h.in_channels;
+  view.image_size = h.image_size;
+  view.num_classes = h.num_classes;
+  view.width_mult = h.width_mult;
+  view.parameters = read_tensor_views(r);
+  view.buffers = read_tensor_views(r);
+  view.activation_scales =
+      r.view_f32_array_aligned(kFloatAlignment, kPayloadFileOffset);
+  check_scales(view.activation_scales);
+  return view;
+}
+
+ArtifactView map_published_model(core::MappedFile file) {
+  ArtifactView view = view_published_model(file.bytes());
+  // The spans alias the mapping; hand the mapping to the view so they stay
+  // valid for its lifetime (MappedFile moves keep addresses stable).
+  view.file_ = std::move(file);
+  return view;
+}
+
+ArtifactView map_published_model_file(const std::string& path) {
+  return map_published_model(core::MappedFile(path));
 }
 
 void load_weights(const PublishedModel& artifact, nn::Module& net) {
@@ -235,11 +379,8 @@ void publish_model_file(const std::string& path, const LockedModel& model) {
 }
 
 PublishedModel read_published_model_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) {
-    throw SerializationError("cannot open " + path);
-  }
-  return read_published_model(is);
+  // Map + parse in one pass over one set of bytes (no hash-then-reopen).
+  return map_published_model_file(path).materialize();
 }
 
 }  // namespace hpnn::obf

@@ -9,9 +9,11 @@
 
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "core/mapped_file.hpp"
 #include "hpnn/locked_model.hpp"
 #include "nn/module.hpp"
 
@@ -39,14 +41,84 @@ struct PublishedModel {
   models::ModelConfig model_config(std::uint64_t init_seed = 0) const;
 };
 
+/// Zero-copy view of a published artifact. The header fields are parsed
+/// out, but every tensor's float data is a span aliasing the artifact
+/// bytes — nothing is unpacked or repacked. The view optionally owns the
+/// file mapping the spans point into (map_published_model_file); a view
+/// built over a caller-provided buffer (view_published_model) borrows it
+/// instead, and the caller must keep that buffer alive.
+///
+/// Integrity ordering: the embedded SHA-256 payload digest is verified
+/// over the *same bytes* the spans alias — there is no re-read between
+/// verification and parsing, so nothing on disk can swap the content
+/// after the hash (the classic fetch() TOCTOU).
+class ArtifactView {
+ public:
+  struct TensorView {
+    std::string name;
+    Shape shape;
+    std::span<const float> values;  // aliases the artifact bytes
+  };
+
+  models::Architecture arch = models::Architecture::kCnn1;
+  std::int64_t in_channels = 0;
+  std::int64_t image_size = 0;
+  std::int64_t num_classes = 0;
+  double width_mult = 1.0;
+
+  std::vector<TensorView> parameters;
+  std::vector<TensorView> buffers;
+  std::span<const float> activation_scales;
+
+  /// Deep copy into the owning form (the one float copy, paid only by
+  /// consumers that need mutable tensors — training, attacks).
+  PublishedModel materialize() const;
+
+  /// ModelConfig reconstructing the published topology (activation unset).
+  models::ModelConfig model_config(std::uint64_t init_seed = 0) const;
+
+  /// The retained backing mapping (empty view when the ArtifactView
+  /// borrows a caller-owned buffer).
+  const core::MappedFile& backing_file() const { return file_; }
+
+  ArtifactView() = default;
+  ArtifactView(ArtifactView&&) = default;
+  ArtifactView& operator=(ArtifactView&&) = default;
+  ArtifactView(const ArtifactView&) = delete;
+  ArtifactView& operator=(const ArtifactView&) = delete;
+
+ private:
+  friend ArtifactView map_published_model(core::MappedFile file);
+
+  core::MappedFile file_;
+};
+
 /// Serializes the locked model's architecture + weights (key NOT included).
 /// `activation_scales` optionally embeds calibrated static-quantization
-/// scales (see hpnn/calibration.hpp).
+/// scales (see hpnn/calibration.hpp). Format v4 pads every float array so
+/// its data lands on a 64-byte-aligned file offset: an mmap'd artifact can
+/// then be parsed into spans with zero float copies.
 void publish_model(std::ostream& os, const LockedModel& model,
                    const std::vector<float>& activation_scales = {});
 
 /// Parses a model-zoo artifact; throws SerializationError on corruption.
+/// This is the streaming (copying) path; prefer map_published_model_file
+/// for files.
 PublishedModel read_published_model(std::istream& is);
+
+/// Zero-copy parse of an artifact held in `bytes` (caller keeps the buffer
+/// alive for the lifetime of the view). Verifies the embedded payload
+/// digest over those same bytes before parsing them.
+ArtifactView view_published_model(core::ByteView bytes);
+
+/// Maps `path` once and parses the mapping zero-copy; the returned view
+/// owns the mapping. Digest verification and parsing consume the same
+/// mapped bytes — no second read of the file ever happens.
+ArtifactView map_published_model_file(const std::string& path);
+
+/// Takes ownership of an existing mapping (e.g. one whose whole-file
+/// SHA-256 a zoo store has already checked) and parses it zero-copy.
+ArtifactView map_published_model(core::MappedFile file);
 
 /// Loads published weights into a freshly built network of the matching
 /// architecture; throws SerializationError if names/shapes disagree.
@@ -63,7 +135,8 @@ std::unique_ptr<LockedModel> instantiate_locked(const PublishedModel& artifact,
                                                 const HpnnKey& key,
                                                 const Scheduler& scheduler);
 
-/// File-path conveniences.
+/// File-path conveniences. read_published_model_file maps the file once
+/// (digest and parse over the same bytes) and materializes the result.
 void publish_model_file(const std::string& path, const LockedModel& model);
 PublishedModel read_published_model_file(const std::string& path);
 

@@ -4,31 +4,17 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "core/error.hpp"
+#include "core/mapped_file.hpp"
 #include "core/sha256.hpp"
 
 namespace hpnn::obf {
 
 namespace {
 
-std::string hash_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) {
-    throw SerializationError("zoo: cannot open " + path);
-  }
-  Sha256 hasher;
-  char buffer[4096];
-  while (is.read(buffer, sizeof(buffer)) || is.gcount() > 0) {
-    hasher.update(std::span<const std::uint8_t>(
-        reinterpret_cast<const std::uint8_t*>(buffer),
-        static_cast<std::size_t>(is.gcount())));
-    if (is.eof()) {
-      break;
-    }
-  }
-  return to_hex(hasher.finalize());
-}
+namespace fs = std::filesystem;
 
 bool valid_name(const std::string& name) {
   if (name.empty() || name.size() > 128) {
@@ -45,11 +31,67 @@ bool valid_name(const std::string& name) {
   return true;
 }
 
+bool valid_digest_hex(const std::string& digest) {
+  if (digest.size() != 64) {
+    return false;
+  }
+  for (const char c : digest) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Store-relative path of the content object for `digest`.
+std::string object_relpath(const std::string& digest_hex) {
+  return "objects/" + digest_hex.substr(0, 2) + "/" + digest_hex;
+}
+
+/// An index row's file column is untrusted; it may only name either the
+/// content object derived from the row's digest, or (legacy flat stores) a
+/// single well-formed filename. Anything else — absolute paths, "..",
+/// separators — escapes the store and is rejected.
+bool valid_artifact_relpath(const std::string& file,
+                            const std::string& digest_hex) {
+  if (file.rfind("objects/", 0) == 0) {
+    return file == object_relpath(digest_hex);
+  }
+  return valid_name(file);
+}
+
+void atomic_write_file(const fs::path& final_path, const std::string& bytes,
+                       const std::string& what) {
+  const fs::path tmp_path = final_path.string() + ".tmp";
+  {
+    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw SerializationError("zoo: cannot write " + what + " temp file " +
+                               tmp_path.string());
+    }
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    if (!os) {
+      std::error_code ec;
+      fs::remove(tmp_path, ec);
+      throw SerializationError("zoo: short write to " + tmp_path.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    throw SerializationError("zoo: cannot commit " + what + " to " +
+                             final_path.string());
+  }
+}
+
 }  // namespace
 
 ModelZoo::ModelZoo(std::string directory) : directory_(std::move(directory)) {
   std::error_code ec;
-  std::filesystem::create_directories(directory_, ec);
+  fs::create_directories(directory_, ec);
   if (ec) {
     throw SerializationError("zoo: cannot create directory " + directory_);
   }
@@ -66,6 +108,7 @@ void ModelZoo::load_index() {
   if (!is) {
     return;  // fresh store
   }
+  std::unordered_set<std::string> seen_names;
   std::string line;
   while (std::getline(is, line)) {
     if (line.empty()) {
@@ -78,45 +121,87 @@ void ModelZoo::load_index() {
         !std::getline(row, entry.digest_hex)) {
       throw SerializationError("zoo: corrupt index line: " + line);
     }
-    if (entry.digest_hex.size() != 64) {
-      throw SerializationError("zoo: corrupt digest for " + entry.name);
+    if (!valid_name(entry.name)) {
+      throw SerializationError("zoo: invalid model name in index: '" +
+                               entry.name + "'");
+    }
+    if (!seen_names.insert(entry.name).second) {
+      // Silently keeping both rows would let an appended row shadow (or be
+      // shadowed by) the legitimate one depending on lookup order.
+      throw SerializationError("zoo: duplicate index entry for '" +
+                               entry.name + "'");
+    }
+    if (!valid_digest_hex(entry.digest_hex)) {
+      throw SerializationError("zoo: corrupt digest for '" + entry.name +
+                               "' (expected 64 lowercase hex chars)");
+    }
+    if (!valid_artifact_relpath(entry.file, entry.digest_hex)) {
+      throw SerializationError("zoo: invalid artifact path for '" +
+                               entry.name + "': " + entry.file);
     }
     entries_.push_back(std::move(entry));
   }
+  rebuild_name_index();
 }
 
-void ModelZoo::save_index() const {
-  std::ofstream os(index_path(), std::ios::trunc);
-  if (!os) {
-    throw SerializationError("zoo: cannot write index");
+void ModelZoo::rebuild_name_index() {
+  by_name_.clear();
+  by_name_.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    by_name_.emplace(entries_[i].name, i);
   }
-  for (const auto& entry : entries_) {
-    os << entry.name << '\t' << entry.file << '\t' << entry.digest_hex
-       << '\n';
+}
+
+void ModelZoo::save_index(const std::vector<ZooEntry>& entries) const {
+  std::ostringstream buf;
+  for (const auto& entry : entries) {
+    buf << entry.name << '\t' << entry.file << '\t' << entry.digest_hex
+        << '\n';
   }
+  atomic_write_file(index_path(), buf.str(), "index");
 }
 
 void ModelZoo::publish(const std::string& name, const LockedModel& model,
                        const std::vector<float>& activation_scales) {
   HPNN_CHECK(valid_name(name),
              "zoo: model names are [A-Za-z0-9._-], got '" + name + "'");
-  const std::string file = name + ".hpnn";
-  const std::string path = directory_ + "/" + file;
-  {
-    std::ofstream os(path, std::ios::binary | std::ios::trunc);
-    if (!os) {
-      throw SerializationError("zoo: cannot write " + path);
+  std::ostringstream artifact_stream;
+  publish_model(artifact_stream, model, activation_scales);
+  const std::string bytes = artifact_stream.str();
+  const std::string digest =
+      to_hex(Sha256::hash(std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(bytes.data()),
+          bytes.size())));
+  const std::string rel = object_relpath(digest);
+  const fs::path object_path = fs::path(directory_) / rel;
+
+  std::error_code ec;
+  if (!fs::exists(object_path, ec)) {
+    // New content: write the object via temp + rename. Identical bytes
+    // republished under any name dedup to this one object.
+    fs::create_directories(object_path.parent_path(), ec);
+    if (ec) {
+      throw SerializationError("zoo: cannot create object shard for " +
+                               digest.substr(0, 8));
     }
-    publish_model(os, model, activation_scales);
+    atomic_write_file(object_path, bytes, "object");
   }
-  ZooEntry entry{name, file, hash_file(path)};
-  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
-                                [&](const ZooEntry& e) {
-                                  return e.name == name;
-                                }),
-                 entries_.end());
-  entries_.push_back(std::move(entry));
-  save_index();
+
+  // Strong exception safety: build the updated entry list, commit it to
+  // disk, and only then adopt it in memory. If the index commit throws,
+  // both the in-memory entries and the on-disk index keep their previous
+  // contents (the new object may remain as an unreferenced orphan, which
+  // is harmless and re-used on the next identical publish).
+  std::vector<ZooEntry> updated = entries_;
+  updated.erase(std::remove_if(updated.begin(), updated.end(),
+                               [&](const ZooEntry& e) {
+                                 return e.name == name;
+                               }),
+                updated.end());
+  updated.push_back(ZooEntry{name, rel, digest});
+  save_index(updated);
+  entries_ = std::move(updated);
+  rebuild_name_index();
 }
 
 std::vector<ZooEntry> ModelZoo::list() const {
@@ -129,24 +214,40 @@ std::vector<ZooEntry> ModelZoo::list() const {
 }
 
 bool ModelZoo::contains(const std::string& name) const {
-  return std::any_of(entries_.begin(), entries_.end(),
-                     [&](const ZooEntry& e) { return e.name == name; });
+  return by_name_.count(name) != 0;
 }
 
-PublishedModel ModelZoo::fetch(const std::string& name) const {
-  const auto it =
-      std::find_if(entries_.begin(), entries_.end(),
-                   [&](const ZooEntry& e) { return e.name == name; });
-  if (it == entries_.end()) {
+std::size_t ModelZoo::object_count() const {
+  std::unordered_set<std::string> digests;
+  for (const auto& entry : entries_) {
+    digests.insert(entry.digest_hex);
+  }
+  return digests.size();
+}
+
+const ZooEntry& ModelZoo::find_entry(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
     throw SerializationError("zoo: no model named '" + name + "'");
   }
-  const std::string path = directory_ + "/" + it->file;
-  if (hash_file(path) != it->digest_hex) {
+  return entries_[it->second];
+}
+
+ArtifactView ModelZoo::fetch_view(const std::string& name) const {
+  const ZooEntry& entry = find_entry(name);
+  core::MappedFile file(directory_ + "/" + entry.file);
+  // Digest over the mapping, parse the same mapping: whatever happens to
+  // the file on disk after this point cannot change what is parsed.
+  if (to_hex(Sha256::hash(file.bytes())) != entry.digest_hex) {
     throw SerializationError("zoo: artifact '" + name +
                              "' does not match its index digest "
                              "(tampered or corrupted)");
   }
-  return read_published_model_file(path);
+  return map_published_model(std::move(file));
+}
+
+PublishedModel ModelZoo::fetch(const std::string& name) const {
+  return fetch_view(name).materialize();
 }
 
 }  // namespace hpnn::obf

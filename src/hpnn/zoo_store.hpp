@@ -1,14 +1,35 @@
 // Model-zoo store: the "public model sharing platform" of Fig. 1 as a
-// directory of artifacts with an integrity index.
+// sharded, content-addressed directory of artifacts with an integrity
+// index.
 //
-// The owner publishes named obfuscated models into the store; consumers
-// list and fetch them. Every artifact's SHA-256 is recorded in the index at
-// publish time and re-verified at fetch time — a zoo mirror that tampers
-// with a model (or a corrupted download) is detected even before the
-// artifact's own embedded digest is checked.
+// Layout:
+//   <dir>/objects/<hh>/<sha256-hex>   artifact bytes, named by their own
+//                                     SHA-256 (hh = first two hex chars) —
+//                                     identical republishes dedup to one
+//                                     object, and the name *is* the
+//                                     expected digest
+//   <dir>/zoo_index.tsv               name -> (object path, digest) rows
+//
+// Crash/tamper story:
+//   - objects are written to a temp file and renamed into place; the index
+//     is committed the same way, so a crash at any point leaves either the
+//     old index or the new one — never a truncated half-index (at worst an
+//     orphaned object, which no index row references).
+//   - fetch() maps the object once; the SHA-256 is computed over that
+//     mapping and the artifact is parsed from the *same bytes*, so there
+//     is no window between verification and parsing (the old
+//     hash-then-reopen TOCTOU).
+//   - the index itself is untrusted at load: names, object paths and
+//     digests are validated, duplicates rejected — a tampered row cannot
+//     point outside the store or shadow another model.
+//
+// Concurrency: one writer per store directory (publishers); readers
+// (fetch/fetch_view) are safe against a concurrent publisher because both
+// object files and the index only ever appear via atomic rename.
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "hpnn/model_io.hpp"
@@ -17,8 +38,8 @@ namespace hpnn::obf {
 
 struct ZooEntry {
   std::string name;
-  std::string file;        // artifact filename within the store directory
-  std::string digest_hex;  // SHA-256 of the artifact bytes
+  std::string file;        // artifact path relative to the store directory
+  std::string digest_hex;  // SHA-256 of the artifact bytes (lowercase hex)
 };
 
 class ModelZoo {
@@ -31,7 +52,10 @@ class ModelZoo {
 
   /// Publishes `model` under `name` (overwrites an existing entry of the
   /// same name). Optional calibrated activation scales as in
-  /// publish_model().
+  /// publish_model(). The artifact is stored content-addressed (identical
+  /// bytes are written once) and the index commit is atomic: on any
+  /// failure the in-memory and on-disk state both keep their previous
+  /// contents (strong exception safety).
   void publish(const std::string& name, const LockedModel& model,
                const std::vector<float>& activation_scales = {});
 
@@ -40,17 +64,34 @@ class ModelZoo {
 
   bool contains(const std::string& name) const;
 
-  /// Loads an artifact by name; verifies the stored digest against the file
-  /// bytes and throws SerializationError on mismatch or unknown name.
+  /// Loads an artifact by name; verifies the stored digest against the
+  /// mapped file bytes and parses those same bytes. Throws
+  /// SerializationError on mismatch or unknown name.
   PublishedModel fetch(const std::string& name) const;
+
+  /// Zero-copy fetch: same verification as fetch(), but the artifact is
+  /// returned as a view whose tensors alias the retained file mapping —
+  /// no float is unpacked or repacked. This is the eval-only load path.
+  ArtifactView fetch_view(const std::string& name) const;
+
+  /// Distinct content objects referenced by the index (< list().size()
+  /// when identical models were republished under several names).
+  std::size_t object_count() const;
 
  private:
   std::string index_path() const;
   void load_index();
-  void save_index() const;
+  /// Writes `entries` to a temp file and atomically renames it over the
+  /// index. Throws without touching the existing index on failure.
+  void save_index(const std::vector<ZooEntry>& entries) const;
+  void rebuild_name_index();
+  const ZooEntry& find_entry(const std::string& name) const;
 
   std::string directory_;
   std::vector<ZooEntry> entries_;
+  /// name -> slot in entries_, so contains/fetch stay O(1) when the index
+  /// holds tens of thousands of names.
+  std::unordered_map<std::string, std::size_t> by_name_;
 };
 
 }  // namespace hpnn::obf

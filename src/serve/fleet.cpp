@@ -1,0 +1,90 @@
+#include "serve/fleet.hpp"
+
+#include <chrono>
+#include <ostream>
+
+#include "core/error.hpp"
+#include "core/threadpool.hpp"
+#include "hpnn/keychain.hpp"
+
+namespace hpnn::serve {
+
+bool FleetReport::all_ok(bool attest_required) const {
+  if (failed > 0 || provisioned != devices.size()) {
+    return false;
+  }
+  return !attest_required || attested == devices.size();
+}
+
+FleetReport provision_fleet(const obf::HpnnKey& master_key,
+                            const std::string& model_id,
+                            const obf::PublishedModel& artifact,
+                            const obf::AttestationChallenge& challenge,
+                            const FleetConfig& config) {
+  HPNN_CHECK(config.devices >= 1, "fleet provisioning needs >= 1 device");
+  // Diversify once; every device in the batch seals the same per-model
+  // secrets, exactly like a production line programming from one license.
+  const obf::HpnnKey model_key = obf::derive_model_key(master_key, model_id);
+  const std::uint64_t schedule_seed =
+      obf::derive_schedule_seed(master_key, model_id);
+
+  FleetReport report;
+  report.model_key_fingerprint = obf::key_fingerprint(model_key);
+  report.devices.resize(config.devices);
+
+  const auto start = std::chrono::steady_clock::now();
+  core::parallel_for(
+      0, static_cast<std::int64_t>(config.devices), 1,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          FleetDeviceReport& slot =
+              report.devices[static_cast<std::size_t>(i)];
+          try {
+            hw::TrustedDevice device(model_key, schedule_seed, config.device);
+            device.load_model(artifact);
+            slot.provisioned = true;
+            if (config.attest) {
+              const obf::AttestationResult result =
+                  device.self_test(challenge);
+              slot.agreement = result.agreement;
+              slot.attested = result.passed;
+              if (!result.passed) {
+                slot.error = "attestation failed (agreement " +
+                             std::to_string(result.agreement) + ")";
+              }
+            }
+          } catch (const std::exception& e) {
+            slot.error = e.what();
+          }
+        }
+      });
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  for (const auto& slot : report.devices) {
+    report.provisioned += slot.provisioned ? 1 : 0;
+    report.attested += slot.attested ? 1 : 0;
+    report.failed += slot.error.empty() ? 0 : 1;
+  }
+  report.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  report.devices_per_second =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(config.devices) / report.wall_seconds
+          : 0.0;
+  return report;
+}
+
+void write_fleet_json(std::ostream& os, const FleetReport& report) {
+  os << "{\"fleet\":{"
+     << "\"devices\":" << report.devices.size()
+     << ",\"provisioned\":" << report.provisioned
+     << ",\"attested\":" << report.attested
+     << ",\"failed\":" << report.failed
+     << ",\"wall_seconds\":" << report.wall_seconds
+     << ",\"devices_per_second\":" << report.devices_per_second
+     << ",\"model_key_fingerprint\":\"" << report.model_key_fingerprint
+     << "\"}}";
+}
+
+}  // namespace hpnn::serve

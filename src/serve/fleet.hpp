@@ -1,0 +1,67 @@
+// Concurrent fleet provisioning: program N trusted devices from one owner
+// master key and verify each one by attestation.
+//
+// This is the Fig. 1 deployment step at scale — a hardware vendor receives
+// a license record for (master key, model id) and burns a batch of
+// devices. Every device independently derives the same model key and
+// schedule seed via keychain diversification (hpnn/keychain.hpp), loads
+// the published artifact, and replays the owner's attestation challenge to
+// prove it decodes the model before it ships. Provisioning fans out on the
+// deterministic threadpool: per-device results land in pre-sized slots, so
+// the report is bit-identical at any HPNN_THREADS setting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hpnn/attestation.hpp"
+#include "hpnn/key.hpp"
+#include "hpnn/model_io.hpp"
+#include "hw/device.hpp"
+
+namespace hpnn::serve {
+
+struct FleetConfig {
+  std::size_t devices = 16;
+  hw::DeviceConfig device;
+  /// Replay the attestation challenge on every provisioned device. Off =
+  /// provisioning throughput only (devices still load the model).
+  bool attest = true;
+};
+
+struct FleetDeviceReport {
+  bool provisioned = false;  ///< device built and model loaded
+  bool attested = false;     ///< challenge replay passed (if attempted)
+  double agreement = 0.0;    ///< challenge agreement fraction
+  std::string error;         ///< first failure, empty on success
+};
+
+struct FleetReport {
+  std::string model_key_fingerprint;  // public: safe to log/store
+  std::size_t provisioned = 0;
+  std::size_t attested = 0;
+  std::size_t failed = 0;
+  double wall_seconds = 0.0;
+  double devices_per_second = 0.0;
+  std::vector<FleetDeviceReport> devices;
+
+  /// Every device provisioned, and attested when attestation was on.
+  bool all_ok(bool attest_required) const;
+};
+
+/// Provisions `config.devices` trusted devices for (master_key, model_id)
+/// and loads `artifact` into each, attesting against `challenge` when
+/// configured. Per-device failures are recorded, never thrown: a bad
+/// device in a batch of thousands is a report row, not an abort.
+FleetReport provision_fleet(const obf::HpnnKey& master_key,
+                            const std::string& model_id,
+                            const obf::PublishedModel& artifact,
+                            const obf::AttestationChallenge& challenge,
+                            const FleetConfig& config);
+
+/// One-line-per-field JSON report (bench/CI artifact format).
+void write_fleet_json(std::ostream& os, const FleetReport& report);
+
+}  // namespace hpnn::serve

@@ -257,6 +257,62 @@ TEST(CliTest, ZooPublishListEvalFlow) {
             3);
 }
 
+TEST(CliTest, ProvisionFleetFromZoo) {
+  const std::string zoo_dir = ::testing::TempDir() + "/cli_provision_zoo";
+  std::filesystem::remove_all(zoo_dir);
+  const std::string key(64, 'a');
+
+  std::string out;
+  ASSERT_EQ(run({"train", "--arch", "CNN1", "--key", key, "--zoo", zoo_dir,
+                 "--name", "prov-v1", "--epochs", "1", "--dataset",
+                 "fashion", "--img", "16", "--tpc", "15", "--testpc", "5"},
+                out),
+            0)
+      << out;
+
+  ASSERT_EQ(run({"provision", "--zoo", zoo_dir, "--name", "prov-v1",
+                 "--key", key, "--model-id", "prov-v1", "--devices", "3",
+                 "--probes", "8", "--json", "1"},
+                out),
+            0)
+      << out;
+  EXPECT_NE(out.find("provisioned 3/3"), std::string::npos);
+  EXPECT_NE(out.find("attested 3/3"), std::string::npos);
+  EXPECT_NE(out.find("\"fleet\":{"), std::string::npos);
+
+  // Missing required flags is a usage error.
+  EXPECT_EQ(run({"provision", "--zoo", zoo_dir, "--name", "prov-v1",
+                 "--key", key},
+                out),
+            2);
+
+  // The deployment shape: the owner records a challenge; a vendor holding
+  // the wrong master key cannot attest a fleet against it (exit 4), while
+  // the true master replays it cleanly.
+  const std::string challenge_path =
+      ::testing::TempDir() + "/cli_provision_challenge.bin";
+  ASSERT_EQ(run({"provision", "--zoo", zoo_dir, "--name", "prov-v1",
+                 "--key", key, "--model-id", "prov-v1", "--devices", "1",
+                 "--probes", "8", "--challenge-out", challenge_path},
+                out),
+            0)
+      << out;
+  ASSERT_EQ(run({"provision", "--zoo", zoo_dir, "--name", "prov-v1",
+                 "--key", key, "--model-id", "prov-v1", "--devices", "2",
+                 "--probes", "8", "--challenge", challenge_path},
+                out),
+            0)
+      << out;
+  const std::string wrong_key(64, 'b');
+  EXPECT_EQ(run({"provision", "--zoo", zoo_dir, "--name", "prov-v1",
+                 "--key", wrong_key, "--model-id", "prov-v1", "--devices",
+                 "2", "--probes", "8", "--challenge", challenge_path},
+                out),
+            4)
+      << out;
+  EXPECT_NE(out.find("attestation failed"), std::string::npos);
+}
+
 TEST(CliTest, FaultCampaignReportsCurveAndJson) {
   const std::string key(64, '1');
   const std::string model_path =

@@ -1,0 +1,95 @@
+#include "core/mapped_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace hpnn::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+class MappedFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/mapped_file_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  std::string write_file(const std::string& name, const std::string& body) {
+    const std::string path = dir_ + "/" + name;
+    std::ofstream os(path, std::ios::binary);
+    os << body;
+    return path;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(MappedFileTest, BytesMatchFileContent) {
+  const std::string body = "hello mapped world\x00\x01\x02 tail";
+  const std::string path = write_file("f.bin", body);
+  MappedFile file(path);
+  ASSERT_EQ(file.size(), body.size());
+  EXPECT_EQ(std::memcmp(file.bytes().data(), body.data(), body.size()), 0);
+  EXPECT_EQ(file.path(), path);
+}
+
+TEST_F(MappedFileTest, EmptyFileMapsToEmptyView) {
+  const std::string path = write_file("empty.bin", "");
+  MappedFile file(path);
+  EXPECT_EQ(file.size(), 0u);
+  EXPECT_TRUE(file.bytes().empty());
+}
+
+TEST_F(MappedFileTest, MissingFileThrows) {
+  EXPECT_THROW(MappedFile(dir_ + "/nope.bin"), SerializationError);
+}
+
+TEST_F(MappedFileTest, DefaultConstructedIsEmpty) {
+  MappedFile file;
+  EXPECT_EQ(file.size(), 0u);
+  EXPECT_FALSE(file.is_mapped());
+}
+
+TEST_F(MappedFileTest, MoveTransfersTheMapping) {
+  const std::string body(10000, 'x');
+  const std::string path = write_file("big.bin", body);
+  MappedFile a(path);
+  const auto* before = a.bytes().data();
+  MappedFile b(std::move(a));
+  EXPECT_EQ(b.size(), body.size());
+  if (b.is_mapped()) {
+    // A real mapping travels without the bytes moving in memory.
+    EXPECT_EQ(b.bytes().data(), before);
+  }
+  EXPECT_EQ(std::memcmp(b.bytes().data(), body.data(), body.size()), 0);
+
+  MappedFile c;
+  c = std::move(b);
+  EXPECT_EQ(c.size(), body.size());
+  EXPECT_EQ(std::memcmp(c.bytes().data(), body.data(), body.size()), 0);
+}
+
+TEST_F(MappedFileTest, MappingSurvivesRenameOver) {
+  const std::string body = "original bytes that must stay visible";
+  const std::string path = write_file("target.bin", body);
+  MappedFile file(path);
+  const std::string other = write_file("replacement.bin", "REPLACED");
+  fs::rename(other, path);
+  // The old inode is pinned by the mapping (or copied into the fallback
+  // buffer) — either way the view still shows the original content.
+  ASSERT_EQ(file.size(), body.size());
+  EXPECT_EQ(std::memcmp(file.bytes().data(), body.data(), body.size()), 0);
+}
+
+}  // namespace
+}  // namespace hpnn::core

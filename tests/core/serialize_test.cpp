@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/error.hpp"
+#include "core/mapped_file.hpp"
 
 namespace hpnn {
 namespace {
@@ -120,6 +122,104 @@ TEST(SerializeTest, StringTruncationThrows) {
   w.write_u64(10);  // claims 10 chars, provides none
   BinaryReader r(ss);
   EXPECT_THROW(r.read_string(), SerializationError);
+}
+
+core::ByteView as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(SerializeTest, SpanReaderMatchesStreamReader) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u32(0xC0FFEEu);
+  w.write_string("span mode");
+  w.write_f32_vector({1.5f, -2.0f});
+  const std::string bytes = ss.str();
+
+  BinaryReader r(as_bytes(bytes));
+  EXPECT_TRUE(r.span_mode());
+  EXPECT_EQ(r.read_u32(), 0xC0FFEEu);
+  EXPECT_EQ(r.read_string(), "span mode");
+  EXPECT_EQ(r.read_f32_vector(), (std::vector<float>{1.5f, -2.0f}));
+  EXPECT_EQ(r.remaining_bytes_or(99), 0u);
+}
+
+TEST(SerializeTest, SpanReaderTruncationThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u64(1000);  // claims 1000 floats, provides none
+  const std::string bytes = ss.str();
+  BinaryReader r(as_bytes(bytes));
+  EXPECT_THROW(r.read_f32_vector(), SerializationError);
+  BinaryReader r2(as_bytes(bytes).subspan(0, 4));
+  EXPECT_THROW(r2.read_u64(), SerializationError);
+}
+
+TEST(SerializeTest, AlignedF32ArrayRoundTripsAtOddOffsets) {
+  // Write a string first so the array's natural position is misaligned;
+  // the writer must insert padding so data starts 64-byte aligned relative
+  // to (position + bias), and both readers must consume the same padding.
+  constexpr std::uint64_t kBias = 16;
+  const std::vector<float> values{1.0f, 2.0f, 3.0f, 4.0f, 5.0f};
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_string("odd-length-prefix!");
+  w.write_f32_array_aligned(values, 64, kBias);
+  const std::string bytes = ss.str();
+
+  std::stringstream stream_in(bytes);
+  BinaryReader sr(stream_in);
+  EXPECT_EQ(sr.read_string(), "odd-length-prefix!");
+  EXPECT_EQ(sr.read_f32_array_aligned(64, kBias), values);
+
+  BinaryReader pr(as_bytes(bytes));
+  EXPECT_EQ(pr.read_string(), "odd-length-prefix!");
+  const std::span<const float> view = pr.view_f32_array_aligned(64, kBias);
+  ASSERT_EQ(view.size(), values.size());
+  EXPECT_TRUE(std::equal(view.begin(), view.end(), values.begin()));
+  // The view aliases the input span at a (position + bias) % 64 == 0 spot.
+  const auto* base = reinterpret_cast<const std::uint8_t*>(bytes.data());
+  const auto off = static_cast<std::uint64_t>(
+      reinterpret_cast<const std::uint8_t*>(view.data()) - base);
+  EXPECT_EQ((off + kBias) % 64, 0u);
+}
+
+TEST(SerializeTest, ViewU8ArrayAliasesInput) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u8_vector({9, 8, 7});
+  const std::string bytes = ss.str();
+  BinaryReader r(as_bytes(bytes));
+  const core::ByteView view = r.view_u8_array();
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0], 9);
+  EXPECT_GE(reinterpret_cast<const char*>(view.data()), bytes.data());
+  EXPECT_LE(reinterpret_cast<const char*>(view.data()) + view.size(),
+            bytes.data() + bytes.size());
+}
+
+TEST(SerializeTest, ViewMethodsRequireSpanMode) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u8_vector({1});
+  BinaryReader r(ss);
+  EXPECT_FALSE(r.span_mode());
+  EXPECT_THROW((void)r.view_u8_array(), InvariantError);
+}
+
+TEST(SerializeTest, AlignedArrayTruncatedPaddingThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_f32_array_aligned({1.0f, 2.0f}, 64, 0);
+  std::string bytes = ss.str();
+  // Chop inside the padding/data region: both readers must throw rather
+  // than return a short array.
+  bytes.resize(bytes.size() - 5);
+  BinaryReader pr(as_bytes(bytes));
+  EXPECT_THROW((void)pr.view_f32_array_aligned(64, 0), SerializationError);
+  std::stringstream truncated(bytes);
+  BinaryReader sr(truncated);
+  EXPECT_THROW((void)sr.read_f32_array_aligned(64, 0), SerializationError);
 }
 
 }  // namespace

@@ -1,0 +1,180 @@
+// Zero-copy artifact loading: mmap-vs-stream equivalence, alignment of the
+// in-file float panels, and the digest-over-mapping TOCTOU regression.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/error.hpp"
+#include "hpnn/model_io.hpp"
+
+namespace hpnn::obf {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ArtifactViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/artifact_view_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = dir_ + "/model.hpnn";
+
+    Rng rng(15);
+    const HpnnKey key = HpnnKey::random(rng);
+    Scheduler sched(31);
+    models::ModelConfig mc;
+    mc.in_channels = 1;
+    mc.image_size = 16;
+    mc.init_seed = 7;
+    LockedModel model(models::Architecture::kCnn1, mc, key, sched);
+    std::ofstream os(path_, std::ios::binary);
+    publish_model(os, model, {0.5f, 0.25f, 0.125f});
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+void expect_same_model(const PublishedModel& a, const PublishedModel& b) {
+  EXPECT_EQ(a.arch, b.arch);
+  EXPECT_EQ(a.in_channels, b.in_channels);
+  EXPECT_EQ(a.image_size, b.image_size);
+  EXPECT_EQ(a.num_classes, b.num_classes);
+  EXPECT_DOUBLE_EQ(a.width_mult, b.width_mult);
+  EXPECT_EQ(a.activation_scales, b.activation_scales);
+  ASSERT_EQ(a.parameters.size(), b.parameters.size());
+  for (std::size_t i = 0; i < a.parameters.size(); ++i) {
+    EXPECT_EQ(a.parameters[i].name, b.parameters[i].name);
+    EXPECT_TRUE(a.parameters[i].value.allclose(b.parameters[i].value, 0.0f,
+                                               0.0f))
+        << "parameter " << a.parameters[i].name << " differs bitwise";
+  }
+  ASSERT_EQ(a.buffers.size(), b.buffers.size());
+  for (std::size_t i = 0; i < a.buffers.size(); ++i) {
+    EXPECT_EQ(a.buffers[i].name, b.buffers[i].name);
+    EXPECT_TRUE(a.buffers[i].value.allclose(b.buffers[i].value, 0.0f, 0.0f));
+  }
+}
+
+TEST_F(ArtifactViewTest, MappedAndStreamedLoadsAreBitIdentical) {
+  std::ifstream is(path_, std::ios::binary);
+  const PublishedModel streamed = read_published_model(is);
+  const PublishedModel mapped = map_published_model_file(path_).materialize();
+  expect_same_model(streamed, mapped);
+}
+
+TEST_F(ArtifactViewTest, ViewTensorsAliasTheMapping) {
+  const ArtifactView view = map_published_model_file(path_);
+  const auto bytes = view.backing_file().bytes();
+  ASSERT_GT(bytes.size(), 0u);
+  const auto* lo = bytes.data();
+  const auto* hi = lo + bytes.size();
+  ASSERT_GT(view.parameters.size(), 0u);
+  for (const auto& t : view.parameters) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(t.values.data());
+    EXPECT_GE(p, lo) << t.name;
+    EXPECT_LE(p + t.values.size_bytes(), hi) << t.name;
+    EXPECT_EQ(static_cast<std::int64_t>(t.values.size()), t.shape.numel());
+  }
+  // Scales alias the mapping too.
+  ASSERT_EQ(view.activation_scales.size(), 3u);
+  const auto* s =
+      reinterpret_cast<const std::uint8_t*>(view.activation_scales.data());
+  EXPECT_GE(s, lo);
+  EXPECT_LE(s + view.activation_scales.size() * sizeof(float), hi);
+}
+
+TEST_F(ArtifactViewTest, FloatPanelsLandOn64ByteFileOffsets) {
+  const ArtifactView view = map_published_model_file(path_);
+  const auto* base = view.backing_file().bytes().data();
+  for (const auto& t : view.parameters) {
+    const auto off = static_cast<std::size_t>(
+        reinterpret_cast<const std::uint8_t*>(t.values.data()) - base);
+    EXPECT_EQ(off % 64, 0u) << t.name << " at file offset " << off;
+  }
+}
+
+TEST_F(ArtifactViewTest, SwapAfterMappingCannotAlterParsedBytes) {
+  // The TOCTOU regression: once the artifact is mapped (and its digest
+  // verified over those bytes), replacing the file on disk must not change
+  // what gets parsed — the mapping pins the original inode.
+  const ArtifactView view = map_published_model_file(path_);
+  const PublishedModel before = view.materialize();
+
+  // Publish a *different* model over the same path via rename, the same
+  // way a concurrent writer would.
+  Rng rng(16);
+  const HpnnKey key2 = HpnnKey::random(rng);
+  Scheduler sched2(32);
+  models::ModelConfig mc;
+  mc.in_channels = 1;
+  mc.image_size = 16;
+  mc.init_seed = 8;
+  LockedModel other(models::Architecture::kCnn1, mc, key2, sched2);
+  const std::string tmp = path_ + ".new";
+  std::ofstream os(tmp, std::ios::binary);
+  publish_model(os, other);
+  os.close();
+  fs::rename(tmp, path_);
+
+  const PublishedModel after = view.materialize();
+  expect_same_model(before, after);
+  // A fresh load sees the new content — proving the swap really happened.
+  const PublishedModel fresh = map_published_model_file(path_).materialize();
+  ASSERT_GT(fresh.parameters.size(), 0u);
+  EXPECT_FALSE(fresh.parameters[0].value.allclose(
+      before.parameters[0].value, 0.0f, 0.0f));
+}
+
+TEST_F(ArtifactViewTest, TamperedByteFailsDigestAtView) {
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<std::int64_t>(f.tellg());
+  ASSERT_GT(size, 200);
+  char c = 0;
+  f.seekg(size - 50);
+  f.get(c);
+  f.seekp(size - 50);
+  f.put(static_cast<char>(c ^ 0x40));
+  f.close();
+  EXPECT_THROW((void)map_published_model_file(path_), SerializationError);
+}
+
+TEST_F(ArtifactViewTest, TruncatedFileRejected) {
+  fs::resize_file(path_, fs::file_size(path_) / 2);
+  EXPECT_THROW((void)map_published_model_file(path_), SerializationError);
+}
+
+TEST_F(ArtifactViewTest, ViewOverBorrowedBufferWorks) {
+  std::ifstream is(path_, std::ios::binary);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string bytes = ss.str();
+  const ArtifactView view = view_published_model(core::ByteView(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()));
+  // Borrowed views retain no mapping of their own.
+  EXPECT_EQ(view.backing_file().size(), 0u);
+  std::ifstream is2(path_, std::ios::binary);
+  expect_same_model(view.materialize(), read_published_model(is2));
+}
+
+TEST_F(ArtifactViewTest, ModelConfigMatchesOwningForm) {
+  const ArtifactView view = map_published_model_file(path_);
+  const PublishedModel owned = view.materialize();
+  const auto a = view.model_config(5);
+  const auto b = owned.model_config(5);
+  EXPECT_EQ(a.in_channels, b.in_channels);
+  EXPECT_EQ(a.image_size, b.image_size);
+  EXPECT_EQ(a.num_classes, b.num_classes);
+  EXPECT_DOUBLE_EQ(a.width_mult, b.width_mult);
+  EXPECT_EQ(a.init_seed, b.init_seed);
+}
+
+}  // namespace
+}  // namespace hpnn::obf

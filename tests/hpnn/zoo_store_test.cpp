@@ -4,11 +4,14 @@
 
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 #include "core/error.hpp"
 
 namespace hpnn::obf {
 namespace {
+
+namespace fs = std::filesystem;
 
 class ZooStoreTest : public ::testing::Test {
  protected:
@@ -29,6 +32,12 @@ class ZooStoreTest : public ::testing::Test {
     return LockedModel(models::Architecture::kCnn1, mc, key, sched);
   }
 
+  /// Appends a raw line to the store index (simulating tampering).
+  void append_index_line(const std::string& line) {
+    std::ofstream os(dir_ + "/zoo_index.tsv", std::ios::app);
+    os << line << "\n";
+  }
+
   std::string dir_;
 };
 
@@ -47,6 +56,18 @@ TEST_F(ZooStoreTest, PublishListFetchRoundTrip) {
   EXPECT_EQ(fetched.arch, models::Architecture::kCnn1);
 }
 
+TEST_F(ZooStoreTest, ObjectsAreContentAddressed) {
+  ModelZoo zoo(dir_);
+  zoo.publish("m", make_model(1));
+  const auto entry = zoo.list()[0];
+  // The object lives under objects/<hh>/<digest> and the path is derived
+  // from the digest itself.
+  EXPECT_EQ(entry.file,
+            "objects/" + entry.digest_hex.substr(0, 2) + "/" +
+                entry.digest_hex);
+  EXPECT_TRUE(fs::exists(fs::path(dir_) / entry.file));
+}
+
 TEST_F(ZooStoreTest, RepublishOverwrites) {
   ModelZoo zoo(dir_);
   zoo.publish("m", make_model(1));
@@ -55,6 +76,24 @@ TEST_F(ZooStoreTest, RepublishOverwrites) {
   const auto entries = zoo.list();
   ASSERT_EQ(entries.size(), 1u);
   EXPECT_NE(entries[0].digest_hex, first_digest);
+}
+
+TEST_F(ZooStoreTest, IdenticalRepublishDedupsToOneObject) {
+  ModelZoo zoo(dir_);
+  const LockedModel model = make_model(1);
+  zoo.publish("alpha", model);
+  zoo.publish("beta", model);
+  zoo.publish("gamma", model);
+  EXPECT_EQ(zoo.list().size(), 3u);
+  EXPECT_EQ(zoo.object_count(), 1u);
+  // All three names resolve to the same content object on disk.
+  std::size_t objects_on_disk = 0;
+  for (const auto& p : fs::recursive_directory_iterator(dir_ + "/objects")) {
+    objects_on_disk += p.is_regular_file() ? 1 : 0;
+  }
+  EXPECT_EQ(objects_on_disk, 1u);
+  EXPECT_EQ(zoo.fetch("alpha").parameters.size(),
+            zoo.fetch("gamma").parameters.size());
 }
 
 TEST_F(ZooStoreTest, IndexPersistsAcrossReopen) {
@@ -73,9 +112,10 @@ TEST_F(ZooStoreTest, IndexPersistsAcrossReopen) {
 TEST_F(ZooStoreTest, TamperedArtifactDetectedAtFetch) {
   ModelZoo zoo(dir_);
   zoo.publish("m", make_model(1));
-  // Flip a byte inside the stored artifact file.
-  const std::string path = dir_ + "/m.hpnn";
+  // Flip a byte inside the stored content object.
+  const std::string path = dir_ + "/" + zoo.list()[0].file;
   std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open());
   f.seekp(100);
   char c = 0;
   f.seekg(100);
@@ -84,6 +124,7 @@ TEST_F(ZooStoreTest, TamperedArtifactDetectedAtFetch) {
   f.put(static_cast<char>(c ^ 1));
   f.close();
   EXPECT_THROW((void)zoo.fetch("m"), SerializationError);
+  EXPECT_THROW((void)zoo.fetch_view("m"), SerializationError);
 }
 
 TEST_F(ZooStoreTest, UnknownNameThrows) {
@@ -108,6 +149,141 @@ TEST_F(ZooStoreTest, CorruptIndexRejected) {
   os << "broken line without tabs\n";
   os.close();
   EXPECT_THROW(ModelZoo{dir_}, SerializationError);
+}
+
+TEST_F(ZooStoreTest, TraversalIndexEntryRejected) {
+  {
+    ModelZoo zoo(dir_);
+    zoo.publish("m", make_model(1));
+  }
+  // A tampered row pointing outside the store must be rejected at index
+  // load — not followed at fetch time.
+  append_index_line("evil\t../../secrets\t" + std::string(64, 'a'));
+  EXPECT_THROW(ModelZoo{dir_}, SerializationError);
+}
+
+TEST_F(ZooStoreTest, AbsolutePathIndexEntryRejected) {
+  { ModelZoo zoo(dir_); }
+  append_index_line("evil\t/etc/passwd\t" + std::string(64, 'a'));
+  EXPECT_THROW(ModelZoo{dir_}, SerializationError);
+}
+
+TEST_F(ZooStoreTest, MismatchedObjectPathRejected) {
+  std::string other_digest(64, 'b');
+  { ModelZoo zoo(dir_); }
+  // An objects/ path must be derived from the row's own digest.
+  append_index_line("evil\tobjects/aa/" + std::string(64, 'a') + "\t" +
+                    other_digest);
+  EXPECT_THROW(ModelZoo{dir_}, SerializationError);
+}
+
+TEST_F(ZooStoreTest, DuplicateIndexNameRejected) {
+  {
+    ModelZoo zoo(dir_);
+    zoo.publish("m", make_model(1));
+  }
+  const std::string digest = ModelZoo(dir_).list()[0].digest_hex;
+  append_index_line("m\tobjects/" + digest.substr(0, 2) + "/" + digest +
+                    "\t" + digest);
+  EXPECT_THROW(ModelZoo{dir_}, SerializationError);
+}
+
+TEST_F(ZooStoreTest, BadDigestHexRejected) {
+  { ModelZoo zoo(dir_); }
+  // Right length, wrong alphabet: uppercase hex and non-hex both fail at
+  // load with a clear error instead of surfacing later as a spurious
+  // "tampered artifact" at fetch.
+  std::string upper(64, 'A');
+  append_index_line("m\tm.hpnn\t" + upper);
+  EXPECT_THROW(ModelZoo{dir_}, SerializationError);
+
+  std::ofstream os(dir_ + "/zoo_index.tsv", std::ios::trunc);
+  os << "m\tm.hpnn\t" << std::string(64, 'z') << "\n";
+  os.close();
+  EXPECT_THROW(ModelZoo{dir_}, SerializationError);
+
+  std::ofstream os2(dir_ + "/zoo_index.tsv", std::ios::trunc);
+  os2 << "m\tm.hpnn\t" << std::string(63, 'a') << "\n";
+  os2.close();
+  EXPECT_THROW(ModelZoo{dir_}, SerializationError);
+}
+
+TEST_F(ZooStoreTest, LegacyFlatArtifactStillFetches) {
+  // Stores written by the pre-content-addressed layout kept artifacts as
+  // <name>.hpnn next to the index; those rows must keep working.
+  ModelZoo zoo(dir_);
+  zoo.publish("m", make_model(1));
+  const auto entry = zoo.list()[0];
+  fs::copy_file(fs::path(dir_) / entry.file, fs::path(dir_) / "legacy.hpnn");
+  std::ofstream os(dir_ + "/zoo_index.tsv", std::ios::trunc);
+  os << "legacy\tlegacy.hpnn\t" << entry.digest_hex << "\n";
+  os.close();
+  ModelZoo reopened(dir_);
+  EXPECT_EQ(reopened.fetch("legacy").arch, models::Architecture::kCnn1);
+}
+
+TEST_F(ZooStoreTest, CrashBetweenObjectWriteAndIndexCommitIsConsistent) {
+  {
+    ModelZoo zoo(dir_);
+    zoo.publish("kept", make_model(1));
+  }
+  // Simulate the crash window: a fully written object that no index row
+  // references (the index rename never happened), plus a leftover index
+  // temp file from the dying process.
+  const std::string orphan_dir = dir_ + "/objects/ff";
+  fs::create_directories(orphan_dir);
+  std::ofstream orphan(orphan_dir + "/" + std::string(64, 'f'),
+                       std::ios::binary);
+  orphan << "half-published artifact bytes";
+  orphan.close();
+  std::ofstream tmp(dir_ + "/zoo_index.tsv.tmp", std::ios::binary);
+  tmp << "kept\tgarbage-partial";
+  tmp.close();
+
+  ModelZoo reopened(dir_);
+  EXPECT_EQ(reopened.list().size(), 1u);
+  EXPECT_TRUE(reopened.contains("kept"));
+  EXPECT_EQ(reopened.fetch("kept").arch, models::Architecture::kCnn1);
+  // And the next publish still succeeds (overwrites the stale temp file).
+  reopened.publish("next", make_model(2));
+  EXPECT_TRUE(ModelZoo(dir_).contains("next"));
+}
+
+TEST_F(ZooStoreTest, FailedIndexCommitRollsBackPublish) {
+  ModelZoo zoo(dir_);
+  zoo.publish("kept", make_model(1));
+  // Force the index commit to fail: the temp path is occupied by a
+  // directory, so the store cannot create its temp file.
+  fs::create_directories(dir_ + "/zoo_index.tsv.tmp");
+  EXPECT_THROW(zoo.publish("doomed", make_model(2)), SerializationError);
+  // Strong exception safety: the failed publish is not visible in memory…
+  EXPECT_FALSE(zoo.contains("doomed"));
+  EXPECT_TRUE(zoo.contains("kept"));
+  ASSERT_EQ(zoo.list().size(), 1u);
+  // …and the on-disk index still reflects the previous commit.
+  fs::remove_all(dir_ + "/zoo_index.tsv.tmp");
+  ModelZoo reopened(dir_);
+  EXPECT_FALSE(reopened.contains("doomed"));
+  EXPECT_TRUE(reopened.contains("kept"));
+}
+
+TEST_F(ZooStoreTest, FetchViewIsZeroCopyIntoMapping) {
+  ModelZoo zoo(dir_);
+  zoo.publish("m", make_model(1));
+  const ArtifactView view = zoo.fetch_view("m");
+  ASSERT_GT(view.parameters.size(), 0u);
+  const auto bytes = view.backing_file().bytes();
+  ASSERT_GT(bytes.size(), 0u);
+  const auto* lo = reinterpret_cast<const std::uint8_t*>(bytes.data());
+  const auto* hi = lo + bytes.size();
+  for (const auto& t : view.parameters) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(t.values.data());
+    EXPECT_GE(p, lo);
+    EXPECT_LE(p + t.values.size_bytes(), hi);
+    // The v4 padding protocol puts every float panel on a 64-byte file
+    // offset; the mapping is page-aligned, so the span is too.
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,137 @@
+#include "serve/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/threadpool.hpp"
+#include "hpnn/keychain.hpp"
+
+namespace hpnn::serve {
+namespace {
+
+struct FleetSetup {
+  obf::HpnnKey master;
+  std::string model_id = "fleet-test-model";
+  obf::PublishedModel artifact;
+  obf::AttestationChallenge challenge;
+};
+
+FleetSetup make_setup(std::uint64_t master_seed = 21) {
+  FleetSetup s;
+  Rng rng(master_seed);
+  s.master = obf::HpnnKey::random(rng);
+  // The owner trains with the *derived* per-model secrets — the same ones
+  // every provisioned device re-derives from (master, model_id).
+  const obf::HpnnKey model_key = obf::derive_model_key(s.master, s.model_id);
+  const std::uint64_t seed = obf::derive_schedule_seed(s.master, s.model_id);
+  obf::Scheduler sched(seed);
+  models::ModelConfig mc;
+  mc.in_channels = 1;
+  mc.image_size = 16;
+  mc.init_seed = 3;
+  obf::LockedModel model(models::Architecture::kCnn1, mc, model_key, sched);
+  std::stringstream ss;
+  obf::publish_model(ss, model);
+  s.artifact = obf::read_published_model(ss);
+  Rng probe_rng(97);
+  s.challenge = obf::make_challenge(model, 16, probe_rng);
+  return s;
+}
+
+TEST(FleetTest, WholeFleetProvisionsAndAttests) {
+  const FleetSetup s = make_setup();
+  FleetConfig config;
+  config.devices = 4;
+  const FleetReport report =
+      provision_fleet(s.master, s.model_id, s.artifact, s.challenge, config);
+  EXPECT_EQ(report.provisioned, 4u);
+  EXPECT_EQ(report.attested, 4u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_TRUE(report.all_ok(/*attest_required=*/true));
+  EXPECT_EQ(report.model_key_fingerprint,
+            obf::key_fingerprint(obf::derive_model_key(s.master, s.model_id)));
+  for (const auto& d : report.devices) {
+    EXPECT_TRUE(d.provisioned);
+    EXPECT_TRUE(d.attested);
+    EXPECT_GT(d.agreement, 0.9);
+    EXPECT_TRUE(d.error.empty()) << d.error;
+  }
+}
+
+TEST(FleetTest, WrongMasterKeyFailsAttestationNotProvisioning) {
+  const FleetSetup s = make_setup();
+  Rng rng(99);
+  const obf::HpnnKey wrong_master = obf::HpnnKey::random(rng);
+  FleetConfig config;
+  config.devices = 3;
+  const FleetReport report = provision_fleet(wrong_master, s.model_id,
+                                             s.artifact, s.challenge, config);
+  // Devices still build and load the artifact; they just cannot decode it,
+  // so every one records an attestation error.
+  EXPECT_EQ(report.provisioned, 3u);
+  EXPECT_EQ(report.attested, 0u);
+  EXPECT_EQ(report.failed, 3u);
+  EXPECT_FALSE(report.all_ok(/*attest_required=*/true));
+  for (const auto& d : report.devices) {
+    EXPECT_NE(d.error.find("attestation failed"), std::string::npos)
+        << d.error;
+  }
+}
+
+TEST(FleetTest, AttestationCanBeSkipped) {
+  const FleetSetup s = make_setup();
+  FleetConfig config;
+  config.devices = 2;
+  config.attest = false;
+  const FleetReport report =
+      provision_fleet(s.master, s.model_id, s.artifact, s.challenge, config);
+  EXPECT_EQ(report.provisioned, 2u);
+  EXPECT_EQ(report.attested, 0u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_TRUE(report.all_ok(/*attest_required=*/false));
+}
+
+TEST(FleetTest, ReportIsIdenticalAtAnyThreadCount) {
+  const FleetSetup s = make_setup();
+  FleetConfig config;
+  config.devices = 5;
+  const int saved = core::thread_count();
+  core::set_thread_count(1);
+  const FleetReport serial =
+      provision_fleet(s.master, s.model_id, s.artifact, s.challenge, config);
+  core::set_thread_count(4);
+  const FleetReport parallel =
+      provision_fleet(s.master, s.model_id, s.artifact, s.challenge, config);
+  core::set_thread_count(saved);
+
+  ASSERT_EQ(serial.devices.size(), parallel.devices.size());
+  for (std::size_t i = 0; i < serial.devices.size(); ++i) {
+    EXPECT_EQ(serial.devices[i].provisioned, parallel.devices[i].provisioned);
+    EXPECT_EQ(serial.devices[i].attested, parallel.devices[i].attested);
+    EXPECT_DOUBLE_EQ(serial.devices[i].agreement,
+                     parallel.devices[i].agreement);
+    EXPECT_EQ(serial.devices[i].error, parallel.devices[i].error);
+  }
+  EXPECT_EQ(serial.provisioned, parallel.provisioned);
+  EXPECT_EQ(serial.attested, parallel.attested);
+}
+
+TEST(FleetTest, JsonReportCarriesCounters) {
+  const FleetSetup s = make_setup();
+  FleetConfig config;
+  config.devices = 2;
+  const FleetReport report =
+      provision_fleet(s.master, s.model_id, s.artifact, s.challenge, config);
+  std::stringstream ss;
+  write_fleet_json(ss, report);
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"fleet\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"devices\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"provisioned\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"attested\":2"), std::string::npos);
+  EXPECT_NE(json.find(report.model_key_fingerprint), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpnn::serve
