@@ -1,11 +1,13 @@
 #include "commands.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <ostream>
 #include <sstream>
 
 #include "args.hpp"
+#include "attack/campaign.hpp"
 #include "attack/finetune.hpp"
 #include "core/error.hpp"
 #include "core/metrics.hpp"
@@ -105,15 +107,18 @@ int cmd_provision(const Args& args, std::ostream& out) {
     }
     challenge = obf::read_challenge(is);
   } else {
-    const obf::HpnnKey model_key = obf::derive_model_key(master, model_id);
-    const obf::Scheduler scheduler(
-        obf::derive_schedule_seed(master, model_id),
-        config.device.schedule_policy);
-    auto reference = obf::instantiate_locked(artifact, model_key, scheduler);
+    // Scheme-generic owner reference: the artifact's own LockScheme under
+    // the derived per-model secrets (sign-lock or weight-stream alike).
+    const obf::LockScheme& scheme =
+        obf::scheme_by_tag(artifact.scheme_tag);
+    const obf::SchemeSecrets secrets = obf::derive_scheme_secrets(
+        master, model_id, config.device.schedule_policy);
+    auto reference = scheme.make_evaluator(artifact, secrets);
     Rng probe_rng(
         static_cast<std::uint64_t>(args.get_int("probe-seed", 97)));
-    challenge = obf::make_challenge(*reference, args.get_int("probes", 16),
-                                    probe_rng);
+    challenge = obf::make_challenge(
+        reference->network(), artifact.in_channels, artifact.image_size,
+        args.get_int("probes", 16), probe_rng);
     if (args.has("challenge-out")) {
       const std::string path = args.require("challenge-out");
       std::ofstream os(path, std::ios::binary);
@@ -360,6 +365,106 @@ int cmd_attack(const Args& args, std::ostream& out) {
   return 0;
 }
 
+/// Parses a comma-separated list of names ("sign-lock,weight-stream").
+std::vector<std::string> parse_name_list(const std::string& csv) {
+  std::vector<std::string> names;
+  std::string token;
+  std::istringstream ss(csv);
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) {
+      names.push_back(token);
+    }
+  }
+  return names;
+}
+
+/// Parses "1,4,16" into attack budgets.
+std::vector<std::int64_t> parse_budget_list(const std::string& csv) {
+  std::vector<std::int64_t> budgets;
+  std::string token;
+  std::istringstream ss(csv);
+  while (std::getline(ss, token, ',')) {
+    try {
+      std::size_t consumed = 0;
+      const long long v = std::stoll(token, &consumed);
+      if (consumed != token.size() || v <= 0) {
+        throw Error("");
+      }
+      budgets.push_back(v);
+    } catch (const std::exception&) {
+      throw UsageError("bad --budgets entry '" + token +
+                       "' (expected positive integers)");
+    }
+  }
+  if (budgets.empty()) {
+    throw UsageError("--budgets must list at least one budget");
+  }
+  return budgets;
+}
+
+int cmd_defend_bench(const Args& args, std::ostream& out) {
+  const auto split = load_dataset(args);
+
+  attack::DefenseCampaignOptions opt;
+  opt.arch = models::arch_from_name(args.get("arch", "CNN1"));
+  opt.thief_alpha = args.get_double("alpha", 0.25);
+  opt.owner_epochs = args.get_int("epochs", 6);
+  opt.batch_size = args.get_int("batch", 32);
+  opt.lr = args.get_double("lr", 0.01);
+  opt.oracle_samples = args.get_int("oracle-samples", 128);
+  opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 2020));
+  opt.init_seed = static_cast<std::uint64_t>(args.get_int("init-seed", 7));
+  if (args.has("schemes")) {
+    opt.schemes = parse_name_list(args.require("schemes"));
+  }
+  if (args.has("attacks")) {
+    opt.attacks = parse_name_list(args.require("attacks"));
+  }
+  if (args.has("budgets")) {
+    opt.budgets = parse_budget_list(args.require("budgets"));
+  }
+
+  out << "defense benchmark: " << models::arch_name(opt.arch) << ", "
+      << (opt.schemes.empty() ? obf::registered_scheme_tags().size()
+                              : opt.schemes.size())
+      << " scheme(s) x " << opt.attacks.size() << " attack(s) x "
+      << opt.budgets.size() << " budget(s)\n";
+  const attack::DefenseCampaignReport report =
+      attack::run_defense_campaign(split, opt);
+
+  out << "chance accuracy: " << report.chance_accuracy * 100
+      << "%, thief set " << report.thief_size << " samples\n";
+  for (const auto& b : report.baselines) {
+    out << "scheme " << b.scheme << ": protected "
+        << b.protected_accuracy * 100 << "%, no key "
+        << b.no_key_accuracy * 100 << "%, locked neurons "
+        << b.locked_neurons << "\n";
+  }
+  out << "scheme          attack        budget  attacker-acc  work\n";
+  for (const auto& c : report.cells) {
+    out << c.scheme << std::string(16 - std::min<std::size_t>(
+                                            16, c.scheme.size()), ' ')
+        << c.attack << std::string(14 - std::min<std::size_t>(
+                                            14, c.attack.size()), ' ')
+        << c.budget << "\t" << c.attacker_accuracy * 100 << "%\t"
+        << c.work << "\n";
+  }
+
+  const std::string json_path = args.get("json-out", "BENCH_defense.json");
+  if (json_path != "-") {
+    std::ofstream os(json_path);
+    if (!os) {
+      throw SerializationError("cannot write " + json_path);
+    }
+    attack::write_defense_json(os, report);
+    out << "curves written to " << json_path << "\n";
+  }
+  if (args.has("json")) {
+    attack::write_defense_json(out, report);
+  }
+  return 0;
+}
+
 int cmd_inspect(const Args& args, std::ostream& out) {
   const auto artifact =
       load_artifact(args);
@@ -368,6 +473,9 @@ int cmd_inspect(const Args& args, std::ostream& out) {
       << artifact.image_size << "x" << artifact.image_size << "\n";
   out << "classes:      " << artifact.num_classes << "\n";
   out << "width mult:   " << artifact.width_mult << "\n";
+  out << "lock scheme:  " << artifact.scheme_tag << " ("
+      << obf::scheme_by_tag(artifact.scheme_tag).description() << ", "
+      << artifact.scheme_payload.size() << "-byte payload)\n";
   std::int64_t total = 0;
   for (const auto& p : artifact.parameters) {
     total += p.value.numel();
@@ -884,6 +992,11 @@ std::string usage() {
       "                                               evaluate an artifact\n"
       "  attack   --model FILE --dataset D [--alpha F --init stolen|random]\n"
       "                                               fine-tuning attack\n"
+      "  defend-bench --dataset D [--schemes T,T --attacks A,A\n"
+      "           --budgets 1,4,16 --arch A --alpha F --epochs E\n"
+      "           --oracle-samples N --seed S --json-out FILE --json 1]\n"
+      "                                               scheme x attack x budget\n"
+      "                                               curves (BENCH_defense)\n"
       "  inspect  --model FILE [--tensors 1]          describe an artifact\n"
       "  overhead [--dim N]                           locking hardware cost\n"
       "  metrics-demo [--arch A --epochs E]           end-to-end pass that\n"
@@ -944,6 +1057,7 @@ int dispatch(const Args& args, std::ostream& out) {
   if (args.command == "train") return cmd_train(args, out);
   if (args.command == "eval") return cmd_eval(args, out);
   if (args.command == "attack") return cmd_attack(args, out);
+  if (args.command == "defend-bench") return cmd_defend_bench(args, out);
   if (args.command == "inspect") return cmd_inspect(args, out);
   if (args.command == "overhead") return cmd_overhead(args, out);
   if (args.command == "metrics-demo") return cmd_metrics_demo(args, out);

@@ -9,6 +9,10 @@
 //                 [--key HEX --schedule-seed N]      (omit key = attacker)
 //   hpnn attack   --model FILE --dataset fashion [--alpha 0.1]
 //                 [--init stolen|random --epochs E --lr LR]
+//   hpnn defend-bench --dataset fashion
+//                 [--schemes sign-lock,weight-stream
+//                  --attacks finetune,key-recovery,distillation
+//                  --budgets 1,4,16 --json-out BENCH_defense.json]
 //   hpnn inspect  --model FILE
 //   hpnn provision --zoo DIR --name N --key HEX --model-id ID
 //                 [--devices N --probes N --attest 0|1 --json 1

@@ -1,0 +1,206 @@
+#include "attack/campaign.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "attack/distillation.hpp"
+#include "attack/finetune.hpp"
+#include "attack/key_recovery.hpp"
+#include "core/error.hpp"
+#include "core/logging.hpp"
+#include "hpnn/model_io.hpp"
+#include "hpnn/owner.hpp"
+#include "nn/trainer.hpp"
+
+namespace hpnn::attack {
+
+namespace {
+
+/// One scheme's prepared battlefield: the roundtripped protected artifact
+/// plus the secrets the owner (not the attacker) holds.
+struct SchemeSetup {
+  obf::SchemeSecrets secrets;
+  obf::PublishedModel artifact;
+  std::int64_t locked_neurons = 0;
+};
+
+SchemeSetup prepare_scheme(const obf::LockScheme& scheme,
+                           const obf::HpnnKey& master,
+                           const data::SplitDataset& split,
+                           const DefenseCampaignOptions& options) {
+  SchemeSetup setup;
+  // Per-scheme model id -> per-scheme key and schedule seed, the same
+  // keychain derivation a provisioning flow would use.
+  setup.secrets = obf::derive_scheme_secrets(
+      master, options.model_id_prefix + ":" + scheme.tag());
+
+  models::ModelConfig cfg;
+  cfg.in_channels = split.train.channels();
+  cfg.image_size = split.train.height();
+  cfg.num_classes = split.train.num_classes;
+  cfg.init_seed = options.init_seed;
+
+  auto trainable = scheme.make_trainable(options.arch, cfg, setup.secrets);
+  setup.locked_neurons = trainable->locked_neuron_count();
+
+  obf::OwnerTrainOptions train_opts;
+  train_opts.epochs = options.owner_epochs;
+  train_opts.batch_size = options.batch_size;
+  train_opts.sgd.lr = options.lr;
+  train_opts.shuffle_seed = options.seed;
+  (void)obf::train_locked_model(*trainable, split.train, split.test,
+                                train_opts);
+
+  // Publish and re-read through the real container format so the campaign
+  // covers the serialization path (scheme tag + payload included).
+  std::stringstream ss;
+  obf::publish_protected_model(ss, scheme, *trainable, setup.secrets);
+  setup.artifact = obf::read_published_model(ss);
+  return setup;
+}
+
+DefenseCell run_attack_cell(const std::string& attack,
+                            std::int64_t budget,
+                            const SchemeSetup& setup,
+                            const data::Dataset& thief,
+                            const data::Dataset& test,
+                            const DefenseCampaignOptions& options) {
+  DefenseCell cell;
+  cell.scheme = setup.artifact.scheme_tag;
+  cell.attack = attack;
+  cell.budget = budget;
+  if (attack == kAttackFineTune) {
+    FineTuneOptions ft;
+    ft.epochs = budget;
+    ft.batch_size = options.batch_size;
+    ft.sgd.lr = options.lr;
+    ft.seed = options.seed + 1;
+    const FineTuneReport report = finetune_attack(
+        setup.artifact, thief, test, InitStrategy::kStolenWeights, ft);
+    cell.attacker_accuracy = report.final_accuracy;
+    cell.work = budget;
+  } else if (attack == kAttackKeyRecovery) {
+    KeyRecoveryOptions kr;
+    kr.sweeps = budget;
+    kr.oracle_samples = options.oracle_samples;
+    kr.seed = options.seed + 2;
+    // The strongest key-recovery attacker: the schedule leaked. A defense
+    // must bound even that one, so the campaign grants it.
+    const KeyRecoveryReport report = recover_key(
+        setup.artifact, thief, test, setup.secrets.key,
+        setup.secrets.schedule_seed, ScheduleKnowledge::kKnownSchedule, kr);
+    cell.attacker_accuracy = report.test_accuracy;
+    cell.work = report.oracle_queries;
+  } else if (attack == kAttackDistillation) {
+    DistillationOptions kd;
+    kd.epochs = budget;
+    kd.batch_size = options.batch_size;
+    kd.sgd.lr = options.lr;
+    kd.seed = options.seed + 3;
+    const DistillationReport report =
+        distill_attack(setup.artifact, thief, test, kd);
+    cell.attacker_accuracy = report.student_accuracy;
+    cell.work = budget;
+  } else {
+    throw UsageError("unknown attack '" + attack +
+                     "' (expected finetune | key-recovery | distillation)");
+  }
+  return cell;
+}
+
+}  // namespace
+
+DefenseCampaignReport run_defense_campaign(
+    const data::SplitDataset& split, const DefenseCampaignOptions& options) {
+  split.train.validate();
+  split.test.validate();
+  HPNN_CHECK(!options.attacks.empty(), "defense campaign needs attacks");
+  HPNN_CHECK(!options.budgets.empty(), "defense campaign needs budgets");
+  for (const std::int64_t b : options.budgets) {
+    HPNN_CHECK(b > 0, "attack budgets must be positive");
+  }
+
+  // Resolve every scheme up front: a campaign configured with a tag this
+  // build does not register must fail loudly, not skip the scheme.
+  std::vector<std::string> tags =
+      options.schemes.empty() ? obf::registered_scheme_tags()
+                              : options.schemes;
+  std::vector<const obf::LockScheme*> schemes;
+  schemes.reserve(tags.size());
+  for (const std::string& tag : tags) {
+    schemes.push_back(&obf::scheme_by_tag(tag));
+  }
+
+  DefenseCampaignReport report;
+  report.arch = models::arch_name(options.arch);
+  report.chance_accuracy =
+      1.0 / static_cast<double>(split.train.num_classes);
+
+  // One master key and one thief set shared by every scheme, so curves are
+  // comparable across schemes.
+  Rng key_rng(options.seed);
+  const obf::HpnnKey master = obf::HpnnKey::random(key_rng);
+  Rng thief_rng(options.seed ^ 0x7415EFULL);
+  const data::Dataset thief =
+      data::thief_subset(split.train, options.thief_alpha, thief_rng);
+  HPNN_CHECK(thief.size() > 0,
+             "defense campaign needs a non-empty thief set (alpha > 0)");
+  report.thief_size = thief.size();
+
+  for (const obf::LockScheme* scheme : schemes) {
+    HPNN_LOG(Info) << "defend-bench: preparing scheme " << scheme->tag();
+    const SchemeSetup setup =
+        prepare_scheme(*scheme, master, split, options);
+
+    SchemeBaseline baseline;
+    baseline.scheme = scheme->tag();
+    baseline.locked_neurons = setup.locked_neurons;
+    {
+      auto evaluator = scheme->make_evaluator(setup.artifact, setup.secrets);
+      baseline.protected_accuracy = nn::evaluate_accuracy(
+          evaluator->network(), split.test.images, split.test.labels);
+      auto no_key = scheme->attacker_view(setup.artifact);
+      baseline.no_key_accuracy = nn::evaluate_accuracy(
+          *no_key, split.test.images, split.test.labels);
+    }
+    report.baselines.push_back(baseline);
+
+    for (const std::string& attack : options.attacks) {
+      for (const std::int64_t budget : options.budgets) {
+        DefenseCell cell = run_attack_cell(attack, budget, setup, thief,
+                                           split.test, options);
+        HPNN_LOG(Info) << "defend-bench: " << cell.scheme << " x "
+                       << cell.attack << " @ budget " << budget << " -> "
+                       << cell.attacker_accuracy;
+        report.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return report;
+}
+
+void write_defense_json(std::ostream& os,
+                        const DefenseCampaignReport& report) {
+  os << "{\"bench\":\"defense\",\"arch\":\"" << report.arch << "\""
+     << ",\"chance_accuracy\":" << report.chance_accuracy
+     << ",\"thief_size\":" << report.thief_size << ",\"baselines\":[";
+  for (std::size_t i = 0; i < report.baselines.size(); ++i) {
+    const SchemeBaseline& b = report.baselines[i];
+    os << (i == 0 ? "" : ",") << "{\"scheme\":\"" << b.scheme << "\""
+       << ",\"protected_accuracy\":" << b.protected_accuracy
+       << ",\"no_key_accuracy\":" << b.no_key_accuracy
+       << ",\"locked_neurons\":" << b.locked_neurons << "}";
+  }
+  os << "],\"curves\":[";
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    const DefenseCell& c = report.cells[i];
+    os << (i == 0 ? "" : ",") << "{\"scheme\":\"" << c.scheme << "\""
+       << ",\"attack\":\"" << c.attack << "\",\"budget\":" << c.budget
+       << ",\"attacker_accuracy\":" << c.attacker_accuracy
+       << ",\"work\":" << c.work << "}";
+  }
+  os << "]}\n";
+}
+
+}  // namespace hpnn::attack

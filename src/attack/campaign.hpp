@@ -1,0 +1,94 @@
+// The defense-benchmark campaign: every registered locking scheme against
+// every attacker, across an attack-budget sweep, from one harness.
+//
+// For each scheme the harness derives per-model secrets from one master
+// key, trains the scheme's own trainable model on the same data, publishes
+// and re-reads the protected artifact (so the campaign exercises the real
+// serialization path, not an in-memory shortcut), records the correct-key /
+// no-key accuracy baselines, and then runs each attacker at each budget.
+// The result is the accuracy-vs-budget curve family `hpnn defend-bench`
+// emits as BENCH_defense.json: how fast each attack closes the gap between
+// chance and protected accuracy, per scheme.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "hpnn/lock_scheme.hpp"
+#include "models/zoo.hpp"
+
+namespace hpnn::attack {
+
+/// Canonical attack names accepted by DefenseCampaignOptions::attacks.
+inline constexpr const char* kAttackFineTune = "finetune";
+inline constexpr const char* kAttackKeyRecovery = "key-recovery";
+inline constexpr const char* kAttackDistillation = "distillation";
+
+struct DefenseCampaignOptions {
+  /// Scheme tags to benchmark; empty = every registered scheme. Unknown
+  /// tags throw (a campaign must not silently skip a scheme).
+  std::vector<std::string> schemes;
+  /// Attack names; unknown names throw.
+  std::vector<std::string> attacks{kAttackFineTune, kAttackKeyRecovery,
+                                   kAttackDistillation};
+  /// Budget units are per attack: training epochs for finetune and
+  /// distillation, coordinate-descent sweeps for key recovery (each sweep
+  /// is 256 oracle queries; the work column reports actual queries).
+  std::vector<std::int64_t> budgets{1, 4, 16};
+
+  models::Architecture arch = models::Architecture::kCnn1;
+  /// Thief-set fraction of the training data available to every attacker.
+  double thief_alpha = 0.25;
+  std::int64_t owner_epochs = 6;
+  std::int64_t batch_size = 32;
+  double lr = 0.01;
+  /// Oracle samples per key-recovery query.
+  std::int64_t oracle_samples = 128;
+  std::uint64_t seed = 2020;
+  std::uint64_t init_seed = 7;
+  /// Model-id prefix for keychain derivation; the scheme tag is appended so
+  /// each scheme gets its own per-model key and schedule seed.
+  std::string model_id_prefix = "defense-bench";
+};
+
+/// Per-scheme accuracy anchors the attack curves are read against.
+struct SchemeBaseline {
+  std::string scheme;
+  double protected_accuracy = 0.0;  // correct-key evaluator on the test set
+  double no_key_accuracy = 0.0;     // attacker view, no key
+  std::int64_t locked_neurons = 0;
+};
+
+/// One point of one accuracy-vs-budget curve.
+struct DefenseCell {
+  std::string scheme;
+  std::string attack;
+  std::int64_t budget = 0;
+  double attacker_accuracy = 0.0;
+  /// Attack-specific work actually spent: oracle queries for key recovery,
+  /// training epochs otherwise.
+  std::int64_t work = 0;
+};
+
+struct DefenseCampaignReport {
+  std::string arch;
+  double chance_accuracy = 0.0;
+  std::int64_t thief_size = 0;
+  std::vector<SchemeBaseline> baselines;
+  std::vector<DefenseCell> cells;  // scheme-major, attack, then budget order
+};
+
+/// Runs the full scheme × attack × budget campaign. Deterministic for fixed
+/// options: all training, thief sampling, and attacks are seeded from
+/// options.seed.
+DefenseCampaignReport run_defense_campaign(
+    const data::SplitDataset& split, const DefenseCampaignOptions& options);
+
+/// Writes the BENCH_defense.json object (single line, deterministic field
+/// order) for the curve-tracking convention shared by the other benches.
+void write_defense_json(std::ostream& os,
+                        const DefenseCampaignReport& report);
+
+}  // namespace hpnn::attack

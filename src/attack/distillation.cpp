@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "hpnn/lock_scheme.hpp"
 #include "nn/trainer.hpp"
 #include "tensor/ops.hpp"
 
@@ -76,6 +77,20 @@ DistillationReport distill_student(const obf::PublishedModel& artifact,
   const Tensor test_logits = teacher(test.images);
   report.teacher_accuracy = nn::accuracy(test_logits, test.labels);
   return report;
+}
+
+DistillationReport distill_attack(const obf::PublishedModel& artifact,
+                                  const data::Dataset& transfer,
+                                  const data::Dataset& test,
+                                  const DistillationOptions& options) {
+  // The unauthorized attacker's best teacher: the published bits run with
+  // no key, through the artifact's own scheme.
+  const auto teacher_net =
+      obf::scheme_by_tag(artifact.scheme_tag).attacker_view(artifact);
+  const TeacherOracle teacher = [&teacher_net](const Tensor& images) {
+    return teacher_net->forward(images);
+  };
+  return distill_student(artifact, teacher, transfer, test, options);
 }
 
 }  // namespace hpnn::attack

@@ -46,4 +46,16 @@ DistillationReport distill_student(const obf::PublishedModel& artifact,
                                    const data::Dataset& test,
                                    const DistillationOptions& options);
 
+/// The campaign-peer distillation attacker: soft-label KD against the
+/// *locked* model. The teacher is the scheme's no-key attacker view of the
+/// artifact (resolved from its scheme tag; unknown tags fail closed) — an
+/// unauthorized attacker has no working trusted device, so this is the
+/// strongest distillation available to them. Its student staying at chance
+/// is the defense claim the campaign measures; the authorized-colluder
+/// bound is distill_student with a correctly keyed oracle.
+DistillationReport distill_attack(const obf::PublishedModel& artifact,
+                                  const data::Dataset& transfer,
+                                  const data::Dataset& test,
+                                  const DistillationOptions& options);
+
 }  // namespace hpnn::attack

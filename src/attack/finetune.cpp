@@ -4,6 +4,7 @@
 
 #include "core/error.hpp"
 #include "core/logging.hpp"
+#include "hpnn/lock_scheme.hpp"
 #include "nn/trainer.hpp"
 
 namespace hpnn::attack {
@@ -30,8 +31,12 @@ FineTuneReport finetune_attack(const obf::PublishedModel& artifact,
   // The attacker instantiates the known baseline architecture ...
   std::unique_ptr<nn::Sequential> net;
   if (init == InitStrategy::kStolenWeights) {
-    // ... and loads the stolen (obfuscated) weights into it.
-    net = obf::instantiate_baseline(artifact);
+    // ... and loads the stolen bits into it, as published by whatever
+    // locking scheme protects this artifact (sign-locked weights, an
+    // encrypted weight stream, ...). Routing through the registry instead
+    // of assuming sign-locking means a campaign covering a new scheme
+    // cannot silently fine-tune the wrong view; unknown tags fail closed.
+    net = obf::scheme_by_tag(artifact.scheme_tag).attacker_view(artifact);
   } else {
     // ... and initializes it with fresh random small weights.
     auto cfg = artifact.model_config(/*init_seed=*/options.seed ^ 0x5eedULL);

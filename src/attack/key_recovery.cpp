@@ -4,6 +4,7 @@
 
 #include "core/error.hpp"
 #include "core/logging.hpp"
+#include "hpnn/lock_scheme.hpp"
 #include "nn/trainer.hpp"
 
 namespace hpnn::attack {
@@ -18,13 +19,13 @@ struct Oracle {
   std::vector<std::int64_t> labels;
   OracleMetric metric;
 
-  double score(obf::LockedModel& model) const {
-    model.network().set_training(false);
+  double score(nn::Sequential& net) const {
+    net.set_training(false);
     if (metric == OracleMetric::kAccuracy) {
-      return nn::evaluate_accuracy(model.network(), images, labels);
+      return nn::evaluate_accuracy(net, images, labels);
     }
     nn::SoftmaxCrossEntropy loss;
-    const Tensor scores = model.network().forward(images);
+    const Tensor scores = net.forward(images);
     return -static_cast<double>(loss.forward(scores, labels));
   }
 };
@@ -56,33 +57,38 @@ KeyRecoveryReport recover_key(const obf::PublishedModel& artifact,
   oracle.validate();
   test.validate();
 
-  // The attacker's working scheduler: the real one if the schedule leaked,
-  // otherwise their (almost surely wrong) guess.
-  const std::uint64_t seed =
-      knowledge == ScheduleKnowledge::kKnownSchedule
-          ? true_schedule_seed
-          : options.guessed_schedule_seed;
-  obf::Scheduler scheduler(seed);
+  // The attack probes key guesses through the artifact's own locking
+  // scheme (resolved from its tag, failing closed on unknown ones), so
+  // the same coordinate descent runs against sign-locking, weight-stream
+  // encryption, or any future registered scheme. The attacker's working
+  // schedule seed: the real one if the schedule leaked, otherwise their
+  // (almost surely wrong) guess.
+  const obf::LockScheme& scheme = obf::scheme_by_tag(artifact.scheme_tag);
+  obf::SchemeSecrets trial;
+  trial.schedule_seed = knowledge == ScheduleKnowledge::kKnownSchedule
+                            ? true_schedule_seed
+                            : options.guessed_schedule_seed;
 
   // Start from the all-zero key (the baseline-architecture guess).
   obf::HpnnKey guess;
-  auto model = obf::instantiate_locked(artifact, guess, scheduler);
+  trial.key = guess;
+  auto evaluator = scheme.make_evaluator(artifact, trial);
   const Oracle oracle_set =
       make_oracle(oracle, options.oracle_samples, options.metric);
 
   KeyRecoveryReport report;
   report.start_accuracy =
-      nn::evaluate_accuracy(model->network(), oracle_set.images,
+      nn::evaluate_accuracy(evaluator->network(), oracle_set.images,
                             oracle_set.labels);
-  double current = oracle_set.score(*model);
+  double current = oracle_set.score(evaluator->network());
   report.oracle_queries = 1;
 
   for (std::int64_t sweep = 0; sweep < options.sweeps; ++sweep) {
     bool improved_any = false;
     for (std::size_t bit = 0; bit < obf::HpnnKey::kBits; ++bit) {
       guess.flip_bit(bit);
-      model->apply_key(guess, scheduler);
-      const double flipped = oracle_set.score(*model);
+      evaluator->set_key(guess);
+      const double flipped = oracle_set.score(evaluator->network());
       ++report.oracle_queries;
       if (flipped > current) {
         current = flipped;  // keep the flip
@@ -98,12 +104,12 @@ KeyRecoveryReport recover_key(const obf::PublishedModel& artifact,
     }
   }
 
-  model->apply_key(guess, scheduler);
+  evaluator->set_key(guess);
   report.recovered_key = guess;
   report.final_accuracy = nn::evaluate_accuracy(
-      model->network(), oracle_set.images, oracle_set.labels);
-  report.test_accuracy =
-      nn::evaluate_accuracy(model->network(), test.images, test.labels);
+      evaluator->network(), oracle_set.images, oracle_set.labels);
+  report.test_accuracy = nn::evaluate_accuracy(evaluator->network(),
+                                               test.images, test.labels);
   report.bits_matching =
       obf::HpnnKey::kBits - guess.hamming_distance(true_key);
   return report;

@@ -55,11 +55,14 @@ struct KeyRecoveryReport {
   std::int64_t oracle_queries = 0;
 };
 
-/// Runs greedy per-bit key recovery against a published model. `oracle` is
-/// the attacker's labeled data (the thief set); `test` measures what the
-/// recovered key is actually worth; `true_key` is used only for reporting
-/// bits_matching. `true_schedule_seed` parameterizes the kKnownSchedule
-/// attacker.
+/// Runs greedy per-bit key recovery against a published model. Key guesses
+/// are evaluated through the artifact's own LockScheme (resolved from its
+/// scheme tag; unknown tags fail closed), so the same attack runs against
+/// sign-locking, weight-stream encryption, or any registered scheme.
+/// `oracle` is the attacker's labeled data (the thief set); `test` measures
+/// what the recovered key is actually worth; `true_key` is used only for
+/// reporting bits_matching. `true_schedule_seed` parameterizes the
+/// kKnownSchedule attacker.
 KeyRecoveryReport recover_key(const obf::PublishedModel& artifact,
                               const data::Dataset& oracle,
                               const data::Dataset& test,

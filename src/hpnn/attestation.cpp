@@ -18,15 +18,23 @@ constexpr std::uint32_t kChallengeMagic = 0x4850'4143u;  // "HPAC"
 AttestationChallenge make_challenge(LockedModel& model,
                                     std::int64_t num_probes, Rng& rng,
                                     float probe_stddev) {
-  HPNN_CHECK(num_probes > 0, "challenge needs at least one probe");
   const auto& cfg = model.config();
+  return make_challenge(model.network(), cfg.in_channels, cfg.image_size,
+                        num_probes, rng, probe_stddev);
+}
+
+AttestationChallenge make_challenge(nn::Module& reference,
+                                    std::int64_t in_channels,
+                                    std::int64_t image_size,
+                                    std::int64_t num_probes, Rng& rng,
+                                    float probe_stddev) {
+  HPNN_CHECK(num_probes > 0, "challenge needs at least one probe");
   AttestationChallenge challenge;
   challenge.probes = Tensor::normal(
-      Shape{num_probes, cfg.in_channels, cfg.image_size, cfg.image_size},
-      rng, 0.0f, probe_stddev);
-  model.network().set_training(false);
-  challenge.expected =
-      ops::argmax_rows(model.network().forward(challenge.probes));
+      Shape{num_probes, in_channels, image_size, image_size}, rng, 0.0f,
+      probe_stddev);
+  reference.set_training(false);
+  challenge.expected = ops::argmax_rows(reference.forward(challenge.probes));
   return challenge;
 }
 

@@ -47,6 +47,15 @@ AttestationChallenge make_challenge(LockedModel& model,
                                     std::int64_t num_probes, Rng& rng,
                                     float probe_stddev = 0.25f);
 
+/// Scheme-generic variant: builds the challenge from any correctly keyed
+/// reference network (e.g. a LockScheme evaluator's), with the probe
+/// geometry passed explicitly since a plain Sequential carries none.
+AttestationChallenge make_challenge(nn::Module& reference,
+                                    std::int64_t in_channels,
+                                    std::int64_t image_size,
+                                    std::int64_t num_probes, Rng& rng,
+                                    float probe_stddev = 0.25f);
+
 /// Verifier side: scores a response (predictions for challenge.probes).
 AttestationResult check_response(const AttestationChallenge& challenge,
                                  const std::vector<std::int64_t>& response);

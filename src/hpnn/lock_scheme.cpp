@@ -1,0 +1,110 @@
+#include "hpnn/lock_scheme.hpp"
+
+#include <mutex>
+#include <ostream>
+#include <utility>
+
+#include "core/error.hpp"
+#include "hpnn/model_io.hpp"
+#include "hpnn/schemes/sign_lock.hpp"
+#include "hpnn/schemes/weight_stream.hpp"
+#include "nn/module.hpp"
+
+namespace hpnn::obf {
+
+SchemeSecrets derive_scheme_secrets(const HpnnKey& master,
+                                    const std::string& model_id,
+                                    SchedulePolicy policy) {
+  SchemeSecrets s;
+  s.key = derive_model_key(master, model_id);
+  s.schedule_seed = derive_schedule_seed(master, model_id);
+  s.policy = policy;
+  return s;
+}
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<LockScheme>> schemes;
+
+  Registry() {
+    schemes.push_back(std::make_unique<SignLockScheme>());
+    schemes.push_back(std::make_unique<WeightStreamScheme>());
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+const LockScheme* find_scheme(const std::string& tag) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& s : r.schemes) {
+    if (s->tag() == tag) {
+      return s.get();
+    }
+  }
+  return nullptr;
+}
+
+const LockScheme& scheme_by_tag(const std::string& tag) {
+  const LockScheme* s = find_scheme(tag);
+  if (s == nullptr) {
+    // Fail closed: an artifact claiming a scheme this build cannot decode
+    // must be rejected, never run as if it were unprotected.
+    throw SerializationError("unknown lock-scheme tag '" + tag + "'");
+  }
+  return *s;
+}
+
+std::vector<std::string> registered_scheme_tags() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> tags;
+  tags.reserve(r.schemes.size());
+  for (const auto& s : r.schemes) {
+    tags.push_back(s->tag());
+  }
+  return tags;
+}
+
+void register_scheme(std::unique_ptr<LockScheme> scheme) {
+  HPNN_CHECK(scheme != nullptr, "cannot register a null lock scheme");
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& s : r.schemes) {
+    HPNN_CHECK(s->tag() != scheme->tag(),
+               "lock scheme tag '" + scheme->tag() + "' already registered");
+  }
+  r.schemes.push_back(std::move(scheme));
+}
+
+PublishedModel make_protected_artifact(
+    const LockScheme& scheme, const LockedModel& model,
+    const SchemeSecrets& secrets,
+    const std::vector<float>& activation_scales) {
+  PublishedModel artifact = snapshot_model(model, activation_scales);
+  artifact.scheme_tag = scheme.tag();
+  artifact.scheme_payload.clear();
+  scheme.lock_payload(artifact, secrets);
+  // A scheme that emits a payload its own validator rejects is a bug, not
+  // bad input — surface it at publish time, before anything ships.
+  scheme.validate_payload(artifact.scheme_payload);
+  return artifact;
+}
+
+void publish_protected_model(std::ostream& os, const LockScheme& scheme,
+                             const LockedModel& model,
+                             const SchemeSecrets& secrets,
+                             const std::vector<float>& activation_scales) {
+  publish_artifact(os,
+                   make_protected_artifact(scheme, model, secrets,
+                                           activation_scales));
+}
+
+}  // namespace hpnn::obf

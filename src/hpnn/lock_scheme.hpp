@@ -1,0 +1,150 @@
+// The pluggable locking-scheme framework (DESIGN §14).
+//
+// The paper's sign-locked activations are one point in a design space that
+// also contains Deep-Lock-style per-weight key-stream encryption and logic-
+// locked accelerators (see PAPERS.md). LockScheme abstracts what every such
+// defense must provide — provisioning a trainable model, locking/unlocking
+// the published artifact, a per-key evaluator for forward passes, and a
+// serialization tag — so competing schemes plug into one owner pipeline,
+// one TrustedDevice load path, and one attack-campaign harness
+// (`hpnn defend-bench`).
+//
+// Contracts every registered scheme must satisfy (enforced by
+// tests/hpnn/lock_scheme_conformance_test.cpp):
+//   - correct-key inference matches the trainable model (bit-identical when
+//     exact_under_correct_key() is true — Theorem 1 for sign-locking);
+//   - wrong-key inference degrades to chance accuracy;
+//   - artifacts round-trip byte-identically through serialize/load;
+//   - provisioning is deterministic at any HPNN_THREADS.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hpnn/keychain.hpp"
+#include "hpnn/locked_model.hpp"
+
+namespace hpnn::obf {
+
+struct PublishedModel;  // hpnn/model_io.hpp
+
+/// Canonical tags of the built-in schemes (also the artifact wire tags).
+inline constexpr const char* kSignLockTag = "sign-lock";
+inline constexpr const char* kWeightStreamTag = "weight-stream";
+
+/// Everything secret a scheme consumes: the per-model key plus the private
+/// schedule parameters. Derived from (master key, model id) on both the
+/// owner's and the device's side — see derive_scheme_secrets.
+struct SchemeSecrets {
+  HpnnKey key;
+  std::uint64_t schedule_seed = 0;
+  SchedulePolicy policy = SchedulePolicy::kInterleaved;
+};
+
+/// Per-model secret derivation shared by every scheme: the keychain's
+/// domain-separated SHA-256 subkey + schedule-seed derivation.
+SchemeSecrets derive_scheme_secrets(
+    const HpnnKey& master, const std::string& model_id,
+    SchedulePolicy policy = SchedulePolicy::kInterleaved);
+
+/// A keyed forward-pass handle over a published artifact: the per-key hook
+/// attackers probe (key recovery flips bits through set_key) and owners use
+/// to measure protected accuracy. The network reference stays valid across
+/// set_key calls.
+class KeyedEvaluator {
+ public:
+  virtual ~KeyedEvaluator() = default;
+
+  /// The evaluation network under the most recently applied key.
+  virtual nn::Sequential& network() = 0;
+
+  /// Re-keys the evaluator (possibly with a wrong key).
+  virtual void set_key(const HpnnKey& trial) = 0;
+};
+
+/// One hardware-assisted IP-protection scheme.
+class LockScheme {
+ public:
+  virtual ~LockScheme() = default;
+
+  /// Stable serialization tag written into artifacts ("sign-lock", ...).
+  virtual std::string tag() const = 0;
+
+  /// One-line human description for CLI listings.
+  virtual std::string description() const = 0;
+
+  /// True if correct-key inference is bit-identical to the unprotected
+  /// model (HPNN's Theorem 1; also true for exactly invertible encryption).
+  virtual bool exact_under_correct_key() const = 0;
+
+  /// True if the device must apply per-neuron lock masks at activation
+  /// inputs (sign-locking); false for schemes that only transform weights.
+  virtual bool uses_activation_locks() const = 0;
+
+  /// True if the published weights are transformed (encrypted) and must be
+  /// inverted with the key on device load.
+  virtual bool transforms_weights() const = 0;
+
+  /// Validates the artifact's scheme payload; throws SerializationError on
+  /// any mismatch (read paths fail closed on this).
+  virtual void validate_payload(
+      std::span<const std::uint8_t> payload) const = 0;
+
+  /// The owner's trainable model for this scheme. Sign-locking bakes the
+  /// key into the activations; weight-encryption schemes train in the clear
+  /// (identity locks) and protect at publish time.
+  virtual std::unique_ptr<LockedModel> make_trainable(
+      models::Architecture arch, const models::ModelConfig& config,
+      const SchemeSecrets& secrets) const = 0;
+
+  /// Transforms a snapshot into its published (protected) form in place:
+  /// fills scheme_payload and, for weight-transforming schemes, encrypts
+  /// the parameters. The artifact's scheme_tag must already equal tag().
+  virtual void lock_payload(PublishedModel& artifact,
+                            const SchemeSecrets& secrets) const = 0;
+
+  /// Inverts lock_payload in place using the artifact's scheme_payload.
+  /// With wrong secrets the result decodes to garbage — that degradation is
+  /// the defense, not an error.
+  virtual void unlock_payload(PublishedModel& artifact,
+                              const SchemeSecrets& secrets) const = 0;
+
+  /// Builds a keyed evaluator over the published artifact, initially keyed
+  /// with `trial` (which need not be correct).
+  virtual std::unique_ptr<KeyedEvaluator> make_evaluator(
+      const PublishedModel& artifact, const SchemeSecrets& trial) const = 0;
+
+  /// The attacker's no-key view of the artifact: the baseline architecture
+  /// running the published bits as-is (stolen weights, no device).
+  virtual std::unique_ptr<nn::Sequential> attacker_view(
+      const PublishedModel& artifact) const = 0;
+};
+
+/// Registry. The built-in schemes (sign-lock, weight-stream) are registered
+/// on first use; register_scheme adds external ones (tags must be unique).
+/// Lookups return stable pointers for the process lifetime.
+const LockScheme* find_scheme(const std::string& tag);
+
+/// Like find_scheme but throws SerializationError on unknown tags — the
+/// fail-closed lookup used by artifact read paths and the device.
+const LockScheme& scheme_by_tag(const std::string& tag);
+
+std::vector<std::string> registered_scheme_tags();
+void register_scheme(std::unique_ptr<LockScheme> scheme);
+
+/// Owner-side convenience: snapshot `model`, stamp the scheme tag, and run
+/// lock_payload — the protected artifact ready for publication.
+PublishedModel make_protected_artifact(
+    const LockScheme& scheme, const LockedModel& model,
+    const SchemeSecrets& secrets,
+    const std::vector<float>& activation_scales = {});
+
+/// make_protected_artifact + serialization in one step.
+void publish_protected_model(std::ostream& os, const LockScheme& scheme,
+                             const LockedModel& model,
+                             const SchemeSecrets& secrets,
+                             const std::vector<float>& activation_scales = {});
+
+}  // namespace hpnn::obf

@@ -8,6 +8,7 @@
 #include "core/error.hpp"
 #include "core/serialize.hpp"
 #include "core/sha256.hpp"
+#include "hpnn/lock_scheme.hpp"
 
 namespace hpnn::obf {
 
@@ -17,8 +18,10 @@ constexpr std::uint32_t kMagic = 0x4850'4E4Eu;  // "HPNN"
 // v2 appended a SHA-256 integrity digest over the payload; v3 added the
 // optional static-quantization activation scales; v4 pads every float
 // array to a 64-byte-aligned file offset so an mmap'd artifact can be
-// parsed into spans with zero float copies (see ArtifactView).
-constexpr std::uint32_t kVersion = 4;
+// parsed into spans with zero float copies (see ArtifactView); v5 adds the
+// locking-scheme tag + payload after the architecture header (read paths
+// fail closed on tags with no registered LockScheme).
+constexpr std::uint32_t kVersion = 5;
 
 // File offset at which the payload begins: magic (4) + version (4) +
 // payload length prefix (8). Both the writer (building the payload in a
@@ -153,6 +156,36 @@ void check_outer_header(BinaryReader& outer) {
   }
 }
 
+// Sanity bounds for the scheme fields: real tags are short identifiers and
+// real payloads are small public material (a salt, a nonce). Oversized
+// values in either field mean corruption, rejected before the registry
+// lookup can embed megabytes of garbage into an error message.
+constexpr std::size_t kMaxSchemeTagBytes = 64;
+constexpr std::size_t kMaxSchemePayloadBytes = 4096;
+
+struct SchemeFields {
+  std::string tag;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Reads and validates the v5 scheme fields. Fail-closed on every axis: an
+/// implausible tag or payload size, a tag with no registered scheme, and a
+/// payload the tagged scheme's validator rejects are all SerializationError.
+SchemeFields read_scheme_fields(BinaryReader& r) {
+  SchemeFields f;
+  f.tag = r.read_string();
+  if (f.tag.empty() || f.tag.size() > kMaxSchemeTagBytes) {
+    throw SerializationError("corrupt lock-scheme tag in artifact");
+  }
+  f.payload = r.read_u8_vector();
+  if (f.payload.size() > kMaxSchemePayloadBytes) {
+    throw SerializationError("implausible lock-scheme payload size " +
+                             std::to_string(f.payload.size()));
+  }
+  scheme_by_tag(f.tag).validate_payload(f.payload);
+  return f;
+}
+
 void check_scales(std::span<const float> scales) {
   for (const float s : scales) {
     if (!(s > 0.0f)) {
@@ -191,6 +224,8 @@ PublishedModel ArtifactView::materialize() const {
   m.image_size = image_size;
   m.num_classes = num_classes;
   m.width_mult = width_mult;
+  m.scheme_tag = scheme_tag;
+  m.scheme_payload = scheme_payload;
   m.parameters.reserve(parameters.size());
   for (const auto& t : parameters) {
     m.parameters.push_back(
@@ -208,32 +243,42 @@ PublishedModel ArtifactView::materialize() const {
   return m;
 }
 
-void publish_model(std::ostream& os, const LockedModel& model,
-                   const std::vector<float>& activation_scales) {
+PublishedModel snapshot_model(const LockedModel& model,
+                              const std::vector<float>& activation_scales) {
+  PublishedModel m;
+  m.arch = model.architecture();
+  const auto& cfg = model.config();
+  m.in_channels = cfg.in_channels;
+  m.image_size = cfg.image_size;
+  m.num_classes = cfg.num_classes;
+  m.width_mult = cfg.width_mult;
+  auto& net = const_cast<nn::Sequential&>(model.network());
+  for (const auto* p : nn::parameters_of(net)) {
+    m.parameters.push_back({p->name, p->value});
+  }
+  for (const auto& [name, tensor] : nn::buffers_of(net)) {
+    m.buffers.push_back({name, *tensor});
+  }
+  m.activation_scales = activation_scales;
+  return m;
+}
+
+void publish_artifact(std::ostream& os, const PublishedModel& artifact) {
   // Build the payload in memory so an integrity digest can be appended —
   // a model-zoo download is untrusted input on the consumer side.
   std::ostringstream payload_stream;
   {
     BinaryWriter w(payload_stream);
-    w.write_string(models::arch_name(model.architecture()));
-    const auto& cfg = model.config();
-    w.write_i64(cfg.in_channels);
-    w.write_i64(cfg.image_size);
-    w.write_i64(cfg.num_classes);
-    w.write_f64(cfg.width_mult);
-
-    auto& net = const_cast<nn::Sequential&>(model.network());
-    std::vector<PublishedModel::NamedTensor> params;
-    for (const auto* p : nn::parameters_of(net)) {
-      params.push_back({p->name, p->value});
-    }
-    write_named_tensors(w, params);
-    std::vector<PublishedModel::NamedTensor> buffers;
-    for (const auto& [name, tensor] : nn::buffers_of(net)) {
-      buffers.push_back({name, *tensor});
-    }
-    write_named_tensors(w, buffers);
-    w.write_f32_array_aligned(activation_scales, kFloatAlignment,
+    w.write_string(models::arch_name(artifact.arch));
+    w.write_i64(artifact.in_channels);
+    w.write_i64(artifact.image_size);
+    w.write_i64(artifact.num_classes);
+    w.write_f64(artifact.width_mult);
+    w.write_string(artifact.scheme_tag);
+    w.write_u8_vector(artifact.scheme_payload);
+    write_named_tensors(w, artifact.parameters);
+    write_named_tensors(w, artifact.buffers);
+    w.write_f32_array_aligned(artifact.activation_scales, kFloatAlignment,
                               kPayloadFileOffset);
   }
   const std::string payload = payload_stream.str();
@@ -245,6 +290,11 @@ void publish_model(std::ostream& os, const LockedModel& model,
   w.write_string(payload);
   w.write_u8_vector(
       std::vector<std::uint8_t>(digest.begin(), digest.end()));
+}
+
+void publish_model(std::ostream& os, const LockedModel& model,
+                   const std::vector<float>& activation_scales) {
+  publish_artifact(os, snapshot_model(model, activation_scales));
 }
 
 PublishedModel read_published_model(std::istream& is) {
@@ -270,6 +320,9 @@ PublishedModel read_published_model(std::istream& is) {
   m.image_size = h.image_size;
   m.num_classes = h.num_classes;
   m.width_mult = h.width_mult;
+  SchemeFields scheme = read_scheme_fields(r);
+  m.scheme_tag = std::move(scheme.tag);
+  m.scheme_payload = std::move(scheme.payload);
   m.parameters = read_named_tensors(r);
   m.buffers = read_named_tensors(r);
   m.activation_scales =
@@ -302,6 +355,9 @@ ArtifactView view_published_model(core::ByteView bytes) {
   view.image_size = h.image_size;
   view.num_classes = h.num_classes;
   view.width_mult = h.width_mult;
+  SchemeFields scheme = read_scheme_fields(r);
+  view.scheme_tag = std::move(scheme.tag);
+  view.scheme_payload = std::move(scheme.payload);
   view.parameters = read_tensor_views(r);
   view.buffers = read_tensor_views(r);
   view.activation_scales =
@@ -364,6 +420,13 @@ std::unique_ptr<nn::Sequential> instantiate_baseline(
 std::unique_ptr<LockedModel> instantiate_locked(const PublishedModel& artifact,
                                                 const HpnnKey& key,
                                                 const Scheduler& scheduler) {
+  if (artifact.scheme_tag != kSignLockTag) {
+    // Applying sign masks over another scheme's (e.g. encrypted) weights
+    // would silently compute garbage; refuse instead.
+    throw KeyError("artifact lock scheme '" + artifact.scheme_tag +
+                   "' does not use sign-lock masks; route through "
+                   "LockScheme::make_evaluator");
+  }
   auto model = std::make_unique<LockedModel>(
       artifact.arch, artifact.model_config(), key, scheduler);
   load_weights(artifact, model->network());

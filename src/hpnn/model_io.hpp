@@ -26,6 +26,13 @@ struct PublishedModel {
   std::int64_t image_size = 0;
   std::int64_t num_classes = 0;
   double width_mult = 1.0;
+  /// Locking-scheme tag (format v5). Read paths reject tags with no
+  /// registered LockScheme — an artifact this build cannot decode fails
+  /// closed instead of running as if it were unprotected.
+  std::string scheme_tag = "sign-lock";
+  /// Scheme-specific public material (e.g. the weight-stream keystream
+  /// salt); validated by the tagged scheme. Empty for sign-lock.
+  std::vector<std::uint8_t> scheme_payload;
 
   struct NamedTensor {
     std::string name;
@@ -65,6 +72,8 @@ class ArtifactView {
   std::int64_t image_size = 0;
   std::int64_t num_classes = 0;
   double width_mult = 1.0;
+  std::string scheme_tag = "sign-lock";
+  std::vector<std::uint8_t> scheme_payload;  // small; copied, not viewed
 
   std::vector<TensorView> parameters;
   std::vector<TensorView> buffers;
@@ -93,11 +102,24 @@ class ArtifactView {
   core::MappedFile file_;
 };
 
-/// Serializes the locked model's architecture + weights (key NOT included).
+/// Snapshots the model's architecture + weights into an (unprotected)
+/// PublishedModel with the default sign-lock tag and an empty payload.
+/// LockScheme::lock_payload / make_protected_artifact turn the snapshot
+/// into its published form.
+PublishedModel snapshot_model(const LockedModel& model,
+                              const std::vector<float>& activation_scales = {});
+
+/// Serializes an in-memory artifact (format v5: scheme tag + payload follow
+/// the architecture header). The writer does not validate the scheme fields
+/// — negative tests need to craft bad artifacts — but every read path does.
+void publish_artifact(std::ostream& os, const PublishedModel& artifact);
+
+/// Serializes the locked model's architecture + weights (key NOT included)
+/// under the default sign-lock tag: snapshot_model + publish_artifact.
 /// `activation_scales` optionally embeds calibrated static-quantization
-/// scales (see hpnn/calibration.hpp). Format v4 pads every float array so
-/// its data lands on a 64-byte-aligned file offset: an mmap'd artifact can
-/// then be parsed into spans with zero float copies.
+/// scales (see hpnn/calibration.hpp). Since format v4 every float array is
+/// padded so its data lands on a 64-byte-aligned file offset: an mmap'd
+/// artifact can be parsed into spans with zero float copies.
 void publish_model(std::ostream& os, const LockedModel& model,
                    const std::vector<float>& activation_scales = {});
 
@@ -131,6 +153,9 @@ std::unique_ptr<nn::Sequential> instantiate_baseline(
 
 /// Authorized view: the locked network with masks from (key, scheduler) and
 /// the published weights — what the trusted device effectively executes.
+/// Only meaningful for sign-lock artifacts; throws KeyError for any other
+/// scheme tag (sign masks over encrypted weights would silently compute
+/// garbage — route other schemes through LockScheme::make_evaluator).
 std::unique_ptr<LockedModel> instantiate_locked(const PublishedModel& artifact,
                                                 const HpnnKey& key,
                                                 const Scheduler& scheduler);

@@ -1,0 +1,78 @@
+#include "hpnn/schemes/sign_lock.hpp"
+
+#include "core/error.hpp"
+#include "hpnn/model_io.hpp"
+
+namespace hpnn::obf {
+
+namespace {
+
+/// Wraps instantiate_locked: re-keying recomputes the lock masks in place,
+/// so the network reference stays stable across set_key calls.
+class SignLockEvaluator : public KeyedEvaluator {
+ public:
+  SignLockEvaluator(const PublishedModel& artifact,
+                    const SchemeSecrets& trial)
+      : scheduler_(trial.schedule_seed, trial.policy),
+        model_(instantiate_locked(artifact, trial.key, scheduler_)) {
+    model_->network().set_training(false);
+  }
+
+  nn::Sequential& network() override { return model_->network(); }
+
+  void set_key(const HpnnKey& trial) override {
+    model_->apply_key(trial, scheduler_);
+  }
+
+ private:
+  Scheduler scheduler_;
+  std::unique_ptr<LockedModel> model_;
+};
+
+}  // namespace
+
+void SignLockScheme::validate_payload(
+    std::span<const std::uint8_t> payload) const {
+  if (!payload.empty()) {
+    throw SerializationError(
+        "sign-lock artifact must carry an empty scheme payload, got " +
+        std::to_string(payload.size()) + " bytes");
+  }
+}
+
+std::unique_ptr<LockedModel> SignLockScheme::make_trainable(
+    models::Architecture arch, const models::ModelConfig& config,
+    const SchemeSecrets& secrets) const {
+  return std::make_unique<LockedModel>(
+      arch, config, secrets.key,
+      Scheduler(secrets.schedule_seed, secrets.policy));
+}
+
+void SignLockScheme::lock_payload(PublishedModel& artifact,
+                                  const SchemeSecrets& secrets) const {
+  // The protection is baked into the weights by key-dependent training;
+  // publication transforms nothing and attaches no payload.
+  (void)secrets;
+  artifact.scheme_payload.clear();
+}
+
+void SignLockScheme::unlock_payload(PublishedModel& artifact,
+                                    const SchemeSecrets& secrets) const {
+  (void)secrets;
+  validate_payload(artifact.scheme_payload);
+}
+
+std::unique_ptr<KeyedEvaluator> SignLockScheme::make_evaluator(
+    const PublishedModel& artifact, const SchemeSecrets& trial) const {
+  validate_payload(artifact.scheme_payload);
+  return std::make_unique<SignLockEvaluator>(artifact, trial);
+}
+
+std::unique_ptr<nn::Sequential> SignLockScheme::attacker_view(
+    const PublishedModel& artifact) const {
+  auto net = instantiate_baseline(artifact);
+  net->set_training(false);
+  return net;
+}
+
+}  // namespace hpnn::obf

@@ -1,0 +1,45 @@
+// HPNN sign-locking as a LockScheme: the paper's defense, repackaged as one
+// registered implementation of the pluggable framework.
+//
+// The published weights are *trained against* key-dependent activation sign
+// flips (Sec. III-C), so the artifact itself carries no per-scheme payload —
+// everything secret lives in (key, schedule). Correct-key inference is
+// bit-identical to the trainable model (Theorem 1); without the key the
+// weights only fit the sign-flipped functions and degrade to chance.
+#pragma once
+
+#include "hpnn/lock_scheme.hpp"
+
+namespace hpnn::obf {
+
+class SignLockScheme : public LockScheme {
+ public:
+  std::string tag() const override { return kSignLockTag; }
+  std::string description() const override {
+    return "HPNN key-locked activation signs (DAC'20)";
+  }
+  bool exact_under_correct_key() const override { return true; }
+  bool uses_activation_locks() const override { return true; }
+  bool transforms_weights() const override { return false; }
+
+  void validate_payload(
+      std::span<const std::uint8_t> payload) const override;
+
+  std::unique_ptr<LockedModel> make_trainable(
+      models::Architecture arch, const models::ModelConfig& config,
+      const SchemeSecrets& secrets) const override;
+
+  void lock_payload(PublishedModel& artifact,
+                    const SchemeSecrets& secrets) const override;
+  void unlock_payload(PublishedModel& artifact,
+                      const SchemeSecrets& secrets) const override;
+
+  std::unique_ptr<KeyedEvaluator> make_evaluator(
+      const PublishedModel& artifact,
+      const SchemeSecrets& trial) const override;
+
+  std::unique_ptr<nn::Sequential> attacker_view(
+      const PublishedModel& artifact) const override;
+};
+
+}  // namespace hpnn::obf

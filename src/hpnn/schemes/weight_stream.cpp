@@ -1,0 +1,155 @@
+#include "hpnn/schemes/weight_stream.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/error.hpp"
+#include "core/sha256.hpp"
+#include "hpnn/model_io.hpp"
+
+namespace hpnn::obf {
+
+namespace {
+
+// Sign + mantissa bits of an IEEE-754 float: XORing only these keeps the
+// exponent — and therefore finiteness — of every encrypted weight.
+constexpr std::uint32_t kStreamMask = 0x807F'FFFFu;
+
+std::string bytes_to_hex(std::span<const std::uint8_t> bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+/// The per-artifact salt, bound to the per-model key and schedule seed with
+/// a domain-separated derivation (same idiom as hpnn/keychain.cpp).
+std::vector<std::uint8_t> derive_salt(const SchemeSecrets& secrets) {
+  const Sha256Digest d =
+      Sha256::hash("hpnn-ws-salt:" + secrets.key.to_hex() + ":" +
+                   std::to_string(secrets.schedule_seed));
+  return std::vector<std::uint8_t>(
+      d.begin(), d.begin() + WeightStreamScheme::kSaltBytes);
+}
+
+/// XORs the SHA-256 counter-mode keystream into a tensor, in place. Each
+/// 32-byte block covers 8 floats; the stream is domain-separated per tensor
+/// so identical weights in different layers encrypt differently. XOR is an
+/// involution, so this is both lock and unlock.
+void apply_keystream(Tensor& t, const std::string& stream_prefix) {
+  float* data = t.data();
+  const std::int64_t n = t.numel();
+  for (std::int64_t block = 0; block * 8 < n; ++block) {
+    const Sha256Digest d =
+        Sha256::hash(stream_prefix + ":" + std::to_string(block));
+    const std::int64_t base = block * 8;
+    const std::int64_t count = std::min<std::int64_t>(8, n - base);
+    for (std::int64_t j = 0; j < count; ++j) {
+      std::uint32_t word;
+      std::memcpy(&word, d.data() + 4 * j, 4);
+      std::uint32_t bits;
+      std::memcpy(&bits, data + base + j, 4);
+      bits ^= word & kStreamMask;
+      std::memcpy(data + base + j, &bits, 4);
+    }
+  }
+}
+
+void crypt_parameters(PublishedModel& artifact, const HpnnKey& key) {
+  const std::string salt_hex = bytes_to_hex(artifact.scheme_payload);
+  for (auto& p : artifact.parameters) {
+    apply_keystream(p.value, "hpnn-ws:" + key.to_hex() + ":" + salt_hex +
+                                 ":" + p.name);
+  }
+}
+
+/// Holds the encrypted artifact and a baseline network; set_key decrypts a
+/// scratch copy of the parameters under the trial key and loads it. With
+/// the right key the weights decode exactly (XOR involution); any other key
+/// yields an uncorrelated keystream (SHA-256 avalanche), which is what
+/// removes the per-bit signal greedy key recovery depends on.
+class WeightStreamEvaluator : public KeyedEvaluator {
+ public:
+  WeightStreamEvaluator(const WeightStreamScheme& scheme,
+                        const PublishedModel& artifact,
+                        const SchemeSecrets& trial)
+      : scheme_(scheme), encrypted_(artifact), secrets_(trial) {
+    auto cfg = encrypted_.model_config();
+    cfg.activation = models::plain_relu_factory();
+    net_ = models::build(encrypted_.arch, cfg);
+    set_key(trial.key);
+  }
+
+  nn::Sequential& network() override { return *net_; }
+
+  void set_key(const HpnnKey& trial) override {
+    secrets_.key = trial;
+    PublishedModel decrypted = encrypted_;
+    scheme_.unlock_payload(decrypted, secrets_);
+    load_weights(decrypted, *net_);
+    net_->set_training(false);
+  }
+
+ private:
+  const WeightStreamScheme& scheme_;
+  PublishedModel encrypted_;
+  SchemeSecrets secrets_;
+  std::unique_ptr<nn::Sequential> net_;
+};
+
+}  // namespace
+
+void WeightStreamScheme::validate_payload(
+    std::span<const std::uint8_t> payload) const {
+  if (payload.size() != kSaltBytes) {
+    throw SerializationError(
+        "weight-stream artifact must carry a " +
+        std::to_string(kSaltBytes) + "-byte keystream salt, got " +
+        std::to_string(payload.size()) + " bytes");
+  }
+}
+
+std::unique_ptr<LockedModel> WeightStreamScheme::make_trainable(
+    models::Architecture arch, const models::ModelConfig& config,
+    const SchemeSecrets& secrets) const {
+  // Deep-Lock trains in the clear: an all-zero key makes every lock factor
+  // +1, so the LockedModel container degenerates to the plain baseline
+  // while keeping the owner pipeline (train/snapshot/publish) uniform.
+  return std::make_unique<LockedModel>(
+      arch, config, HpnnKey{},
+      Scheduler(secrets.schedule_seed, secrets.policy));
+}
+
+void WeightStreamScheme::lock_payload(PublishedModel& artifact,
+                                      const SchemeSecrets& secrets) const {
+  artifact.scheme_payload = derive_salt(secrets);
+  crypt_parameters(artifact, secrets.key);
+}
+
+void WeightStreamScheme::unlock_payload(PublishedModel& artifact,
+                                        const SchemeSecrets& secrets) const {
+  validate_payload(artifact.scheme_payload);
+  crypt_parameters(artifact, secrets.key);
+}
+
+std::unique_ptr<KeyedEvaluator> WeightStreamScheme::make_evaluator(
+    const PublishedModel& artifact, const SchemeSecrets& trial) const {
+  validate_payload(artifact.scheme_payload);
+  return std::make_unique<WeightStreamEvaluator>(*this, artifact, trial);
+}
+
+std::unique_ptr<nn::Sequential> WeightStreamScheme::attacker_view(
+    const PublishedModel& artifact) const {
+  // The attacker runs the published bits as-is: encrypted weights in the
+  // baseline architecture. Exponents are intact (see kStreamMask), so this
+  // evaluates to finite garbage rather than NaNs.
+  auto net = instantiate_baseline(artifact);
+  net->set_training(false);
+  return net;
+}
+
+}  // namespace hpnn::obf

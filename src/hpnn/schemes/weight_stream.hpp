@@ -1,0 +1,59 @@
+// Deep-Lock-style per-weight key-stream encryption as a LockScheme.
+//
+// Instead of training against activation sign flips, the owner trains the
+// model *in the clear* and encrypts every published parameter with a
+// SHA-256 counter-mode keystream derived from the keychain (per-model key,
+// per-artifact salt, per-tensor domain separation). The trusted device
+// decrypts on load with its sealed key; an attacker — or a device with a
+// wrong key — sees uncorrelated weights and degrades to chance accuracy.
+//
+// Two deliberate format choices:
+//   - the keystream XOR touches only the sign + mantissa bits of each f32
+//     (mask 0x807FFFFF), leaving the exponent intact: encrypted or wrongly
+//     decrypted weights are always finite (no NaN/Inf reaching the int8
+//     quantizer) while still being value-wise garbage;
+//   - only parameters are encrypted; buffers (BatchNorm running stats) stay
+//     plaintext, so a wrong key cannot fabricate a negative running
+//     variance and the degraded network still evaluates to finite logits.
+#pragma once
+
+#include "hpnn/lock_scheme.hpp"
+
+namespace hpnn::obf {
+
+class WeightStreamScheme : public LockScheme {
+ public:
+  /// The scheme payload is exactly this salt, bound to (key, schedule
+  /// seed) at publish time so re-publishing under a new model id re-keys
+  /// the stream.
+  static constexpr std::size_t kSaltBytes = 16;
+
+  std::string tag() const override { return kWeightStreamTag; }
+  std::string description() const override {
+    return "Deep-Lock-style per-weight SHA-256 keystream encryption";
+  }
+  bool exact_under_correct_key() const override { return true; }
+  bool uses_activation_locks() const override { return false; }
+  bool transforms_weights() const override { return true; }
+
+  void validate_payload(
+      std::span<const std::uint8_t> payload) const override;
+
+  std::unique_ptr<LockedModel> make_trainable(
+      models::Architecture arch, const models::ModelConfig& config,
+      const SchemeSecrets& secrets) const override;
+
+  void lock_payload(PublishedModel& artifact,
+                    const SchemeSecrets& secrets) const override;
+  void unlock_payload(PublishedModel& artifact,
+                      const SchemeSecrets& secrets) const override;
+
+  std::unique_ptr<KeyedEvaluator> make_evaluator(
+      const PublishedModel& artifact,
+      const SchemeSecrets& trial) const override;
+
+  std::unique_ptr<nn::Sequential> attacker_view(
+      const PublishedModel& artifact) const override;
+};
+
+}  // namespace hpnn::obf

@@ -6,6 +6,7 @@
 #include "core/error.hpp"
 #include "core/metrics.hpp"
 #include "core/threadpool.hpp"
+#include "hpnn/lock_scheme.hpp"
 #include "hw/fault.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/layers.hpp"
@@ -23,11 +24,28 @@ TrustedDevice::TrustedDevice(const obf::HpnnKey& key,
 
 void TrustedDevice::load_model(const obf::PublishedModel& artifact) {
   key_store_.check_integrity();
+  // Resolve the artifact's locking scheme first: an unknown tag fails
+  // closed (SerializationError) before any state changes.
+  const obf::LockScheme& scheme = obf::scheme_by_tag(artifact.scheme_tag);
+  scheme.validate_payload(artifact.scheme_payload);
   // Stage every fallible step before touching device state: a corrupt
   // artifact that throws partway (bad weights, shape mismatch, allocation
   // failure) must leave the previously loaded model — and the caches and
   // static-quant scales that belong to it — fully intact.
-  auto net = obf::instantiate_baseline(artifact);
+  std::unique_ptr<nn::Sequential> net;
+  if (scheme.transforms_weights()) {
+    // On-chip decryption at load: invert the published transform with the
+    // sealed secrets, mirroring the owner's keychain derivation. A wrong
+    // key decodes to garbage weights — degraded accuracy, not an error.
+    obf::PublishedModel unlocked = artifact;
+    const obf::SchemeSecrets secrets{key_store_.key_,
+                                     key_store_.scheduler().seed(),
+                                     key_store_.scheduler().policy()};
+    scheme.unlock_payload(unlocked, secrets);
+    net = obf::instantiate_baseline(unlocked);
+  } else {
+    net = obf::instantiate_baseline(artifact);
+  }
   net->set_training(false);
   std::vector<float> scales = artifact.activation_scales;
   // Commit point: nothing below throws.
@@ -35,6 +53,7 @@ void TrustedDevice::load_model(const obf::PublishedModel& artifact) {
   weight_cache_.clear();
   lock_cache_.clear();
   activation_scales_ = std::move(scales);
+  activation_locks_ = scheme.uses_activation_locks();
   in_channels_ = artifact.in_channels;
   image_size_ = artifact.image_size;
 }
@@ -244,7 +263,7 @@ Tensor TrustedDevice::exec_module(nn::Module& m, nn::Module* next, Tensor x,
   }
   if (auto* conv = dynamic_cast<nn::Conv2d*>(&m)) {
     const LockInfo* lock = nullptr;
-    if (dynamic_cast<nn::ReLU*>(next) != nullptr) {
+    if (activation_locks_ && dynamic_cast<nn::ReLU*>(next) != nullptr) {
       const Shape act_shape{conv->out_channels(), conv->geometry().out_h(),
                             conv->geometry().out_w()};
       lock = &lock_for_activation(activation_cursor_, act_shape);
@@ -254,7 +273,7 @@ Tensor TrustedDevice::exec_module(nn::Module& m, nn::Module* next, Tensor x,
   }
   if (auto* fc = dynamic_cast<nn::Linear*>(&m)) {
     const LockInfo* lock = nullptr;
-    if (dynamic_cast<nn::ReLU*>(next) != nullptr) {
+    if (activation_locks_ && dynamic_cast<nn::ReLU*>(next) != nullptr) {
       lock = &lock_for_activation(activation_cursor_,
                                   Shape{fc->out_features()});
       fused_activation = true;
@@ -263,7 +282,7 @@ Tensor TrustedDevice::exec_module(nn::Module& m, nn::Module* next, Tensor x,
   }
   if (dynamic_cast<nn::ReLU*>(&m) != nullptr) {
     const std::int64_t per_sample = x.numel() / x.dim(0);
-    if (!fused_activation) {
+    if (activation_locks_ && !fused_activation) {
       // Activation fed by a vector-unit op: apply the lock sign at the
       // activation-unit input.
       std::vector<std::int64_t> dims(x.shape().dims().begin() + 1,

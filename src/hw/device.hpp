@@ -49,11 +49,16 @@ class TrustedDevice {
                 DeviceConfig config = {});
 
   /// Loads a model-zoo artifact (weights are quantized lazily per layer).
-  /// Fails fast with KeyError if the sealed key store no longer passes its
-  /// integrity check — a corrupted device must not serve predictions.
-  /// Strong exception safety: if instantiating the artifact throws partway
-  /// (corrupt weights, shape mismatch), the previously loaded model and all
-  /// derived caches remain fully intact and keep serving.
+  /// The artifact's scheme tag selects the registered LockScheme: unknown
+  /// tags fail closed with SerializationError, weight-transforming schemes
+  /// (weight-stream) are decrypted on load with the sealed secrets, and
+  /// activation lock masks are applied only for schemes that use them
+  /// (sign-lock). Fails fast with KeyError if the sealed key store no
+  /// longer passes its integrity check — a corrupted device must not serve
+  /// predictions. Strong exception safety: if instantiating the artifact
+  /// throws partway (corrupt weights, shape mismatch), the previously
+  /// loaded model and all derived caches remain fully intact and keep
+  /// serving.
   void load_model(const obf::PublishedModel& artifact);
   bool has_model() const { return net_ != nullptr; }
 
@@ -118,6 +123,10 @@ class TrustedDevice {
   std::map<const nn::Module*, QuantizedTensor> weight_cache_;
   std::map<std::int64_t, LockInfo> lock_cache_;
   std::vector<float> activation_scales_;  // static quant (may be empty)
+  /// Whether the loaded artifact's scheme locks activations (sign-lock).
+  /// Weight-transforming schemes protect at load time instead, so the lock
+  /// fetch/XOR sites are skipped entirely for them.
+  bool activation_locks_ = true;
   std::int64_t in_channels_ = 0;          // artifact input geometry
   std::int64_t image_size_ = 0;
   std::int64_t activation_cursor_ = 0;  // per-inference traversal counter

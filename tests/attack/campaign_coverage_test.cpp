@@ -1,0 +1,126 @@
+// Campaign-coverage regression: the defend-bench harness must cover every
+// registered scheme with every campaign attack. If a scheme is registered
+// without campaign coverage — or an attack is added without wiring — these
+// tests fail, which is the enforcement the lock-scheme registry relies on.
+#include "attack/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "data/synthetic.hpp"
+
+namespace hpnn::attack {
+namespace {
+
+data::SplitDataset tiny_split() {
+  data::SyntheticConfig dc;
+  dc.train_per_class = 8;
+  dc.test_per_class = 4;
+  dc.image_size = 12;
+  dc.seed = 42;
+  return data::make_dataset(data::SyntheticFamily::kFashionSynth, dc);
+}
+
+DefenseCampaignOptions tiny_options() {
+  DefenseCampaignOptions opt;
+  opt.arch = models::Architecture::kMlp;
+  opt.owner_epochs = 1;
+  opt.budgets = {1};
+  opt.oracle_samples = 16;
+  return opt;
+}
+
+TEST(DefenseCampaignTest, EveryRegisteredSchemeGetsEveryAttack) {
+  const data::SplitDataset split = tiny_split();
+  const DefenseCampaignReport report =
+      run_defense_campaign(split, tiny_options());
+
+  const std::vector<std::string> tags = obf::registered_scheme_tags();
+  const std::vector<std::string> attacks{
+      kAttackFineTune, kAttackKeyRecovery, kAttackDistillation};
+  ASSERT_EQ(report.baselines.size(), tags.size());
+  ASSERT_EQ(report.cells.size(), tags.size() * attacks.size());
+
+  std::set<std::pair<std::string, std::string>> covered;
+  for (const DefenseCell& cell : report.cells) {
+    covered.emplace(cell.scheme, cell.attack);
+  }
+  for (const std::string& tag : tags) {
+    for (const std::string& attack : attacks) {
+      EXPECT_TRUE(covered.count({tag, attack}))
+          << "scheme '" << tag << "' has no campaign coverage for attack '"
+          << attack << "' — wire it into run_attack_cell";
+    }
+  }
+}
+
+TEST(DefenseCampaignTest, BaselinesAnchorTheCurves) {
+  const data::SplitDataset split = tiny_split();
+  const DefenseCampaignReport report =
+      run_defense_campaign(split, tiny_options());
+  EXPECT_DOUBLE_EQ(report.chance_accuracy, 0.1);
+  EXPECT_GT(report.thief_size, 0);
+  for (const SchemeBaseline& b : report.baselines) {
+    EXPECT_GE(b.protected_accuracy, 0.0);
+    EXPECT_LE(b.protected_accuracy, 1.0);
+    EXPECT_GE(b.no_key_accuracy, 0.0);
+    EXPECT_LE(b.no_key_accuracy, 1.0);
+    EXPECT_GT(b.locked_neurons, 0);
+  }
+  for (const DefenseCell& c : report.cells) {
+    EXPECT_GE(c.attacker_accuracy, 0.0);
+    EXPECT_LE(c.attacker_accuracy, 1.0);
+    EXPECT_GT(c.work, 0);
+  }
+}
+
+TEST(DefenseCampaignTest, JsonOutputIsDeterministic) {
+  const data::SplitDataset split = tiny_split();
+  DefenseCampaignOptions opt = tiny_options();
+  opt.attacks = {kAttackFineTune};  // one attack keeps the repeat cheap
+
+  std::ostringstream a;
+  write_defense_json(a, run_defense_campaign(split, opt));
+  std::ostringstream b;
+  write_defense_json(b, run_defense_campaign(split, opt));
+  EXPECT_EQ(a.str(), b.str());
+
+  // Single-line JSON with the shared bench envelope, ready for the
+  // tail -n 1 convention the bench-smoke CI leg uses.
+  const std::string json = a.str();
+  EXPECT_EQ(json.find("{\"bench\":\"defense\""), 0u);
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_EQ(json.find('\n'), json.size() - 1);
+  EXPECT_NE(json.find("\"curves\":["), std::string::npos);
+  EXPECT_NE(json.find("\"baselines\":["), std::string::npos);
+}
+
+TEST(DefenseCampaignTest, UnknownSchemeFailsLoudly) {
+  const data::SplitDataset split = tiny_split();
+  DefenseCampaignOptions opt = tiny_options();
+  opt.schemes = {"quantum-lock"};
+  EXPECT_THROW((void)run_defense_campaign(split, opt), SerializationError);
+}
+
+TEST(DefenseCampaignTest, UnknownAttackFailsLoudly) {
+  const data::SplitDataset split = tiny_split();
+  DefenseCampaignOptions opt = tiny_options();
+  opt.schemes = {obf::kSignLockTag};
+  opt.attacks = {"rowhammer"};
+  EXPECT_THROW((void)run_defense_campaign(split, opt), UsageError);
+}
+
+TEST(DefenseCampaignTest, RejectsNonPositiveBudgets) {
+  const data::SplitDataset split = tiny_split();
+  DefenseCampaignOptions opt = tiny_options();
+  opt.budgets = {0};
+  EXPECT_THROW((void)run_defense_campaign(split, opt), InvariantError);
+  opt.budgets.clear();
+  EXPECT_THROW((void)run_defense_campaign(split, opt), InvariantError);
+}
+
+}  // namespace
+}  // namespace hpnn::attack

@@ -1,0 +1,138 @@
+// The distillation attacker as a campaign peer: seeded knowledge
+// distillation against each registered scheme's no-key view must stay below
+// the documented ceiling (student accuracy < 0.45 — see EXPERIMENTS.md),
+// and two same-seed runs must be byte-identical so curves are reproducible.
+#include "attack/distillation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "data/synthetic.hpp"
+#include "hpnn/lock_scheme.hpp"
+#include "hpnn/model_io.hpp"
+#include "hpnn/owner.hpp"
+
+namespace hpnn::attack {
+namespace {
+
+const data::SplitDataset& shared_split() {
+  static const data::SplitDataset split = [] {
+    data::SyntheticConfig dc;
+    dc.train_per_class = 60;
+    dc.test_per_class = 15;
+    dc.image_size = 16;
+    dc.noise_stddev = 0.06;
+    dc.jitter = 0.08;
+    dc.seed = 21;
+    return data::make_dataset(data::SyntheticFamily::kFashionSynth, dc);
+  }();
+  return split;
+}
+
+/// One trained, protected artifact per registered scheme (built lazily —
+/// training dominates this suite's runtime).
+const obf::PublishedModel& artifact_for(const std::string& tag) {
+  static std::map<std::string, obf::PublishedModel> artifacts;
+  auto it = artifacts.find(tag);
+  if (it == artifacts.end()) {
+    const obf::LockScheme& scheme = obf::scheme_by_tag(tag);
+    Rng rng(606);
+    const obf::HpnnKey master = obf::HpnnKey::random(rng);
+    const obf::SchemeSecrets secrets =
+        obf::derive_scheme_secrets(master, "kd:" + tag);
+    const data::SplitDataset& split = shared_split();
+    models::ModelConfig mc;
+    mc.in_channels = 1;
+    mc.image_size = 16;
+    mc.init_seed = 6;
+    auto model =
+        scheme.make_trainable(models::Architecture::kCnn1, mc, secrets);
+    obf::OwnerTrainOptions opt;
+    opt.epochs = 6;
+    opt.sgd = {0.01, 0.9, 5e-4};
+    const auto report =
+        obf::train_locked_model(*model, split.train, split.test, opt);
+    EXPECT_GT(report.test_accuracy, 0.6) << tag;
+    std::stringstream ss;
+    obf::publish_protected_model(ss, scheme, *model, secrets);
+    it = artifacts.emplace(tag, obf::read_published_model(ss)).first;
+  }
+  return it->second;
+}
+
+class DistillationCampaign : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredSchemes, DistillationCampaign,
+    ::testing::ValuesIn(obf::registered_scheme_tags()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST_P(DistillationCampaign, StudentStaysBelowCeiling) {
+  const obf::PublishedModel& artifact = artifact_for(GetParam());
+  const data::SplitDataset& split = shared_split();
+  Rng rng(8);
+  const data::Dataset transfer = data::thief_subset(split.train, 0.5, rng);
+
+  DistillationOptions opt;
+  opt.epochs = 10;
+  opt.seed = 31;
+  const DistillationReport report =
+      distill_attack(artifact, transfer, split.test, opt);
+  // The no-key teacher is garbage, so the student cannot exceed the
+  // documented ceiling (EXPERIMENTS.md pins 0.45 for this recipe).
+  EXPECT_LT(report.teacher_accuracy, 0.4)
+      << GetParam() << " no-key teacher leaks accuracy";
+  EXPECT_LT(report.student_accuracy, 0.45)
+      << GetParam() << " distilled student exceeds the documented ceiling";
+  EXPECT_EQ(report.transfer_size, transfer.size());
+  EXPECT_GT(report.oracle_queries, 0);
+}
+
+TEST_P(DistillationCampaign, SameSeedRunsAreByteIdentical) {
+  const obf::PublishedModel& artifact = artifact_for(GetParam());
+  const data::SplitDataset& split = shared_split();
+  Rng rng(9);
+  const data::Dataset transfer = data::thief_subset(split.train, 0.4, rng);
+
+  DistillationOptions opt;
+  opt.epochs = 3;
+  opt.seed = 77;
+  const DistillationReport a =
+      distill_attack(artifact, transfer, split.test, opt);
+  const DistillationReport b =
+      distill_attack(artifact, transfer, split.test, opt);
+  // Exact (not approximate) equality: the attack is a deterministic
+  // function of (artifact, transfer set, options).
+  EXPECT_EQ(std::memcmp(&a.student_accuracy, &b.student_accuracy,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(&a.teacher_accuracy, &b.teacher_accuracy,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(a.transfer_size, b.transfer_size);
+  EXPECT_EQ(a.oracle_queries, b.oracle_queries);
+}
+
+TEST(DistillationCampaignTest, UnknownSchemeTagFailsClosed) {
+  obf::PublishedModel artifact = artifact_for(obf::kSignLockTag);
+  artifact.scheme_tag = "quantum-lock";
+  const data::SplitDataset& split = shared_split();
+  DistillationOptions opt;
+  opt.epochs = 1;
+  EXPECT_THROW(
+      (void)distill_attack(artifact, split.train, split.test, opt),
+      SerializationError);
+}
+
+}  // namespace
+}  // namespace hpnn::attack

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "args.hpp"
@@ -142,6 +143,59 @@ TEST(CliTest, TrainEvalAttackInspectRoundTrip) {
   attack_cmd.insert(attack_cmd.end(), common.begin(), common.end());
   ASSERT_EQ(run(attack_cmd, out), 0) << out;
   EXPECT_NE(out.find("attack accuracy"), std::string::npos);
+}
+
+TEST(CliTest, DefendBenchEmitsCurvesAndJson) {
+  // Smoke-scale defend-bench: one budget, tiny MLP, all registered schemes
+  // and attacks; the JSON curve file must land where --json-out points.
+  const std::string json_path =
+      ::testing::TempDir() + "/cli_bench_defense.json";
+  std::string out;
+  ASSERT_EQ(run({"defend-bench", "--dataset", "fashion", "--arch", "MLP",
+                 "--img", "12", "--tpc", "6", "--testpc", "3", "--epochs",
+                 "1", "--budgets", "1", "--oracle-samples", "16",
+                 "--json-out", json_path, "--json", "1"},
+                out),
+            0)
+      << out;
+  EXPECT_NE(out.find("defense benchmark"), std::string::npos);
+  EXPECT_NE(out.find("scheme sign-lock"), std::string::npos);
+  EXPECT_NE(out.find("scheme weight-stream"), std::string::npos);
+  EXPECT_NE(out.find("\"bench\":\"defense\""), std::string::npos);
+
+  std::ifstream is(json_path);
+  ASSERT_TRUE(is.good()) << "defend-bench did not write " << json_path;
+  std::string json;
+  std::getline(is, json);
+  EXPECT_EQ(json.find("{\"bench\":\"defense\""), 0u);
+  EXPECT_NE(json.find("\"curves\":["), std::string::npos);
+}
+
+TEST(CliTest, DefendBenchRejectsBadLists) {
+  std::string out;
+  EXPECT_EQ(run({"defend-bench", "--dataset", "fashion", "--img", "12",
+                 "--tpc", "6", "--testpc", "3", "--budgets", "0"},
+                out),
+            2);
+  EXPECT_EQ(run({"defend-bench", "--dataset", "fashion", "--img", "12",
+                 "--tpc", "6", "--testpc", "3", "--budgets", "nope"},
+                out),
+            2);
+}
+
+TEST(CliTest, InspectPrintsLockScheme) {
+  const std::string key(64, 'b');
+  const std::string model_path =
+      ::testing::TempDir() + "/cli_scheme_model.hpnn";
+  std::string out;
+  ASSERT_EQ(run({"train", "--arch", "MLP", "--key", key, "--out",
+                 model_path, "--epochs", "1", "--dataset", "fashion",
+                 "--img", "12", "--tpc", "4", "--testpc", "2"},
+                out),
+            0)
+      << out;
+  ASSERT_EQ(run({"inspect", "--model", model_path}, out), 0) << out;
+  EXPECT_NE(out.find("lock scheme:  sign-lock"), std::string::npos);
 }
 
 TEST(CliTest, DatasetExportAndReuse) {

@@ -7,6 +7,7 @@
 
 #include "core/error.hpp"
 #include "core/rng.hpp"
+#include "hpnn/lock_scheme.hpp"
 #include "hpnn/model_io.hpp"
 
 namespace hpnn::obf {
@@ -23,6 +24,45 @@ std::string make_valid_artifact() {
   LockedModel model(models::Architecture::kCnn1, mc, key, sched);
   std::stringstream ss;
   publish_model(ss, model);
+  return ss.str();
+}
+
+/// A small in-memory model for crafting artifacts with arbitrary scheme
+/// fields (publish_artifact deliberately does not validate them; every
+/// read path must).
+PublishedModel make_snapshot() {
+  Rng rng(5);
+  const HpnnKey key = HpnnKey::random(rng);
+  Scheduler sched(9);
+  models::ModelConfig mc;
+  mc.in_channels = 1;
+  mc.image_size = 12;
+  mc.init_seed = 2;
+  LockedModel model(models::Architecture::kMlp, mc, key, sched);
+  return snapshot_model(model);
+}
+
+std::string serialize(const PublishedModel& artifact) {
+  std::stringstream ss;
+  publish_artifact(ss, artifact);
+  return ss.str();
+}
+
+/// A weight-stream protected artifact (16-byte salt payload, encrypted
+/// parameters): the scheme-tagged corpus for the sweeps below.
+std::string make_weight_stream_artifact() {
+  const LockScheme& scheme = scheme_by_tag(kWeightStreamTag);
+  Rng rng(7);
+  const HpnnKey master = HpnnKey::random(rng);
+  const SchemeSecrets secrets = derive_scheme_secrets(master, "fuzz-ws");
+  models::ModelConfig mc;
+  mc.in_channels = 1;
+  mc.image_size = 12;
+  mc.init_seed = 2;
+  auto model =
+      scheme.make_trainable(models::Architecture::kMlp, mc, secrets);
+  std::stringstream ss;
+  publish_protected_model(ss, scheme, *model, secrets);
   return ss.str();
 }
 
@@ -95,6 +135,113 @@ TEST(ArtifactFuzzTest, ByteFlipAtEvery256ByteStride) {
     EXPECT_THROW((void)read_published_model(ss), SerializationError)
         << "byte flip at offset " << pos << " parsed successfully";
   }
+}
+
+TEST(ArtifactFuzzTest, UnknownSchemeTagFailsClosed) {
+  // A well-formed artifact (valid digest, valid tensors) whose scheme tag
+  // has no registered LockScheme must be rejected: a build that cannot
+  // decode a scheme must not run the weights as if they were unprotected.
+  PublishedModel artifact = make_snapshot();
+  artifact.scheme_tag = "quantum-lock";
+  std::stringstream ss(serialize(artifact));
+  EXPECT_THROW((void)read_published_model(ss), SerializationError);
+}
+
+TEST(ArtifactFuzzTest, EmptySchemeTagFailsClosed) {
+  PublishedModel artifact = make_snapshot();
+  artifact.scheme_tag.clear();
+  std::stringstream ss(serialize(artifact));
+  EXPECT_THROW((void)read_published_model(ss), SerializationError);
+}
+
+TEST(ArtifactFuzzTest, OversizedSchemeTagFailsClosed) {
+  // Just past the 64-byte tag bound: rejected by the container sanity
+  // check before any registry lookup or allocation amplification.
+  PublishedModel artifact = make_snapshot();
+  artifact.scheme_tag = std::string(65, 'x');
+  std::stringstream ss(serialize(artifact));
+  EXPECT_THROW((void)read_published_model(ss), SerializationError);
+}
+
+TEST(ArtifactFuzzTest, TagPayloadMismatchFailsClosed) {
+  // Valid tag, wrong payload for that tag — both directions.
+  {
+    // sign-lock requires an empty payload; smuggle 16 bytes in.
+    PublishedModel artifact = make_snapshot();
+    artifact.scheme_payload.assign(16, 0xAB);
+    std::stringstream ss(serialize(artifact));
+    EXPECT_THROW((void)read_published_model(ss), SerializationError);
+  }
+  {
+    // weight-stream requires exactly a 16-byte salt; give it 8.
+    PublishedModel artifact = make_snapshot();
+    artifact.scheme_tag = kWeightStreamTag;
+    artifact.scheme_payload.assign(8, 0x01);
+    std::stringstream ss(serialize(artifact));
+    EXPECT_THROW((void)read_published_model(ss), SerializationError);
+  }
+}
+
+TEST(ArtifactFuzzTest, OversizedSchemePayloadFailsClosed) {
+  PublishedModel artifact = make_snapshot();
+  artifact.scheme_tag = kWeightStreamTag;
+  artifact.scheme_payload.assign(4097, 0x01);  // past the 4 KiB bound
+  std::stringstream ss(serialize(artifact));
+  EXPECT_THROW((void)read_published_model(ss), SerializationError);
+}
+
+TEST(ArtifactFuzzTest, DenseFlipSweepOverHeaderRegion) {
+  // Flip every byte in the first 256 bytes one at a time — the region
+  // holding the magic, version, architecture header, and the v5 scheme
+  // tag + payload fields. Every flip must be rejected (digest mismatch or
+  // field validation), never accepted or crashing.
+  const std::string valid = make_valid_artifact();
+  ASSERT_GE(valid.size(), 256u);
+  for (std::size_t pos = 0; pos < 256; ++pos) {
+    std::string mutated = valid;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5A);
+    std::stringstream ss(mutated);
+    EXPECT_THROW((void)read_published_model(ss), SerializationError)
+        << "header byte flip at offset " << pos << " parsed successfully";
+  }
+}
+
+TEST(ArtifactFuzzTest, WeightStreamByteFlipAtEvery256ByteStride) {
+  // The scheme-tagged corpus under the same deterministic sweep the
+  // sign-lock artifact gets: flips in the salt payload, the encrypted
+  // weights, or the digest must all be detected.
+  const std::string valid = make_weight_stream_artifact();
+  for (std::size_t pos = 0; pos < valid.size(); pos += 256) {
+    std::string mutated = valid;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5A);
+    std::stringstream ss(mutated);
+    EXPECT_THROW((void)read_published_model(ss), SerializationError)
+        << "byte flip at offset " << pos << " parsed successfully";
+  }
+}
+
+TEST(ArtifactFuzzTest, WeightStreamTruncationAtEvery64ByteBoundary) {
+  const std::string valid = make_weight_stream_artifact();
+  for (std::size_t len = 0; len < valid.size(); len += 64) {
+    std::stringstream ss(valid.substr(0, len));
+    EXPECT_THROW((void)read_published_model(ss), SerializationError)
+        << "truncation to " << len << " bytes parsed successfully";
+  }
+}
+
+TEST(ArtifactFuzzTest, WeightStreamRoundTripsThroughEveryReadPath) {
+  // Control for the negative tests above: the untampered weight-stream
+  // artifact parses through both the streaming and the view paths, with
+  // the scheme fields preserved.
+  const std::string valid = make_weight_stream_artifact();
+  std::stringstream ss(valid);
+  const PublishedModel streamed = read_published_model(ss);
+  EXPECT_EQ(streamed.scheme_tag, kWeightStreamTag);
+  EXPECT_EQ(streamed.scheme_payload.size(), 16u);
+  const ArtifactView view = view_published_model(core::ByteView(
+      reinterpret_cast<const std::uint8_t*>(valid.data()), valid.size()));
+  EXPECT_EQ(view.scheme_tag, kWeightStreamTag);
+  EXPECT_EQ(view.scheme_payload, streamed.scheme_payload);
 }
 
 TEST(ArtifactFuzzTest, LengthFieldInflation) {

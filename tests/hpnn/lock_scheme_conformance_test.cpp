@@ -1,0 +1,412 @@
+// Scheme-conformance kit: every registered LockScheme must satisfy the
+// contracts documented in hpnn/lock_scheme.hpp —
+//   1. correct-key inference matches the trainable model (bit-identical
+//      when the scheme claims exact_under_correct_key);
+//   2. wrong-key inference degrades toward chance accuracy;
+//   3. protected artifacts round-trip byte-identically;
+//   4. provisioning is deterministic at any HPNN_THREADS setting;
+//   5. the trusted device agrees with the scheme's own evaluator.
+// The suite is parameterized over registered_scheme_tags(), so a scheme
+// registered tomorrow is tested tomorrow. A deliberately broken scheme at
+// the bottom proves the wrong-key check actually rejects violators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/threadpool.hpp"
+#include "data/synthetic.hpp"
+#include "hpnn/lock_scheme.hpp"
+#include "hpnn/model_io.hpp"
+#include "hpnn/owner.hpp"
+#include "hpnn/schemes/sign_lock.hpp"
+#include "hw/device.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace hpnn::obf {
+namespace {
+
+const data::SplitDataset& shared_split() {
+  static const data::SplitDataset split = [] {
+    data::SyntheticConfig dc;
+    dc.train_per_class = 60;
+    dc.test_per_class = 15;
+    dc.image_size = 16;
+    // Family-default noise/jitter: the calibrated task difficulty. An
+    // artificially easy split would let a sign-corrupted network keep
+    // separating classes and mask real wrong-key leakage.
+    dc.seed = 21;
+    return data::make_dataset(data::SyntheticFamily::kFashionSynth, dc);
+  }();
+  return split;
+}
+
+/// One trained-and-published world per scheme, built once and shared by all
+/// parameterized tests (training dominates the suite's runtime).
+struct SchemeWorld {
+  SchemeSecrets secrets;
+  std::unique_ptr<LockedModel> trainable;
+  std::string artifact_bytes;
+  PublishedModel artifact;
+  double trained_accuracy = 0.0;
+};
+
+SchemeWorld build_world(const LockScheme& scheme) {
+  SchemeWorld w;
+  Rng rng(404);
+  const HpnnKey master = HpnnKey::random(rng);
+  w.secrets =
+      derive_scheme_secrets(master, "conformance:" + scheme.tag());
+
+  const data::SplitDataset& split = shared_split();
+  models::ModelConfig mc;
+  mc.in_channels = split.train.channels();
+  mc.image_size = split.train.height();
+  mc.init_seed = 6;
+  // MLP: dense sign-locking corrupts every hidden unit, so wrong-key
+  // degradation is decisive even at this miniature scale (tiny CNNs keep
+  // residual accuracy through conv weight sharing + BatchNorm).
+  w.trainable = scheme.make_trainable(models::Architecture::kMlp, mc,
+                                      w.secrets);
+
+  OwnerTrainOptions opt;
+  opt.epochs = 12;
+  opt.sgd = {0.01, 0.9, 5e-4};
+  const OwnerTrainReport report =
+      train_locked_model(*w.trainable, split.train, split.test, opt);
+  w.trained_accuracy = report.test_accuracy;
+
+  std::stringstream ss;
+  publish_protected_model(ss, scheme, *w.trainable, w.secrets);
+  w.artifact_bytes = ss.str();
+  w.artifact = read_published_model(ss);
+  return w;
+}
+
+SchemeWorld& world_for(const std::string& tag) {
+  static std::map<std::string, SchemeWorld> worlds;
+  auto it = worlds.find(tag);
+  if (it == worlds.end()) {
+    it = worlds.emplace(tag, build_world(scheme_by_tag(tag))).first;
+  }
+  return it->second;
+}
+
+Tensor probe_batch(std::int64_t n = 16) {
+  Rng rng(3);
+  return Tensor::normal(Shape{n, 1, 16, 16}, rng, 0.0f, 0.25f);
+}
+
+/// The wrong-key-degradation contract as a reusable predicate: averaged
+/// over several uniformly random trial keys, the evaluator must sit near
+/// chance, far below the correct-key accuracy. (Averaging matters: one
+/// lucky key can share enough schedule bits with the truth to retain some
+/// accuracy, but the mean over random keys must not.) Returned as an
+/// AssertionResult so the broken-scheme test below can assert the
+/// predicate *fails*.
+::testing::AssertionResult wrong_key_contract_holds(
+    const LockScheme& scheme, const PublishedModel& artifact,
+    const SchemeSecrets& correct, double correct_accuracy) {
+  const data::SplitDataset& split = shared_split();
+  Rng rng(99);
+  double mean = 0.0;
+  std::string per_key;
+  constexpr int kTrialKeys = 5;
+  for (int t = 0; t < kTrialKeys; ++t) {
+    SchemeSecrets trial = correct;
+    trial.key = HpnnKey::random(rng);
+    auto evaluator = scheme.make_evaluator(artifact, trial);
+    const double acc = nn::evaluate_accuracy(
+        evaluator->network(), split.test.images, split.test.labels);
+    per_key += " " + std::to_string(acc);
+    mean += acc;
+  }
+  mean /= kTrialKeys;
+  const double chance =
+      1.0 / static_cast<double>(split.test.num_classes);
+  // At this miniature scale a random wrong key shares ~half the lock bits
+  // with the truth, so "at chance" is stated relative to the gap: the mean
+  // must close less than half of the chance -> correct-key distance, and
+  // sit well below correct-key accuracy. A scheme whose wrong-key accuracy
+  // tracks its correct-key accuracy (the no-op below) fails both bounds.
+  if (mean > chance + 0.5 * (correct_accuracy - chance)) {
+    return ::testing::AssertionFailure()
+           << scheme.tag() << ": mean wrong-key accuracy " << mean
+           << " over " << kTrialKeys << " random keys (" << per_key
+           << " ) closes more than half the gap from chance " << chance
+           << " to correct-key " << correct_accuracy;
+  }
+  if (mean > correct_accuracy - 0.25) {
+    return ::testing::AssertionFailure()
+           << scheme.tag() << ": mean wrong-key accuracy " << mean
+           << " does not degrade from correct-key " << correct_accuracy;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+class LockSchemeConformance
+    : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredSchemes, LockSchemeConformance,
+    ::testing::ValuesIn(registered_scheme_tags()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST_P(LockSchemeConformance, TrainsAboveChance) {
+  const SchemeWorld& w = world_for(GetParam());
+  EXPECT_GT(w.trained_accuracy, 0.6)
+      << GetParam() << " trainable failed to learn the task";
+}
+
+TEST_P(LockSchemeConformance, CorrectKeyMatchesTrainableBitIdentically) {
+  const LockScheme& scheme = scheme_by_tag(GetParam());
+  SchemeWorld& w = world_for(GetParam());
+  ASSERT_TRUE(scheme.exact_under_correct_key())
+      << "update this test if a lossy scheme is ever registered";
+
+  auto evaluator = scheme.make_evaluator(w.artifact, w.secrets);
+  const Tensor x = probe_batch();
+  w.trainable->network().set_training(false);
+  const Tensor expected = w.trainable->network().forward(x);
+  const Tensor actual = evaluator->network().forward(x);
+  ASSERT_EQ(actual.shape(), expected.shape());
+  ASSERT_EQ(0, std::memcmp(actual.data(), expected.data(),
+                           sizeof(float) *
+                               static_cast<std::size_t>(actual.numel())))
+      << GetParam()
+      << ": correct-key logits are not bit-identical to the trainable";
+}
+
+TEST_P(LockSchemeConformance, SetKeyRestoresCorrectKeyExactly) {
+  // Re-keying through the evaluator hook (wrong then correct) must land
+  // back on the exact correct-key function — key recovery depends on this.
+  const LockScheme& scheme = scheme_by_tag(GetParam());
+  SchemeWorld& w = world_for(GetParam());
+  auto evaluator = scheme.make_evaluator(w.artifact, w.secrets);
+  const Tensor x = probe_batch();
+  const Tensor before = evaluator->network().forward(x);
+
+  Rng rng(55);
+  evaluator->set_key(HpnnKey::random(rng));
+  evaluator->set_key(w.secrets.key);
+  const Tensor after = evaluator->network().forward(x);
+  ASSERT_EQ(0, std::memcmp(before.data(), after.data(),
+                           sizeof(float) *
+                               static_cast<std::size_t>(before.numel())));
+}
+
+TEST_P(LockSchemeConformance, WrongKeyDegradesToChance) {
+  const LockScheme& scheme = scheme_by_tag(GetParam());
+  SchemeWorld& w = world_for(GetParam());
+  auto evaluator = scheme.make_evaluator(w.artifact, w.secrets);
+  const data::SplitDataset& split = shared_split();
+  const double correct = nn::evaluate_accuracy(
+      evaluator->network(), split.test.images, split.test.labels);
+  EXPECT_GT(correct, 0.6);
+  EXPECT_TRUE(
+      wrong_key_contract_holds(scheme, w.artifact, w.secrets, correct));
+}
+
+TEST_P(LockSchemeConformance, AttackerViewIsNearChance) {
+  const LockScheme& scheme = scheme_by_tag(GetParam());
+  SchemeWorld& w = world_for(GetParam());
+  auto stolen = scheme.attacker_view(w.artifact);
+  const data::SplitDataset& split = shared_split();
+  const double no_key = nn::evaluate_accuracy(*stolen, split.test.images,
+                                              split.test.labels);
+  EXPECT_LT(no_key, 0.35)
+      << GetParam() << " leaks accuracy through the no-key view";
+}
+
+TEST_P(LockSchemeConformance, ArtifactRoundTripsByteIdentically) {
+  const SchemeWorld& w = world_for(GetParam());
+  // serialize(read(serialize(model))) == serialize(model): nothing in the
+  // scheme tag, payload, or tensor encoding is lossy or reordered.
+  std::ostringstream again;
+  publish_artifact(again, w.artifact);
+  EXPECT_EQ(again.str(), w.artifact_bytes);
+  EXPECT_EQ(w.artifact.scheme_tag, GetParam());
+}
+
+TEST_P(LockSchemeConformance, PayloadValidationIsStrict) {
+  const LockScheme& scheme = scheme_by_tag(GetParam());
+  const SchemeWorld& w = world_for(GetParam());
+  // The scheme accepts its own payload and rejects a plausible-but-wrong
+  // one (right tag, wrong payload shape).
+  scheme.validate_payload(w.artifact.scheme_payload);
+  std::vector<std::uint8_t> wrong(w.artifact.scheme_payload);
+  wrong.push_back(0xAB);
+  EXPECT_THROW(scheme.validate_payload(wrong), SerializationError);
+}
+
+TEST_P(LockSchemeConformance, ProvisionIsDeterministicAcrossThreadCounts) {
+  const LockScheme& scheme = scheme_by_tag(GetParam());
+  Rng rng(77);
+  const HpnnKey master = HpnnKey::random(rng);
+  const SchemeSecrets secrets =
+      derive_scheme_secrets(master, "threads:" + scheme.tag());
+
+  data::SyntheticConfig dc;
+  dc.train_per_class = 8;
+  dc.test_per_class = 4;
+  dc.image_size = 12;
+  dc.seed = 5;
+  const data::SplitDataset split =
+      data::make_dataset(data::SyntheticFamily::kFashionSynth, dc);
+
+  auto provision = [&](int threads) {
+    core::set_thread_count(threads);
+    models::ModelConfig mc;
+    mc.in_channels = 1;
+    mc.image_size = 12;
+    mc.init_seed = 9;
+    auto model =
+        scheme.make_trainable(models::Architecture::kMlp, mc, secrets);
+    OwnerTrainOptions opt;
+    opt.epochs = 2;
+    (void)train_locked_model(*model, split.train, split.test, opt);
+    std::ostringstream os;
+    publish_protected_model(os, scheme, *model, secrets);
+    return os.str();
+  };
+  const std::string serial = provision(1);
+  const std::string parallel = provision(4);
+  core::set_thread_count(0);
+  EXPECT_EQ(serial, parallel)
+      << GetParam() << " provisioning depends on HPNN_THREADS";
+}
+
+TEST_P(LockSchemeConformance, TrustedDeviceAgreesWithEvaluator) {
+  const LockScheme& scheme = scheme_by_tag(GetParam());
+  SchemeWorld& w = world_for(GetParam());
+  hw::TrustedDevice device(w.secrets.key, w.secrets.schedule_seed);
+  device.load_model(w.artifact);
+
+  auto evaluator = scheme.make_evaluator(w.artifact, w.secrets);
+  const Tensor x = probe_batch();
+  const auto expected = ops::argmax_rows(evaluator->network().forward(x));
+  const auto actual = ops::argmax_rows(device.infer(x));
+  int agree = 0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    agree += (expected[i] == actual[i]);
+  }
+  // int8 dynamic quantization on device: classes agree on a large majority.
+  EXPECT_GE(agree, 14)
+      << GetParam() << " device datapath diverged from the evaluator";
+}
+
+TEST(LockSchemeRegistryTest, BuiltInsAreRegistered) {
+  const auto tags = registered_scheme_tags();
+  EXPECT_NE(std::find(tags.begin(), tags.end(), kSignLockTag), tags.end());
+  EXPECT_NE(std::find(tags.begin(), tags.end(), kWeightStreamTag),
+            tags.end());
+  EXPECT_EQ(find_scheme(kSignLockTag)->tag(), kSignLockTag);
+}
+
+TEST(LockSchemeRegistryTest, UnknownTagFailsClosed) {
+  EXPECT_EQ(find_scheme("quantum-lock"), nullptr);
+  EXPECT_THROW(scheme_by_tag("quantum-lock"), SerializationError);
+}
+
+TEST(LockSchemeRegistryTest, DuplicateRegistrationRejected) {
+  EXPECT_THROW(register_scheme(std::make_unique<SignLockScheme>()),
+               InvariantError);
+}
+
+/// A deliberately broken scheme: the "protection" does nothing, so a wrong
+/// key decodes to the owner's exact model. It is constructed locally and
+/// never registered (the registry must stay clean for the campaign-coverage
+/// test); its only job is proving the conformance predicate rejects it.
+class NoOpScheme : public LockScheme {
+ public:
+  std::string tag() const override { return "no-op"; }
+  std::string description() const override { return "broken: no defense"; }
+  bool exact_under_correct_key() const override { return true; }
+  bool uses_activation_locks() const override { return false; }
+  bool transforms_weights() const override { return false; }
+  void validate_payload(
+      std::span<const std::uint8_t> payload) const override {
+    if (!payload.empty()) {
+      throw SerializationError("no-op scheme expects an empty payload");
+    }
+  }
+  std::unique_ptr<LockedModel> make_trainable(
+      models::Architecture arch, const models::ModelConfig& config,
+      const SchemeSecrets& /*secrets*/) const override {
+    // Trains in the clear, like weight-stream — but never protects.
+    return std::make_unique<LockedModel>(arch, config, HpnnKey{},
+                                         Scheduler(0));
+  }
+  void lock_payload(PublishedModel&,
+                    const SchemeSecrets&) const override {}
+  void unlock_payload(PublishedModel&,
+                      const SchemeSecrets&) const override {}
+  std::unique_ptr<KeyedEvaluator> make_evaluator(
+      const PublishedModel& artifact,
+      const SchemeSecrets&) const override {
+    class Ignorant : public KeyedEvaluator {
+     public:
+      explicit Ignorant(const PublishedModel& artifact)
+          : net_(instantiate_baseline(artifact)) {
+        net_->set_training(false);
+      }
+      nn::Sequential& network() override { return *net_; }
+      void set_key(const HpnnKey&) override {}  // the bug: key is ignored
+     private:
+      std::unique_ptr<nn::Sequential> net_;
+    };
+    return std::make_unique<Ignorant>(artifact);
+  }
+  std::unique_ptr<nn::Sequential> attacker_view(
+      const PublishedModel& artifact) const override {
+    auto net = instantiate_baseline(artifact);
+    net->set_training(false);
+    return net;
+  }
+};
+
+TEST(LockSchemeContractTest, BrokenSchemeFailsWrongKeyCheck) {
+  const NoOpScheme broken;
+  // Reuse the weight-stream world's cleartext-trained weights: the no-op
+  // "protected" artifact is that model published with no protection at all.
+  SchemeWorld& donor = world_for(kWeightStreamTag);
+  const PublishedModel artifact =
+      make_protected_artifact(broken, *donor.trainable, donor.secrets);
+  EXPECT_EQ(artifact.scheme_tag, "no-op");
+
+  const data::SplitDataset& split = shared_split();
+  auto evaluator = broken.make_evaluator(artifact, donor.secrets);
+  const double correct = nn::evaluate_accuracy(
+      evaluator->network(), split.test.images, split.test.labels);
+  EXPECT_GT(correct, 0.6);
+  // The same predicate that passes for every registered scheme must fail
+  // here: a wrong key recovers full accuracy, so nothing was defended.
+  EXPECT_FALSE(
+      wrong_key_contract_holds(broken, artifact, donor.secrets, correct));
+}
+
+TEST(LockSchemeContractTest, UnregisteredTagCannotBeDeserialized) {
+  // Even if a broken/unknown scheme's artifact is crafted and serialized,
+  // no read path in this build will accept it: unknown tags fail closed.
+  const NoOpScheme broken;
+  SchemeWorld& donor = world_for(kWeightStreamTag);
+  const PublishedModel artifact =
+      make_protected_artifact(broken, *donor.trainable, donor.secrets);
+  std::stringstream ss;
+  publish_artifact(ss, artifact);
+  EXPECT_THROW((void)read_published_model(ss), SerializationError);
+}
+
+}  // namespace
+}  // namespace hpnn::obf
