@@ -14,6 +14,7 @@
 #include "hw/accumulator.hpp"
 #include "hw/mmu.hpp"
 #include "nn/layers.hpp"
+#include "tensor/backend.hpp"
 #include "tensor/ops.hpp"
 
 namespace {
@@ -204,6 +205,75 @@ void BM_KeyExpansion(benchmark::State& state) {
 }
 BENCHMARK(BM_KeyExpansion);
 
+// Per-backend variants of the two kernels whose implementation tiers
+// differ most (float GEMM microtile, MMU int8 datapath). The registry is
+// populated at runtime, so these register through RegisterBenchmark in
+// main() rather than the static BENCHMARK macro — one row per supported
+// backend, e.g. BM_GemmBackend/avx512/256.
+void gemm_backend_body(benchmark::State& state, const std::string& backend) {
+  ops::set_backend(backend);
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::normal(Shape{n, n}, rng);
+  const Tensor b = Tensor::normal(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    ops::gemm(a, ops::Trans::kNo, b, ops::Trans::kNo, c, 1.0f, 0.0f);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+
+void mmu_backend_body(benchmark::State& state, const std::string& backend) {
+  ops::set_backend(backend);
+  Rng rng(5);
+  const std::int64_t m = 32, k = 256, n = 256;
+  std::vector<std::int8_t> a(static_cast<std::size_t>(m * k));
+  std::vector<std::int8_t> w(static_cast<std::size_t>(k * n));
+  for (auto& v : a) {
+    v = static_cast<std::int8_t>(rng.uniform_index(255)) - 127;
+  }
+  for (auto& v : w) {
+    v = static_cast<std::int8_t>(rng.uniform_index(255)) - 127;
+  }
+  std::vector<std::int32_t> out(static_cast<std::size_t>(m * n));
+  hw::Mmu mmu;
+  for (auto _ : state) {
+    mmu.matmul_i8(a, m, k, w, n, {}, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * k * n);
+}
+
+void register_backend_benchmarks() {
+  for (const std::string& name : ops::backend_names()) {
+    if (!ops::find_backend(name)->supported()) {
+      continue;
+    }
+    benchmark::RegisterBenchmark(
+        ("BM_GemmBackend/" + name).c_str(),
+        [name](benchmark::State& state) { gemm_backend_body(state, name); })
+        ->Arg(256);
+    benchmark::RegisterBenchmark(
+        ("BM_MmuGemmI8Backend/" + name).c_str(),
+        [name](benchmark::State& state) { mmu_backend_body(state, name); });
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The auto-picked default stays active for the static BM_* suite above
+  // (so BM_Gemm/256 remains the regression-gate baseline); the per-backend
+  // rows pin their own tier, and the default is restored afterward.
+  const std::string default_backend = ops::backend().name();
+  register_backend_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ops::set_backend(default_backend);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -28,6 +28,7 @@
 #include "serve/fleet.hpp"
 #include "serve/daemon/load_gen.hpp"
 #include "serve/daemon/protocol.hpp"
+#include "tensor/backend.hpp"
 
 namespace hpnn::cli {
 
@@ -959,6 +960,24 @@ int cmd_serve_sim(const Args& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_backends(const Args& args, std::ostream& out) {
+  (void)args;
+  // Listing must not force resolution side effects beyond registration:
+  // report the active backend exactly as the next kernel call would see it.
+  const std::string active = ops::backend().name();
+  for (const auto& name : ops::backend_names()) {
+    const core::ComputeBackend* be = ops::find_backend(name);
+    out << (name == active ? "* " : "  ") << name;
+    if (!be->supported()) {
+      out << " (unsupported on this CPU)";
+    }
+    out << "\n      " << be->description() << "\n";
+  }
+  out << "\nselection: --backend > HPNN_BACKEND > HPNN_SIMD (legacy) > "
+         "auto-pick\n";
+  return 0;
+}
+
 int cmd_overhead(const Args& args, std::ostream& out) {
   const std::int64_t dim = args.get_int("dim", 256);
   const auto report = hw::mmu_overhead(dim);
@@ -998,6 +1017,8 @@ std::string usage() {
       "                                               scheme x attack x budget\n"
       "                                               curves (BENCH_defense)\n"
       "  inspect  --model FILE [--tensors 1]          describe an artifact\n"
+      "  backends                                     list compute backends\n"
+      "                                               (* marks the active one)\n"
       "  overhead [--dim N]                           locking hardware cost\n"
       "  metrics-demo [--arch A --epochs E]           end-to-end pass that\n"
       "                                               prints a metrics snapshot\n"
@@ -1039,6 +1060,10 @@ std::string usage() {
       "  --metrics-out PATH   write a metrics snapshot after the command\n"
       "                (.csv extension selects CSV, otherwise JSON;\n"
       "                 disable collection with HPNN_METRICS=off)\n"
+      "  --backend B   compute backend: scalar | avx2 | avx512 (see\n"
+      "                `hpnn backends`; default: HPNN_BACKEND env var, else\n"
+      "                the best tier this CPU supports; unknown or\n"
+      "                unsupported names fail closed with exit code 2)\n"
       "\n"
       "exit codes:\n"
       "  0 success          1 command failed       2 usage error\n"
@@ -1059,6 +1084,7 @@ int dispatch(const Args& args, std::ostream& out) {
   if (args.command == "attack") return cmd_attack(args, out);
   if (args.command == "defend-bench") return cmd_defend_bench(args, out);
   if (args.command == "inspect") return cmd_inspect(args, out);
+  if (args.command == "backends") return cmd_backends(args, out);
   if (args.command == "overhead") return cmd_overhead(args, out);
   if (args.command == "metrics-demo") return cmd_metrics_demo(args, out);
   if (args.command == "fault-campaign") {
@@ -1081,6 +1107,12 @@ int run_command(const std::vector<std::string>& tokens, std::ostream& out) {
       const std::int64_t threads = args.get_int("threads", 0);
       HPNN_CHECK(threads >= 1, "--threads must be >= 1");
       core::set_thread_count(static_cast<int>(threads));
+    }
+    if (args.has("backend")) {
+      // Global option: overrides HPNN_BACKEND/HPNN_SIMD for this
+      // invocation. Fails closed (UsageError -> exit 2) on unknown or
+      // unsupported names before any kernel runs.
+      ops::set_backend(args.require("backend"));
     }
     if (args.command.empty() || args.command == "help") {
       out << usage();

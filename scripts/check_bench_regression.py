@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Gate on google-benchmark regressions against a committed baseline.
+
+Compares one benchmark's cpu_time between the committed baseline JSON
+(BENCH_gemm.json, recorded on the reference container) and a freshly
+measured JSON, and fails when the current time regresses by more than
+--max-regress (fractional, e.g. 0.25 == 25% slower).
+
+CI runners are not the reference container, so two escape hatches keep the
+gate honest instead of flaky:
+  - --advisory: always print the comparison, never fail (explicit opt-out).
+  - --advisory-without FLAG: downgrade to advisory when /proc/cpuinfo does
+    not list the CPU flag (e.g. `avx2`) — a runner without the SIMD tier
+    the baseline was recorded with cannot meaningfully hit the threshold.
+
+Exit codes: 0 ok/advisory, 1 regression beyond threshold, 2 usage error
+(missing file, benchmark name not found in either JSON).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmark_time(path, name):
+    """cpu_time (ns) of the named benchmark's iteration run, or None."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        return None
+    for row in doc.get("benchmarks", []):
+        if row.get("name") == name and row.get("run_type", "iteration") == (
+            "iteration"
+        ):
+            return float(row["cpu_time"])
+    print(f"error: benchmark '{name}' not found in {path}", file=sys.stderr)
+    return None
+
+
+def cpu_has_flag(flag):
+    try:
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as f:
+            for line in f:
+                if line.startswith("flags"):
+                    return flag in line.split()
+    except OSError:
+        pass
+    return False
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON (BENCH_gemm.json)")
+    ap.add_argument("--current", required=True,
+                    help="freshly measured benchmark JSON")
+    ap.add_argument("--benchmark", default="BM_Gemm/256",
+                    help="benchmark name to compare (default: BM_Gemm/256)")
+    ap.add_argument("--max-regress", type=float, default=0.25,
+                    help="max allowed fractional slowdown (default: 0.25)")
+    ap.add_argument("--advisory", action="store_true",
+                    help="print the comparison but never fail")
+    ap.add_argument("--advisory-without", metavar="CPUFLAG",
+                    help="advisory mode when /proc/cpuinfo lacks this flag")
+    args = ap.parse_args()
+
+    advisory = args.advisory
+    if args.advisory_without and not cpu_has_flag(args.advisory_without):
+        print(f"note: CPU lacks '{args.advisory_without}' — baseline was "
+              "recorded on a SIMD-capable reference machine; reporting "
+              "advisory only")
+        advisory = True
+
+    base = load_benchmark_time(args.baseline, args.benchmark)
+    cur = load_benchmark_time(args.current, args.benchmark)
+    if base is None or cur is None:
+        return 2
+
+    delta = (cur - base) / base
+    direction = "slower" if delta >= 0 else "faster"
+    print(f"{args.benchmark}: baseline {base:.0f} ns, current {cur:.0f} ns "
+          f"({abs(delta) * 100:.1f}% {direction}, threshold "
+          f"{args.max_regress * 100:.0f}%)")
+
+    if delta > args.max_regress:
+        if advisory:
+            print("advisory mode: regression beyond threshold NOT enforced")
+            return 0
+        print(f"FAIL: {args.benchmark} regressed beyond the threshold",
+              file=sys.stderr)
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

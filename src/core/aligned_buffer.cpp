@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <new>
 
+#include "core/compute_backend.hpp"
+
 namespace hpnn::core {
 
 namespace {
@@ -89,6 +91,19 @@ std::byte* ScratchArena::allocate(std::size_t bytes) {
   active_block_ = blocks_.size() - 1;
   offset_ = bytes;
   return blocks_.back()->data();
+}
+
+void ScratchArena::refresh_backend_epoch() {
+  const std::uint64_t now = compute_backend_epoch();
+  if (backend_epoch_ == now) {
+    return;
+  }
+  // The retained blocks may hold packed panels laid out by the previous
+  // backend's microtile geometry; drop them rather than risk a replay.
+  blocks_.clear();
+  active_block_ = 0;
+  offset_ = 0;
+  backend_epoch_ = now;
 }
 
 void ScratchArena::rewind(std::size_t block, std::size_t offset) {

@@ -81,7 +81,15 @@ class ScratchArena {
     explicit Scope(ScratchArena& arena)
         : arena_(arena),
           saved_block_(arena.active_block_),
-          saved_offset_(arena.offset_) {}
+          saved_offset_(arena.offset_) {
+      // An outermost scope (no live allocations) re-tags the arena with
+      // the current compute-backend epoch, dropping retained blocks whose
+      // contents were laid out by a previous backend — a packed panel must
+      // never be replayed through another backend's microkernel.
+      if (saved_block_ == 0 && saved_offset_ == 0) {
+        arena.refresh_backend_epoch();
+      }
+    }
     ~Scope() { arena_.rewind(saved_block_, saved_offset_); }
 
     Scope(const Scope&) = delete;
@@ -112,10 +120,15 @@ class ScratchArena {
 
   std::byte* allocate(std::size_t bytes);
   void rewind(std::size_t block, std::size_t offset);
+  /// Drops every retained block (and restamps) when the compute-backend
+  /// epoch moved since the last outermost scope. Only called with no live
+  /// allocations, so clearing the chain is safe.
+  void refresh_backend_epoch();
 
   std::vector<std::unique_ptr<AlignedBuffer>> blocks_;
   std::size_t active_block_ = 0;  // block currently being bumped
   std::size_t offset_ = 0;        // bump offset within the active block
+  std::uint64_t backend_epoch_ = 0;  // epoch the retained blocks belong to
 };
 
 }  // namespace hpnn::core

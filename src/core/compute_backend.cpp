@@ -1,0 +1,205 @@
+#include "core/compute_backend.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace hpnn::core {
+
+void ComputeBackend::gemv(const float* a, const float* b, bool tb,
+                          std::int64_t n, std::int64_t k, float alpha,
+                          float beta, float* c) const {
+  if (tb) {
+    // op(B) = B^T stored n x k: each output is a contiguous dot product.
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float d = alpha * dot(a, b + j * k, k);
+      c[j] = d + (beta == 0.0f ? 0.0f : beta * c[j]);
+    }
+    return;
+  }
+  // op(B) = B stored k x n: a chain of axpys over contiguous B rows.
+  // beta == 0 must overwrite without reading (NaN garbage must not
+  // propagate).
+  if (beta == 0.0f) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      c[j] = 0.0f;
+    }
+  } else if (beta != 1.0f) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      c[j] *= beta;
+    }
+  }
+  for (std::int64_t p = 0; p < k; ++p) {
+    axpy(alpha * a[p], b + p * n, c, n);
+  }
+}
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ComputeBackend>> backends;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::atomic<const ComputeBackend*> g_active{nullptr};
+std::atomic<std::uint64_t> g_epoch{1};
+
+/// Picks the highest-priority supported backend. Called with the registry
+/// lock held.
+const ComputeBackend* auto_pick_locked(const Registry& r) {
+  const ComputeBackend* best = nullptr;
+  for (const auto& b : r.backends) {
+    if (b->supported() &&
+        (best == nullptr || b->priority() > best->priority())) {
+      best = b.get();
+    }
+  }
+  return best;
+}
+
+const ComputeBackend* lookup_locked(const Registry& r,
+                                    const std::string& name) {
+  for (const auto& b : r.backends) {
+    if (b->name() == name) {
+      return b.get();
+    }
+  }
+  return nullptr;
+}
+
+std::string known_names_locked(const Registry& r) {
+  std::string names;
+  for (const auto& b : r.backends) {
+    if (!names.empty()) {
+      names += ", ";
+    }
+    names += b->name();
+  }
+  return names;
+}
+
+/// Fail-closed resolution of `name` against the registry (lock held):
+/// unknown and unsupported names both throw, never fall back.
+const ComputeBackend& resolve_locked(const Registry& r,
+                                     const std::string& name,
+                                     const char* origin) {
+  const ComputeBackend* b = lookup_locked(r, name);
+  if (b == nullptr) {
+    throw UsageError(std::string(origin) + " names unknown compute backend '" +
+                     name + "' (registered: " + known_names_locked(r) + ")");
+  }
+  if (!b->supported()) {
+    throw UsageError(std::string(origin) + " names compute backend '" + name +
+                     "', which this CPU does not support");
+  }
+  return *b;
+}
+
+}  // namespace
+
+std::string backend_name_from_env(const char* env_backend,
+                                  const char* env_simd) {
+  if (env_backend != nullptr && env_backend[0] != '\0') {
+    return env_backend;
+  }
+  if (env_simd != nullptr &&
+      (std::strcmp(env_simd, "off") == 0 || std::strcmp(env_simd, "0") == 0 ||
+       std::strcmp(env_simd, "false") == 0 ||
+       std::strcmp(env_simd, "scalar") == 0)) {
+    // Legacy kill switch for A/B runs: force the scalar reference tier.
+    return "scalar";
+  }
+  return "";
+}
+
+void register_compute_backend(std::unique_ptr<ComputeBackend> backend) {
+  HPNN_CHECK(backend != nullptr, "cannot register a null compute backend");
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& b : r.backends) {
+    HPNN_CHECK(b->name() != backend->name(),
+               "compute backend '" + backend->name() +
+                   "' is already registered");
+  }
+  r.backends.push_back(std::move(backend));
+}
+
+std::vector<std::string> compute_backend_names() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.backends.size());
+  for (const auto& b : r.backends) {
+    names.push_back(b->name());
+  }
+  return names;
+}
+
+const ComputeBackend* find_compute_backend(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  return lookup_locked(r, name);
+}
+
+const ComputeBackend& compute_backend_by_name(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  const ComputeBackend* b = lookup_locked(r, name);
+  if (b == nullptr) {
+    throw UsageError("unknown compute backend '" + name +
+                     "' (registered: " + known_names_locked(r) + ")");
+  }
+  return *b;
+}
+
+const ComputeBackend& active_compute_backend() {
+  const ComputeBackend* active = g_active.load(std::memory_order_acquire);
+  if (active != nullptr) {
+    return *active;
+  }
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  active = g_active.load(std::memory_order_acquire);
+  if (active != nullptr) {
+    return *active;
+  }
+  HPNN_CHECK(!r.backends.empty(),
+             "no compute backends registered (the tensor layer registers "
+             "the built-ins on first use)");
+  const std::string forced = backend_name_from_env(
+      std::getenv("HPNN_BACKEND"), std::getenv("HPNN_SIMD"));
+  const ComputeBackend* chosen = nullptr;
+  if (!forced.empty()) {
+    chosen = &resolve_locked(r, forced, "environment");
+  } else {
+    chosen = auto_pick_locked(r);
+    HPNN_CHECK(chosen != nullptr,
+               "no registered compute backend is supported on this CPU");
+  }
+  g_active.store(chosen, std::memory_order_release);
+  g_epoch.fetch_add(1, std::memory_order_acq_rel);
+  return *chosen;
+}
+
+void set_active_compute_backend(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  const ComputeBackend& chosen = resolve_locked(r, name, "--backend");
+  g_active.store(&chosen, std::memory_order_release);
+  g_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::uint64_t compute_backend_epoch() {
+  return g_epoch.load(std::memory_order_acquire);
+}
+
+}  // namespace hpnn::core

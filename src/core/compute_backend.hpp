@@ -1,0 +1,172 @@
+// The pluggable compute-backend layer (DESIGN §15).
+//
+// Every dense kernel in the system — GEMM/GEMV, the im2col-lowered conv
+// forward/backward, pooling drivers, the vectorized elementwise and
+// locked-ReLU ops, and the MMU's fast-fidelity int8 datapath — routes its
+// innermost compute through one ComputeBackend. The blocking, packing,
+// thread-pool fan-out and chunking structure stays *shared* above the
+// interface (tensor/gemm_kernel, tensor/ops): a backend supplies the
+// register microkernel and the vector primitives, not its own loop nest.
+// That boundary is deliberate — it is what makes the per-backend contracts
+// cheap to uphold:
+//   - results are bit-identical at any HPNN_THREADS for a fixed backend
+//     (chunk boundaries are a pure function of the shape, each C element
+//     accumulates its full K extent inside one microkernel call);
+//   - Theorem-1 exactness holds through locked-ReLU gradients (the ±1 lock
+//     multiply is exact in every vector width);
+//   - the int8 MMU datapath is bit-identical across *all* backends (32-bit
+//     wrap-around accumulation is modular arithmetic, so any evaluation
+//     order — scalar, AVX2 widening, AVX-512 VNNI vpdpbusd — produces the
+//     same bits).
+// Float GEMM/conv results may differ across backends only by documented
+// rounding (FMA vs separate multiply+add, tile-width reduction order); the
+// backend-conformance kit (tests/tensor/backend_conformance_test.cpp)
+// enforces the tolerance and the bit-exactness contracts for every
+// registered backend.
+//
+// Selection order: `--backend` CLI flag > `HPNN_BACKEND` environment >
+// legacy `HPNN_SIMD` environment (off/0/false/scalar force the scalar
+// reference) > automatic pick of the highest-priority backend whose
+// supported() probe passes. The registry fails closed: an unknown or
+// unsupported name is an error, never a silent fallback.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hpnn::core {
+
+/// One compute-kernel implementation tier. Instances are registered once
+/// and live for the process lifetime, so raw pointers to them are stable
+/// (packed weight panels record which backend laid them out).
+class ComputeBackend {
+ public:
+  virtual ~ComputeBackend() = default;
+
+  /// Stable selection name ("scalar", "avx2", "avx512").
+  virtual std::string name() const = 0;
+
+  /// One-line human description for `hpnn backends`.
+  virtual std::string description() const = 0;
+
+  /// True when this CPU can execute the backend's kernels. Checked at
+  /// selection time; set_active_compute_backend fails closed when false.
+  virtual bool supported() const = 0;
+
+  /// Auto-pick rank: the highest-priority supported backend wins when no
+  /// explicit selection is made.
+  virtual int priority() const = 0;
+
+  // ---- GEMM microtile -----------------------------------------------
+  // op(A) is packed into mr-row panels (column-major within a panel),
+  // op(B) into nr-column panels (row-major within a panel); the packed
+  // panel layout is therefore a property of the backend, and panels must
+  // never be replayed through a different backend's microkernel.
+
+  /// Microtile rows (the A-panel height).
+  virtual std::int64_t gemm_mr() const = 0;
+  /// Microtile columns (the B-panel width); rows of a B panel are
+  /// nr floats apart, which every backend keeps 64-byte aligned.
+  virtual std::int64_t gemm_nr() const = 0;
+
+  /// One microtile: C[0..mr)[0..nr) = (packed product) + beta * C, with
+  /// full-K accumulation held in registers and beta applied once at store
+  /// time. `mr`/`nr` may be partial at the matrix edge. No data-dependent
+  /// branches: the instruction stream is a pure function of k/mr/nr/beta.
+  virtual void gemm_micro(const float* ap, const float* bp, std::int64_t k,
+                          float* c, std::int64_t ldc, std::int64_t mr,
+                          std::int64_t nr, float beta) const = 0;
+
+  /// m == 1 vector-matrix product: c = alpha * a @ op(B) + beta * c.
+  /// The default lowers onto dot (tb) / axpy (!tb) in ascending index
+  /// order; backends may override with a fused kernel.
+  virtual void gemv(const float* a, const float* b, bool tb, std::int64_t n,
+                    std::int64_t k, float alpha, float beta, float* c) const;
+
+  // ---- vectorized elementwise / locked-ReLU -------------------------
+  // Per-element semantics are fixed by the scalar reference; every
+  // implementation must be branch-free in the data and process elements
+  // in ascending index order.
+
+  /// y[i] = max(x[i], 0). In-place (y == x) allowed.
+  virtual void relu(const float* x, float* y, std::int64_t n) const = 0;
+  /// g[i] = x[i] > 0 ? g[i] : 0 — ReLU backward mask applied in place.
+  virtual void relu_mask(const float* x, float* g, std::int64_t n) const = 0;
+  /// y[i] = a[i] * b[i]. Any aliasing among a, b, y allowed.
+  virtual void mul(const float* a, const float* b, float* y,
+                   std::int64_t n) const = 0;
+  /// y[i] += s * x[i].
+  virtual void axpy(float s, const float* x, float* y,
+                    std::int64_t n) const = 0;
+  /// y[i] += s.
+  virtual void add_scalar(float s, float* y, std::int64_t n) const = 0;
+  /// Dot product with a backend-fixed lane-reduction order (deterministic
+  /// for a fixed backend).
+  virtual float dot(const float* a, const float* b, std::int64_t n) const = 0;
+  /// gx[i] = g[i] * lock[i] when z[i] > 0, else 0 — the locked-ReLU delta
+  /// rule with f = ReLU fused into one pass. lock values are ±1, so the
+  /// multiply is exact and Theorem-1 sign equality holds bit-for-bit in
+  /// every backend.
+  virtual void lock_relu_grad(const float* g, const float* z,
+                              const float* lock, float* gx,
+                              std::int64_t n) const = 0;
+
+  // ---- MMU int8 fast-fidelity datapath ------------------------------
+
+  /// out[i,j] = sum_p a[i,p] * w[p,j] with 32-bit wrap-around accumulation
+  /// (modular — bit-identical across backends), negated where
+  /// negate[i,j] != 0 (Σ(-p) == -(Σp) in two's complement). `negate` may
+  /// be null for the unlocked path.
+  virtual void matmul_i8(const std::int8_t* a, std::int64_t m,
+                         std::int64_t k, const std::int8_t* w, std::int64_t n,
+                         const std::uint8_t* negate,
+                         std::int32_t* out) const = 0;
+};
+
+// ---- registry ---------------------------------------------------------
+
+/// Registers a backend. Names must be unique; duplicates throw. Intended
+/// for the built-in tiers (registered on first use by the tensor layer)
+/// and for external/experimental backends in tests.
+void register_compute_backend(std::unique_ptr<ComputeBackend> backend);
+
+/// Names of every registered backend, in registration order.
+std::vector<std::string> compute_backend_names();
+
+/// Lookup; nullptr when unknown. Returned pointers are stable for the
+/// process lifetime.
+const ComputeBackend* find_compute_backend(const std::string& name);
+
+/// Fail-closed lookup: throws UsageError on unknown names.
+const ComputeBackend& compute_backend_by_name(const std::string& name);
+
+/// The active backend. Resolved on first use from the environment
+/// (HPNN_BACKEND, then legacy HPNN_SIMD, then auto-pick); throws
+/// UsageError when the environment names an unknown or unsupported
+/// backend, and Error when the registry is empty.
+const ComputeBackend& active_compute_backend();
+
+/// Switches the active backend (tests and the --backend CLI flag do this
+/// mid-process). Throws UsageError when `name` is unknown or the backend
+/// is not supported on this CPU — never falls back silently. Bumps the
+/// backend epoch, which invalidates every cached packed panel and the
+/// scratch arenas' retained blocks.
+void set_active_compute_backend(const std::string& name);
+
+/// Monotonic counter bumped by every set_active_compute_backend call (and
+/// by first-use resolution). Caches keyed on a backend's packed data
+/// layout — PackedA panels, ScratchArena retained blocks — record the
+/// epoch and treat a mismatch as stale.
+std::uint64_t compute_backend_epoch();
+
+/// Pure selection-policy helper (unit-testable without touching the real
+/// environment): returns the backend name forced by the environment, or
+/// "" for auto-pick. `env_backend` is HPNN_BACKEND; `env_simd` is the
+/// legacy HPNN_SIMD kill switch, whose off/0/false/scalar values force the
+/// scalar reference backend. Either may be null (unset).
+std::string backend_name_from_env(const char* env_backend,
+                                  const char* env_simd);
+
+}  // namespace hpnn::core

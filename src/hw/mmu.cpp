@@ -3,101 +3,9 @@
 #include "core/error.hpp"
 #include "core/metrics.hpp"
 #include "hw/fault.hpp"
-#include "tensor/vec_ops.hpp"
-
-#if defined(HPNN_SIMD_AVX2) && defined(__x86_64__)
-#include <immintrin.h>
-#define HPNN_HAVE_AVX2_KERNELS 1
-#else
-#define HPNN_HAVE_AVX2_KERNELS 0
-#endif
+#include "tensor/backend.hpp"
 
 namespace hpnn::hw {
-
-namespace {
-
-/// Fast-fidelity datapath, scalar form. 32-bit wrap-around accumulation is
-/// modular arithmetic, so any evaluation order produces identical bits —
-/// the SIMD variant below is exactly equivalent, not approximately.
-void matmul_i8_fast_scalar(std::span<const std::int8_t> a, std::int64_t m,
-                           std::int64_t k, std::span<const std::int8_t> w,
-                           std::int64_t n,
-                           std::span<const std::uint8_t> negate,
-                           std::span<std::int32_t> out) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < n; ++j) {
-      // 32-bit wrap-around semantics identical to the register model.
-      std::uint32_t acc = 0;
-      for (std::int64_t p = 0; p < k; ++p) {
-        const auto product = static_cast<std::int32_t>(a[i * k + p]) *
-                             static_cast<std::int32_t>(w[p * n + j]);
-        acc += static_cast<std::uint32_t>(product);
-      }
-      const bool key_bit = !negate.empty() && negate[i * n + j] != 0;
-      // Σ(-p) == -(Σp) in two's complement, so the keyed accumulator's
-      // per-product subtraction collapses to one negation here.
-      out[i * n + j] = static_cast<std::int32_t>(key_bit ? 0u - acc : acc);
-    }
-  }
-}
-
-#if HPNN_HAVE_AVX2_KERNELS
-
-/// AVX2 fast path: 16 output columns per stripe (two 8-lane int32
-/// accumulators), activations broadcast, weights widened int8 -> int32.
-/// add_epi32 wraps exactly like the scalar uint32 accumulation and the
-/// per-element product order is unchanged, so results are bit-identical to
-/// the scalar datapath.
-__attribute__((target("avx2"))) void matmul_i8_fast_avx2(
-    std::span<const std::int8_t> a, std::int64_t m, std::int64_t k,
-    std::span<const std::int8_t> w, std::int64_t n,
-    std::span<const std::uint8_t> negate, std::span<std::int32_t> out) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    std::int64_t j = 0;
-    for (; j + 16 <= n; j += 16) {
-      __m256i acc0 = _mm256_setzero_si256();
-      __m256i acc1 = _mm256_setzero_si256();
-      for (std::int64_t p = 0; p < k; ++p) {
-        const __m256i av =
-            _mm256_set1_epi32(static_cast<std::int32_t>(a[i * k + p]));
-        const __m128i w16 = _mm_loadu_si128(
-            reinterpret_cast<const __m128i*>(w.data() + p * n + j));
-        const __m256i w0 = _mm256_cvtepi8_epi32(w16);
-        const __m256i w1 = _mm256_cvtepi8_epi32(_mm_srli_si128(w16, 8));
-        acc0 = _mm256_add_epi32(acc0, _mm256_mullo_epi32(av, w0));
-        acc1 = _mm256_add_epi32(acc1, _mm256_mullo_epi32(av, w1));
-      }
-      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out.data() + i * n + j),
-                          acc0);
-      _mm256_storeu_si256(
-          reinterpret_cast<__m256i*>(out.data() + i * n + j + 8), acc1);
-    }
-    // Column remainder: identical scalar accumulation.
-    for (; j < n; ++j) {
-      std::uint32_t acc = 0;
-      for (std::int64_t p = 0; p < k; ++p) {
-        const auto product = static_cast<std::int32_t>(a[i * k + p]) *
-                             static_cast<std::int32_t>(w[p * n + j]);
-        acc += static_cast<std::uint32_t>(product);
-      }
-      out[i * n + j] = static_cast<std::int32_t>(acc);
-    }
-    // Keyed negation applied as a second pass over the finished row
-    // (Σ(-p) == -(Σp) in two's complement).
-    if (!negate.empty()) {
-      for (std::int64_t jj = 0; jj < n; ++jj) {
-        if (negate[i * n + jj] != 0) {
-          out[i * n + jj] = static_cast<std::int32_t>(
-              0u - static_cast<std::uint32_t>(out[i * n + jj]));
-        }
-      }
-    }
-  }
-}
-
-#endif  // HPNN_HAVE_AVX2_KERNELS
-
-}  // namespace
 
 double MmuStats::utilization() const {
   if (cycles == 0) {
@@ -141,15 +49,13 @@ void Mmu::matmul_i8(std::span<const std::int8_t> a, std::int64_t m,
       }
     }
   } else {
-#if HPNN_HAVE_AVX2_KERNELS
-    if (ops::simd_active()) {
-      matmul_i8_fast_avx2(a, m, k, w, n, negate, out);
-    } else {
-      matmul_i8_fast_scalar(a, m, k, w, n, negate, out);
-    }
-#else
-    matmul_i8_fast_scalar(a, m, k, w, n, negate, out);
-#endif
+    // Fast-fidelity datapath: the active compute backend's int8 kernel.
+    // 32-bit wrap-around accumulation is modular arithmetic, so every
+    // backend (scalar, AVX2 widening, AVX-512 VNNI) produces identical
+    // bits — the conformance kit enforces this, not just the tolerance.
+    ops::backend().matmul_i8(a.data(), m, k, w.data(), n,
+                             negate.empty() ? nullptr : negate.data(),
+                             out.data());
   }
 
   if (fault_ != nullptr) {

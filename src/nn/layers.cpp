@@ -93,7 +93,10 @@ Tensor Conv2d::forward(const Tensor& x) {
   // packing is reused until the parameter's mutation counter moves; the
   // pointer-identity matches() check alone cannot detect staleness, since
   // optimizer steps and checkpoint loads rewrite the weights in place
-  // without changing the data pointer (see Parameter::version()).
+  // without changing the data pointer (see Parameter::version()). matches()
+  // does, however, catch a compute-backend switch between calls: panels
+  // record the backend that packed them, so a stale-tile-geometry panel is
+  // re-packed here rather than replayed through the wrong microkernel.
   if (training() || packed_weight_version_ != weight_.version() ||
       !packed_weight_.matches(weight_.value.data(), false, out_channels_,
                               cols_rows)) {

@@ -1,0 +1,50 @@
+#include "tensor/backend.hpp"
+
+#include <mutex>
+
+#include "tensor/backends/backends.hpp"
+
+namespace hpnn::ops {
+
+namespace {
+
+/// One-time registration of the tiers compiled into this binary. call_once
+/// (not a static-local initializer) so the first caller on any thread —
+/// including pool workers — pays it exactly once, with no reliance on
+/// static-init order across translation units.
+void ensure_builtins_registered() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    core::register_compute_backend(make_scalar_backend());
+#if defined(HPNN_SIMD_AVX2) && defined(__x86_64__)
+    core::register_compute_backend(make_avx2_backend());
+#endif
+#if defined(HPNN_SIMD_AVX512) && defined(__x86_64__)
+    core::register_compute_backend(make_avx512_backend());
+#endif
+  });
+}
+
+}  // namespace
+
+const core::ComputeBackend& backend() {
+  ensure_builtins_registered();
+  return core::active_compute_backend();
+}
+
+void set_backend(const std::string& name) {
+  ensure_builtins_registered();
+  core::set_active_compute_backend(name);
+}
+
+std::vector<std::string> backend_names() {
+  ensure_builtins_registered();
+  return core::compute_backend_names();
+}
+
+const core::ComputeBackend* find_backend(const std::string& name) {
+  ensure_builtins_registered();
+  return core::find_compute_backend(name);
+}
+
+}  // namespace hpnn::ops

@@ -1,0 +1,278 @@
+// The AVX2/FMA tier: the packed microkernel and vector primitives that
+// were the kernel layer's only SIMD path before the backend split. Every
+// function carries a per-function target attribute so this translation
+// unit compiles into any x86-64 binary; supported() gates execution on
+// the CPUID probe at selection time.
+#include <algorithm>
+
+#include "tensor/backends/backends.hpp"
+#include "tensor/backends/micro_common.hpp"
+
+#if defined(HPNN_SIMD_AVX2) && defined(__x86_64__)
+
+#include <immintrin.h>
+
+namespace hpnn::ops {
+
+namespace {
+
+constexpr std::int64_t kAvx2MR = 6;
+constexpr std::int64_t kAvx2NR = 16;
+
+/// AVX2/FMA microkernel: 6 x 16 tile in 12 ymm accumulators, two aligned
+/// B-vector loads and six A broadcasts per k step. No data-dependent
+/// branches — the instruction stream is a pure function of k/mr/nr/beta.
+__attribute__((target("avx2,fma"))) void micro_avx2(
+    const float* ap, const float* bp, std::int64_t k, float* c,
+    std::int64_t ldc, std::int64_t mr, std::int64_t nr, float beta) {
+  __m256 acc[kAvx2MR][2];
+  for (std::int64_t r = 0; r < kAvx2MR; ++r) {
+    acc[r][0] = _mm256_setzero_ps();
+    acc[r][1] = _mm256_setzero_ps();
+  }
+  for (std::int64_t p = 0; p < k; ++p) {
+    // Panel rows are 64-byte aligned (kAvx2NR floats per k step from a
+    // 64-byte-aligned arena block), so aligned loads are safe.
+    const __m256 b0 = _mm256_load_ps(bp + p * kAvx2NR);
+    const __m256 b1 = _mm256_load_ps(bp + p * kAvx2NR + 8);
+    const float* arow = ap + p * kAvx2MR;
+    for (std::int64_t r = 0; r < kAvx2MR; ++r) {
+      const __m256 av = _mm256_broadcast_ss(arow + r);
+      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  if (mr == kAvx2MR && nr == kAvx2NR) {
+    if (beta == 0.0f) {
+      for (std::int64_t r = 0; r < kAvx2MR; ++r) {
+        _mm256_storeu_ps(c + r * ldc, acc[r][0]);
+        _mm256_storeu_ps(c + r * ldc + 8, acc[r][1]);
+      }
+    } else if (beta == 1.0f) {
+      for (std::int64_t r = 0; r < kAvx2MR; ++r) {
+        float* crow = c + r * ldc;
+        _mm256_storeu_ps(crow,
+                         _mm256_add_ps(_mm256_loadu_ps(crow), acc[r][0]));
+        _mm256_storeu_ps(
+            crow + 8, _mm256_add_ps(_mm256_loadu_ps(crow + 8), acc[r][1]));
+      }
+    } else {
+      const __m256 bv = _mm256_set1_ps(beta);
+      for (std::int64_t r = 0; r < kAvx2MR; ++r) {
+        float* crow = c + r * ldc;
+        _mm256_storeu_ps(
+            crow, _mm256_fmadd_ps(bv, _mm256_loadu_ps(crow), acc[r][0]));
+        _mm256_storeu_ps(crow + 8, _mm256_fmadd_ps(
+                                       bv, _mm256_loadu_ps(crow + 8),
+                                       acc[r][1]));
+      }
+    }
+    return;
+  }
+  alignas(32) float tile[kAvx2MR * kAvx2NR];
+  for (std::int64_t r = 0; r < kAvx2MR; ++r) {
+    _mm256_store_ps(tile + r * kAvx2NR, acc[r][0]);
+    _mm256_store_ps(tile + r * kAvx2NR + 8, acc[r][1]);
+  }
+  backends::merge_tile(tile, kAvx2NR, c, ldc, mr, nr, beta);
+}
+
+__attribute__((target("avx2,fma"))) void relu_avx2(const float* x, float* y,
+                                                   std::int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_max_ps(_mm256_loadu_ps(x + i), zero));
+  }
+  for (; i < n; ++i) {
+    y[i] = std::max(x[i], 0.0f);
+  }
+}
+
+__attribute__((target("avx2,fma"))) void relu_mask_avx2(const float* x,
+                                                        float* g,
+                                                        std::int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 keep =
+        _mm256_cmp_ps(_mm256_loadu_ps(x + i), zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(g + i, _mm256_and_ps(_mm256_loadu_ps(g + i), keep));
+  }
+  for (; i < n; ++i) {
+    g[i] = x[i] > 0.0f ? g[i] : 0.0f;
+  }
+}
+
+__attribute__((target("avx2,fma"))) void mul_avx2(const float* a,
+                                                  const float* b, float* y,
+                                                  std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) {
+    y[i] = a[i] * b[i];
+  }
+}
+
+__attribute__((target("avx2,fma"))) void axpy_avx2(float s, const float* x,
+                                                   float* y, std::int64_t n) {
+  const __m256 sv = _mm256_set1_ps(s);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_fmadd_ps(sv, _mm256_loadu_ps(x + i),
+                                            _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) {
+    y[i] += s * x[i];
+  }
+}
+
+__attribute__((target("avx2,fma"))) void add_scalar_avx2(float s, float* y,
+                                                         std::int64_t n) {
+  const __m256 sv = _mm256_set1_ps(s);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), sv));
+  }
+  for (; i < n; ++i) {
+    y[i] += s;
+  }
+}
+
+__attribute__((target("avx2,fma"))) float dot_avx2(const float* a,
+                                                   const float* b,
+                                                   std::int64_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc);
+  }
+  // Fixed pairwise lane reduction: (lo+hi) -> 4 lanes -> 2 -> 1.
+  __m128 lo = _mm256_castps256_ps128(acc);
+  __m128 hi = _mm256_extractf128_ps(acc, 1);
+  __m128 s4 = _mm_add_ps(lo, hi);
+  __m128 s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+  __m128 s1 = _mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 0x1));
+  float sum = _mm_cvtss_f32(s1);
+  for (; i < n; ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) void lock_relu_grad_avx2(
+    const float* g, const float* z, const float* lock, float* gx,
+    std::int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 keep =
+        _mm256_cmp_ps(_mm256_loadu_ps(z + i), zero, _CMP_GT_OQ);
+    const __m256 gl =
+        _mm256_mul_ps(_mm256_loadu_ps(g + i), _mm256_loadu_ps(lock + i));
+    _mm256_storeu_ps(gx + i, _mm256_and_ps(gl, keep));
+  }
+  for (; i < n; ++i) {
+    gx[i] = z[i] > 0.0f ? g[i] * lock[i] : 0.0f;
+  }
+}
+
+/// AVX2 int8 fast path: 16 output columns per stripe (two 8-lane int32
+/// accumulators), activations broadcast, weights widened int8 -> int32.
+/// add_epi32 wraps exactly like the scalar uint32 accumulation and the
+/// per-element product order is unchanged, so results are bit-identical to
+/// the scalar datapath.
+__attribute__((target("avx2"))) void matmul_i8_avx2(
+    const std::int8_t* a, std::int64_t m, std::int64_t k,
+    const std::int8_t* w, std::int64_t n, const std::uint8_t* negate,
+    std::int32_t* out) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    std::int64_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      for (std::int64_t p = 0; p < k; ++p) {
+        const __m256i av =
+            _mm256_set1_epi32(static_cast<std::int32_t>(a[i * k + p]));
+        const __m128i w16 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(w + p * n + j));
+        const __m256i w0 = _mm256_cvtepi8_epi32(w16);
+        const __m256i w1 = _mm256_cvtepi8_epi32(_mm_srli_si128(w16, 8));
+        acc0 = _mm256_add_epi32(acc0, _mm256_mullo_epi32(av, w0));
+        acc1 = _mm256_add_epi32(acc1, _mm256_mullo_epi32(av, w1));
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i * n + j), acc0);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i * n + j + 8),
+                          acc1);
+    }
+    // Column remainder: identical scalar accumulation.
+    backends::matmul_i8_row_scalar(a, i, k, w, n, j, n, out);
+    backends::negate_row(negate, i, n, out);
+  }
+}
+
+class Avx2Backend final : public core::ComputeBackend {
+ public:
+  std::string name() const override { return "avx2"; }
+  std::string description() const override {
+    return "AVX2/FMA kernels: 6x16 GEMM microtile, 8-lane elementwise, "
+           "widening int8 MMU path";
+  }
+  bool supported() const override {
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  }
+  int priority() const override { return 10; }
+
+  std::int64_t gemm_mr() const override { return kAvx2MR; }
+  std::int64_t gemm_nr() const override { return kAvx2NR; }
+
+  void gemm_micro(const float* ap, const float* bp, std::int64_t k, float* c,
+                  std::int64_t ldc, std::int64_t mr, std::int64_t nr,
+                  float beta) const override {
+    micro_avx2(ap, bp, k, c, ldc, mr, nr, beta);
+  }
+
+  void relu(const float* x, float* y, std::int64_t n) const override {
+    relu_avx2(x, y, n);
+  }
+  void relu_mask(const float* x, float* g, std::int64_t n) const override {
+    relu_mask_avx2(x, g, n);
+  }
+  void mul(const float* a, const float* b, float* y,
+           std::int64_t n) const override {
+    mul_avx2(a, b, y, n);
+  }
+  void axpy(float s, const float* x, float* y, std::int64_t n) const override {
+    axpy_avx2(s, x, y, n);
+  }
+  void add_scalar(float s, float* y, std::int64_t n) const override {
+    add_scalar_avx2(s, y, n);
+  }
+  float dot(const float* a, const float* b, std::int64_t n) const override {
+    return dot_avx2(a, b, n);
+  }
+  void lock_relu_grad(const float* g, const float* z, const float* lock,
+                      float* gx, std::int64_t n) const override {
+    lock_relu_grad_avx2(g, z, lock, gx, n);
+  }
+
+  void matmul_i8(const std::int8_t* a, std::int64_t m, std::int64_t k,
+                 const std::int8_t* w, std::int64_t n,
+                 const std::uint8_t* negate,
+                 std::int32_t* out) const override {
+    matmul_i8_avx2(a, m, k, w, n, negate, out);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<core::ComputeBackend> make_avx2_backend() {
+  return std::make_unique<Avx2Backend>();
+}
+
+}  // namespace hpnn::ops
+
+#endif  // HPNN_SIMD_AVX2 && __x86_64__

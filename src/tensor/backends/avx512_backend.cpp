@@ -1,0 +1,354 @@
+// The AVX-512/VNNI tier: an 8 x 32 float microtile (16 zmm accumulators),
+// 16-lane elementwise ops, and a vpdpbusd int8 MMU datapath. Everything
+// is compiled behind per-function target attributes so one binary carries
+// this tier alongside the AVX2 and scalar ones; supported() gates
+// execution on the CPUID probes.
+//
+// Int8 exactness: vpdpbusd multiplies unsigned-by-signed bytes, so the
+// signed activations are biased by +128 (a XOR 0x80) before the dot and
+// the result is corrected by subtracting 128 * colsum(W) afterwards:
+//   sum(a * w) == sum((a + 128) * w) - 128 * sum(w)   (mod 2^32).
+// Every intermediate product (a+128)*w fits int16 (max |value| 32640),
+// vpdpbusd's int32 accumulation is non-saturating (modular), and the
+// correction is a modular subtraction — so the result is bit-identical to
+// the scalar uint32 wrap-around datapath, not approximately equal.
+#include <algorithm>
+
+#include "core/aligned_buffer.hpp"
+#include "tensor/backends/backends.hpp"
+#include "tensor/backends/micro_common.hpp"
+
+#if defined(HPNN_SIMD_AVX512) && defined(__x86_64__)
+
+// GCC's AVX-512 intrinsic headers seed "undefined" vectors with
+// `__Y = __Y`, which trips spurious -Wuninitialized through casts and
+// broadcasts (GCC PR105593). Clang does not have the pattern.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <immintrin.h>
+
+#define HPNN_AVX512_TARGET \
+  __attribute__((target("avx512f,avx512bw,avx512vl,avx512vnni")))
+
+namespace hpnn::ops {
+
+namespace {
+
+constexpr std::int64_t kAvx512MR = 8;
+constexpr std::int64_t kAvx512NR = 32;
+
+/// AVX-512 microkernel: 8 x 32 tile in 16 zmm accumulators, two aligned
+/// B-vector loads and eight A broadcasts per k step. No data-dependent
+/// branches — the instruction stream is a pure function of k/mr/nr/beta.
+HPNN_AVX512_TARGET void micro_avx512(const float* ap, const float* bp,
+                                     std::int64_t k, float* c,
+                                     std::int64_t ldc, std::int64_t mr,
+                                     std::int64_t nr, float beta) {
+  __m512 acc[kAvx512MR][2];
+  for (std::int64_t r = 0; r < kAvx512MR; ++r) {
+    acc[r][0] = _mm512_setzero_ps();
+    acc[r][1] = _mm512_setzero_ps();
+  }
+  for (std::int64_t p = 0; p < k; ++p) {
+    // B panel rows are kAvx512NR floats (128 bytes) from a 64-byte-aligned
+    // arena block, so aligned loads are safe.
+    const __m512 b0 = _mm512_load_ps(bp + p * kAvx512NR);
+    const __m512 b1 = _mm512_load_ps(bp + p * kAvx512NR + 16);
+    const float* arow = ap + p * kAvx512MR;
+    for (std::int64_t r = 0; r < kAvx512MR; ++r) {
+      const __m512 av = _mm512_set1_ps(arow[r]);
+      acc[r][0] = _mm512_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm512_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  if (mr == kAvx512MR && nr == kAvx512NR) {
+    if (beta == 0.0f) {
+      for (std::int64_t r = 0; r < kAvx512MR; ++r) {
+        _mm512_storeu_ps(c + r * ldc, acc[r][0]);
+        _mm512_storeu_ps(c + r * ldc + 16, acc[r][1]);
+      }
+    } else if (beta == 1.0f) {
+      for (std::int64_t r = 0; r < kAvx512MR; ++r) {
+        float* crow = c + r * ldc;
+        _mm512_storeu_ps(crow,
+                         _mm512_add_ps(_mm512_loadu_ps(crow), acc[r][0]));
+        _mm512_storeu_ps(
+            crow + 16, _mm512_add_ps(_mm512_loadu_ps(crow + 16), acc[r][1]));
+      }
+    } else {
+      const __m512 bv = _mm512_set1_ps(beta);
+      for (std::int64_t r = 0; r < kAvx512MR; ++r) {
+        float* crow = c + r * ldc;
+        _mm512_storeu_ps(
+            crow, _mm512_fmadd_ps(bv, _mm512_loadu_ps(crow), acc[r][0]));
+        _mm512_storeu_ps(
+            crow + 16,
+            _mm512_fmadd_ps(bv, _mm512_loadu_ps(crow + 16), acc[r][1]));
+      }
+    }
+    return;
+  }
+  alignas(64) float tile[kAvx512MR * kAvx512NR];
+  for (std::int64_t r = 0; r < kAvx512MR; ++r) {
+    _mm512_store_ps(tile + r * kAvx512NR, acc[r][0]);
+    _mm512_store_ps(tile + r * kAvx512NR + 16, acc[r][1]);
+  }
+  backends::merge_tile(tile, kAvx512NR, c, ldc, mr, nr, beta);
+}
+
+HPNN_AVX512_TARGET void relu_avx512(const float* x, float* y,
+                                    std::int64_t n) {
+  const __m512 zero = _mm512_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(y + i, _mm512_max_ps(_mm512_loadu_ps(x + i), zero));
+  }
+  for (; i < n; ++i) {
+    y[i] = std::max(x[i], 0.0f);
+  }
+}
+
+HPNN_AVX512_TARGET void relu_mask_avx512(const float* x, float* g,
+                                         std::int64_t n) {
+  const __m512 zero = _mm512_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __mmask16 keep =
+        _mm512_cmp_ps_mask(_mm512_loadu_ps(x + i), zero, _CMP_GT_OQ);
+    _mm512_storeu_ps(g + i, _mm512_maskz_mov_ps(keep, _mm512_loadu_ps(g + i)));
+  }
+  for (; i < n; ++i) {
+    g[i] = x[i] > 0.0f ? g[i] : 0.0f;
+  }
+}
+
+HPNN_AVX512_TARGET void mul_avx512(const float* a, const float* b, float* y,
+                                   std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(
+        y + i, _mm512_mul_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) {
+    y[i] = a[i] * b[i];
+  }
+}
+
+HPNN_AVX512_TARGET void axpy_avx512(float s, const float* x, float* y,
+                                    std::int64_t n) {
+  const __m512 sv = _mm512_set1_ps(s);
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(y + i, _mm512_fmadd_ps(sv, _mm512_loadu_ps(x + i),
+                                            _mm512_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) {
+    y[i] += s * x[i];
+  }
+}
+
+HPNN_AVX512_TARGET void add_scalar_avx512(float s, float* y, std::int64_t n) {
+  const __m512 sv = _mm512_set1_ps(s);
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(y + i, _mm512_add_ps(_mm512_loadu_ps(y + i), sv));
+  }
+  for (; i < n; ++i) {
+    y[i] += s;
+  }
+}
+
+HPNN_AVX512_TARGET float dot_avx512(const float* a, const float* b,
+                                    std::int64_t n) {
+  __m512 acc = _mm512_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i), acc);
+  }
+  // Fixed pairwise lane reduction: 16 -> 8 -> 4 -> 2 -> 1 (explicit, so the
+  // reduction order is a property of this backend, not of the compiler's
+  // reduce intrinsic lowering). The upper half is brought down with an
+  // f32x4 shuffle + cast: the 256-bit extract needs avx512dq, which is not
+  // in this tier's target set, and GCC's 128-bit extract trips a spurious
+  // -Wuninitialized through _mm_undefined_ps.
+  const __m256 half = _mm256_add_ps(
+      _mm512_castps512_ps256(acc),
+      _mm512_castps512_ps256(_mm512_shuffle_f32x4(acc, acc, 0xEE)));
+  const __m128 lo = _mm256_castps256_ps128(half);
+  const __m128 hi = _mm256_extractf128_ps(half, 1);
+  const __m128 s4 = _mm_add_ps(lo, hi);
+  const __m128 s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+  const __m128 s1 = _mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 0x1));
+  float sum = _mm_cvtss_f32(s1);
+  for (; i < n; ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+HPNN_AVX512_TARGET void lock_relu_grad_avx512(const float* g, const float* z,
+                                              const float* lock, float* gx,
+                                              std::int64_t n) {
+  const __m512 zero = _mm512_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __mmask16 keep =
+        _mm512_cmp_ps_mask(_mm512_loadu_ps(z + i), zero, _CMP_GT_OQ);
+    const __m512 gl =
+        _mm512_mul_ps(_mm512_loadu_ps(g + i), _mm512_loadu_ps(lock + i));
+    _mm512_storeu_ps(gx + i, _mm512_maskz_mov_ps(keep, gl));
+  }
+  for (; i < n; ++i) {
+    gx[i] = z[i] > 0.0f ? g[i] * lock[i] : 0.0f;
+  }
+}
+
+/// VNNI int8 datapath. W is repacked once per call into per-16-column
+/// stripes of [k/4][16 cols][4 k] bytes (zero-padded in k — a zero weight
+/// contributes zero to both the biased dot and the column sum, so padding
+/// is exact), the signed activations are biased to unsigned row by row,
+/// and the +128 bias is removed with one modular subtraction per output.
+HPNN_AVX512_TARGET void matmul_i8_avx512(const std::int8_t* a, std::int64_t m,
+                                         std::int64_t k, const std::int8_t* w,
+                                         std::int64_t n,
+                                         const std::uint8_t* negate,
+                                         std::int32_t* out) {
+  const std::int64_t stripes = n / 16;  // full 16-column stripes
+  const std::int64_t kq = (k + 3) / 4;  // k groups of 4, zero-padded
+  core::ScratchArena::Scope scope;
+  // Packed W: per stripe, kq groups of 64 bytes (16 cols x 4 k each).
+  std::int8_t* wp =
+      reinterpret_cast<std::int8_t*>(scope.bytes(
+          static_cast<std::size_t>(std::max<std::int64_t>(
+              stripes * kq * 64, 1))));
+  // Column sums for the bias correction, full stripes only.
+  std::int32_t* colsum = reinterpret_cast<std::int32_t*>(scope.bytes(
+      static_cast<std::size_t>(std::max<std::int64_t>(stripes * 16, 1)) *
+      sizeof(std::int32_t)));
+  // One row of biased activations, zero-padded to kq * 4.
+  std::uint8_t* au = reinterpret_cast<std::uint8_t*>(
+      scope.bytes(static_cast<std::size_t>(kq * 4)));
+
+  for (std::int64_t s = 0; s < stripes; ++s) {
+    const std::int64_t j0 = s * 16;
+    std::int8_t* sp = wp + s * kq * 64;
+    for (std::int64_t q = 0; q < kq; ++q) {
+      std::int8_t* gp = sp + q * 64;
+      for (std::int64_t c = 0; c < 16; ++c) {
+        for (std::int64_t r = 0; r < 4; ++r) {
+          const std::int64_t p = q * 4 + r;
+          gp[c * 4 + r] = p < k ? w[p * n + j0 + c] : 0;
+        }
+      }
+    }
+    for (std::int64_t c = 0; c < 16; ++c) {
+      std::int32_t sum = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        sum += static_cast<std::int32_t>(w[p * n + j0 + c]);
+      }
+      colsum[s * 16 + c] = sum;
+    }
+  }
+
+  for (std::int64_t i = 0; i < m; ++i) {
+    // Bias the row to unsigned: a + 128 == a XOR 0x80 in two's complement.
+    // Padded tail bytes multiply zero weights, so their value is free.
+    for (std::int64_t p = 0; p < k; ++p) {
+      au[p] = static_cast<std::uint8_t>(
+          static_cast<std::uint8_t>(a[i * k + p]) ^ 0x80u);
+    }
+    for (std::int64_t p = k; p < kq * 4; ++p) {
+      au[p] = 0;
+    }
+    for (std::int64_t s = 0; s < stripes; ++s) {
+      const std::int8_t* sp = wp + s * kq * 64;
+      __m512i acc = _mm512_setzero_si512();
+      for (std::int64_t q = 0; q < kq; ++q) {
+        std::uint32_t aword;
+        __builtin_memcpy(&aword, au + q * 4, 4);
+        const __m512i av = _mm512_set1_epi32(static_cast<std::int32_t>(aword));
+        const __m512i wv = _mm512_load_si512(
+            reinterpret_cast<const void*>(sp + q * 64));
+        acc = _mm512_dpbusd_epi32(acc, av, wv);
+      }
+      // Remove the +128 bias: subtract 128 * colsum (modular).
+      const __m512i cs = _mm512_load_si512(
+          reinterpret_cast<const void*>(colsum + s * 16));
+      acc = _mm512_sub_epi32(acc, _mm512_slli_epi32(cs, 7));
+      _mm512_storeu_si512(
+          reinterpret_cast<void*>(out + i * n + s * 16), acc);
+    }
+    // Column remainder: identical scalar accumulation.
+    backends::matmul_i8_row_scalar(a, i, k, w, n, stripes * 16, n, out);
+    backends::negate_row(negate, i, n, out);
+  }
+}
+
+class Avx512Backend final : public core::ComputeBackend {
+ public:
+  std::string name() const override { return "avx512"; }
+  std::string description() const override {
+    return "AVX-512/VNNI kernels: 8x32 GEMM microtile, 16-lane elementwise, "
+           "vpdpbusd int8 MMU path";
+  }
+  bool supported() const override {
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512bw") &&
+           __builtin_cpu_supports("avx512vl") &&
+           __builtin_cpu_supports("avx512vnni");
+  }
+  int priority() const override { return 20; }
+
+  std::int64_t gemm_mr() const override { return kAvx512MR; }
+  std::int64_t gemm_nr() const override { return kAvx512NR; }
+
+  void gemm_micro(const float* ap, const float* bp, std::int64_t k, float* c,
+                  std::int64_t ldc, std::int64_t mr, std::int64_t nr,
+                  float beta) const override {
+    micro_avx512(ap, bp, k, c, ldc, mr, nr, beta);
+  }
+
+  void relu(const float* x, float* y, std::int64_t n) const override {
+    relu_avx512(x, y, n);
+  }
+  void relu_mask(const float* x, float* g, std::int64_t n) const override {
+    relu_mask_avx512(x, g, n);
+  }
+  void mul(const float* a, const float* b, float* y,
+           std::int64_t n) const override {
+    mul_avx512(a, b, y, n);
+  }
+  void axpy(float s, const float* x, float* y, std::int64_t n) const override {
+    axpy_avx512(s, x, y, n);
+  }
+  void add_scalar(float s, float* y, std::int64_t n) const override {
+    add_scalar_avx512(s, y, n);
+  }
+  float dot(const float* a, const float* b, std::int64_t n) const override {
+    return dot_avx512(a, b, n);
+  }
+  void lock_relu_grad(const float* g, const float* z, const float* lock,
+                      float* gx, std::int64_t n) const override {
+    lock_relu_grad_avx512(g, z, lock, gx, n);
+  }
+
+  void matmul_i8(const std::int8_t* a, std::int64_t m, std::int64_t k,
+                 const std::int8_t* w, std::int64_t n,
+                 const std::uint8_t* negate,
+                 std::int32_t* out) const override {
+    matmul_i8_avx512(a, m, k, w, n, negate, out);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<core::ComputeBackend> make_avx512_backend() {
+  return std::make_unique<Avx512Backend>();
+}
+
+}  // namespace hpnn::ops
+
+#endif  // HPNN_SIMD_AVX512 && __x86_64__

@@ -1,0 +1,72 @@
+// Helpers shared by the backend microkernel implementations: the edge-tile
+// merge (beta policy applied once at store time) and the scalar int8
+// datapath, which the SIMD tiers reuse for remainder columns so every
+// element follows the same modular-accumulation semantics.
+#pragma once
+
+#include <cstdint>
+
+namespace hpnn::ops::backends {
+
+/// Writes one microkernel tile held in `tile` (row stride `tile_stride`)
+/// into C with the beta policy: beta == 0 overwrites without reading
+/// (NaN garbage in C must not propagate), beta == 1 accumulates, anything
+/// else scales then adds.
+inline void merge_tile(const float* tile, std::int64_t tile_stride, float* c,
+                       std::int64_t ldc, std::int64_t mr, std::int64_t nr,
+                       float beta) {
+  for (std::int64_t r = 0; r < mr; ++r) {
+    const float* t = tile + r * tile_stride;
+    float* crow = c + r * ldc;
+    if (beta == 0.0f) {
+      for (std::int64_t j = 0; j < nr; ++j) {
+        crow[j] = t[j];
+      }
+    } else if (beta == 1.0f) {
+      for (std::int64_t j = 0; j < nr; ++j) {
+        crow[j] += t[j];
+      }
+    } else {
+      for (std::int64_t j = 0; j < nr; ++j) {
+        crow[j] = beta * crow[j] + t[j];
+      }
+    }
+  }
+}
+
+/// Scalar fast-fidelity int8 datapath over columns [j0, j1) of row i.
+/// 32-bit wrap-around accumulation is modular arithmetic, so any
+/// evaluation order produces identical bits — this is the semantics every
+/// SIMD variant must reproduce exactly.
+inline void matmul_i8_row_scalar(const std::int8_t* a, std::int64_t i,
+                                 std::int64_t k, const std::int8_t* w,
+                                 std::int64_t n, std::int64_t j0,
+                                 std::int64_t j1, std::int32_t* out) {
+  for (std::int64_t j = j0; j < j1; ++j) {
+    std::uint32_t acc = 0;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const auto product = static_cast<std::int32_t>(a[i * k + p]) *
+                           static_cast<std::int32_t>(w[p * n + j]);
+      acc += static_cast<std::uint32_t>(product);
+    }
+    out[i * n + j] = static_cast<std::int32_t>(acc);
+  }
+}
+
+/// Keyed negation applied as a second pass over a finished output row:
+/// Σ(-p) == -(Σp) in two's complement, so the keyed accumulator's
+/// per-product subtraction collapses to one negation here.
+inline void negate_row(const std::uint8_t* negate, std::int64_t i,
+                       std::int64_t n, std::int32_t* out) {
+  if (negate == nullptr) {
+    return;
+  }
+  for (std::int64_t j = 0; j < n; ++j) {
+    if (negate[i * n + j] != 0) {
+      out[i * n + j] = static_cast<std::int32_t>(
+          0u - static_cast<std::uint32_t>(out[i * n + j]));
+    }
+  }
+}
+
+}  // namespace hpnn::ops::backends

@@ -2,16 +2,10 @@
 
 #include <algorithm>
 
+#include "core/error.hpp"
 #include "core/metrics.hpp"
 #include "core/threadpool.hpp"
-#include "tensor/vec_ops.hpp"
-
-#if defined(HPNN_SIMD_AVX2) && defined(__x86_64__)
-#include <immintrin.h>
-#define HPNN_HAVE_AVX2_KERNELS 1
-#else
-#define HPNN_HAVE_AVX2_KERNELS 0
-#endif
+#include "tensor/backend.hpp"
 
 namespace hpnn::ops {
 
@@ -22,129 +16,10 @@ namespace {
 constexpr std::int64_t kParallelWorkThreshold = 1 << 15;
 
 /// Below this volume the packing traffic (m*k + k*n writes) is not repaid
-/// by the microkernel, so an unpacked scalar loop wins.
+/// by the microkernel, so an unpacked scalar loop wins. The small path is
+/// shared by every backend (identical bits across backends by
+/// construction).
 constexpr std::int64_t kSmallGemmVolume = 4096;
-
-/// Writes one microkernel tile held in `tile` (row stride kGemmNR) into C
-/// with the beta policy. Shared by the scalar and AVX2 kernels for partial
-/// (edge) tiles.
-void merge_tile(const float* tile, float* c, std::int64_t ldc,
-                std::int64_t mr, std::int64_t nr, float beta) {
-  for (std::int64_t r = 0; r < mr; ++r) {
-    const float* t = tile + r * kGemmNR;
-    float* crow = c + r * ldc;
-    if (beta == 0.0f) {
-      for (std::int64_t j = 0; j < nr; ++j) {
-        crow[j] = t[j];
-      }
-    } else if (beta == 1.0f) {
-      for (std::int64_t j = 0; j < nr; ++j) {
-        crow[j] += t[j];
-      }
-    } else {
-      for (std::int64_t j = 0; j < nr; ++j) {
-        crow[j] = beta * crow[j] + t[j];
-      }
-    }
-  }
-}
-
-/// Scalar microkernel: identical blocking and accumulation order to the
-/// AVX2 kernel (full-K register accumulation per C element, beta applied
-/// once at store time), so the two differ only in FMA rounding.
-void micro_scalar(const float* ap, const float* bp, std::int64_t k, float* c,
-                  std::int64_t ldc, std::int64_t mr, std::int64_t nr,
-                  float beta) {
-  float acc[kGemmMR][kGemmNR] = {};
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* brow = bp + p * kGemmNR;
-    const float* arow = ap + p * kGemmMR;
-    for (std::int64_t r = 0; r < kGemmMR; ++r) {
-      const float av = arow[r];
-      for (std::int64_t j = 0; j < kGemmNR; ++j) {
-        acc[r][j] += av * brow[j];
-      }
-    }
-  }
-  merge_tile(&acc[0][0], c, ldc, mr, nr, beta);
-}
-
-#if HPNN_HAVE_AVX2_KERNELS
-
-/// AVX2/FMA microkernel: 6 x 16 tile in 12 ymm accumulators, two aligned
-/// B-vector loads and six A broadcasts per k step. No data-dependent
-/// branches — the instruction stream is a pure function of k/mr/nr/beta.
-__attribute__((target("avx2,fma"))) void micro_avx2(
-    const float* ap, const float* bp, std::int64_t k, float* c,
-    std::int64_t ldc, std::int64_t mr, std::int64_t nr, float beta) {
-  __m256 acc[kGemmMR][2];
-  for (std::int64_t r = 0; r < kGemmMR; ++r) {
-    acc[r][0] = _mm256_setzero_ps();
-    acc[r][1] = _mm256_setzero_ps();
-  }
-  for (std::int64_t p = 0; p < k; ++p) {
-    // Panel rows are 64-byte aligned (kGemmNR floats per k step from a
-    // 64-byte-aligned arena block), so aligned loads are safe.
-    const __m256 b0 = _mm256_load_ps(bp + p * kGemmNR);
-    const __m256 b1 = _mm256_load_ps(bp + p * kGemmNR + 8);
-    const float* arow = ap + p * kGemmMR;
-    for (std::int64_t r = 0; r < kGemmMR; ++r) {
-      const __m256 av = _mm256_broadcast_ss(arow + r);
-      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
-      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
-    }
-  }
-  if (mr == kGemmMR && nr == kGemmNR) {
-    if (beta == 0.0f) {
-      for (std::int64_t r = 0; r < kGemmMR; ++r) {
-        _mm256_storeu_ps(c + r * ldc, acc[r][0]);
-        _mm256_storeu_ps(c + r * ldc + 8, acc[r][1]);
-      }
-    } else if (beta == 1.0f) {
-      for (std::int64_t r = 0; r < kGemmMR; ++r) {
-        float* crow = c + r * ldc;
-        _mm256_storeu_ps(crow,
-                         _mm256_add_ps(_mm256_loadu_ps(crow), acc[r][0]));
-        _mm256_storeu_ps(
-            crow + 8, _mm256_add_ps(_mm256_loadu_ps(crow + 8), acc[r][1]));
-      }
-    } else {
-      const __m256 bv = _mm256_set1_ps(beta);
-      for (std::int64_t r = 0; r < kGemmMR; ++r) {
-        float* crow = c + r * ldc;
-        _mm256_storeu_ps(
-            crow, _mm256_fmadd_ps(bv, _mm256_loadu_ps(crow), acc[r][0]));
-        _mm256_storeu_ps(crow + 8, _mm256_fmadd_ps(
-                                       bv, _mm256_loadu_ps(crow + 8),
-                                       acc[r][1]));
-      }
-    }
-    return;
-  }
-  alignas(32) float tile[kGemmMR * kGemmNR];
-  for (std::int64_t r = 0; r < kGemmMR; ++r) {
-    _mm256_store_ps(tile + r * kGemmNR, acc[r][0]);
-    _mm256_store_ps(tile + r * kGemmNR + 8, acc[r][1]);
-  }
-  merge_tile(tile, c, ldc, mr, nr, beta);
-}
-
-#endif  // HPNN_HAVE_AVX2_KERNELS
-
-using MicroKernel = void (*)(const float*, const float*, std::int64_t, float*,
-                             std::int64_t, std::int64_t, std::int64_t, float);
-
-MicroKernel active_kernel() {
-  static const MicroKernel kernel = []() -> MicroKernel {
-#if HPNN_HAVE_AVX2_KERNELS
-    if (simd_active()) {
-      return micro_avx2;
-    }
-#endif
-    return micro_scalar;
-  }();
-  return kernel;
-}
 
 /// C = beta * C for rows [0, m): the alpha == 0 / k == 0 degenerate case.
 void scale_c(float beta, std::int64_t m, std::int64_t n, float* c,
@@ -182,60 +57,39 @@ void gemm_small(const float* a, bool ta, const float* b, bool tb,
   }
 }
 
-/// m == 1: vector-matrix product. For op(B) = B the row sweep is a chain of
-/// axpys over contiguous B rows; for op(B) = B^T each output is a
-/// contiguous dot product. Never fans out (single C row), so thread-count
-/// independence is trivial. Note op(A) is 1 x k, so the A element index is
-/// `p` whether or not A is stored transposed.
-void gemv(const float* a, const float* b, bool tb, std::int64_t n,
-          std::int64_t k, float alpha, float beta, float* c) {
-  if (tb) {
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float dot = alpha * vec_dot(a, b + j * k, k);
-      c[j] = dot + (beta == 0.0f ? 0.0f : beta * c[j]);
-    }
-    return;
-  }
-  scale_c(beta, 1, n, c, n);
-  for (std::int64_t p = 0; p < k; ++p) {
-    vec_axpy(alpha * a[p], b + p * n, c, n);
-  }
-}
-
 }  // namespace
 
 namespace detail {
 
-bool gemm_simd_active() { return simd_active(); }
-
-void pack_a(const float* a, bool trans, std::int64_t m, std::int64_t k,
-            float alpha, float* dst) {
-  const std::int64_t panels = (m + kGemmMR - 1) / kGemmMR;
+void pack_a(const core::ComputeBackend& be, const float* a, bool trans,
+            std::int64_t m, std::int64_t k, float alpha, float* dst) {
+  const std::int64_t mr = be.gemm_mr();
+  const std::int64_t panels = (m + mr - 1) / mr;
   for (std::int64_t ip = 0; ip < panels; ++ip) {
-    const std::int64_t i0 = ip * kGemmMR;
-    const std::int64_t rows = std::min(kGemmMR, m - i0);
-    float* pd = dst + ip * kGemmMR * k;
+    const std::int64_t i0 = ip * mr;
+    const std::int64_t rows = std::min(mr, m - i0);
+    float* pd = dst + ip * mr * k;
     if (!trans) {
       for (std::int64_t r = 0; r < rows; ++r) {
         const float* src = a + (i0 + r) * k;
         for (std::int64_t p = 0; p < k; ++p) {
-          pd[p * kGemmMR + r] = alpha * src[p];
+          pd[p * mr + r] = alpha * src[p];
         }
       }
-      for (std::int64_t r = rows; r < kGemmMR; ++r) {
+      for (std::int64_t r = rows; r < mr; ++r) {
         for (std::int64_t p = 0; p < k; ++p) {
-          pd[p * kGemmMR + r] = 0.0f;
+          pd[p * mr + r] = 0.0f;
         }
       }
     } else {
       // A stored k x m: row p is contiguous in r.
       for (std::int64_t p = 0; p < k; ++p) {
         const float* src = a + p * m + i0;
-        float* d = pd + p * kGemmMR;
+        float* d = pd + p * mr;
         for (std::int64_t r = 0; r < rows; ++r) {
           d[r] = alpha * src[r];
         }
-        for (std::int64_t r = rows; r < kGemmMR; ++r) {
+        for (std::int64_t r = rows; r < mr; ++r) {
           d[r] = 0.0f;
         }
       }
@@ -243,21 +97,22 @@ void pack_a(const float* a, bool trans, std::int64_t m, std::int64_t k,
   }
 }
 
-void pack_b(const float* b, bool trans, std::int64_t k, std::int64_t n,
-            float* dst) {
-  const std::int64_t panels = (n + kGemmNR - 1) / kGemmNR;
+void pack_b(const core::ComputeBackend& be, const float* b, bool trans,
+            std::int64_t k, std::int64_t n, float* dst) {
+  const std::int64_t nr = be.gemm_nr();
+  const std::int64_t panels = (n + nr - 1) / nr;
   for (std::int64_t jp = 0; jp < panels; ++jp) {
-    const std::int64_t j0 = jp * kGemmNR;
-    const std::int64_t cols = std::min(kGemmNR, n - j0);
-    float* pd = dst + jp * kGemmNR * k;
+    const std::int64_t j0 = jp * nr;
+    const std::int64_t cols = std::min(nr, n - j0);
+    float* pd = dst + jp * nr * k;
     if (!trans) {
       for (std::int64_t p = 0; p < k; ++p) {
         const float* src = b + p * n + j0;
-        float* d = pd + p * kGemmNR;
+        float* d = pd + p * nr;
         for (std::int64_t c = 0; c < cols; ++c) {
           d[c] = src[c];
         }
-        for (std::int64_t c = cols; c < kGemmNR; ++c) {
+        for (std::int64_t c = cols; c < nr; ++c) {
           d[c] = 0.0f;
         }
       }
@@ -267,43 +122,45 @@ void pack_b(const float* b, bool trans, std::int64_t k, std::int64_t n,
       for (std::int64_t c = 0; c < cols; ++c) {
         const float* src = b + (j0 + c) * k;
         for (std::int64_t p = 0; p < k; ++p) {
-          pd[p * kGemmNR + c] = src[p];
+          pd[p * nr + c] = src[p];
         }
       }
-      for (std::int64_t c = cols; c < kGemmNR; ++c) {
+      for (std::int64_t c = cols; c < nr; ++c) {
         for (std::int64_t p = 0; p < k; ++p) {
-          pd[p * kGemmNR + c] = 0.0f;
+          pd[p * nr + c] = 0.0f;
         }
       }
     }
   }
 }
 
-void gemm_packed_panels(const float* pa, const float* pb, std::int64_t m,
-                        std::int64_t panel0, std::int64_t panel1,
-                        std::int64_t n, std::int64_t k, float beta, float* c,
-                        std::int64_t ldc) {
-  const MicroKernel kernel = active_kernel();
-  const std::int64_t npanels = (n + kGemmNR - 1) / kGemmNR;
+void gemm_packed_panels(const core::ComputeBackend& be, const float* pa,
+                        const float* pb, std::int64_t m, std::int64_t panel0,
+                        std::int64_t panel1, std::int64_t n, std::int64_t k,
+                        float beta, float* c, std::int64_t ldc) {
+  const std::int64_t mr_full = be.gemm_mr();
+  const std::int64_t nr_full = be.gemm_nr();
+  const std::int64_t npanels = (n + nr_full - 1) / nr_full;
   for (std::int64_t ip = panel0; ip < panel1; ++ip) {
-    const std::int64_t i0 = ip * kGemmMR;
-    const std::int64_t mr = std::min(kGemmMR, m - i0);
-    const float* apanel = pa + ip * kGemmMR * k;
+    const std::int64_t i0 = ip * mr_full;
+    const std::int64_t mr = std::min(mr_full, m - i0);
+    const float* apanel = pa + ip * mr_full * k;
     float* crow = c + i0 * ldc;
     for (std::int64_t jp = 0; jp < npanels; ++jp) {
-      const std::int64_t j0 = jp * kGemmNR;
-      kernel(apanel, pb + jp * kGemmNR * k, k, crow + j0, ldc, mr,
-             std::min(kGemmNR, n - j0), beta);
+      const std::int64_t j0 = jp * nr_full;
+      be.gemm_micro(apanel, pb + jp * nr_full * k, k, crow + j0, ldc, mr,
+                    std::min(nr_full, n - j0), beta);
     }
   }
 }
 
-void gemm_packed(const float* pa, const float* pb, std::int64_t m,
-                 std::int64_t n, std::int64_t k, float beta, float* c,
-                 std::int64_t ldc) {
-  const std::int64_t mpanels = (m + kGemmMR - 1) / kGemmMR;
+void gemm_packed(const core::ComputeBackend& be, const float* pa,
+                 const float* pb, std::int64_t m, std::int64_t n,
+                 std::int64_t k, float beta, float* c, std::int64_t ldc) {
+  const std::int64_t mr = be.gemm_mr();
+  const std::int64_t mpanels = (m + mr - 1) / mr;
   if (2 * m * n * k < kParallelWorkThreshold || mpanels == 1) {
-    gemm_packed_panels(pa, pb, m, 0, mpanels, n, k, beta, c, ldc);
+    gemm_packed_panels(be, pa, pb, m, 0, mpanels, n, k, beta, c, ldc);
     return;
   }
   // Chunk over row panels: each C row is produced by one chunk with the
@@ -312,26 +169,27 @@ void gemm_packed(const float* pa, const float* pb, std::int64_t m,
   const std::int64_t grain = std::max<std::int64_t>(1, mpanels / 64);
   core::parallel_for(0, mpanels, grain,
                      [&](std::int64_t p0, std::int64_t p1) {
-                       gemm_packed_panels(pa, pb, m, p0, p1, n, k, beta, c,
-                                          ldc);
+                       gemm_packed_panels(be, pa, pb, m, p0, p1, n, k, beta,
+                                          c, ldc);
                      });
 }
 
-void gemm_with_packed_a(const float* pa, std::int64_t m, std::int64_t k,
-                        const float* b, bool tb, std::int64_t n, float beta,
-                        float* c, std::int64_t ldc) {
+void gemm_with_packed_a(const core::ComputeBackend& be, const float* pa,
+                        std::int64_t m, std::int64_t k, const float* b,
+                        bool tb, std::int64_t n, float beta, float* c,
+                        std::int64_t ldc) {
   if (m <= 0 || n <= 0) {
     return;
   }
   core::ScratchArena::Scope scope;
-  float* pb = scope.floats(packed_b_floats(k, n));
+  float* pb = scope.floats(packed_b_floats(be, k, n));
   {
     HPNN_METRIC_OP_SCOPE("tensor.gemm.pack");
-    pack_b(b, tb, k, n, pb);
+    pack_b(be, b, tb, k, n, pb);
   }
   {
     HPNN_METRIC_OP_SCOPE("tensor.gemm.compute");
-    gemm_packed(pa, pb, m, n, k, beta, c, ldc);
+    gemm_packed(be, pa, pb, m, n, k, beta, c, ldc);
   }
 }
 
@@ -340,14 +198,24 @@ void gemm_with_packed_a(const float* pa, std::int64_t m, std::int64_t k,
 void PackedA::pack(const float* a, bool trans, std::int64_t m, std::int64_t k,
                    float alpha) {
   HPNN_METRIC_OP_SCOPE("tensor.gemm.pack");
+  const core::ComputeBackend& be = backend();
   float* dst = buf_.float_slots(
-      static_cast<std::size_t>(detail::packed_a_floats(m, k)));
-  detail::pack_a(a, trans, m, k, alpha, dst);
+      static_cast<std::size_t>(detail::packed_a_floats(be, m, k)));
+  detail::pack_a(be, a, trans, m, k, alpha, dst);
   src_ = a;
+  backend_ = &be;
   trans_ = trans;
   m_ = m;
   k_ = k;
   alpha_ = alpha;
+}
+
+bool PackedA::matches(const float* a, bool trans, std::int64_t m,
+                      std::int64_t k, float alpha) const {
+  // A panel laid out by another backend has a different geometry, so a
+  // backend switch invalidates the packing even when the source matches.
+  return src_ == a && backend_ == &backend() && trans_ == trans && m_ == m &&
+         k_ == k && alpha_ == alpha;
 }
 
 void gemm_raw(const float* a, bool ta, const float* b, bool tb,
@@ -360,8 +228,12 @@ void gemm_raw(const float* a, bool ta, const float* b, bool tb,
     scale_c(beta, m, n, c, ldc);
     return;
   }
+  const core::ComputeBackend& be = backend();
   if (m == 1) {
-    gemv(a, b, tb, n, k, alpha, beta, c);
+    // m == 1 never fans out (single C row), so thread-count independence
+    // is trivial. Note op(A) is 1 x k, so the A element index is `p`
+    // whether or not A is stored transposed; alpha folds into the scalar.
+    be.gemv(a, b, tb, n, k, alpha, beta, c);
     return;
   }
   if (m * n * k <= kSmallGemmVolume) {
@@ -369,22 +241,28 @@ void gemm_raw(const float* a, bool ta, const float* b, bool tb,
     return;
   }
   core::ScratchArena::Scope scope;
-  float* pa = scope.floats(detail::packed_a_floats(m, k));
-  float* pb = scope.floats(detail::packed_b_floats(k, n));
+  float* pa = scope.floats(detail::packed_a_floats(be, m, k));
+  float* pb = scope.floats(detail::packed_b_floats(be, k, n));
   {
     HPNN_METRIC_OP_SCOPE("tensor.gemm.pack");
-    detail::pack_a(a, ta, m, k, alpha, pa);
-    detail::pack_b(b, tb, k, n, pb);
+    detail::pack_a(be, a, ta, m, k, alpha, pa);
+    detail::pack_b(be, b, tb, k, n, pb);
   }
   {
     HPNN_METRIC_OP_SCOPE("tensor.gemm.compute");
-    detail::gemm_packed(pa, pb, m, n, k, beta, c, ldc);
+    detail::gemm_packed(be, pa, pb, m, n, k, beta, c, ldc);
   }
 }
 
 void gemm_prepacked(const PackedA& a, const float* b, bool tb, std::int64_t n,
                     float beta, float* c, std::int64_t ldc) {
-  detail::gemm_with_packed_a(a.data(), a.m(), a.k(), b, tb, n, beta, c, ldc);
+  // Compute with the backend that packed the panels — they are
+  // self-describing, so a stale PackedA still produces correct results
+  // (through the old backend) until the caller repacks.
+  HPNN_CHECK(a.packed_backend() != nullptr,
+             "gemm_prepacked on an empty PackedA");
+  detail::gemm_with_packed_a(*a.packed_backend(), a.data(), a.m(), a.k(), b,
+                             tb, n, beta, c, ldc);
 }
 
 }  // namespace hpnn::ops

@@ -1,4 +1,5 @@
-// Register-tiled, cache-blocked GEMM microkernel with operand packing.
+// Register-tiled, cache-blocked GEMM with operand packing, lowered onto
+// the pluggable compute-backend layer (core/compute_backend.hpp).
 //
 // The kernel follows the classic panel-packing decomposition: op(A) is
 // packed into MR-row panels (column-major within each panel), op(B) into
@@ -8,81 +9,79 @@
 // the transposed GEMM variants cost exactly one extra strided read during
 // packing instead of a materialized transposed copy.
 //
-// Two microkernel implementations exist behind a single function pointer
-// resolved once at startup:
-//   - an explicit AVX2/FMA kernel (compiled when HPNN_SIMD is ON and the
-//     target is x86-64; selected when the CPU reports avx2+fma and the
-//     HPNN_SIMD environment variable is not "off"/"0"), and
-//   - a scalar kernel with the identical blocking, loop structure, and
-//     per-element accumulation order.
-// Within one build+dispatch the instruction sequence is a pure function of
-// the problem shape — there is no data-dependent branch (the old kernel
-// skipped av == 0.0f terms, leaking operand values into the timing), and
-// chunk boundaries under parallel_for depend only on the shape, so results
-// are bit-identical at any HPNN_THREADS setting.
+// The blocking, packing and thread-pool fan-out here are shared by every
+// backend; only the MR x NR microtile (and the vector primitives behind
+// gemv) come from the active core::ComputeBackend. MR and NR are backend
+// properties — 6x16 for scalar/AVX2, 8x32 for AVX-512 — so a packed panel
+// is only meaningful to the backend that laid it out, and every function
+// below takes the backend explicitly. Within one backend the instruction
+// sequence is a pure function of the problem shape — no data-dependent
+// branch (the old kernel skipped av == 0.0f terms, leaking operand values
+// into the timing) — and chunk boundaries under parallel_for depend only
+// on the shape, so results are bit-identical at any HPNN_THREADS setting.
 //
 // Pack buffers come from the calling thread's core::ScratchArena, so
 // repeated GEMMs (conv over a batch, a training loop) reuse the same
 // cache-hot scratch instead of reallocating. A-side panels that are reused
 // across many GEMMs (conv weights over a batch, frozen weights in serving)
-// can be packed once into a PackedA and replayed.
+// can be packed once into a PackedA and replayed; the PackedA remembers
+// which backend packed it, and replays always use that backend.
 #pragma once
 
 #include <cstdint>
 
 #include "core/aligned_buffer.hpp"
+#include "core/compute_backend.hpp"
 
 namespace hpnn::ops {
 
-/// Microkernel tile: MR rows x NR columns of C held in registers.
-/// NR is two 8-float AVX2 vectors; with MR = 6 the kernel uses 12 vector
-/// accumulators + 3 operand registers of the 16 available.
-inline constexpr std::int64_t kGemmMR = 6;
-inline constexpr std::int64_t kGemmNR = 16;
-
 namespace detail {
 
-/// True when the runtime dispatch selected the AVX2/FMA microkernel.
-bool gemm_simd_active();
-
-/// Packed sizes in floats (panels are zero-padded to full MR/NR).
-inline std::int64_t packed_a_floats(std::int64_t m, std::int64_t k) {
-  return (m + kGemmMR - 1) / kGemmMR * kGemmMR * k;
+/// Packed sizes in floats for a given backend's microtile (panels are
+/// zero-padded to full MR/NR).
+inline std::int64_t packed_a_floats(const core::ComputeBackend& be,
+                                    std::int64_t m, std::int64_t k) {
+  const std::int64_t mr = be.gemm_mr();
+  return (m + mr - 1) / mr * mr * k;
 }
-inline std::int64_t packed_b_floats(std::int64_t k, std::int64_t n) {
-  return (n + kGemmNR - 1) / kGemmNR * kGemmNR * k;
+inline std::int64_t packed_b_floats(const core::ComputeBackend& be,
+                                    std::int64_t k, std::int64_t n) {
+  const std::int64_t nr = be.gemm_nr();
+  return (n + nr - 1) / nr * nr * k;
 }
 
 /// Packs op(A) (m x k after the optional transpose) into MR-row panels,
 /// folding alpha into the packed values. `a` is the stored matrix: m x k
 /// when !trans, k x m when trans.
-void pack_a(const float* a, bool trans, std::int64_t m, std::int64_t k,
-            float alpha, float* dst);
+void pack_a(const core::ComputeBackend& be, const float* a, bool trans,
+            std::int64_t m, std::int64_t k, float alpha, float* dst);
 
 /// Packs op(B) (k x n after the optional transpose) into NR-column panels.
 /// `b` is the stored matrix: k x n when !trans, n x k when trans.
-void pack_b(const float* b, bool trans, std::int64_t k, std::int64_t n,
-            float* dst);
+void pack_b(const core::ComputeBackend& be, const float* b, bool trans,
+            std::int64_t k, std::int64_t n, float* dst);
 
 /// C = (packed product) + beta * C over row panels [panel0, panel1) of the
 /// m-row problem. C has row stride ldc. Used directly by the parallel_for
-/// chunks.
-void gemm_packed_panels(const float* pa, const float* pb, std::int64_t m,
-                        std::int64_t panel0, std::int64_t panel1,
-                        std::int64_t n, std::int64_t k, float beta, float* c,
-                        std::int64_t ldc);
+/// chunks. `be` must be the backend that packed pa/pb.
+void gemm_packed_panels(const core::ComputeBackend& be, const float* pa,
+                        const float* pb, std::int64_t m, std::int64_t panel0,
+                        std::int64_t panel1, std::int64_t n, std::int64_t k,
+                        float beta, float* c, std::int64_t ldc);
 
 /// Full packed-operand GEMM: packs nothing, computes every row panel,
 /// fanning out to the thread pool when the volume warrants it.
-void gemm_packed(const float* pa, const float* pb, std::int64_t m,
-                 std::int64_t n, std::int64_t k, float beta, float* c,
-                 std::int64_t ldc);
+void gemm_packed(const core::ComputeBackend& be, const float* pa,
+                 const float* pb, std::int64_t m, std::int64_t n,
+                 std::int64_t k, float beta, float* c, std::int64_t ldc);
 
 /// GEMM against an already-packed A panel image (raw pointer form of
 /// gemm_prepacked): packs op(B) into thread-local scratch and computes.
-void gemm_with_packed_a(const float* pa, std::int64_t m, std::int64_t k,
-                        const float* b, bool tb, std::int64_t n, float beta,
-                        float* c, std::int64_t ldc);
+/// `be` must be the backend that packed pa.
+void gemm_with_packed_a(const core::ComputeBackend& be, const float* pa,
+                        std::int64_t m, std::int64_t k, const float* b,
+                        bool tb, std::int64_t n, float beta, float* c,
+                        std::int64_t ldc);
 
 }  // namespace detail
 
@@ -90,23 +89,28 @@ void gemm_with_packed_a(const float* pa, std::int64_t m, std::int64_t k,
 /// storage is an AlignedBuffer that is retained across pack() calls, so a
 /// layer that packs its weights every step pays no allocations, and one
 /// that serves frozen weights can skip repacking via matches().
+///
+/// The panel layout (MR, panel strides) belongs to the backend that packed
+/// it, so PackedA records that backend: matches() fails when the active
+/// backend has changed (callers repack), and gemm_prepacked computes with
+/// the recorded backend, so a panel can never be replayed through another
+/// backend's microkernel.
 class PackedA {
  public:
+  /// Packs with the active backend (ops::backend()).
   void pack(const float* a, bool trans, std::int64_t m, std::int64_t k,
             float alpha = 1.0f);
 
   /// True when the buffer already holds the packing of exactly this
-  /// (pointer, shape, transpose, alpha) request. Callers are responsible
-  /// for content freshness: matches() is a pointer identity check and
-  /// cannot see in-place rewrites of the source (optimizer steps and
-  /// same-shape tensor assignment both keep the data pointer), so callers
-  /// must pair it with their own mutation signal — the nn layers use
+  /// (pointer, shape, transpose, alpha) request *laid out by the currently
+  /// active backend*. Callers are responsible for content freshness:
+  /// matches() is a pointer identity check and cannot see in-place
+  /// rewrites of the source (optimizer steps and same-shape tensor
+  /// assignment both keep the data pointer), so callers must pair it with
+  /// their own mutation signal — the nn layers use
   /// nn::Parameter::version().
   bool matches(const float* a, bool trans, std::int64_t m, std::int64_t k,
-               float alpha = 1.0f) const {
-    return src_ == a && trans_ == trans && m_ == m && k_ == k &&
-           alpha_ == alpha;
-  }
+               float alpha = 1.0f) const;
 
   const float* data() const {
     return reinterpret_cast<const float*>(buf_.data());
@@ -114,10 +118,13 @@ class PackedA {
   std::int64_t m() const { return m_; }
   std::int64_t k() const { return k_; }
   bool empty() const { return m_ == 0; }
+  /// The backend that laid out the panels; nullptr before the first pack.
+  const core::ComputeBackend* packed_backend() const { return backend_; }
 
  private:
   core::AlignedBuffer buf_;
   const float* src_ = nullptr;
+  const core::ComputeBackend* backend_ = nullptr;
   std::int64_t m_ = 0;
   std::int64_t k_ = 0;
   bool trans_ = false;
@@ -127,14 +134,16 @@ class PackedA {
 /// Raw-pointer GEMM: C = alpha * op(A) @ op(B) + beta * C, where op(A) is
 /// m x k, op(B) is k x n and C is m x n with row stride ldc. This is the
 /// single entry point every tensor-level GEMM lowers to; small problems
-/// take an unpacked scalar path, m == 1 a vectorized GEMV path, and
-/// everything else the packed microkernel.
+/// take an unpacked scalar path, m == 1 the backend's GEMV path, and
+/// everything else the packed microkernel of the active backend.
 void gemm_raw(const float* a, bool ta, const float* b, bool tb, std::int64_t m,
               std::int64_t n, std::int64_t k, float alpha, float beta,
               float* c, std::int64_t ldc);
 
 /// GEMM against a prepacked A operand (alpha was folded at pack time):
-/// C = packed(A) @ op(B) + beta * C. B is packed into thread-local scratch.
+/// C = packed(A) @ op(B) + beta * C. B is packed into thread-local
+/// scratch. Computes with the backend that packed `a`, which may lag the
+/// active backend until the caller repacks.
 void gemm_prepacked(const PackedA& a, const float* b, bool tb, std::int64_t n,
                     float beta, float* c, std::int64_t ldc);
 

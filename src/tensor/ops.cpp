@@ -8,6 +8,7 @@
 #include "core/error.hpp"
 #include "core/metrics.hpp"
 #include "core/threadpool.hpp"
+#include "tensor/backend.hpp"
 #include "tensor/gemm_kernel.hpp"
 #include "tensor/vec_ops.hpp"
 
@@ -84,11 +85,14 @@ void col2im(const float* cols, const Conv2dGeometry& g, float* input_grad) {
 namespace {
 
 /// Shared conv2d forward body: `pw` is the packed weight panel image
-/// (PackedA layout, filters x cols_rows, alpha = 1). Writes the GEMM
-/// result directly into the output tensor (no per-sample staging copy).
-Tensor conv2d_forward_packed(const Tensor& x, const float* pw,
-                             std::int64_t filters, const Tensor& bias,
-                             const Conv2dGeometry& g) {
+/// (PackedA layout, filters x cols_rows, alpha = 1) laid out by backend
+/// `be`, which every chunk computes with — the backend is snapshotted once
+/// per call, so a concurrent backend switch cannot mix panel geometries
+/// mid-batch. Writes the GEMM result directly into the output tensor (no
+/// per-sample staging copy).
+Tensor conv2d_forward_packed(const core::ComputeBackend& be, const Tensor& x,
+                             const float* pw, std::int64_t filters,
+                             const Tensor& bias, const Conv2dGeometry& g) {
   HPNN_CHECK(x.rank() == 4, "conv2d input must be NCHW");
   HPNN_CHECK(x.dim(1) == g.in_channels && x.dim(2) == g.in_h &&
                  x.dim(3) == g.in_w,
@@ -116,17 +120,18 @@ Tensor conv2d_forward_packed(const Tensor& x, const float* pw,
   auto sample_range = [&](std::int64_t n0, std::int64_t n1) {
     core::ScratchArena::Scope scope;
     float* cols = scope.floats(cols_rows * ohw);
-    float* pb = scope.floats(detail::packed_b_floats(cols_rows, ohw));
+    float* pb = scope.floats(detail::packed_b_floats(be, cols_rows, ohw));
     for (std::int64_t nidx = n0; nidx < n1; ++nidx) {
       float* dst = out.data() + nidx * out_sample;
       {
         HPNN_METRIC_OP_SCOPE("tensor.conv2d.pack");
         im2col(x.data() + nidx * in_sample, g, cols);
-        detail::pack_b(cols, false, cols_rows, ohw, pb);
+        detail::pack_b(be, cols, false, cols_rows, ohw, pb);
       }
       {
         HPNN_METRIC_OP_SCOPE("tensor.conv2d.compute");
-        detail::gemm_packed(pw, pb, filters, ohw, cols_rows, 0.0f, dst, ohw);
+        detail::gemm_packed(be, pw, pb, filters, ohw, cols_rows, 0.0f, dst,
+                            ohw);
       }
       if (bias.numel() > 0) {
         for (std::int64_t f = 0; f < filters; ++f) {
@@ -158,13 +163,14 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& weight,
 
   // Pack the weight panels once for the whole batch (the old path packed
   // nothing but re-read the unblocked weight matrix per sample).
+  const core::ComputeBackend& be = backend();
   core::ScratchArena::Scope scope;
-  float* pw = scope.floats(detail::packed_a_floats(filters, cols_rows));
+  float* pw = scope.floats(detail::packed_a_floats(be, filters, cols_rows));
   {
     HPNN_METRIC_OP_SCOPE("tensor.gemm.pack");
-    detail::pack_a(weight.data(), false, filters, cols_rows, 1.0f, pw);
+    detail::pack_a(be, weight.data(), false, filters, cols_rows, 1.0f, pw);
   }
-  return conv2d_forward_packed(x, pw, filters, bias, g);
+  return conv2d_forward_packed(be, x, pw, filters, bias, g);
 }
 
 Tensor conv2d_forward(const Tensor& x, const PackedA& packed_weight,
@@ -174,7 +180,10 @@ Tensor conv2d_forward(const Tensor& x, const PackedA& packed_weight,
                  packed_weight.k() ==
                      g.in_channels * g.kernel * g.kernel,
              "conv2d packed weight panels do not match geometry");
-  return conv2d_forward_packed(x, packed_weight.data(), packed_weight.m(),
+  // The panels are self-describing: compute with the backend that packed
+  // them, which may lag the active backend until the caller repacks.
+  return conv2d_forward_packed(*packed_weight.packed_backend(), x,
+                               packed_weight.data(), packed_weight.m(),
                                bias, g);
 }
 
@@ -203,11 +212,13 @@ Tensor conv2d_backward(const Tensor& x, const Tensor& weight,
   // W^T is consumed by every sample's dX GEMM: pack it once (transposition
   // folded into the pack, no materialized W^T) and share the read-only
   // panels across all chunks.
+  const core::ComputeBackend& be = backend();
   core::ScratchArena::Scope wt_scope;
-  float* pwt = wt_scope.floats(detail::packed_a_floats(cols_rows, filters));
+  float* pwt =
+      wt_scope.floats(detail::packed_a_floats(be, cols_rows, filters));
   {
     HPNN_METRIC_OP_SCOPE("tensor.gemm.pack");
-    detail::pack_a(weight.data(), true, cols_rows, filters, 1.0f, pwt);
+    detail::pack_a(be, weight.data(), true, cols_rows, filters, 1.0f, pwt);
   }
 
   // Static partition of the batch: at most 8 chunks, boundaries a pure
@@ -252,8 +263,8 @@ Tensor conv2d_backward(const Tensor& x, const Tensor& weight,
       }
 
       // grad wrt input: dcols = W^T @ dY ; col2im scatter-add.
-      detail::gemm_with_packed_a(pwt, cols_rows, filters, gout, false, ohw,
-                                 0.0f, grad_cols, ohw);
+      detail::gemm_with_packed_a(be, pwt, cols_rows, filters, gout, false,
+                                 ohw, 0.0f, grad_cols, ohw);
       col2im(grad_cols, g, grad_x.data() + nidx * in_sample);
     }
     partial_gw[static_cast<std::size_t>(chunk)] = std::move(gw2d);

@@ -1,233 +1,42 @@
 #include "tensor/vec_ops.hpp"
 
-#include <algorithm>
-#include <cstdlib>
-#include <cstring>
-
-#if defined(HPNN_SIMD_AVX2) && defined(__x86_64__)
-#include <immintrin.h>
-#define HPNN_HAVE_AVX2_KERNELS 1
-#else
-#define HPNN_HAVE_AVX2_KERNELS 0
-#endif
+#include "tensor/backend.hpp"
 
 namespace hpnn::ops {
 
-namespace {
-
-bool detect_simd() {
-#if HPNN_HAVE_AVX2_KERNELS
-  // Kill switch for A/B runs and for debugging the dispatch itself.
-  const char* env = std::getenv("HPNN_SIMD");
-  if (env != nullptr &&
-      (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
-       std::strcmp(env, "false") == 0)) {
-    return false;
-  }
-  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
-#else
-  return false;
-#endif
-}
-
-#if HPNN_HAVE_AVX2_KERNELS
-
-__attribute__((target("avx2,fma"))) void relu_avx2(const float* x, float* y,
-                                                   std::int64_t n) {
-  const __m256 zero = _mm256_setzero_ps();
-  std::int64_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    _mm256_storeu_ps(y + i, _mm256_max_ps(_mm256_loadu_ps(x + i), zero));
-  }
-  for (; i < n; ++i) {
-    y[i] = std::max(x[i], 0.0f);
-  }
-}
-
-__attribute__((target("avx2,fma"))) void relu_mask_avx2(const float* x,
-                                                        float* g,
-                                                        std::int64_t n) {
-  const __m256 zero = _mm256_setzero_ps();
-  std::int64_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    const __m256 keep =
-        _mm256_cmp_ps(_mm256_loadu_ps(x + i), zero, _CMP_GT_OQ);
-    _mm256_storeu_ps(g + i, _mm256_and_ps(_mm256_loadu_ps(g + i), keep));
-  }
-  for (; i < n; ++i) {
-    g[i] = x[i] > 0.0f ? g[i] : 0.0f;
-  }
-}
-
-__attribute__((target("avx2,fma"))) void mul_avx2(const float* a,
-                                                  const float* b, float* y,
-                                                  std::int64_t n) {
-  std::int64_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    _mm256_storeu_ps(
-        y + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
-  }
-  for (; i < n; ++i) {
-    y[i] = a[i] * b[i];
-  }
-}
-
-__attribute__((target("avx2,fma"))) void axpy_avx2(float s, const float* x,
-                                                   float* y, std::int64_t n) {
-  const __m256 sv = _mm256_set1_ps(s);
-  std::int64_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    _mm256_storeu_ps(y + i, _mm256_fmadd_ps(sv, _mm256_loadu_ps(x + i),
-                                            _mm256_loadu_ps(y + i)));
-  }
-  for (; i < n; ++i) {
-    y[i] += s * x[i];
-  }
-}
-
-__attribute__((target("avx2,fma"))) void add_scalar_avx2(float s, float* y,
-                                                         std::int64_t n) {
-  const __m256 sv = _mm256_set1_ps(s);
-  std::int64_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), sv));
-  }
-  for (; i < n; ++i) {
-    y[i] += s;
-  }
-}
-
-__attribute__((target("avx2,fma"))) float dot_avx2(const float* a,
-                                                   const float* b,
-                                                   std::int64_t n) {
-  __m256 acc = _mm256_setzero_ps();
-  std::int64_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc);
-  }
-  // Fixed pairwise lane reduction: (lo+hi) -> 4 lanes -> 2 -> 1.
-  __m128 lo = _mm256_castps256_ps128(acc);
-  __m128 hi = _mm256_extractf128_ps(acc, 1);
-  __m128 s4 = _mm_add_ps(lo, hi);
-  __m128 s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
-  __m128 s1 = _mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 0x1));
-  float sum = _mm_cvtss_f32(s1);
-  for (; i < n; ++i) {
-    sum += a[i] * b[i];
-  }
-  return sum;
-}
-
-__attribute__((target("avx2,fma"))) void lock_relu_grad_avx2(
-    const float* g, const float* z, const float* lock, float* gx,
-    std::int64_t n) {
-  const __m256 zero = _mm256_setzero_ps();
-  std::int64_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    const __m256 keep =
-        _mm256_cmp_ps(_mm256_loadu_ps(z + i), zero, _CMP_GT_OQ);
-    const __m256 gl =
-        _mm256_mul_ps(_mm256_loadu_ps(g + i), _mm256_loadu_ps(lock + i));
-    _mm256_storeu_ps(gx + i, _mm256_and_ps(gl, keep));
-  }
-  for (; i < n; ++i) {
-    gx[i] = z[i] > 0.0f ? g[i] * lock[i] : 0.0f;
-  }
-}
-
-#endif  // HPNN_HAVE_AVX2_KERNELS
-
-}  // namespace
-
 bool simd_active() {
-  static const bool active = detect_simd();
-  return active;
+  // Not cached: the active backend can change mid-process (set_backend,
+  // --backend), and this predicate must track it.
+  return backend().name() != "scalar";
 }
 
 void vec_relu(const float* x, float* y, std::int64_t n) {
-#if HPNN_HAVE_AVX2_KERNELS
-  if (simd_active()) {
-    relu_avx2(x, y, n);
-    return;
-  }
-#endif
-  for (std::int64_t i = 0; i < n; ++i) {
-    y[i] = std::max(x[i], 0.0f);
-  }
+  backend().relu(x, y, n);
 }
 
 void vec_relu_mask(const float* x, float* g, std::int64_t n) {
-#if HPNN_HAVE_AVX2_KERNELS
-  if (simd_active()) {
-    relu_mask_avx2(x, g, n);
-    return;
-  }
-#endif
-  for (std::int64_t i = 0; i < n; ++i) {
-    g[i] = x[i] > 0.0f ? g[i] : 0.0f;
-  }
+  backend().relu_mask(x, g, n);
 }
 
 void vec_mul(const float* a, const float* b, float* y, std::int64_t n) {
-#if HPNN_HAVE_AVX2_KERNELS
-  if (simd_active()) {
-    mul_avx2(a, b, y, n);
-    return;
-  }
-#endif
-  for (std::int64_t i = 0; i < n; ++i) {
-    y[i] = a[i] * b[i];
-  }
+  backend().mul(a, b, y, n);
 }
 
 void vec_axpy(float s, const float* x, float* y, std::int64_t n) {
-#if HPNN_HAVE_AVX2_KERNELS
-  if (simd_active()) {
-    axpy_avx2(s, x, y, n);
-    return;
-  }
-#endif
-  for (std::int64_t i = 0; i < n; ++i) {
-    y[i] += s * x[i];
-  }
+  backend().axpy(s, x, y, n);
 }
 
 void vec_add_scalar(float s, float* y, std::int64_t n) {
-#if HPNN_HAVE_AVX2_KERNELS
-  if (simd_active()) {
-    add_scalar_avx2(s, y, n);
-    return;
-  }
-#endif
-  for (std::int64_t i = 0; i < n; ++i) {
-    y[i] += s;
-  }
+  backend().add_scalar(s, y, n);
 }
 
 float vec_dot(const float* a, const float* b, std::int64_t n) {
-#if HPNN_HAVE_AVX2_KERNELS
-  if (simd_active()) {
-    return dot_avx2(a, b, n);
-  }
-#endif
-  float sum = 0.0f;
-  for (std::int64_t i = 0; i < n; ++i) {
-    sum += a[i] * b[i];
-  }
-  return sum;
+  return backend().dot(a, b, n);
 }
 
 void vec_lock_relu_grad(const float* g, const float* z, const float* lock,
                         float* gx, std::int64_t n) {
-#if HPNN_HAVE_AVX2_KERNELS
-  if (simd_active()) {
-    lock_relu_grad_avx2(g, z, lock, gx, n);
-    return;
-  }
-#endif
-  for (std::int64_t i = 0; i < n; ++i) {
-    gx[i] = z[i] > 0.0f ? g[i] * lock[i] : 0.0f;
-  }
+  backend().lock_relu_grad(g, z, lock, gx, n);
 }
 
 }  // namespace hpnn::ops

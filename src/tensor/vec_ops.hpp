@@ -1,22 +1,22 @@
 // Vectorized elementwise primitives shared by the layers and kernels.
 //
-// Each function has an explicit AVX2 implementation (compiled when
-// HPNN_SIMD is ON on x86-64) and a scalar fallback with identical
-// per-element semantics; the choice is made once at startup from CPUID and
-// the HPNN_SIMD environment variable, together with the GEMM microkernel
-// dispatch (gemm_kernel.hpp). Every function is branch-free in the data —
-// ReLU and mask selection compile to max/blend, never to a data-dependent
-// jump — and processes elements in ascending index order, so outputs are
-// deterministic for a fixed dispatch and safe to split across the thread
-// pool at any chunk boundary.
+// These are thin convenience wrappers over the active
+// core::ComputeBackend (tensor/backend.hpp): each call dispatches to the
+// backend's implementation of the same primitive, whose per-element
+// semantics are fixed by the scalar reference tier. Every implementation
+// is branch-free in the data — ReLU and mask selection compile to
+// max/blend, never to a data-dependent jump — and processes elements in
+// ascending index order, so outputs are deterministic for a fixed backend
+// and safe to split across the thread pool at any chunk boundary.
 #pragma once
 
 #include <cstdint>
 
 namespace hpnn::ops {
 
-/// True when the AVX2 elementwise/microkernel paths are active (same
-/// dispatch decision as detail::gemm_simd_active()).
+/// True when the active compute backend is a SIMD tier (anything but the
+/// scalar reference). Kept for call sites that predate the backend layer;
+/// prefer ops::backend().name() for anything new.
 bool simd_active();
 
 /// y[i] = max(x[i], 0). In-place (y == x) allowed.
@@ -34,8 +34,8 @@ void vec_axpy(float s, const float* x, float* y, std::int64_t n);
 /// y[i] += s.
 void vec_add_scalar(float s, float* y, std::int64_t n);
 
-/// Dot product with a fixed lane-reduction order (8 partial lanes summed
-/// pairwise), deterministic for a fixed dispatch.
+/// Dot product with a backend-fixed lane-reduction order, deterministic
+/// for a fixed backend.
 float vec_dot(const float* a, const float* b, std::int64_t n);
 
 /// gx[i] = g[i] * lock[i] when z[i] > 0, else 0 — the locked-ReLU delta

@@ -1,0 +1,455 @@
+// Cross-backend conformance kit (DESIGN §15): every registered
+// ComputeBackend must uphold the same contracts, verified here by running
+// the identical workload under each supported backend and comparing
+// against the scalar reference.
+//
+// The contracts, in order of strictness:
+//   - int8 MMU datapath: bit-identical across ALL backends (32-bit
+//     wrap-around accumulation is modular, so evaluation order is free);
+//   - locked-ReLU gradient: bit-identical across ALL backends (the ±1
+//     lock multiply is exact in every vector width — Theorem 1);
+//   - single-rounding elementwise ops (relu, mask, mul, add_scalar):
+//     bit-identical across ALL backends;
+//   - any fixed backend: bit-identical at any HPNN_THREADS setting;
+//   - float GEMM / conv: equal to the scalar reference within documented
+//     rounding tolerance (FMA and tile-width reduction order may differ).
+//
+// Mirrors the LockScheme conformance kit pattern: TEST_P over the runtime
+// registry, so an out-of-tree backend registered before main() is swept by
+// the same suite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/aligned_buffer.hpp"
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "core/threadpool.hpp"
+#include "hpnn/owner.hpp"
+#include "hw/device.hpp"
+#include "tensor/backend.hpp"
+#include "tensor/ops.hpp"
+
+namespace hpnn {
+namespace {
+
+std::vector<std::string> supported_backends() {
+  std::vector<std::string> names;
+  for (const auto& name : ops::backend_names()) {
+    if (ops::find_backend(name)->supported()) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+/// Restores the entering backend and thread count on scope exit, so a
+/// failing TEST_P cannot leak its selection into later suites.
+class StateRestorer {
+ public:
+  StateRestorer()
+      : backend_(ops::backend().name()), threads_(core::thread_count()) {}
+  ~StateRestorer() {
+    ops::set_backend(backend_);
+    core::set_thread_count(threads_);
+  }
+
+ private:
+  std::string backend_;
+  int threads_;
+};
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::normal(shape, rng, 0.0f, 1.0f);
+}
+
+/// Elementwise comparison with a tolerance scaled to the reduction depth:
+/// k float additions accumulate at most ~k ulps of drift between two
+/// evaluation orders.
+void expect_close(const Tensor& got, const Tensor& want, std::int64_t k,
+                  const std::string& what) {
+  ASSERT_EQ(got.shape(), want.shape()) << what;
+  const float tol =
+      1e-5f * static_cast<float>(k > 0 ? k : 1);
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    const float scale = std::max(1.0f, std::abs(want.data()[i]));
+    ASSERT_NEAR(got.data()[i], want.data()[i], tol * scale)
+        << what << " at flat index " << i;
+  }
+}
+
+class BackendConformanceTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  StateRestorer restore_;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, BackendConformanceTest,
+    ::testing::ValuesIn(supported_backends()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// ---- float GEMM: tolerance vs scalar, bit-stability vs threads ---------
+
+TEST_P(BackendConformanceTest, GemmMatchesScalarWithinTolerance) {
+  struct Case {
+    std::int64_t m, k, n;
+  };
+  for (const Case& c : {Case{1, 64, 33},    // gemv path
+                        Case{7, 33, 19},    // edge tiles everywhere
+                        Case{24, 32, 64},   // full tiles for 6x16 and 8x32
+                        Case{48, 80, 40}}) {
+    const Tensor a = random_tensor(Shape{c.m, c.k}, 11 + c.m);
+    const Tensor b = random_tensor(Shape{c.k, c.n}, 23 + c.n);
+    ops::set_backend("scalar");
+    const Tensor want = ops::matmul(a, b);
+    ops::set_backend(GetParam());
+    const Tensor got = ops::matmul(a, b);
+    expect_close(got, want, c.k, "gemm " + GetParam());
+  }
+}
+
+TEST_P(BackendConformanceTest, GemmTransposedOperandsMatchScalar) {
+  const std::int64_t m = 17, k = 29, n = 35;
+  const Tensor at = random_tensor(Shape{k, m}, 31);
+  const Tensor bt = random_tensor(Shape{n, k}, 37);
+  ops::set_backend("scalar");
+  const Tensor want = ops::matmul(at, bt, ops::Trans::kYes, ops::Trans::kYes);
+  ops::set_backend(GetParam());
+  const Tensor got = ops::matmul(at, bt, ops::Trans::kYes, ops::Trans::kYes);
+  expect_close(got, want, k, "gemm^T " + GetParam());
+}
+
+TEST_P(BackendConformanceTest, ThreadCountDoesNotChangeGemmBits) {
+  ops::set_backend(GetParam());
+  const Tensor a = random_tensor(Shape{53, 67}, 41);
+  const Tensor b = random_tensor(Shape{67, 71}, 43);
+  core::set_thread_count(1);
+  const Tensor want = ops::matmul(a, b);
+  for (int threads : {2, 3, 8}) {
+    core::set_thread_count(threads);
+    const Tensor got = ops::matmul(a, b);
+    ASSERT_EQ(0, std::memcmp(got.data(), want.data(),
+                             sizeof(float) * static_cast<std::size_t>(
+                                                 got.numel())))
+        << GetParam() << " GEMM bits changed at " << threads << " threads";
+  }
+}
+
+// ---- elementwise ops ---------------------------------------------------
+
+TEST_P(BackendConformanceTest, SingleRoundingElementwiseOpsBitExact) {
+  const core::ComputeBackend& scalar = *ops::find_backend("scalar");
+  const core::ComputeBackend& be = *ops::find_backend(GetParam());
+  // Lengths straddle every lane-width remainder (8 for AVX2, 16 for
+  // AVX-512).
+  for (std::int64_t n : {1, 7, 8, 15, 16, 17, 63, 100}) {
+    const Tensor x = random_tensor(Shape{n}, 53 + n);
+    const Tensor b = random_tensor(Shape{n}, 59 + n);
+    Tensor want(Shape{n}), got(Shape{n});
+
+    scalar.relu(x.data(), want.data(), n);
+    be.relu(x.data(), got.data(), n);
+    ASSERT_EQ(0, std::memcmp(got.data(), want.data(), sizeof(float) * n))
+        << "relu n=" << n;
+
+    scalar.mul(x.data(), b.data(), want.data(), n);
+    be.mul(x.data(), b.data(), got.data(), n);
+    ASSERT_EQ(0, std::memcmp(got.data(), want.data(), sizeof(float) * n))
+        << "mul n=" << n;
+
+    std::memcpy(want.data(), b.data(), sizeof(float) * n);
+    std::memcpy(got.data(), b.data(), sizeof(float) * n);
+    scalar.relu_mask(x.data(), want.data(), n);
+    be.relu_mask(x.data(), got.data(), n);
+    ASSERT_EQ(0, std::memcmp(got.data(), want.data(), sizeof(float) * n))
+        << "relu_mask n=" << n;
+
+    std::memcpy(want.data(), b.data(), sizeof(float) * n);
+    std::memcpy(got.data(), b.data(), sizeof(float) * n);
+    scalar.add_scalar(0.375f, want.data(), n);
+    be.add_scalar(0.375f, got.data(), n);
+    ASSERT_EQ(0, std::memcmp(got.data(), want.data(), sizeof(float) * n))
+        << "add_scalar n=" << n;
+  }
+}
+
+TEST_P(BackendConformanceTest, AxpyAndDotWithinTolerance) {
+  const core::ComputeBackend& scalar = *ops::find_backend("scalar");
+  const core::ComputeBackend& be = *ops::find_backend(GetParam());
+  for (std::int64_t n : {1, 17, 100, 1000}) {
+    const Tensor x = random_tensor(Shape{n}, 61 + n);
+    const Tensor y0 = random_tensor(Shape{n}, 67 + n);
+    Tensor want(Shape{n}), got(Shape{n});
+    std::memcpy(want.data(), y0.data(), sizeof(float) * n);
+    std::memcpy(got.data(), y0.data(), sizeof(float) * n);
+    scalar.axpy(0.25f, x.data(), want.data(), n);
+    be.axpy(0.25f, x.data(), got.data(), n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(got.data()[i], want.data()[i],
+                  1e-5f * std::max(1.0f, std::abs(want.data()[i])))
+          << "axpy n=" << n << " i=" << i;
+    }
+    const float dw = scalar.dot(x.data(), y0.data(), n);
+    const float dg = be.dot(x.data(), y0.data(), n);
+    ASSERT_NEAR(dg, dw, 1e-5f * static_cast<float>(n) *
+                            std::max(1.0f, std::abs(dw)))
+        << "dot n=" << n;
+  }
+}
+
+TEST_P(BackendConformanceTest, LockedReluGradBitExact) {
+  // Theorem-1 exactness: the lock factor is ±1, so g * lock is exact in
+  // every vector width and the gradient must be bit-identical across
+  // backends — not merely close.
+  const core::ComputeBackend& scalar = *ops::find_backend("scalar");
+  const core::ComputeBackend& be = *ops::find_backend(GetParam());
+  for (std::int64_t n : {1, 15, 16, 33, 257}) {
+    const Tensor g = random_tensor(Shape{n}, 71 + n);
+    const Tensor z = random_tensor(Shape{n}, 73 + n);
+    Tensor lock(Shape{n});
+    Rng rng(79 + static_cast<std::uint64_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      lock.data()[i] = (rng() & 1) ? 1.0f : -1.0f;
+    }
+    Tensor want(Shape{n}), got(Shape{n});
+    scalar.lock_relu_grad(g.data(), z.data(), lock.data(), want.data(), n);
+    be.lock_relu_grad(g.data(), z.data(), lock.data(), got.data(), n);
+    ASSERT_EQ(0, std::memcmp(got.data(), want.data(), sizeof(float) * n))
+        << "lock_relu_grad n=" << n;
+  }
+}
+
+// ---- int8 MMU datapath: bit-identical across all backends --------------
+
+TEST_P(BackendConformanceTest, MatmulI8BitIdenticalToScalar) {
+  const core::ComputeBackend& scalar = *ops::find_backend("scalar");
+  const core::ComputeBackend& be = *ops::find_backend(GetParam());
+  struct Case {
+    std::int64_t m, k, n;
+  };
+  // Odd n exercises the SIMD stripe remainder; k=1 and the INT8_MIN-heavy
+  // fill exercise the VNNI bias-correction identity at its extremes.
+  for (const Case& c : {Case{1, 1, 1}, Case{3, 7, 5}, Case{5, 37, 19},
+                        Case{4, 64, 32}, Case{2, 9, 33}, Case{6, 128, 65}}) {
+    const std::int64_t asz = c.m * c.k, wsz = c.k * c.n, osz = c.m * c.n;
+    std::vector<std::int8_t> a(asz), w(wsz);
+    std::vector<std::uint8_t> negate(osz);
+    Rng rng(83 + static_cast<std::uint64_t>(c.m * 1000 + c.n));
+    for (auto& v : a) {
+      v = static_cast<std::int8_t>(rng() & 0xFF);  // full range incl. -128
+    }
+    for (auto& v : w) {
+      v = static_cast<std::int8_t>(rng() & 0xFF);
+    }
+    for (auto& v : negate) {
+      v = static_cast<std::uint8_t>(rng() & 1);
+    }
+    std::vector<std::int32_t> want(osz), got(osz);
+
+    scalar.matmul_i8(a.data(), c.m, c.k, w.data(), c.n, nullptr, want.data());
+    be.matmul_i8(a.data(), c.m, c.k, w.data(), c.n, nullptr, got.data());
+    ASSERT_EQ(0,
+              std::memcmp(got.data(), want.data(), sizeof(std::int32_t) * osz))
+        << "matmul_i8 (unlocked) " << c.m << "x" << c.k << "x" << c.n;
+
+    scalar.matmul_i8(a.data(), c.m, c.k, w.data(), c.n, negate.data(),
+                     want.data());
+    be.matmul_i8(a.data(), c.m, c.k, w.data(), c.n, negate.data(),
+                 got.data());
+    ASSERT_EQ(0,
+              std::memcmp(got.data(), want.data(), sizeof(std::int32_t) * osz))
+        << "matmul_i8 (keyed negation) " << c.m << "x" << c.k << "x" << c.n;
+  }
+}
+
+TEST_P(BackendConformanceTest, MatmulI8SaturatedOperandsBitIdentical) {
+  // All-(-128) activations against all-(+127) weights maximize the VNNI
+  // unsigned-bias correction: any off-by-one in the 128·colsum term shows
+  // up immediately.
+  const core::ComputeBackend& scalar = *ops::find_backend("scalar");
+  const core::ComputeBackend& be = *ops::find_backend(GetParam());
+  const std::int64_t m = 2, k = 300, n = 17;
+  std::vector<std::int8_t> a(m * k, -128), w(k * n, 127);
+  std::vector<std::int32_t> want(m * n), got(m * n);
+  scalar.matmul_i8(a.data(), m, k, w.data(), n, nullptr, want.data());
+  be.matmul_i8(a.data(), m, k, w.data(), n, nullptr, got.data());
+  EXPECT_EQ(0, std::memcmp(got.data(), want.data(),
+                           sizeof(std::int32_t) * static_cast<std::size_t>(
+                                                      m * n)));
+}
+
+// ---- convolution through the shared blocking ---------------------------
+
+TEST_P(BackendConformanceTest, ConvForwardBackwardMatchScalar) {
+  ops::Conv2dGeometry g;
+  g.in_channels = 3;
+  g.in_h = g.in_w = 9;
+  g.kernel = 3;
+  g.stride = 1;
+  g.padding = 1;
+  const Tensor x = random_tensor(Shape{2, 3, 9, 9}, 89);
+  const Tensor weight = random_tensor(Shape{4, 3, 3, 3}, 97);
+  const Tensor bias = random_tensor(Shape{4}, 101);
+  const Tensor grad_out = random_tensor(Shape{2, 4, 9, 9}, 103);
+  const std::int64_t depth = g.in_channels * g.kernel * g.kernel;
+
+  ops::set_backend("scalar");
+  const Tensor want_y = ops::conv2d_forward(x, weight, bias, g);
+  Tensor want_gw(weight.shape()), want_gb(bias.shape());
+  const Tensor want_gx =
+      ops::conv2d_backward(x, weight, grad_out, g, want_gw, want_gb);
+
+  ops::set_backend(GetParam());
+  const Tensor got_y = ops::conv2d_forward(x, weight, bias, g);
+  Tensor got_gw(weight.shape()), got_gb(bias.shape());
+  const Tensor got_gx =
+      ops::conv2d_backward(x, weight, grad_out, g, got_gw, got_gb);
+
+  expect_close(got_y, want_y, depth, "conv forward");
+  expect_close(got_gx, want_gx, depth, "conv grad_x");
+  expect_close(got_gw, want_gw, x.shape().dim(0) * g.in_h * g.in_w,
+               "conv grad_w");
+  expect_close(got_gb, want_gb, grad_out.numel() / 4, "conv grad_b");
+}
+
+// ---- end to end: trusted-device int8 inference -------------------------
+
+TEST_P(BackendConformanceTest, DeviceLogitsBitIdenticalToScalar) {
+  // The device's MAC layers run entirely on the int8 datapath, and every
+  // float step around them (quantize, dequant, pooling, bias) is a
+  // single-rounding per-element op — so end-to-end logits must be
+  // byte-identical between the scalar reference and any SIMD tier.
+  models::ModelConfig cfg;
+  cfg.in_channels = 1;
+  cfg.image_size = 16;
+  cfg.init_seed = 7;
+  Rng rng(107);
+  const obf::HpnnKey key = obf::HpnnKey::random(rng);
+  obf::Scheduler sched(12345);
+  obf::LockedModel owner(models::Architecture::kCnn1, cfg, key, sched);
+  std::stringstream ss;
+  obf::publish_model(ss, owner);
+  const obf::PublishedModel artifact = obf::read_published_model(ss);
+  const Tensor x = Tensor::normal(Shape{4, 1, 16, 16}, rng, 0.0f, 0.25f);
+
+  ops::set_backend("scalar");
+  hw::TrustedDevice scalar_device(key, 12345);
+  scalar_device.load_model(artifact);
+  const Tensor want = scalar_device.infer(x);
+
+  ops::set_backend(GetParam());
+  hw::TrustedDevice device(key, 12345);
+  device.load_model(artifact);
+  const Tensor got = device.infer(x);
+
+  ASSERT_EQ(got.shape(), want.shape());
+  EXPECT_EQ(0, std::memcmp(got.data(), want.data(),
+                           sizeof(float) * static_cast<std::size_t>(
+                                               got.numel())))
+      << "device logits diverged between scalar and " << GetParam();
+}
+
+// ---- backend-switch safety (not parameterized) -------------------------
+
+/// The first non-scalar supported backend, or "" when this CPU has none.
+std::string first_simd_backend() {
+  for (const auto& name : supported_backends()) {
+    if (name != "scalar") {
+      return name;
+    }
+  }
+  return "";
+}
+
+TEST(BackendSwitchTest, PackedPanelsReplayThroughPackingBackend) {
+  const std::string simd = first_simd_backend();
+  if (simd.empty()) {
+    GTEST_SKIP() << "no SIMD backend supported on this CPU";
+  }
+  StateRestorer restore;
+  const Tensor a = random_tensor(Shape{19, 23}, 109);
+  const Tensor b = random_tensor(Shape{23, 31}, 113);
+  ops::set_backend("scalar");
+  const Tensor want = ops::matmul(a, b);
+
+  // Pack under the SIMD backend, then switch the active backend away: the
+  // panel must keep replaying through the backend that laid it out.
+  ops::set_backend(simd);
+  ops::PackedA pa;
+  pa.pack(a.data(), false, 19, 23);
+  ASSERT_EQ(pa.packed_backend(), ops::find_backend(simd));
+  ops::set_backend("scalar");
+  EXPECT_FALSE(pa.matches(a.data(), false, 19, 23))
+      << "a panel packed by another backend must not match";
+  Tensor got(Shape{19, 31});
+  ops::gemm_prepacked(pa, b.data(), false, 31, 0.0f, got.data(), 31);
+  expect_close(got, want, 23, "prepacked gemm after backend switch");
+}
+
+TEST(BackendSwitchTest, AlternatingBackendsPerCallStaysCorrect) {
+  const std::string simd = first_simd_backend();
+  if (simd.empty()) {
+    GTEST_SKIP() << "no SIMD backend supported on this CPU";
+  }
+  StateRestorer restore;
+  // Regression for scratch-arena replay: GEMM scratch retained from one
+  // backend's call must never be interpreted as panels by the next
+  // backend's call. Alternate every call and check each result.
+  const Tensor a = random_tensor(Shape{29, 41}, 127);
+  const Tensor b = random_tensor(Shape{41, 37}, 131);
+  ops::set_backend("scalar");
+  const Tensor want = ops::matmul(a, b);
+  for (int i = 0; i < 6; ++i) {
+    ops::set_backend(i % 2 == 0 ? simd : "scalar");
+    const Tensor got = ops::matmul(a, b);
+    expect_close(got, want, 41, "alternating call " + std::to_string(i));
+  }
+}
+
+TEST(BackendSwitchTest, ScratchArenaDropsRetainedBlocksOnSwitch) {
+  const std::string simd = first_simd_backend();
+  if (simd.empty()) {
+    GTEST_SKIP() << "no SIMD backend supported on this CPU";
+  }
+  StateRestorer restore;
+  ops::set_backend(simd);
+  core::ScratchArena& arena = core::ScratchArena::tls();
+  {
+    core::ScratchArena::Scope scope(arena);
+    scope.floats(4096);
+  }
+  ASSERT_GT(arena.retained_bytes(), 0u);
+  ops::set_backend("scalar");
+  {
+    // The next outermost scope observes the epoch bump and drops every
+    // retained block before handing out memory.
+    core::ScratchArena::Scope scope(arena);
+    EXPECT_EQ(arena.retained_bytes(), 0u);
+  }
+}
+
+TEST(BackendRegistryTest, FailsClosedOnUnknownName) {
+  EXPECT_EQ(ops::find_backend("no-such-backend"), nullptr);
+  EXPECT_THROW(ops::set_backend("no-such-backend"), UsageError);
+  // A failed switch must leave the previous selection active.
+  EXPECT_FALSE(ops::backend().name().empty());
+}
+
+TEST(BackendRegistryTest, ScalarAlwaysRegisteredAndSupported) {
+  const auto names = ops::backend_names();
+  ASSERT_FALSE(names.empty());
+  EXPECT_EQ(names.front(), "scalar");
+  EXPECT_TRUE(ops::find_backend("scalar")->supported());
+  EXPECT_EQ(ops::find_backend("scalar")->priority(), 0);
+}
+
+}  // namespace
+}  // namespace hpnn

@@ -1,23 +1,51 @@
-// Tests for the packed GEMM microkernel layer (tensor/gemm_kernel.hpp):
-// transpose folding in the pack stage, alpha/beta edge semantics, the
-// scratch arena's alignment/reuse contract, prepacked-A replay, and
-// bit-exact determinism across thread-pool sizes.
+// Tests for the packed GEMM layer (tensor/gemm_kernel.hpp): transpose
+// folding in the pack stage, alpha/beta edge semantics, the scratch
+// arena's alignment/reuse contract, prepacked-A replay, and bit-exact
+// determinism across thread-pool sizes. The transpose/alpha-beta/edge
+// sweeps run as TEST_P over every registered compute backend that this
+// CPU supports, so the AVX-512 tier's edge-tile and beta==0-over-NaN
+// paths are exercised wherever the hardware allows.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <tuple>
 #include <vector>
 
 #include "core/aligned_buffer.hpp"
 #include "core/rng.hpp"
 #include "core/threadpool.hpp"
+#include "tensor/backend.hpp"
 #include "tensor/gemm_kernel.hpp"
 #include "tensor/ops.hpp"
 
 namespace hpnn::ops {
 namespace {
+
+/// Backends this CPU can actually run (registered but unsupported tiers
+/// would make set_backend throw).
+std::vector<std::string> supported_backends() {
+  std::vector<std::string> v;
+  for (const auto& name : backend_names()) {
+    if (find_backend(name)->supported()) {
+      v.push_back(name);
+    }
+  }
+  return v;
+}
+
+/// Restores the entry backend on destruction so a parameterized backend
+/// switch cannot leak into later tests in this binary.
+class BackendRestorer {
+ public:
+  BackendRestorer() : saved_(backend().name()) {}
+  ~BackendRestorer() { set_backend(saved_); }
+
+ private:
+  std::string saved_;
+};
 
 /// Naive triple-loop reference with a double accumulator.
 std::vector<float> reference_gemm(const std::vector<float>& a, bool ta,
@@ -63,13 +91,18 @@ struct KernelCase {
   bool ta, tb;
 };
 
-class GemmKernelTransposeTest : public ::testing::TestWithParam<KernelCase> {};
+class GemmKernelTransposeTest
+    : public ::testing::TestWithParam<std::tuple<std::string, KernelCase>> {
+ protected:
+  BackendRestorer restore_;
+};
 
 // Every transpose combination, at sizes that are deliberately not
-// multiples of the 6x16 microkernel tile, on both the small unpacked path
-// and the packed-panel path.
+// multiples of any backend's microkernel tile, on both the small unpacked
+// path and the packed-panel path, for every supported backend.
 TEST_P(GemmKernelTransposeTest, MatchesReference) {
-  const auto& p = GetParam();
+  set_backend(std::get<0>(GetParam()));
+  const KernelCase& p = std::get<1>(GetParam());
   Rng rng(101 + p.m * 7 + p.n * 11 + p.k * 13 + (p.ta ? 1 : 0) +
           (p.tb ? 2 : 0));
   const auto a = random_vec(p.m * p.k, rng);
@@ -87,51 +120,79 @@ TEST_P(GemmKernelTransposeTest, MatchesReference) {
 
 INSTANTIATE_TEST_SUITE_P(
     OddShapes, GemmKernelTransposeTest,
-    ::testing::Values(
-        // Small-volume unpacked path (m*n*k below the packing threshold).
-        KernelCase{7, 5, 13, false, false}, KernelCase{7, 5, 13, false, true},
-        KernelCase{7, 5, 13, true, false}, KernelCase{7, 5, 13, true, true},
-        // Packed-panel path, every dimension off-tile.
-        KernelCase{17, 31, 23, false, false},
-        KernelCase{17, 31, 23, false, true},
-        KernelCase{17, 31, 23, true, false},
-        KernelCase{17, 31, 23, true, true},
-        // Larger, prime-ish shapes.
-        KernelCase{67, 101, 45, false, false},
-        KernelCase{67, 101, 45, false, true},
-        KernelCase{67, 101, 45, true, false},
-        KernelCase{67, 101, 45, true, true},
-        // Exact tile multiples (full-tile store path, no edge spill).
-        KernelCase{12, 32, 24, false, false},
-        KernelCase{12, 32, 24, true, true},
-        // GEMV row (m == 1) in both B orientations.
-        KernelCase{1, 33, 19, false, false},
-        KernelCase{1, 33, 19, false, true}));
+    ::testing::Combine(
+        ::testing::ValuesIn(supported_backends()),
+        ::testing::Values(
+            // Small-volume unpacked path (m*n*k below the packing
+            // threshold).
+            KernelCase{7, 5, 13, false, false},
+            KernelCase{7, 5, 13, false, true},
+            KernelCase{7, 5, 13, true, false},
+            KernelCase{7, 5, 13, true, true},
+            // Packed-panel path, every dimension off-tile.
+            KernelCase{17, 31, 23, false, false},
+            KernelCase{17, 31, 23, false, true},
+            KernelCase{17, 31, 23, true, false},
+            KernelCase{17, 31, 23, true, true},
+            // Larger, prime-ish shapes.
+            KernelCase{67, 101, 45, false, false},
+            KernelCase{67, 101, 45, false, true},
+            KernelCase{67, 101, 45, true, false},
+            KernelCase{67, 101, 45, true, true},
+            // Tile multiples of both the 6x16 and 8x32 microtiles
+            // (full-tile store path, no edge spill, on every tier).
+            KernelCase{24, 32, 24, false, false},
+            KernelCase{24, 32, 24, true, true},
+            // GEMV row (m == 1) in both B orientations.
+            KernelCase{1, 33, 19, false, false},
+            KernelCase{1, 33, 19, false, true})),
+    [](const auto& info) {
+      const auto& c = std::get<1>(info.param);
+      return std::get<0>(info.param) + "_m" + std::to_string(c.m) + "n" +
+             std::to_string(c.n) + "k" + std::to_string(c.k) +
+             (c.ta ? "_ta" : "") + (c.tb ? "_tb" : "");
+    });
+
+class GemmKernelBackendEdgeTest
+    : public ::testing::TestWithParam<std::string> {
+ protected:
+  BackendRestorer restore_;
+};
 
 // beta == 0 must overwrite C without reading it: NaN garbage in the output
 // buffer must not propagate (the reference semantics for an uninitialized
-// destination).
-TEST(GemmKernelEdgeTest, BetaZeroOverwritesNaN) {
-  const std::int64_t m = 19, n = 21, k = 17;
-  Rng rng(7);
-  const auto a = random_vec(m * k, rng);
-  const auto b = random_vec(k * n, rng);
-  std::vector<float> c(static_cast<std::size_t>(m * n),
-                       std::numeric_limits<float>::quiet_NaN());
-  gemm_raw(a.data(), false, b.data(), false, m, n, k, 1.0f, 0.0f, c.data(),
-           n);
-  for (const auto v : c) {
-    EXPECT_FALSE(std::isnan(v));
+// destination). Both the full-tile vector store and the edge-tile merge
+// path are on shapes here, for every tier — including VNNI-class AVX-512.
+TEST_P(GemmKernelBackendEdgeTest, BetaZeroOverwritesNaN) {
+  set_backend(GetParam());
+  struct Case {
+    std::int64_t m, n, k;
+  };
+  // One off-tile shape (edge-tile merge) and one exact multiple of the
+  // largest (8x32) tile (full-tile vector stores).
+  for (const Case& shape : {Case{19, 21, 17}, Case{24, 64, 16}}) {
+    const std::int64_t m = shape.m, n = shape.n, k = shape.k;
+    Rng rng(7);
+    const auto a = random_vec(m * k, rng);
+    const auto b = random_vec(k * n, rng);
+    std::vector<float> c(static_cast<std::size_t>(m * n),
+                         std::numeric_limits<float>::quiet_NaN());
+    gemm_raw(a.data(), false, b.data(), false, m, n, k, 1.0f, 0.0f, c.data(),
+             n);
+    for (const auto v : c) {
+      EXPECT_FALSE(std::isnan(v)) << "m=" << m << " n=" << n;
+    }
+    const auto want = reference_gemm(
+        a, false, b, false, m, n, k, 1.0f, 0.0f,
+        std::vector<float>(static_cast<std::size_t>(m * n), 0.0f));
+    expect_close(c, want, 1e-3f, "beta=0 NaN overwrite");
   }
-  const auto want = reference_gemm(
-      a, false, b, false, m, n, k, 1.0f, 0.0f,
-      std::vector<float>(static_cast<std::size_t>(m * n), 0.0f));
-  expect_close(c, want, 1e-3f, "beta=0 NaN overwrite");
 }
 
 // Same contract on the degenerate alpha == 0 path: C = beta * C, and with
 // beta == 0 the NaNs must still be flushed to exact zeros.
-TEST(GemmKernelEdgeTest, AlphaZeroScalesC) {
+TEST_P(GemmKernelBackendEdgeTest, AlphaZeroScalesC) {
+  set_backend(GetParam());
   const std::int64_t m = 9, n = 14, k = 11;
   Rng rng(8);
   const auto a = random_vec(m * k, rng);
@@ -154,76 +215,12 @@ TEST(GemmKernelEdgeTest, AlphaZeroScalesC) {
   }
 }
 
-class GemmKernelAlphaBetaTest
-    : public ::testing::TestWithParam<std::pair<float, float>> {};
-
-TEST_P(GemmKernelAlphaBetaTest, MatchesReference) {
-  const auto [alpha, beta] = GetParam();
-  const std::int64_t m = 23, n = 29, k = 31;
-  Rng rng(17);
-  const auto a = random_vec(m * k, rng);
-  const auto b = random_vec(k * n, rng);
-  const auto c0 = random_vec(m * n, rng);
-  std::vector<float> c = c0;
-  gemm_raw(a.data(), false, b.data(), false, m, n, k, alpha, beta, c.data(),
-           n);
-  const auto want =
-      reference_gemm(a, false, b, false, m, n, k, alpha, beta, c0);
-  expect_close(c, want, 2e-3f, "alpha/beta combo");
-}
-
-INSTANTIATE_TEST_SUITE_P(AlphaBeta, GemmKernelAlphaBetaTest,
-                         ::testing::Values(std::make_pair(1.0f, 0.0f),
-                                           std::make_pair(1.0f, 1.0f),
-                                           std::make_pair(2.0f, 2.5f),
-                                           std::make_pair(-1.5f, 1.0f),
-                                           std::make_pair(0.5f, -2.0f)));
-
-// A packed-once A operand replayed through gemm_prepacked must produce the
-// same bits as the pack-every-call entry point: same pack layout, same
-// microkernel, same accumulation order.
-TEST(GemmKernelPackedATest, PrepackedMatchesGemmRawBitExact) {
-  const std::int64_t m = 37, n = 53, k = 29;
-  const float alpha = 1.25f;
-  Rng rng(23);
-  const auto a = random_vec(m * k, rng);
-  const auto b = random_vec(k * n, rng);
-
-  std::vector<float> want(static_cast<std::size_t>(m * n), 0.0f);
-  gemm_raw(a.data(), false, b.data(), false, m, n, k, alpha, 0.0f,
-           want.data(), n);
-
-  PackedA pa;
-  EXPECT_TRUE(pa.empty());
-  pa.pack(a.data(), false, m, k, alpha);
-  EXPECT_FALSE(pa.empty());
-  EXPECT_TRUE(pa.matches(a.data(), false, m, k, alpha));
-  EXPECT_FALSE(pa.matches(a.data(), false, m, k, 1.0f));
-  EXPECT_FALSE(pa.matches(b.data(), false, m, k, alpha));
-
-  std::vector<float> got(static_cast<std::size_t>(m * n), 0.0f);
-  gemm_prepacked(pa, b.data(), false, n, 0.0f, got.data(), n);
-  EXPECT_EQ(0, std::memcmp(got.data(), want.data(),
-                           got.size() * sizeof(float)));
-
-  // Transposed-B replay against the transposed-B direct path.
-  std::vector<float> bt(static_cast<std::size_t>(k * n));
-  for (std::int64_t p = 0; p < k; ++p) {
-    for (std::int64_t j = 0; j < n; ++j) {
-      bt[j * k + p] = b[p * n + j];
-    }
-  }
-  std::vector<float> got_t(static_cast<std::size_t>(m * n), 0.0f);
-  gemm_prepacked(pa, bt.data(), true, n, 0.0f, got_t.data(), n);
-  EXPECT_EQ(0, std::memcmp(got_t.data(), want.data(),
-                           got_t.size() * sizeof(float)));
-}
-
-// The determinism contract: for a fixed build, results are bit-identical
+// The determinism contract: for a fixed backend, results are bit-identical
 // at every thread-pool size because chunk boundaries are a pure function
 // of the shape and each C element accumulates its full K extent in one
 // microkernel call.
-TEST(GemmKernelDeterminismTest, ThreadCountDoesNotChangeBits) {
+TEST_P(GemmKernelBackendEdgeTest, ThreadCountDoesNotChangeBits) {
+  set_backend(GetParam());
   const std::int64_t m = 191, n = 163, k = 127;
   Rng rng(31);
   const auto a = random_vec(m * k, rng);
@@ -244,6 +241,97 @@ TEST(GemmKernelDeterminismTest, ThreadCountDoesNotChangeBits) {
         << "thread count " << threads << " changed the result bits";
   }
   core::set_thread_count(0);  // restore the HPNN_THREADS default
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, GemmKernelBackendEdgeTest,
+                         ::testing::ValuesIn(supported_backends()),
+                         [](const auto& info) { return info.param; });
+
+class GemmKernelAlphaBetaTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::pair<float, float>>> {
+ protected:
+  BackendRestorer restore_;
+};
+
+TEST_P(GemmKernelAlphaBetaTest, MatchesReference) {
+  set_backend(std::get<0>(GetParam()));
+  const auto [alpha, beta] = std::get<1>(GetParam());
+  const std::int64_t m = 23, n = 29, k = 31;
+  Rng rng(17);
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+  const auto c0 = random_vec(m * n, rng);
+  std::vector<float> c = c0;
+  gemm_raw(a.data(), false, b.data(), false, m, n, k, alpha, beta, c.data(),
+           n);
+  const auto want =
+      reference_gemm(a, false, b, false, m, n, k, alpha, beta, c0);
+  expect_close(c, want, 2e-3f, "alpha/beta combo");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaBeta, GemmKernelAlphaBetaTest,
+    ::testing::Combine(::testing::ValuesIn(supported_backends()),
+                       ::testing::Values(std::make_pair(1.0f, 0.0f),
+                                         std::make_pair(1.0f, 1.0f),
+                                         std::make_pair(2.0f, 2.5f),
+                                         std::make_pair(-1.5f, 1.0f),
+                                         std::make_pair(0.5f, -2.0f))),
+    [](const auto& info) {
+      auto sanitize = [](float v) {
+        std::string s = std::to_string(v);
+        for (auto& ch : s) {
+          if (ch == '.' || ch == '-') {
+            ch = '_';
+          }
+        }
+        return s;
+      };
+      return std::get<0>(info.param) + "_a" +
+             sanitize(std::get<1>(info.param).first) + "_b" +
+             sanitize(std::get<1>(info.param).second);
+    });
+
+// A packed-once A operand replayed through gemm_prepacked must produce the
+// same bits as the pack-every-call entry point: same pack layout, same
+// microkernel, same accumulation order.
+TEST(GemmKernelPackedATest, PrepackedMatchesGemmRawBitExact) {
+  const std::int64_t m = 37, n = 53, k = 29;
+  const float alpha = 1.25f;
+  Rng rng(23);
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+
+  std::vector<float> want(static_cast<std::size_t>(m * n), 0.0f);
+  gemm_raw(a.data(), false, b.data(), false, m, n, k, alpha, 0.0f,
+           want.data(), n);
+
+  PackedA pa;
+  EXPECT_TRUE(pa.empty());
+  pa.pack(a.data(), false, m, k, alpha);
+  EXPECT_FALSE(pa.empty());
+  EXPECT_EQ(pa.packed_backend(), &backend());
+  EXPECT_TRUE(pa.matches(a.data(), false, m, k, alpha));
+  EXPECT_FALSE(pa.matches(a.data(), false, m, k, 1.0f));
+  EXPECT_FALSE(pa.matches(b.data(), false, m, k, alpha));
+
+  std::vector<float> got(static_cast<std::size_t>(m * n), 0.0f);
+  gemm_prepacked(pa, b.data(), false, n, 0.0f, got.data(), n);
+  EXPECT_EQ(0, std::memcmp(got.data(), want.data(),
+                           got.size() * sizeof(float)));
+
+  // Transposed-B replay against the transposed-B direct path.
+  std::vector<float> bt(static_cast<std::size_t>(k * n));
+  for (std::int64_t p = 0; p < k; ++p) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      bt[j * k + p] = b[p * n + j];
+    }
+  }
+  std::vector<float> got_t(static_cast<std::size_t>(m * n), 0.0f);
+  gemm_prepacked(pa, bt.data(), true, n, 0.0f, got_t.data(), n);
+  EXPECT_EQ(0, std::memcmp(got_t.data(), want.data(),
+                           got_t.size() * sizeof(float)));
 }
 
 // ---------------------------------------------------------------- arena
@@ -312,12 +400,24 @@ TEST(ScratchArenaTest, GrowthKeepsLivePointersStableThenCoalesces) {
             (std::size_t{1} << 14) * sizeof(float));
 }
 
-// Packed-size helpers round up to whole tiles.
+// Packed-size helpers round up to whole tiles of the given backend's
+// microtile geometry.
 TEST(GemmKernelDetailTest, PackedSizesRoundUpToTiles) {
-  EXPECT_EQ(detail::packed_a_floats(6, 10), 6 * 10);
-  EXPECT_EQ(detail::packed_a_floats(7, 10), 12 * 10);
-  EXPECT_EQ(detail::packed_b_floats(10, 16), 16 * 10);
-  EXPECT_EQ(detail::packed_b_floats(10, 17), 32 * 10);
+  const core::ComputeBackend* scalar = find_backend("scalar");
+  ASSERT_NE(scalar, nullptr);
+  ASSERT_EQ(scalar->gemm_mr(), 6);
+  ASSERT_EQ(scalar->gemm_nr(), 16);
+  EXPECT_EQ(detail::packed_a_floats(*scalar, 6, 10), 6 * 10);
+  EXPECT_EQ(detail::packed_a_floats(*scalar, 7, 10), 12 * 10);
+  EXPECT_EQ(detail::packed_b_floats(*scalar, 10, 16), 16 * 10);
+  EXPECT_EQ(detail::packed_b_floats(*scalar, 10, 17), 32 * 10);
+
+  if (const core::ComputeBackend* avx512 = find_backend("avx512")) {
+    EXPECT_EQ(avx512->gemm_mr(), 8);
+    EXPECT_EQ(avx512->gemm_nr(), 32);
+    EXPECT_EQ(detail::packed_a_floats(*avx512, 9, 10), 16 * 10);
+    EXPECT_EQ(detail::packed_b_floats(*avx512, 10, 33), 64 * 10);
+  }
 }
 
 }  // namespace
